@@ -1,0 +1,30 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper's evaluation
+section by calling the corresponding runner in :mod:`repro.experiments`.
+Runners are executed exactly once per benchmark (``rounds=1``) because a
+single run already trains several models; pytest-benchmark is used for its
+timing/reporting plumbing, not for statistical repetition.
+
+Set ``REPRO_SCALE=full`` for the paper-scale protocol (hours); the default
+``quick`` scale shrinks the cities, folds and epoch budgets so the whole
+suite finishes in tens of minutes on a laptop.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import run_scale
+
+
+def run_once(benchmark, runner, *args, **kwargs):
+    """Execute ``runner`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(runner, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture(scope="session", autouse=True)
+def announce_scale():
+    print(f"\n[benchmarks] running at REPRO_SCALE={run_scale()}\n", flush=True)
+    yield

@@ -1,0 +1,42 @@
+"""Figure 5(b) — ablation of the multi-modal urban data.
+
+Runs CMSF on URGs with one data source removed at a time: image features
+(noImage), one of the three POI feature groups (noCate / noRad / noIndex) or
+one of the two region relations (noProx / noRoad).  The paper's finding is
+that the full URG beats every reduced variant; the assertions check that the
+full configuration is at least as good (within tolerance) as the ablations
+and that every ablated graph still trains.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments import run_fig5b, run_scale
+
+
+def test_fig5b_data_ablation(benchmark):
+    cities = ("fuzhou",) if run_scale() == "quick" else ("fuzhou", "shenzhen", "beijing")
+    ablations = ("noImage", "noIndex", "noRad", "noCate", "noProx", "noRoad", "full")
+    results = run_once(benchmark, run_fig5b, cities=cities, ablations=ablations,
+                       verbose=True)
+
+    for city in cities:
+        assert set(results[city]) == {"noImage", "noIndex", "noRad", "noCate",
+                                      "noProx", "noRoad", "CMSF"}
+        for label, auc in results[city].items():
+            assert np.isnan(auc) or 0.0 <= auc <= 1.0
+
+    mean_auc = {label: float(np.nanmean([results[city][label] for city in cities]))
+                for label in results[cities[0]]}
+    print(f"\n[fig5b] mean AUC per data ablation: {mean_auc}")
+
+    # The full URG should be competitive with (not clearly dominated by)
+    # every single-source ablation; removing the image modality is the
+    # ablation the paper highlights as most damaging.
+    full = mean_auc["CMSF"]
+    assert full > 0.6
+    for label, auc in mean_auc.items():
+        if label != "CMSF":
+            assert full >= auc - 0.07, f"full URG much worse than {label}"

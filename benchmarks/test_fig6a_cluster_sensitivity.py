@@ -1,0 +1,31 @@
+"""Figure 6(a) — sensitivity to the number of latent semantic clusters K.
+
+Sweeps K for CMSF on the Fuzhou analogue and prints the AUC series.  The
+paper observes a unimodal trend (too few clusters underfit the urban
+structure, too many add noise); the assertions only require that the series
+is well-formed and that the model never collapses to chance level at the
+intermediate K values the paper recommends.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments import run_fig6a, run_scale
+
+
+def test_fig6a_cluster_sensitivity(benchmark):
+    cluster_counts = (5, 15, 30, 60) if run_scale() == "quick" else (5, 10, 20, 30, 50, 80)
+    results = run_once(benchmark, run_fig6a, city="fuzhou",
+                       cluster_counts=cluster_counts, verbose=True)
+
+    assert set(results) == set(cluster_counts)
+    values = np.array([results[k] for k in cluster_counts], dtype=float)
+    assert np.isfinite(values).all()
+    assert (values >= 0.0).all() and (values <= 1.0).all()
+    # intermediate cluster counts should stay clearly above chance
+    middle = [results[k] for k in cluster_counts[1:-1]]
+    assert max(middle) > 0.6
+    # the spread across K is bounded — K is a sensitivity knob, not a cliff
+    assert values.max() - values.min() < 0.35

@@ -1,0 +1,32 @@
+"""Figure 6(b) — sensitivity to the balancing weight lambda.
+
+Sweeps the weight of the PU rank loss in the slave adaptive stage (Eq. 24)
+for CMSF on the Fuzhou analogue.  The paper finds that a moderate lambda
+helps while an excessive one interferes with the detection objective; the
+assertions check the series is well-formed and that moderate values do not
+collapse the detector.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments import run_fig6b, run_scale
+
+
+def test_fig6b_lambda_sensitivity(benchmark):
+    lambdas = (0.001, 0.1, 1.0, 10.0) if run_scale() == "quick" \
+        else (0.0001, 0.001, 0.01, 0.1, 1.0, 10.0)
+    results = run_once(benchmark, run_fig6b, city="fuzhou", lambdas=lambdas,
+                       verbose=True)
+
+    assert set(results) == set(lambdas)
+    values = np.array([results[lam] for lam in lambdas], dtype=float)
+    assert np.isfinite(values).all()
+    assert (values >= 0.0).all() and (values <= 1.0).all()
+    # moderate lambda values keep the detector clearly above chance
+    moderate = [results[lam] for lam in lambdas if lam <= 1.0]
+    assert max(moderate) > 0.6
+    # the best moderate setting should be at least as good as the extreme one
+    assert max(moderate) >= results[max(lambdas)] - 0.05

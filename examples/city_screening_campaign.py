@@ -1,0 +1,83 @@
+"""City-wide screening campaign: prioritise field investigations.
+
+The paper motivates UV detection as a screening problem: a city manager can
+only send investigators to a small fraction of regions (top-p% of the model's
+ranking), so what matters is how many true urban villages that short list
+catches.  This example:
+
+1. builds a mid-sized synthetic city and its URG;
+2. trains CMSF and the strongest image-only baseline (UVLens) on the same
+   labelled data;
+3. simulates screening campaigns with budgets of 1-10% of the city's regions
+   and reports how many true UV regions each method would uncover;
+4. prints an ASCII detection map comparing CMSF's top picks with the ground
+   truth (the Figure 7 case study in miniature).
+
+Run with::
+
+    python examples/city_screening_campaign.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines import UVLensDetector
+from repro.baselines.base import BaselineTrainingConfig
+from repro.core import CMSFConfig, CMSFDetector
+from repro.eval import format_table, single_holdout
+from repro.experiments import ascii_detection_map
+from repro.synth import generate_city, mini_city
+from repro.urg import UrgBuildConfig, build_urg
+from repro.urg.image_features import ImageFeatureConfig
+
+
+def screening_hits(scores: np.ndarray, graph, budget_percent: float) -> tuple:
+    """How many true UV regions a top-``budget_percent``% campaign would visit."""
+    budget = max(int(np.ceil(graph.num_nodes * budget_percent / 100.0)), 1)
+    visited = np.argsort(-scores)[:budget]
+    hits = int(graph.ground_truth[visited].sum())
+    total = int(graph.ground_truth.sum())
+    return budget, hits, total
+
+
+def main() -> None:
+    city = generate_city(mini_city(seed=5))
+    graph = build_urg(city, UrgBuildConfig(image=ImageFeatureConfig(reduce_dim=64)))
+    split = single_holdout(graph, test_fraction=0.33, seed=0)
+    print(f"City '{graph.name}': {graph.num_nodes} regions, "
+          f"{int(graph.ground_truth.sum())} true UV regions, "
+          f"{split.train_indices.size} labelled regions available for training.\n")
+
+    print("Training CMSF ...")
+    cmsf = CMSFDetector(CMSFConfig(hidden_dim=32, image_reduce_dim=64,
+                                   classifier_hidden=16, num_clusters=16,
+                                   master_epochs=80, slave_epochs=15, seed=0))
+    cmsf.fit(graph, split.train_indices)
+
+    print("Training UVLens (image-only baseline) ...")
+    uvlens = UVLensDetector(training=BaselineTrainingConfig(epochs=80, seed=0),
+                            head_widths=(256, 128, 64))
+    uvlens.fit(graph, split.train_indices)
+
+    cmsf_scores = cmsf.predict_proba(graph)
+    uvlens_scores = uvlens.predict_proba(graph)
+
+    rows = []
+    for budget_percent in (1.0, 3.0, 5.0, 10.0):
+        budget, cmsf_hits, total = screening_hits(cmsf_scores, graph, budget_percent)
+        _, uvlens_hits, _ = screening_hits(uvlens_scores, graph, budget_percent)
+        rows.append([f"{budget_percent:g}%", budget,
+                     f"{cmsf_hits}/{total}", f"{uvlens_hits}/{total}"])
+    print()
+    print(format_table(["budget", "#regions visited", "CMSF hits", "UVLens hits"],
+                       rows, title="Screening campaign: true UVs found per budget"))
+
+    top = np.argsort(-cmsf_scores)[:max(int(0.03 * graph.num_nodes), 1)]
+    print("\nCMSF top-3% detections ('#' = true UV found, 'o' = false alarm, "
+          "'.' = missed UV):")
+    print(ascii_detection_map(graph, top))
+
+
+if __name__ == "__main__":
+    main()

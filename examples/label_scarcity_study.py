@@ -1,0 +1,71 @@
+"""Label-scarcity study: how CMSF degrades as labelled UVs become scarce.
+
+The paper's central claim is that CMSF handles the scarcity of labelled
+urban villages better than conventional deep models (Figure 6(c)).  This
+example reproduces that study in miniature on a synthetic city:
+
+1. build the URG and a block-level train/test split;
+2. train CMSF and an MLP on 25%, 50% and 100% of the training labels;
+3. report the AUC of both models per label budget, plus the ablation
+   CMSF-H (no hierarchical structure) to show where the robustness comes
+   from.
+
+Run with::
+
+    python examples/label_scarcity_study.py
+"""
+
+from __future__ import annotations
+
+from repro.baselines import MLPDetector
+from repro.baselines.base import BaselineTrainingConfig
+from repro.core import CMSFConfig, make_variant
+from repro.eval import format_table, mask_train_indices, roc_auc, single_holdout
+from repro.synth import generate_city, mini_city
+from repro.urg import UrgBuildConfig, build_urg
+from repro.urg.image_features import ImageFeatureConfig
+
+RATIOS = (0.25, 0.5, 1.0)
+
+
+def evaluate(detector, graph, train_indices, test_indices) -> float:
+    detector.fit(graph, train_indices)
+    scores = detector.predict_proba(graph)
+    return roc_auc(graph.labels[test_indices], scores[test_indices])
+
+
+def main() -> None:
+    city = generate_city(mini_city(seed=9))
+    graph = build_urg(city, UrgBuildConfig(image=ImageFeatureConfig(reduce_dim=64)))
+    split = single_holdout(graph, test_fraction=0.33, seed=1)
+    print(f"{graph.num_nodes} regions, {split.train_indices.size} labelled for "
+          f"training, {split.test_indices.size} held out for evaluation.\n")
+
+    config = CMSFConfig(hidden_dim=32, image_reduce_dim=64, classifier_hidden=16,
+                        num_clusters=16, master_epochs=80, slave_epochs=15, seed=0)
+
+    rows = []
+    for ratio in RATIOS:
+        train = mask_train_indices(split.train_indices, graph.labels, ratio, seed=0)
+        n_uv = int((graph.labels[train] == 1).sum())
+        print(f"ratio {ratio:.0%}: {train.size} labelled regions ({n_uv} UVs)")
+
+        cmsf_auc = evaluate(make_variant("CMSF", config), graph, train,
+                            split.test_indices)
+        cmsf_h_auc = evaluate(make_variant("CMSF-H", config), graph, train,
+                              split.test_indices)
+        mlp_auc = evaluate(MLPDetector(training=BaselineTrainingConfig(epochs=100, seed=0)),
+                           graph, train, split.test_indices)
+        rows.append([f"{int(ratio * 100)}%", train.size, n_uv,
+                     cmsf_auc, cmsf_h_auc, mlp_auc])
+
+    print()
+    print(format_table(
+        ["labeled ratio", "#train", "#train UVs", "CMSF AUC", "CMSF-H AUC", "MLP AUC"],
+        rows, title="Label-scarcity study (Figure 6(c) in miniature)"))
+    print("\nExpected shape: all methods degrade with fewer labels, and CMSF's "
+          "hierarchical context (vs CMSF-H and the MLP) softens the drop.")
+
+
+if __name__ == "__main__":
+    main()

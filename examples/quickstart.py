@@ -1,0 +1,78 @@
+"""Quickstart: detect urban villages in a synthetic city with CMSF.
+
+This example walks through the full pipeline of the paper on a small
+synthetic city:
+
+1. generate the multi-source urban data (POIs, road network, satellite-image
+   features, crowdsourced labels);
+2. build the Urban Region Graph (URG);
+3. train the Contextual Master-Slave Framework (CMSF) on the labelled
+   regions of a block-level training split;
+4. score every region of the city and report AUC / top-p% metrics on the
+   held-out labelled regions.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.core import CMSFConfig, CMSFDetector
+from repro.eval import detection_report, format_table, single_holdout
+from repro.synth import generate_city, mini_city
+from repro.urg import UrgBuildConfig, build_urg
+from repro.urg.image_features import ImageFeatureConfig
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. synthetic multi-source urban data
+    # ------------------------------------------------------------------
+    city = generate_city(mini_city(seed=1))
+    print("Generated synthetic city:")
+    for key, value in city.summary().items():
+        print(f"  {key}: {value}")
+
+    # ------------------------------------------------------------------
+    # 2. urban region graph (Section IV of the paper)
+    # ------------------------------------------------------------------
+    graph = build_urg(city, UrgBuildConfig(image=ImageFeatureConfig(reduce_dim=64)))
+    print("\nUrban region graph:")
+    for key, value in graph.summary().items():
+        print(f"  {key}: {value}")
+
+    # ------------------------------------------------------------------
+    # 3. two-stage CMSF training (Section V)
+    # ------------------------------------------------------------------
+    split = single_holdout(graph, test_fraction=0.33, seed=0)
+    config = CMSFConfig(hidden_dim=32, image_reduce_dim=64, classifier_hidden=16,
+                        num_clusters=16, master_epochs=80, slave_epochs=15, seed=0)
+    detector = CMSFDetector(config)
+    print(f"\nTraining CMSF on {split.train_indices.size} labelled regions "
+          f"({int((graph.labels[split.train_indices] == 1).sum())} known UVs) ...")
+    detector.fit(graph, split.train_indices, verbose=True)
+
+    # ------------------------------------------------------------------
+    # 4. city-wide detection and evaluation (Section VI)
+    # ------------------------------------------------------------------
+    scores = detector.predict_proba(graph)
+    test = split.test_indices
+    report = detection_report(graph.labels[test], scores[test])
+    rows = [[metric, value] for metric, value in report.items()]
+    print()
+    print(format_table(["metric", "value"], rows,
+                       title="Held-out detection performance"))
+
+    # The model can now rank *unlabeled* regions for field investigation.
+    unlabeled = graph.unlabeled_indices()
+    ranked = unlabeled[scores[unlabeled].argsort()[::-1]]
+    print("\nTop-10 unlabeled regions most likely to be urban villages "
+          "(region index, probability, true label kept hidden during training):")
+    for node in ranked[:10]:
+        print(f"  region {int(graph.region_index[node]):5d}  "
+              f"p={scores[node]:.3f}  truly-UV={bool(graph.ground_truth[node])}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,97 @@
+"""Explore the synthetic multi-source urban data and the URG construction.
+
+CMSF's inputs are as important as the model: the paper spends Section IV on
+how the Urban Region Graph is built from POIs, satellite imagery and road
+networks.  This example inspects those ingredients on a synthetic city:
+
+* POI category mix of urban-village regions vs ordinary residential regions
+  (the "under-served" signature the POI features are designed to expose);
+* the effect of each region relation (spatial proximity vs road
+  connectivity) on the URG's edge set;
+* how close labelled UVs are to unlabeled true UVs in the graph — the
+  structural fact that lets graph models propagate scarce label information.
+
+Run with::
+
+    python examples/urban_data_exploration.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.eval import format_table
+from repro.synth import LandUse, POI_CATEGORIES, generate_city, mini_city
+from repro.urg import (UrgBuildConfig, build_poi_features, build_region_grid,
+                       build_urg, build_urg_variant)
+from repro.urg.image_features import ImageFeatureConfig
+
+
+def poi_profile_comparison(city) -> None:
+    grid = build_region_grid(city)
+    features = build_poi_features(grid, city.pois)
+    land_use = city.land_use.land_use.reshape(-1)
+    uv_rows = features.features[land_use == int(LandUse.URBAN_VILLAGE)]
+    residential_rows = features.features[land_use == int(LandUse.RESIDENTIAL)]
+
+    interesting = ["cat:Education", "cat:Medicine", "cat:Sports and Fitness",
+                   "cat:Food Service", "radius:Hospital", "radius:School",
+                   "basic_facility_index"]
+    rows = []
+    for name in interesting:
+        column = features.feature_names.index(name)
+        rows.append([name, float(uv_rows[:, column].mean()),
+                     float(residential_rows[:, column].mean())])
+    print(format_table(["POI feature", "urban villages", "residential"],
+                       rows, title="POI signature: UVs vs residential regions"))
+    print("(higher radius value = facility farther away; UVs are under-served)\n")
+
+
+def edge_set_comparison(city) -> None:
+    config = UrgBuildConfig(image=ImageFeatureConfig(enabled=False))
+    full = build_urg(city, config)
+    only_proximity = build_urg_variant(city, "noRoad", config)
+    only_road = build_urg_variant(city, "noProx", config)
+    rows = [
+        ["spatial proximity only", only_proximity.num_undirected_edges],
+        ["road connectivity only", only_road.num_undirected_edges],
+        ["full URG (union)", full.num_undirected_edges],
+    ]
+    print(format_table(["relation", "undirected edges"], rows,
+                       title="Region relations of the URG"))
+    mean_degree = full.degree().mean()
+    print(f"mean in-degree of the full URG: {mean_degree:.1f}\n")
+
+
+def label_propagation_potential(city) -> None:
+    graph = build_urg(city, UrgBuildConfig(image=ImageFeatureConfig(enabled=False)))
+    labeled_uv = set(np.flatnonzero((graph.labels == 1) & graph.labeled_mask))
+    hidden_uv = [node for node in np.flatnonzero(graph.ground_truth == 1)
+                 if node not in labeled_uv]
+    if not hidden_uv or not labeled_uv:
+        print("No hidden UVs to analyse in this draw.")
+        return
+    neighbours = {node: set() for node in hidden_uv}
+    for src, dst in graph.edge_index.T:
+        if int(dst) in neighbours:
+            neighbours[int(dst)].add(int(src))
+    adjacent_to_labeled = sum(1 for node in hidden_uv
+                              if neighbours[node] & labeled_uv)
+    print(f"{len(hidden_uv)} true UV regions are NOT in the labelled set;")
+    print(f"{adjacent_to_labeled} of them ({adjacent_to_labeled / len(hidden_uv):.0%}) "
+          "are directly connected to a labelled UV on the URG —")
+    print("this is the structure CMSF's message passing and global clustering exploit.\n")
+
+
+def main() -> None:
+    city = generate_city(mini_city(seed=3))
+    print(f"Synthetic city '{city.name}': {city.num_regions} regions, "
+          f"{len(city.pois)} POIs, {city.roads.num_segments} road segments, "
+          f"{int(city.labels.ground_truth.sum())} true UV regions.\n")
+    poi_profile_comparison(city)
+    edge_set_comparison(city)
+    label_propagation_potential(city)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""Compare CMSF hyper-parameter variants on one city (quick scale).
+
+Used while tuning the reproduction: reports test AUC (2 folds) for a handful
+of CMSF configurations on the full URG and on the noRoad variant, so the gap
+between the two edge sets can be tracked as the model/config evolves.
+"""
+from __future__ import annotations
+
+import sys
+import time
+
+import numpy as np
+
+from repro.baselines import make_detector
+from repro.eval import block_kfold, evaluate_detector
+from repro.experiments.datasets import load_graph, load_graph_variant
+from repro.experiments.settings import city_cmsf_config
+
+CITY = sys.argv[1] if len(sys.argv) > 1 else "fuzhou"
+
+
+def eval_cmsf(graph, overrides, n_folds=2):
+    splits = block_kfold(graph, n_folds=3, seed=0)[:n_folds]
+    aucs = []
+    for split in splits:
+        cfg = city_cmsf_config(CITY, seed=0).with_overrides(**overrides)
+        det = make_detector("CMSF", seed=0, cmsf_config=cfg)
+        res = evaluate_detector(det, graph, split, seed=0)
+        aucs.append(res.metrics["auc"])
+    return float(np.nanmean(aucs)), aucs
+
+
+def main():
+    graph = load_graph(CITY)
+    graph_noroad = load_graph_variant(CITY, "noRoad")
+    configs = {
+        "base-150ep": dict(master_epochs=150, slave_epochs=30),
+        "300ep": dict(master_epochs=300, slave_epochs=40),
+        "300ep-drop0.2": dict(master_epochs=300, slave_epochs=40, dropout=0.2),
+        "150ep-heads4": dict(master_epochs=150, slave_epochs=30, maga_heads=4),
+        "150ep-1layer": dict(master_epochs=150, slave_epochs=30, maga_layers=1),
+        "300ep-1layer": dict(master_epochs=300, slave_epochs=40, maga_layers=1),
+    }
+    t0 = time.time()
+    for name, overrides in configs.items():
+        auc_full, folds_full = eval_cmsf(graph, overrides)
+        auc_nr, folds_nr = eval_cmsf(graph_noroad, overrides)
+        print(f"{name:18s} full={auc_full:.3f} {[f'{a:.3f}' for a in folds_full]}  "
+              f"noRoad={auc_nr:.3f} {[f'{a:.3f}' for a in folds_nr]}  "
+              f"[{time.time()-t0:.0f}s]", flush=True)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+"""Diagnostic: compare CMSF against key baselines / ablations on one city.
+
+Run with REPRO_SCALE=quick (default).  Prints AUC / F1@3% for each method so
+we can check whether the paper's result shape (CMSF on top, ablations below)
+holds on the synthetic data.
+"""
+from __future__ import annotations
+
+import sys
+import time
+
+import numpy as np
+
+from repro.baselines import make_detector
+from repro.eval import block_kfold, evaluate_detector
+from repro.experiments.datasets import load_graph, load_graph_variant
+from repro.experiments.settings import ScaleSettings, city_cmsf_config
+
+CITY = sys.argv[1] if len(sys.argv) > 1 else "fuzhou"
+
+
+def eval_method(name, graph, detector_fn, n_folds=2, seeds=(0,)):
+    splits = block_kfold(graph, n_folds=3, seed=0)[:n_folds]
+    aucs, f1s = [], []
+    for seed in seeds:
+        for split in splits:
+            det = detector_fn(seed)
+            res = evaluate_detector(det, graph, split, seed=seed)
+            aucs.append(res.metrics["auc"])
+            f1s.append(res.metrics["f1@3"])
+    return float(np.nanmean(aucs)), float(np.nanmean(f1s))
+
+
+def main():
+    scale = ScaleSettings.current()
+    graph = load_graph(CITY)
+    print(f"city={CITY} regions={graph.num_nodes} edges={graph.num_edges} "
+          f"labeled={len(graph.labeled_indices())} "
+          f"uvs={int((graph.labels == 1).sum())}")
+
+    rows = []
+    t0 = time.time()
+
+    def cmsf_factory(overrides=None):
+        def make(seed):
+            cfg = city_cmsf_config(CITY, seed=seed)
+            if overrides:
+                cfg = cfg.with_overrides(**overrides)
+            return make_detector("CMSF", seed=seed, cmsf_config=cfg)
+        return make
+
+    for name in ("MLP", "GAT", "GCN", "UVLens", "MUVFCN"):
+        auc, f1 = eval_method(
+            name, graph,
+            lambda seed, n=name: make_detector(n, seed=seed, epochs=scale.baseline_epochs))
+        rows.append((name, auc, f1))
+        print(f"{name:12s} AUC={auc:.3f} F1@3={f1:.3f}  [{time.time()-t0:.0f}s]", flush=True)
+
+    auc, f1 = eval_method("CMSF", graph, cmsf_factory())
+    rows.append(("CMSF", auc, f1))
+    print(f"{'CMSF':12s} AUC={auc:.3f} F1@3={f1:.3f}  [{time.time()-t0:.0f}s]", flush=True)
+
+    for variant in ("CMSF-M", "CMSF-G", "CMSF-H"):
+        auc, f1 = eval_method(
+            variant, graph,
+            lambda seed, v=variant: make_detector(v, seed=seed,
+                                                  cmsf_config=city_cmsf_config(CITY, seed=seed)))
+        rows.append((variant, auc, f1))
+        print(f"{variant:12s} AUC={auc:.3f} F1@3={f1:.3f}  [{time.time()-t0:.0f}s]", flush=True)
+
+    for ablation in ("noRoad", "noProx", "noImage"):
+        g2 = load_graph_variant(CITY, ablation)
+        auc, f1 = eval_method("CMSF", g2, cmsf_factory())
+        rows.append((ablation, auc, f1))
+        print(f"{ablation:12s} AUC={auc:.3f} F1@3={f1:.3f}  [{time.time()-t0:.0f}s]", flush=True)
+
+    print("\nsummary:")
+    for name, auc, f1 in rows:
+        print(f"  {name:12s} AUC={auc:.3f} F1@3={f1:.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+"""Reproduction of "A Contextual Master-Slave Framework on Urban Region Graph
+for Urban Village Detection" (ICDE 2023).
+
+Package layout
+--------------
+
+* :mod:`repro.nn` — numpy autodiff / neural-network substrate
+* :mod:`repro.synth` — synthetic multi-source urban data (POIs, roads,
+  imagery, labels) replacing the paper's proprietary datasets
+* :mod:`repro.urg` — Urban Region Graph construction (Section IV)
+* :mod:`repro.core` — CMSF: MAGA, GSCM, master/slave stages (Section V)
+* :mod:`repro.baselines` — all Table II comparison methods plus the
+  related-work extras (index-based classic ML, semi-lazy learning)
+* :mod:`repro.eval` — metrics, splits, protocol, efficiency, significance
+  tests (Section VI)
+* :mod:`repro.experiments` — per-table / per-figure experiment runners
+* :mod:`repro.analysis` — spatial statistics, cluster quality, calibration,
+  screening budgets, error breakdowns
+* :mod:`repro.viz` — ASCII maps, text charts and markdown reports
+* :mod:`repro.data` — dataset persistence, export and registry
+* :mod:`repro.extensions` — cross-city transfer and master-slave regression
+* :mod:`repro.cli` — the ``repro-uv`` command-line tool
+
+Quick start
+-----------
+
+>>> from repro.synth import generate_city, mini_city
+>>> from repro.urg import build_urg
+>>> from repro.core import CMSFDetector, CMSFConfig
+>>> city = generate_city(mini_city())
+>>> graph = build_urg(city)
+>>> detector = CMSFDetector(CMSFConfig(master_epochs=60, slave_epochs=20,
+...                                    num_clusters=16))
+>>> detector.fit(graph, graph.labeled_indices())        # doctest: +SKIP
+>>> probabilities = detector.predict_proba(graph)       # doctest: +SKIP
+"""
+
+from .base import DetectorBase
+from .core import CMSFConfig, CMSFDetector
+
+__version__ = "1.0.0"
+
+__all__ = ["DetectorBase", "CMSFDetector", "CMSFConfig", "__version__"]

@@ -1,0 +1,42 @@
+"""Post-hoc analysis tools for urban-village detection results.
+
+The paper's evaluation reports aggregate metrics (Table II) and qualitative
+maps (Figure 7).  A practitioner adopting the system additionally needs to
+understand *where* and *why* a detector succeeds or fails; this subpackage
+collects those analyses:
+
+* :mod:`repro.analysis.spatial` — spatial autocorrelation (Moran's I, join
+  counts) of labels and prediction scores over the URG;
+* :mod:`repro.analysis.clusters` — quality measures for the GSCM latent
+  clusters (purity, UV concentration, silhouette, size distribution);
+* :mod:`repro.analysis.calibration` — probability calibration (reliability
+  bins, expected calibration error, Brier score);
+* :mod:`repro.analysis.thresholds` — screening-budget analysis: metric
+  sweeps over the top-p%% budget and operating-threshold selection;
+* :mod:`repro.analysis.errors` — error breakdowns by latent land use,
+  village kind and node degree (simulator-aware diagnostics).
+"""
+
+from .calibration import CalibrationReport, brier_score, calibration_report
+from .clusters import ClusterQualityReport, cluster_quality, silhouette_score
+from .errors import error_breakdown
+from .spatial import join_count_statistics, morans_i, neighborhood_agreement
+from .thresholds import (budget_sweep, best_f1_threshold, precision_recall_curve,
+                         screening_report)
+
+__all__ = [
+    "morans_i",
+    "join_count_statistics",
+    "neighborhood_agreement",
+    "cluster_quality",
+    "ClusterQualityReport",
+    "silhouette_score",
+    "calibration_report",
+    "CalibrationReport",
+    "brier_score",
+    "precision_recall_curve",
+    "budget_sweep",
+    "best_f1_threshold",
+    "screening_report",
+    "error_breakdown",
+]

@@ -1,0 +1,105 @@
+"""Probability calibration analysis.
+
+The detection model hands city planners a screening list ranked by predicted
+UV probability; whether those probabilities are *calibrated* decides whether
+"0.8" can be read as "roughly 4 out of 5 of these will be urban villages".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+
+@dataclass
+class CalibrationReport:
+    """Reliability-diagram data plus scalar calibration summaries."""
+
+    bin_edges: np.ndarray
+    bin_counts: np.ndarray
+    bin_confidence: np.ndarray
+    bin_accuracy: np.ndarray
+    expected_calibration_error: float
+    max_calibration_error: float
+    brier_score: float
+
+    def as_rows(self) -> List[List[float]]:
+        """Rows (bin_low, bin_high, count, mean_confidence, empirical_rate)."""
+        rows = []
+        for index in range(self.bin_counts.size):
+            rows.append([
+                float(self.bin_edges[index]),
+                float(self.bin_edges[index + 1]),
+                float(self.bin_counts[index]),
+                float(self.bin_confidence[index]),
+                float(self.bin_accuracy[index]),
+            ])
+        return rows
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "expected_calibration_error": self.expected_calibration_error,
+            "max_calibration_error": self.max_calibration_error,
+            "brier_score": self.brier_score,
+        }
+
+
+def brier_score(labels: np.ndarray, probabilities: np.ndarray) -> float:
+    """Mean squared error between probabilities and binary outcomes."""
+    labels = np.asarray(labels, dtype=np.float64)
+    probabilities = np.asarray(probabilities, dtype=np.float64)
+    if labels.shape != probabilities.shape:
+        raise ValueError("labels and probabilities must have the same shape")
+    if labels.size == 0:
+        return float("nan")
+    return float(((probabilities - labels) ** 2).mean())
+
+
+def calibration_report(labels: np.ndarray, probabilities: np.ndarray,
+                       num_bins: int = 10) -> CalibrationReport:
+    """Build a reliability diagram with equal-width probability bins.
+
+    Parameters
+    ----------
+    labels:
+        Binary outcomes of the evaluated regions.
+    probabilities:
+        Predicted UV probabilities in ``[0, 1]``.
+    num_bins:
+        Number of equal-width bins of the reliability diagram.
+    """
+    labels = np.asarray(labels).astype(int)
+    probabilities = np.asarray(probabilities, dtype=np.float64)
+    if labels.shape != probabilities.shape:
+        raise ValueError("labels and probabilities must have the same shape")
+    if num_bins < 1:
+        raise ValueError("num_bins must be positive")
+    if probabilities.size and (probabilities.min() < 0 or probabilities.max() > 1):
+        raise ValueError("probabilities must lie in [0, 1]")
+
+    edges = np.linspace(0.0, 1.0, num_bins + 1)
+    bin_ids = np.clip(np.digitize(probabilities, edges[1:-1]), 0, num_bins - 1)
+    counts = np.bincount(bin_ids, minlength=num_bins).astype(np.float64)
+    confidence = np.zeros(num_bins)
+    accuracy = np.zeros(num_bins)
+    for bin_id in range(num_bins):
+        members = bin_ids == bin_id
+        if members.any():
+            confidence[bin_id] = probabilities[members].mean()
+            accuracy[bin_id] = labels[members].mean()
+
+    total = max(counts.sum(), 1.0)
+    gaps = np.abs(confidence - accuracy)
+    ece = float((counts / total * gaps).sum())
+    mce = float(gaps[counts > 0].max()) if (counts > 0).any() else float("nan")
+    return CalibrationReport(
+        bin_edges=edges,
+        bin_counts=counts,
+        bin_confidence=confidence,
+        bin_accuracy=accuracy,
+        expected_calibration_error=ece,
+        max_calibration_error=mce,
+        brier_score=brier_score(labels, probabilities),
+    )

@@ -1,0 +1,162 @@
+"""Quality measures for the GSCM latent clusters.
+
+The master training stage assigns every region to one of ``K`` latent
+semantic clusters (Eq. 9-10) and the slave stage builds its region context
+from per-cluster UV-inclusion probabilities.  These measures quantify whether
+that hierarchy is doing its job:
+
+* **purity / UV concentration** — do urban villages concentrate in a few
+  clusters (which is what makes the pseudo labels informative)?
+* **silhouette** — are clusters compact and separated in representation
+  space?
+* **size statistics** — are clusters degenerate (one giant cluster swallows
+  the city) or balanced?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+
+@dataclass
+class ClusterQualityReport:
+    """Summary of one clustering of the regions."""
+
+    num_clusters: int
+    num_used_clusters: int
+    sizes: np.ndarray
+    uv_counts: np.ndarray
+    purity: float
+    uv_concentration: float
+    normalized_entropy: float
+    silhouette: Optional[float] = None
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "num_clusters": float(self.num_clusters),
+            "num_used_clusters": float(self.num_used_clusters),
+            "largest_cluster_fraction": float(self.sizes.max() / max(self.sizes.sum(), 1)),
+            "purity": self.purity,
+            "uv_concentration": self.uv_concentration,
+            "normalized_entropy": self.normalized_entropy,
+            "silhouette": float("nan") if self.silhouette is None else self.silhouette,
+        }
+
+
+def cluster_quality(assignment: np.ndarray, uv_indicator: np.ndarray,
+                    num_clusters: Optional[int] = None,
+                    representations: Optional[np.ndarray] = None,
+                    silhouette_sample_size: int = 500,
+                    rng: Optional[np.random.Generator] = None) -> ClusterQualityReport:
+    """Compute cluster quality measures for a hard assignment.
+
+    Parameters
+    ----------
+    assignment:
+        ``(N,)`` hard cluster id per region.
+    uv_indicator:
+        ``(N,)`` binary indicator of (known or true) urban villages.
+    num_clusters:
+        Total number of clusters ``K`` (defaults to ``assignment.max() + 1``).
+    representations:
+        Optional ``(N, d)`` region representations for the silhouette score.
+    """
+    assignment = np.asarray(assignment, dtype=np.int64)
+    uv_indicator = np.asarray(uv_indicator).astype(int)
+    if assignment.shape[0] != uv_indicator.shape[0]:
+        raise ValueError("assignment and uv_indicator must have the same length")
+    if num_clusters is None:
+        num_clusters = int(assignment.max()) + 1 if assignment.size else 0
+    sizes = np.bincount(assignment, minlength=num_clusters).astype(np.float64)
+    uv_counts = np.bincount(assignment, weights=uv_indicator,
+                            minlength=num_clusters).astype(np.float64)
+
+    # Purity: every region counts as correct if it belongs to its cluster's
+    # majority class (UV / non-UV).
+    correct = 0.0
+    for cluster in range(num_clusters):
+        if sizes[cluster] == 0:
+            continue
+        correct += max(uv_counts[cluster], sizes[cluster] - uv_counts[cluster])
+    purity = correct / max(sizes.sum(), 1.0)
+
+    # UV concentration: fraction of all UV regions living in the top-10% of
+    # clusters ranked by UV count — high values mean the pseudo labels single
+    # out a small set of "village-like" clusters.
+    total_uv = uv_counts.sum()
+    top = max(int(np.ceil(num_clusters * 0.1)), 1)
+    concentration = (np.sort(uv_counts)[::-1][:top].sum() / total_uv
+                     if total_uv > 0 else float("nan"))
+
+    # Normalised size entropy: 1.0 = perfectly balanced clusters.
+    probabilities = sizes[sizes > 0] / sizes.sum() if sizes.sum() else np.array([1.0])
+    entropy = float(-(probabilities * np.log(probabilities)).sum())
+    normalized_entropy = entropy / np.log(num_clusters) if num_clusters > 1 else 0.0
+
+    silhouette = None
+    if representations is not None:
+        silhouette = silhouette_score(representations, assignment,
+                                      sample_size=silhouette_sample_size, rng=rng)
+
+    return ClusterQualityReport(
+        num_clusters=num_clusters,
+        num_used_clusters=int((sizes > 0).sum()),
+        sizes=sizes,
+        uv_counts=uv_counts,
+        purity=float(purity),
+        uv_concentration=float(concentration),
+        normalized_entropy=float(normalized_entropy),
+        silhouette=silhouette,
+    )
+
+
+def silhouette_score(representations: np.ndarray, assignment: np.ndarray,
+                     sample_size: int = 500,
+                     rng: Optional[np.random.Generator] = None) -> float:
+    """Mean silhouette coefficient of a hard clustering.
+
+    Computed on a random sample of at most ``sample_size`` points to keep the
+    cost quadratic only in the sample.  Returns ``nan`` when fewer than two
+    clusters are populated.
+    """
+    representations = np.asarray(representations, dtype=np.float64)
+    assignment = np.asarray(assignment, dtype=np.int64)
+    if representations.shape[0] != assignment.shape[0]:
+        raise ValueError("representations and assignment must have the same length")
+    populated = np.unique(assignment)
+    if populated.size < 2:
+        return float("nan")
+    rng = rng or np.random.default_rng(0)
+    n = representations.shape[0]
+    if n > sample_size:
+        sample = rng.choice(n, size=sample_size, replace=False)
+    else:
+        sample = np.arange(n)
+
+    # Pairwise distances between the sample and every point.
+    diffs = representations[sample, None, :] - representations[None, :, :]
+    distances = np.sqrt((diffs ** 2).sum(axis=-1))
+
+    scores = []
+    for row, node in enumerate(sample):
+        own = assignment[node]
+        same = (assignment == own)
+        same_count = int(same.sum())
+        if same_count <= 1:
+            continue
+        a_value = distances[row][same].sum() / (same_count - 1)
+        b_value = np.inf
+        for other in populated:
+            if other == own:
+                continue
+            members = assignment == other
+            if not members.any():
+                continue
+            b_value = min(b_value, float(distances[row][members].mean()))
+        if not np.isfinite(b_value):
+            continue
+        scores.append((b_value - a_value) / max(a_value, b_value))
+    return float(np.mean(scores)) if scores else float("nan")

@@ -1,0 +1,87 @@
+"""Screening-budget and operating-threshold analysis.
+
+The paper evaluates detection at fixed screening budgets (top 3% / 5% of
+regions); a deployment additionally needs to choose that budget.  These
+helpers sweep budgets and thresholds so a city manager can trade recall
+against investigation cost.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..eval.metrics import top_percent_metrics
+
+
+def precision_recall_curve(labels: np.ndarray, scores: np.ndarray
+                           ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Precision and recall at every distinct score threshold.
+
+    Returns ``(precision, recall, thresholds)`` with one entry per distinct
+    score, ordered by decreasing threshold (increasing recall).
+    """
+    labels = np.asarray(labels).astype(int)
+    scores = np.asarray(scores, dtype=np.float64)
+    if labels.shape != scores.shape:
+        raise ValueError("labels and scores must have the same shape")
+    order = np.argsort(-scores, kind="stable")
+    sorted_labels = labels[order]
+    sorted_scores = scores[order]
+    true_positive = np.cumsum(sorted_labels == 1)
+    selected = np.arange(1, labels.size + 1)
+    total_positive = max(int((labels == 1).sum()), 1)
+
+    # Keep only the last index of every distinct score (threshold boundary).
+    boundaries = np.flatnonzero(np.diff(sorted_scores) != 0)
+    keep = np.concatenate([boundaries, [labels.size - 1]]) if labels.size else np.array([], int)
+    precision = true_positive[keep] / selected[keep]
+    recall = true_positive[keep] / total_positive
+    thresholds = sorted_scores[keep]
+    return precision, recall, thresholds
+
+
+def best_f1_threshold(labels: np.ndarray, scores: np.ndarray) -> Dict[str, float]:
+    """Operating threshold maximising F1, with its precision and recall."""
+    precision, recall, thresholds = precision_recall_curve(labels, scores)
+    if thresholds.size == 0:
+        return {"threshold": float("nan"), "precision": float("nan"),
+                "recall": float("nan"), "f1": float("nan")}
+    with np.errstate(divide="ignore", invalid="ignore"):
+        f1 = np.where(precision + recall > 0,
+                      2 * precision * recall / (precision + recall), 0.0)
+    best = int(np.argmax(f1))
+    return {"threshold": float(thresholds[best]), "precision": float(precision[best]),
+            "recall": float(recall[best]), "f1": float(f1[best])}
+
+
+def budget_sweep(labels: np.ndarray, scores: np.ndarray,
+                 budgets: Sequence[float] = (1, 2, 3, 5, 10, 20)
+                 ) -> List[Dict[str, float]]:
+    """Recall / precision / F1 at a list of top-p% screening budgets."""
+    rows = []
+    for budget in budgets:
+        result = top_percent_metrics(labels, scores, float(budget))
+        rows.append({
+            "budget_percent": float(budget),
+            "num_selected": float(result.num_selected),
+            "recall": result.recall,
+            "precision": result.precision,
+            "f1": result.f1,
+        })
+    return rows
+
+
+def screening_report(labels: np.ndarray, scores: np.ndarray,
+                     budgets: Sequence[float] = (1, 2, 3, 5, 10, 20)) -> str:
+    """Human-readable screening-budget report."""
+    lines = ["budget%  selected  recall  precision  f1"]
+    for row in budget_sweep(labels, scores, budgets):
+        lines.append("%7.1f  %8d  %6.3f  %9.3f  %5.3f"
+                     % (row["budget_percent"], int(row["num_selected"]),
+                        row["recall"], row["precision"], row["f1"]))
+    best = best_f1_threshold(labels, scores)
+    lines.append("best-F1 threshold: %.3f (precision %.3f, recall %.3f, F1 %.3f)"
+                 % (best["threshold"], best["precision"], best["recall"], best["f1"]))
+    return "\n".join(lines)

@@ -1,0 +1,71 @@
+"""Common detector interface shared by CMSF and every baseline.
+
+Every urban-village detector in this package — the paper's CMSF, its
+ablation variants and the seven comparison baselines of Table II — exposes
+the same minimal interface so the evaluation protocol, the efficiency
+benchmark and the examples can treat them interchangeably:
+
+* :meth:`DetectorBase.fit` trains on an :class:`~repro.urg.graph.UrbanRegionGraph`
+  using only the given labelled node indices;
+* :meth:`DetectorBase.predict_proba` returns a UV probability for **every**
+  node of the graph;
+* :meth:`DetectorBase.num_parameters` reports model size for Table III.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .urg.graph import UrbanRegionGraph
+
+
+class DetectorBase:
+    """Abstract base class for urban-village detectors."""
+
+    #: human-readable name used in result tables
+    name: str = "detector"
+
+    def fit(self, graph: UrbanRegionGraph, train_indices: np.ndarray) -> "DetectorBase":
+        """Train on the labelled regions listed in ``train_indices``."""
+        raise NotImplementedError
+
+    def predict_proba(self, graph: UrbanRegionGraph) -> np.ndarray:
+        """Return the predicted UV probability for every node in ``graph``."""
+        raise NotImplementedError
+
+    def predict(self, graph: UrbanRegionGraph, threshold: float = 0.5) -> np.ndarray:
+        """Binary prediction obtained by thresholding :meth:`predict_proba`."""
+        return (self.predict_proba(graph) >= threshold).astype(np.int64)
+
+    def num_parameters(self) -> int:
+        """Number of trainable scalar parameters (0 if not yet built)."""
+        return 0
+
+    def check_fitted(self) -> None:
+        """Raise ``RuntimeError`` if the detector has not been fitted."""
+        if not getattr(self, "_fitted", False):
+            raise RuntimeError(f"{type(self).__name__} must be fitted before prediction")
+
+    def _mark_fitted(self) -> None:
+        self._fitted = True
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+def validate_train_indices(graph: UrbanRegionGraph, train_indices: np.ndarray,
+                           allow_empty: bool = False) -> np.ndarray:
+    """Validate and normalise the labelled training indices of a fit call."""
+    train_indices = np.asarray(train_indices, dtype=np.int64).reshape(-1)
+    if not allow_empty and train_indices.size == 0:
+        raise ValueError("training requires at least one labelled region")
+    if train_indices.size:
+        if train_indices.min() < 0 or train_indices.max() >= graph.num_nodes:
+            raise ValueError("train_indices out of range for graph with %d nodes"
+                             % graph.num_nodes)
+        labels = graph.labels[train_indices]
+        if np.any(labels < 0):
+            raise ValueError("train_indices must reference labelled regions only")
+    return train_indices

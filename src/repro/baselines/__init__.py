@@ -1,0 +1,46 @@
+"""``repro.baselines`` — every comparison method of Table II and beyond.
+
+MLP, GCN, GAT, MMRE, UVLens, MUVFCN and ImGAGN (the paper's Table II
+comparators), plus the classic index-based detector and the semi-lazy
+learner discussed qualitatively in the related-work section.  All implement
+the common :class:`repro.base.DetectorBase` interface and are instantiable
+by name through :func:`make_detector`.
+"""
+
+from .base import BaselineTrainingConfig, GraphModuleDetector
+from .gat import GATDetector
+from .gcn import GCNDetector
+from .gnn_layers import GATLayer, GCNLayer
+from .imgagn import ImGAGNConfig, ImGAGNDetector
+from .index_based import IndexBasedDetector, hand_crafted_indices
+from .mlp import MLPDetector
+from .mmre import MMREConfig, MMREDetector
+from .muvfcn import MUVFCNDetector
+from .registry import EXTRA_METHODS, TABLE2_METHODS, available_methods, make_detector
+from .semilazy import SemiLazyConfig, SemiLazyDetector
+from .uvlens import UVLensDetector, histogram_equalize
+
+__all__ = [
+    "BaselineTrainingConfig",
+    "GraphModuleDetector",
+    "GCNLayer",
+    "GATLayer",
+    "MLPDetector",
+    "GCNDetector",
+    "GATDetector",
+    "MMREDetector",
+    "MMREConfig",
+    "UVLensDetector",
+    "histogram_equalize",
+    "MUVFCNDetector",
+    "ImGAGNDetector",
+    "ImGAGNConfig",
+    "IndexBasedDetector",
+    "hand_crafted_indices",
+    "SemiLazyDetector",
+    "SemiLazyConfig",
+    "TABLE2_METHODS",
+    "EXTRA_METHODS",
+    "make_detector",
+    "available_methods",
+]

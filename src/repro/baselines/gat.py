@@ -1,0 +1,76 @@
+"""GAT baseline (paper Appendix I-A).
+
+Identical architecture to the GCN baseline with graph attention layers in
+place of graph convolutions, as described in the paper ("the implementation
+of GAT is similar to that of GCN, with the only change of aggregation
+function").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..nn import functional as F
+from ..nn.module import Module
+from ..nn.tensor import Tensor, concatenate
+from ..urg.graph import UrbanRegionGraph
+from .base import BaselineTrainingConfig, GraphModuleDetector
+from .gnn_layers import GATLayer
+
+
+class _GATModule(Module):
+    """Two-branch 2-layer GAT with linear multi-modal fusion."""
+
+    def __init__(self, poi_dim: int, img_dim: int, hidden_dim: int,
+                 image_reduce_dim: int, heads: int, rng: np.random.Generator,
+                 dropout: float = 0.3) -> None:
+        super().__init__()
+        self.has_poi = poi_dim > 0
+        self.has_img = img_dim > 0
+        self.dropout = nn.Dropout(dropout, rng)
+        fused_dim = 0
+        if self.has_poi:
+            self.poi_gat1 = GATLayer(poi_dim, hidden_dim, rng, heads)
+            self.poi_gat2 = GATLayer(hidden_dim, hidden_dim, rng, heads)
+            fused_dim += hidden_dim
+        if self.has_img:
+            reduce_dim = min(image_reduce_dim, img_dim)
+            self.image_reduce = nn.Linear(img_dim, reduce_dim, rng)
+            self.img_gat1 = GATLayer(reduce_dim, hidden_dim, rng, heads)
+            self.img_gat2 = GATLayer(hidden_dim, hidden_dim, rng, heads)
+            fused_dim += hidden_dim
+        self.fuse = nn.Linear(fused_dim, hidden_dim, rng)
+        self.classifier = nn.LogisticRegression(hidden_dim, rng)
+
+    def forward(self, graph: UrbanRegionGraph) -> Tensor:
+        num_nodes = graph.num_nodes
+        parts = []
+        if self.has_poi:
+            h = self.poi_gat1(Tensor(graph.x_poi), graph.edge_index, num_nodes)
+            h = self.poi_gat2(self.dropout(h), graph.edge_index, num_nodes)
+            parts.append(h)
+        if self.has_img:
+            reduced = self.image_reduce(Tensor(graph.x_img))
+            h = self.img_gat1(reduced, graph.edge_index, num_nodes)
+            h = self.img_gat2(self.dropout(h), graph.edge_index, num_nodes)
+            parts.append(h)
+        fused = parts[0] if len(parts) == 1 else concatenate(parts, axis=-1)
+        return self.classifier(F.relu(self.fuse(self.dropout(fused))))
+
+
+class GATDetector(GraphModuleDetector):
+    """Graph attention network baseline."""
+
+    name = "GAT"
+
+    def __init__(self, hidden_dim: int = 64, image_reduce_dim: int = 128,
+                 heads: int = 2, training: BaselineTrainingConfig = None) -> None:
+        super().__init__(training)
+        self.hidden_dim = hidden_dim
+        self.image_reduce_dim = image_reduce_dim
+        self.heads = heads
+
+    def build_module(self, graph: UrbanRegionGraph, rng: np.random.Generator) -> Module:
+        return _GATModule(graph.poi_dim, graph.image_dim, self.hidden_dim,
+                          self.image_reduce_dim, self.heads, rng)

@@ -1,0 +1,54 @@
+"""Graph neural network layers shared by the baselines.
+
+* :class:`GCNLayer` — the graph convolution of Kipf & Welling [21] with
+  symmetric degree normalisation and self-loops, computed over the edge list.
+* :class:`GATLayer` — a single-modality graph attention layer [22], thin
+  wrapper around the edge attention used inside MAGA.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..nn import functional as F
+from ..nn.module import Module
+from ..nn.sparse import gather_rows, segment_sum
+from ..nn.tensor import Tensor
+from ..core.maga import EdgeAttention
+from ..urg.relations import add_self_loops
+
+
+class GCNLayer(Module):
+    """Graph convolution ``H' = sigma(D^-1/2 (A + I) D^-1/2 H W)``."""
+
+    def __init__(self, in_dim: int, out_dim: int, rng: np.random.Generator,
+                 activation: str = "relu") -> None:
+        super().__init__()
+        self.linear = nn.Linear(in_dim, out_dim, rng)
+        self.activation = F.get_activation(activation)
+
+    def forward(self, x: Tensor, edge_index: np.ndarray, num_nodes: int) -> Tensor:
+        edges = add_self_loops(edge_index, num_nodes)
+        src, dst = edges[0], edges[1]
+        degree = np.bincount(dst, minlength=num_nodes).astype(np.float64)
+        degree = np.maximum(degree, 1.0)
+        norm = 1.0 / np.sqrt(degree[src] * degree[dst])
+        transformed = self.linear(x)
+        messages = gather_rows(transformed, src) * Tensor(norm.reshape(-1, 1))
+        aggregated = segment_sum(messages, dst, num_nodes)
+        return self.activation(aggregated)
+
+
+class GATLayer(Module):
+    """Single-modality graph attention layer (multi-head, ELU activation)."""
+
+    def __init__(self, in_dim: int, out_dim: int, rng: np.random.Generator,
+                 heads: int = 1, negative_slope: float = 0.2) -> None:
+        super().__init__()
+        self.attention = EdgeAttention(in_dim, in_dim, out_dim, heads, rng,
+                                       negative_slope, share_transform=True)
+
+    def forward(self, x: Tensor, edge_index: np.ndarray, num_nodes: int) -> Tensor:
+        edges = add_self_loops(edge_index, num_nodes)
+        return self.attention(x, x, edges, num_nodes)

@@ -1,0 +1,62 @@
+"""MLP baseline (paper Appendix I-A).
+
+Two fully-connected branches learn POI and image representations
+independently; the two vectors are concatenated and fed to a logistic-
+regression classifier.  The model ignores the URG structure entirely, which
+is exactly what makes it a useful lower bound on the value of modelling
+region correlations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..nn import functional as F
+from ..nn.module import Module
+from ..nn.tensor import Tensor, concatenate
+from ..urg.graph import UrbanRegionGraph
+from .base import BaselineTrainingConfig, GraphModuleDetector
+
+
+class _MLPModule(Module):
+    """Two-branch MLP over the multi-modal region features."""
+
+    def __init__(self, poi_dim: int, img_dim: int, hidden_dim: int,
+                 rng: np.random.Generator) -> None:
+        super().__init__()
+        self.has_poi = poi_dim > 0
+        self.has_img = img_dim > 0
+        fused_dim = 0
+        if self.has_poi:
+            self.poi_branch = nn.MLP(poi_dim, [hidden_dim], hidden_dim, rng,
+                                     activation="relu")
+            fused_dim += hidden_dim
+        if self.has_img:
+            self.img_branch = nn.MLP(img_dim, [hidden_dim], hidden_dim, rng,
+                                     activation="relu")
+            fused_dim += hidden_dim
+        self.classifier = nn.LogisticRegression(fused_dim, rng)
+
+    def forward(self, graph: UrbanRegionGraph) -> Tensor:
+        parts = []
+        if self.has_poi:
+            parts.append(F.relu(self.poi_branch(Tensor(graph.x_poi))))
+        if self.has_img:
+            parts.append(F.relu(self.img_branch(Tensor(graph.x_img))))
+        fused = parts[0] if len(parts) == 1 else concatenate(parts, axis=-1)
+        return self.classifier(fused)
+
+
+class MLPDetector(GraphModuleDetector):
+    """Multi-layer perceptron baseline."""
+
+    name = "MLP"
+
+    def __init__(self, hidden_dim: int = 64,
+                 training: BaselineTrainingConfig = None) -> None:
+        super().__init__(training)
+        self.hidden_dim = hidden_dim
+
+    def build_module(self, graph: UrbanRegionGraph, rng: np.random.Generator) -> Module:
+        return _MLPModule(graph.poi_dim, graph.image_dim, self.hidden_dim, rng)

@@ -1,0 +1,221 @@
+"""MMRE baseline — Multi-Modal Region Encoder [23] (paper Appendix I-A).
+
+MMRE learns unsupervised multi-modal region embeddings and only then trains a
+classifier on top.  Following the paper's implementation notes:
+
+* a denoising autoencoder (encoder 120-84-64 with a symmetric decoder) learns
+  the image representation through a reconstruction loss;
+* a 2-layer GCN (128, 64 hidden units) learns the POI representation over the
+  URG;
+* a SkipGram-style objective with positive samples drawn from each region's
+  graph context and negative samples drawn uniformly teaches the joint
+  embedding to distinguish true contextual regions (4 positives and 10
+  negatives per anchor);
+* the taxi-transition reconstruction term of the original model is dropped,
+  exactly as the paper does, because no mobility data is used.
+
+After the unsupervised phase, a logistic-regression classifier is trained on
+the frozen embeddings of the labelled regions.  The expensive per-node
+negative sampling is what makes MMRE by far the slowest method to train in
+Table III.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from .. import nn
+from ..nn import functional as F
+from ..nn.losses import binary_cross_entropy, class_balanced_weights, mse_loss
+from ..nn.module import Module
+from ..nn.optim import Adam
+from ..nn.tensor import Tensor, concatenate, no_grad
+from ..base import DetectorBase, validate_train_indices
+from ..urg.graph import UrbanRegionGraph
+from .gnn_layers import GCNLayer
+
+
+@dataclass
+class MMREConfig:
+    """Hyper-parameters of the MMRE baseline."""
+
+    embedding_dim: int = 64
+    autoencoder_hidden: tuple = (120, 84)
+    gcn_hidden: int = 128
+    noise_std: float = 0.1
+    positive_samples: int = 4
+    negative_samples: int = 10
+    #: trade-off weights of the reconstruction / SkipGram losses
+    lambda_image: float = 0.5
+    lambda_skipgram: float = 0.1
+    embedding_epochs: int = 60
+    classifier_epochs: int = 150
+    learning_rate: float = 1e-3
+    class_balance: bool = True
+    seed: int = 0
+
+
+class _MMREEncoder(Module):
+    """Denoising image autoencoder + POI GCN producing the joint embedding."""
+
+    def __init__(self, poi_dim: int, img_dim: int, config: MMREConfig,
+                 rng: np.random.Generator) -> None:
+        super().__init__()
+        hidden1, hidden2 = config.autoencoder_hidden
+        self.has_img = img_dim > 0
+        if self.has_img:
+            self.image_encoder = nn.MLP(img_dim, [hidden1, hidden2],
+                                        config.embedding_dim, rng, activation="relu")
+            self.image_decoder = nn.MLP(config.embedding_dim, [hidden2, hidden1],
+                                        img_dim, rng, activation="relu")
+        self.poi_gcn1 = GCNLayer(poi_dim, config.gcn_hidden, rng)
+        self.poi_gcn2 = GCNLayer(config.gcn_hidden, config.embedding_dim, rng)
+
+    def encode(self, graph: UrbanRegionGraph, noisy_image: Optional[np.ndarray] = None):
+        """Return ``(joint_embedding, image_reconstruction)``."""
+        poi = self.poi_gcn1(Tensor(graph.x_poi), graph.edge_index, graph.num_nodes)
+        poi = self.poi_gcn2(poi, graph.edge_index, graph.num_nodes)
+        if not self.has_img:
+            return poi, None
+        image_input = Tensor(noisy_image if noisy_image is not None else graph.x_img)
+        image_embedding = self.image_encoder(image_input)
+        reconstruction = self.image_decoder(image_embedding)
+        joint = concatenate([poi, image_embedding], axis=-1)
+        return joint, reconstruction
+
+    @property
+    def embedding_dim(self) -> int:
+        base = self.poi_gcn2.linear.out_features
+        return base * 2 if self.has_img else base
+
+
+def _sample_context_pairs(graph: UrbanRegionGraph, num_positive: int,
+                          num_negative: int, rng: np.random.Generator):
+    """Sample (anchor, positive) pairs from graph neighbourhoods and negatives."""
+    src, dst = graph.edge_index[0], graph.edge_index[1]
+    neighbours: List[List[int]] = [[] for _ in range(graph.num_nodes)]
+    for s, d in zip(src, dst):
+        neighbours[int(d)].append(int(s))
+    anchors, positives = [], []
+    for node in range(graph.num_nodes):
+        if not neighbours[node]:
+            continue
+        chosen = rng.choice(neighbours[node],
+                            size=min(num_positive, len(neighbours[node])),
+                            replace=False)
+        for context in np.atleast_1d(chosen):
+            anchors.append(node)
+            positives.append(int(context))
+    anchors = np.asarray(anchors, dtype=np.int64)
+    positives = np.asarray(positives, dtype=np.int64)
+    negatives = rng.integers(0, graph.num_nodes,
+                             size=anchors.size * num_negative // max(num_positive, 1))
+    # Repeat anchors to pair with the negative samples.
+    negative_anchors = rng.choice(anchors, size=negatives.size, replace=True) \
+        if anchors.size else negatives
+    return anchors, positives, negative_anchors, negatives
+
+
+class MMREDetector(DetectorBase):
+    """Multi-modal region embedding baseline."""
+
+    name = "MMRE"
+
+    def __init__(self, config: Optional[MMREConfig] = None) -> None:
+        self.config = config or MMREConfig()
+        self.encoder: Optional[_MMREEncoder] = None
+        self.classifier: Optional[nn.LogisticRegression] = None
+        self.embedding_history: List[float] = []
+        self.classifier_history: List[float] = []
+        self._fitted = False
+
+    # ------------------------------------------------------------------
+    # training
+    # ------------------------------------------------------------------
+    def fit(self, graph: UrbanRegionGraph, train_indices: np.ndarray,
+            verbose: bool = False) -> "MMREDetector":
+        cfg = self.config
+        train_indices = validate_train_indices(graph, train_indices)
+        rng = np.random.default_rng(cfg.seed)
+        self.encoder = _MMREEncoder(graph.poi_dim, graph.image_dim, cfg, rng)
+
+        # ---------------- unsupervised embedding phase -------------------
+        optimizer = Adam(self.encoder.parameters(), lr=cfg.learning_rate)
+        self.embedding_history = []
+        for epoch in range(cfg.embedding_epochs):
+            optimizer.zero_grad()
+            noisy = None
+            if graph.image_dim > 0:
+                noisy = graph.x_img + rng.normal(0.0, cfg.noise_std, size=graph.x_img.shape)
+            embedding, reconstruction = self.encoder.encode(graph, noisy)
+            anchors, positives, neg_anchors, negatives = _sample_context_pairs(
+                graph, cfg.positive_samples, cfg.negative_samples, rng)
+            loss = Tensor(0.0)
+            if reconstruction is not None:
+                loss = loss + Tensor(cfg.lambda_image) * mse_loss(reconstruction, graph.x_img)
+            if anchors.size:
+                anchor_pairs = np.concatenate([anchors, neg_anchors])
+                context_pairs = np.concatenate([positives, negatives])
+                signs = np.concatenate([np.ones(anchors.size), np.zeros(negatives.size)])
+                skipgram = _pairwise_nce(embedding, anchor_pairs, context_pairs, signs)
+                loss = loss + Tensor(cfg.lambda_skipgram) * skipgram
+            loss.backward()
+            optimizer.step()
+            self.embedding_history.append(float(loss.item()))
+            if verbose and epoch % 20 == 0:
+                print(f"[MMRE] embedding epoch {epoch:3d} loss {self.embedding_history[-1]:.4f}")
+
+        # ---------------- supervised classifier phase --------------------
+        self.encoder.eval()
+        with no_grad():
+            embedding, _ = self.encoder.encode(graph)
+        frozen = embedding.data.copy()
+        self.classifier = nn.LogisticRegression(frozen.shape[1], rng)
+        targets = graph.labels[train_indices].astype(np.float64)
+        weights = class_balanced_weights(targets) if cfg.class_balance else None
+        clf_optimizer = Adam(self.classifier.parameters(), lr=cfg.learning_rate)
+        self.classifier_history = []
+        for epoch in range(cfg.classifier_epochs):
+            clf_optimizer.zero_grad()
+            probs = self.classifier(Tensor(frozen[train_indices]))
+            loss = binary_cross_entropy(probs, targets, weights)
+            loss.backward()
+            clf_optimizer.step()
+            self.classifier_history.append(float(loss.item()))
+        self._mark_fitted()
+        return self
+
+    # ------------------------------------------------------------------
+    # inference
+    # ------------------------------------------------------------------
+    def predict_proba(self, graph: UrbanRegionGraph) -> np.ndarray:
+        self.check_fitted()
+        self.encoder.eval()
+        with no_grad():
+            embedding, _ = self.encoder.encode(graph)
+            probs = self.classifier(embedding)
+        self.encoder.train()
+        return probs.data.copy()
+
+    def num_parameters(self) -> int:
+        total = 0
+        if self.encoder is not None:
+            total += self.encoder.num_parameters()
+        if self.classifier is not None:
+            total += self.classifier.num_parameters()
+        return total
+
+
+def _pairwise_nce(embedding: Tensor, anchors: np.ndarray, contexts: np.ndarray,
+                  signs: np.ndarray) -> Tensor:
+    """Noise-contrastive loss over (anchor, context, is_positive) triples."""
+    anchor_vectors = embedding[anchors]
+    context_vectors = embedding[contexts]
+    scores = (anchor_vectors * context_vectors).sum(axis=-1)
+    probs = F.sigmoid(scores).clip(1e-7, 1.0 - 1e-7)
+    positive_term = Tensor(signs) * probs.log()
+    negative_term = Tensor(1.0 - signs) * (Tensor(1.0) - probs).log()
+    return -(positive_term + negative_term).mean()

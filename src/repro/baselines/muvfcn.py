@@ -1,0 +1,59 @@
+"""MUVFCN baseline — "Mapping urban villages using fully convolutional
+neural networks" [8] (paper Appendix I-A).
+
+The original method trains an FCN-8s with a VGG19 backbone over raw satellite
+tiles and average-pools the output maps to a 32-dimensional vector for the
+final prediction.  Raw pixels are unavailable in this reproduction (the
+simulator outputs frozen VGG-style feature vectors directly), so the
+substitute keeps the two properties that drive its behaviour in the paper's
+comparison:
+
+* it is **image-only** — POI features and the URG structure are ignored;
+* it has a **deep, high-capacity head** over the image representation, with
+  an average-pooling-style bottleneck down to 32 dimensions before the
+  classifier.
+
+Like the original, it neither models region correlations nor addresses label
+scarcity, which is what CMSF improves on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..nn.module import Module
+from ..nn.tensor import Tensor
+from ..urg.graph import UrbanRegionGraph
+from .base import BaselineTrainingConfig, GraphModuleDetector
+
+
+class _MUVFCNModule(Module):
+    """Deep image-only head with a 32-d pooled bottleneck."""
+
+    def __init__(self, img_dim: int, rng: np.random.Generator) -> None:
+        super().__init__()
+        if img_dim <= 0:
+            raise ValueError("MUVFCN requires image features")
+        self.backbone = nn.MLP(img_dim, [256, 128], 32, rng, activation="relu",
+                               out_activation="relu", dropout=0.1)
+        self.classifier = nn.LogisticRegression(32, rng)
+
+    def forward(self, graph: UrbanRegionGraph) -> Tensor:
+        pooled = self.backbone(Tensor(graph.x_img))
+        return self.classifier(pooled)
+
+
+class MUVFCNDetector(GraphModuleDetector):
+    """Fully-convolutional-network surrogate for urban village mapping."""
+
+    name = "MUVFCN"
+
+    def __init__(self, training: BaselineTrainingConfig = None) -> None:
+        super().__init__(training)
+
+    def build_module(self, graph: UrbanRegionGraph, rng: np.random.Generator) -> Module:
+        if graph.image_dim == 0:
+            raise ValueError("MUVFCN cannot run on a graph without image features "
+                             "(the noImage ablation only applies to CMSF)")
+        return _MUVFCNModule(graph.image_dim, rng)

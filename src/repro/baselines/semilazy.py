@@ -1,0 +1,97 @@
+"""Semi-lazy learning baseline.
+
+The paper's related work discusses semi-lazy learning ([17]-[19]): instead of
+one global model, build a small model per query instance from its nearest
+labelled neighbours at prediction time.  The paper argues the approach does
+not scale to deep models; this baseline implements the classic (shallow)
+version so the comparison can be reproduced:
+
+* the labelled training regions are indexed in standardised feature space;
+* for every query region the ``k`` nearest labelled regions are retrieved;
+* the prediction is a distance-weighted vote over their labels (a local
+  kernel estimator — the simplest per-instance model).
+
+Because all work happens at query time, training is almost free and
+inference is comparatively slow, which is exactly the trade-off the paper
+attributes to semi-lazy methods.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+from scipy.spatial import cKDTree
+
+from ..base import DetectorBase, validate_train_indices
+from ..urg.graph import UrbanRegionGraph
+
+
+@dataclass
+class SemiLazyConfig:
+    """Hyper-parameters of the semi-lazy baseline."""
+
+    #: number of labelled neighbours retrieved per query region
+    k_neighbors: int = 15
+    #: kernel bandwidth multiplier (relative to the mean neighbour distance)
+    bandwidth_scale: float = 1.0
+    #: optional PCA-style truncation of the feature space (0 keeps all)
+    max_features: int = 0
+
+    def __post_init__(self) -> None:
+        if self.k_neighbors < 1:
+            raise ValueError("k_neighbors must be positive")
+        if self.bandwidth_scale <= 0:
+            raise ValueError("bandwidth_scale must be positive")
+
+
+class SemiLazyDetector(DetectorBase):
+    """Per-instance distance-weighted vote over the nearest labelled regions."""
+
+    name = "SemiLazy"
+
+    def __init__(self, config: Optional[SemiLazyConfig] = None) -> None:
+        self.config = config or SemiLazyConfig()
+        self._tree: Optional[cKDTree] = None
+        self._train_labels: Optional[np.ndarray] = None
+        self._mean: Optional[np.ndarray] = None
+        self._std: Optional[np.ndarray] = None
+        self._fitted = False
+
+    def _prepare_features(self, graph: UrbanRegionGraph) -> np.ndarray:
+        features = graph.features()
+        if self.config.max_features and features.shape[1] > self.config.max_features:
+            features = features[:, :self.config.max_features]
+        return features
+
+    def fit(self, graph: UrbanRegionGraph, train_indices: np.ndarray,
+            verbose: bool = False) -> "SemiLazyDetector":
+        train_indices = validate_train_indices(graph, train_indices)
+        features = self._prepare_features(graph)
+        train_features = features[train_indices]
+        self._mean = train_features.mean(axis=0, keepdims=True)
+        self._std = train_features.std(axis=0, keepdims=True) + 1e-8
+        normalized = (train_features - self._mean) / self._std
+        self._tree = cKDTree(normalized)
+        self._train_labels = graph.labels[train_indices].astype(np.float64)
+        self._mark_fitted()
+        return self
+
+    def predict_proba(self, graph: UrbanRegionGraph) -> np.ndarray:
+        self.check_fitted()
+        features = (self._prepare_features(graph) - self._mean) / self._std
+        k = min(self.config.k_neighbors, self._train_labels.size)
+        distances, neighbors = self._tree.query(features, k=k)
+        distances = np.atleast_2d(distances)
+        neighbors = np.atleast_2d(neighbors)
+        # Gaussian kernel weights with a per-query adaptive bandwidth.
+        bandwidth = self.config.bandwidth_scale * np.maximum(
+            distances.mean(axis=1, keepdims=True), 1e-8)
+        weights = np.exp(-(distances / bandwidth) ** 2)
+        weights /= weights.sum(axis=1, keepdims=True)
+        return (weights * self._train_labels[neighbors]).sum(axis=1)
+
+    def num_parameters(self) -> int:
+        # Lazy learners store the training set instead of parameters.
+        return 0 if self._train_labels is None else int(self._train_labels.size)

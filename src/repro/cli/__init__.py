@@ -1,0 +1,21 @@
+"""Command-line interface for the CMSF reproduction.
+
+The CLI mirrors the workflow a city-planning data team would run:
+
+1. ``generate-city`` — materialise a synthetic city (the stand-in for the
+   paper's proprietary multi-source data collection);
+2. ``build-graph`` — construct the urban region graph from the raw city;
+3. ``show-city`` — inspect a city as an ASCII land-use / label map;
+4. ``train`` — fit a detector and export a ranked screening list;
+5. ``evaluate`` — run the paper's block-level cross-validation protocol for
+   one or more methods;
+6. ``reproduce`` — regenerate one of the paper's tables or figures;
+7. ``registry`` — inspect the on-disk dataset registry.
+
+Every command is importable and callable in-process (``main([...])``), which
+is how the test suite exercises it.
+"""
+
+from .main import build_parser, main
+
+__all__ = ["main", "build_parser"]

@@ -1,0 +1,182 @@
+"""Implementations of the ``repro-uv`` sub-commands.
+
+Each handler takes the parsed ``argparse`` namespace, prints human-readable
+output and returns an exit code (``None`` means success).  Handlers are thin:
+all real work happens in the library packages so the CLI stays a veneer.
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import replace
+from typing import Optional
+
+import numpy as np
+
+from ..baselines import available_methods, make_detector
+from ..core.config import CMSFConfig
+from ..data import (DatasetRegistry, export_predictions_csv, load_city_dir,
+                    load_graph_npz, regions_to_geojson, save_city_dir,
+                    save_geojson, save_graph_npz)
+from ..eval import block_kfold, compare_methods, rank_regions
+from ..eval.reporting import TABLE2_HEADERS, format_table, table2_rows
+from ..experiments import (run_fig5a, run_fig5b, run_fig6a, run_fig6b, run_fig6c,
+                           run_fig7, run_table1, run_table2, run_table3)
+from ..synth import generate_city, get_preset
+from ..synth.city import SyntheticCity
+from ..urg import UrgBuildConfig, build_urg, build_urg_variant
+from ..urg.graph import UrbanRegionGraph
+from ..urg.image_features import ImageFeatureConfig
+from ..viz import comparison_markdown, render_detection_map, render_label_map, render_land_use_map
+
+
+# ----------------------------------------------------------------------
+# shared helpers
+# ----------------------------------------------------------------------
+def _load_or_generate_city(args: argparse.Namespace) -> SyntheticCity:
+    if getattr(args, "city_dir", None):
+        return load_city_dir(args.city_dir)
+    config = get_preset(args.preset)
+    if getattr(args, "seed", None) is not None:
+        config = replace(config, seed=args.seed)
+    return generate_city(config)
+
+
+def _load_or_build_graph(args: argparse.Namespace) -> UrbanRegionGraph:
+    if getattr(args, "graph", None):
+        return load_graph_npz(args.graph)
+    city = _load_or_generate_city(args)
+    return build_urg(city)
+
+
+def _detector_factory(method: str, epochs: Optional[int]):
+    def make(seed: int):
+        if method.upper().startswith("CMSF"):
+            config = CMSFConfig()
+            if epochs is not None:
+                config = config.with_overrides(master_epochs=epochs,
+                                               slave_epochs=max(epochs // 4, 5))
+            return make_detector(method, seed=seed, cmsf_config=config)
+        return make_detector(method, seed=seed, epochs=epochs)
+    return make
+
+
+# ----------------------------------------------------------------------
+# commands
+# ----------------------------------------------------------------------
+def cmd_generate_city(args: argparse.Namespace) -> int:
+    city = _load_or_generate_city(args)
+    directory = save_city_dir(city, args.output)
+    summary = city.summary()
+    print(f"wrote city '{city.name}' to {directory}")
+    print("  regions: %(regions)d, POIs: %(pois)d, road intersections: "
+          "%(road_intersections)d" % summary)
+    print("  true UV regions: %(true_uv_regions)d, labelled UV: %(labeled_uv)d, "
+          "labelled non-UV: %(labeled_non_uv)d" % summary)
+    return 0
+
+
+def cmd_build_graph(args: argparse.Namespace) -> int:
+    city = _load_or_generate_city(args)
+    image = ImageFeatureConfig(reduce_dim=args.image_dim if args.image_dim > 0 else None)
+    base = UrgBuildConfig(image=image, block_size=args.block_size)
+    graph = build_urg_variant(city, args.ablation, base)
+    path = save_graph_npz(graph, args.output)
+    summary = graph.summary()
+    print(f"wrote graph for '{graph.name}' ({args.ablation}) to {path}")
+    print("  regions: %(regions)d, undirected edges: %(edges)d, labelled UV: %(uvs)d, "
+          "labelled non-UV: %(non_uvs)d" % summary)
+    print(f"  POI features: {graph.poi_dim}, image features: {graph.image_dim}")
+    return 0
+
+
+def cmd_show_city(args: argparse.Namespace) -> int:
+    city = _load_or_generate_city(args)
+    print(render_land_use_map(city))
+    print()
+    for key, value in city.summary().items():
+        print(f"  {key}: {value}")
+    if args.labels:
+        graph = build_urg(city)
+        print()
+        print(render_label_map(graph))
+    return 0
+
+
+def cmd_train(args: argparse.Namespace) -> int:
+    graph = _load_or_build_graph(args)
+    detector = _detector_factory(args.method, args.epochs)(args.seed)
+    print(f"training {detector.name} on '{graph.name}' "
+          f"({len(graph.labeled_indices())} labelled regions) ...")
+    detector.fit(graph, graph.labeled_indices())
+    scores = detector.predict_proba(graph)
+
+    pool = np.arange(graph.num_nodes)
+    detected = rank_regions(detector, graph, pool=pool, top_percent=args.top_percent)
+    hits = int(graph.ground_truth[detected].sum())
+    print(f"top {args.top_percent:g}% screening list: {detected.size} regions, "
+          f"{hits} overlap ground-truth urban villages")
+    print(render_detection_map(graph, detected))
+
+    if args.predictions:
+        path = export_predictions_csv(graph, scores, args.predictions)
+        print(f"wrote ranked predictions to {path}")
+    if args.geojson:
+        path = save_geojson(regions_to_geojson(graph, scores=scores), args.geojson)
+        print(f"wrote region GeoJSON to {path}")
+    return 0
+
+
+def cmd_evaluate(args: argparse.Namespace) -> int:
+    graph = _load_or_build_graph(args)
+    methods = [name.strip() for name in args.methods.split(",") if name.strip()]
+    known = {name.upper() for name in available_methods()}
+    for method in methods:
+        if method.upper() not in known:
+            raise KeyError(f"unknown method {method!r}; available: {available_methods()}")
+    seeds = tuple(int(seed) for seed in args.seeds.split(","))
+    factories = {method: _detector_factory(method, args.epochs) for method in methods}
+    results = compare_methods(factories, graph, n_folds=args.folds, seeds=seeds,
+                              verbose=True)
+    if args.markdown:
+        print(comparison_markdown({graph.name: results}, methods,
+                                  title=f"Evaluation on {graph.name}"))
+    else:
+        rows = table2_rows(graph.name, results, methods)
+        print(format_table(TABLE2_HEADERS, rows,
+                           title=f"Evaluation on {graph.name} "
+                                 f"({args.folds}-fold, seeds {seeds})"))
+    return 0
+
+
+def cmd_reproduce(args: argparse.Namespace) -> int:
+    cities = None
+    if args.cities:
+        cities = tuple(city.strip() for city in args.cities.split(",") if city.strip())
+    runners = {
+        "table1": lambda: run_table1(cities or ("shenzhen", "fuzhou", "beijing")),
+        "table2": lambda: run_table2(cities) if cities else run_table2(),
+        "table3": lambda: run_table3(cities) if cities else run_table3(),
+        "fig5a": lambda: run_fig5a(cities) if cities else run_fig5a(),
+        "fig5b": lambda: run_fig5b(cities) if cities else run_fig5b(),
+        "fig6a": lambda: run_fig6a(cities[0]) if cities else run_fig6a(),
+        "fig6b": lambda: run_fig6b(cities[0]) if cities else run_fig6b(),
+        "fig6c": lambda: run_fig6c(cities[0]) if cities else run_fig6c(),
+        "fig7": lambda: run_fig7(cities) if cities else run_fig7(),
+    }
+    runners[args.experiment]()
+    return 0
+
+
+def cmd_registry(args: argparse.Namespace) -> int:
+    registry = DatasetRegistry(args.root)
+    if args.materialize:
+        for preset in args.materialize.split(","):
+            preset = preset.strip()
+            if not preset:
+                continue
+            print(f"materialising {preset} ...")
+            registry.materialize_graph(preset)
+        registry.save_manifest()
+    print(registry.describe())
+    return 0

@@ -1,0 +1,137 @@
+"""Argument parsing and dispatch for the ``repro-uv`` command-line tool."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from . import commands
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser with all sub-commands."""
+    parser = argparse.ArgumentParser(
+        prog="repro-uv",
+        description="Urban village detection with the contextual master-slave "
+                    "framework (CMSF) on synthetic urban region graphs.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    # ------------------------------------------------------------------
+    # generate-city
+    # ------------------------------------------------------------------
+    generate = subparsers.add_parser(
+        "generate-city", help="generate a synthetic city and save it to disk")
+    generate.add_argument("--preset", default="mini", help="city preset name")
+    generate.add_argument("--seed", type=int, default=None, help="override the preset seed")
+    generate.add_argument("--output", required=True, help="output directory for the city")
+    generate.set_defaults(handler=commands.cmd_generate_city)
+
+    # ------------------------------------------------------------------
+    # build-graph
+    # ------------------------------------------------------------------
+    build = subparsers.add_parser(
+        "build-graph", help="build the urban region graph of a city")
+    source = build.add_mutually_exclusive_group(required=True)
+    source.add_argument("--preset", help="generate the city from this preset")
+    source.add_argument("--city-dir", help="load a previously saved city directory")
+    build.add_argument("--seed", type=int, default=None, help="override the preset seed")
+    build.add_argument("--ablation", default="full",
+                       help="data ablation (full, noImage, noCate, noRad, noIndex, "
+                            "noProx, noRoad)")
+    build.add_argument("--image-dim", type=int, default=128,
+                       help="PCA reduction of the image features (0 keeps raw)")
+    build.add_argument("--block-size", type=int, default=5,
+                       help="coarse block size for the splitting protocol")
+    build.add_argument("--output", required=True, help="output .npz path for the graph")
+    build.set_defaults(handler=commands.cmd_build_graph)
+
+    # ------------------------------------------------------------------
+    # show-city
+    # ------------------------------------------------------------------
+    show = subparsers.add_parser(
+        "show-city", help="print ASCII maps and statistics of a city")
+    show_source = show.add_mutually_exclusive_group(required=True)
+    show_source.add_argument("--preset", help="generate the city from this preset")
+    show_source.add_argument("--city-dir", help="load a previously saved city directory")
+    show.add_argument("--seed", type=int, default=None)
+    show.add_argument("--labels", action="store_true",
+                      help="also print the label map of the built URG")
+    show.set_defaults(handler=commands.cmd_show_city)
+
+    # ------------------------------------------------------------------
+    # train
+    # ------------------------------------------------------------------
+    train = subparsers.add_parser(
+        "train", help="train a detector and export a ranked screening list")
+    train_source = train.add_mutually_exclusive_group(required=True)
+    train_source.add_argument("--preset", help="city preset to train on")
+    train_source.add_argument("--graph", help="previously built graph (.npz)")
+    train.add_argument("--method", default="CMSF", help="detector name (see evaluate)")
+    train.add_argument("--seed", type=int, default=0)
+    train.add_argument("--epochs", type=int, default=None, help="override training epochs")
+    train.add_argument("--predictions", default=None,
+                       help="write the ranked screening list to this CSV path")
+    train.add_argument("--geojson", default=None,
+                       help="write region polygons with scores to this GeoJSON path")
+    train.add_argument("--top-percent", type=float, default=5.0,
+                       help="screening budget used for the printed summary")
+    train.set_defaults(handler=commands.cmd_train)
+
+    # ------------------------------------------------------------------
+    # evaluate
+    # ------------------------------------------------------------------
+    evaluate = subparsers.add_parser(
+        "evaluate", help="cross-validate detectors under the paper's protocol")
+    evaluate_source = evaluate.add_mutually_exclusive_group(required=True)
+    evaluate_source.add_argument("--preset", help="city preset to evaluate on")
+    evaluate_source.add_argument("--graph", help="previously built graph (.npz)")
+    evaluate.add_argument("--methods", default="MLP,CMSF",
+                          help="comma-separated detector names")
+    evaluate.add_argument("--folds", type=int, default=3)
+    evaluate.add_argument("--seeds", default="0", help="comma-separated seeds")
+    evaluate.add_argument("--epochs", type=int, default=None)
+    evaluate.add_argument("--markdown", action="store_true",
+                          help="print the comparison as a markdown table")
+    evaluate.set_defaults(handler=commands.cmd_evaluate)
+
+    # ------------------------------------------------------------------
+    # reproduce
+    # ------------------------------------------------------------------
+    reproduce = subparsers.add_parser(
+        "reproduce", help="regenerate one of the paper's tables or figures")
+    reproduce.add_argument("experiment",
+                           choices=["table1", "table2", "table3", "fig5a", "fig5b",
+                                    "fig6a", "fig6b", "fig6c", "fig7"],
+                           help="which table / figure to regenerate")
+    reproduce.add_argument("--cities", default=None,
+                           help="comma-separated subset of evaluation cities")
+    reproduce.set_defaults(handler=commands.cmd_reproduce)
+
+    # ------------------------------------------------------------------
+    # registry
+    # ------------------------------------------------------------------
+    registry = subparsers.add_parser(
+        "registry", help="inspect or populate the on-disk dataset registry")
+    registry.add_argument("--root", required=True, help="registry root directory")
+    registry.add_argument("--materialize", default=None,
+                          help="comma-separated presets to materialise")
+    registry.set_defaults(handler=commands.cmd_registry)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    try:
+        return int(args.handler(args) or 0)
+    except (ValueError, KeyError, FileNotFoundError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via the console script
+    sys.exit(main())

@@ -1,0 +1,48 @@
+"""``repro.core`` — the paper's primary contribution.
+
+The Contextual Master-Slave Framework (CMSF): mutual-attentive graph
+aggregation (MAGA), global semantic clustering (GSCM), the master model and
+its pre-training stage, the contextual master-slave gating mechanism
+(MS-Gate) with the slave adaptive stage, and the public
+:class:`~repro.core.cmsf.CMSFDetector` plus its ablation variants.
+"""
+
+from .cmsf import CMSFDetector, make_variant
+from .config import COMPONENT_VARIANTS, CMSFConfig, variant_config
+from .gate import (GateFunction, PseudoLabelPredictor, SlaveStage,
+                   SlaveTrainingResult, slave_predict_proba, train_slave)
+from .gscm import GlobalSemanticClustering, GSCMOutput
+from .maga import ContextAggregator, EdgeAttention, MAGAEncoder, MAGALayer
+from .master import (MasterClassifier, MasterModel, MasterTrainingResult,
+                     train_master)
+from .variants import (component_variants, full_model, without_gate,
+                       without_hierarchy, without_inter_modal)
+
+__all__ = [
+    "CMSFConfig",
+    "variant_config",
+    "COMPONENT_VARIANTS",
+    "EdgeAttention",
+    "ContextAggregator",
+    "MAGALayer",
+    "MAGAEncoder",
+    "GlobalSemanticClustering",
+    "GSCMOutput",
+    "MasterClassifier",
+    "MasterModel",
+    "MasterTrainingResult",
+    "train_master",
+    "PseudoLabelPredictor",
+    "GateFunction",
+    "SlaveStage",
+    "SlaveTrainingResult",
+    "train_slave",
+    "slave_predict_proba",
+    "CMSFDetector",
+    "make_variant",
+    "component_variants",
+    "full_model",
+    "without_gate",
+    "without_hierarchy",
+    "without_inter_modal",
+]

@@ -1,0 +1,123 @@
+"""The public CMSF detector (paper Sections V-A to V-C).
+
+:class:`CMSFDetector` wires the two training stages together behind the
+common :class:`~repro.base.DetectorBase` interface:
+
+1. **master training stage** (Algorithm 1) — pre-train the hierarchical GNN
+   (MAGA + GSCM + classifier) on the labelled regions and fix the cluster
+   membership / pseudo labels;
+2. **slave adaptive training stage** (Algorithm 2) — train the pseudo-label
+   predictor and the gate function, fine-tuning the master jointly, so a
+   region-specific slave model can be derived for every region.
+
+Prediction uses the slave models when the gate is enabled, otherwise the
+shared master model (the CMSF-G / CMSF-H ablations).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..base import DetectorBase, validate_train_indices
+from ..nn.serialization import load_state_dict, save_state_dict
+from ..urg.graph import UrbanRegionGraph
+from .config import CMSFConfig, variant_config
+from .gate import SlaveStage, SlaveTrainingResult, slave_predict_proba, train_slave
+from .master import MasterModel, MasterTrainingResult, train_master
+
+
+class CMSFDetector(DetectorBase):
+    """Contextual Master-Slave Framework for urban village detection."""
+
+    name = "CMSF"
+
+    def __init__(self, config: Optional[CMSFConfig] = None) -> None:
+        self.config = config or CMSFConfig()
+        self.master_result: Optional[MasterTrainingResult] = None
+        self.slave_result: Optional[SlaveTrainingResult] = None
+        self._fitted = False
+
+    # ------------------------------------------------------------------
+    # training
+    # ------------------------------------------------------------------
+    def fit(self, graph: UrbanRegionGraph, train_indices: np.ndarray,
+            verbose: bool = False) -> "CMSFDetector":
+        """Run the two-stage training on the given labelled regions."""
+        train_indices = validate_train_indices(graph, train_indices)
+        rng = np.random.default_rng(self.config.seed)
+
+        model = MasterModel(poi_dim=graph.poi_dim, img_dim=graph.image_dim,
+                            config=self.config, rng=rng)
+        self.master_result = train_master(model, graph, train_indices,
+                                          self.config, verbose=verbose)
+
+        self.slave_result = None
+        if self.config.use_gate and self.config.use_gscm:
+            self.slave_result = train_slave(self.master_result, graph, train_indices,
+                                            self.config, rng, verbose=verbose)
+        self._mark_fitted()
+        return self
+
+    # ------------------------------------------------------------------
+    # inference
+    # ------------------------------------------------------------------
+    def predict_proba(self, graph: UrbanRegionGraph) -> np.ndarray:
+        """UV probability for every region (slave models if available)."""
+        self.check_fitted()
+        if self.slave_result is not None:
+            return slave_predict_proba(self.slave_result.stage, graph)
+        return self.master_result.model.predict_proba(graph)
+
+    def cluster_assignment(self, graph: UrbanRegionGraph) -> np.ndarray:
+        """Hard cluster membership of every region (empty if GSCM disabled)."""
+        self.check_fitted()
+        return self.master_result.hard_assignment.copy()
+
+    def pseudo_labels(self) -> np.ndarray:
+        """Per-cluster pseudo labels derived after the master stage (Eq. 16)."""
+        self.check_fitted()
+        return self.master_result.pseudo_labels.copy()
+
+    def training_history(self) -> Dict[str, list]:
+        """Loss curves of both training stages."""
+        self.check_fitted()
+        history = {"master": list(self.master_result.history)}
+        if self.slave_result is not None:
+            history["slave_detection"] = list(self.slave_result.history)
+            history["slave_rank"] = list(self.slave_result.rank_loss_history)
+        return history
+
+    # ------------------------------------------------------------------
+    # introspection / persistence
+    # ------------------------------------------------------------------
+    def num_parameters(self) -> int:
+        if self.slave_result is not None:
+            return self.slave_result.stage.num_parameters()
+        if self.master_result is not None:
+            return self.master_result.model.num_parameters()
+        return 0
+
+    def save(self, path: str) -> str:
+        """Persist the trained parameters (master or full slave stage)."""
+        self.check_fitted()
+        module = (self.slave_result.stage if self.slave_result is not None
+                  else self.master_result.model)
+        return save_state_dict(module, path)
+
+    def load_parameters(self, path: str) -> "CMSFDetector":
+        """Load parameters saved by :meth:`save` into the fitted modules."""
+        self.check_fitted()
+        module = (self.slave_result.stage if self.slave_result is not None
+                  else self.master_result.model)
+        module.load_state_dict(load_state_dict(path))
+        return self
+
+
+def make_variant(variant: str, config: Optional[CMSFConfig] = None) -> CMSFDetector:
+    """Create a CMSF detector configured as one of the Figure 5(a) variants."""
+    base = config or CMSFConfig()
+    detector = CMSFDetector(variant_config(base, variant))
+    detector.name = variant.upper().replace("_", "-")
+    return detector

@@ -1,0 +1,185 @@
+"""Hyper-parameter configuration of CMSF.
+
+The defaults follow the implementation details of Section VI-A: hidden size
+64, Adam with learning rate 1e-4 and 0.1% exponential decay per epoch, two
+stacked MAGA layers with attention-based aggregation, a learned linear
+reduction of the image features to 128 dimensions, a temperature-controlled
+cluster assignment and a logistic-regression pseudo-label predictor.  The
+number of latent clusters ``K``, the temperature ``tau``, the aggregation of
+local/global representations and the balancing weight ``lambda`` are the
+per-city knobs the paper tunes; the per-city values used by the benchmark
+harness live in :mod:`repro.experiments.settings`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Tuple
+
+
+@dataclass
+class CMSFConfig:
+    """Configuration for the full contextual master-slave framework."""
+
+    # ------------------------------------------------------------------
+    # representation sizes
+    # ------------------------------------------------------------------
+    #: hidden size shared by MAGA, GSCM and the classifier input
+    hidden_dim: int = 64
+    #: learned linear reduction applied to the raw image features before MAGA
+    image_reduce_dim: int = 128
+    #: hidden width of the 2-layer MLP classifier in the master model
+    classifier_hidden: int = 32
+
+    # ------------------------------------------------------------------
+    # MAGA (mutual-attentive graph aggregation)
+    # ------------------------------------------------------------------
+    #: number of stacked MAGA layers
+    maga_layers: int = 2
+    #: number of attention heads per MAGA layer
+    maga_heads: int = 2
+    #: aggregation of the intra-modal and inter-modal context
+    #: ('sum', 'concat' or 'attention')
+    maga_aggregation: str = "attention"
+    #: negative slope of the LeakyReLU used for attention scores
+    attention_negative_slope: float = 0.2
+    #: dropout applied to node representations between MAGA layers
+    dropout: float = 0.1
+    #: add a learned residual (self) connection to every MAGA layer so the
+    #: region's own features are preserved next to the neighbourhood context
+    maga_residual: bool = True
+
+    # ------------------------------------------------------------------
+    # GSCM (global semantic clustering module)
+    # ------------------------------------------------------------------
+    #: number of latent semantic clusters K
+    num_clusters: int = 30
+    #: softmax temperature tau of the assignment matrix
+    assignment_temperature: float = 0.1
+    #: aggregation of local and global-aware representations ('sum'/'concat')
+    cluster_aggregation: str = "sum"
+    #: collect cluster representations with the binarised assignment (Eq. 10,
+    #: the paper's choice) or with the soft assignment matrix — an ablation of
+    #: the design choice discussed in DESIGN.md §4
+    gscm_hard_collection: bool = True
+
+    # ------------------------------------------------------------------
+    # MS-Gate (contextual master-slave gating)
+    # ------------------------------------------------------------------
+    #: dimensionality of the region context vector q_i
+    context_dim: int = 32
+    #: balancing weight lambda between detection loss and PU rank loss
+    lambda_weight: float = 0.1
+    #: loss of the pseudo-label predictor: the paper's positive-unlabeled
+    #: 'rank' loss (Eq. 18) or a plain 'bce' (ablation, DESIGN.md §4)
+    pseudo_label_loss: str = "rank"
+
+    # ------------------------------------------------------------------
+    # optimisation
+    # ------------------------------------------------------------------
+    learning_rate: float = 1e-3
+    #: exponential decay applied to the learning rate per epoch
+    lr_decay: float = 0.001
+    weight_decay: float = 5e-4
+    max_grad_norm: Optional[float] = 5.0
+    master_epochs: int = 200
+    slave_epochs: int = 40
+    #: re-weight the BCE loss to counter the extreme UV class imbalance
+    class_balance: bool = True
+    #: stop training early if the monitored (validation) loss plateaus for
+    #: this many epochs (None disables early stopping)
+    patience: Optional[int] = 25
+    #: fraction of the labelled training regions held out for validation-AUC
+    #: model selection in both training stages (0 keeps every label for
+    #: training and falls back to the training-loss plateau rule)
+    validation_fraction: float = 0.0
+
+    # ------------------------------------------------------------------
+    # component switches (used by the ablation variants of Figure 5(a))
+    # ------------------------------------------------------------------
+    #: use MAGA for multi-modal fusion; False falls back to per-modality GAT
+    #: layers without inter-modal context (CMSF-M)
+    use_maga: bool = True
+    #: use the hierarchical clustering structure (GSCM); False removes the
+    #: global semantic context (part of CMSF-H)
+    use_gscm: bool = True
+    #: use the MS-Gate slave adaptive stage; False keeps the shared master
+    #: model for the final prediction (CMSF-G)
+    use_gate: bool = True
+
+    #: random seed controlling parameter initialisation and dropout
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.hidden_dim <= 0 or self.classifier_hidden <= 0:
+            raise ValueError("hidden sizes must be positive")
+        if self.maga_aggregation not in ("sum", "concat", "attention"):
+            raise ValueError("maga_aggregation must be 'sum', 'concat' or 'attention'")
+        if self.cluster_aggregation not in ("sum", "concat"):
+            raise ValueError("cluster_aggregation must be 'sum' or 'concat'")
+        if self.num_clusters < 2:
+            raise ValueError("num_clusters must be at least 2")
+        if self.maga_heads < 1 or self.maga_layers < 1:
+            raise ValueError("maga_heads and maga_layers must be >= 1")
+        if self.hidden_dim % self.maga_heads != 0:
+            raise ValueError("hidden_dim must be divisible by maga_heads")
+        if self.assignment_temperature <= 0:
+            raise ValueError("assignment_temperature must be positive")
+        if not 0.0 <= self.dropout < 1.0:
+            raise ValueError("dropout must be in [0, 1)")
+        if self.lambda_weight < 0:
+            raise ValueError("lambda_weight must be non-negative")
+        if self.pseudo_label_loss not in ("rank", "bce"):
+            raise ValueError("pseudo_label_loss must be 'rank' or 'bce'")
+
+    # ------------------------------------------------------------------
+    # derived sizes
+    # ------------------------------------------------------------------
+    @property
+    def modality_output_dim(self) -> int:
+        """Output dimension of one modality after a MAGA layer."""
+        if self.maga_aggregation == "concat":
+            return 2 * self.hidden_dim
+        return self.hidden_dim
+
+    @property
+    def representation_dim(self) -> int:
+        """Dimension of the fused multi-modal representation (POI ++ image)."""
+        return 2 * self.modality_output_dim
+
+    @property
+    def enhanced_dim(self) -> int:
+        """Dimension of the final region representation fed to the classifier."""
+        if self.use_gscm and self.cluster_aggregation == "concat":
+            return 2 * self.representation_dim
+        return self.representation_dim
+
+    def with_overrides(self, **kwargs) -> "CMSFConfig":
+        """Return a copy of the config with the given fields replaced."""
+        return replace(self, **kwargs)
+
+
+def variant_config(base: CMSFConfig, variant: str) -> CMSFConfig:
+    """Configuration for one of the component-ablation variants (Fig. 5(a)).
+
+    * ``CMSF`` — full model.
+    * ``CMSF-M`` — replace MAGA by vanilla per-modality GAT layers (no
+      inter-modal context).
+    * ``CMSF-G`` — remove the MS-Gate / slave adaptive training stage.
+    * ``CMSF-H`` — remove the hierarchical structure entirely (both GSCM and
+      MS-Gate).
+    """
+    key = variant.upper().replace("_", "-")
+    if key == "CMSF":
+        return base
+    if key == "CMSF-M":
+        return base.with_overrides(use_maga=False)
+    if key == "CMSF-G":
+        return base.with_overrides(use_gate=False)
+    if key == "CMSF-H":
+        return base.with_overrides(use_gscm=False, use_gate=False)
+    raise ValueError("unknown CMSF variant %r" % variant)
+
+
+#: Variant names in the order plotted in Figure 5(a).
+COMPONENT_VARIANTS: Tuple[str, ...] = ("CMSF-M", "CMSF-H", "CMSF-G", "CMSF")

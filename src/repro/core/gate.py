@@ -1,0 +1,205 @@
+"""Contextual master-slave gating mechanism (MS-Gate, paper Section V-B).
+
+After the master stage fixes the hierarchical structure (cluster membership
+and pseudo labels), the slave adaptive stage learns to derive a region-wise
+slave model from the master model:
+
+1. a pseudo-label predictor :math:`M_p` (logistic regression over cluster
+   representations) estimates the probability that each cluster contains
+   urban villages; it is trained with a positive-unlabeled rank loss
+   (Eq. 17-18);
+2. the gate function builds a region context vector from the region's soft
+   cluster membership weighted by those inclusion probabilities (Eq. 19);
+3. a linear map followed by a sigmoid turns the context into a parameter
+   filter with exactly as many entries as the master classifier has
+   parameters (Eq. 20);
+4. the filter gates the classifier parameters element-wise, yielding the
+   region-specific slave model used for the final prediction (Eq. 21-23).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from .. import nn
+from ..nn import functional as F
+from ..nn.losses import (binary_cross_entropy, class_balanced_weights,
+                         pu_rank_loss)
+from ..nn.module import Module
+from ..nn.optim import Adam, ExponentialDecay
+from ..nn.tensor import Tensor, no_grad
+from ..nn.training import EarlyStopping, binary_auc, validation_split
+from ..urg.graph import UrbanRegionGraph
+from .config import CMSFConfig
+from .master import MasterModel, MasterTrainingResult
+
+
+class PseudoLabelPredictor(Module):
+    """Logistic-regression predictor of the cluster UV-inclusion probability."""
+
+    def __init__(self, cluster_dim: int, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.lr = nn.LogisticRegression(cluster_dim, rng)
+
+    def forward(self, cluster_repr: Tensor) -> Tensor:
+        """Inclusion probability :math:`\\hat y^h_j` per cluster (Eq. 17)."""
+        return self.lr(cluster_repr)
+
+
+class GateFunction(Module):
+    """The gate producing region context vectors and parameter filters."""
+
+    #: initial bias of the filter head; sigmoid(2) ~ 0.88 so freshly derived
+    #: slave models start close to the master (near pass-through gating) and
+    #: the fine-tuning stage departs from a sensible starting point
+    FILTER_BIAS_INIT = 2.0
+
+    def __init__(self, num_clusters: int, context_dim: int,
+                 num_gated_parameters: int, rng: np.random.Generator) -> None:
+        super().__init__()
+        #: W_q of Eq. 19 — membership*inclusion -> context vector
+        self.context = nn.Linear(num_clusters, context_dim, rng)
+        #: W_f of Eq. 20 — context vector -> parameter filter
+        self.filter = nn.Linear(context_dim, num_gated_parameters, rng)
+        self.filter.bias.data = np.full(num_gated_parameters, self.FILTER_BIAS_INIT)
+
+    def context_vector(self, assignment: Tensor, inclusion_probs: Tensor) -> Tensor:
+        """Region context vector ``q_i`` (Eq. 19)."""
+        weighted = assignment * inclusion_probs.reshape(1, -1)
+        return F.tanh(self.context(weighted))
+
+    def parameter_filter(self, context: Tensor) -> Tensor:
+        """Parameter filter ``F_i`` in ``(0, 1)`` (Eq. 20)."""
+        return F.sigmoid(self.filter(context))
+
+    def forward(self, assignment: Tensor, inclusion_probs: Tensor) -> Tensor:
+        return self.parameter_filter(self.context_vector(assignment, inclusion_probs))
+
+
+class SlaveStage(Module):
+    """All modules participating in the slave adaptive training stage."""
+
+    def __init__(self, master: MasterModel, config: CMSFConfig,
+                 rng: np.random.Generator) -> None:
+        super().__init__()
+        if master.gscm is None:
+            raise ValueError("the slave stage requires the GSCM hierarchy; "
+                             "use the master model alone when GSCM is disabled")
+        self.master = master
+        self.pseudo_predictor = PseudoLabelPredictor(master.gscm.input_dim, rng)
+        self.gate = GateFunction(
+            num_clusters=config.num_clusters,
+            context_dim=config.context_dim,
+            num_gated_parameters=master.classifier.num_gated_parameters,
+            rng=rng,
+        )
+
+    def forward(self, graph: UrbanRegionGraph):
+        """Run the full slave-stage forward pass.
+
+        Returns
+        -------
+        probs:
+            Per-region UV probability from the region-specific slave models.
+        inclusion_probs:
+            Per-cluster inclusion probability from the pseudo-label predictor.
+        """
+        enhanced, gscm_out = self.master.encode(graph)
+        inclusion = self.pseudo_predictor(gscm_out.cluster_repr)
+        parameter_filter = self.gate(gscm_out.assignment, inclusion)
+        probs = self.master.classifier.forward_gated(enhanced, parameter_filter)
+        return probs, inclusion
+
+
+@dataclass
+class SlaveTrainingResult:
+    """Output of Algorithm 2."""
+
+    stage: SlaveStage
+    history: List[float] = field(default_factory=list)
+    rank_loss_history: List[float] = field(default_factory=list)
+
+
+def train_slave(master_result: MasterTrainingResult, graph: UrbanRegionGraph,
+                train_indices: np.ndarray, config: CMSFConfig,
+                rng: np.random.Generator, verbose: bool = False) -> SlaveTrainingResult:
+    """Algorithm 2 — the slave adaptive training stage.
+
+    The master parameters are jointly fine-tuned together with the gate
+    function and the pseudo-label predictor; the combined objective is
+    ``L = L'_c + lambda * L_p`` (Eq. 24).
+    """
+    train_indices = np.asarray(train_indices, dtype=np.int64)
+
+    stage = SlaveStage(master_result.model, config, rng)
+    pseudo_labels = master_result.pseudo_labels
+
+    # The same validation subset that monitored the master stage now guards
+    # the fine-tuning: if adapting the gate starts hurting generalisation the
+    # best snapshot is restored at the end.
+    split_rng = np.random.default_rng(config.seed + 1)
+    fit_indices, val_indices = validation_split(
+        train_indices, graph.labels, config.validation_fraction, split_rng)
+    fit_targets = graph.labels[fit_indices].astype(np.float64)
+    fit_weights = class_balanced_weights(fit_targets) if config.class_balance else None
+    val_targets = graph.labels[val_indices].astype(np.float64)
+
+    # The slave stage fine-tunes an already-trained master jointly with the
+    # freshly initialised gate; a reduced learning rate keeps the adaptation
+    # from destroying the pre-trained solution (Algorithm 2 is described as a
+    # short fine-tuning stage needing "very few iterations").
+    optimizer = Adam(stage.parameters(), lr=config.learning_rate * 0.3,
+                     weight_decay=config.weight_decay,
+                     max_grad_norm=config.max_grad_norm)
+    scheduler = ExponentialDecay(optimizer, decay_rate=config.lr_decay)
+    stopper = EarlyStopping(stage, patience=config.patience,
+                            mode="max" if val_indices.size else "min")
+
+    history: List[float] = []
+    rank_history: List[float] = []
+    for epoch in range(config.slave_epochs):
+        optimizer.zero_grad()
+        probs, inclusion = stage(graph)
+        detection_loss = binary_cross_entropy(probs[fit_indices], fit_targets, fit_weights)
+        if config.pseudo_label_loss == "rank":
+            rank_loss = pu_rank_loss(inclusion, pseudo_labels)
+        else:
+            # Ablation (DESIGN.md §4): treat the pseudo labels as hard targets
+            # instead of ranking constraints.
+            rank_loss = binary_cross_entropy(inclusion, pseudo_labels.astype(np.float64))
+        loss = detection_loss + Tensor(config.lambda_weight) * rank_loss
+        loss.backward()
+        optimizer.step()
+        scheduler.step()
+        history.append(float(detection_loss.item()))
+        rank_history.append(float(rank_loss.item()))
+
+        if val_indices.size:
+            stage.eval()
+            with no_grad():
+                val_probs, _ = stage(graph)
+            stage.train()
+            monitored = binary_auc(val_targets, val_probs.data[val_indices])
+        else:
+            monitored = history[-1]
+        if verbose and (epoch % 10 == 0 or epoch == config.slave_epochs - 1):
+            print(f"[slave] epoch {epoch:3d} detection {history[-1]:.4f} "
+                  f"rank {rank_history[-1]:.4f} val {monitored:.4f}")
+        if stopper.update(monitored if val_indices.size else history[-1], epoch):
+            break
+    stopper.restore_best()
+
+    return SlaveTrainingResult(stage=stage, history=history,
+                               rank_loss_history=rank_history)
+
+
+def slave_predict_proba(stage: SlaveStage, graph: UrbanRegionGraph) -> np.ndarray:
+    """Inference with the region-specific slave models (Section V-C)."""
+    stage.eval()
+    with no_grad():
+        probs, _ = stage(graph)
+    stage.train()
+    return probs.data.copy()

@@ -1,0 +1,150 @@
+"""Global Semantic Clustering Module (GSCM, paper Section V-A2).
+
+GSCM organises the urban area into a two-level hierarchy:
+
+1. a linear map plus temperature-controlled softmax assigns every region to
+   ``K`` latent semantic clusters (soft assignment matrix ``B``, Eq. 9);
+2. a binarised (hard, one-hot) assignment :math:`\\tilde B` collects the
+   local region representations into cluster representations (Eq. 10) —
+   the ``regions -> clusters`` message collection;
+3. a one-layer graph convolution over the complete cluster graph with
+   learnable edge weights reasons about cluster relevancy (Eq. 11);
+4. the *soft* assignment propagates the updated cluster representations back
+   to regions (Eq. 12) — the ``clusters -> regions`` knowledge sharing;
+5. local and global-aware representations are fused by AGG (Eq. 13).
+
+The module also exposes the hard assignments and the pseudo-label derivation
+(Eq. 16) used by the slave stage.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from .. import nn
+from ..nn import functional as F
+from ..nn.module import Module, Parameter
+from ..nn.sparse import segment_sum
+from ..nn.tensor import Tensor, concatenate
+
+
+class GSCMOutput:
+    """Bundle of everything GSCM produces in one forward pass."""
+
+    __slots__ = ("enhanced", "assignment", "hard_assignment", "cluster_repr")
+
+    def __init__(self, enhanced: Tensor, assignment: Tensor,
+                 hard_assignment: np.ndarray, cluster_repr: Tensor) -> None:
+        #: enhanced region representation (Eq. 13)
+        self.enhanced = enhanced
+        #: soft assignment matrix B, shape (N, K)
+        self.assignment = assignment
+        #: argmax cluster id per region, shape (N,)
+        self.hard_assignment = hard_assignment
+        #: updated cluster representations h', shape (K, d)
+        self.cluster_repr = cluster_repr
+
+
+class GlobalSemanticClustering(Module):
+    """The GSCM module."""
+
+    def __init__(self, input_dim: int, num_clusters: int, rng: np.random.Generator,
+                 temperature: float = 0.1, aggregation: str = "sum",
+                 hard_collection: bool = True) -> None:
+        super().__init__()
+        if aggregation not in ("sum", "concat"):
+            raise ValueError("cluster aggregation must be 'sum' or 'concat'")
+        self.num_clusters = num_clusters
+        self.temperature = temperature
+        self.aggregation = aggregation
+        #: Eq. 10 uses the binarised assignment for regions -> clusters
+        #: message collection; the soft alternative keeps every membership
+        #: probability in the sum (ablation of that design choice).
+        self.hard_collection = hard_collection
+        self.input_dim = input_dim
+        #: W_B of Eq. 9 — projects region representations onto cluster logits
+        self.assign = nn.Linear(input_dim, num_clusters, rng)
+        #: W_h of Eq. 11 — shared transform of the cluster graph convolution
+        self.cluster_transform = nn.Linear(input_dim, input_dim, rng)
+        #: learnable edge weights e_ij of the complete cluster graph
+        self.cluster_edge_logits = Parameter(
+            rng.normal(0.0, 0.1, size=(num_clusters, num_clusters)))
+        #: W_r of Eq. 12 — transform applied during reverse knowledge sharing
+        self.reverse_transform = nn.Linear(input_dim, input_dim, rng)
+
+    @property
+    def output_dim(self) -> int:
+        """Dimension of the enhanced region representation."""
+        return 2 * self.input_dim if self.aggregation == "concat" else self.input_dim
+
+    # ------------------------------------------------------------------
+    # forward
+    # ------------------------------------------------------------------
+    def forward(self, local_repr: Tensor) -> GSCMOutput:
+        num_nodes = local_repr.shape[0]
+
+        # Eq. 9 — soft assignment with temperature.
+        logits = self.assign(local_repr)
+        assignment = F.softmax(logits, axis=-1, temperature=self.temperature)
+
+        # Hard (one-hot) assignment \tilde B: non-differentiable argmax.
+        hard = np.argmax(assignment.data, axis=1)
+
+        # Eq. 10 — regions -> clusters message collection.  The paper uses the
+        # binarised assignment (each region contributes to exactly one
+        # cluster); the soft variant weighs every region by its membership
+        # probability instead.
+        if self.hard_collection:
+            cluster_repr = segment_sum(local_repr, hard, self.num_clusters)
+        else:
+            cluster_repr = assignment.transpose().matmul(local_repr)
+
+        # Eq. 11 — graph convolution over the complete cluster graph.  The
+        # learnable edge weights are normalised per row with a softmax so the
+        # aggregation stays well-scaled regardless of K.
+        edge_weights = F.softmax(self.cluster_edge_logits, axis=-1)
+        mixed = edge_weights.matmul(self.cluster_transform(cluster_repr))
+        cluster_updated = F.elu(mixed)
+
+        # Eq. 12 — clusters -> regions reverse knowledge sharing through the
+        # *soft* assignment matrix.
+        global_context = F.elu(assignment.matmul(self.reverse_transform(cluster_updated)))
+
+        # Eq. 13 — fuse local and global-aware representations.
+        if self.aggregation == "concat":
+            enhanced = concatenate([local_repr, global_context], axis=-1)
+        else:
+            enhanced = local_repr + global_context
+
+        return GSCMOutput(enhanced=enhanced, assignment=assignment,
+                          hard_assignment=hard, cluster_repr=cluster_updated)
+
+    # ------------------------------------------------------------------
+    # pseudo labels (Eq. 16)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def derive_pseudo_labels(hard_assignment: np.ndarray, labels: np.ndarray,
+                             labeled_mask: np.ndarray, num_clusters: int) -> np.ndarray:
+        """Binary pseudo label per cluster: 1 iff it contains a known UV.
+
+        Parameters
+        ----------
+        hard_assignment:
+            ``(N,)`` cluster id per region (the fixed membership after the
+            master stage).
+        labels:
+            ``(N,)`` observed labels with -1 for unlabeled regions.
+        labeled_mask:
+            ``(N,)`` bool mask of the labelled set.
+        """
+        pseudo = np.zeros(num_clusters, dtype=np.int64)
+        uv_regions = np.flatnonzero((labels == 1) & labeled_mask)
+        for region in uv_regions:
+            pseudo[hard_assignment[region]] = 1
+        return pseudo
+
+    def cluster_sizes(self, hard_assignment: np.ndarray) -> np.ndarray:
+        """Number of member regions per cluster."""
+        return np.bincount(hard_assignment, minlength=self.num_clusters)

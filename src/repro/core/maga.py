@@ -1,0 +1,251 @@
+"""Mutual-Attentive Graph Aggregation (MAGA, paper Section V-A1).
+
+MAGA enhances each modality's region representation with two kinds of
+context gathered from neighbouring regions on the URG:
+
+* **intra-modal context** — a GAT-style attentive aggregation of the same
+  modality from the neighbourhood (Eq. 1-4);
+* **inter-modal context** — a cross-modal attention where, e.g., the POI
+  representation of a region attends over the *image* features of its
+  neighbours (Eq. 5-7).
+
+The two context vectors are fused by an aggregation function AGG which the
+paper instantiates as concatenation, summation or an attention mechanism
+(Eq. 8); all three are implemented.  Multiple heads and multiple stacked
+layers are supported, and the fused multi-modal representation is the
+concatenation of the two enhanced modality representations.
+
+When ``use_inter_modal`` is disabled the layer degenerates into two
+independent GAT layers, which is exactly the CMSF-M ablation variant.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .. import nn
+from ..nn import functional as F
+from ..nn.module import Module, ModuleList, Parameter
+from ..nn.sparse import gather_rows, segment_softmax, segment_sum
+from ..nn.tensor import Tensor, concatenate
+from ..urg.relations import add_self_loops
+
+
+class EdgeAttention(Module):
+    """Multi-head attentive aggregation over a directed edge list.
+
+    Computes, for every destination node ``i``:
+
+    .. math::
+        \\hat x_i = \\sigma\\Big(\\sum_{j \\in N_i} \\alpha_{ij} \\, W_s x^{src}_j\\Big),
+        \\qquad
+        \\alpha_{ij} = \\mathrm{softmax}_j\\big(\\mathrm{LeakyReLU}(
+            a^T [W_d x^{dst}_i \\oplus W_s x^{src}_j])\\big)
+
+    which covers both the intra-modal (``dst`` and ``src`` features from the
+    same modality, :math:`W_d = W_s`) and the inter-modal case (``dst`` from
+    one modality, ``src`` from the other, separate transforms).
+    """
+
+    def __init__(self, dst_dim: int, src_dim: int, out_dim: int, heads: int,
+                 rng: np.random.Generator, negative_slope: float = 0.2,
+                 share_transform: bool = False) -> None:
+        super().__init__()
+        if out_dim % heads != 0:
+            raise ValueError("out_dim (%d) must be divisible by heads (%d)" % (out_dim, heads))
+        self.heads = heads
+        self.head_dim = out_dim // heads
+        self.out_dim = out_dim
+        self.negative_slope = negative_slope
+        self.share_transform = share_transform and dst_dim == src_dim
+        self.w_src = nn.Linear(src_dim, out_dim, rng, bias=False)
+        if self.share_transform:
+            self.w_dst = self.w_src
+        else:
+            self.w_dst = nn.Linear(dst_dim, out_dim, rng, bias=False)
+        # One attention vector per head, split into destination and source halves.
+        self.attn_dst = Parameter(
+            rng.normal(0.0, np.sqrt(2.0 / (self.head_dim + 1)), size=(heads, self.head_dim)))
+        self.attn_src = Parameter(
+            rng.normal(0.0, np.sqrt(2.0 / (self.head_dim + 1)), size=(heads, self.head_dim)))
+
+    def forward(self, x_dst: Tensor, x_src: Tensor, edge_index: np.ndarray,
+                num_nodes: int) -> Tensor:
+        """Aggregate ``x_src`` into destination nodes along ``edge_index``.
+
+        Parameters
+        ----------
+        x_dst / x_src:
+            Node feature tensors for the destination / source roles.
+        edge_index:
+            ``(2, M)`` array with rows ``(src, dst)``.
+        num_nodes:
+            Number of nodes (rows of the output).
+        """
+        src, dst = edge_index[0], edge_index[1]
+        proj_src = self.w_src(x_src).reshape(num_nodes, self.heads, self.head_dim)
+        proj_dst = self.w_dst(x_dst).reshape(num_nodes, self.heads, self.head_dim)
+
+        src_feat = gather_rows(proj_src, src)   # (M, heads, head_dim)
+        dst_feat = gather_rows(proj_dst, dst)   # (M, heads, head_dim)
+
+        score_dst = (dst_feat * self.attn_dst).sum(axis=-1)   # (M, heads)
+        score_src = (src_feat * self.attn_src).sum(axis=-1)   # (M, heads)
+        scores = F.leaky_relu(score_dst + score_src, self.negative_slope)
+        alpha = segment_softmax(scores, dst, num_nodes)        # (M, heads)
+
+        messages = src_feat * alpha.reshape(-1, self.heads, 1)
+        aggregated = segment_sum(messages, dst, num_nodes)     # (N, heads, head_dim)
+        return F.elu(aggregated.reshape(num_nodes, self.out_dim))
+
+
+class ContextAggregator(Module):
+    """AGG(.) of Eq. 8 — fuse the intra-modal and inter-modal context."""
+
+    def __init__(self, dim: int, mode: str, rng: np.random.Generator) -> None:
+        super().__init__()
+        if mode not in ("sum", "concat", "attention"):
+            raise ValueError("unknown aggregation mode %r" % mode)
+        self.mode = mode
+        self.dim = dim
+        if mode == "attention":
+            self.score = nn.Linear(dim, 1, rng, bias=False)
+
+    @property
+    def output_dim(self) -> int:
+        return 2 * self.dim if self.mode == "concat" else self.dim
+
+    def forward(self, intra: Tensor, inter: Tensor) -> Tensor:
+        if self.mode == "sum":
+            return intra + inter
+        if self.mode == "concat":
+            return concatenate([intra, inter], axis=-1)
+        # Attention over the two context vectors.
+        score_intra = self.score(intra)          # (N, 1)
+        score_inter = self.score(inter)          # (N, 1)
+        weights = F.softmax(concatenate([score_intra, score_inter], axis=-1), axis=-1)
+        return intra * weights[:, 0:1] + inter * weights[:, 1:2]
+
+
+class MAGALayer(Module):
+    """One mutual-attentive graph aggregation layer.
+
+    Produces enhanced per-modality representations ``(x_hat_P, x_hat_I)``
+    from the input modality features and the URG edge index.
+    """
+
+    def __init__(self, poi_dim: int, img_dim: int, hidden_dim: int, heads: int,
+                 aggregation: str, rng: np.random.Generator,
+                 negative_slope: float = 0.2, use_inter_modal: bool = True,
+                 residual: bool = True) -> None:
+        super().__init__()
+        self.use_inter_modal = use_inter_modal
+        self.hidden_dim = hidden_dim
+        self.residual = residual
+        # Intra-modal attention (W_P / W_I with a_{P<-P} / a_{I<-I}).
+        self.intra_poi = EdgeAttention(poi_dim, poi_dim, hidden_dim, heads, rng,
+                                       negative_slope, share_transform=True)
+        self.intra_img = EdgeAttention(img_dim, img_dim, hidden_dim, heads, rng,
+                                       negative_slope, share_transform=True)
+        if use_inter_modal:
+            # Cross-modal attention (W'_P / W'_I with a_{P<-I} / a_{I<-P}).
+            self.cross_poi_from_img = EdgeAttention(poi_dim, img_dim, hidden_dim, heads,
+                                                    rng, negative_slope)
+            self.cross_img_from_poi = EdgeAttention(img_dim, poi_dim, hidden_dim, heads,
+                                                    rng, negative_slope)
+            self.agg_poi = ContextAggregator(hidden_dim, aggregation, rng)
+            self.agg_img = ContextAggregator(hidden_dim, aggregation, rng)
+        if residual:
+            # Learned skip connections keep each region's own (typically most
+            # discriminative) features alongside the aggregated context, so
+            # the attentive neighbourhood smoothing cannot wash them out.
+            self.res_poi = nn.Linear(poi_dim, self.output_dim, rng, bias=False)
+            self.res_img = nn.Linear(img_dim, self.output_dim, rng, bias=False)
+
+    @property
+    def output_dim(self) -> int:
+        """Output dimension of each modality."""
+        if self.use_inter_modal:
+            return self.agg_poi.output_dim
+        return self.hidden_dim
+
+    def forward(self, x_poi: Tensor, x_img: Tensor, edge_index: np.ndarray,
+                num_nodes: int) -> Tuple[Tensor, Tensor]:
+        intra_poi = self.intra_poi(x_poi, x_poi, edge_index, num_nodes)
+        intra_img = self.intra_img(x_img, x_img, edge_index, num_nodes)
+        if self.use_inter_modal:
+            inter_poi = self.cross_poi_from_img(x_poi, x_img, edge_index, num_nodes)
+            inter_img = self.cross_img_from_poi(x_img, x_poi, edge_index, num_nodes)
+            out_poi = self.agg_poi(intra_poi, inter_poi)
+            out_img = self.agg_img(intra_img, inter_img)
+        else:
+            out_poi, out_img = intra_poi, intra_img
+        if self.residual:
+            out_poi = out_poi + self.res_poi(x_poi)
+            out_img = out_img + self.res_img(x_img)
+        return out_poi, out_img
+
+
+class MAGAEncoder(Module):
+    """A stack of MAGA layers producing the fused multi-modal representation.
+
+    The raw image features are first reduced with a learned linear map (the
+    paper reduces the 4096-d VGG features to 128 dimensions), then
+    ``num_layers`` MAGA layers refine both modalities, and the final region
+    representation is the concatenation ``x_hat_P ++ x_hat_I``.
+    """
+
+    def __init__(self, poi_dim: int, img_dim: int, hidden_dim: int,
+                 num_layers: int, heads: int, aggregation: str,
+                 rng: np.random.Generator, image_reduce_dim: int = 128,
+                 dropout: float = 0.0, negative_slope: float = 0.2,
+                 use_inter_modal: bool = True, residual: bool = True) -> None:
+        super().__init__()
+        if poi_dim <= 0 and img_dim <= 0:
+            raise ValueError("at least one modality must have features")
+        self._rng = rng
+        self.dropout = dropout
+        # Degenerate modality handling (noImage / POI-only ablations): a
+        # missing modality is replaced by a learned constant embedding so the
+        # two-branch architecture stays intact.
+        self.poi_dim = poi_dim if poi_dim > 0 else 1
+        self.has_poi = poi_dim > 0
+        self.has_img = img_dim > 0
+        reduce_target = min(image_reduce_dim, img_dim) if img_dim > 0 else 1
+        self.image_reduce = (nn.Linear(img_dim, reduce_target, rng)
+                             if img_dim > 0 else None)
+        self.img_dim = reduce_target
+
+        self.layers = ModuleList()
+        in_poi, in_img = self.poi_dim, self.img_dim
+        for _ in range(num_layers):
+            layer = MAGALayer(in_poi, in_img, hidden_dim, heads, aggregation, rng,
+                              negative_slope, use_inter_modal, residual)
+            self.layers.append(layer)
+            in_poi = in_img = layer.output_dim
+        self.modality_dim = in_poi
+
+    @property
+    def output_dim(self) -> int:
+        """Dimension of the fused multi-modal representation."""
+        return 2 * self.modality_dim
+
+    def forward(self, x_poi_raw: np.ndarray, x_img_raw: np.ndarray,
+                edge_index: np.ndarray) -> Tensor:
+        num_nodes = x_poi_raw.shape[0] if self.has_poi else x_img_raw.shape[0]
+        x_poi = Tensor(x_poi_raw) if self.has_poi else Tensor(np.zeros((num_nodes, 1)))
+        if self.has_img:
+            x_img = self.image_reduce(Tensor(x_img_raw))
+        else:
+            x_img = Tensor(np.zeros((num_nodes, 1)))
+        # Self-loops keep each region's own (most discriminative) features in
+        # the attentive aggregation alongside its neighbourhood context.
+        edge_index = add_self_loops(edge_index, num_nodes)
+        for layer in self.layers:
+            x_poi, x_img = layer(x_poi, x_img, edge_index, num_nodes)
+            if self.dropout > 0:
+                x_poi = F.dropout(x_poi, self.dropout, self._rng, training=self.training)
+                x_img = F.dropout(x_img, self.dropout, self._rng, training=self.training)
+        return concatenate([x_poi, x_img], axis=-1)

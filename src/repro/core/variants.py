@@ -1,0 +1,42 @@
+"""Ablation variants of CMSF (paper Section VI-E, Figure 5(a)).
+
+* ``CMSF`` — the full framework.
+* ``CMSF-M`` — MAGA replaced by vanilla per-modality GAT layers, i.e. no
+  inter-modal context during aggregation.
+* ``CMSF-G`` — no MS-Gate: the slave adaptive stage is skipped and the shared
+  master model makes the final prediction.
+* ``CMSF-H`` — no hierarchical structure at all: both GSCM and MS-Gate are
+  removed, leaving MAGA + classifier.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from .cmsf import CMSFDetector, make_variant
+from .config import COMPONENT_VARIANTS, CMSFConfig
+
+
+def component_variants(config: Optional[CMSFConfig] = None) -> Dict[str, CMSFDetector]:
+    """All Figure 5(a) variants, keyed by display name, in plot order."""
+    return {name: make_variant(name, config) for name in COMPONENT_VARIANTS}
+
+
+def full_model(config: Optional[CMSFConfig] = None) -> CMSFDetector:
+    """The full CMSF detector."""
+    return make_variant("CMSF", config)
+
+
+def without_inter_modal(config: Optional[CMSFConfig] = None) -> CMSFDetector:
+    """CMSF-M: vanilla GAT aggregation without inter-modal context."""
+    return make_variant("CMSF-M", config)
+
+
+def without_gate(config: Optional[CMSFConfig] = None) -> CMSFDetector:
+    """CMSF-G: master model only, no slave adaptive stage."""
+    return make_variant("CMSF-G", config)
+
+
+def without_hierarchy(config: Optional[CMSFConfig] = None) -> CMSFDetector:
+    """CMSF-H: no GSCM and no MS-Gate."""
+    return make_variant("CMSF-H", config)

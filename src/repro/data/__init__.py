@@ -1,0 +1,33 @@
+"""Dataset persistence, export and registry utilities.
+
+The paper's pipeline starts from multi-source urban data files (POI dumps,
+imagery tiles, road network shapefiles, label lists).  This subpackage gives
+the reproduction the same "data lives on disk" workflow:
+
+* :mod:`repro.data.city_io` — save / load a complete synthetic city
+  (config, land use, POIs, roads, imagery, labels) to a directory;
+* :mod:`repro.data.graph_io` — save / load a built
+  :class:`~repro.urg.graph.UrbanRegionGraph` as a single ``.npz`` archive;
+* :mod:`repro.data.export` — export regions, POIs and predictions to
+  GeoJSON / CSV for inspection in external GIS or spreadsheet tools;
+* :mod:`repro.data.registry` — a small on-disk dataset registry that
+  materialises city presets once and reuses them across runs.
+"""
+
+from .city_io import load_city_dir, save_city_dir
+from .export import (export_pois_csv, export_predictions_csv, regions_to_geojson,
+                     save_geojson)
+from .graph_io import load_graph_npz, save_graph_npz
+from .registry import DatasetRegistry
+
+__all__ = [
+    "save_city_dir",
+    "load_city_dir",
+    "save_graph_npz",
+    "load_graph_npz",
+    "regions_to_geojson",
+    "save_geojson",
+    "export_pois_csv",
+    "export_predictions_csv",
+    "DatasetRegistry",
+]

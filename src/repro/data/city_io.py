@@ -1,0 +1,223 @@
+"""Save and load complete synthetic cities.
+
+A city is written as a small directory so every raw data source stays a
+separate, inspectable artefact — mirroring how the paper's real data would be
+organised on disk:
+
+``config.json``
+    the :class:`~repro.synth.config.CityConfig` used to generate the city;
+``land_use.npz``
+    land-use codes, appearance fields, village membership and old-town mask;
+``pois.csv``
+    one row per POI (x, y, category, type, region index);
+``roads.npz``
+    intersection table (node id, x, y, region) and segment list;
+``imagery.npz``
+    latent appearance vectors and simulated VGG features;
+``labels.npz``
+    ground truth, labelled mask and observed labels.
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+import json
+from pathlib import Path
+from typing import Dict, List, Set, Tuple, Union
+
+import networkx as nx
+import numpy as np
+
+from ..synth.city import SyntheticCity
+from ..synth.config import (CityConfig, ImageryConfig, LabelingConfig, PoiConfig,
+                            RoadConfig, UrbanVillageConfig)
+from ..synth.imagery import ImageFeatureBank
+from ..synth.labels import LabelSet
+from ..synth.landuse import LandUseMap
+from ..synth.poi import Poi
+from ..synth.roads import RoadNetwork
+
+PathLike = Union[str, Path]
+
+
+# ----------------------------------------------------------------------
+# config (de)serialisation
+# ----------------------------------------------------------------------
+def config_to_dict(config: CityConfig) -> Dict:
+    """Convert a :class:`CityConfig` (nested dataclasses) to plain JSON types."""
+    raw = dataclasses.asdict(config)
+    # JSON keys are strings; the POI intensity map is keyed by int land use.
+    raw["pois"]["base_intensity"] = {str(k): v
+                                     for k, v in raw["pois"]["base_intensity"].items()}
+    return raw
+
+
+def config_from_dict(raw: Dict) -> CityConfig:
+    """Rebuild a :class:`CityConfig` from :func:`config_to_dict` output."""
+    pois = dict(raw["pois"])
+    pois["base_intensity"] = {int(k): float(v)
+                              for k, v in pois["base_intensity"].items()}
+    villages = dict(raw["villages"])
+    villages["size_range"] = tuple(villages["size_range"])
+    return CityConfig(
+        name=raw["name"],
+        grid_height=raw["grid_height"],
+        grid_width=raw["grid_width"],
+        region_size_m=raw["region_size_m"],
+        seed=raw["seed"],
+        downtown_centers=raw["downtown_centers"],
+        downtown_radius=raw["downtown_radius"],
+        water_green_fraction=raw["water_green_fraction"],
+        industrial_fraction=raw["industrial_fraction"],
+        villages=UrbanVillageConfig(**villages),
+        labeling=LabelingConfig(**raw["labeling"]),
+        roads=RoadConfig(**raw["roads"]),
+        pois=PoiConfig(**pois),
+        imagery=ImageryConfig(**raw["imagery"]),
+    )
+
+
+# ----------------------------------------------------------------------
+# component writers
+# ----------------------------------------------------------------------
+def _village_arrays(land_use: LandUseMap) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Flatten village membership into parallel (village_id, row, col) arrays."""
+    village_ids, rows, cols = [], [], []
+    for village_id, village in enumerate(land_use.villages):
+        for (row, col) in sorted(village):
+            village_ids.append(village_id)
+            rows.append(row)
+            cols.append(col)
+    return (np.asarray(village_ids, dtype=np.int64),
+            np.asarray(rows, dtype=np.int64),
+            np.asarray(cols, dtype=np.int64))
+
+
+def _save_land_use(path: Path, land_use: LandUseMap) -> None:
+    village_ids, village_rows, village_cols = _village_arrays(land_use)
+    old_town = np.asarray(sorted(land_use.old_town), dtype=np.int64).reshape(-1, 2)
+    np.savez_compressed(
+        path,
+        land_use=land_use.land_use,
+        building_density=land_use.building_density,
+        irregularity=land_use.irregularity,
+        greenery=land_use.greenery,
+        downtown_centers=np.asarray(land_use.downtown_centers, dtype=np.int64),
+        village_ids=village_ids,
+        village_rows=village_rows,
+        village_cols=village_cols,
+        village_kinds=np.asarray(land_use.village_kinds, dtype=np.int64),
+        old_town=old_town,
+    )
+
+
+def _load_land_use(path: Path) -> LandUseMap:
+    archive = np.load(path)
+    villages: List[Set[Tuple[int, int]]] = []
+    kinds = archive["village_kinds"].tolist()
+    for village_id in range(len(kinds)):
+        members = archive["village_ids"] == village_id
+        cells = set(zip(archive["village_rows"][members].tolist(),
+                        archive["village_cols"][members].tolist()))
+        villages.append(cells)
+    old_town = {tuple(cell) for cell in archive["old_town"].tolist()}
+    centers = [tuple(center) for center in archive["downtown_centers"].tolist()]
+    return LandUseMap(
+        land_use=archive["land_use"],
+        building_density=archive["building_density"],
+        irregularity=archive["irregularity"],
+        greenery=archive["greenery"],
+        villages=villages,
+        downtown_centers=centers,
+        village_kinds=kinds,
+        old_town=old_town,
+    )
+
+
+def _save_pois(path: Path, pois: List[Poi]) -> None:
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["x", "y", "category", "poi_type", "region_index"])
+        for poi in pois:
+            writer.writerow([f"{poi.x:.3f}", f"{poi.y:.3f}", poi.category,
+                             poi.poi_type, poi.region_index])
+
+
+def _load_pois(path: Path) -> List[Poi]:
+    pois: List[Poi] = []
+    with open(path, newline="") as handle:
+        for row in csv.DictReader(handle):
+            pois.append(Poi(x=float(row["x"]), y=float(row["y"]),
+                            category=row["category"], poi_type=row["poi_type"],
+                            region_index=int(row["region_index"])))
+    return pois
+
+
+def _save_roads(path: Path, roads: RoadNetwork) -> None:
+    nodes = sorted(roads.graph.nodes)
+    node_attrs = np.array([[node,
+                            roads.graph.nodes[node]["x"],
+                            roads.graph.nodes[node]["y"],
+                            roads.graph.nodes[node]["region"]] for node in nodes],
+                          dtype=np.float64) if nodes else np.zeros((0, 4))
+    edges = np.array([[u, v, data.get("length", 0.0)]
+                      for u, v, data in roads.graph.edges(data=True)],
+                     dtype=np.float64) if roads.graph.number_of_edges() else np.zeros((0, 3))
+    np.savez_compressed(path, nodes=node_attrs, edges=edges)
+
+
+def _load_roads(path: Path) -> RoadNetwork:
+    archive = np.load(path)
+    graph = nx.Graph()
+    for node_id, x, y, region in archive["nodes"]:
+        graph.add_node(int(node_id), x=float(x), y=float(y), region=int(region))
+    for u, v, length in archive["edges"]:
+        graph.add_edge(int(u), int(v), length=float(length))
+    intersections_by_region: Dict[int, List[int]] = {}
+    for node, data in graph.nodes(data=True):
+        intersections_by_region.setdefault(data["region"], []).append(node)
+    return RoadNetwork(graph=graph, intersections_by_region=intersections_by_region)
+
+
+# ----------------------------------------------------------------------
+# public API
+# ----------------------------------------------------------------------
+def save_city_dir(city: SyntheticCity, directory: PathLike) -> Path:
+    """Write ``city`` to ``directory`` (created if missing); returns the path."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    with open(directory / "config.json", "w") as handle:
+        json.dump(config_to_dict(city.config), handle, indent=2)
+    _save_land_use(directory / "land_use.npz", city.land_use)
+    _save_pois(directory / "pois.csv", city.pois)
+    _save_roads(directory / "roads.npz", city.roads)
+    np.savez_compressed(directory / "imagery.npz",
+                        latent=city.imagery.latent, features=city.imagery.features)
+    np.savez_compressed(directory / "labels.npz",
+                        ground_truth=city.labels.ground_truth,
+                        labeled_mask=city.labels.labeled_mask,
+                        labels=city.labels.labels)
+    return directory
+
+
+def load_city_dir(directory: PathLike) -> SyntheticCity:
+    """Load a city previously written by :func:`save_city_dir`."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        raise FileNotFoundError(f"city directory {directory} does not exist")
+    with open(directory / "config.json") as handle:
+        config = config_from_dict(json.load(handle))
+    imagery_archive = np.load(directory / "imagery.npz")
+    labels_archive = np.load(directory / "labels.npz")
+    return SyntheticCity(
+        config=config,
+        land_use=_load_land_use(directory / "land_use.npz"),
+        pois=_load_pois(directory / "pois.csv"),
+        roads=_load_roads(directory / "roads.npz"),
+        imagery=ImageFeatureBank(latent=imagery_archive["latent"],
+                                 features=imagery_archive["features"]),
+        labels=LabelSet(ground_truth=labels_archive["ground_truth"],
+                        labeled_mask=labels_archive["labeled_mask"],
+                        labels=labels_archive["labels"]),
+    )

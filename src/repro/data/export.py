@@ -1,0 +1,131 @@
+"""Export regions, POIs and predictions to GeoJSON / CSV.
+
+Real urban-village screening campaigns hand their candidate lists to city
+planners through GIS tools and spreadsheets; these helpers produce the same
+artefacts from the synthetic pipeline so the examples and the CLI can show
+an end-to-end workflow.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..synth.city import SyntheticCity
+from ..synth.config import LAND_USE_NAMES, LandUse
+from ..urg.graph import UrbanRegionGraph
+
+PathLike = Union[str, Path]
+
+
+def _region_polygon(row: int, col: int, size: float) -> List[List[List[float]]]:
+    """GeoJSON polygon (one linear ring) of a region grid cell in metres."""
+    x0, y0 = col * size, row * size
+    x1, y1 = x0 + size, y0 + size
+    return [[[x0, y0], [x1, y0], [x1, y1], [x0, y1], [x0, y0]]]
+
+
+def regions_to_geojson(graph: UrbanRegionGraph,
+                       scores: Optional[np.ndarray] = None,
+                       city: Optional[SyntheticCity] = None,
+                       region_size_m: float = 128.0) -> Dict:
+    """Build a GeoJSON ``FeatureCollection`` with one polygon per region.
+
+    Parameters
+    ----------
+    graph:
+        The URG whose (active) regions are exported.
+    scores:
+        Optional per-node predicted UV probability added as a property.
+    city:
+        Optional source city; when given, the latent land use of each region
+        is included (useful for inspecting the simulator, never available to
+        the detectors).
+    region_size_m:
+        Side length of one region cell in metres.
+    """
+    if scores is not None and len(scores) != graph.num_nodes:
+        raise ValueError("scores must have one entry per node")
+    width = graph.grid_shape[1]
+    land_use = city.land_use.land_use.reshape(-1) if city is not None else None
+    features = []
+    for node in range(graph.num_nodes):
+        flat = int(graph.region_index[node])
+        row, col = divmod(flat, width)
+        properties = {
+            "node": node,
+            "region_index": flat,
+            "row": row,
+            "col": col,
+            "label": int(graph.labels[node]),
+            "labeled": bool(graph.labeled_mask[node]),
+            "ground_truth_uv": int(graph.ground_truth[node]),
+        }
+        if scores is not None:
+            properties["uv_probability"] = float(scores[node])
+        if land_use is not None:
+            properties["land_use"] = LAND_USE_NAMES[LandUse(int(land_use[flat]))]
+        features.append({
+            "type": "Feature",
+            "geometry": {"type": "Polygon",
+                         "coordinates": _region_polygon(row, col, region_size_m)},
+            "properties": properties,
+        })
+    return {"type": "FeatureCollection", "features": features}
+
+
+def save_geojson(collection: Dict, path: PathLike) -> Path:
+    """Write a GeoJSON dictionary to ``path``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w") as handle:
+        json.dump(collection, handle)
+    return path
+
+
+def export_pois_csv(city: SyntheticCity, path: PathLike) -> Path:
+    """Write the city's POI table to a CSV file."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["x", "y", "category", "poi_type", "region_index",
+                         "facility_group"])
+        for poi in city.pois:
+            writer.writerow([f"{poi.x:.3f}", f"{poi.y:.3f}", poi.category,
+                             poi.poi_type, poi.region_index, poi.facility_group])
+    return path
+
+
+def export_predictions_csv(graph: UrbanRegionGraph, scores: Sequence[float],
+                           path: PathLike, top_k: Optional[int] = None) -> Path:
+    """Write ranked per-region predictions to CSV.
+
+    The output is sorted by descending UV probability, which is the candidate
+    list a screening campaign would hand to investigators; ``top_k`` truncates
+    it to the screening budget.
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    if scores.shape[0] != graph.num_nodes:
+        raise ValueError("scores must have one entry per node")
+    order = np.argsort(-scores, kind="stable")
+    if top_k is not None:
+        order = order[:top_k]
+    width = graph.grid_shape[1]
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["rank", "node", "row", "col", "uv_probability",
+                         "label", "ground_truth_uv"])
+        for rank, node in enumerate(order, start=1):
+            flat = int(graph.region_index[int(node)])
+            row, col = divmod(flat, width)
+            writer.writerow([rank, int(node), row, col, f"{scores[int(node)]:.6f}",
+                             int(graph.labels[int(node)]),
+                             int(graph.ground_truth[int(node)])])
+    return path

@@ -1,0 +1,77 @@
+"""Persist built urban region graphs as ``.npz`` archives.
+
+Building the URG for a large preset takes seconds (feature construction and
+road reachability dominate); persisting the result lets the benchmark
+harness, the CLI and downstream applications reload it instantly.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from ..urg.graph import UrbanRegionGraph
+
+PathLike = Union[str, Path]
+
+#: Format marker stored inside every archive so future layout changes can be
+#: detected when loading.
+FORMAT_VERSION = 1
+
+
+def save_graph_npz(graph: UrbanRegionGraph, path: PathLike) -> Path:
+    """Write ``graph`` to ``path`` (``.npz`` appended if missing)."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    meta = {
+        "format_version": FORMAT_VERSION,
+        "name": graph.name,
+        "grid_shape": list(graph.grid_shape),
+        "stats": graph.stats,
+        "poi_feature_names": graph.poi_feature_names or [],
+    }
+    np.savez_compressed(
+        path,
+        edge_index=graph.edge_index,
+        x_poi=graph.x_poi,
+        x_img=graph.x_img,
+        labels=graph.labels,
+        labeled_mask=graph.labeled_mask,
+        ground_truth=graph.ground_truth,
+        region_index=graph.region_index,
+        block_ids=graph.block_ids,
+        meta=np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8),
+    )
+    return path
+
+
+def load_graph_npz(path: PathLike) -> UrbanRegionGraph:
+    """Load a graph previously written by :func:`save_graph_npz`."""
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"graph archive {path} does not exist")
+    archive = np.load(path)
+    meta = json.loads(bytes(archive["meta"]).decode("utf-8"))
+    if meta.get("format_version") != FORMAT_VERSION:
+        raise ValueError(
+            "unsupported graph archive version %r (expected %d)"
+            % (meta.get("format_version"), FORMAT_VERSION))
+    return UrbanRegionGraph(
+        name=meta["name"],
+        edge_index=archive["edge_index"],
+        x_poi=archive["x_poi"],
+        x_img=archive["x_img"],
+        labels=archive["labels"],
+        labeled_mask=archive["labeled_mask"].astype(bool),
+        ground_truth=archive["ground_truth"],
+        region_index=archive["region_index"],
+        block_ids=archive["block_ids"],
+        grid_shape=tuple(meta["grid_shape"]),
+        stats=meta["stats"],
+        poi_feature_names=meta["poi_feature_names"] or None,
+    )

@@ -1,0 +1,125 @@
+"""On-disk dataset registry for city presets.
+
+The registry materialises synthetic cities and their URGs under a root
+directory so repeated runs (CLI invocations, benchmark sessions, notebooks)
+do not regenerate them.  Entries are keyed by preset name and seed; the
+stored city config is compared on load so a stale entry generated with
+different parameters is rebuilt instead of silently reused.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import replace
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from ..synth import generate_city, get_preset
+from ..synth.city import SyntheticCity
+from ..urg import UrgBuildConfig, build_urg
+from ..urg.graph import UrbanRegionGraph
+from .city_io import config_to_dict, load_city_dir, save_city_dir
+from .graph_io import load_graph_npz, save_graph_npz
+
+PathLike = Union[str, Path]
+
+
+class DatasetRegistry:
+    """Materialise and cache city presets under a root directory."""
+
+    def __init__(self, root: PathLike) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # paths
+    # ------------------------------------------------------------------
+    def entry_dir(self, name: str, seed: Optional[int] = None) -> Path:
+        suffix = f"-seed{seed}" if seed is not None else ""
+        return self.root / f"{name.lower()}{suffix}"
+
+    def city_dir(self, name: str, seed: Optional[int] = None) -> Path:
+        return self.entry_dir(name, seed) / "city"
+
+    def graph_path(self, name: str, seed: Optional[int] = None) -> Path:
+        return self.entry_dir(name, seed) / "graph.npz"
+
+    # ------------------------------------------------------------------
+    # cities
+    # ------------------------------------------------------------------
+    def materialize_city(self, name: str, seed: Optional[int] = None,
+                         force: bool = False) -> SyntheticCity:
+        """Generate (or reload) the city for preset ``name``.
+
+        ``force=True`` regenerates even if a compatible entry exists.
+        """
+        config = get_preset(name)
+        if seed is not None:
+            config = replace(config, seed=seed)
+        directory = self.city_dir(name, seed)
+        if not force and directory.is_dir():
+            city = load_city_dir(directory)
+            if config_to_dict(city.config) == config_to_dict(config):
+                return city
+        city = generate_city(config)
+        save_city_dir(city, directory)
+        return city
+
+    # ------------------------------------------------------------------
+    # graphs
+    # ------------------------------------------------------------------
+    def materialize_graph(self, name: str, seed: Optional[int] = None,
+                          build_config: Optional[UrgBuildConfig] = None,
+                          force: bool = False) -> UrbanRegionGraph:
+        """Build (or reload) the URG of preset ``name``.
+
+        The cached archive is reused only when no custom ``build_config`` is
+        requested; custom builds are always constructed fresh because the
+        archive does not record the build switches.
+        """
+        path = self.graph_path(name, seed)
+        if build_config is None and not force and path.exists():
+            return load_graph_npz(path)
+        city = self.materialize_city(name, seed, force=False)
+        graph = build_urg(city, build_config)
+        if build_config is None:
+            save_graph_npz(graph, path)
+        return graph
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    def entries(self) -> List[Dict[str, object]]:
+        """List materialised entries with their on-disk footprint."""
+        found = []
+        for entry in sorted(self.root.iterdir()):
+            if not entry.is_dir():
+                continue
+            size = sum(path.stat().st_size for path in entry.rglob("*") if path.is_file())
+            found.append({
+                "name": entry.name,
+                "has_city": (entry / "city").is_dir(),
+                "has_graph": (entry / "graph.npz").exists(),
+                "size_bytes": int(size),
+            })
+        return found
+
+    def describe(self) -> str:
+        """Human-readable summary of the registry contents."""
+        entries = self.entries()
+        if not entries:
+            return f"registry at {self.root}: empty"
+        lines = [f"registry at {self.root}:"]
+        for entry in entries:
+            lines.append(
+                "  %-20s city=%-5s graph=%-5s %.1f MB"
+                % (entry["name"], entry["has_city"], entry["has_graph"],
+                   entry["size_bytes"] / 1e6))
+        return "\n".join(lines)
+
+    def save_manifest(self) -> Path:
+        """Write a JSON manifest of the registry contents."""
+        path = self.root / "manifest.json"
+        with open(path, "w") as handle:
+            json.dump(self.entries(), handle, indent=2)
+        return path

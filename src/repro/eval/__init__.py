@@ -1,0 +1,53 @@
+"""``repro.eval`` — evaluation protocol, metrics and reporting.
+
+Implements the paper's experimental setup: AUC and top-p% Recall/Precision/F1
+metrics, block-level (10x10) k-fold splits with nested cross-validation,
+labelled-ratio masking, efficiency measurement and the plain-text reporting
+used by the benchmark harness.
+"""
+
+from .efficiency import BYTES_PER_PARAMETER, EfficiencyReport, measure_efficiency
+from .masking import LABEL_RATIOS, mask_train_indices, ratio_sweep
+from .metrics import (TopPercentResult, aggregate_reports, detection_report,
+                      roc_auc, top_percent_metrics)
+from .protocol import (EvaluationResult, MethodSummary, compare_methods,
+                       cross_validate, evaluate_detector, rank_regions)
+from .reporting import (TABLE2_HEADERS, format_metric_with_std, format_series,
+                        format_table, table2_rows)
+from .significance import (ComparisonTestResult, bootstrap_auc_difference,
+                           permutation_auc_test)
+from .splits import (FoldSplit, block_kfold, nested_cross_validation_splits,
+                     single_holdout, train_validation_split)
+
+__all__ = [
+    "roc_auc",
+    "top_percent_metrics",
+    "TopPercentResult",
+    "detection_report",
+    "aggregate_reports",
+    "FoldSplit",
+    "block_kfold",
+    "train_validation_split",
+    "nested_cross_validation_splits",
+    "single_holdout",
+    "LABEL_RATIOS",
+    "mask_train_indices",
+    "ratio_sweep",
+    "EvaluationResult",
+    "MethodSummary",
+    "evaluate_detector",
+    "cross_validate",
+    "compare_methods",
+    "rank_regions",
+    "EfficiencyReport",
+    "measure_efficiency",
+    "BYTES_PER_PARAMETER",
+    "format_table",
+    "format_series",
+    "format_metric_with_std",
+    "table2_rows",
+    "TABLE2_HEADERS",
+    "ComparisonTestResult",
+    "bootstrap_auc_difference",
+    "permutation_auc_test",
+]

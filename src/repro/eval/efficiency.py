@@ -1,0 +1,92 @@
+"""Efficiency measurements (paper Section VI-G, Table III).
+
+Three quantities are reported per method:
+
+* **training time** — average wall-clock time of one training epoch;
+* **inference time** — wall-clock time of producing probabilities for every
+  region of the city from raw inputs;
+* **model size** — parameter count converted to megabytes (float32).
+
+Absolute values obviously depend on the machine and on the numpy substrate
+replacing the paper's GPU stack; what the reproduction preserves is the
+relative ordering (plain MLP/GCN/GAT cheapest, UVLens/MUVFCN largest,
+MMRE slowest to train, CMSF in between with a small footprint).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from ..base import DetectorBase
+from ..urg.graph import UrbanRegionGraph
+
+#: bytes per parameter used when reporting model size (float32 deployment)
+BYTES_PER_PARAMETER = 4
+
+
+@dataclass
+class EfficiencyReport:
+    """Efficiency metrics of one method on one city."""
+
+    method: str
+    city: str
+    train_seconds_per_epoch: float
+    inference_seconds: float
+    model_size_mb: float
+    num_parameters: int
+    total_fit_seconds: float
+    epochs: int
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "method": self.method,
+            "city": self.city,
+            "train_s_per_epoch": self.train_seconds_per_epoch,
+            "inference_s": self.inference_seconds,
+            "model_size_mb": self.model_size_mb,
+            "parameters": self.num_parameters,
+        }
+
+
+def _count_epochs(detector: DetectorBase) -> Optional[int]:
+    """Best-effort extraction of the number of epochs a detector ran."""
+    history = getattr(detector, "history", None)
+    if history:
+        return len(history)
+    # CMSF exposes a structured history per stage.
+    try:
+        structured = detector.training_history()
+    except (AttributeError, RuntimeError):
+        return None
+    master = structured.get("master", [])
+    return len(master) if master else None
+
+
+def measure_efficiency(factory: Callable[[], DetectorBase], graph: UrbanRegionGraph,
+                       train_indices: np.ndarray) -> EfficiencyReport:
+    """Train a fresh detector and measure its efficiency on ``graph``."""
+    detector = factory()
+    start = time.perf_counter()
+    detector.fit(graph, train_indices)
+    total_fit = time.perf_counter() - start
+
+    epochs = _count_epochs(detector) or 1
+    start = time.perf_counter()
+    detector.predict_proba(graph)
+    inference = time.perf_counter() - start
+
+    parameters = detector.num_parameters()
+    return EfficiencyReport(
+        method=detector.name,
+        city=graph.name,
+        train_seconds_per_epoch=total_fit / max(epochs, 1),
+        inference_seconds=inference,
+        model_size_mb=parameters * BYTES_PER_PARAMETER / (1024.0 ** 2),
+        num_parameters=parameters,
+        total_fit_seconds=total_fit,
+        epochs=epochs,
+    )

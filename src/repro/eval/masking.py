@@ -1,0 +1,55 @@
+"""Labelled-data-ratio masking (paper Section VI-F, Figure 6(c)).
+
+To study robustness to label scarcity, the paper trains CMSF and UVLens on
+random masks of the training set keeping 10%, 25%, 50% and 75% of the
+labelled data.  The mask is applied to the *training* indices only; the test
+fold stays untouched.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+#: Ratios reported in Figure 6(c), in plot order.
+LABEL_RATIOS: Sequence[float] = (0.10, 0.25, 0.50, 0.75, 1.00)
+
+
+def mask_train_indices(train_indices: np.ndarray, labels: np.ndarray, ratio: float,
+                       seed: int = 0, keep_at_least_one_uv: bool = True) -> np.ndarray:
+    """Return a random subset of ``train_indices`` containing ``ratio`` of them.
+
+    Parameters
+    ----------
+    train_indices:
+        Labelled node indices available for training.
+    labels:
+        Full per-node label array (used to optionally guarantee at least one
+        positive remains — a fold with zero UVs cannot be trained at all).
+    ratio:
+        Fraction of the training labels to keep, in ``(0, 1]``.
+    """
+    if not 0.0 < ratio <= 1.0:
+        raise ValueError("ratio must be in (0, 1], got %r" % ratio)
+    train_indices = np.asarray(train_indices, dtype=np.int64)
+    if ratio == 1.0:
+        return train_indices.copy()
+    rng = np.random.default_rng(seed)
+    keep = max(int(round(ratio * train_indices.size)), 1)
+    selected = rng.choice(train_indices, size=keep, replace=False)
+    if keep_at_least_one_uv:
+        has_uv = np.any(labels[selected] == 1)
+        if not has_uv:
+            uv_pool = train_indices[labels[train_indices] == 1]
+            if uv_pool.size:
+                selected = np.concatenate([selected[:-1], [rng.choice(uv_pool)]])
+    return np.sort(selected)
+
+
+def ratio_sweep(train_indices: np.ndarray, labels: np.ndarray,
+                ratios: Sequence[float] = LABEL_RATIOS,
+                seed: int = 0) -> Dict[float, np.ndarray]:
+    """Training-index subsets for every ratio of the Figure 6(c) sweep."""
+    return {ratio: mask_train_indices(train_indices, labels, ratio, seed=seed)
+            for ratio in ratios}

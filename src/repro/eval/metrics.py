@@ -1,0 +1,118 @@
+"""Evaluation metrics (paper Section VI-C).
+
+* :func:`roc_auc` — Area Under the ROC Curve computed from prediction ranks.
+* :func:`top_percent_metrics` — the paper's practical-screening metrics: the
+  top ``p%`` highest-probability regions of the evaluation pool are treated
+  as predicted urban villages, and Recall / Precision / F1 are computed
+  against the ground truth.  The paper reports ``p = 3`` and ``p = 5``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Sequence
+
+import numpy as np
+from scipy.stats import rankdata
+
+
+def roc_auc(labels: np.ndarray, scores: np.ndarray) -> float:
+    """Area under the ROC curve via the Mann-Whitney U statistic.
+
+    Returns ``nan`` when only one class is present (AUC undefined).
+    """
+    labels = np.asarray(labels).astype(int)
+    scores = np.asarray(scores, dtype=np.float64)
+    if labels.shape != scores.shape:
+        raise ValueError("labels and scores must have the same shape")
+    n_pos = int((labels == 1).sum())
+    n_neg = int((labels == 0).sum())
+    if n_pos == 0 or n_neg == 0:
+        return float("nan")
+    ranks = rankdata(scores)
+    rank_sum_pos = ranks[labels == 1].sum()
+    u_statistic = rank_sum_pos - n_pos * (n_pos + 1) / 2.0
+    return float(u_statistic / (n_pos * n_neg))
+
+
+@dataclass
+class TopPercentResult:
+    """Recall / Precision / F1 at a fixed screening budget."""
+
+    percent: float
+    recall: float
+    precision: float
+    f1: float
+    num_selected: int
+    num_true_positive: int
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            f"recall@{self.percent:g}": self.recall,
+            f"precision@{self.percent:g}": self.precision,
+            f"f1@{self.percent:g}": self.f1,
+        }
+
+
+def top_percent_metrics(labels: np.ndarray, scores: np.ndarray,
+                        percent: float) -> TopPercentResult:
+    """Recall / Precision / F1 when the top ``percent``% scored regions are
+    flagged as urban villages.
+
+    ``labels`` and ``scores`` cover the evaluation pool (the labelled test
+    regions of a fold, or the whole city when scoring against the full ground
+    truth); at least one region is always selected.
+    """
+    labels = np.asarray(labels).astype(int)
+    scores = np.asarray(scores, dtype=np.float64)
+    if labels.shape != scores.shape:
+        raise ValueError("labels and scores must have the same shape")
+    if not 0.0 < percent <= 100.0:
+        raise ValueError("percent must be in (0, 100], got %r" % percent)
+    n = labels.size
+    if n == 0:
+        return TopPercentResult(percent, float("nan"), float("nan"), float("nan"), 0, 0)
+    k = max(int(np.ceil(n * percent / 100.0)), 1)
+    order = np.argsort(-scores, kind="stable")
+    selected = order[:k]
+    true_positive = int((labels[selected] == 1).sum())
+    total_positive = int((labels == 1).sum())
+    precision = true_positive / k
+    recall = true_positive / total_positive if total_positive > 0 else float("nan")
+    if np.isnan(recall) or precision + recall == 0:
+        f1 = 0.0 if not np.isnan(recall) else float("nan")
+    else:
+        f1 = 2 * precision * recall / (precision + recall)
+    return TopPercentResult(percent=percent, recall=recall, precision=precision,
+                            f1=f1, num_selected=k, num_true_positive=true_positive)
+
+
+def detection_report(labels: np.ndarray, scores: np.ndarray,
+                     percents: Sequence[float] = (3.0, 5.0)) -> Dict[str, float]:
+    """The full metric set of Table II for one evaluation pool."""
+    report: Dict[str, float] = {"auc": roc_auc(labels, scores)}
+    for percent in percents:
+        report.update(top_percent_metrics(labels, scores, percent).as_dict())
+    return report
+
+
+def aggregate_reports(reports: Iterable[Dict[str, float]]) -> Dict[str, Dict[str, float]]:
+    """Mean and standard deviation of each metric across runs/folds.
+
+    NaN entries (e.g. a fold whose test pool contains a single class) are
+    ignored, matching how multi-run averages are usually reported.
+    """
+    reports = list(reports)
+    if not reports:
+        return {}
+    keys = sorted({key for report in reports for key in report})
+    summary: Dict[str, Dict[str, float]] = {}
+    for key in keys:
+        values = np.array([report[key] for report in reports if key in report],
+                          dtype=np.float64)
+        valid = values[~np.isnan(values)]
+        if valid.size == 0:
+            summary[key] = {"mean": float("nan"), "std": float("nan")}
+        else:
+            summary[key] = {"mean": float(valid.mean()), "std": float(valid.std())}
+    return summary

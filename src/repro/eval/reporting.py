@@ -1,0 +1,81 @@
+"""Plain-text table and series formatting for the benchmark harness.
+
+Every benchmark prints the rows/series of the paper table or figure it
+regenerates; these helpers keep that output consistent and readable without
+any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence],
+                 title: Optional[str] = None, float_format: str = "{:.3f}") -> str:
+    """Render a simple aligned text table."""
+    formatted_rows: List[List[str]] = []
+    for row in rows:
+        formatted = []
+        for value in row:
+            if isinstance(value, float):
+                formatted.append(float_format.format(value))
+            else:
+                formatted.append(str(value))
+        formatted_rows.append(formatted)
+    widths = [len(h) for h in headers]
+    for row in formatted_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in formatted_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_metric_with_std(mean: float, std: float) -> str:
+    """Render ``mean (std)`` in the paper's Table II style."""
+    if mean != mean:  # NaN check without importing numpy
+        return "n/a"
+    return f"{mean:.3f} ({std:.3f})"
+
+
+def format_series(name: str, xs: Sequence, ys: Sequence,
+                  x_label: str = "x", y_label: str = "y") -> str:
+    """Render one figure series as aligned ``x -> y`` pairs."""
+    lines = [f"{name} ({x_label} -> {y_label})"]
+    for x, y in zip(xs, ys):
+        y_str = f"{y:.3f}" if isinstance(y, float) else str(y)
+        lines.append(f"  {x!s:>8} -> {y_str}")
+    return "\n".join(lines)
+
+
+def table2_rows(city: str, summaries: Mapping[str, "object"],
+                methods: Sequence[str]) -> List[List[str]]:
+    """Build Table II rows (method, AUC, and the p=3/p=5 metric columns)."""
+    rows = []
+    for method in methods:
+        summary = summaries.get(method)
+        if summary is None:
+            continue
+        rows.append([
+            city,
+            method,
+            format_metric_with_std(summary.mean("auc"), summary.std("auc")),
+            format_metric_with_std(summary.mean("recall@3"), summary.std("recall@3")),
+            format_metric_with_std(summary.mean("precision@3"), summary.std("precision@3")),
+            format_metric_with_std(summary.mean("f1@3"), summary.std("f1@3")),
+            format_metric_with_std(summary.mean("recall@5"), summary.std("recall@5")),
+            format_metric_with_std(summary.mean("precision@5"), summary.std("precision@5")),
+            format_metric_with_std(summary.mean("f1@5"), summary.std("f1@5")),
+        ])
+    return rows
+
+
+TABLE2_HEADERS = ["City", "Method", "AUC", "Recall@3", "Precision@3", "F1@3",
+                  "Recall@5", "Precision@5", "F1@5"]

@@ -1,0 +1,131 @@
+"""Statistical significance tests for method comparisons.
+
+Table II reports means and standard deviations over five seeded runs; when
+two methods are close (e.g. CMSF vs. the strongest baseline) a practitioner
+needs to know whether the gap is larger than the evaluation noise.  This
+module provides the two standard non-parametric tools for that question on a
+*shared* evaluation pool:
+
+* :func:`bootstrap_auc_difference` — paired bootstrap over evaluation
+  regions: resample the pool with replacement and recompute the AUC gap;
+* :func:`permutation_auc_test` — label-preserving permutation test that
+  swaps the two methods' scores region-wise under the null hypothesis that
+  they are exchangeable.
+
+Both operate on per-region scores from two methods evaluated on the same
+regions, which is exactly what :func:`repro.eval.protocol.compare_methods`
+produces when given a common split.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from .metrics import roc_auc
+
+
+@dataclass
+class ComparisonTestResult:
+    """Outcome of a paired significance test between two methods."""
+
+    #: observed AUC of the first / second method on the full pool
+    auc_a: float
+    auc_b: float
+    #: observed difference ``auc_a - auc_b``
+    observed_difference: float
+    #: two-sided p-value of the null hypothesis "no difference"
+    p_value: float
+    #: 95% confidence interval of the difference (bootstrap only, else None)
+    confidence_interval: Optional[tuple] = None
+
+    @property
+    def significant(self) -> bool:
+        """True when the difference is significant at the 5% level."""
+        return bool(self.p_value < 0.05)
+
+
+def _validate(labels: np.ndarray, scores_a: np.ndarray, scores_b: np.ndarray):
+    labels = np.asarray(labels).astype(int)
+    scores_a = np.asarray(scores_a, dtype=np.float64)
+    scores_b = np.asarray(scores_b, dtype=np.float64)
+    if not (labels.shape == scores_a.shape == scores_b.shape):
+        raise ValueError("labels and both score vectors must have the same shape")
+    if labels.size == 0:
+        raise ValueError("the evaluation pool is empty")
+    return labels, scores_a, scores_b
+
+
+def bootstrap_auc_difference(labels: np.ndarray, scores_a: np.ndarray,
+                             scores_b: np.ndarray, num_samples: int = 1000,
+                             seed: int = 0) -> ComparisonTestResult:
+    """Paired bootstrap test of the AUC difference between two methods.
+
+    Regions are resampled with replacement; both methods are re-evaluated on
+    the same resample, so their correlation is preserved.  The p-value is the
+    two-sided probability that the resampled difference crosses zero.
+    """
+    labels, scores_a, scores_b = _validate(labels, scores_a, scores_b)
+    rng = np.random.default_rng(seed)
+    auc_a = roc_auc(labels, scores_a)
+    auc_b = roc_auc(labels, scores_b)
+    observed = auc_a - auc_b
+
+    differences = []
+    n = labels.size
+    for _ in range(num_samples):
+        sample = rng.integers(0, n, size=n)
+        resampled = roc_auc(labels[sample], scores_a[sample]) \
+            - roc_auc(labels[sample], scores_b[sample])
+        if not np.isnan(resampled):
+            differences.append(resampled)
+    differences = np.asarray(differences)
+    if differences.size == 0:
+        return ComparisonTestResult(auc_a, auc_b, observed, float("nan"))
+    # Two-sided p-value: how often the bootstrap difference lands on the other
+    # side of zero relative to the observed sign.
+    if observed >= 0:
+        tail = float((differences <= 0).mean())
+    else:
+        tail = float((differences >= 0).mean())
+    p_value = min(2.0 * tail, 1.0)
+    interval = (float(np.percentile(differences, 2.5)),
+                float(np.percentile(differences, 97.5)))
+    return ComparisonTestResult(auc_a, auc_b, observed, p_value, interval)
+
+
+def permutation_auc_test(labels: np.ndarray, scores_a: np.ndarray,
+                         scores_b: np.ndarray, num_permutations: int = 1000,
+                         seed: int = 0) -> ComparisonTestResult:
+    """Paired permutation test of the AUC difference between two methods.
+
+    Under the null hypothesis the two methods are exchangeable, so for every
+    region the pair of scores can be swapped with probability one half; the
+    p-value is the fraction of permutations whose absolute AUC difference
+    reaches the observed one.
+    """
+    labels, scores_a, scores_b = _validate(labels, scores_a, scores_b)
+    rng = np.random.default_rng(seed)
+    auc_a = roc_auc(labels, scores_a)
+    auc_b = roc_auc(labels, scores_b)
+    observed = auc_a - auc_b
+    if np.isnan(observed):
+        return ComparisonTestResult(auc_a, auc_b, observed, float("nan"))
+
+    count = 0
+    valid = 0
+    n = labels.size
+    for _ in range(num_permutations):
+        swap = rng.random(n) < 0.5
+        permuted_a = np.where(swap, scores_b, scores_a)
+        permuted_b = np.where(swap, scores_a, scores_b)
+        difference = roc_auc(labels, permuted_a) - roc_auc(labels, permuted_b)
+        if np.isnan(difference):
+            continue
+        valid += 1
+        if abs(difference) >= abs(observed) - 1e-12:
+            count += 1
+    p_value = (count + 1) / (valid + 1) if valid else float("nan")
+    return ComparisonTestResult(auc_a, auc_b, observed, float(p_value))

@@ -1,0 +1,135 @@
+"""Data splitting protocol (paper Section VI-A, "Datasets construction").
+
+The paper evaluates with 3-fold nested cross-validation where the split is
+performed at the level of coarse 10x10-region blocks rather than individual
+region grids, so that labelled and unlabeled grids of the same patch never
+end up on different sides of the split ("coarse-grained partition strategy").
+
+This module provides:
+
+* :func:`block_kfold` — k folds of labelled node indices grouped by block id;
+* :func:`nested_cross_validation_splits` — the outer/inner structure used for
+  hyper-parameter selection (outer test fold + inner train/validation);
+* :class:`FoldSplit` — a simple record of train/test labelled indices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from ..urg.graph import UrbanRegionGraph
+
+
+@dataclass
+class FoldSplit:
+    """Labelled-node indices of one cross-validation fold."""
+
+    fold: int
+    train_indices: np.ndarray
+    test_indices: np.ndarray
+
+    def __post_init__(self) -> None:
+        overlap = np.intersect1d(self.train_indices, self.test_indices)
+        if overlap.size:
+            raise ValueError("train and test indices overlap: %s" % overlap[:5])
+
+
+def _blocks_of_labeled_nodes(graph: UrbanRegionGraph) -> Dict[int, List[int]]:
+    """Group labelled node indices by their coarse block id."""
+    groups: Dict[int, List[int]] = {}
+    for node in graph.labeled_indices():
+        groups.setdefault(int(graph.block_ids[node]), []).append(int(node))
+    return groups
+
+
+def block_kfold(graph: UrbanRegionGraph, n_folds: int = 3,
+                seed: int = 0) -> List[FoldSplit]:
+    """Split the labelled regions into ``n_folds`` block-level folds.
+
+    Blocks (not individual regions) are assigned to folds, and the assignment
+    is stratified greedily so every fold receives a similar number of
+    labelled UVs — important because some folds would otherwise contain no
+    positives at all, making Recall/AUC undefined.
+    """
+    if n_folds < 2:
+        raise ValueError("n_folds must be at least 2")
+    groups = _blocks_of_labeled_nodes(graph)
+    if len(groups) < n_folds:
+        raise ValueError(
+            "only %d labelled blocks available for %d folds; use a smaller "
+            "block size or fewer folds" % (len(groups), n_folds))
+    rng = np.random.default_rng(seed)
+
+    # Sort blocks by how many labelled UVs they contain (descending, with a
+    # random tie-break), then assign each block to the fold currently holding
+    # the fewest UVs; fall back to fewest labelled nodes as a second key.
+    block_ids = list(groups)
+    rng.shuffle(block_ids)
+    block_ids.sort(key=lambda b: -sum(graph.labels[n] == 1 for n in groups[b]))
+    fold_members: List[List[int]] = [[] for _ in range(n_folds)]
+    fold_uv_counts = np.zeros(n_folds)
+    fold_sizes = np.zeros(n_folds)
+    for block in block_ids:
+        nodes = groups[block]
+        uv_count = sum(graph.labels[n] == 1 for n in nodes)
+        target = int(np.lexsort((fold_sizes, fold_uv_counts))[0])
+        fold_members[target].extend(nodes)
+        fold_uv_counts[target] += uv_count
+        fold_sizes[target] += len(nodes)
+
+    splits: List[FoldSplit] = []
+    for fold in range(n_folds):
+        test = np.array(sorted(fold_members[fold]), dtype=np.int64)
+        train = np.array(sorted(n for other in range(n_folds) if other != fold
+                                for n in fold_members[other]), dtype=np.int64)
+        splits.append(FoldSplit(fold=fold, train_indices=train, test_indices=test))
+    return splits
+
+
+def train_validation_split(train_indices: np.ndarray, graph: UrbanRegionGraph,
+                           n_inner_folds: int = 2, seed: int = 0
+                           ) -> List[Tuple[np.ndarray, np.ndarray]]:
+    """Inner split of a training fold for hyper-parameter selection.
+
+    Implements the "another 2-fold cross-validation" of the nested protocol:
+    the outer training labelled nodes are regrouped by block and divided into
+    ``n_inner_folds`` parts; each part serves once as the validation set.
+    """
+    train_indices = np.asarray(train_indices, dtype=np.int64)
+    blocks: Dict[int, List[int]] = {}
+    for node in train_indices:
+        blocks.setdefault(int(graph.block_ids[node]), []).append(int(node))
+    rng = np.random.default_rng(seed)
+    block_ids = list(blocks)
+    rng.shuffle(block_ids)
+    assignments = [block_ids[i::n_inner_folds] for i in range(n_inner_folds)]
+    splits = []
+    for inner in range(n_inner_folds):
+        validation = np.array(sorted(n for b in assignments[inner] for n in blocks[b]),
+                              dtype=np.int64)
+        training = np.setdiff1d(train_indices, validation)
+        if training.size and validation.size:
+            splits.append((training, validation))
+    return splits
+
+
+def nested_cross_validation_splits(graph: UrbanRegionGraph, n_outer: int = 3,
+                                   n_inner: int = 2, seed: int = 0
+                                   ) -> Iterator[Tuple[FoldSplit, List[Tuple[np.ndarray, np.ndarray]]]]:
+    """Yield ``(outer_fold, inner_splits)`` pairs for nested cross-validation."""
+    for outer in block_kfold(graph, n_folds=n_outer, seed=seed):
+        inner = train_validation_split(outer.train_indices, graph,
+                                       n_inner_folds=n_inner, seed=seed + outer.fold)
+        yield outer, inner
+
+
+def single_holdout(graph: UrbanRegionGraph, test_fraction: float = 0.33,
+                   seed: int = 0) -> FoldSplit:
+    """A single block-level train/test split (used by quick examples)."""
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must be in (0, 1)")
+    n_folds = max(int(round(1.0 / test_fraction)), 2)
+    return block_kfold(graph, n_folds=n_folds, seed=seed)[0]

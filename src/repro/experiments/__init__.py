@@ -1,0 +1,47 @@
+"""``repro.experiments`` — per-table / per-figure experiment runners.
+
+One function per experiment of the paper's evaluation section:
+
+* :func:`run_table1` — dataset statistics,
+* :func:`run_table2` — detection performance comparison,
+* :func:`run_table3` — efficiency comparison,
+* :func:`run_fig5a` / :func:`run_fig5b` — component / data ablations,
+* :func:`run_fig6a` / :func:`run_fig6b` / :func:`run_fig6c` — parameter and
+  label-ratio sensitivity,
+* :func:`run_fig7` — case study.
+
+See :mod:`repro.experiments.settings` for the ``REPRO_SCALE`` switch that
+controls the protocol size (quick vs full).
+"""
+
+from .datasets import (clear_caches, load_city, load_graph, load_graph_variant,
+                       table1_statistics)
+from .runners import (ascii_detection_map, run_fig5a, run_fig5b, run_fig6a,
+                      run_fig6b, run_fig6c, run_fig7, run_table1, run_table2,
+                      run_table3)
+from .settings import (EFFICIENCY_CITIES, EVALUATION_CITIES, PAPER_CITY_SETTINGS,
+                       ScaleSettings, city_cmsf_config, run_scale)
+
+__all__ = [
+    "load_city",
+    "load_graph",
+    "load_graph_variant",
+    "table1_statistics",
+    "clear_caches",
+    "run_table1",
+    "run_table2",
+    "run_table3",
+    "run_fig5a",
+    "run_fig5b",
+    "run_fig6a",
+    "run_fig6b",
+    "run_fig6c",
+    "run_fig7",
+    "ascii_detection_map",
+    "ScaleSettings",
+    "city_cmsf_config",
+    "run_scale",
+    "EVALUATION_CITIES",
+    "EFFICIENCY_CITIES",
+    "PAPER_CITY_SETTINGS",
+]

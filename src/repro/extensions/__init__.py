@@ -1,0 +1,28 @@
+"""Extensions beyond the paper's core experiments.
+
+The paper closes with "we plan to further investigate how to apply our
+framework to other urban applications"; this subpackage prototypes two such
+directions on top of the released library:
+
+* :mod:`repro.extensions.transfer` — cross-city transfer: pre-train the
+  master model in one city and adapt it to another, comparing the paper's
+  two-stage adaptation against the meta-optimisation style fine-tuning the
+  related-work section contrasts it with;
+* :mod:`repro.extensions.regression` — master-slave regression: reuse the
+  hierarchical URG encoder for a continuous region indicator (a synthetic
+  socioeconomic index), showing that the contextual master-slave idea is not
+  tied to binary UV detection.
+"""
+
+from .regression import (MasterSlaveRegressor, RegressionConfig,
+                         synthetic_region_indicator)
+from .transfer import CrossCityTransfer, TransferConfig, TransferResult
+
+__all__ = [
+    "CrossCityTransfer",
+    "TransferConfig",
+    "TransferResult",
+    "MasterSlaveRegressor",
+    "RegressionConfig",
+    "synthetic_region_indicator",
+]

@@ -1,0 +1,169 @@
+"""Master-slave regression on the urban region graph.
+
+The paper's future work asks whether the contextual master-slave idea
+transfers to other urban applications.  This extension applies the same
+ingredients — the MAGA encoder, the GSCM hierarchy and a per-region gate —
+to a *regression* task: predicting a continuous socioeconomic indicator for
+every region from the same multi-modal URG features.
+
+Because the synthetic cities expose their latent state, a ground-truth
+indicator can be synthesised (a noisy mixture of building density, POI
+intensity and distance to downtown), which gives the extension a fully
+reproducible benchmark without any new data source.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..core.config import CMSFConfig
+from ..core.gscm import GlobalSemanticClustering
+from ..core.maga import MAGAEncoder
+from ..nn import Linear, Module, Tensor, no_grad
+from ..nn.losses import mse_loss
+from ..nn.optim import Adam, ExponentialDecay
+from ..nn import functional as F
+from ..synth.city import SyntheticCity
+from ..urg.graph import UrbanRegionGraph
+
+
+def synthetic_region_indicator(city: SyntheticCity, graph: UrbanRegionGraph,
+                               noise: float = 0.05,
+                               seed: int = 0) -> np.ndarray:
+    """Build a continuous per-region indicator from the city's latent state.
+
+    The indicator mimics a normalised "development index": high in dense,
+    well-served downtown areas, low in under-served urban villages and far
+    suburbs.  Only used as a regression target for the extension experiments.
+    """
+    rng = np.random.default_rng(seed)
+    land = city.land_use
+    density = land.building_density.reshape(-1)[graph.region_index]
+    greenery = land.greenery.reshape(-1)[graph.region_index]
+    irregularity = land.irregularity.reshape(-1)[graph.region_index]
+    poi_counts = np.zeros(city.num_regions)
+    for poi in city.pois:
+        poi_counts[poi.region_index] += 1
+    poi_term = np.log1p(poi_counts[graph.region_index])
+    poi_term = poi_term / max(poi_term.max(), 1e-8)
+    indicator = (0.45 * density + 0.35 * poi_term + 0.10 * greenery
+                 - 0.25 * irregularity)
+    indicator = (indicator - indicator.min()) / max(np.ptp(indicator), 1e-8)
+    return np.clip(indicator + rng.normal(0.0, noise, size=indicator.shape), 0.0, 1.0)
+
+
+@dataclass
+class RegressionConfig:
+    """Hyper-parameters of the master-slave regressor."""
+
+    cmsf: CMSFConfig = field(default_factory=lambda: CMSFConfig(
+        hidden_dim=32, image_reduce_dim=64, classifier_hidden=16, num_clusters=16))
+    epochs: int = 120
+    learning_rate: float = 1e-3
+    #: weight of the gate (slave) refinement term; 0 disables the gate head
+    gate_weight: float = 1.0
+    seed: int = 0
+
+
+class _RegressionModel(Module):
+    """MAGA + GSCM encoder with a master regression head and a gated offset.
+
+    The master head predicts a shared regression value; the gate head turns
+    each region's cluster-context vector into a multiplicative correction —
+    the regression analogue of deriving a per-region slave model.
+    """
+
+    def __init__(self, poi_dim: int, img_dim: int, config: RegressionConfig,
+                 rng: np.random.Generator) -> None:
+        super().__init__()
+        cmsf = config.cmsf
+        self.encoder = MAGAEncoder(
+            poi_dim=poi_dim, img_dim=img_dim, hidden_dim=cmsf.hidden_dim,
+            num_layers=cmsf.maga_layers, heads=cmsf.maga_heads,
+            aggregation=cmsf.maga_aggregation, rng=rng,
+            image_reduce_dim=cmsf.image_reduce_dim, dropout=cmsf.dropout,
+            residual=cmsf.maga_residual)
+        self.gscm = GlobalSemanticClustering(
+            input_dim=self.encoder.output_dim, num_clusters=cmsf.num_clusters,
+            rng=rng, temperature=cmsf.assignment_temperature,
+            aggregation=cmsf.cluster_aggregation)
+        self.master_head = Linear(self.gscm.output_dim, 1, rng)
+        self.gate_head = Linear(cmsf.num_clusters, 1, rng)
+        self.use_gate = config.gate_weight > 0
+
+    def forward(self, graph: UrbanRegionGraph) -> Tensor:
+        local = self.encoder(graph.x_poi, graph.x_img, graph.edge_index)
+        out = self.gscm(local)
+        logit = self.master_head(out.enhanced).reshape(-1)
+        if self.use_gate:
+            # Region-specific correction derived from the soft cluster
+            # membership (the context vector of the slave stage, reused for
+            # regression); added in logit space so the output stays in (0, 1).
+            logit = logit + self.gate_head(out.assignment).reshape(-1)
+        return F.sigmoid(logit)
+
+
+@dataclass
+class RegressionReport:
+    """Fit statistics of the master-slave regressor on held-out regions."""
+
+    mse: float
+    mae: float
+    r2: float
+
+
+class MasterSlaveRegressor:
+    """Regression variant of CMSF for continuous region indicators."""
+
+    def __init__(self, config: Optional[RegressionConfig] = None) -> None:
+        self.config = config or RegressionConfig()
+        self.model: Optional[_RegressionModel] = None
+        self.history: List[float] = []
+        self._fitted = False
+
+    def fit(self, graph: UrbanRegionGraph, targets: np.ndarray,
+            train_indices: np.ndarray) -> "MasterSlaveRegressor":
+        targets = np.asarray(targets, dtype=np.float64)
+        if targets.shape[0] != graph.num_nodes:
+            raise ValueError("targets must have one entry per node")
+        train_indices = np.asarray(train_indices, dtype=np.int64)
+        rng = np.random.default_rng(self.config.seed)
+        self.model = _RegressionModel(graph.poi_dim, graph.image_dim, self.config, rng)
+        optimizer = Adam(self.model.parameters(), lr=self.config.learning_rate)
+        scheduler = ExponentialDecay(optimizer, decay_rate=self.config.cmsf.lr_decay)
+        self.history = []
+        for _ in range(self.config.epochs):
+            optimizer.zero_grad()
+            predictions = self.model(graph)
+            loss = mse_loss(predictions[train_indices], targets[train_indices])
+            loss.backward()
+            optimizer.step()
+            scheduler.step()
+            self.history.append(float(loss.item()))
+        self._fitted = True
+        return self
+
+    def predict(self, graph: UrbanRegionGraph) -> np.ndarray:
+        if not self._fitted:
+            raise RuntimeError("fit() must be called before predict()")
+        self.model.eval()
+        with no_grad():
+            predictions = self.model(graph)
+        self.model.train()
+        return predictions.data.copy()
+
+    def evaluate(self, graph: UrbanRegionGraph, targets: np.ndarray,
+                 test_indices: np.ndarray) -> Dict[str, float]:
+        """MSE / MAE / R^2 on the given held-out regions."""
+        targets = np.asarray(targets, dtype=np.float64)
+        test_indices = np.asarray(test_indices, dtype=np.int64)
+        predictions = self.predict(graph)[test_indices]
+        truth = targets[test_indices]
+        mse = float(((predictions - truth) ** 2).mean())
+        mae = float(np.abs(predictions - truth).mean())
+        variance = float(((truth - truth.mean()) ** 2).mean())
+        r2 = float(1.0 - mse / variance) if variance > 0 else float("nan")
+        return {"mse": mse, "mae": mae, "r2": r2}

@@ -1,0 +1,57 @@
+"""``repro.nn`` — a numpy-based neural-network substrate.
+
+The CMSF paper assumes a standard deep-learning stack (PyTorch-style tensors,
+autograd, Adam, GNN message passing).  This subpackage provides that stack
+from scratch so that the reproduction has no external DL dependency:
+
+* :mod:`repro.nn.tensor` — reverse-mode autodiff tensors,
+* :mod:`repro.nn.functional` — activations / softmax / dropout,
+* :mod:`repro.nn.sparse` — segment operations for edge-list GNNs,
+* :mod:`repro.nn.module` / :mod:`repro.nn.layers` — module system and layers,
+* :mod:`repro.nn.losses` — BCE, PU rank loss, MSE,
+* :mod:`repro.nn.optim` — SGD, Adam, exponential decay,
+* :mod:`repro.nn.training` — validation splits and early stopping,
+* :mod:`repro.nn.serialization` — state-dict persistence.
+"""
+
+from . import functional
+from . import init
+from . import losses
+from . import optim
+from . import schedulers
+from . import serialization
+from . import sparse
+from . import training
+from .layers import MLP, Activation, Dropout, Linear, LogisticRegression, Sequential
+from .module import Module, ModuleList, Parameter
+from .tensor import Tensor, as_tensor, concatenate, maximum, no_grad, stack, where
+from .training import EarlyStopping, validation_split
+
+__all__ = [
+    "Tensor",
+    "as_tensor",
+    "concatenate",
+    "stack",
+    "where",
+    "maximum",
+    "no_grad",
+    "Module",
+    "ModuleList",
+    "Parameter",
+    "Linear",
+    "MLP",
+    "Sequential",
+    "Dropout",
+    "Activation",
+    "LogisticRegression",
+    "EarlyStopping",
+    "validation_split",
+    "functional",
+    "sparse",
+    "losses",
+    "optim",
+    "schedulers",
+    "init",
+    "serialization",
+    "training",
+]

@@ -1,0 +1,185 @@
+"""Differentiable activation and normalisation functions.
+
+All functions operate on :class:`repro.nn.tensor.Tensor` objects and return
+tensors wired into the autograd tape.  They mirror the operations used by the
+CMSF paper: LeakyReLU for attention scores, Sigmoid for the parameter filter
+(Eq. 20) and the final classifier, Softmax for attention normalisation and the
+cluster assignment matrix (Eq. 9), plus a small number of generic helpers.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .tensor import Tensor, is_grad_enabled
+
+
+def relu(x: Tensor) -> Tensor:
+    """Rectified linear unit ``max(x, 0)``."""
+    out_data = np.maximum(x.data, 0.0)
+    if not (is_grad_enabled() and x.requires_grad):
+        return Tensor(out_data)
+
+    mask = x.data > 0
+
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate(grad * mask)
+
+    return Tensor(out_data, requires_grad=True, parents=(x,), backward=backward)
+
+
+def leaky_relu(x: Tensor, negative_slope: float = 0.2) -> Tensor:
+    """LeakyReLU activation used for attention scores (paper Eq. 1, 5)."""
+    out_data = np.where(x.data > 0, x.data, negative_slope * x.data)
+    if not (is_grad_enabled() and x.requires_grad):
+        return Tensor(out_data)
+
+    slope = np.where(x.data > 0, 1.0, negative_slope)
+
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate(grad * slope)
+
+    return Tensor(out_data, requires_grad=True, parents=(x,), backward=backward)
+
+
+def elu(x: Tensor, alpha: float = 1.0) -> Tensor:
+    """Exponential linear unit."""
+    exp_part = alpha * (np.exp(np.minimum(x.data, 0.0)) - 1.0)
+    out_data = np.where(x.data > 0, x.data, exp_part)
+    if not (is_grad_enabled() and x.requires_grad):
+        return Tensor(out_data)
+
+    slope = np.where(x.data > 0, 1.0, exp_part + alpha)
+
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate(grad * slope)
+
+    return Tensor(out_data, requires_grad=True, parents=(x,), backward=backward)
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    """Numerically stable logistic sigmoid."""
+    out_data = np.empty_like(x.data)
+    positive = x.data >= 0
+    out_data[positive] = 1.0 / (1.0 + np.exp(-x.data[positive]))
+    exp_x = np.exp(x.data[~positive])
+    out_data[~positive] = exp_x / (1.0 + exp_x)
+    if not (is_grad_enabled() and x.requires_grad):
+        return Tensor(out_data)
+
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate(grad * out_data * (1.0 - out_data))
+
+    return Tensor(out_data, requires_grad=True, parents=(x,), backward=backward)
+
+
+def tanh(x: Tensor) -> Tensor:
+    """Hyperbolic tangent."""
+    out_data = np.tanh(x.data)
+    if not (is_grad_enabled() and x.requires_grad):
+        return Tensor(out_data)
+
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate(grad * (1.0 - out_data ** 2))
+
+    return Tensor(out_data, requires_grad=True, parents=(x,), backward=backward)
+
+
+def softmax(x: Tensor, axis: int = -1, temperature: float = 1.0) -> Tensor:
+    """Softmax along ``axis`` with optional temperature.
+
+    The temperature parameter ``tau`` matches the paper's assignment-matrix
+    computation (Section VI-A): smaller temperatures sharpen the membership
+    distribution over latent clusters.
+    """
+    if temperature <= 0:
+        raise ValueError("softmax temperature must be positive, got %r" % temperature)
+    scaled = x.data / temperature
+    shifted = scaled - scaled.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    out_data = exp / exp.sum(axis=axis, keepdims=True)
+    if not (is_grad_enabled() and x.requires_grad):
+        return Tensor(out_data)
+
+    def backward(grad: np.ndarray) -> None:
+        # d softmax_i / d x_j = (softmax_i (delta_ij - softmax_j)) / temperature
+        dot = (grad * out_data).sum(axis=axis, keepdims=True)
+        x._accumulate(out_data * (grad - dot) / temperature)
+
+    return Tensor(out_data, requires_grad=True, parents=(x,), backward=backward)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Log-softmax along ``axis`` (numerically stable)."""
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    log_norm = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    out_data = shifted - log_norm
+    if not (is_grad_enabled() and x.requires_grad):
+        return Tensor(out_data)
+
+    softmax_values = np.exp(out_data)
+
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate(grad - softmax_values * grad.sum(axis=axis, keepdims=True))
+
+    return Tensor(out_data, requires_grad=True, parents=(x,), backward=backward)
+
+
+def dropout(x: Tensor, p: float, rng: np.random.Generator, training: bool = True) -> Tensor:
+    """Inverted dropout with keep-probability scaling.
+
+    The random generator is passed explicitly so that experiments stay
+    reproducible under a single seed.
+    """
+    if not 0.0 <= p < 1.0:
+        raise ValueError("dropout probability must be in [0, 1), got %r" % p)
+    if not training or p == 0.0:
+        return x
+    keep = 1.0 - p
+    mask = (rng.random(x.shape) < keep).astype(x.dtype) / keep
+    out_data = x.data * mask
+    if not (is_grad_enabled() and x.requires_grad):
+        return Tensor(out_data)
+
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate(grad * mask)
+
+    return Tensor(out_data, requires_grad=True, parents=(x,), backward=backward)
+
+
+def identity(x: Tensor) -> Tensor:
+    """Identity activation (useful as a configurable no-op)."""
+    return x
+
+
+_ACTIVATIONS = {
+    "relu": relu,
+    "leaky_relu": leaky_relu,
+    "elu": elu,
+    "sigmoid": sigmoid,
+    "tanh": tanh,
+    "identity": identity,
+    "linear": identity,
+    "none": identity,
+}
+
+
+def get_activation(name: Optional[str]):
+    """Look up an activation function by name.
+
+    Parameters
+    ----------
+    name:
+        One of ``relu``, ``leaky_relu``, ``elu``, ``sigmoid``, ``tanh``,
+        ``identity`` (aliases ``linear``/``none``) or ``None`` for identity.
+    """
+    if name is None:
+        return identity
+    key = name.lower()
+    if key not in _ACTIVATIONS:
+        raise KeyError(
+            "unknown activation %r; available: %s" % (name, sorted(_ACTIVATIONS))
+        )
+    return _ACTIVATIONS[key]

@@ -1,0 +1,169 @@
+"""Reusable neural network layers built on :class:`repro.nn.module.Module`.
+
+These are the generic building blocks shared by the CMSF components and all
+baselines: linear projections, multi-layer perceptrons, dropout as a module
+and a sequential container.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from . import functional as F
+from . import init as initmod
+from .module import Module, ModuleList, Parameter
+from .tensor import Tensor
+
+
+class Linear(Module):
+    """Affine transformation ``y = x W^T + b``.
+
+    Parameters
+    ----------
+    in_features / out_features:
+        Input and output dimensionality.
+    bias:
+        Whether to add a learned bias vector.
+    rng:
+        Random generator used for weight initialisation (mandatory to keep the
+        whole framework deterministic under a seed).
+    initializer:
+        Name of the initialiser from :mod:`repro.nn.init`.
+    """
+
+    def __init__(self, in_features: int, out_features: int, rng: np.random.Generator,
+                 bias: bool = True, initializer: str = "xavier_uniform") -> None:
+        super().__init__()
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("Linear dimensions must be positive, got (%d, %d)"
+                             % (in_features, out_features))
+        self.in_features = in_features
+        self.out_features = out_features
+        init_fn = initmod.get_initializer(initializer)
+        self.weight = Parameter(init_fn((out_features, in_features), rng), name="weight")
+        self.bias = Parameter(np.zeros(out_features), name="bias") if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x.matmul(self.weight.T)
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def __repr__(self) -> str:
+        return f"Linear(in={self.in_features}, out={self.out_features}, bias={self.bias is not None})"
+
+
+class Dropout(Module):
+    """Dropout as a module; active only in training mode."""
+
+    def __init__(self, p: float, rng: np.random.Generator) -> None:
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError("dropout probability must be in [0, 1), got %r" % p)
+        self.p = p
+        self._rng = rng
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.dropout(x, self.p, self._rng, training=self.training)
+
+    def __repr__(self) -> str:
+        return f"Dropout(p={self.p})"
+
+
+class Activation(Module):
+    """Wrap a functional activation as a module (for Sequential use)."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__()
+        self.name = name
+        self._fn: Callable[[Tensor], Tensor] = F.get_activation(name)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self._fn(x)
+
+    def __repr__(self) -> str:
+        return f"Activation({self.name})"
+
+
+class Sequential(Module):
+    """Apply modules in order."""
+
+    def __init__(self, *modules: Module) -> None:
+        super().__init__()
+        self.layers = ModuleList(list(modules))
+
+    def forward(self, x: Tensor) -> Tensor:
+        for layer in self.layers:
+            x = layer(x)
+        return x
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __getitem__(self, index: int) -> Module:
+        return self.layers[index]
+
+
+class MLP(Module):
+    """Multi-layer perceptron with configurable hidden sizes.
+
+    The master-model classifier (paper Section V-A3) is a 2-layer MLP; the MLP
+    baseline in Table II uses two branches of this class.
+
+    Parameters
+    ----------
+    in_features:
+        Input dimensionality.
+    hidden_sizes:
+        Sizes of the hidden layers (may be empty for a single linear map).
+    out_features:
+        Output dimensionality.
+    activation:
+        Hidden activation name.
+    out_activation:
+        Optional activation applied to the output layer.
+    dropout:
+        Dropout probability applied after each hidden activation.
+    """
+
+    def __init__(self, in_features: int, hidden_sizes: Sequence[int], out_features: int,
+                 rng: np.random.Generator, activation: str = "relu",
+                 out_activation: Optional[str] = None, dropout: float = 0.0) -> None:
+        super().__init__()
+        sizes = [in_features] + list(hidden_sizes) + [out_features]
+        layers: List[Module] = []
+        for i in range(len(sizes) - 1):
+            layers.append(Linear(sizes[i], sizes[i + 1], rng))
+            is_last = i == len(sizes) - 2
+            if not is_last:
+                layers.append(Activation(activation))
+                if dropout > 0:
+                    layers.append(Dropout(dropout, rng))
+            elif out_activation is not None:
+                layers.append(Activation(out_activation))
+        self.net = Sequential(*layers)
+        self.in_features = in_features
+        self.out_features = out_features
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.net(x)
+
+    def __repr__(self) -> str:
+        return f"MLP(in={self.in_features}, out={self.out_features}, layers={len(self.net)})"
+
+
+class LogisticRegression(Module):
+    """Simple logistic-regression head (used as the pseudo-label predictor).
+
+    The paper instantiates the pseudo-label predictor :math:`M_p` as "a simple
+    LR classifier" (Section VI-A); this module returns probabilities in (0, 1).
+    """
+
+    def __init__(self, in_features: int, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.linear = Linear(in_features, 1, rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.sigmoid(self.linear(x)).reshape(-1)

@@ -1,0 +1,117 @@
+"""Loss functions used by CMSF and the baselines.
+
+* :func:`binary_cross_entropy` — detection loss of the master model (Eq. 15)
+  and the slave stage (Eq. 23).
+* :func:`bce_with_logits` — numerically stable variant used where a model
+  produces raw logits rather than probabilities.
+* :func:`pu_rank_loss` — the positive-unlabeled rank loss of the pseudo-label
+  predictor (Eq. 18).
+* :func:`mse_loss` — used by the MMRE baseline's autoencoder reconstruction.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from . import functional as F
+from .tensor import Tensor, as_tensor
+
+
+def binary_cross_entropy(probs: Tensor, targets: Union[Tensor, np.ndarray],
+                         weights: Optional[np.ndarray] = None,
+                         eps: float = 1e-12) -> Tensor:
+    """Mean binary cross entropy between probabilities and 0/1 targets.
+
+    Parameters
+    ----------
+    probs:
+        Predicted probabilities in ``(0, 1)`` with shape ``(n,)``.
+    targets:
+        Binary labels with shape ``(n,)``.
+    weights:
+        Optional per-sample weights (e.g. to re-balance the rare UV class).
+    eps:
+        Clamp constant guarding against ``log(0)``.
+    """
+    targets = targets.data if isinstance(targets, Tensor) else np.asarray(targets, dtype=np.float64)
+    probs = probs.clip(eps, 1.0 - eps)
+    positive = Tensor(targets) * probs.log()
+    negative = Tensor(1.0 - targets) * (Tensor(1.0) - probs).log()
+    per_sample = -(positive + negative)
+    if weights is not None:
+        weights = np.asarray(weights, dtype=np.float64)
+        per_sample = per_sample * Tensor(weights)
+        return per_sample.sum() / float(weights.sum())
+    return per_sample.mean()
+
+
+def bce_with_logits(logits: Tensor, targets: Union[Tensor, np.ndarray],
+                    weights: Optional[np.ndarray] = None) -> Tensor:
+    """Binary cross entropy computed from raw logits (stable formulation).
+
+    Uses ``max(x, 0) - x*y + log(1 + exp(-|x|))``.
+    """
+    targets = targets.data if isinstance(targets, Tensor) else np.asarray(targets, dtype=np.float64)
+    x = logits
+    relu_x = F.relu(x)
+    abs_x = x.abs()
+    softplus = (Tensor(1.0) + (-abs_x).exp()).log()
+    per_sample = relu_x - x * Tensor(targets) + softplus
+    if weights is not None:
+        weights = np.asarray(weights, dtype=np.float64)
+        per_sample = per_sample * Tensor(weights)
+        return per_sample.sum() / float(weights.sum())
+    return per_sample.mean()
+
+
+def pu_rank_loss(inclusion_probs: Tensor, pseudo_labels: np.ndarray) -> Tensor:
+    """Positive-unlabeled rank loss over cluster inclusion probabilities.
+
+    Implements Eq. 18 of the paper:
+
+    .. math::
+        L_p = \\sum_{c_i \\in C_1} \\sum_{c_j \\in C_0} (1 - (\\hat y_i - \\hat y_j))^2
+
+    where :math:`C_1` are clusters with at least one known UV inside and
+    :math:`C_0` are the remaining ("unlabeled") clusters.  The loss pushes
+    positive clusters to score higher than unlabeled ones by a margin of 1.
+
+    Returns a zero tensor if either set is empty (no ranking signal).
+    """
+    pseudo_labels = np.asarray(pseudo_labels)
+    positive_idx = np.flatnonzero(pseudo_labels == 1)
+    unlabeled_idx = np.flatnonzero(pseudo_labels == 0)
+    if positive_idx.size == 0 or unlabeled_idx.size == 0:
+        return Tensor(0.0)
+    pos = inclusion_probs[positive_idx]
+    neg = inclusion_probs[unlabeled_idx]
+    # Broadcast to all (positive, unlabeled) pairs.
+    diff = pos.reshape(-1, 1) - neg.reshape(1, -1)
+    margin = Tensor(1.0) - diff
+    loss = (margin * margin).sum()
+    # Normalise by the number of pairs so that lambda is comparable across K.
+    return loss / float(positive_idx.size * unlabeled_idx.size)
+
+
+def mse_loss(predictions: Tensor, targets: Union[Tensor, np.ndarray]) -> Tensor:
+    """Mean squared error."""
+    targets = as_tensor(targets)
+    diff = predictions - targets.detach()
+    return (diff * diff).mean()
+
+
+def class_balanced_weights(labels: np.ndarray) -> np.ndarray:
+    """Per-sample weights inversely proportional to class frequency.
+
+    Urban villages are a small minority of the labelled regions; balancing the
+    BCE loss keeps the classifier from collapsing onto the majority class when
+    a training fold happens to contain very few UVs.
+    """
+    labels = np.asarray(labels).astype(int)
+    n = labels.size
+    n_pos = max(int(labels.sum()), 1)
+    n_neg = max(n - int(labels.sum()), 1)
+    weights = np.where(labels == 1, n / (2.0 * n_pos), n / (2.0 * n_neg))
+    return weights

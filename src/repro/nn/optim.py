@@ -1,0 +1,138 @@
+"""Optimisers and learning-rate schedules.
+
+The paper trains every model with Adam (initial learning rate 1e-4) and uses
+an exponential decay of 0.1% per epoch for CMSF (Section VI-A).  Both are
+implemented here, together with plain SGD for tests and ablations.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from .module import Parameter
+
+
+class Optimizer:
+    """Base class holding a parameter list and a learning rate."""
+
+    def __init__(self, parameters: Iterable[Parameter], lr: float) -> None:
+        self.parameters: List[Parameter] = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer received an empty parameter list")
+        if lr <= 0:
+            raise ValueError("learning rate must be positive, got %r" % lr)
+        self.lr = float(lr)
+
+    def zero_grad(self) -> None:
+        """Clear gradients of all managed parameters."""
+        for param in self.parameters:
+            param.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+    def _clip_gradients(self, max_norm: Optional[float]) -> None:
+        if max_norm is None:
+            return
+        total = 0.0
+        for param in self.parameters:
+            if param.grad is not None:
+                total += float((param.grad ** 2).sum())
+        norm = np.sqrt(total)
+        if norm > max_norm and norm > 0:
+            scale = max_norm / norm
+            for param in self.parameters:
+                if param.grad is not None:
+                    param.grad = param.grad * scale
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum and weight decay."""
+
+    def __init__(self, parameters: Iterable[Parameter], lr: float = 0.01,
+                 momentum: float = 0.0, weight_decay: float = 0.0,
+                 max_grad_norm: Optional[float] = None) -> None:
+        super().__init__(parameters, lr)
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self.max_grad_norm = max_grad_norm
+        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        self._clip_gradients(self.max_grad_norm)
+        for param, velocity in zip(self.parameters, self._velocity):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            if self.momentum:
+                velocity *= self.momentum
+                velocity += grad
+                update = velocity
+            else:
+                update = grad
+            param.data = param.data - self.lr * update
+
+
+class Adam(Optimizer):
+    """Adam optimiser (Kingma & Ba, 2015)."""
+
+    def __init__(self, parameters: Iterable[Parameter], lr: float = 1e-4,
+                 betas: tuple = (0.9, 0.999), eps: float = 1e-8,
+                 weight_decay: float = 0.0,
+                 max_grad_norm: Optional[float] = None) -> None:
+        super().__init__(parameters, lr)
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self.max_grad_norm = max_grad_norm
+        self._step_count = 0
+        self._m = [np.zeros_like(p.data) for p in self.parameters]
+        self._v = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        self._clip_gradients(self.max_grad_norm)
+        self._step_count += 1
+        bias_correction1 = 1.0 - self.beta1 ** self._step_count
+        bias_correction2 = 1.0 - self.beta2 ** self._step_count
+        for i, param in enumerate(self.parameters):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            self._m[i] = self.beta1 * self._m[i] + (1.0 - self.beta1) * grad
+            self._v[i] = self.beta2 * self._v[i] + (1.0 - self.beta2) * (grad ** 2)
+            m_hat = self._m[i] / bias_correction1
+            v_hat = self._v[i] / bias_correction2
+            param.data = param.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+class ExponentialDecay:
+    """Exponential learning-rate decay applied once per epoch.
+
+    The paper uses a decay rate of 0.1% per epoch for CMSF; calling
+    :meth:`step` multiplies the optimiser's learning rate by
+    ``1 - decay_rate``.
+    """
+
+    def __init__(self, optimizer: Optimizer, decay_rate: float = 0.001,
+                 min_lr: float = 1e-8) -> None:
+        if not 0.0 <= decay_rate < 1.0:
+            raise ValueError("decay_rate must be in [0, 1), got %r" % decay_rate)
+        self.optimizer = optimizer
+        self.decay_rate = decay_rate
+        self.min_lr = min_lr
+        self.initial_lr = optimizer.lr
+
+    def step(self) -> float:
+        """Decay the learning rate once and return the new value."""
+        self.optimizer.lr = max(self.optimizer.lr * (1.0 - self.decay_rate), self.min_lr)
+        return self.optimizer.lr
+
+    def reset(self) -> None:
+        """Restore the initial learning rate."""
+        self.optimizer.lr = self.initial_lr

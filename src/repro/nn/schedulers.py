@@ -1,0 +1,116 @@
+"""Additional learning-rate schedules.
+
+The paper itself only uses the exponential per-epoch decay implemented in
+:class:`repro.nn.optim.ExponentialDecay`; the schedules here are provided for
+the extension experiments and for users adapting the framework to other
+urban-computing tasks, where longer training runs benefit from warm-up or
+cosine annealing.
+
+All schedulers share the same minimal interface as ``ExponentialDecay``:
+``step()`` advances one epoch and returns the new learning rate, ``reset()``
+restores the initial rate.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .optim import Optimizer
+
+
+class StepDecay:
+    """Multiply the learning rate by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.5,
+                 min_lr: float = 1e-8) -> None:
+        if step_size < 1:
+            raise ValueError("step_size must be a positive number of epochs")
+        if not 0.0 < gamma <= 1.0:
+            raise ValueError("gamma must be in (0, 1]")
+        self.optimizer = optimizer
+        self.step_size = step_size
+        self.gamma = gamma
+        self.min_lr = min_lr
+        self.initial_lr = optimizer.lr
+        self._epoch = 0
+
+    def step(self) -> float:
+        """Advance one epoch and return the updated learning rate."""
+        self._epoch += 1
+        if self._epoch % self.step_size == 0:
+            self.optimizer.lr = max(self.optimizer.lr * self.gamma, self.min_lr)
+        return self.optimizer.lr
+
+    def reset(self) -> None:
+        self.optimizer.lr = self.initial_lr
+        self._epoch = 0
+
+
+class CosineAnnealing:
+    """Cosine-annealed learning rate from the initial value down to ``min_lr``.
+
+    The rate follows half a cosine period over ``total_epochs`` epochs and
+    stays at ``min_lr`` afterwards.
+    """
+
+    def __init__(self, optimizer: Optimizer, total_epochs: int,
+                 min_lr: float = 1e-6) -> None:
+        if total_epochs < 1:
+            raise ValueError("total_epochs must be positive")
+        self.optimizer = optimizer
+        self.total_epochs = total_epochs
+        self.min_lr = min_lr
+        self.initial_lr = optimizer.lr
+        self._epoch = 0
+
+    def step(self) -> float:
+        """Advance one epoch and return the updated learning rate."""
+        self._epoch = min(self._epoch + 1, self.total_epochs)
+        progress = self._epoch / self.total_epochs
+        cosine = 0.5 * (1.0 + math.cos(math.pi * progress))
+        self.optimizer.lr = self.min_lr + (self.initial_lr - self.min_lr) * cosine
+        return self.optimizer.lr
+
+    def reset(self) -> None:
+        self.optimizer.lr = self.initial_lr
+        self._epoch = 0
+
+
+class LinearWarmup:
+    """Wrap another scheduler with a linear learning-rate warm-up.
+
+    For the first ``warmup_epochs`` epochs the learning rate ramps linearly
+    from ``initial_lr / warmup_epochs`` to the base value; afterwards every
+    ``step()`` call is forwarded to the wrapped scheduler (if any).
+    """
+
+    def __init__(self, optimizer: Optimizer, warmup_epochs: int,
+                 after=None) -> None:
+        if warmup_epochs < 1:
+            raise ValueError("warmup_epochs must be positive")
+        self.optimizer = optimizer
+        self.warmup_epochs = warmup_epochs
+        self.after = after
+        self.base_lr = optimizer.lr
+        self._epoch = 0
+        # Start from the first warm-up fraction rather than the full rate.
+        self.optimizer.lr = self.base_lr / warmup_epochs
+
+    def step(self) -> float:
+        """Advance one epoch and return the updated learning rate."""
+        self._epoch += 1
+        if self._epoch < self.warmup_epochs:
+            self.optimizer.lr = self.base_lr * (self._epoch + 1) / self.warmup_epochs
+            return self.optimizer.lr
+        if self._epoch == self.warmup_epochs:
+            self.optimizer.lr = self.base_lr
+            return self.optimizer.lr
+        if self.after is not None:
+            return self.after.step()
+        return self.optimizer.lr
+
+    def reset(self) -> None:
+        self._epoch = 0
+        self.optimizer.lr = self.base_lr / self.warmup_epochs
+        if self.after is not None:
+            self.after.reset()

@@ -1,0 +1,57 @@
+"""Saving and loading model parameters.
+
+Models are persisted as ``.npz`` archives keyed by qualified parameter names
+(the same keys produced by :meth:`repro.nn.module.Module.state_dict`).  The
+module also provides parameter-size reporting used by the Table III
+efficiency benchmark.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict
+
+import numpy as np
+
+from .module import Module
+
+
+def save_state_dict(module: Module, path: str) -> str:
+    """Write ``module``'s parameters to ``path`` (``.npz`` appended if missing)."""
+    if not path.endswith(".npz"):
+        path = path + ".npz"
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    state = module.state_dict()
+    # npz keys cannot contain '/' reliably across loaders; '.' is fine.
+    np.savez(path, **state)
+    return path
+
+
+def load_state_dict(path: str) -> Dict[str, np.ndarray]:
+    """Read a parameter dictionary previously written by :func:`save_state_dict`."""
+    if not path.endswith(".npz"):
+        path = path + ".npz"
+    with np.load(path) as archive:
+        return {key: archive[key].copy() for key in archive.files}
+
+
+def load_into(module: Module, path: str, strict: bool = True) -> Module:
+    """Load parameters from ``path`` directly into ``module`` and return it."""
+    module.load_state_dict(load_state_dict(path), strict=strict)
+    return module
+
+
+def parameter_count(module: Module) -> int:
+    """Number of scalar parameters in ``module``."""
+    return module.num_parameters()
+
+
+def model_size_mbytes(module: Module, bytes_per_param: int = 4) -> float:
+    """Model size in megabytes assuming ``bytes_per_param`` storage.
+
+    The paper reports model sizes for float32 deployments, so the default is
+    4 bytes per parameter even though the in-memory representation here is
+    float64.
+    """
+    return module.num_parameters() * bytes_per_param / (1024.0 ** 2)

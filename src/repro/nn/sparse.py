@@ -1,0 +1,141 @@
+"""Sparse / segment operations for edge-list graph neural networks.
+
+The URG is large and sparse, so MAGA and the GNN baselines are implemented as
+message passing over an edge list ``(src, dst)`` rather than dense adjacency
+matrices.  The primitives needed for that style of computation are:
+
+* :func:`gather_rows` — pick node rows for every edge endpoint,
+* :func:`segment_sum` — sum edge messages into destination nodes,
+* :func:`segment_softmax` — normalise attention coefficients per destination
+  node (paper Eq. 3 and 7),
+* :func:`segment_max` / :func:`segment_mean` — auxiliary reductions.
+
+All operations are differentiable with respect to their dense inputs.
+Segment ids are plain integer numpy arrays and are never differentiated.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse as sp
+
+from .tensor import Tensor, is_grad_enabled
+
+
+def _scatter_add_rows(index: np.ndarray, values: np.ndarray, num_rows: int) -> np.ndarray:
+    """Sum rows of ``values`` into ``num_rows`` buckets given by ``index``.
+
+    Equivalent to ``np.add.at(out, index, values)`` but implemented as a
+    sparse-matrix product, which is one to two orders of magnitude faster for
+    the edge counts of a typical URG.
+    """
+    flat = values.reshape(values.shape[0], -1)
+    matrix = sp.csr_matrix(
+        (np.ones(index.shape[0], dtype=flat.dtype), (index, np.arange(index.shape[0]))),
+        shape=(num_rows, index.shape[0]))
+    out = matrix @ flat
+    return np.asarray(out).reshape((num_rows,) + values.shape[1:])
+
+
+def _check_segment_ids(segment_ids: np.ndarray, num_segments: int) -> np.ndarray:
+    segment_ids = np.asarray(segment_ids)
+    if segment_ids.ndim != 1:
+        raise ValueError("segment_ids must be 1-D, got shape %s" % (segment_ids.shape,))
+    if segment_ids.size and (segment_ids.min() < 0 or segment_ids.max() >= num_segments):
+        raise ValueError(
+            "segment ids must lie in [0, %d), got range [%d, %d]"
+            % (num_segments, segment_ids.min(), segment_ids.max())
+        )
+    return segment_ids.astype(np.int64)
+
+
+def gather_rows(x: Tensor, index: np.ndarray) -> Tensor:
+    """Return ``x[index]`` with gradient scattered back by ``np.add.at``.
+
+    ``index`` may contain repeated entries (each node appears once per
+    incident edge), which is exactly the case for edge-list message passing.
+    """
+    index = np.asarray(index, dtype=np.int64)
+    out_data = x.data[index]
+    if not (is_grad_enabled() and x.requires_grad):
+        return Tensor(out_data)
+
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate(_scatter_add_rows(index, grad, x.shape[0]))
+
+    return Tensor(out_data, requires_grad=True, parents=(x,), backward=backward)
+
+
+def segment_sum(values: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:
+    """Sum ``values`` rows into ``num_segments`` buckets given by ``segment_ids``."""
+    segment_ids = _check_segment_ids(segment_ids, num_segments)
+    if values.shape[0] != segment_ids.shape[0]:
+        raise ValueError(
+            "values and segment_ids must agree on the first dimension: %d vs %d"
+            % (values.shape[0], segment_ids.shape[0])
+        )
+    out_data = _scatter_add_rows(segment_ids, values.data, num_segments)
+    if not (is_grad_enabled() and values.requires_grad):
+        return Tensor(out_data)
+
+    def backward(grad: np.ndarray) -> None:
+        values._accumulate(grad[segment_ids])
+
+    return Tensor(out_data, requires_grad=True, parents=(values,), backward=backward)
+
+
+def segment_mean(values: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:
+    """Average of ``values`` per segment; empty segments yield zeros."""
+    segment_ids = _check_segment_ids(segment_ids, num_segments)
+    counts = np.bincount(segment_ids, minlength=num_segments).astype(values.dtype)
+    counts = np.maximum(counts, 1.0)
+    total = segment_sum(values, segment_ids, num_segments)
+    shape = (num_segments,) + (1,) * (values.ndim - 1)
+    return total * Tensor(1.0 / counts.reshape(shape))
+
+
+def segment_max_raw(values: np.ndarray, segment_ids: np.ndarray, num_segments: int,
+                    fill: float = -np.inf) -> np.ndarray:
+    """Non-differentiable per-segment maximum (used for numerical stability)."""
+    segment_ids = _check_segment_ids(segment_ids, num_segments)
+    out = np.full((num_segments,) + values.shape[1:], fill, dtype=values.dtype)
+    np.maximum.at(out, segment_ids, values)
+    return out
+
+
+def segment_softmax(scores: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:
+    """Softmax over the entries of each segment.
+
+    This is the normalisation of attention coefficients per destination node
+    used by GAT-style layers (paper Eq. 3 / Eq. 7).  ``scores`` must be 1-D
+    (one scalar score per edge) or 2-D with trailing head dimension.
+    """
+    segment_ids = _check_segment_ids(segment_ids, num_segments)
+    if scores.shape[0] != segment_ids.shape[0]:
+        raise ValueError(
+            "scores and segment_ids must agree on the first dimension: %d vs %d"
+            % (scores.shape[0], segment_ids.shape[0])
+        )
+    # Subtract per-segment max for numerical stability (constant w.r.t. grad).
+    seg_max = segment_max_raw(scores.data, segment_ids, num_segments)
+    seg_max = np.where(np.isfinite(seg_max), seg_max, 0.0)
+    shifted = scores - Tensor(seg_max[segment_ids])
+    exp = shifted.exp()
+    denom = segment_sum(exp, segment_ids, num_segments)
+    denom_per_edge = gather_rows(denom, segment_ids)
+    return exp / (denom_per_edge + 1e-16)
+
+
+def scatter_rows(values: Tensor, index: np.ndarray, num_rows: int) -> Tensor:
+    """Scatter-add ``values`` rows into a zero matrix with ``num_rows`` rows.
+
+    Alias of :func:`segment_sum` kept for readability at call sites that think
+    in terms of "scatter" rather than "segment reduction".
+    """
+    return segment_sum(values, index, num_rows)
+
+
+def degree(segment_ids: np.ndarray, num_segments: int, dtype=np.float64) -> np.ndarray:
+    """Number of entries per segment (e.g. in-degree of each node)."""
+    segment_ids = _check_segment_ids(segment_ids, num_segments)
+    return np.bincount(segment_ids, minlength=num_segments).astype(dtype)

@@ -1,0 +1,570 @@
+"""Reverse-mode automatic differentiation on top of numpy arrays.
+
+This module provides the :class:`Tensor` class, the computational core of the
+``repro.nn`` substrate.  The paper's models (MAGA, GSCM, MS-Gate and all
+baselines) are expressed as compositions of the differentiable operations
+defined here.  The implementation follows the classic tape-based design:
+
+* every operation returns a new :class:`Tensor` holding its forward value,
+  a reference to its parent tensors and a closure computing the local
+  vector-Jacobian product;
+* :meth:`Tensor.backward` topologically sorts the tape and accumulates
+  gradients into every tensor created with ``requires_grad=True``.
+
+Gradients are always stored as ``numpy.ndarray`` objects with the same shape
+as the tensor's data.  Broadcasting performed by numpy during the forward
+pass is undone during the backward pass by :func:`_unbroadcast`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+ArrayLike = Union[np.ndarray, float, int, Sequence]
+
+_grad_enabled = True
+
+
+class no_grad:
+    """Context manager disabling graph construction.
+
+    Used during inference and evaluation so that forward passes do not retain
+    references to intermediate tensors.
+    """
+
+    def __enter__(self) -> "no_grad":
+        global _grad_enabled
+        self._previous = _grad_enabled
+        _grad_enabled = False
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        global _grad_enabled
+        _grad_enabled = self._previous
+
+
+def is_grad_enabled() -> bool:
+    """Return whether autograd graph construction is currently enabled."""
+    return _grad_enabled
+
+
+def _as_array(value: ArrayLike, dtype=np.float64) -> np.ndarray:
+    if isinstance(value, np.ndarray):
+        if value.dtype != dtype:
+            return value.astype(dtype)
+        return value
+    return np.asarray(value, dtype=dtype)
+
+
+def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` so that it matches ``shape``.
+
+    numpy broadcasting can both prepend dimensions and stretch size-1 axes;
+    the adjoint of broadcasting is summation over the broadcast axes.
+    """
+    if grad.shape == shape:
+        return grad
+    # Sum over prepended dimensions.
+    extra_dims = grad.ndim - len(shape)
+    if extra_dims > 0:
+        grad = grad.sum(axis=tuple(range(extra_dims)))
+    # Sum over axes that were stretched from size 1.
+    axes = tuple(i for i, size in enumerate(shape) if size == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A numpy-backed tensor participating in reverse-mode autodiff."""
+
+    __slots__ = ("data", "grad", "requires_grad", "_parents", "_backward", "name")
+    __array_priority__ = 200  # make numpy defer to Tensor's reflected ops
+
+    def __init__(
+        self,
+        data: ArrayLike,
+        requires_grad: bool = False,
+        parents: Tuple["Tensor", ...] = (),
+        backward: Optional[Callable[[np.ndarray], None]] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        self.data = _as_array(data)
+        self.grad: Optional[np.ndarray] = None
+        self.requires_grad = bool(requires_grad)
+        self._parents = parents if is_grad_enabled() else ()
+        self._backward = backward if is_grad_enabled() else None
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # basic introspection
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.shape}{grad_flag})"
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying numpy array (no copy)."""
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data.item())
+
+    def detach(self) -> "Tensor":
+        """Return a new tensor sharing data but cut from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def copy(self) -> "Tensor":
+        return Tensor(self.data.copy(), requires_grad=self.requires_grad)
+
+    # ------------------------------------------------------------------
+    # autograd machinery
+    # ------------------------------------------------------------------
+    def _accumulate(self, grad: np.ndarray) -> None:
+        if self.grad is None:
+            self.grad = np.array(grad, dtype=self.data.dtype, copy=True)
+        else:
+            self.grad = self.grad + grad
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    def backward(self, grad: Optional[ArrayLike] = None) -> None:
+        """Run reverse-mode differentiation from this tensor.
+
+        Parameters
+        ----------
+        grad:
+            The incoming gradient.  Defaults to 1 for scalar tensors.
+        """
+        if grad is None:
+            if self.data.size != 1:
+                raise ValueError(
+                    "backward() without an explicit gradient is only supported "
+                    "for scalar tensors; got shape %s" % (self.shape,)
+                )
+            grad = np.ones_like(self.data)
+        grad = _as_array(grad, dtype=self.data.dtype)
+        if grad.shape != self.data.shape:
+            grad = np.broadcast_to(grad, self.data.shape).copy()
+
+        topo: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[Tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            node_id = id(node)
+            if node_id in visited:
+                continue
+            visited.add(node_id)
+            stack.append((node, True))
+            for parent in node._parents:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+
+        self._accumulate(grad)
+        for node in reversed(topo):
+            if node._backward is None or node.grad is None:
+                continue
+            node._backward(node.grad)
+
+    # ------------------------------------------------------------------
+    # arithmetic
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _lift(value: Union["Tensor", ArrayLike]) -> "Tensor":
+        return value if isinstance(value, Tensor) else Tensor(value)
+
+    def _needs_graph(self, *others: "Tensor") -> bool:
+        if not is_grad_enabled():
+            return False
+        return self.requires_grad or any(o.requires_grad for o in others)
+
+    def __add__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        other = self._lift(other)
+        out_data = self.data + other.data
+        if not self._needs_graph(other):
+            return Tensor(out_data)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(grad, self.shape))
+            if other.requires_grad:
+                other._accumulate(_unbroadcast(grad, other.shape))
+
+        return Tensor(out_data, requires_grad=True, parents=(self, other), backward=backward)
+
+    def __radd__(self, other: ArrayLike) -> "Tensor":
+        return self._lift(other).__add__(self)
+
+    def __sub__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        other = self._lift(other)
+        out_data = self.data - other.data
+        if not self._needs_graph(other):
+            return Tensor(out_data)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(grad, self.shape))
+            if other.requires_grad:
+                other._accumulate(_unbroadcast(-grad, other.shape))
+
+        return Tensor(out_data, requires_grad=True, parents=(self, other), backward=backward)
+
+    def __rsub__(self, other: ArrayLike) -> "Tensor":
+        return self._lift(other).__sub__(self)
+
+    def __mul__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        other = self._lift(other)
+        out_data = self.data * other.data
+        if not self._needs_graph(other):
+            return Tensor(out_data)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(grad * other.data, self.shape))
+            if other.requires_grad:
+                other._accumulate(_unbroadcast(grad * self.data, other.shape))
+
+        return Tensor(out_data, requires_grad=True, parents=(self, other), backward=backward)
+
+    def __rmul__(self, other: ArrayLike) -> "Tensor":
+        return self._lift(other).__mul__(self)
+
+    def __truediv__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        other = self._lift(other)
+        out_data = self.data / other.data
+        if not self._needs_graph(other):
+            return Tensor(out_data)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(grad / other.data, self.shape))
+            if other.requires_grad:
+                other._accumulate(
+                    _unbroadcast(-grad * self.data / (other.data ** 2), other.shape)
+                )
+
+        return Tensor(out_data, requires_grad=True, parents=(self, other), backward=backward)
+
+    def __rtruediv__(self, other: ArrayLike) -> "Tensor":
+        return self._lift(other).__truediv__(self)
+
+    def __neg__(self) -> "Tensor":
+        return self * -1.0
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if isinstance(exponent, Tensor):
+            raise TypeError("Tensor exponents are not supported; use exp/log instead")
+        out_data = self.data ** exponent
+        if not self._needs_graph():
+            return Tensor(out_data)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * exponent * (self.data ** (exponent - 1)))
+
+        return Tensor(out_data, requires_grad=True, parents=(self,), backward=backward)
+
+    def __matmul__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        return self.matmul(other)
+
+    def matmul(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        other = self._lift(other)
+        out_data = self.data @ other.data
+        if not self._needs_graph(other):
+            return Tensor(out_data)
+
+        def backward(grad: np.ndarray) -> None:
+            a, b = self.data, other.data
+            if self.requires_grad:
+                if b.ndim == 1:
+                    if a.ndim == 1:
+                        grad_a = grad * b
+                    else:
+                        grad_a = np.outer(grad, b) if grad.ndim == 1 else grad[..., None] * b
+                else:
+                    grad_mat = grad[..., None, :] if a.ndim == 1 else grad
+                    grad_a = grad_mat @ np.swapaxes(b, -1, -2)
+                    if a.ndim == 1:
+                        grad_a = grad_a.reshape(a.shape)
+                self._accumulate(_unbroadcast(grad_a, self.shape))
+            if other.requires_grad:
+                if a.ndim == 1:
+                    if b.ndim == 1:
+                        grad_b = grad * a
+                    else:
+                        grad_b = np.outer(a, grad)
+                else:
+                    grad_mat = grad[..., None] if b.ndim == 1 else grad
+                    grad_b = np.swapaxes(a, -1, -2) @ grad_mat
+                    if b.ndim == 1:
+                        grad_b = grad_b.reshape(b.shape)
+                other._accumulate(_unbroadcast(grad_b, other.shape))
+
+        return Tensor(out_data, requires_grad=True, parents=(self, other), backward=backward)
+
+    # ------------------------------------------------------------------
+    # elementwise transcendental functions
+    # ------------------------------------------------------------------
+    def exp(self) -> "Tensor":
+        out_data = np.exp(self.data)
+        if not self._needs_graph():
+            return Tensor(out_data)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * out_data)
+
+        return Tensor(out_data, requires_grad=True, parents=(self,), backward=backward)
+
+    def log(self, eps: float = 0.0) -> "Tensor":
+        out_data = np.log(self.data + eps)
+        if not self._needs_graph():
+            return Tensor(out_data)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad / (self.data + eps))
+
+        return Tensor(out_data, requires_grad=True, parents=(self,), backward=backward)
+
+    def sqrt(self) -> "Tensor":
+        return self ** 0.5
+
+    def abs(self) -> "Tensor":
+        out_data = np.abs(self.data)
+        if not self._needs_graph():
+            return Tensor(out_data)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * np.sign(self.data))
+
+        return Tensor(out_data, requires_grad=True, parents=(self,), backward=backward)
+
+    def clip(self, low: float, high: float) -> "Tensor":
+        out_data = np.clip(self.data, low, high)
+        if not self._needs_graph():
+            return Tensor(out_data)
+
+        mask = (self.data >= low) & (self.data <= high)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * mask)
+
+        return Tensor(out_data, requires_grad=True, parents=(self,), backward=backward)
+
+    # ------------------------------------------------------------------
+    # reductions
+    # ------------------------------------------------------------------
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+        if not self._needs_graph():
+            return Tensor(out_data)
+
+        def backward(grad: np.ndarray) -> None:
+            g = grad
+            if axis is not None and not keepdims:
+                g = np.expand_dims(g, axis=axis)
+            self._accumulate(np.broadcast_to(g, self.shape).copy())
+
+        return Tensor(out_data, requires_grad=True, parents=(self,), backward=backward)
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.data.size
+        elif isinstance(axis, tuple):
+            count = int(np.prod([self.shape[a] for a in axis]))
+        else:
+            count = self.shape[axis]
+        return self.sum(axis=axis, keepdims=keepdims) / float(count)
+
+    def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.max(axis=axis, keepdims=keepdims)
+        if not self._needs_graph():
+            return Tensor(out_data)
+
+        def backward(grad: np.ndarray) -> None:
+            g = grad
+            out = out_data
+            if axis is not None and not keepdims:
+                g = np.expand_dims(g, axis=axis)
+                out = np.expand_dims(out, axis=axis)
+            mask = (self.data == out).astype(self.data.dtype)
+            # Split gradient equally between ties to keep the op well defined.
+            normaliser = mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum()
+            self._accumulate(g * mask / normaliser)
+
+        return Tensor(out_data, requires_grad=True, parents=(self,), backward=backward)
+
+    def min(self, axis=None, keepdims: bool = False) -> "Tensor":
+        return -(-self).max(axis=axis, keepdims=keepdims)
+
+    # ------------------------------------------------------------------
+    # shape manipulation
+    # ------------------------------------------------------------------
+    def reshape(self, *shape: int) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        out_data = self.data.reshape(shape)
+        if not self._needs_graph():
+            return Tensor(out_data)
+
+        original_shape = self.shape
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad.reshape(original_shape))
+
+        return Tensor(out_data, requires_grad=True, parents=(self,), backward=backward)
+
+    def transpose(self, axes: Optional[Tuple[int, ...]] = None) -> "Tensor":
+        out_data = np.transpose(self.data, axes)
+        if not self._needs_graph():
+            return Tensor(out_data)
+
+        if axes is None:
+            inverse = None
+        else:
+            inverse = tuple(np.argsort(axes))
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(np.transpose(grad, inverse))
+
+        return Tensor(out_data, requires_grad=True, parents=(self,), backward=backward)
+
+    def __getitem__(self, index) -> "Tensor":
+        out_data = self.data[index]
+        if not self._needs_graph():
+            return Tensor(out_data)
+
+        def backward(grad: np.ndarray) -> None:
+            full = np.zeros_like(self.data)
+            np.add.at(full, index, grad)
+            self._accumulate(full)
+
+        return Tensor(out_data, requires_grad=True, parents=(self,), backward=backward)
+
+    # ------------------------------------------------------------------
+    # comparison helpers (non-differentiable, returned as plain arrays)
+    # ------------------------------------------------------------------
+    def __gt__(self, other) -> np.ndarray:
+        other = other.data if isinstance(other, Tensor) else other
+        return self.data > other
+
+    def __lt__(self, other) -> np.ndarray:
+        other = other.data if isinstance(other, Tensor) else other
+        return self.data < other
+
+    def __ge__(self, other) -> np.ndarray:
+        other = other.data if isinstance(other, Tensor) else other
+        return self.data >= other
+
+    def __le__(self, other) -> np.ndarray:
+        other = other.data if isinstance(other, Tensor) else other
+        return self.data <= other
+
+
+# ----------------------------------------------------------------------
+# free functions operating on tensors
+# ----------------------------------------------------------------------
+def as_tensor(value: Union[Tensor, ArrayLike]) -> Tensor:
+    """Coerce ``value`` into a :class:`Tensor` (no copy for tensors)."""
+    return value if isinstance(value, Tensor) else Tensor(value)
+
+
+def concatenate(tensors: Sequence[Tensor], axis: int = -1) -> Tensor:
+    """Differentiable concatenation along ``axis``."""
+    tensors = [as_tensor(t) for t in tensors]
+    out_data = np.concatenate([t.data for t in tensors], axis=axis)
+    if not (is_grad_enabled() and any(t.requires_grad for t in tensors)):
+        return Tensor(out_data)
+
+    sizes = [t.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(grad: np.ndarray) -> None:
+        for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+            if not tensor.requires_grad:
+                continue
+            slicer = [slice(None)] * grad.ndim
+            slicer[axis] = slice(int(start), int(stop))
+            tensor._accumulate(grad[tuple(slicer)])
+
+    return Tensor(out_data, requires_grad=True, parents=tuple(tensors), backward=backward)
+
+
+def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Differentiable stacking of same-shaped tensors along a new axis."""
+    tensors = [as_tensor(t) for t in tensors]
+    out_data = np.stack([t.data for t in tensors], axis=axis)
+    if not (is_grad_enabled() and any(t.requires_grad for t in tensors)):
+        return Tensor(out_data)
+
+    def backward(grad: np.ndarray) -> None:
+        pieces = np.split(grad, len(tensors), axis=axis)
+        for tensor, piece in zip(tensors, pieces):
+            if tensor.requires_grad:
+                tensor._accumulate(np.squeeze(piece, axis=axis))
+
+    return Tensor(out_data, requires_grad=True, parents=tuple(tensors), backward=backward)
+
+
+def where(condition: np.ndarray, a: Union[Tensor, ArrayLike], b: Union[Tensor, ArrayLike]) -> Tensor:
+    """Differentiable ``where`` with a boolean (non-differentiable) condition."""
+    a, b = as_tensor(a), as_tensor(b)
+    condition = condition.data if isinstance(condition, Tensor) else np.asarray(condition)
+    out_data = np.where(condition, a.data, b.data)
+    if not (is_grad_enabled() and (a.requires_grad or b.requires_grad)):
+        return Tensor(out_data)
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a._accumulate(_unbroadcast(grad * condition, a.shape))
+        if b.requires_grad:
+            b._accumulate(_unbroadcast(grad * (~condition.astype(bool)), b.shape))
+
+    return Tensor(out_data, requires_grad=True, parents=(a, b), backward=backward)
+
+
+def maximum(a: Union[Tensor, ArrayLike], b: Union[Tensor, ArrayLike]) -> Tensor:
+    """Elementwise differentiable maximum (gradient goes to the larger input)."""
+    a, b = as_tensor(a), as_tensor(b)
+    out_data = np.maximum(a.data, b.data)
+    if not (is_grad_enabled() and (a.requires_grad or b.requires_grad)):
+        return Tensor(out_data)
+
+    mask = (a.data >= b.data)
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a._accumulate(_unbroadcast(grad * mask, a.shape))
+        if b.requires_grad:
+            b._accumulate(_unbroadcast(grad * (~mask), b.shape))
+
+    return Tensor(out_data, requires_grad=True, parents=(a, b), backward=backward)

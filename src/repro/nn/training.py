@@ -1,0 +1,155 @@
+"""Training utilities shared by CMSF and the baseline detectors.
+
+The paper's datasets have thousands of labelled regions; the scaled-down
+synthetic cities have a few hundred, which makes full-batch training of
+attention models prone to memorising the training fold.  The utilities here
+implement the standard counter-measures used by every detector in this
+package:
+
+* :func:`validation_split` — carve a small stratified validation subset out
+  of the labelled training regions;
+* :class:`EarlyStopping` — track a validation metric, remember the best
+  parameter snapshot and stop when the metric has not improved for a given
+  number of epochs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from .module import Module
+
+
+def binary_auc(labels: np.ndarray, scores: np.ndarray) -> float:
+    """Area under the ROC curve from prediction ranks.
+
+    Lightweight duplicate of the evaluation metric kept inside ``repro.nn``
+    so training loops can monitor a validation AUC without importing the
+    evaluation package.  Returns ``nan`` when only one class is present.
+    """
+    labels = np.asarray(labels).astype(int)
+    scores = np.asarray(scores, dtype=np.float64)
+    n_pos = int((labels == 1).sum())
+    n_neg = int((labels == 0).sum())
+    if n_pos == 0 or n_neg == 0:
+        return float("nan")
+    order = np.argsort(scores, kind="stable")
+    ranks = np.empty(scores.size, dtype=np.float64)
+    ranks[order] = np.arange(1, scores.size + 1)
+    # Average ranks over ties so the statistic matches the Mann-Whitney U.
+    for value in np.unique(scores):
+        tied = scores == value
+        if tied.sum() > 1:
+            ranks[tied] = ranks[tied].mean()
+    rank_sum = ranks[labels == 1].sum()
+    u_statistic = rank_sum - n_pos * (n_pos + 1) / 2.0
+    return float(u_statistic / (n_pos * n_neg))
+
+
+def validation_split(train_indices: np.ndarray, labels: np.ndarray,
+                     fraction: float, rng: np.random.Generator,
+                     min_per_class: int = 2) -> Tuple[np.ndarray, np.ndarray]:
+    """Split labelled training indices into fit / validation subsets.
+
+    The split is stratified per class so the validation subset keeps at least
+    ``min_per_class`` urban villages whenever possible.  If the training set
+    is too small to spare a validation subset (fewer than ``2 * min_per_class``
+    samples in either class), the validation part is returned empty and the
+    caller should fall back to monitoring the training loss.
+
+    Parameters
+    ----------
+    train_indices:
+        Node indices of the labelled training regions.
+    labels:
+        Full per-node label array (only ``train_indices`` entries are used).
+    fraction:
+        Target fraction of training samples moved to the validation subset.
+    """
+    train_indices = np.asarray(train_indices, dtype=np.int64)
+    if not 0.0 <= fraction < 1.0:
+        raise ValueError("validation fraction must be in [0, 1), got %r" % fraction)
+    if fraction == 0.0 or train_indices.size == 0:
+        return train_indices, np.zeros(0, dtype=np.int64)
+
+    fit_parts, val_parts = [], []
+    for cls in (0, 1):
+        members = train_indices[labels[train_indices] == cls]
+        if members.size < 2 * min_per_class:
+            fit_parts.append(members)
+            continue
+        count = max(int(round(members.size * fraction)), min_per_class)
+        count = min(count, members.size - min_per_class)
+        chosen = rng.choice(members, size=count, replace=False)
+        val_parts.append(chosen)
+        fit_parts.append(np.setdiff1d(members, chosen))
+    fit = np.sort(np.concatenate(fit_parts)) if fit_parts else train_indices
+    val = np.sort(np.concatenate(val_parts)) if val_parts else np.zeros(0, dtype=np.int64)
+    # A validation subset with a single class cannot rank-order models; fall
+    # back to no validation in that degenerate case.
+    if val.size and len(np.unique(labels[val])) < 2:
+        return train_indices, np.zeros(0, dtype=np.int64)
+    return fit, val
+
+
+class EarlyStopping:
+    """Track a validation metric and remember the best parameter snapshot.
+
+    Parameters
+    ----------
+    module:
+        Model whose parameters are snapshotted at every improvement.
+    patience:
+        Number of epochs without improvement tolerated before stopping;
+        ``None`` disables early stopping (the tracker still remembers the
+        best snapshot).
+    mode:
+        ``'min'`` for losses, ``'max'`` for scores such as AUC.
+    min_delta:
+        Minimum improvement that counts as progress.
+    """
+
+    def __init__(self, module: Module, patience: Optional[int] = 25,
+                 mode: str = "min", min_delta: float = 1e-5) -> None:
+        if mode not in ("min", "max"):
+            raise ValueError("mode must be 'min' or 'max', got %r" % mode)
+        self.module = module
+        self.patience = patience
+        self.mode = mode
+        self.min_delta = min_delta
+        self.best_value: Optional[float] = None
+        self.best_epoch: int = -1
+        self.epochs_since_best: int = 0
+        self._best_state: Optional[Dict[str, np.ndarray]] = None
+
+    def _improved(self, value: float) -> bool:
+        if self.best_value is None:
+            return True
+        if self.mode == "min":
+            return value < self.best_value - self.min_delta
+        return value > self.best_value + self.min_delta
+
+    def update(self, value: float, epoch: int) -> bool:
+        """Record this epoch's metric; return True if training should stop."""
+        value = float(value)
+        if np.isnan(value):
+            self.epochs_since_best += 1
+        elif self._improved(value):
+            self.best_value = value
+            self.best_epoch = epoch
+            self.epochs_since_best = 0
+            self._best_state = self.module.state_dict()
+        else:
+            self.epochs_since_best += 1
+        if self.patience is None:
+            return False
+        return self.epochs_since_best >= self.patience
+
+    def restore_best(self) -> bool:
+        """Reload the best snapshot into the module (if one was recorded)."""
+        if self._best_state is None:
+            return False
+        self.module.load_state_dict(self._best_state)
+        return True

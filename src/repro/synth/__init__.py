@@ -1,0 +1,60 @@
+"""``repro.synth`` — synthetic multi-source urban data.
+
+The paper's evaluation relies on proprietary Baidu Maps data (POIs, satellite
+imagery, road networks) and crowdsourced urban-village labels for Shenzhen,
+Fuzhou and Beijing.  This subpackage provides a parametric city simulator
+producing equivalent data structures so the complete CMSF pipeline — URG
+construction, feature extraction, two-stage training and every experiment —
+can run offline.  See DESIGN.md for a substitution-by-substitution argument
+of why the synthetic data preserves the behaviours the paper relies on.
+"""
+
+from .city import SyntheticCity, generate_city
+from .config import (CityConfig, ImageryConfig, LabelingConfig, LandUse,
+                     PoiConfig, RoadConfig, UrbanVillageConfig, LAND_USE_NAMES)
+from .imagery import ImageFeatureBank, generate_image_features
+from .labels import LabelSet, generate_labels, masked_label_subset
+from .landuse import LandUseMap, generate_land_use
+from .poi import (BASIC_FACILITY_TYPES, POI_CATEGORIES, RADIUS_POI_TYPES, Poi,
+                  generate_pois, pois_per_region)
+from .presets import (PAPER_TABLE1, available_presets, beijing_city, fuzhou_city,
+                      get_preset, mini_city, paper_cities, shenzhen_city, tiny_city)
+from .roads import RoadNetwork, generate_road_network, region_pairs_within_hops
+
+__all__ = [
+    "CityConfig",
+    "UrbanVillageConfig",
+    "LabelingConfig",
+    "RoadConfig",
+    "PoiConfig",
+    "ImageryConfig",
+    "LandUse",
+    "LAND_USE_NAMES",
+    "LandUseMap",
+    "generate_land_use",
+    "Poi",
+    "POI_CATEGORIES",
+    "RADIUS_POI_TYPES",
+    "BASIC_FACILITY_TYPES",
+    "generate_pois",
+    "pois_per_region",
+    "RoadNetwork",
+    "generate_road_network",
+    "region_pairs_within_hops",
+    "ImageFeatureBank",
+    "generate_image_features",
+    "LabelSet",
+    "generate_labels",
+    "masked_label_subset",
+    "SyntheticCity",
+    "generate_city",
+    "available_presets",
+    "get_preset",
+    "paper_cities",
+    "tiny_city",
+    "mini_city",
+    "shenzhen_city",
+    "fuzhou_city",
+    "beijing_city",
+    "PAPER_TABLE1",
+]

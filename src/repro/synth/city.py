@@ -1,0 +1,79 @@
+"""Top-level synthetic city assembly.
+
+:func:`generate_city` runs all simulators (land use, POIs, roads, imagery,
+labels) under a single seed and returns a :class:`SyntheticCity` bundle, the
+input expected by :func:`repro.urg.builder.build_urg`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from .config import CityConfig
+from .imagery import ImageFeatureBank, generate_image_features
+from .labels import LabelSet, generate_labels
+from .landuse import LandUseMap, generate_land_use
+from .poi import Poi, generate_pois
+from .roads import RoadNetwork, generate_road_network
+
+
+@dataclass
+class SyntheticCity:
+    """All raw data sources for one synthetic city.
+
+    This mirrors the paper's data collection (Section VI-A): POI basic
+    property data, satellite image data, road network data and ground-truth
+    labels, plus the latent land-use map that only the simulator knows.
+    """
+
+    config: CityConfig
+    land_use: LandUseMap
+    pois: List[Poi]
+    roads: RoadNetwork
+    imagery: ImageFeatureBank
+    labels: LabelSet
+
+    @property
+    def name(self) -> str:
+        return self.config.name
+
+    @property
+    def num_regions(self) -> int:
+        return self.config.num_regions
+
+    def region_grid_shape(self) -> tuple:
+        return (self.config.grid_height, self.config.grid_width)
+
+    def summary(self) -> dict:
+        """Dataset statistics in the style of the paper's Table I."""
+        return {
+            "city": self.config.name,
+            "regions": self.num_regions,
+            "pois": len(self.pois),
+            "road_intersections": self.roads.num_intersections,
+            "road_segments": self.roads.num_segments,
+            "true_uv_regions": int(self.labels.ground_truth.sum()),
+            "labeled_uv": self.labels.num_labeled_uv,
+            "labeled_non_uv": self.labels.num_labeled_non_uv,
+        }
+
+
+def generate_city(config: CityConfig) -> SyntheticCity:
+    """Generate a complete synthetic city from ``config``.
+
+    All randomness is drawn from independent child generators of the config
+    seed, so each component can be regenerated in isolation and the whole
+    city is reproducible.
+    """
+    root = np.random.SeedSequence(config.seed)
+    seeds = root.spawn(5)
+    land_use = generate_land_use(config, np.random.default_rng(seeds[0]))
+    pois = generate_pois(config, land_use, np.random.default_rng(seeds[1]))
+    roads = generate_road_network(config, land_use, np.random.default_rng(seeds[2]))
+    imagery = generate_image_features(config, land_use, np.random.default_rng(seeds[3]))
+    labels = generate_labels(config, land_use, np.random.default_rng(seeds[4]))
+    return SyntheticCity(config=config, land_use=land_use, pois=pois,
+                         roads=roads, imagery=imagery, labels=labels)

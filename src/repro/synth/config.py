@@ -1,0 +1,169 @@
+"""Configuration objects for the synthetic city generator.
+
+The paper evaluates on proprietary multi-source urban data (Baidu Maps POIs,
+satellite imagery, road networks, crowdsourced urban-village labels) for three
+Chinese cities.  The ``repro.synth`` subpackage replaces those sources with a
+parametric city simulator; :class:`CityConfig` collects every knob of that
+simulator so city presets and tests can be expressed declaratively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import IntEnum
+from typing import Dict, Tuple
+
+
+class LandUse(IntEnum):
+    """Latent land-use class of a region grid cell.
+
+    The land-use map is the hidden variable of the simulator: it drives POI
+    intensity profiles, visual appearance and where urban villages can form.
+    The detection models never observe it directly.
+    """
+
+    WATER_GREEN = 0
+    SUBURB = 1
+    INDUSTRIAL = 2
+    RESIDENTIAL = 3
+    DOWNTOWN = 4
+    URBAN_VILLAGE = 5
+
+
+#: Human-readable names for plots and reports.
+LAND_USE_NAMES: Dict[LandUse, str] = {
+    LandUse.WATER_GREEN: "water/green",
+    LandUse.SUBURB: "suburb",
+    LandUse.INDUSTRIAL: "industrial",
+    LandUse.RESIDENTIAL: "residential",
+    LandUse.DOWNTOWN: "downtown",
+    LandUse.URBAN_VILLAGE: "urban village",
+}
+
+
+@dataclass
+class UrbanVillageConfig:
+    """Parameters controlling how urban villages are planted in the city."""
+
+    #: number of distinct urban villages to plant
+    count: int = 12
+    #: minimum and maximum number of region cells per village
+    size_range: Tuple[int, int] = (3, 10)
+    #: fraction of villages planted near the downtown fringe (the rest are
+    #: planted in suburban areas) — models the paper's "downtown vs suburb"
+    #: diversity of UV patterns
+    downtown_fraction: float = 0.5
+    #: per-cell probability that a planted village cell overlaps a region by
+    #: more than the 20% threshold (cells failing the check stay unlabeled UV
+    #: terrain but do not count as ground-truth UV regions)
+    overlap_probability: float = 0.9
+
+
+@dataclass
+class LabelingConfig:
+    """Parameters of the crowdsourcing simulation.
+
+    Ground truth in the paper comes from news reports / official documents
+    (candidate discovery) followed by three crowd annotators who must agree
+    unanimously.  The simulation keeps those two stages.
+    """
+
+    #: fraction of true UV regions that appear in the candidate pool at all
+    discovery_rate: float = 0.75
+    #: per-annotator probability of correctly recognising a candidate UV
+    annotator_accuracy: float = 0.92
+    #: number of annotators that must unanimously agree
+    annotators: int = 3
+    #: number of non-UV regions sampled from residential areas as negatives
+    negative_samples: int = 400
+    #: per-annotator probability of wrongly marking a sampled negative as UV
+    negative_false_positive_rate: float = 0.02
+
+
+@dataclass
+class RoadConfig:
+    """Parameters of the synthetic road network."""
+
+    #: spacing (in region cells) between arterial roads on each axis
+    arterial_spacing: int = 6
+    #: probability that a non-arterial local street segment exists between two
+    #: adjacent intersections
+    local_street_probability: float = 0.35
+    #: number of extra diagonal connector roads linking distant districts
+    connector_roads: int = 4
+
+
+@dataclass
+class PoiConfig:
+    """Parameters of the POI generator."""
+
+    #: mean number of POIs per region for each land use, before noise
+    base_intensity: Dict[int, float] = field(default_factory=lambda: {
+        int(LandUse.WATER_GREEN): 0.3,
+        int(LandUse.SUBURB): 2.0,
+        int(LandUse.INDUSTRIAL): 4.0,
+        int(LandUse.RESIDENTIAL): 8.0,
+        int(LandUse.DOWNTOWN): 20.0,
+        int(LandUse.URBAN_VILLAGE): 7.0,
+    })
+    #: dispersion of the negative-binomial-like count noise (larger = noisier)
+    count_noise: float = 0.65
+
+
+@dataclass
+class ImageryConfig:
+    """Parameters of the simulated satellite-image feature extractor."""
+
+    #: dimensionality of the latent visual appearance vector per region
+    latent_dim: int = 24
+    #: output dimensionality of the simulated VGG16 feature extractor
+    feature_dim: int = 4096
+    #: standard deviation of the additive observation noise in latent space
+    latent_noise: float = 0.55
+    #: standard deviation of the noise added after projection to feature space
+    feature_noise: float = 0.10
+
+
+@dataclass
+class CityConfig:
+    """Full description of one synthetic city."""
+
+    name: str = "toyville"
+    #: grid dimensions (regions are 128m x 128m as in the paper)
+    grid_height: int = 32
+    grid_width: int = 32
+    region_size_m: float = 128.0
+    #: random seed for every stochastic component of the generator
+    seed: int = 0
+    #: number of downtown centres (Beijing-like cities have several)
+    downtown_centers: int = 1
+    #: relative radius of the downtown core as a fraction of the city size
+    downtown_radius: float = 0.18
+    #: fraction of the map covered by water / green areas
+    water_green_fraction: float = 0.06
+    #: fraction of suburb cells converted to industrial patches
+    industrial_fraction: float = 0.08
+    villages: UrbanVillageConfig = field(default_factory=UrbanVillageConfig)
+    labeling: LabelingConfig = field(default_factory=LabelingConfig)
+    roads: RoadConfig = field(default_factory=RoadConfig)
+    pois: PoiConfig = field(default_factory=PoiConfig)
+    imagery: ImageryConfig = field(default_factory=ImageryConfig)
+
+    def __post_init__(self) -> None:
+        if self.grid_height <= 0 or self.grid_width <= 0:
+            raise ValueError("grid dimensions must be positive")
+        if self.villages.count < 0:
+            raise ValueError("number of urban villages cannot be negative")
+        if not 0.0 <= self.water_green_fraction < 1.0:
+            raise ValueError("water_green_fraction must be in [0, 1)")
+
+    @property
+    def num_regions(self) -> int:
+        """Total number of region grid cells ``H * W``."""
+        return self.grid_height * self.grid_width
+
+    def region_center(self, row: int, col: int) -> Tuple[float, float]:
+        """Metric coordinates (x, y) of the centre of region ``(row, col)``."""
+        x = (col + 0.5) * self.region_size_m
+        y = (row + 0.5) * self.region_size_m
+        return x, y

@@ -1,0 +1,112 @@
+"""Simulated satellite imagery features.
+
+The paper feeds each region's 256x256 RGB satellite tile through an
+ImageNet-pre-trained VGG16 (with the top two fully connected layers removed)
+and uses the resulting 4096-dimensional vector as the region's image feature.
+Neither the imagery nor the pre-trained network is available offline, so this
+module simulates the *output* of that pipeline:
+
+1. each region gets a low-dimensional latent appearance vector derived from
+   its hidden land use and continuous terrain fields (building density,
+   irregularity, greenery) plus observation noise — this is what a satellite
+   photo "shows";
+2. a fixed random non-linear projection (shared across all regions of a city,
+   seeded) lifts the latent vector to ``feature_dim`` dimensions — this plays
+   the role of the frozen VGG16 feature extractor.
+
+Downstream code treats the result exactly as the paper treats VGG features:
+an opaque high-dimensional vector that correlates with visual appearance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .config import CityConfig, LandUse
+from .landuse import LandUseMap
+
+
+@dataclass
+class ImageFeatureBank:
+    """Simulated VGG16 features for every region of a city.
+
+    Attributes
+    ----------
+    latent:
+        ``(N, latent_dim)`` latent appearance vectors (kept for debugging and
+        for tests that check the generative structure).
+    features:
+        ``(N, feature_dim)`` simulated VGG16 output features.
+    """
+
+    latent: np.ndarray
+    features: np.ndarray
+
+    @property
+    def feature_dim(self) -> int:
+        return self.features.shape[1]
+
+
+def _latent_appearance(config: CityConfig, land_use_map: LandUseMap,
+                       rng: np.random.Generator) -> np.ndarray:
+    """Build latent appearance vectors from the hidden terrain fields."""
+    height, width = land_use_map.shape
+    num_regions = height * width
+    latent_dim = config.imagery.latent_dim
+    latent = np.zeros((num_regions, latent_dim))
+
+    land_use = land_use_map.land_use.reshape(-1)
+    density = land_use_map.building_density.reshape(-1)
+    irregularity = land_use_map.irregularity.reshape(-1)
+    greenery = land_use_map.greenery.reshape(-1)
+
+    # The first slots carry interpretable appearance factors.
+    latent[:, 0] = density
+    latent[:, 1] = irregularity
+    latent[:, 2] = greenery
+    latent[:, 3] = density * irregularity          # crowded AND irregular = UV look
+    latent[:, 4] = (land_use == int(LandUse.WATER_GREEN)).astype(float)
+    latent[:, 5] = (land_use == int(LandUse.INDUSTRIAL)).astype(float) * 0.8
+
+    # A few style dimensions distinguish the general texture of each land use
+    # without revealing the label directly (shared across classes with noise).
+    n_style = min(6, latent_dim - 6)
+    style_book = rng.normal(0.0, 0.6, size=(len(LandUse), n_style))
+    # Urban villages photograph like dense residential fabric: their style is
+    # only a small perturbation of the residential style, so the *visual*
+    # separation comes mostly from density/irregularity (which old-town blocks
+    # confound), not from an artificial class-specific signature.
+    style_book[int(LandUse.URBAN_VILLAGE)] = (
+        style_book[int(LandUse.RESIDENTIAL)]
+        + rng.normal(0.0, 0.12, size=n_style))
+    for code in range(len(LandUse)):
+        mask = land_use == code
+        latent[mask, 6:6 + n_style] = style_book[code]
+
+    # Remaining dimensions are pure nuisance variation.
+    if latent_dim > 6 + n_style:
+        latent[:, 6 + n_style:] = rng.normal(0.0, 0.3,
+                                             size=(num_regions, latent_dim - 6 - n_style))
+
+    latent += rng.normal(0.0, config.imagery.latent_noise, size=latent.shape)
+    return latent
+
+
+def generate_image_features(config: CityConfig, land_use_map: LandUseMap,
+                            rng: np.random.Generator) -> ImageFeatureBank:
+    """Simulate the VGG16 feature extraction for every region."""
+    latent = _latent_appearance(config, land_use_map, rng)
+    latent_dim = latent.shape[1]
+    feature_dim = config.imagery.feature_dim
+
+    # Frozen "network": two random projections with a ReLU in between, like the
+    # truncated VGG16 classifier head the paper uses as a feature extractor.
+    hidden_dim = max(feature_dim // 8, latent_dim * 2)
+    w1 = rng.normal(0.0, 1.0 / np.sqrt(latent_dim), size=(latent_dim, hidden_dim))
+    w2 = rng.normal(0.0, 1.0 / np.sqrt(hidden_dim), size=(hidden_dim, feature_dim))
+    hidden = np.maximum(latent @ w1, 0.0)
+    features = np.maximum(hidden @ w2, 0.0)
+    features += rng.normal(0.0, config.imagery.feature_noise, size=features.shape)
+    return ImageFeatureBank(latent=latent, features=features)

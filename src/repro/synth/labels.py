@@ -1,0 +1,141 @@
+"""Ground-truth labels and crowdsourcing simulation.
+
+The paper's label collection has two stages (Appendix I-C):
+
+1. candidate discovery from news reports and official documents — only part
+   of the true urban villages ever enter the candidate pool;
+2. crowdsourcing with three professional annotators; a candidate region is
+   labelled UV only if all three agree.  Non-UV labels come from randomly
+   sampled residential areas checked the same way.
+
+This module simulates both stages over the planted villages of a synthetic
+city.  The output is the labelled region set (``y in {0, 1}``) plus the much
+larger unlabeled set, reproducing the label-scarcity regime the paper targets
+(a few hundred labelled regions out of tens of thousands).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from .config import CityConfig, LandUse
+from .landuse import LandUseMap
+
+
+@dataclass
+class LabelSet:
+    """Labelling outcome for one synthetic city.
+
+    Attributes
+    ----------
+    ground_truth:
+        ``(N,)`` int array — 1 if the region truly is (part of) an urban
+        village with significant (>20%) overlap, else 0.  This is the hidden
+        truth used only for evaluation.
+    labeled_mask:
+        ``(N,)`` bool array — True for regions in the labelled set ``V^L``.
+    labels:
+        ``(N,)`` int array — observed label for labelled regions (0/1),
+        -1 for unlabeled regions.
+    """
+
+    ground_truth: np.ndarray
+    labeled_mask: np.ndarray
+    labels: np.ndarray
+
+    @property
+    def num_labeled_uv(self) -> int:
+        return int(((self.labels == 1) & self.labeled_mask).sum())
+
+    @property
+    def num_labeled_non_uv(self) -> int:
+        return int(((self.labels == 0) & self.labeled_mask).sum())
+
+    def labeled_indices(self) -> np.ndarray:
+        """Indices of labelled regions."""
+        return np.flatnonzero(self.labeled_mask)
+
+    def unlabeled_indices(self) -> np.ndarray:
+        """Indices of unlabeled regions."""
+        return np.flatnonzero(~self.labeled_mask)
+
+
+def generate_labels(config: CityConfig, land_use_map: LandUseMap,
+                    rng: np.random.Generator) -> LabelSet:
+    """Simulate ground truth and the crowdsourced labelling process."""
+    height, width = land_use_map.shape
+    num_regions = height * width
+    land_use_flat = land_use_map.land_use.reshape(-1)
+
+    # ------------------------------------------------------------------
+    # 1. Ground truth: planted village cells with "significant overlap".
+    # ------------------------------------------------------------------
+    ground_truth = np.zeros(num_regions, dtype=np.int64)
+    for village in land_use_map.villages:
+        for (row, col) in village:
+            if rng.random() < config.villages.overlap_probability:
+                ground_truth[row * width + col] = 1
+
+    labels = np.full(num_regions, -1, dtype=np.int64)
+    labeled_mask = np.zeros(num_regions, dtype=bool)
+
+    # ------------------------------------------------------------------
+    # 2. Candidate discovery: a fraction of true UV regions is ever reported.
+    # ------------------------------------------------------------------
+    uv_indices = np.flatnonzero(ground_truth == 1)
+    discovered = uv_indices[rng.random(uv_indices.size) < config.labeling.discovery_rate]
+
+    # ------------------------------------------------------------------
+    # 3. Crowdsourcing with unanimous agreement.
+    # ------------------------------------------------------------------
+    for index in discovered:
+        votes = rng.random(config.labeling.annotators) < config.labeling.annotator_accuracy
+        if votes.all():
+            labels[index] = 1
+            labeled_mask[index] = True
+
+    # ------------------------------------------------------------------
+    # 4. Negative sampling from residential-like areas.
+    # ------------------------------------------------------------------
+    negative_pool = np.flatnonzero(
+        ((land_use_flat == int(LandUse.RESIDENTIAL))
+         | (land_use_flat == int(LandUse.DOWNTOWN)))
+        & (ground_truth == 0))
+    n_negatives = min(config.labeling.negative_samples, negative_pool.size)
+    if n_negatives > 0:
+        chosen = rng.choice(negative_pool, size=n_negatives, replace=False)
+        for index in chosen:
+            votes = rng.random(config.labeling.annotators) \
+                < config.labeling.negative_false_positive_rate
+            if votes.all():
+                # All annotators were fooled — mislabelled as UV (rare).
+                labels[index] = 1
+            else:
+                labels[index] = 0
+            labeled_mask[index] = True
+
+    return LabelSet(ground_truth=ground_truth, labeled_mask=labeled_mask, labels=labels)
+
+
+def masked_label_subset(label_set: LabelSet, ratio: float,
+                        rng: np.random.Generator) -> LabelSet:
+    """Keep only a random ``ratio`` of the labelled regions (Figure 6(c)).
+
+    The paper studies robustness to label scarcity by masking the training
+    labels down to 10/25/50/75% of the originally available set.  Masking is
+    applied uniformly over the labelled set so the UV/non-UV ratio is
+    approximately preserved.
+    """
+    if not 0.0 < ratio <= 1.0:
+        raise ValueError("ratio must be in (0, 1], got %r" % ratio)
+    labeled = label_set.labeled_indices()
+    keep_count = max(int(round(ratio * labeled.size)), 1)
+    keep = rng.choice(labeled, size=keep_count, replace=False)
+    new_mask = np.zeros_like(label_set.labeled_mask)
+    new_mask[keep] = True
+    new_labels = np.where(new_mask, label_set.labels, -1)
+    return LabelSet(ground_truth=label_set.ground_truth.copy(),
+                    labeled_mask=new_mask, labels=new_labels)

@@ -1,0 +1,354 @@
+"""Latent land-use map generation.
+
+The land-use map is the hidden state of the synthetic city.  It is generated
+in stages:
+
+1. a distance-to-downtown field defines concentric downtown / residential /
+   suburb rings (several downtown centres are supported for large cities);
+2. water / green corridors and industrial patches are carved out;
+3. urban villages are planted as contiguous patches, partly near the downtown
+   fringe and partly in the suburbs, mirroring the paper's observation that
+   UV appearance differs between downtown and suburb.
+
+The output also includes continuous per-region fields (building density,
+irregularity, greenery) consumed by the POI and imagery simulators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Set, Tuple
+
+import numpy as np
+
+from .config import CityConfig, LandUse
+
+
+#: Kinds of planted urban villages — the paper motivates CMSF with the
+#: observation that "the UV in downtown might be different from the one in
+#: suburb"; the simulator realises that diversity explicitly.
+VILLAGE_KIND_DOWNTOWN = 0
+VILLAGE_KIND_SUBURB = 1
+
+
+@dataclass
+class LandUseMap:
+    """Latent description of the city's terrain.
+
+    Attributes
+    ----------
+    land_use:
+        ``(H, W)`` integer array of :class:`LandUse` codes.
+    building_density:
+        ``(H, W)`` float array in ``[0, 1]``; urban villages and downtown are
+        dense, suburbs sparse.
+    irregularity:
+        ``(H, W)`` float array in ``[0, 1]``; high values correspond to the
+        crowded, irregularly arranged buildings typical of urban villages.
+    greenery:
+        ``(H, W)`` float array in ``[0, 1]``.
+    villages:
+        list of sets of ``(row, col)`` cells, one set per planted village.
+    village_kinds:
+        one kind per planted village (``VILLAGE_KIND_DOWNTOWN`` /
+        ``VILLAGE_KIND_SUBURB``); downtown-fringe villages are ultra dense and
+        POI-starved, suburban villages are sparser and line up along arterial
+        corridors.
+    old_town:
+        set of dense, fairly irregular "old town" residential cells — NOT
+        urban villages, but visually similar from above; the confounder real
+        image-only detectors struggle with.
+    downtown_centers:
+        list of ``(row, col)`` downtown centre cells.
+    """
+
+    land_use: np.ndarray
+    building_density: np.ndarray
+    irregularity: np.ndarray
+    greenery: np.ndarray
+    villages: List[Set[Tuple[int, int]]]
+    downtown_centers: List[Tuple[int, int]]
+    village_kinds: List[int] = None
+    old_town: Set[Tuple[int, int]] = None
+
+    def __post_init__(self) -> None:
+        if self.village_kinds is None:
+            self.village_kinds = [VILLAGE_KIND_DOWNTOWN] * len(self.villages)
+        if self.old_town is None:
+            self.old_town = set()
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return self.land_use.shape
+
+    def village_cells(self) -> Set[Tuple[int, int]]:
+        """Union of all planted village cells."""
+        cells: Set[Tuple[int, int]] = set()
+        for village in self.villages:
+            cells |= village
+        return cells
+
+    def village_kind_map(self) -> np.ndarray:
+        """``(H, W)`` array with the village kind per cell (-1 outside UVs)."""
+        kinds = np.full(self.shape, -1, dtype=np.int64)
+        for village, kind in zip(self.villages, self.village_kinds):
+            for (row, col) in village:
+                kinds[row, col] = kind
+        return kinds
+
+    def old_town_mask(self) -> np.ndarray:
+        """``(H, W)`` boolean mask of old-town confounder cells."""
+        mask = np.zeros(self.shape, dtype=bool)
+        for (row, col) in self.old_town:
+            mask[row, col] = True
+        return mask
+
+
+def _distance_field(height: int, width: int,
+                    centers: List[Tuple[int, int]]) -> np.ndarray:
+    """Normalised distance of every cell to its nearest centre."""
+    rows, cols = np.mgrid[0:height, 0:width]
+    distances = np.full((height, width), np.inf)
+    for (cr, cc) in centers:
+        d = np.sqrt((rows - cr) ** 2 + (cols - cc) ** 2)
+        distances = np.minimum(distances, d)
+    scale = max(np.sqrt(height ** 2 + width ** 2) / 2.0, 1.0)
+    return distances / scale
+
+
+def _smooth(field: np.ndarray, rng: np.random.Generator, passes: int = 2,
+            noise: float = 0.05) -> np.ndarray:
+    """Cheap box-blur smoothing with a touch of noise for organic boundaries."""
+    result = field + rng.normal(0.0, noise, size=field.shape)
+    for _ in range(passes):
+        padded = np.pad(result, 1, mode="edge")
+        result = (
+            padded[:-2, :-2] + padded[:-2, 1:-1] + padded[:-2, 2:]
+            + padded[1:-1, :-2] + padded[1:-1, 1:-1] + padded[1:-1, 2:]
+            + padded[2:, :-2] + padded[2:, 1:-1] + padded[2:, 2:]
+        ) / 9.0
+    return result
+
+
+def _grow_patch(seed: Tuple[int, int], size: int, height: int, width: int,
+                rng: np.random.Generator,
+                blocked: Set[Tuple[int, int]]) -> Set[Tuple[int, int]]:
+    """Grow a contiguous patch of ``size`` cells from ``seed`` (random BFS)."""
+    patch: Set[Tuple[int, int]] = {seed}
+    frontier = [seed]
+    while len(patch) < size and frontier:
+        idx = rng.integers(len(frontier))
+        row, col = frontier[idx]
+        neighbours = [(row + dr, col + dc)
+                      for dr, dc in ((1, 0), (-1, 0), (0, 1), (0, -1))]
+        rng.shuffle(neighbours)
+        grew = False
+        for nr, nc in neighbours:
+            cell = (nr, nc)
+            if 0 <= nr < height and 0 <= nc < width and cell not in patch and cell not in blocked:
+                patch.add(cell)
+                frontier.append(cell)
+                grew = True
+                break
+        if not grew:
+            frontier.pop(idx)
+    return patch
+
+
+def generate_land_use(config: CityConfig, rng: np.random.Generator) -> LandUseMap:
+    """Generate the latent land-use map for ``config``."""
+    height, width = config.grid_height, config.grid_width
+
+    # --- downtown centres -------------------------------------------------
+    centers: List[Tuple[int, int]] = []
+    for i in range(max(config.downtown_centers, 1)):
+        # Spread the centres around the middle of the map.
+        cr = int(height * (0.35 + 0.3 * rng.random()))
+        cc = int(width * (0.25 + 0.5 * (i + rng.random()) / max(config.downtown_centers, 1)))
+        cr = int(np.clip(cr, 2, height - 3))
+        cc = int(np.clip(cc, 2, width - 3))
+        centers.append((cr, cc))
+
+    distance = _smooth(_distance_field(height, width, centers), rng, noise=0.04)
+
+    # --- base rings --------------------------------------------------------
+    land_use = np.full((height, width), int(LandUse.SUBURB), dtype=np.int64)
+    land_use[distance < config.downtown_radius] = int(LandUse.DOWNTOWN)
+    residential_radius = config.downtown_radius * 2.6
+    ring = (distance >= config.downtown_radius) & (distance < residential_radius)
+    land_use[ring] = int(LandUse.RESIDENTIAL)
+
+    # --- water / green corridors -------------------------------------------
+    water_noise = _smooth(rng.random((height, width)), rng, passes=3, noise=0.0)
+    water_threshold = np.quantile(water_noise, config.water_green_fraction)
+    land_use[water_noise <= water_threshold] = int(LandUse.WATER_GREEN)
+
+    # --- industrial patches in the suburbs ----------------------------------
+    suburb_cells = [tuple(cell) for cell in np.argwhere(land_use == int(LandUse.SUBURB))]
+    n_industrial_cells = int(config.industrial_fraction * len(suburb_cells))
+    blocked: Set[Tuple[int, int]] = set()
+    industrial_cells: Set[Tuple[int, int]] = set()
+    while len(industrial_cells) < n_industrial_cells and suburb_cells:
+        seed = suburb_cells[rng.integers(len(suburb_cells))]
+        patch = _grow_patch(seed, int(rng.integers(4, 12)), height, width, rng, blocked)
+        patch = {cell for cell in patch if land_use[cell] == int(LandUse.SUBURB)}
+        industrial_cells |= patch
+        blocked |= patch
+    for cell in industrial_cells:
+        land_use[cell] = int(LandUse.INDUSTRIAL)
+
+    # --- old-town confounders -------------------------------------------------
+    # A fraction of residential cells become dense, fairly irregular "old town"
+    # blocks.  They are NOT urban villages, but they look similar from above
+    # (high building density, moderate irregularity), which is exactly the
+    # confusion real image-only detectors face.  They are tracked only through
+    # the continuous appearance fields below.
+    residential_cells = [tuple(cell) for cell in np.argwhere(land_use == int(LandUse.RESIDENTIAL))]
+    old_town: Set[Tuple[int, int]] = set()
+    n_old_town = int(0.18 * len(residential_cells))
+    blocked_old = set(industrial_cells)
+    while len(old_town) < n_old_town and residential_cells:
+        seed = residential_cells[rng.integers(len(residential_cells))]
+        patch = _grow_patch(seed, int(rng.integers(3, 9)), height, width, rng, blocked_old)
+        patch = {cell for cell in patch if land_use[cell] == int(LandUse.RESIDENTIAL)}
+        old_town |= patch
+        blocked_old |= patch
+
+    # --- plant urban villages -----------------------------------------------
+    # Downtown-fringe villages grow anywhere on the fringe ring; suburban
+    # villages are seeded preferentially next to arterial road corridors (the
+    # synthetic road network places arterials every ``arterial_spacing`` cells),
+    # mirroring how real suburban urban villages line up along major roads.
+    # This is also what gives the road-connectivity relation of the URG its
+    # functional meaning: regions linked through a corridor share semantics.
+    villages: List[Set[Tuple[int, int]]] = []
+    village_kinds: List[int] = []
+    occupied: Set[Tuple[int, int]] = set(industrial_cells)
+    downtown_fringe = [tuple(cell) for cell in np.argwhere(
+        (distance >= config.downtown_radius * 0.8)
+        & (distance < residential_radius * 1.1)
+        & (land_use != int(LandUse.WATER_GREEN)))]
+    suburb_area = [tuple(cell) for cell in np.argwhere(
+        (land_use == int(LandUse.SUBURB)))]
+    spacing = max(config.roads.arterial_spacing, 2)
+    corridor_suburb = [cell for cell in suburb_area
+                       if (cell[0] % spacing) <= 1 or (cell[1] % spacing) <= 1]
+    def plant_village(seed: Tuple[int, int], kind: int) -> bool:
+        """Grow one village patch from ``seed``; returns True if planted."""
+        low, high = config.villages.size_range
+        size = int(rng.integers(low, high + 1))
+        patch = _grow_patch(seed, size, height, width, rng, occupied)
+        patch = {cell for cell in patch if land_use[cell] != int(LandUse.WATER_GREEN)}
+        if len(patch) < max(low, 2):
+            return False
+        for cell in patch:
+            land_use[cell] = int(LandUse.URBAN_VILLAGE)
+        occupied.update(patch)
+        villages.append(patch)
+        village_kinds.append(kind)
+        return True
+
+    for v in range(config.villages.count):
+        near_downtown = rng.random() < config.villages.downtown_fraction
+        if near_downtown and downtown_fringe:
+            pool, kind = downtown_fringe, VILLAGE_KIND_DOWNTOWN
+        else:
+            pool = corridor_suburb or suburb_area or downtown_fringe
+            kind = VILLAGE_KIND_SUBURB
+        if not pool:
+            break
+        seed = pool[rng.integers(len(pool))]
+        if seed in occupied:
+            continue
+        planted = plant_village(seed, kind)
+        # Suburban villages frequently come in small chains strung along the
+        # same arterial corridor; the sister patches are several cells apart,
+        # so only the road-connectivity relation of the URG (not the 3x3
+        # spatial proximity) links them.  This is the functional correlation
+        # the paper attributes to the road network.
+        if planted and kind == VILLAGE_KIND_SUBURB:
+            row, col = seed
+            along_row = (row % spacing) <= 1   # corridor runs horizontally
+            direction = 1 if rng.random() < 0.5 else -1
+            offset = 0
+            for _ in range(2):
+                if rng.random() > 0.8:
+                    break
+                offset += int(rng.integers(4, 9)) * direction
+                sister = (row, col + offset) if along_row else (row + offset, col)
+                sr, sc = sister
+                if not (0 <= sr < height and 0 <= sc < width):
+                    break
+                if sister in occupied or land_use[sister] not in (
+                        int(LandUse.SUBURB), int(LandUse.RESIDENTIAL)):
+                    continue
+                plant_village(sister, kind)
+
+    # A cell absorbed by a village is no longer an old-town confounder.
+    all_village_cells = set().union(*villages) if villages else set()
+    old_town -= all_village_cells
+
+    # --- continuous appearance fields ---------------------------------------
+    density = np.zeros((height, width))
+    irregularity = np.zeros((height, width))
+    greenery = np.zeros((height, width))
+    base_density = {
+        int(LandUse.WATER_GREEN): 0.02,
+        int(LandUse.SUBURB): 0.18,
+        int(LandUse.INDUSTRIAL): 0.45,
+        int(LandUse.RESIDENTIAL): 0.62,
+        int(LandUse.DOWNTOWN): 0.80,
+        int(LandUse.URBAN_VILLAGE): 0.92,
+    }
+    base_irregularity = {
+        int(LandUse.WATER_GREEN): 0.05,
+        int(LandUse.SUBURB): 0.30,
+        int(LandUse.INDUSTRIAL): 0.35,
+        int(LandUse.RESIDENTIAL): 0.30,
+        int(LandUse.DOWNTOWN): 0.25,
+        int(LandUse.URBAN_VILLAGE): 0.86,
+    }
+    base_greenery = {
+        int(LandUse.WATER_GREEN): 0.9,
+        int(LandUse.SUBURB): 0.55,
+        int(LandUse.INDUSTRIAL): 0.15,
+        int(LandUse.RESIDENTIAL): 0.35,
+        int(LandUse.DOWNTOWN): 0.20,
+        int(LandUse.URBAN_VILLAGE): 0.10,
+    }
+    for code, value in base_density.items():
+        density[land_use == code] = value
+    for code, value in base_irregularity.items():
+        irregularity[land_use == code] = value
+    for code, value in base_greenery.items():
+        greenery[land_use == code] = value
+    # Suburban villages are visually sparser than downtown-fringe villages:
+    # their rooftops are less tightly packed, which drags their appearance
+    # towards the old-town confounder and makes the image modality ambiguous
+    # for them (the POI / context modality has to disambiguate).
+    for village, kind in zip(villages, village_kinds):
+        if kind != VILLAGE_KIND_SUBURB:
+            continue
+        for cell in village:
+            density[cell] = 0.80
+            irregularity[cell] = 0.80
+            greenery[cell] = 0.20
+    # Old-town blocks look almost like urban villages from above.
+    for cell in old_town:
+        density[cell] = 0.82
+        irregularity[cell] = 0.55
+        greenery[cell] = 0.16
+    density = np.clip(_smooth(density, rng, passes=1, noise=0.05), 0.0, 1.0)
+    irregularity = np.clip(irregularity + rng.normal(0, 0.12, irregularity.shape), 0.0, 1.0)
+    greenery = np.clip(_smooth(greenery, rng, passes=1, noise=0.05), 0.0, 1.0)
+
+    return LandUseMap(
+        land_use=land_use,
+        building_density=density,
+        irregularity=irregularity,
+        greenery=greenery,
+        villages=villages,
+        downtown_centers=centers,
+        village_kinds=village_kinds,
+        old_town=old_town,
+    )

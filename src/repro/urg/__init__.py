@@ -1,0 +1,49 @@
+"""``repro.urg`` — Urban Region Graph construction (paper Section IV).
+
+Turns raw multi-source urban data into the graph ``G(V, E, A, X)`` consumed
+by CMSF and the baselines: region grid partition and main-urban-area
+selection, spatial-proximity and road-connectivity edges, POI features
+(category distribution / POI radius / basic-facility index) and satellite
+image features.
+"""
+
+from .builder import DATA_ABLATIONS, UrgBuildConfig, build_urg, build_urg_variant
+from .graph import UrbanRegionGraph
+from .grid import RegionGrid, build_region_grid, main_urban_area_mask
+from .image_features import (ImageFeatureConfig, extract_image_features, pca_reduce,
+                             standardize_features)
+from .poi_features import (BASIC_FACILITY_RADIUS_M, RADIUS_BUCKET_EDGES_M,
+                           PoiFeatureConfig, PoiFeatureResult, bucketize_distances,
+                           build_poi_features)
+from .relations import (DEFAULT_ROAD_HOPS, add_self_loops, adjacency_matrix,
+                        build_edge_index, merge_edge_sets, road_connectivity_edges,
+                        spatial_proximity_edges, to_directed_edge_index)
+
+__all__ = [
+    "UrbanRegionGraph",
+    "RegionGrid",
+    "build_region_grid",
+    "main_urban_area_mask",
+    "PoiFeatureConfig",
+    "PoiFeatureResult",
+    "build_poi_features",
+    "bucketize_distances",
+    "RADIUS_BUCKET_EDGES_M",
+    "BASIC_FACILITY_RADIUS_M",
+    "ImageFeatureConfig",
+    "extract_image_features",
+    "standardize_features",
+    "pca_reduce",
+    "spatial_proximity_edges",
+    "road_connectivity_edges",
+    "merge_edge_sets",
+    "to_directed_edge_index",
+    "add_self_loops",
+    "adjacency_matrix",
+    "build_edge_index",
+    "DEFAULT_ROAD_HOPS",
+    "UrgBuildConfig",
+    "build_urg",
+    "build_urg_variant",
+    "DATA_ABLATIONS",
+]

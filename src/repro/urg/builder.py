@@ -1,0 +1,175 @@
+"""End-to-end URG construction pipeline.
+
+``build_urg`` turns a :class:`repro.synth.city.SyntheticCity` (or, in a real
+deployment, any object exposing the same raw data) into an
+:class:`repro.urg.graph.UrbanRegionGraph`:
+
+1. partition the city into the region grid and select the main urban area;
+2. build the edge set from spatial proximity and road connectivity;
+3. construct POI features and image features;
+4. attach labels, ground truth and block ids, re-indexed to the active nodes.
+
+The ``UrgBuildConfig`` switches correspond one-to-one to the data ablations
+of Figure 5(b) (noImage / noCate / noRad / noIndex / noProx / noRoad).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..synth.city import SyntheticCity
+from .grid import RegionGrid, build_region_grid
+from .graph import UrbanRegionGraph
+from .image_features import ImageFeatureConfig, extract_image_features
+from .poi_features import PoiFeatureConfig, build_poi_features
+from .relations import DEFAULT_ROAD_HOPS, build_edge_index
+
+
+@dataclass
+class UrgBuildConfig:
+    """All switches of the URG construction pipeline."""
+
+    #: fraction of POIs the main-urban-area frame must cover
+    main_area_coverage: float = 0.9
+    #: relation switches (Figure 5(b): noProx / noRoad)
+    use_proximity: bool = True
+    use_road: bool = True
+    road_hops: int = DEFAULT_ROAD_HOPS
+    #: feature switches
+    poi: PoiFeatureConfig = field(default_factory=PoiFeatureConfig)
+    image: ImageFeatureConfig = field(default_factory=ImageFeatureConfig)
+    #: coarse block size for the data-splitting protocol
+    block_size: int = 10
+    #: standardise POI features to zero mean / unit variance
+    standardize_poi: bool = True
+
+
+def _standardize(features: np.ndarray, eps: float = 1e-8) -> np.ndarray:
+    if features.shape[1] == 0:
+        return features
+    mean = features.mean(axis=0, keepdims=True)
+    std = features.std(axis=0, keepdims=True)
+    return (features - mean) / (std + eps)
+
+
+def build_urg(city: SyntheticCity, config: Optional[UrgBuildConfig] = None) -> UrbanRegionGraph:
+    """Build the urban region graph of ``city``."""
+    config = config or UrgBuildConfig()
+
+    # ------------------------------------------------------------------
+    # 1. region grid + main urban area
+    # ------------------------------------------------------------------
+    grid: RegionGrid = build_region_grid(city, coverage=config.main_area_coverage)
+    active_global = np.flatnonzero(grid.active_mask)
+    local_of_global = -np.ones(grid.num_regions, dtype=np.int64)
+    local_of_global[active_global] = np.arange(active_global.size)
+
+    # ------------------------------------------------------------------
+    # 2. edges
+    # ------------------------------------------------------------------
+    edge_index_global, edge_stats = build_edge_index(
+        grid, city.roads,
+        use_proximity=config.use_proximity,
+        use_road=config.use_road,
+        max_hops=config.road_hops)
+    edge_index = local_of_global[edge_index_global]
+    if edge_index.size and edge_index.min() < 0:
+        raise RuntimeError("edge construction produced endpoints outside the main urban area")
+
+    # ------------------------------------------------------------------
+    # 3. features
+    # ------------------------------------------------------------------
+    poi_result = build_poi_features(grid, city.pois, config.poi)
+    x_poi = poi_result.features[active_global]
+    if config.standardize_poi:
+        x_poi = _standardize(x_poi)
+    x_img_full = extract_image_features(city, config.image)
+    x_img = x_img_full[active_global] if x_img_full.shape[1] else np.zeros((active_global.size, 0))
+
+    # ------------------------------------------------------------------
+    # 4. labels, ground truth, blocks
+    # ------------------------------------------------------------------
+    labels = city.labels.labels[active_global]
+    labeled_mask = city.labels.labeled_mask[active_global]
+    ground_truth = city.labels.ground_truth[active_global]
+    block_ids = grid.all_block_ids(config.block_size)[active_global]
+
+    stats = dict(edge_stats)
+    stats.update({
+        "active_regions": int(active_global.size),
+        "total_regions": grid.num_regions,
+        "poi_dim": int(x_poi.shape[1]),
+        "image_dim": int(x_img.shape[1]),
+    })
+
+    return UrbanRegionGraph(
+        name=city.name,
+        edge_index=edge_index,
+        x_poi=x_poi,
+        x_img=x_img,
+        labels=labels,
+        labeled_mask=labeled_mask,
+        ground_truth=ground_truth,
+        region_index=active_global,
+        block_ids=block_ids,
+        grid_shape=(grid.height, grid.width),
+        stats=stats,
+        poi_feature_names=poi_result.feature_names,
+    )
+
+
+def build_urg_variant(city: SyntheticCity, ablation: str,
+                      base_config: Optional[UrgBuildConfig] = None) -> UrbanRegionGraph:
+    """Build an URG with one of the paper's data ablations applied.
+
+    Parameters
+    ----------
+    ablation:
+        One of ``full``, ``noImage``, ``noCate``, ``noRad``, ``noIndex``,
+        ``noProx``, ``noRoad`` (case insensitive), matching Figure 5(b).
+    """
+    base = base_config or UrgBuildConfig()
+    key = ablation.lower()
+    poi = PoiFeatureConfig(use_category=base.poi.use_category,
+                           use_radius=base.poi.use_radius,
+                           use_index=base.poi.use_index,
+                           radius_encoding=base.poi.radius_encoding,
+                           include_window=base.poi.include_window)
+    image = ImageFeatureConfig(enabled=base.image.enabled,
+                               standardize=base.image.standardize,
+                               reduce_dim=base.image.reduce_dim)
+    use_proximity, use_road = base.use_proximity, base.use_road
+    if key in ("full", "cmsf"):
+        pass
+    elif key == "noimage":
+        image.enabled = False
+    elif key == "nocate":
+        poi.use_category = False
+    elif key == "norad":
+        poi.use_radius = False
+    elif key == "noindex":
+        poi.use_index = False
+    elif key == "noprox":
+        use_proximity = False
+    elif key == "noroad":
+        use_road = False
+    else:
+        raise ValueError("unknown URG ablation %r" % ablation)
+    config = UrgBuildConfig(
+        main_area_coverage=base.main_area_coverage,
+        use_proximity=use_proximity,
+        use_road=use_road,
+        road_hops=base.road_hops,
+        poi=poi,
+        image=image,
+        block_size=base.block_size,
+        standardize_poi=base.standardize_poi,
+    )
+    return build_urg(city, config)
+
+
+#: Names of the data ablations reported in Figure 5(b), in plot order.
+DATA_ABLATIONS = ("noImage", "noIndex", "noRad", "noCate", "noProx", "noRoad")

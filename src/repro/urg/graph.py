@@ -1,0 +1,171 @@
+"""The Urban Region Graph container.
+
+:class:`UrbanRegionGraph` is the single data structure every model in this
+package consumes.  It corresponds to the paper's ``G(V, E, A, X)`` with the
+multi-modal feature matrix split into its POI and image parts, plus the label
+information (labelled set ``V^L`` with labels ``Y^L``, unlabeled set ``V^U``)
+and the bookkeeping needed by the evaluation protocol (ground truth for
+scoring, block ids for coarse splitting, grid geometry for case-study maps).
+
+Nodes are indexed locally (0..num_nodes-1 over the active main-urban-area
+regions); ``region_index`` maps each node back to its flat position in the
+full H x W grid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional
+
+import numpy as np
+
+
+@dataclass
+class UrbanRegionGraph:
+    """Urban region graph over the active regions of a city.
+
+    Attributes
+    ----------
+    name:
+        City name (used in reports).
+    edge_index:
+        ``(2, M)`` directed edge array in local node indices.
+    x_poi / x_img:
+        Node feature matrices for the POI and image modalities.  Either may
+        have zero columns under the data ablations.
+    labels:
+        ``(N,)`` observed labels: 1 = labelled UV, 0 = labelled non-UV,
+        -1 = unlabeled.
+    labeled_mask:
+        ``(N,)`` boolean — True for regions in the labelled set ``V^L``.
+    ground_truth:
+        ``(N,)`` hidden true UV indicator used only for evaluation.
+    region_index:
+        ``(N,)`` flat index of each node in the full city grid.
+    block_ids:
+        ``(N,)`` coarse 10x10-block identifier for block-level splitting.
+    grid_shape:
+        ``(H, W)`` of the underlying full grid.
+    stats:
+        Free-form dictionary with construction statistics (edge counts per
+        relation, feature dimensions, ...).
+    """
+
+    name: str
+    edge_index: np.ndarray
+    x_poi: np.ndarray
+    x_img: np.ndarray
+    labels: np.ndarray
+    labeled_mask: np.ndarray
+    ground_truth: np.ndarray
+    region_index: np.ndarray
+    block_ids: np.ndarray
+    grid_shape: tuple
+    stats: Dict[str, float] = field(default_factory=dict)
+    poi_feature_names: Optional[list] = None
+
+    def __post_init__(self) -> None:
+        n = self.x_poi.shape[0]
+        for array_name in ("x_img", "labels", "labeled_mask", "ground_truth",
+                           "region_index", "block_ids"):
+            array = getattr(self, array_name)
+            if array.shape[0] != n:
+                raise ValueError("%s has %d rows, expected %d"
+                                 % (array_name, array.shape[0], n))
+        if self.edge_index.ndim != 2 or self.edge_index.shape[0] != 2:
+            raise ValueError("edge_index must have shape (2, M), got %s"
+                             % (self.edge_index.shape,))
+        if self.edge_index.size and self.edge_index.max() >= n:
+            raise ValueError("edge_index references node %d but the graph has "
+                             "only %d nodes" % (int(self.edge_index.max()), n))
+
+    # ------------------------------------------------------------------
+    # sizes
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return self.x_poi.shape[0]
+
+    @property
+    def num_edges(self) -> int:
+        """Number of directed message-passing edges."""
+        return self.edge_index.shape[1]
+
+    @property
+    def num_undirected_edges(self) -> int:
+        return int(self.stats.get("undirected_edges", self.num_edges // 2))
+
+    @property
+    def poi_dim(self) -> int:
+        return self.x_poi.shape[1]
+
+    @property
+    def image_dim(self) -> int:
+        return self.x_img.shape[1]
+
+    @property
+    def feature_dim(self) -> int:
+        """Total region feature dimension ``d`` (POI + image)."""
+        return self.poi_dim + self.image_dim
+
+    # ------------------------------------------------------------------
+    # label views
+    # ------------------------------------------------------------------
+    def labeled_indices(self) -> np.ndarray:
+        """Local indices of labelled regions (``V^L``)."""
+        return np.flatnonzero(self.labeled_mask)
+
+    def unlabeled_indices(self) -> np.ndarray:
+        """Local indices of unlabeled regions (``V^U``)."""
+        return np.flatnonzero(~self.labeled_mask)
+
+    def labeled_labels(self) -> np.ndarray:
+        """Observed 0/1 labels of the labelled regions."""
+        return self.labels[self.labeled_mask].astype(np.int64)
+
+    @property
+    def num_labeled_uv(self) -> int:
+        return int((self.labels[self.labeled_mask] == 1).sum())
+
+    @property
+    def num_labeled_non_uv(self) -> int:
+        return int((self.labels[self.labeled_mask] == 0).sum())
+
+    # ------------------------------------------------------------------
+    # feature helpers
+    # ------------------------------------------------------------------
+    def features(self) -> np.ndarray:
+        """Concatenated multi-modal feature matrix ``X = X^P ++ X^I``."""
+        if self.image_dim == 0:
+            return self.x_poi
+        if self.poi_dim == 0:
+            return self.x_img
+        return np.concatenate([self.x_poi, self.x_img], axis=1)
+
+    def with_labels(self, labels: np.ndarray, labeled_mask: np.ndarray) -> "UrbanRegionGraph":
+        """Return a copy of the graph with a different labelling.
+
+        Used by the cross-validation protocol (training folds only see part
+        of the labelled set) and the labelled-ratio experiment.
+        """
+        labels = np.asarray(labels)
+        labeled_mask = np.asarray(labeled_mask, dtype=bool)
+        if labels.shape[0] != self.num_nodes or labeled_mask.shape[0] != self.num_nodes:
+            raise ValueError("labels/labeled_mask must have one entry per node")
+        return replace(self, labels=labels.copy(), labeled_mask=labeled_mask.copy())
+
+    def degree(self) -> np.ndarray:
+        """In-degree of every node under the directed edge index."""
+        return np.bincount(self.edge_index[1], minlength=self.num_nodes)
+
+    def summary(self) -> Dict[str, float]:
+        """Dataset statistics in the style of Table I."""
+        return {
+            "city": self.name,
+            "regions": self.num_nodes,
+            "edges": self.num_undirected_edges,
+            "uvs": self.num_labeled_uv,
+            "non_uvs": self.num_labeled_non_uv,
+            "poi_dim": self.poi_dim,
+            "image_dim": self.image_dim,
+        }

@@ -1,0 +1,90 @@
+"""Image feature extraction front-end (paper Section IV-B, "Image Features").
+
+The paper feeds each region's satellite tile through a frozen VGG16 and uses
+the 4096-dimensional output as the region's image feature.  In this
+reproduction the ``repro.synth.imagery`` simulator already plays the role of
+the frozen network, so this module is a thin front-end that
+
+* pulls the per-region feature bank,
+* optionally standardises features (zero mean / unit variance per dimension),
+* optionally applies an unsupervised PCA-style reduction — useful for the
+  baselines that the paper describes as "first apply the dimension reduction
+  for image features" — while the learned 4096 -> 128 reduction used inside
+  CMSF itself remains part of the model (a Linear layer).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..synth.city import SyntheticCity
+
+
+@dataclass
+class ImageFeatureConfig:
+    """Options for the image feature front-end."""
+
+    #: include image features at all (noImage ablation switches this off)
+    enabled: bool = True
+    #: standardise each dimension to zero mean / unit variance
+    standardize: bool = True
+    #: optional fixed (unsupervised) dimensionality reduction; ``None`` keeps
+    #: the raw simulator dimensionality
+    reduce_dim: Optional[int] = None
+
+
+def standardize_features(features: np.ndarray, eps: float = 1e-8) -> np.ndarray:
+    """Zero-mean / unit-variance standardisation per feature dimension."""
+    mean = features.mean(axis=0, keepdims=True)
+    std = features.std(axis=0, keepdims=True)
+    return (features - mean) / (std + eps)
+
+
+def pca_reduce(features: np.ndarray, dim: int, rng: Optional[np.random.Generator] = None
+               ) -> np.ndarray:
+    """Project ``features`` onto their top ``dim`` principal components.
+
+    For very wide matrices a randomised range finder keeps the cost at
+    ``O(N * D * dim)`` instead of a full SVD.
+    """
+    if dim <= 0:
+        raise ValueError("reduction dimension must be positive, got %r" % dim)
+    n, d = features.shape
+    dim = min(dim, d, n)
+    centered = features - features.mean(axis=0, keepdims=True)
+    if d <= 512:
+        _, _, vt = np.linalg.svd(centered, full_matrices=False)
+        return centered @ vt[:dim].T
+    rng = rng or np.random.default_rng(0)
+    sketch = rng.normal(size=(d, min(dim * 2, d)))
+    projected = centered @ sketch
+    q, _ = np.linalg.qr(projected)
+    small = q.T @ centered
+    _, _, vt = np.linalg.svd(small, full_matrices=False)
+    return centered @ vt[:dim].T
+
+
+def extract_image_features(city: SyntheticCity,
+                           config: ImageFeatureConfig = None) -> np.ndarray:
+    """Return the per-region image feature matrix for a city.
+
+    When image features are disabled (the noImage ablation) the function
+    returns an ``(N, 0)`` matrix so that downstream concatenation still works
+    without special cases.
+    """
+    config = config or ImageFeatureConfig()
+    num_regions = city.num_regions
+    if not config.enabled:
+        return np.zeros((num_regions, 0))
+    features = np.asarray(city.imagery.features, dtype=np.float64)
+    if features.shape[0] != num_regions:
+        raise ValueError("imagery bank has %d rows but the city has %d regions"
+                         % (features.shape[0], num_regions))
+    if config.reduce_dim is not None and config.reduce_dim < features.shape[1]:
+        features = pca_reduce(features, config.reduce_dim)
+    if config.standardize and features.shape[1] > 0:
+        features = standardize_features(features)
+    return features

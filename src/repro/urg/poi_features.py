@@ -1,0 +1,193 @@
+"""POI feature construction (paper Section IV-B).
+
+Three groups of features characterise the basic living conditions of a
+region:
+
+* **category distribution** — histogram of the 23 POI categories inside the
+  region, the same histogram over the surrounding 3x3 window, and the total
+  POI count;
+* **POI radius** — for 15 facility types, the distance from the region centre
+  to the nearest POI of that type, discretised into four buckets
+  (<0.5 km, 0.5-1.5 km, 1.5-3 km, >3 km);
+* **index of basic living facility** — a binary indicator set to one only if
+  every one of the nine basic facility groups has a POI within 1 km.
+
+The feature switches (``use_category`` / ``use_radius`` / ``use_index``)
+implement the noCate / noRad / noIndex data ablations of Figure 5(b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+import numpy as np
+from scipy.spatial import cKDTree
+
+from ..synth.poi import (BASIC_FACILITY_TYPES, POI_CATEGORIES, RADIUS_POI_TYPES,
+                         Poi)
+from .grid import RegionGrid
+
+#: Distance bucket edges in metres for the POI-radius feature (paper: <0.5 km,
+#: 0.5-1.5 km, 1.5-3 km, >3 km).
+RADIUS_BUCKET_EDGES_M = (500.0, 1500.0, 3000.0)
+
+#: Radius (metres) within which all basic facility groups must be present for
+#: the basic-living-facility index to be one.
+BASIC_FACILITY_RADIUS_M = 1000.0
+
+
+@dataclass
+class PoiFeatureConfig:
+    """Switches and encoding options for POI feature construction."""
+
+    use_category: bool = True
+    use_radius: bool = True
+    use_index: bool = True
+    #: 'ordinal' encodes each radius as its bucket index scaled to [0, 1];
+    #: 'onehot' expands each radius into a 4-dimensional one-hot bucket.
+    radius_encoding: str = "ordinal"
+    #: include the 3x3-window category distribution next to the 1x1 histogram
+    include_window: bool = True
+
+    def __post_init__(self) -> None:
+        if self.radius_encoding not in ("ordinal", "onehot"):
+            raise ValueError("radius_encoding must be 'ordinal' or 'onehot', got %r"
+                             % self.radius_encoding)
+        if not (self.use_category or self.use_radius or self.use_index):
+            raise ValueError("at least one POI feature group must be enabled")
+
+
+@dataclass
+class PoiFeatureResult:
+    """POI features plus bookkeeping about the layout of the feature vector."""
+
+    features: np.ndarray
+    feature_names: List[str] = field(default_factory=list)
+
+    @property
+    def dim(self) -> int:
+        return self.features.shape[1]
+
+
+def _category_histograms(grid: RegionGrid, pois: Sequence[Poi]) -> np.ndarray:
+    """Per-region histogram of POI categories, shape ``(N, 23)`` (counts)."""
+    category_index = {name: i for i, name in enumerate(POI_CATEGORIES)}
+    counts = np.zeros((grid.num_regions, len(POI_CATEGORIES)))
+    for poi in pois:
+        region = grid.region_of_point(poi.x, poi.y)
+        counts[region, category_index[poi.category]] += 1
+    return counts
+
+
+def _window_sum(grid: RegionGrid, per_region: np.ndarray) -> np.ndarray:
+    """Sum a per-region quantity over each region's 3x3 window (incl. itself)."""
+    height, width = grid.height, grid.width
+    cube = per_region.reshape(height, width, -1)
+    padded = np.pad(cube, ((1, 1), (1, 1), (0, 0)), mode="constant")
+    window = (
+        padded[:-2, :-2] + padded[:-2, 1:-1] + padded[:-2, 2:]
+        + padded[1:-1, :-2] + padded[1:-1, 1:-1] + padded[1:-1, 2:]
+        + padded[2:, :-2] + padded[2:, 1:-1] + padded[2:, 2:]
+    )
+    return window.reshape(grid.num_regions, -1)
+
+
+def _normalise_histogram(counts: np.ndarray) -> np.ndarray:
+    totals = counts.sum(axis=1, keepdims=True)
+    safe = np.maximum(totals, 1.0)
+    return counts / safe
+
+
+def _nearest_distances(grid: RegionGrid, pois: Sequence[Poi]) -> np.ndarray:
+    """Distance (m) from each region centre to the nearest POI of each radius type.
+
+    Regions with no POI of a type anywhere in the city get a distance beyond
+    the last bucket edge (so they land in the ">3 km" bucket).
+    """
+    centers = np.array([grid.center(i) for i in range(grid.num_regions)])
+    far = RADIUS_BUCKET_EDGES_M[-1] * 2.0 + grid.region_size_m * max(grid.height, grid.width)
+    distances = np.full((grid.num_regions, len(RADIUS_POI_TYPES)), far)
+    points_by_type: Dict[str, List[List[float]]] = {name: [] for name in RADIUS_POI_TYPES}
+    for poi in pois:
+        if poi.poi_type in points_by_type:
+            points_by_type[poi.poi_type].append([poi.x, poi.y])
+    for type_index, type_name in enumerate(RADIUS_POI_TYPES):
+        points = points_by_type[type_name]
+        if not points:
+            continue
+        tree = cKDTree(np.asarray(points))
+        nearest, _ = tree.query(centers, k=1)
+        distances[:, type_index] = nearest
+    return distances
+
+
+def bucketize_distances(distances: np.ndarray) -> np.ndarray:
+    """Map metric distances to bucket indices 0..3 using the paper's edges."""
+    return np.digitize(distances, RADIUS_BUCKET_EDGES_M)
+
+
+def _facility_index(grid: RegionGrid, pois: Sequence[Poi]) -> np.ndarray:
+    """Binary basic-living-facility index per region."""
+    centers = np.array([grid.center(i) for i in range(grid.num_regions)])
+    has_all = np.ones(grid.num_regions, dtype=bool)
+    points_by_group: Dict[str, List[List[float]]] = {name: [] for name in BASIC_FACILITY_TYPES}
+    for poi in pois:
+        group = poi.facility_group
+        if group in points_by_group:
+            points_by_group[group].append([poi.x, poi.y])
+    for group in BASIC_FACILITY_TYPES:
+        points = points_by_group[group]
+        if not points:
+            has_all[:] = False
+            break
+        tree = cKDTree(np.asarray(points))
+        nearest, _ = tree.query(centers, k=1)
+        has_all &= nearest <= BASIC_FACILITY_RADIUS_M
+    return has_all.astype(np.float64)
+
+
+def build_poi_features(grid: RegionGrid, pois: Sequence[Poi],
+                       config: PoiFeatureConfig = None) -> PoiFeatureResult:
+    """Construct the full POI feature matrix for every region of the grid."""
+    config = config or PoiFeatureConfig()
+    blocks: List[np.ndarray] = []
+    names: List[str] = []
+
+    if config.use_category:
+        counts = _category_histograms(grid, pois)
+        histogram = _normalise_histogram(counts)
+        blocks.append(histogram)
+        names.extend(f"cat:{name}" for name in POI_CATEGORIES)
+        if config.include_window:
+            window_counts = _window_sum(grid, counts)
+            window_histogram = _normalise_histogram(window_counts)
+            blocks.append(window_histogram)
+            names.extend(f"cat3x3:{name}" for name in POI_CATEGORIES)
+        total = counts.sum(axis=1, keepdims=True)
+        # Log-scale the raw count so downtown regions do not dominate.
+        blocks.append(np.log1p(total))
+        names.append("poi_count_log")
+
+    if config.use_radius:
+        distances = _nearest_distances(grid, pois)
+        buckets = bucketize_distances(distances)
+        if config.radius_encoding == "ordinal":
+            blocks.append(buckets / float(len(RADIUS_BUCKET_EDGES_M)))
+            names.extend(f"radius:{name}" for name in RADIUS_POI_TYPES)
+        else:
+            n_buckets = len(RADIUS_BUCKET_EDGES_M) + 1
+            onehot = np.zeros((grid.num_regions, len(RADIUS_POI_TYPES) * n_buckets))
+            for type_index in range(len(RADIUS_POI_TYPES)):
+                onehot[np.arange(grid.num_regions),
+                       type_index * n_buckets + buckets[:, type_index]] = 1.0
+            blocks.append(onehot)
+            for name in RADIUS_POI_TYPES:
+                names.extend(f"radius:{name}:bucket{b}" for b in range(n_buckets))
+
+    if config.use_index:
+        blocks.append(_facility_index(grid, pois).reshape(-1, 1))
+        names.append("basic_facility_index")
+
+    features = np.concatenate(blocks, axis=1)
+    return PoiFeatureResult(features=features, feature_names=names)

@@ -1,0 +1,39 @@
+"""Dependency-free text visualisation utilities.
+
+The paper presents its qualitative results as city maps (Figure 7) and its
+quantitative results as tables and curves (Tables I-III, Figures 5-6).  This
+subpackage renders the same artefacts as plain text so they can be produced
+in any environment — terminals, CI logs, benchmark output files — without a
+plotting stack:
+
+* :mod:`repro.viz.ascii_map` — city land-use maps, label maps, detection
+  maps and cluster maps drawn with one character per region grid cell;
+* :mod:`repro.viz.charts` — horizontal bar charts, line plots, sparklines
+  and histograms rendered with unicode block characters;
+* :mod:`repro.viz.report` — markdown rendering of experiment results
+  (Table II comparisons, ablation summaries, training curves).
+"""
+
+from .ascii_map import (MapLegend, render_cluster_map, render_detection_map,
+                        render_label_map, render_land_use_map, render_score_map)
+from .charts import bar_chart, histogram, line_plot, sparkline
+from .report import (ablation_markdown, comparison_markdown, markdown_table,
+                     series_markdown, training_curve_report)
+
+__all__ = [
+    "MapLegend",
+    "render_land_use_map",
+    "render_label_map",
+    "render_detection_map",
+    "render_cluster_map",
+    "render_score_map",
+    "bar_chart",
+    "line_plot",
+    "sparkline",
+    "histogram",
+    "markdown_table",
+    "ablation_markdown",
+    "comparison_markdown",
+    "series_markdown",
+    "training_curve_report",
+]

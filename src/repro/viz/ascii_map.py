@@ -1,0 +1,173 @@
+"""ASCII map rendering of synthetic cities and detection results.
+
+Each region grid cell is drawn as a single character, so a 40x48 city becomes
+a 40-line block of text.  The renderers cover the qualitative artefacts of
+the paper:
+
+* the hidden land-use map of a synthetic city (simulator ground truth);
+* the labelling situation (labelled UV / labelled non-UV / unlabeled);
+* the Figure 7 style detection map comparing a detector's top-p% regions with
+  the ground-truth urban villages;
+* the latent cluster membership learned by GSCM;
+* a coarse heat map of predicted probabilities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from ..synth.city import SyntheticCity
+from ..synth.config import LAND_USE_NAMES, LandUse
+from ..urg.graph import UrbanRegionGraph
+
+#: Character used for each land-use class on the land-use map.
+LAND_USE_CHARS: Dict[int, str] = {
+    int(LandUse.WATER_GREEN): "~",
+    int(LandUse.SUBURB): ".",
+    int(LandUse.INDUSTRIAL): "i",
+    int(LandUse.RESIDENTIAL): "r",
+    int(LandUse.DOWNTOWN): "D",
+    int(LandUse.URBAN_VILLAGE): "V",
+}
+
+#: Ramp used by the probability heat map (low -> high).
+SCORE_RAMP = " .:-=+*#%@"
+
+
+@dataclass
+class MapLegend:
+    """A legend block printed under a map."""
+
+    entries: Dict[str, str]
+
+    def render(self) -> str:
+        return "\n".join(f"  {symbol}  {meaning}" for symbol, meaning in self.entries.items())
+
+
+def _canvas(height: int, width: int, fill: str = " ") -> np.ndarray:
+    return np.full((height, width), fill, dtype="<U1")
+
+
+def _canvas_to_text(canvas: np.ndarray, legend: Optional[MapLegend] = None,
+                    title: Optional[str] = None) -> str:
+    lines = []
+    if title:
+        lines.append(title)
+    lines.extend("".join(row) for row in canvas)
+    if legend is not None:
+        lines.append("")
+        lines.append(legend.render())
+    return "\n".join(lines)
+
+
+def render_land_use_map(city: SyntheticCity, title: Optional[str] = None,
+                        with_legend: bool = True) -> str:
+    """Render the hidden land-use map of a synthetic city."""
+    land_use = city.land_use.land_use
+    height, width = land_use.shape
+    canvas = _canvas(height, width)
+    for code, char in LAND_USE_CHARS.items():
+        canvas[land_use == code] = char
+    legend = None
+    if with_legend:
+        legend = MapLegend({char: LAND_USE_NAMES[LandUse(code)]
+                            for code, char in LAND_USE_CHARS.items()})
+    return _canvas_to_text(canvas, legend, title or f"{city.name}: latent land use")
+
+
+def _node_coordinates(graph: UrbanRegionGraph) -> np.ndarray:
+    """Row/column of every node in the full city grid, shape ``(N, 2)``."""
+    width = graph.grid_shape[1]
+    rows, cols = np.divmod(graph.region_index.astype(np.int64), width)
+    return np.stack([rows, cols], axis=1)
+
+
+def render_label_map(graph: UrbanRegionGraph, title: Optional[str] = None,
+                     with_legend: bool = True) -> str:
+    """Render the labelling situation of an URG.
+
+    ``U`` labelled urban village, ``n`` labelled non-UV, ``?`` unlabeled
+    region inside the main urban area, blank outside the main area.
+    """
+    height, width = graph.grid_shape
+    canvas = _canvas(height, width)
+    coords = _node_coordinates(graph)
+    for node, (row, col) in enumerate(coords):
+        if graph.labels[node] == 1:
+            canvas[row, col] = "U"
+        elif graph.labels[node] == 0:
+            canvas[row, col] = "n"
+        else:
+            canvas[row, col] = "?"
+    legend = MapLegend({"U": "labelled urban village", "n": "labelled non-UV",
+                        "?": "unlabeled region", " ": "outside main urban area"}) \
+        if with_legend else None
+    return _canvas_to_text(canvas, legend, title or f"{graph.name}: labels")
+
+
+def render_detection_map(graph: UrbanRegionGraph, detected: Sequence[int],
+                         title: Optional[str] = None,
+                         with_legend: bool = True) -> str:
+    """Figure 7 style map comparing detections against ground truth.
+
+    ``#`` detected true UV (hit), ``o`` detected non-UV (false alarm),
+    ``.`` missed true UV, blank elsewhere.
+    """
+    height, width = graph.grid_shape
+    canvas = _canvas(height, width)
+    coords = _node_coordinates(graph)
+    for node in np.flatnonzero(graph.ground_truth == 1):
+        row, col = coords[node]
+        canvas[row, col] = "."
+    detected = np.asarray(list(detected), dtype=np.int64)
+    for node in detected:
+        row, col = coords[int(node)]
+        canvas[row, col] = "#" if graph.ground_truth[int(node)] == 1 else "o"
+    legend = MapLegend({"#": "detected true UV", "o": "false alarm",
+                        ".": "missed true UV"}) if with_legend else None
+    return _canvas_to_text(canvas, legend, title or f"{graph.name}: detections")
+
+
+def render_cluster_map(graph: UrbanRegionGraph, assignment: np.ndarray,
+                       title: Optional[str] = None,
+                       max_clusters: int = 62) -> str:
+    """Render the hard GSCM cluster membership of every region.
+
+    Clusters are drawn with ``0-9a-zA-Z`` (cluster ids above ``max_clusters``
+    all share ``*``), which is enough to eyeball whether the clustering is
+    spatially coherent or purely semantic.
+    """
+    assignment = np.asarray(assignment, dtype=np.int64)
+    if assignment.shape[0] != graph.num_nodes:
+        raise ValueError("assignment must have one entry per node")
+    alphabet = "0123456789abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"
+    height, width = graph.grid_shape
+    canvas = _canvas(height, width)
+    coords = _node_coordinates(graph)
+    for node, (row, col) in enumerate(coords):
+        cluster = int(assignment[node])
+        canvas[row, col] = alphabet[cluster] if cluster < min(max_clusters, len(alphabet)) else "*"
+    return _canvas_to_text(canvas, None, title or f"{graph.name}: latent clusters")
+
+
+def render_score_map(graph: UrbanRegionGraph, scores: np.ndarray,
+                     title: Optional[str] = None) -> str:
+    """Render predicted UV probabilities as a character heat map."""
+    scores = np.asarray(scores, dtype=np.float64)
+    if scores.shape[0] != graph.num_nodes:
+        raise ValueError("scores must have one entry per node")
+    low, high = float(np.nanmin(scores)), float(np.nanmax(scores))
+    span = max(high - low, 1e-12)
+    height, width = graph.grid_shape
+    canvas = _canvas(height, width)
+    coords = _node_coordinates(graph)
+    for node, (row, col) in enumerate(coords):
+        level = (scores[node] - low) / span
+        index = int(round(level * (len(SCORE_RAMP) - 1)))
+        canvas[row, col] = SCORE_RAMP[index]
+    legend = MapLegend({SCORE_RAMP[0]: f"lowest score ({low:.3f})",
+                        SCORE_RAMP[-1]: f"highest score ({high:.3f})"})
+    return _canvas_to_text(canvas, legend, title or f"{graph.name}: predicted UV probability")

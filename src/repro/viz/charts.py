@@ -1,0 +1,134 @@
+"""Text-based charts (bar charts, line plots, sparklines, histograms).
+
+The benchmark harness regenerates the paper's figures as numeric series;
+these helpers render those series for terminals and log files.  All functions
+return plain strings and never print.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+#: Unicode blocks from empty to full, used by sparklines and histograms.
+BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def _to_float_array(values: Sequence[float]) -> np.ndarray:
+    array = np.asarray(list(values), dtype=np.float64)
+    if array.ndim != 1:
+        raise ValueError("expected a 1-D sequence of numbers")
+    return array
+
+
+def bar_chart(labels: Sequence[str], values: Sequence[float], width: int = 40,
+              title: Optional[str] = None, value_format: str = "{:.3f}") -> str:
+    """Horizontal bar chart with one labelled row per value.
+
+    Used for the Figure 5 ablation bars: one bar per variant / data source.
+    """
+    values = _to_float_array(values)
+    labels = [str(label) for label in labels]
+    if len(labels) != values.size:
+        raise ValueError("labels and values must have the same length")
+    if values.size == 0:
+        return title or ""
+    finite = values[np.isfinite(values)]
+    top = float(finite.max()) if finite.size else 1.0
+    top = top if top > 0 else 1.0
+    label_width = max(len(label) for label in labels)
+    lines = [title] if title else []
+    for label, value in zip(labels, values):
+        if not np.isfinite(value):
+            bar, rendered = "", "n/a"
+        else:
+            bar = "█" * max(int(round(width * value / top)), 0)
+            rendered = value_format.format(value)
+        lines.append(f"{label.rjust(label_width)} | {bar} {rendered}")
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line sparkline of a numeric series (e.g. a training loss curve)."""
+    values = _to_float_array(values)
+    if values.size == 0:
+        return ""
+    finite = values[np.isfinite(values)]
+    if finite.size == 0:
+        return " " * values.size
+    low, high = float(finite.min()), float(finite.max())
+    span = max(high - low, 1e-12)
+    chars = []
+    for value in values:
+        if not np.isfinite(value):
+            chars.append(" ")
+            continue
+        level = (value - low) / span
+        chars.append(BLOCKS[1 + int(round(level * (len(BLOCKS) - 2)))])
+    return "".join(chars)
+
+
+def line_plot(xs: Sequence[float], ys: Sequence[float], width: int = 60,
+              height: int = 12, title: Optional[str] = None,
+              x_label: str = "x", y_label: str = "y") -> str:
+    """Scatter-style line plot on a character canvas.
+
+    Used for the Figure 6 sensitivity curves (AUC as a function of K, lambda
+    or the labelled-data ratio).
+    """
+    xs = _to_float_array(xs)
+    ys = _to_float_array(ys)
+    if xs.size != ys.size:
+        raise ValueError("xs and ys must have the same length")
+    if xs.size == 0:
+        return title or ""
+    valid = np.isfinite(xs) & np.isfinite(ys)
+    if not valid.any():
+        return title or ""
+    x_low, x_high = float(xs[valid].min()), float(xs[valid].max())
+    y_low, y_high = float(ys[valid].min()), float(ys[valid].max())
+    x_span = max(x_high - x_low, 1e-12)
+    y_span = max(y_high - y_low, 1e-12)
+    canvas = np.full((height, width), " ", dtype="<U1")
+    order = np.argsort(xs)
+    previous = None
+    for index in order:
+        if not valid[index]:
+            continue
+        col = int(round((xs[index] - x_low) / x_span * (width - 1)))
+        row = height - 1 - int(round((ys[index] - y_low) / y_span * (height - 1)))
+        canvas[row, col] = "o"
+        if previous is not None:
+            # Connect consecutive points with a sparse straight segment.
+            prev_row, prev_col = previous
+            steps = max(abs(col - prev_col), abs(row - prev_row))
+            for step in range(1, steps):
+                interp_col = prev_col + round(step * (col - prev_col) / steps)
+                interp_row = prev_row + round(step * (row - prev_row) / steps)
+                if canvas[interp_row, interp_col] == " ":
+                    canvas[interp_row, interp_col] = "·"
+        previous = (row, col)
+    lines = [title] if title else []
+    lines.append(f"{y_high:.3f} ┐")
+    for row in canvas:
+        lines.append("       │" + "".join(row))
+    lines.append(f"{y_low:.3f} ┘" )
+    lines.append(f"        {x_label}: [{x_low:g} .. {x_high:g}]   {y_label} on the vertical axis")
+    return "\n".join(lines)
+
+
+def histogram(values: Sequence[float], bins: int = 10, width: int = 40,
+              title: Optional[str] = None) -> str:
+    """Text histogram of a numeric sample (e.g. node degree distribution)."""
+    values = _to_float_array(values)
+    values = values[np.isfinite(values)]
+    if values.size == 0:
+        return title or ""
+    counts, edges = np.histogram(values, bins=bins)
+    top = max(int(counts.max()), 1)
+    lines = [title] if title else []
+    for count, low, high in zip(counts, edges[:-1], edges[1:]):
+        bar = "█" * int(round(width * count / top))
+        lines.append(f"[{low:9.3f}, {high:9.3f}) | {bar} {count}")
+    return "\n".join(lines)

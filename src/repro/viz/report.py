@@ -1,0 +1,110 @@
+"""Markdown rendering of experiment results.
+
+The benchmark harness returns plain data structures (dictionaries of
+:class:`~repro.eval.protocol.MethodSummary`, per-ablation AUC maps, metric
+series); these helpers turn them into markdown blocks for EXPERIMENTS.md and
+the examples' output.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Sequence
+
+from .charts import sparkline
+
+
+def markdown_table(headers: Sequence[str], rows: Sequence[Sequence],
+                   float_format: str = "{:.3f}") -> str:
+    """Render a GitHub-flavoured markdown table."""
+    def fmt(value) -> str:
+        if isinstance(value, float):
+            return "n/a" if value != value else float_format.format(value)
+        return str(value)
+
+    lines = ["| " + " | ".join(str(h) for h in headers) + " |",
+             "| " + " | ".join("---" for _ in headers) + " |"]
+    for row in rows:
+        lines.append("| " + " | ".join(fmt(value) for value in row) + " |")
+    return "\n".join(lines)
+
+
+def comparison_markdown(results: Mapping[str, Mapping[str, "object"]],
+                        methods: Sequence[str],
+                        metrics: Sequence[str] = ("auc", "recall@3", "precision@3",
+                                                  "f1@3", "recall@5", "precision@5", "f1@5"),
+                        title: Optional[str] = None) -> str:
+    """Render a Table II style comparison as markdown.
+
+    Parameters
+    ----------
+    results:
+        ``{city: {method: MethodSummary}}`` as returned by
+        :func:`repro.experiments.run_table2`.
+    methods:
+        Row order.
+    metrics:
+        Metric columns (keys understood by ``MethodSummary.mean``).
+    """
+    headers = ["City", "Method"] + list(metrics)
+    rows = []
+    for city, summaries in results.items():
+        for method in methods:
+            summary = summaries.get(method)
+            if summary is None:
+                continue
+            row = [city, method]
+            for metric in metrics:
+                mean = summary.mean(metric)
+                std = summary.std(metric)
+                if mean != mean:
+                    row.append("n/a")
+                else:
+                    row.append(f"{mean:.3f} ({std:.3f})")
+            rows.append(row)
+    table = markdown_table(headers, rows)
+    if title:
+        return f"### {title}\n\n{table}"
+    return table
+
+
+def series_markdown(series: Mapping, x_label: str, y_label: str,
+                    title: Optional[str] = None,
+                    float_format: str = "{:.3f}") -> str:
+    """Render a figure series (``{x: y}``) as a two-column markdown table."""
+    rows = [[x, y] for x, y in series.items()]
+    table = markdown_table([x_label, y_label], rows, float_format=float_format)
+    if title:
+        return f"### {title}\n\n{table}"
+    return table
+
+
+def training_curve_report(history: Mapping[str, Sequence[float]],
+                          title: str = "Training curves") -> str:
+    """Summarise training loss curves as sparklines plus start/end values."""
+    lines = [f"### {title}", ""]
+    for name, curve in history.items():
+        curve = list(curve)
+        if not curve:
+            lines.append(f"- **{name}**: (empty)")
+            continue
+        lines.append(f"- **{name}**: `{sparkline(curve)}` "
+                     f"({curve[0]:.4f} → {curve[-1]:.4f}, {len(curve)} epochs)")
+    return "\n".join(lines)
+
+
+def ablation_markdown(results: Mapping[str, Dict[str, float]], metric: str = "AUC",
+                      title: Optional[str] = None) -> str:
+    """Render a Figure 5 style ablation result (``{city: {variant: value}}``)."""
+    variants = []
+    for per_city in results.values():
+        for variant in per_city:
+            if variant not in variants:
+                variants.append(variant)
+    headers = ["City"] + [f"{variant} ({metric})" for variant in variants]
+    rows = []
+    for city, per_city in results.items():
+        rows.append([city] + [per_city.get(variant, float("nan")) for variant in variants])
+    table = markdown_table(headers, rows)
+    if title:
+        return f"### {title}\n\n{table}"
+    return table

@@ -1,0 +1,93 @@
+"""Tests for calibration, threshold sweeps and error breakdowns."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (best_f1_threshold, brier_score, budget_sweep,
+                            calibration_report, error_breakdown,
+                            precision_recall_curve, screening_report)
+
+
+class TestCalibration:
+    def test_perfectly_calibrated_probabilities(self, rng):
+        probabilities = rng.random(5000)
+        labels = (rng.random(5000) < probabilities).astype(int)
+        report = calibration_report(labels, probabilities, num_bins=10)
+        assert report.expected_calibration_error < 0.05
+        assert report.brier_score < 0.30
+
+    def test_overconfident_predictions_flagged(self):
+        labels = np.array([0, 0, 0, 0, 1])
+        probabilities = np.array([0.9, 0.9, 0.9, 0.9, 0.9])
+        report = calibration_report(labels, probabilities, num_bins=5)
+        assert report.expected_calibration_error > 0.5
+
+    def test_brier_score_bounds(self):
+        assert brier_score(np.array([1, 0]), np.array([1.0, 0.0])) == 0.0
+        assert brier_score(np.array([1, 0]), np.array([0.0, 1.0])) == 1.0
+
+    def test_invalid_probabilities_rejected(self):
+        with pytest.raises(ValueError):
+            calibration_report(np.array([0, 1]), np.array([0.5, 1.5]))
+
+    def test_report_rows_cover_all_bins(self):
+        report = calibration_report(np.array([0, 1, 1, 0]),
+                                    np.array([0.1, 0.9, 0.8, 0.3]), num_bins=4)
+        assert len(report.as_rows()) == 4
+        assert set(report.as_dict()) == {"expected_calibration_error",
+                                         "max_calibration_error", "brier_score"}
+
+
+class TestThresholds:
+    def test_precision_recall_monotone_recall(self, rng):
+        labels = rng.integers(0, 2, size=100)
+        scores = rng.random(100)
+        precision, recall, thresholds = precision_recall_curve(labels, scores)
+        assert np.all(np.diff(recall) >= -1e-12)
+        assert precision.shape == recall.shape == thresholds.shape
+
+    def test_perfect_separation_best_f1_is_one(self):
+        labels = np.array([0, 0, 0, 1, 1])
+        scores = np.array([0.1, 0.2, 0.3, 0.8, 0.9])
+        best = best_f1_threshold(labels, scores)
+        assert best["f1"] == pytest.approx(1.0)
+        assert 0.3 < best["threshold"] <= 0.8
+
+    def test_budget_sweep_row_per_budget(self, rng):
+        labels = rng.integers(0, 2, size=200)
+        scores = rng.random(200)
+        rows = budget_sweep(labels, scores, budgets=(1, 5, 10))
+        assert [row["budget_percent"] for row in rows] == [1.0, 5.0, 10.0]
+        assert all(row["num_selected"] >= 1 for row in rows)
+
+    def test_screening_report_mentions_best_threshold(self, rng):
+        labels = rng.integers(0, 2, size=50)
+        scores = rng.random(50)
+        report = screening_report(labels, scores, budgets=(5, 10))
+        assert "best-F1 threshold" in report
+        assert len(report.splitlines()) == 4
+
+
+class TestErrorBreakdown:
+    def test_breakdown_structure(self, tiny_city_data, tiny_graph, rng):
+        scores = rng.random(tiny_graph.num_nodes)
+        breakdown = error_breakdown(tiny_graph, tiny_city_data, scores, top_percent=10.0)
+        assert set(breakdown) == {"detected_by_land_use",
+                                  "false_alarm_rate_by_land_use",
+                                  "miss_rate_by_village_kind"}
+        assert all(0.0 <= value <= 1.0
+                   for value in breakdown["false_alarm_rate_by_land_use"].values())
+
+    def test_perfect_scores_have_low_miss_rate(self, tiny_city_data, tiny_graph):
+        scores = tiny_graph.ground_truth.astype(float)
+        uv_fraction = 100.0 * tiny_graph.ground_truth.mean() + 2.0
+        breakdown = error_breakdown(tiny_graph, tiny_city_data, scores,
+                                    top_percent=uv_fraction)
+        for rate in breakdown["miss_rate_by_village_kind"].values():
+            assert rate <= 0.2
+
+    def test_score_length_mismatch_raises(self, tiny_city_data, tiny_graph):
+        with pytest.raises(ValueError):
+            error_breakdown(tiny_graph, tiny_city_data, np.zeros(3))

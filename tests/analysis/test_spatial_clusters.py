@@ -1,0 +1,108 @@
+"""Tests for spatial statistics and cluster quality measures."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (cluster_quality, join_count_statistics, morans_i,
+                            neighborhood_agreement, silhouette_score)
+
+
+class TestMoransI:
+    def test_ground_truth_is_positively_autocorrelated(self, tiny_graph):
+        value = morans_i(tiny_graph, tiny_graph.ground_truth.astype(float))
+        assert value > 0.1
+
+    def test_random_values_near_zero(self, tiny_graph, rng):
+        values = rng.normal(size=tiny_graph.num_nodes)
+        assert abs(morans_i(tiny_graph, values)) < 0.15
+
+    def test_constant_values_return_nan(self, tiny_graph):
+        assert np.isnan(morans_i(tiny_graph, np.ones(tiny_graph.num_nodes)))
+
+    def test_mask_restricts_to_subset(self, tiny_graph):
+        mask = tiny_graph.labeled_mask
+        value = morans_i(tiny_graph, tiny_graph.ground_truth.astype(float), mask=mask)
+        assert np.isnan(value) or -1.0 <= value <= 1.5
+
+    def test_wrong_length_raises(self, tiny_graph):
+        with pytest.raises(ValueError):
+            morans_i(tiny_graph, np.zeros(5))
+
+
+class TestJoinCounts:
+    def test_uv_regions_cluster_on_graph(self, tiny_graph):
+        stats = join_count_statistics(tiny_graph, tiny_graph.ground_truth)
+        assert stats["joins_11"] + stats["joins_00"] + stats["joins_01"] == stats["edges"]
+        # Planted villages are contiguous patches, so UV-UV joins exceed the
+        # random-labelling expectation by a wide margin.
+        assert stats["clustering_ratio"] > 2.0
+
+    def test_non_binary_values_rejected(self, tiny_graph):
+        with pytest.raises(ValueError):
+            join_count_statistics(tiny_graph, tiny_graph.ground_truth + 5)
+
+
+class TestNeighborhoodAgreement:
+    def test_bounds_and_signal(self, tiny_graph, rng):
+        agreement = neighborhood_agreement(tiny_graph, tiny_graph.ground_truth)
+        assert 0.0 <= agreement <= 1.0
+        shuffled = rng.permutation(tiny_graph.ground_truth)
+        assert agreement >= neighborhood_agreement(tiny_graph, shuffled) - 0.05
+
+
+class TestClusterQuality:
+    def test_perfect_clustering(self):
+        assignment = np.array([0, 0, 0, 1, 1, 1])
+        uv = np.array([1, 1, 1, 0, 0, 0])
+        report = cluster_quality(assignment, uv, num_clusters=2)
+        assert report.purity == 1.0
+        assert report.num_used_clusters == 2
+        assert report.uv_concentration == 1.0
+
+    def test_degenerate_single_cluster(self):
+        assignment = np.zeros(10, dtype=int)
+        uv = np.array([1] * 3 + [0] * 7)
+        report = cluster_quality(assignment, uv, num_clusters=4)
+        assert report.num_used_clusters == 1
+        assert report.purity == pytest.approx(0.7)
+        assert report.normalized_entropy == pytest.approx(0.0)
+
+    def test_as_dict_keys(self):
+        report = cluster_quality(np.array([0, 1]), np.array([0, 1]), num_clusters=2)
+        summary = report.as_dict()
+        assert set(summary) >= {"purity", "uv_concentration", "normalized_entropy"}
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            cluster_quality(np.array([0, 1]), np.array([0]))
+
+    def test_with_representations_computes_silhouette(self, rng):
+        reps = np.concatenate([rng.normal(0, 0.1, size=(20, 4)),
+                               rng.normal(5, 0.1, size=(20, 4))])
+        assignment = np.array([0] * 20 + [1] * 20)
+        uv = np.array([1] * 20 + [0] * 20)
+        report = cluster_quality(assignment, uv, num_clusters=2, representations=reps)
+        assert report.silhouette > 0.8
+
+
+class TestSilhouette:
+    def test_well_separated_clusters_score_high(self, rng):
+        reps = np.concatenate([rng.normal(0, 0.05, size=(30, 3)),
+                               rng.normal(3, 0.05, size=(30, 3))])
+        assignment = np.array([0] * 30 + [1] * 30)
+        assert silhouette_score(reps, assignment) > 0.9
+
+    def test_single_cluster_returns_nan(self, rng):
+        reps = rng.normal(size=(10, 3))
+        assert np.isnan(silhouette_score(reps, np.zeros(10, dtype=int)))
+
+    def test_sampling_keeps_score_stable(self, rng):
+        reps = np.concatenate([rng.normal(0, 0.2, size=(100, 3)),
+                               rng.normal(4, 0.2, size=(100, 3))])
+        assignment = np.array([0] * 100 + [1] * 100)
+        full = silhouette_score(reps, assignment, sample_size=200)
+        sampled = silhouette_score(reps, assignment, sample_size=50,
+                                   rng=np.random.default_rng(1))
+        assert abs(full - sampled) < 0.1

@@ -1,0 +1,204 @@
+"""Tests for every Table II baseline detector."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import (BaselineTrainingConfig, GATDetector, GCNDetector,
+                             ImGAGNConfig, ImGAGNDetector, MLPDetector,
+                             MMREConfig, MMREDetector, MUVFCNDetector,
+                             TABLE2_METHODS, UVLensDetector, available_methods,
+                             histogram_equalize, make_detector)
+from repro.baselines.gnn_layers import GATLayer, GCNLayer
+from repro.nn.tensor import Tensor
+from repro.urg import build_urg_variant
+from repro.urg.relations import to_directed_edge_index
+
+FAST = BaselineTrainingConfig(epochs=12, patience=None, seed=0)
+
+
+def _train_indices(graph):
+    return graph.labeled_indices()
+
+
+class TestGnnLayers:
+    def test_gcn_layer_shapes_and_grad(self, rng):
+        layer = GCNLayer(5, 3, rng)
+        x = Tensor(rng.normal(size=(6, 5)), requires_grad=True)
+        edge_index = to_directed_edge_index([(0, 1), (1, 2), (4, 5)])
+        out = layer(x, edge_index, 6)
+        assert out.shape == (6, 3)
+        (out * out).sum().backward()
+        assert layer.linear.weight.grad is not None
+
+    def test_gcn_isolated_node_keeps_self_information(self, rng):
+        layer = GCNLayer(4, 4, rng, activation="identity")
+        x = Tensor(np.eye(4)[:3])
+        out = layer(x, np.zeros((2, 0), dtype=np.int64), 3)
+        # with only self-loops, each row is just the transformed own feature
+        expected = layer.linear(x).data
+        np.testing.assert_allclose(out.data, expected, atol=1e-12)
+
+    def test_gat_layer_shapes(self, rng):
+        layer = GATLayer(5, 6, rng, heads=2)
+        x = Tensor(rng.normal(size=(4, 5)))
+        out = layer(x, to_directed_edge_index([(0, 1), (2, 3)]), 4)
+        assert out.shape == (4, 6)
+
+
+class TestSimpleBaselines:
+    @pytest.mark.parametrize("detector_cls", [MLPDetector, GCNDetector, GATDetector,
+                                              MUVFCNDetector, UVLensDetector])
+    def test_fit_predict_cycle(self, tiny_graph_small_image, detector_cls):
+        graph = tiny_graph_small_image
+        if detector_cls is UVLensDetector:
+            detector = detector_cls(training=FAST, head_widths=(64, 32))
+        else:
+            detector = detector_cls(training=FAST)
+        detector.fit(graph, _train_indices(graph))
+        probs = detector.predict_proba(graph)
+        assert probs.shape == (graph.num_nodes,)
+        assert (probs >= 0).all() and (probs <= 1).all()
+        assert detector.num_parameters() > 0
+        assert len(detector.history) > 0
+        assert detector.history[-1] <= detector.history[0]
+
+    def test_predict_before_fit_raises(self, tiny_graph_small_image):
+        with pytest.raises(RuntimeError):
+            MLPDetector(training=FAST).predict_proba(tiny_graph_small_image)
+
+    def test_fit_rejects_unlabeled_indices(self, tiny_graph_small_image):
+        graph = tiny_graph_small_image
+        with pytest.raises(ValueError):
+            MLPDetector(training=FAST).fit(graph, graph.unlabeled_indices()[:4])
+
+    def test_fit_rejects_empty_indices(self, tiny_graph_small_image):
+        with pytest.raises(ValueError):
+            MLPDetector(training=FAST).fit(tiny_graph_small_image, np.array([], dtype=int))
+
+    def test_mlp_learns_training_labels(self, tiny_graph_small_image):
+        graph = tiny_graph_small_image
+        detector = MLPDetector(training=BaselineTrainingConfig(epochs=120, seed=0))
+        train = _train_indices(graph)
+        detector.fit(graph, train)
+        probs = detector.predict_proba(graph)[train]
+        labels = graph.labels[train]
+        assert probs[labels == 1].mean() > probs[labels == 0].mean()
+
+    def test_image_only_methods_require_image_features(self, tiny_city_data):
+        graph = build_urg_variant(tiny_city_data, "noImage")
+        with pytest.raises(ValueError):
+            MUVFCNDetector(training=FAST).fit(graph, _train_indices(graph))
+        with pytest.raises(ValueError):
+            UVLensDetector(training=FAST).fit(graph, _train_indices(graph))
+
+    def test_mlp_handles_poi_only_graph(self, tiny_city_data):
+        graph = build_urg_variant(tiny_city_data, "noImage")
+        detector = MLPDetector(training=FAST)
+        detector.fit(graph, _train_indices(graph))
+        assert detector.predict_proba(graph).shape == (graph.num_nodes,)
+
+    def test_histogram_equalize_normalises_rows(self, rng):
+        x = rng.normal(loc=3.0, scale=2.0, size=(10, 30))
+        out = histogram_equalize(x)
+        np.testing.assert_allclose(out.mean(axis=1), 0.0, atol=1e-9)
+        np.testing.assert_allclose(out.std(axis=1), 1.0, atol=1e-6)
+
+    def test_uvlens_is_largest_model(self, tiny_graph_small_image):
+        graph = tiny_graph_small_image
+        train = _train_indices(graph)
+        uvlens = UVLensDetector(training=FAST)
+        uvlens.fit(graph, train)
+        mlp = MLPDetector(training=FAST)
+        mlp.fit(graph, train)
+        assert uvlens.num_parameters() > mlp.num_parameters()
+
+
+class TestMMRE:
+    def test_fit_predict(self, tiny_graph_small_image):
+        graph = tiny_graph_small_image
+        config = MMREConfig(embedding_epochs=6, classifier_epochs=20, seed=0)
+        detector = MMREDetector(config)
+        detector.fit(graph, _train_indices(graph))
+        probs = detector.predict_proba(graph)
+        assert probs.shape == (graph.num_nodes,)
+        assert len(detector.embedding_history) == 6
+        assert len(detector.classifier_history) == 20
+        assert detector.num_parameters() > 0
+
+    def test_embedding_loss_decreases(self, tiny_graph_small_image):
+        graph = tiny_graph_small_image
+        detector = MMREDetector(MMREConfig(embedding_epochs=15, classifier_epochs=5))
+        detector.fit(graph, _train_indices(graph))
+        assert detector.embedding_history[-1] < detector.embedding_history[0]
+
+    def test_poi_only_graph_supported(self, tiny_city_data):
+        graph = build_urg_variant(tiny_city_data, "noImage")
+        detector = MMREDetector(MMREConfig(embedding_epochs=4, classifier_epochs=8))
+        detector.fit(graph, graph.labeled_indices())
+        assert detector.predict_proba(graph).shape == (graph.num_nodes,)
+
+
+class TestImGAGN:
+    def test_fit_predict(self, tiny_graph_small_image):
+        graph = tiny_graph_small_image
+        config = ImGAGNConfig(generator_epochs=4, discriminator_steps=2, seed=0)
+        detector = ImGAGNDetector(config)
+        detector.fit(graph, _train_indices(graph))
+        probs = detector.predict_proba(graph)
+        assert probs.shape == (graph.num_nodes,)
+        assert detector.num_parameters() > 0
+
+    def test_synthetic_nodes_proportional_to_minority(self, tiny_graph_small_image):
+        graph = tiny_graph_small_image
+        train = _train_indices(graph)
+        n_uv = int((graph.labels[train] == 1).sum())
+        config = ImGAGNConfig(generator_epochs=2, discriminator_steps=1,
+                              minority_ratio=1.0)
+        detector = ImGAGNDetector(config)
+        detector.fit(graph, train)
+        # the generator's link head has one output per real labelled UV node
+        assert detector.generator.link_head.out_features == n_uv
+
+    def test_handles_training_fold_without_uvs(self, tiny_graph_small_image):
+        graph = tiny_graph_small_image
+        train = _train_indices(graph)
+        only_negatives = train[graph.labels[train] == 0][:10]
+        detector = ImGAGNDetector(ImGAGNConfig(generator_epochs=2,
+                                               discriminator_steps=1))
+        detector.fit(graph, only_negatives)
+        assert detector.predict_proba(graph).shape == (graph.num_nodes,)
+
+
+class TestRegistry:
+    def test_table2_method_list(self):
+        assert TABLE2_METHODS[-1] == "CMSF"
+        assert len(TABLE2_METHODS) == 8
+
+    def test_available_methods_include_variants(self):
+        methods = available_methods()
+        for name in ("CMSF-M", "CMSF-G", "CMSF-H"):
+            assert name in methods
+
+    @pytest.mark.parametrize("name", ["MLP", "GCN", "GAT", "MMRE", "UVLens",
+                                      "MUVFCN", "ImGAGN", "CMSF", "CMSF-G"])
+    def test_factory_builds_each_method(self, name):
+        detector = make_detector(name, seed=3, epochs=10)
+        assert detector is not None
+        assert hasattr(detector, "fit") and hasattr(detector, "predict_proba")
+
+    def test_factory_unknown_method(self):
+        with pytest.raises(KeyError):
+            make_detector("ResNet")
+
+    def test_factory_epoch_override(self):
+        detector = make_detector("MLP", epochs=7)
+        assert detector.training_config.epochs == 7
+        cmsf = make_detector("CMSF", epochs=30)
+        assert cmsf.config.master_epochs == 30
+        assert cmsf.config.slave_epochs == 10
+
+    def test_factory_seed_propagates(self):
+        assert make_detector("GAT", seed=11).training_config.seed == 11
+        assert make_detector("CMSF", seed=11).config.seed == 11

@@ -1,0 +1,99 @@
+"""Tests for the extra comparators (index-based classic ML, semi-lazy)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import (BaselineTrainingConfig, EXTRA_METHODS, IndexBasedDetector,
+                             SemiLazyConfig, SemiLazyDetector, available_methods,
+                             hand_crafted_indices, make_detector)
+
+FAST = BaselineTrainingConfig(epochs=150, learning_rate=5e-3, patience=None, seed=0)
+
+
+def _train_indices(graph):
+    return graph.labeled_indices()
+
+
+class TestHandCraftedIndices:
+    def test_shape_and_standardisation(self, tiny_graph):
+        indices = hand_crafted_indices(tiny_graph)
+        assert indices.shape[0] == tiny_graph.num_nodes
+        assert indices.shape[1] <= 20
+        np.testing.assert_allclose(indices.mean(axis=0), 0.0, atol=1e-8)
+
+    def test_poi_only_graph_still_works(self, tiny_city_data):
+        from repro.urg import UrgBuildConfig, build_urg_variant
+        graph = build_urg_variant(tiny_city_data, "noImage", UrgBuildConfig())
+        indices = hand_crafted_indices(graph)
+        assert indices.shape[1] == 4
+
+
+class TestIndexBasedDetector:
+    def test_learns_better_than_chance_on_training_data(self, tiny_graph_small_image):
+        graph = tiny_graph_small_image
+        detector = IndexBasedDetector(training=FAST)
+        detector.fit(graph, _train_indices(graph))
+        probs = detector.predict_proba(graph)
+        assert probs.shape == (graph.num_nodes,)
+        assert (probs >= 0).all() and (probs <= 1).all()
+        labeled = graph.labeled_indices()
+        uv_mean = probs[labeled][graph.labels[labeled] == 1].mean()
+        non_uv_mean = probs[labeled][graph.labels[labeled] == 0].mean()
+        assert uv_mean > non_uv_mean
+
+    def test_num_parameters_is_small(self, tiny_graph_small_image):
+        detector = IndexBasedDetector(training=FAST)
+        detector.fit(tiny_graph_small_image, _train_indices(tiny_graph_small_image))
+        assert 0 < detector.num_parameters() < 50
+
+
+class TestSemiLazyDetector:
+    def test_predictions_are_probabilities(self, tiny_graph_small_image):
+        graph = tiny_graph_small_image
+        detector = SemiLazyDetector(SemiLazyConfig(k_neighbors=7))
+        detector.fit(graph, _train_indices(graph))
+        probs = detector.predict_proba(graph)
+        assert probs.shape == (graph.num_nodes,)
+        assert (probs >= 0).all() and (probs <= 1).all()
+
+    def test_training_regions_get_confident_predictions(self, tiny_graph_small_image):
+        graph = tiny_graph_small_image
+        detector = SemiLazyDetector(SemiLazyConfig(k_neighbors=5))
+        detector.fit(graph, _train_indices(graph))
+        probs = detector.predict_proba(graph)
+        labeled = graph.labeled_indices()
+        uv_mean = probs[labeled][graph.labels[labeled] == 1].mean()
+        non_uv_mean = probs[labeled][graph.labels[labeled] == 0].mean()
+        assert uv_mean > non_uv_mean + 0.1
+
+    def test_k_larger_than_training_set_is_clamped(self, tiny_graph_small_image):
+        graph = tiny_graph_small_image
+        detector = SemiLazyDetector(SemiLazyConfig(k_neighbors=10_000))
+        detector.fit(graph, _train_indices(graph))
+        probs = detector.predict_proba(graph)
+        # With k = full training set, every region gets a similar smoothed value.
+        assert probs.std() < 0.5
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            SemiLazyConfig(k_neighbors=0)
+        with pytest.raises(ValueError):
+            SemiLazyConfig(bandwidth_scale=0.0)
+
+    def test_predict_before_fit_raises(self, tiny_graph_small_image):
+        with pytest.raises(RuntimeError):
+            SemiLazyDetector().predict_proba(tiny_graph_small_image)
+
+
+class TestRegistryIntegration:
+    def test_extra_methods_listed(self):
+        names = available_methods()
+        for method in EXTRA_METHODS:
+            assert method in names
+
+    @pytest.mark.parametrize("name", EXTRA_METHODS)
+    def test_make_detector_builds_extras(self, name):
+        detector = make_detector(name, seed=1, epochs=10)
+        assert detector.name == name

@@ -1,0 +1,121 @@
+"""End-to-end tests of the ``repro-uv`` command-line interface.
+
+Every test calls :func:`repro.cli.main` in-process with the ``tiny`` preset
+(256 regions) and reduced epochs so the whole module stays fast.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_all_subcommands_registered(self):
+        parser = build_parser()
+        subparsers = next(action for action in parser._actions
+                          if isinstance(action, type(parser._subparsers._group_actions[0])))
+        assert set(subparsers.choices) == {"generate-city", "build-graph", "show-city",
+                                           "train", "evaluate", "reproduce", "registry"}
+
+
+class TestGenerateAndBuild:
+    def test_generate_city_writes_directory(self, tmp_path, capsys):
+        exit_code = main(["generate-city", "--preset", "tiny", "--seed", "3",
+                          "--output", str(tmp_path / "city")])
+        assert exit_code == 0
+        assert (tmp_path / "city" / "config.json").exists()
+        assert "true UV regions" in capsys.readouterr().out
+
+    def test_build_graph_from_preset(self, tmp_path, capsys):
+        exit_code = main(["build-graph", "--preset", "tiny",
+                          "--output", str(tmp_path / "graph.npz")])
+        assert exit_code == 0
+        assert (tmp_path / "graph.npz").exists()
+        assert "undirected edges" in capsys.readouterr().out
+
+    def test_build_graph_with_ablation_from_saved_city(self, tmp_path, capsys):
+        main(["generate-city", "--preset", "tiny", "--output", str(tmp_path / "city")])
+        exit_code = main(["build-graph", "--city-dir", str(tmp_path / "city"),
+                          "--ablation", "noImage",
+                          "--output", str(tmp_path / "graph_noimage.npz")])
+        assert exit_code == 0
+        assert "image features: 0" in capsys.readouterr().out
+
+    def test_unknown_ablation_is_reported(self, tmp_path, capsys):
+        exit_code = main(["build-graph", "--preset", "tiny", "--ablation", "noSuchThing",
+                          "--output", str(tmp_path / "graph.npz")])
+        assert exit_code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_show_city_prints_map_and_stats(self, capsys):
+        exit_code = main(["show-city", "--preset", "tiny"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "latent land use" in out
+        assert "regions: 256" in out
+
+
+class TestTrainAndEvaluate:
+    def test_train_mlp_and_export(self, tmp_path, capsys):
+        predictions = tmp_path / "predictions.csv"
+        geojson = tmp_path / "regions.geojson"
+        exit_code = main(["train", "--preset", "tiny", "--method", "MLP",
+                          "--epochs", "10", "--predictions", str(predictions),
+                          "--geojson", str(geojson)])
+        assert exit_code == 0
+        with open(predictions) as handle:
+            rows = list(csv.DictReader(handle))
+        assert rows and "uv_probability" in rows[0]
+        with open(geojson) as handle:
+            assert json.load(handle)["type"] == "FeatureCollection"
+        assert "screening list" in capsys.readouterr().out
+
+    def test_train_on_prebuilt_graph(self, tmp_path, capsys):
+        graph_path = tmp_path / "graph.npz"
+        main(["build-graph", "--preset", "tiny", "--output", str(graph_path)])
+        exit_code = main(["train", "--graph", str(graph_path), "--method", "MLP",
+                          "--epochs", "5"])
+        assert exit_code == 0
+
+    def test_evaluate_prints_table(self, capsys):
+        exit_code = main(["evaluate", "--preset", "tiny", "--methods", "MLP",
+                          "--folds", "2", "--epochs", "10"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "AUC" in out and "MLP" in out
+
+    def test_evaluate_markdown_output(self, capsys):
+        exit_code = main(["evaluate", "--preset", "tiny", "--methods", "MLP",
+                          "--folds", "2", "--epochs", "5", "--markdown"])
+        assert exit_code == 0
+        assert "| City | Method |" in capsys.readouterr().out.replace("  ", " ")
+
+    def test_unknown_method_is_reported(self, capsys):
+        exit_code = main(["evaluate", "--preset", "tiny", "--methods", "NotAMethod"])
+        assert exit_code == 2
+        assert "unknown method" in capsys.readouterr().err
+
+
+class TestRegistry:
+    def test_registry_materialize_and_list(self, tmp_path, capsys):
+        exit_code = main(["registry", "--root", str(tmp_path / "datasets"),
+                          "--materialize", "tiny"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "tiny" in out
+        assert Path(tmp_path / "datasets" / "manifest.json").exists()
+
+    def test_registry_empty_listing(self, tmp_path, capsys):
+        exit_code = main(["registry", "--root", str(tmp_path / "empty")])
+        assert exit_code == 0
+        assert "empty" in capsys.readouterr().out

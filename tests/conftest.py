@@ -1,0 +1,41 @@
+"""Shared fixtures for the test suite.
+
+The heavyweight fixtures (synthetic city, URG) are session-scoped: they are
+deterministic for a fixed seed, read-only for the tests that use them, and
+expensive enough (a few hundred milliseconds) that rebuilding them per test
+would dominate the suite's runtime.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.synth import generate_city, tiny_city
+from repro.urg import UrgBuildConfig, build_urg
+from repro.urg.image_features import ImageFeatureConfig
+
+
+@pytest.fixture(scope="session")
+def tiny_city_data():
+    """A small deterministic synthetic city (16x16 regions)."""
+    return generate_city(tiny_city(seed=7))
+
+
+@pytest.fixture(scope="session")
+def tiny_graph(tiny_city_data):
+    """The URG built from the tiny city with default settings."""
+    return build_urg(tiny_city_data)
+
+
+@pytest.fixture(scope="session")
+def tiny_graph_small_image(tiny_city_data):
+    """URG variant with aggressively reduced image features (fast training)."""
+    config = UrgBuildConfig(image=ImageFeatureConfig(reduce_dim=32))
+    return build_urg(tiny_city_data, config)
+
+
+@pytest.fixture()
+def rng():
+    """A fresh deterministic random generator per test."""
+    return np.random.default_rng(123)

@@ -1,0 +1,85 @@
+"""Tests for the CMSF configuration object and its variant derivation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import COMPONENT_VARIANTS, CMSFConfig, variant_config
+
+
+class TestCMSFConfig:
+    def test_defaults_follow_paper_settings(self):
+        config = CMSFConfig()
+        assert config.hidden_dim == 64
+        assert config.image_reduce_dim == 128
+        assert config.maga_layers == 2
+        assert config.lr_decay == pytest.approx(0.001)
+        assert config.use_maga and config.use_gscm and config.use_gate
+
+    def test_derived_dimensions_sum_aggregation(self):
+        config = CMSFConfig(hidden_dim=32, maga_aggregation="sum",
+                            cluster_aggregation="sum")
+        assert config.modality_output_dim == 32
+        assert config.representation_dim == 64
+        assert config.enhanced_dim == 64
+
+    def test_derived_dimensions_concat_aggregation(self):
+        config = CMSFConfig(hidden_dim=32, maga_aggregation="concat",
+                            cluster_aggregation="concat")
+        assert config.modality_output_dim == 64
+        assert config.representation_dim == 128
+        assert config.enhanced_dim == 256
+
+    def test_enhanced_dim_without_gscm(self):
+        config = CMSFConfig(hidden_dim=32, use_gscm=False,
+                            cluster_aggregation="concat")
+        assert config.enhanced_dim == config.representation_dim
+
+    def test_with_overrides_returns_new_object(self):
+        config = CMSFConfig()
+        modified = config.with_overrides(num_clusters=99)
+        assert modified.num_clusters == 99
+        assert config.num_clusters != 99
+
+    @pytest.mark.parametrize("bad_kwargs", [
+        {"hidden_dim": 0},
+        {"maga_aggregation": "average"},
+        {"cluster_aggregation": "attention"},
+        {"num_clusters": 1},
+        {"hidden_dim": 30, "maga_heads": 4},
+        {"assignment_temperature": 0.0},
+        {"dropout": 1.5},
+        {"lambda_weight": -1.0},
+        {"maga_layers": 0},
+    ])
+    def test_validation_errors(self, bad_kwargs):
+        with pytest.raises(ValueError):
+            CMSFConfig(**bad_kwargs)
+
+
+class TestVariantConfig:
+    def test_variant_names(self):
+        assert set(COMPONENT_VARIANTS) == {"CMSF", "CMSF-M", "CMSF-G", "CMSF-H"}
+
+    def test_cmsf_m_disables_inter_modal(self):
+        config = variant_config(CMSFConfig(), "CMSF-M")
+        assert not config.use_maga
+        assert config.use_gscm and config.use_gate
+
+    def test_cmsf_g_disables_gate_only(self):
+        config = variant_config(CMSFConfig(), "CMSF-G")
+        assert config.use_maga and config.use_gscm
+        assert not config.use_gate
+
+    def test_cmsf_h_disables_hierarchy(self):
+        config = variant_config(CMSFConfig(), "CMSF-H")
+        assert config.use_maga
+        assert not config.use_gscm and not config.use_gate
+
+    def test_full_variant_is_identity(self):
+        base = CMSFConfig(num_clusters=17)
+        assert variant_config(base, "cmsf") is base
+
+    def test_unknown_variant(self):
+        with pytest.raises(ValueError):
+            variant_config(CMSFConfig(), "CMSF-X")

@@ -1,0 +1,214 @@
+"""Tests for the MAGA and GSCM building blocks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.gscm import GlobalSemanticClustering
+from repro.core.maga import ContextAggregator, EdgeAttention, MAGAEncoder, MAGALayer
+from repro.nn.tensor import Tensor
+from repro.urg.relations import to_directed_edge_index
+
+
+def _line_graph(num_nodes: int) -> np.ndarray:
+    """Directed edge index of a path graph 0-1-2-...-n."""
+    return to_directed_edge_index([(i, i + 1) for i in range(num_nodes - 1)])
+
+
+class TestEdgeAttention:
+    def test_output_shape_multi_head(self, rng):
+        attention = EdgeAttention(dst_dim=5, src_dim=5, out_dim=8, heads=2, rng=rng,
+                                  share_transform=True)
+        x = Tensor(rng.normal(size=(6, 5)))
+        out = attention(x, x, _line_graph(6), 6)
+        assert out.shape == (6, 8)
+
+    def test_cross_modal_dimensions(self, rng):
+        attention = EdgeAttention(dst_dim=4, src_dim=10, out_dim=6, heads=1, rng=rng)
+        x_dst = Tensor(rng.normal(size=(5, 4)))
+        x_src = Tensor(rng.normal(size=(5, 10)))
+        out = attention(x_dst, x_src, _line_graph(5), 5)
+        assert out.shape == (5, 6)
+
+    def test_isolated_node_gets_zero_message(self, rng):
+        attention = EdgeAttention(4, 4, 4, 1, rng, share_transform=True)
+        x = Tensor(rng.normal(size=(3, 4)))
+        # only an edge 0 -> 1; node 2 receives nothing (ELU(0) = 0)
+        edge_index = np.array([[0], [1]])
+        out = attention(x, x, edge_index, 3)
+        np.testing.assert_allclose(out.data[2], 0.0, atol=1e-12)
+
+    def test_invalid_head_split(self, rng):
+        with pytest.raises(ValueError):
+            EdgeAttention(4, 4, 7, 2, rng)
+
+    def test_gradients_flow_to_attention_parameters(self, rng):
+        attention = EdgeAttention(4, 4, 4, 2, rng, share_transform=True)
+        x = Tensor(rng.normal(size=(5, 4)), requires_grad=True)
+        out = attention(x, x, _line_graph(5), 5)
+        (out * out).sum().backward()
+        assert x.grad is not None and np.abs(x.grad).sum() > 0
+        assert attention.attn_src.grad is not None
+        assert attention.w_src.weight.grad is not None
+
+
+class TestContextAggregator:
+    @pytest.mark.parametrize("mode,expected_dim", [("sum", 6), ("concat", 12),
+                                                   ("attention", 6)])
+    def test_output_dims(self, rng, mode, expected_dim):
+        aggregator = ContextAggregator(6, mode, rng)
+        assert aggregator.output_dim == expected_dim
+        a = Tensor(rng.normal(size=(4, 6)))
+        b = Tensor(rng.normal(size=(4, 6)))
+        assert aggregator(a, b).shape == (4, expected_dim)
+
+    def test_sum_mode_is_exact_sum(self, rng):
+        aggregator = ContextAggregator(3, "sum", rng)
+        a, b = Tensor(np.ones((2, 3))), Tensor(np.full((2, 3), 2.0))
+        np.testing.assert_allclose(aggregator(a, b).data, 3.0)
+
+    def test_attention_mode_is_convex_combination(self, rng):
+        aggregator = ContextAggregator(3, "attention", rng)
+        a, b = Tensor(np.zeros((2, 3))), Tensor(np.ones((2, 3)))
+        out = aggregator(a, b).data
+        assert (out >= 0.0).all() and (out <= 1.0).all()
+
+    def test_invalid_mode(self, rng):
+        with pytest.raises(ValueError):
+            ContextAggregator(4, "max", rng)
+
+
+class TestMAGALayer:
+    def test_output_dims_per_aggregation(self, rng):
+        edge_index = _line_graph(5)
+        x_poi = Tensor(rng.normal(size=(5, 7)))
+        x_img = Tensor(rng.normal(size=(5, 9)))
+        for aggregation, dim in (("sum", 8), ("attention", 8), ("concat", 16)):
+            layer = MAGALayer(7, 9, 8, heads=2, aggregation=aggregation, rng=rng)
+            out_poi, out_img = layer(x_poi, x_img, edge_index, 5)
+            assert out_poi.shape == (5, dim)
+            assert out_img.shape == (5, dim)
+            assert layer.output_dim == dim
+
+    def test_without_inter_modal_context(self, rng):
+        layer = MAGALayer(7, 9, 8, heads=1, aggregation="sum", rng=rng,
+                          use_inter_modal=False)
+        x_poi = Tensor(rng.normal(size=(4, 7)))
+        x_img = Tensor(rng.normal(size=(4, 9)))
+        out_poi, out_img = layer(x_poi, x_img, _line_graph(4), 4)
+        assert out_poi.shape == (4, 8)
+        assert not hasattr(layer, "cross_poi_from_img")
+
+
+class TestMAGAEncoder:
+    def _encoder(self, rng, **kwargs):
+        defaults = dict(poi_dim=7, img_dim=20, hidden_dim=8, num_layers=2, heads=2,
+                        aggregation="attention", rng=rng, image_reduce_dim=10)
+        defaults.update(kwargs)
+        return MAGAEncoder(**defaults)
+
+    def test_output_dimension(self, rng):
+        encoder = self._encoder(rng)
+        assert encoder.output_dim == 16
+        x_poi = rng.normal(size=(6, 7))
+        x_img = rng.normal(size=(6, 20))
+        out = encoder(x_poi, x_img, _line_graph(6))
+        assert out.shape == (6, 16)
+
+    def test_image_reduction_applied(self, rng):
+        encoder = self._encoder(rng, image_reduce_dim=5)
+        assert encoder.image_reduce.out_features == 5
+
+    def test_missing_image_modality(self, rng):
+        encoder = self._encoder(rng, img_dim=0)
+        out = encoder(rng.normal(size=(4, 7)), np.zeros((4, 0)), _line_graph(4))
+        assert out.shape == (4, encoder.output_dim)
+
+    def test_requires_at_least_one_modality(self, rng):
+        with pytest.raises(ValueError):
+            MAGAEncoder(poi_dim=0, img_dim=0, hidden_dim=8, num_layers=1, heads=1,
+                        aggregation="sum", rng=rng)
+
+    def test_gradients_reach_all_parameters(self, rng):
+        encoder = self._encoder(rng, num_layers=1)
+        out = encoder(rng.normal(size=(5, 7)), rng.normal(size=(5, 20)), _line_graph(5))
+        (out * out).sum().backward()
+        with_grads = sum(1 for p in encoder.parameters() if p.grad is not None
+                         and np.abs(p.grad).sum() > 0)
+        assert with_grads >= 0.8 * len(encoder.parameters())
+
+
+class TestGSCM:
+    def test_forward_shapes(self, rng):
+        gscm = GlobalSemanticClustering(input_dim=8, num_clusters=4, rng=rng)
+        local = Tensor(rng.normal(size=(10, 8)))
+        out = gscm(local)
+        assert out.enhanced.shape == (10, 8)
+        assert out.assignment.shape == (10, 4)
+        assert out.hard_assignment.shape == (10,)
+        assert out.cluster_repr.shape == (4, 8)
+
+    def test_concat_aggregation_doubles_dim(self, rng):
+        gscm = GlobalSemanticClustering(8, 4, rng, aggregation="concat")
+        out = gscm(Tensor(rng.normal(size=(6, 8))))
+        assert out.enhanced.shape == (6, 16)
+        assert gscm.output_dim == 16
+
+    def test_assignment_rows_are_distributions(self, rng):
+        gscm = GlobalSemanticClustering(8, 5, rng, temperature=0.5)
+        out = gscm(Tensor(rng.normal(size=(12, 8))))
+        np.testing.assert_allclose(out.assignment.data.sum(axis=1), 1.0, atol=1e-9)
+        assert (out.assignment.data >= 0).all()
+
+    def test_hard_assignment_is_argmax_of_soft(self, rng):
+        gscm = GlobalSemanticClustering(8, 5, rng)
+        out = gscm(Tensor(rng.normal(size=(12, 8))))
+        np.testing.assert_array_equal(out.hard_assignment,
+                                      out.assignment.data.argmax(axis=1))
+
+    def test_temperature_sharpens_assignment(self, rng):
+        local = Tensor(rng.normal(size=(20, 8)))
+        sharp = GlobalSemanticClustering(8, 4, np.random.default_rng(0), temperature=0.05)
+        soft = GlobalSemanticClustering(8, 4, np.random.default_rng(0), temperature=2.0)
+        sharp_entropy = -(sharp(local).assignment.data *
+                          np.log(sharp(local).assignment.data + 1e-12)).sum(axis=1).mean()
+        soft_entropy = -(soft(local).assignment.data *
+                         np.log(soft(local).assignment.data + 1e-12)).sum(axis=1).mean()
+        assert sharp_entropy < soft_entropy
+
+    def test_pseudo_labels_eq16(self):
+        hard = np.array([0, 0, 1, 1, 2, 2])
+        labels = np.array([1, -1, 0, -1, -1, -1])
+        labeled_mask = np.array([True, False, True, False, False, False])
+        pseudo = GlobalSemanticClustering.derive_pseudo_labels(hard, labels,
+                                                               labeled_mask, 3)
+        np.testing.assert_array_equal(pseudo, [1, 0, 0])
+
+    def test_pseudo_labels_ignore_unlabeled_uvs(self):
+        # A region with label -1 must not flip its cluster's pseudo label even
+        # if its ground truth happens to be UV.
+        hard = np.array([0, 1])
+        labels = np.array([-1, -1])
+        labeled_mask = np.array([False, False])
+        pseudo = GlobalSemanticClustering.derive_pseudo_labels(hard, labels,
+                                                               labeled_mask, 2)
+        assert pseudo.sum() == 0
+
+    def test_cluster_sizes(self, rng):
+        gscm = GlobalSemanticClustering(8, 3, rng)
+        sizes = gscm.cluster_sizes(np.array([0, 0, 2, 2, 2]))
+        np.testing.assert_array_equal(sizes, [2, 0, 3])
+
+    def test_invalid_aggregation(self, rng):
+        with pytest.raises(ValueError):
+            GlobalSemanticClustering(8, 3, rng, aggregation="mean")
+
+    def test_gradients_flow_through_clustering(self, rng):
+        gscm = GlobalSemanticClustering(6, 3, rng)
+        local = Tensor(rng.normal(size=(8, 6)), requires_grad=True)
+        out = gscm(local)
+        (out.enhanced * out.enhanced).sum().backward()
+        assert local.grad is not None
+        assert gscm.assign.weight.grad is not None
+        assert gscm.cluster_edge_logits.grad is not None

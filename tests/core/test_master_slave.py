@@ -1,0 +1,224 @@
+"""Tests for the master model, the MS-Gate and the two-stage CMSF detector."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (CMSFConfig, CMSFDetector, GateFunction, MasterClassifier,
+                        MasterModel, PseudoLabelPredictor, SlaveStage, make_variant,
+                        train_master, train_slave)
+from repro.nn.tensor import Tensor
+
+
+FAST_CONFIG = CMSFConfig(
+    hidden_dim=16, image_reduce_dim=16, classifier_hidden=8, maga_layers=1,
+    maga_heads=2, num_clusters=6, context_dim=8, master_epochs=15, slave_epochs=6,
+    patience=None, dropout=0.0, seed=0,
+)
+
+
+@pytest.fixture(scope="module")
+def trained_master(tiny_graph_small_image):
+    """Train the master stage once and share it across this module's tests."""
+    graph = tiny_graph_small_image
+    rng = np.random.default_rng(0)
+    model = MasterModel(graph.poi_dim, graph.image_dim, FAST_CONFIG, rng)
+    result = train_master(model, graph, graph.labeled_indices(), FAST_CONFIG)
+    return graph, result
+
+
+class TestMasterClassifier:
+    def test_forward_outputs_probabilities(self, rng):
+        classifier = MasterClassifier(input_dim=10, hidden_dim=4, rng=rng)
+        probs = classifier(Tensor(rng.normal(size=(7, 10))))
+        assert probs.shape == (7,)
+        assert (probs.data > 0).all() and (probs.data < 1).all()
+
+    def test_num_gated_parameters(self, rng):
+        classifier = MasterClassifier(10, 4, rng)
+        assert classifier.num_gated_parameters == 4 * 10 + 4 + 4 + 1
+
+    def test_gated_forward_with_all_ones_matches_ungated(self, rng):
+        classifier = MasterClassifier(6, 3, rng)
+        x = Tensor(rng.normal(size=(5, 6)))
+        ungated = classifier(x)
+        ones_filter = Tensor(np.ones((5, classifier.num_gated_parameters)))
+        gated = classifier.forward_gated(x, ones_filter)
+        np.testing.assert_allclose(gated.data, ungated.data, atol=1e-12)
+
+    def test_gated_forward_zero_filter_gives_half_probability(self, rng):
+        classifier = MasterClassifier(6, 3, rng)
+        x = Tensor(rng.normal(size=(4, 6)))
+        zero_filter = Tensor(np.zeros((4, classifier.num_gated_parameters)))
+        gated = classifier.forward_gated(x, zero_filter)
+        np.testing.assert_allclose(gated.data, 0.5, atol=1e-12)
+
+    def test_gated_forward_differs_across_regions(self, rng):
+        classifier = MasterClassifier(6, 3, rng)
+        x = Tensor(np.tile(rng.normal(size=(1, 6)), (2, 1)))  # identical inputs
+        filters = np.ones((2, classifier.num_gated_parameters))
+        filters[1] *= 0.2  # second region gets a very different slave model
+        out = classifier.forward_gated(x, Tensor(filters))
+        assert abs(out.data[0] - out.data[1]) > 1e-6
+
+
+class TestMasterTraining:
+    def test_loss_decreases(self, trained_master):
+        _, result = trained_master
+        assert result.history[-1] < result.history[0]
+
+    def test_hard_assignment_and_pseudo_labels(self, trained_master):
+        graph, result = trained_master
+        assert result.hard_assignment.shape == (graph.num_nodes,)
+        assert result.hard_assignment.max() < FAST_CONFIG.num_clusters
+        assert result.pseudo_labels.shape == (FAST_CONFIG.num_clusters,)
+        assert set(np.unique(result.pseudo_labels)).issubset({0, 1})
+        # at least one cluster contains a known UV
+        assert result.num_clusters_with_uv >= 1
+
+    def test_pseudo_labels_consistent_with_assignment(self, trained_master):
+        graph, result = trained_master
+        train_mask = np.zeros(graph.num_nodes, dtype=bool)
+        train_mask[graph.labeled_indices()] = True
+        uv_clusters = {result.hard_assignment[n]
+                       for n in np.flatnonzero((graph.labels == 1) & train_mask)}
+        np.testing.assert_array_equal(np.flatnonzero(result.pseudo_labels == 1),
+                                      sorted(uv_clusters))
+
+    def test_predict_proba_shape_and_range(self, trained_master):
+        graph, result = trained_master
+        probs = result.model.predict_proba(graph)
+        assert probs.shape == (graph.num_nodes,)
+        assert (probs >= 0).all() and (probs <= 1).all()
+
+    def test_requires_labelled_training_indices(self, tiny_graph_small_image):
+        graph = tiny_graph_small_image
+        model = MasterModel(graph.poi_dim, graph.image_dim, FAST_CONFIG,
+                            np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            train_master(model, graph, np.array([], dtype=int), FAST_CONFIG)
+        with pytest.raises(ValueError):
+            train_master(model, graph, graph.unlabeled_indices()[:3], FAST_CONFIG)
+
+
+class TestGateComponents:
+    def test_pseudo_label_predictor_outputs_probabilities(self, rng):
+        predictor = PseudoLabelPredictor(cluster_dim=8, rng=rng)
+        out = predictor(Tensor(rng.normal(size=(5, 8))))
+        assert out.shape == (5,)
+        assert (out.data > 0).all() and (out.data < 1).all()
+
+    def test_gate_function_shapes(self, rng):
+        gate = GateFunction(num_clusters=6, context_dim=4, num_gated_parameters=37,
+                            rng=rng)
+        assignment = Tensor(np.full((9, 6), 1.0 / 6))
+        inclusion = Tensor(np.linspace(0.1, 0.9, 6))
+        filters = gate(assignment, inclusion)
+        assert filters.shape == (9, 37)
+        assert (filters.data > 0).all() and (filters.data < 1).all()
+
+    def test_fresh_gate_is_near_passthrough(self, rng):
+        gate = GateFunction(6, 4, 20, rng)
+        assignment = Tensor(np.full((3, 6), 1.0 / 6))
+        inclusion = Tensor(np.zeros(6))
+        filters = gate(assignment, inclusion)
+        # with the bias initialisation, an all-zero context produces ~sigmoid(2)
+        np.testing.assert_allclose(filters.data, 1 / (1 + np.exp(-2.0)), atol=1e-6)
+
+    def test_context_vector_depends_on_membership(self, rng):
+        gate = GateFunction(4, 3, 10, rng)
+        inclusion = Tensor(np.array([1.0, 0.0, 0.0, 0.0]))
+        member_of_uv_cluster = Tensor(np.array([[1.0, 0.0, 0.0, 0.0]]))
+        member_of_other = Tensor(np.array([[0.0, 1.0, 0.0, 0.0]]))
+        a = gate.context_vector(member_of_uv_cluster, inclusion)
+        b = gate.context_vector(member_of_other, inclusion)
+        assert not np.allclose(a.data, b.data)
+
+    def test_slave_stage_requires_gscm(self, tiny_graph_small_image, rng):
+        graph = tiny_graph_small_image
+        config = FAST_CONFIG.with_overrides(use_gscm=False)
+        master = MasterModel(graph.poi_dim, graph.image_dim, config, rng)
+        with pytest.raises(ValueError):
+            SlaveStage(master, config, rng)
+
+
+class TestSlaveTraining:
+    def test_slave_stage_runs_and_returns_histories(self, trained_master):
+        graph, master_result = trained_master
+        result = train_slave(master_result, graph, graph.labeled_indices(),
+                             FAST_CONFIG, np.random.default_rng(1))
+        assert len(result.history) == FAST_CONFIG.slave_epochs
+        assert len(result.rank_loss_history) == FAST_CONFIG.slave_epochs
+        probs, inclusion = result.stage(graph)
+        assert probs.shape == (graph.num_nodes,)
+        assert inclusion.shape == (FAST_CONFIG.num_clusters,)
+
+
+class TestCMSFDetector:
+    def test_full_two_stage_fit_predict(self, tiny_graph_small_image):
+        graph = tiny_graph_small_image
+        detector = CMSFDetector(FAST_CONFIG)
+        detector.fit(graph, graph.labeled_indices())
+        probs = detector.predict_proba(graph)
+        assert probs.shape == (graph.num_nodes,)
+        assert detector.slave_result is not None
+        history = detector.training_history()
+        assert "master" in history and "slave_detection" in history
+
+    def test_predict_before_fit_raises(self, tiny_graph_small_image):
+        with pytest.raises(RuntimeError):
+            CMSFDetector(FAST_CONFIG).predict_proba(tiny_graph_small_image)
+
+    def test_learns_better_than_chance_on_training_labels(self, tiny_graph_small_image):
+        graph = tiny_graph_small_image
+        detector = CMSFDetector(FAST_CONFIG.with_overrides(master_epochs=60,
+                                                           slave_epochs=15))
+        labeled = graph.labeled_indices()
+        detector.fit(graph, labeled)
+        probs = detector.predict_proba(graph)[labeled]
+        labels = graph.labels[labeled]
+        mean_uv = probs[labels == 1].mean()
+        mean_non_uv = probs[labels == 0].mean()
+        assert mean_uv > mean_non_uv
+
+    def test_variant_without_gate_skips_slave_stage(self, tiny_graph_small_image):
+        graph = tiny_graph_small_image
+        detector = make_variant("CMSF-G", FAST_CONFIG)
+        detector.fit(graph, graph.labeled_indices())
+        assert detector.slave_result is None
+        assert detector.predict_proba(graph).shape == (graph.num_nodes,)
+
+    def test_variant_without_hierarchy(self, tiny_graph_small_image):
+        graph = tiny_graph_small_image
+        detector = make_variant("CMSF-H", FAST_CONFIG)
+        detector.fit(graph, graph.labeled_indices())
+        assert detector.master_result.model.gscm is None
+        assert detector.pseudo_labels().size == 0
+
+    def test_save_and_load_roundtrip(self, tiny_graph_small_image, tmp_path):
+        graph = tiny_graph_small_image
+        detector = CMSFDetector(FAST_CONFIG)
+        detector.fit(graph, graph.labeled_indices())
+        before = detector.predict_proba(graph)
+        path = detector.save(str(tmp_path / "cmsf"))
+        # perturb parameters, then restore
+        for parameter in detector.slave_result.stage.parameters():
+            parameter.data = parameter.data + 1.0
+        detector.load_parameters(path)
+        after = detector.predict_proba(graph)
+        np.testing.assert_allclose(before, after, atol=1e-10)
+
+    def test_num_parameters_positive_after_fit(self, tiny_graph_small_image):
+        graph = tiny_graph_small_image
+        detector = CMSFDetector(FAST_CONFIG)
+        assert detector.num_parameters() == 0
+        detector.fit(graph, graph.labeled_indices())
+        assert detector.num_parameters() > 0
+
+    def test_deterministic_given_seed(self, tiny_graph_small_image):
+        graph = tiny_graph_small_image
+        quick = FAST_CONFIG.with_overrides(master_epochs=8, slave_epochs=3)
+        a = CMSFDetector(quick).fit(graph, graph.labeled_indices()).predict_proba(graph)
+        b = CMSFDetector(quick).fit(graph, graph.labeled_indices()).predict_proba(graph)
+        np.testing.assert_allclose(a, b, atol=1e-10)

@@ -1,0 +1,92 @@
+"""Round-trip tests for city / graph persistence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import load_city_dir, load_graph_npz, save_city_dir, save_graph_npz
+from repro.data.city_io import config_from_dict, config_to_dict
+from repro.synth import generate_city, tiny_city
+from repro.urg import build_urg
+
+
+class TestConfigRoundTrip:
+    def test_round_trip_preserves_all_fields(self):
+        config = tiny_city(seed=3)
+        rebuilt = config_from_dict(config_to_dict(config))
+        assert config_to_dict(rebuilt) == config_to_dict(config)
+        assert rebuilt.villages.size_range == config.villages.size_range
+        assert rebuilt.pois.base_intensity == config.pois.base_intensity
+
+
+class TestCityRoundTrip:
+    def test_save_and_load_city(self, tiny_city_data, tmp_path):
+        directory = save_city_dir(tiny_city_data, tmp_path / "city")
+        loaded = load_city_dir(directory)
+
+        np.testing.assert_array_equal(loaded.land_use.land_use,
+                                      tiny_city_data.land_use.land_use)
+        np.testing.assert_allclose(loaded.land_use.building_density,
+                                   tiny_city_data.land_use.building_density)
+        assert loaded.land_use.villages == tiny_city_data.land_use.villages
+        assert loaded.land_use.village_kinds == tiny_city_data.land_use.village_kinds
+        assert loaded.land_use.old_town == tiny_city_data.land_use.old_town
+
+        assert len(loaded.pois) == len(tiny_city_data.pois)
+        assert loaded.pois[0].category == tiny_city_data.pois[0].category
+
+        assert loaded.roads.num_intersections == tiny_city_data.roads.num_intersections
+        assert loaded.roads.num_segments == tiny_city_data.roads.num_segments
+
+        np.testing.assert_allclose(loaded.imagery.features, tiny_city_data.imagery.features)
+        np.testing.assert_array_equal(loaded.labels.labels, tiny_city_data.labels.labels)
+
+    def test_rebuilt_city_produces_identical_graph(self, tiny_city_data, tmp_path):
+        directory = save_city_dir(tiny_city_data, tmp_path / "city")
+        loaded = load_city_dir(directory)
+        original_graph = build_urg(tiny_city_data)
+        rebuilt_graph = build_urg(loaded)
+        np.testing.assert_array_equal(rebuilt_graph.edge_index, original_graph.edge_index)
+        np.testing.assert_allclose(rebuilt_graph.x_poi, original_graph.x_poi)
+
+    def test_load_missing_directory_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_city_dir(tmp_path / "missing")
+
+
+class TestGraphRoundTrip:
+    def test_save_and_load_graph(self, tiny_graph, tmp_path):
+        path = save_graph_npz(tiny_graph, tmp_path / "graph")
+        assert path.suffix == ".npz"
+        loaded = load_graph_npz(path)
+
+        assert loaded.name == tiny_graph.name
+        assert loaded.grid_shape == tiny_graph.grid_shape
+        np.testing.assert_array_equal(loaded.edge_index, tiny_graph.edge_index)
+        np.testing.assert_allclose(loaded.x_poi, tiny_graph.x_poi)
+        np.testing.assert_allclose(loaded.x_img, tiny_graph.x_img)
+        np.testing.assert_array_equal(loaded.labels, tiny_graph.labels)
+        np.testing.assert_array_equal(loaded.labeled_mask, tiny_graph.labeled_mask)
+        assert loaded.stats == tiny_graph.stats
+        assert loaded.poi_feature_names == tiny_graph.poi_feature_names
+
+    def test_load_missing_graph_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_graph_npz(tmp_path / "nope.npz")
+
+    def test_labeled_counts_preserved(self, tiny_graph, tmp_path):
+        path = save_graph_npz(tiny_graph, tmp_path / "graph.npz")
+        loaded = load_graph_npz(path)
+        assert loaded.num_labeled_uv == tiny_graph.num_labeled_uv
+        assert loaded.num_labeled_non_uv == tiny_graph.num_labeled_non_uv
+
+
+class TestCityGeneratedFromLoadedConfigIsDeterministic:
+    def test_same_seed_same_city(self, tmp_path):
+        config = tiny_city(seed=9)
+        first = generate_city(config)
+        second = generate_city(config_from_dict(config_to_dict(config)))
+        np.testing.assert_array_equal(first.land_use.land_use, second.land_use.land_use)
+        np.testing.assert_allclose(first.imagery.features, second.imagery.features)
+        assert len(first.pois) == len(second.pois)

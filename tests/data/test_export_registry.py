@@ -1,0 +1,97 @@
+"""Tests for GeoJSON / CSV export and the dataset registry."""
+
+from __future__ import annotations
+
+import csv
+import json
+
+import numpy as np
+import pytest
+
+from repro.data import (DatasetRegistry, export_pois_csv, export_predictions_csv,
+                        regions_to_geojson, save_geojson)
+
+
+class TestGeojsonExport:
+    def test_one_feature_per_region(self, tiny_graph):
+        collection = regions_to_geojson(tiny_graph)
+        assert collection["type"] == "FeatureCollection"
+        assert len(collection["features"]) == tiny_graph.num_nodes
+
+    def test_properties_include_scores_and_land_use(self, tiny_graph, tiny_city_data, rng):
+        scores = rng.random(tiny_graph.num_nodes)
+        collection = regions_to_geojson(tiny_graph, scores=scores, city=tiny_city_data)
+        properties = collection["features"][0]["properties"]
+        assert "uv_probability" in properties
+        assert "land_use" in properties
+
+    def test_score_length_mismatch_raises(self, tiny_graph):
+        with pytest.raises(ValueError):
+            regions_to_geojson(tiny_graph, scores=np.zeros(3))
+
+    def test_save_geojson_round_trip(self, tiny_graph, tmp_path):
+        path = save_geojson(regions_to_geojson(tiny_graph), tmp_path / "regions.geojson")
+        with open(path) as handle:
+            loaded = json.load(handle)
+        assert len(loaded["features"]) == tiny_graph.num_nodes
+
+    def test_polygon_is_closed_square(self, tiny_graph):
+        feature = regions_to_geojson(tiny_graph, region_size_m=128.0)["features"][0]
+        ring = feature["geometry"]["coordinates"][0]
+        assert ring[0] == ring[-1]
+        assert len(ring) == 5
+
+
+class TestCsvExport:
+    def test_poi_csv_row_count(self, tiny_city_data, tmp_path):
+        path = export_pois_csv(tiny_city_data, tmp_path / "pois.csv")
+        with open(path) as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == len(tiny_city_data.pois)
+
+    def test_predictions_sorted_and_truncated(self, tiny_graph, rng, tmp_path):
+        scores = rng.random(tiny_graph.num_nodes)
+        path = export_predictions_csv(tiny_graph, scores, tmp_path / "preds.csv", top_k=10)
+        with open(path) as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 10
+        probabilities = [float(row["uv_probability"]) for row in rows]
+        assert probabilities == sorted(probabilities, reverse=True)
+
+    def test_predictions_length_mismatch_raises(self, tiny_graph, tmp_path):
+        with pytest.raises(ValueError):
+            export_predictions_csv(tiny_graph, np.zeros(2), tmp_path / "preds.csv")
+
+
+class TestDatasetRegistry:
+    def test_materialize_city_and_reload(self, tmp_path):
+        registry = DatasetRegistry(tmp_path / "datasets")
+        first = registry.materialize_city("tiny")
+        assert registry.city_dir("tiny").is_dir()
+        second = registry.materialize_city("tiny")
+        np.testing.assert_array_equal(first.land_use.land_use, second.land_use.land_use)
+
+    def test_materialize_graph_uses_cache(self, tmp_path):
+        registry = DatasetRegistry(tmp_path / "datasets")
+        graph = registry.materialize_graph("tiny")
+        assert registry.graph_path("tiny").exists()
+        reloaded = registry.materialize_graph("tiny")
+        np.testing.assert_array_equal(graph.edge_index, reloaded.edge_index)
+
+    def test_entries_and_manifest(self, tmp_path):
+        registry = DatasetRegistry(tmp_path / "datasets")
+        registry.materialize_graph("tiny")
+        entries = registry.entries()
+        assert len(entries) == 1
+        assert entries[0]["has_graph"] is True
+        manifest = registry.save_manifest()
+        with open(manifest) as handle:
+            assert json.load(handle)[0]["name"] == "tiny"
+        assert "tiny" in registry.describe()
+
+    def test_seed_override_creates_separate_entry(self, tmp_path):
+        registry = DatasetRegistry(tmp_path / "datasets")
+        registry.materialize_city("tiny", seed=1)
+        registry.materialize_city("tiny", seed=2)
+        names = {entry["name"] for entry in registry.entries()}
+        assert names == {"tiny-seed1", "tiny-seed2"}

@@ -1,0 +1,135 @@
+"""Tests for AUC and the top-p% screening metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval import (aggregate_reports, detection_report, roc_auc,
+                        top_percent_metrics)
+
+
+class TestRocAuc:
+    def test_perfect_ranking(self):
+        labels = np.array([0, 0, 1, 1])
+        scores = np.array([0.1, 0.2, 0.8, 0.9])
+        assert roc_auc(labels, scores) == pytest.approx(1.0)
+
+    def test_inverted_ranking(self):
+        labels = np.array([0, 0, 1, 1])
+        scores = np.array([0.9, 0.8, 0.2, 0.1])
+        assert roc_auc(labels, scores) == pytest.approx(0.0)
+
+    def test_random_scores_near_half(self):
+        rng = np.random.default_rng(0)
+        labels = rng.integers(0, 2, size=5000)
+        scores = rng.random(5000)
+        assert roc_auc(labels, scores) == pytest.approx(0.5, abs=0.03)
+
+    def test_ties_handled_via_midranks(self):
+        labels = np.array([0, 1, 0, 1])
+        scores = np.array([0.5, 0.5, 0.5, 0.5])
+        assert roc_auc(labels, scores) == pytest.approx(0.5)
+
+    def test_single_class_returns_nan(self):
+        assert np.isnan(roc_auc(np.ones(4), np.random.rand(4)))
+        assert np.isnan(roc_auc(np.zeros(4), np.random.rand(4)))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            roc_auc(np.ones(3), np.ones(4))
+
+    @given(st.integers(min_value=2, max_value=200))
+    @settings(max_examples=25, deadline=None)
+    def test_auc_invariant_to_monotone_transform(self, n):
+        rng = np.random.default_rng(n)
+        labels = rng.integers(0, 2, size=n)
+        if labels.sum() in (0, n):
+            labels[0] = 1 - labels[0]
+        scores = rng.normal(size=n)
+        a = roc_auc(labels, scores)
+        b = roc_auc(labels, 1.0 / (1.0 + np.exp(-3 * scores)))
+        assert a == pytest.approx(b, abs=1e-9)
+
+
+class TestTopPercentMetrics:
+    def test_counts_and_values(self):
+        labels = np.zeros(100)
+        labels[:5] = 1
+        scores = np.linspace(1.0, 0.0, 100)  # positives ranked on top
+        result = top_percent_metrics(labels, scores, percent=5.0)
+        assert result.num_selected == 5
+        assert result.precision == pytest.approx(1.0)
+        assert result.recall == pytest.approx(1.0)
+        assert result.f1 == pytest.approx(1.0)
+
+    def test_partial_overlap(self):
+        labels = np.array([1, 1, 0, 0, 0, 0, 0, 0, 0, 0])
+        scores = np.array([0.9, 0.1, 0.8, 0.7, 0.2, 0.3, 0.4, 0.5, 0.6, 0.05])
+        result = top_percent_metrics(labels, scores, percent=20.0)  # top 2
+        assert result.num_selected == 2
+        assert result.precision == pytest.approx(0.5)
+        assert result.recall == pytest.approx(0.5)
+
+    def test_at_least_one_region_selected(self):
+        labels = np.array([1, 0, 0])
+        scores = np.array([0.9, 0.1, 0.2])
+        result = top_percent_metrics(labels, scores, percent=1.0)
+        assert result.num_selected == 1
+
+    def test_no_positives_recall_nan(self):
+        result = top_percent_metrics(np.zeros(10), np.random.rand(10), 10.0)
+        assert np.isnan(result.recall)
+
+    def test_invalid_percent(self):
+        with pytest.raises(ValueError):
+            top_percent_metrics(np.ones(3), np.ones(3), 0.0)
+
+    def test_empty_pool(self):
+        result = top_percent_metrics(np.array([]), np.array([]), 5.0)
+        assert np.isnan(result.precision)
+
+    def test_as_dict_keys(self):
+        result = top_percent_metrics(np.array([1, 0]), np.array([0.9, 0.1]), 50.0)
+        assert set(result.as_dict()) == {"recall@50", "precision@50", "f1@50"}
+
+    @given(st.integers(min_value=5, max_value=300), st.floats(min_value=1.0, max_value=50.0))
+    @settings(max_examples=30, deadline=None)
+    def test_property_precision_recall_bounds(self, n, percent):
+        rng = np.random.default_rng(n)
+        labels = rng.integers(0, 2, size=n)
+        scores = rng.random(n)
+        result = top_percent_metrics(labels, scores, percent)
+        assert 0.0 <= result.precision <= 1.0
+        if labels.sum() > 0:
+            assert 0.0 <= result.recall <= 1.0
+            assert 0.0 <= result.f1 <= 1.0
+
+
+class TestReports:
+    def test_detection_report_keys(self):
+        labels = np.array([1, 0, 1, 0, 0, 0])
+        scores = np.array([0.8, 0.2, 0.7, 0.3, 0.4, 0.1])
+        report = detection_report(labels, scores)
+        assert set(report) == {"auc", "recall@3", "precision@3", "f1@3",
+                               "recall@5", "precision@5", "f1@5"}
+
+    def test_aggregate_reports_mean_std(self):
+        reports = [{"auc": 0.8}, {"auc": 0.6}]
+        summary = aggregate_reports(reports)
+        assert summary["auc"]["mean"] == pytest.approx(0.7)
+        assert summary["auc"]["std"] == pytest.approx(0.1)
+
+    def test_aggregate_reports_ignores_nan(self):
+        reports = [{"auc": 0.8}, {"auc": float("nan")}]
+        summary = aggregate_reports(reports)
+        assert summary["auc"]["mean"] == pytest.approx(0.8)
+
+    def test_aggregate_reports_empty(self):
+        assert aggregate_reports([]) == {}
+
+    def test_aggregate_reports_all_nan(self):
+        summary = aggregate_reports([{"recall@3": float("nan")}])
+        assert np.isnan(summary["recall@3"]["mean"])

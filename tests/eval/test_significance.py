@@ -1,0 +1,75 @@
+"""Tests for the paired significance tests on AUC differences."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.eval.significance import (ComparisonTestResult, bootstrap_auc_difference,
+                                     permutation_auc_test)
+
+
+def _pool(rng, size=400, separation_a=2.0, separation_b=0.5):
+    """Labels plus two score vectors with different separating power."""
+    labels = (rng.random(size) < 0.2).astype(int)
+    noise_a = rng.normal(size=size)
+    noise_b = rng.normal(size=size)
+    scores_a = labels * separation_a + noise_a
+    scores_b = labels * separation_b + noise_b
+    return labels, scores_a, scores_b
+
+
+class TestBootstrap:
+    def test_clear_difference_is_significant(self, rng):
+        labels, scores_a, scores_b = _pool(rng)
+        result = bootstrap_auc_difference(labels, scores_a, scores_b, num_samples=300)
+        assert result.observed_difference > 0.1
+        assert result.significant
+        low, high = result.confidence_interval
+        assert low <= result.observed_difference <= high
+
+    def test_identical_methods_not_significant(self, rng):
+        labels, scores_a, _ = _pool(rng)
+        result = bootstrap_auc_difference(labels, scores_a, scores_a.copy(),
+                                          num_samples=200)
+        assert result.observed_difference == pytest.approx(0.0, abs=1e-12)
+        assert not result.significant
+
+    def test_reproducible_with_seed(self, rng):
+        labels, scores_a, scores_b = _pool(rng)
+        first = bootstrap_auc_difference(labels, scores_a, scores_b, num_samples=100,
+                                         seed=7)
+        second = bootstrap_auc_difference(labels, scores_a, scores_b, num_samples=100,
+                                          seed=7)
+        assert first.p_value == second.p_value
+
+    def test_shape_mismatch_raises(self, rng):
+        with pytest.raises(ValueError):
+            bootstrap_auc_difference(np.array([0, 1]), np.zeros(2), np.zeros(3))
+
+
+class TestPermutation:
+    def test_clear_difference_is_significant(self, rng):
+        labels, scores_a, scores_b = _pool(rng)
+        result = permutation_auc_test(labels, scores_a, scores_b,
+                                      num_permutations=300)
+        assert result.significant
+        assert result.auc_a > result.auc_b
+
+    def test_noise_vs_noise_not_significant(self, rng):
+        labels = (rng.random(300) < 0.3).astype(int)
+        scores_a = rng.normal(size=300)
+        scores_b = rng.normal(size=300)
+        result = permutation_auc_test(labels, scores_a, scores_b,
+                                      num_permutations=200)
+        assert result.p_value > 0.05
+
+    def test_single_class_pool_returns_nan(self, rng):
+        labels = np.ones(50, dtype=int)
+        result = permutation_auc_test(labels, rng.normal(size=50), rng.normal(size=50),
+                                      num_permutations=50)
+        assert np.isnan(result.p_value)
+
+    def test_result_dataclass_significance_flag(self):
+        assert ComparisonTestResult(0.9, 0.8, 0.1, p_value=0.01).significant
+        assert not ComparisonTestResult(0.9, 0.8, 0.1, p_value=0.2).significant

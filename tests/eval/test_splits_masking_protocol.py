@@ -1,0 +1,199 @@
+"""Tests for the splitting protocol, label masking, the experiment drivers,
+efficiency measurement and reporting helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import MLPDetector
+from repro.baselines.base import BaselineTrainingConfig
+from repro.eval import (LABEL_RATIOS, block_kfold, compare_methods, cross_validate,
+                        evaluate_detector, format_metric_with_std, format_series,
+                        format_table, mask_train_indices, measure_efficiency,
+                        nested_cross_validation_splits, rank_regions, ratio_sweep,
+                        single_holdout, table2_rows, train_validation_split,
+                        TABLE2_HEADERS)
+from repro.eval.splits import FoldSplit
+
+FAST = BaselineTrainingConfig(epochs=10, patience=None, seed=0)
+
+
+class TestBlockKFold:
+    def test_folds_partition_labeled_set(self, tiny_graph):
+        splits = block_kfold(tiny_graph, n_folds=3, seed=0)
+        assert len(splits) == 3
+        all_test = np.concatenate([split.test_indices for split in splits])
+        np.testing.assert_array_equal(np.sort(all_test),
+                                      np.sort(tiny_graph.labeled_indices()))
+
+    def test_train_and_test_disjoint(self, tiny_graph):
+        for split in block_kfold(tiny_graph, n_folds=3, seed=0):
+            assert np.intersect1d(split.train_indices, split.test_indices).size == 0
+
+    def test_blocks_never_straddle_folds(self, tiny_graph):
+        splits = block_kfold(tiny_graph, n_folds=3, seed=0)
+        for split in splits:
+            train_blocks = set(tiny_graph.block_ids[split.train_indices])
+            test_blocks = set(tiny_graph.block_ids[split.test_indices])
+            assert not train_blocks & test_blocks
+
+    def test_stratification_spreads_uvs(self, tiny_graph):
+        splits = block_kfold(tiny_graph, n_folds=3, seed=0)
+        uv_counts = [(tiny_graph.labels[split.test_indices] == 1).sum()
+                     for split in splits]
+        # every fold should see at least one labelled UV on this dataset
+        assert min(uv_counts) >= 1
+
+    def test_deterministic_given_seed(self, tiny_graph):
+        a = block_kfold(tiny_graph, n_folds=3, seed=5)
+        b = block_kfold(tiny_graph, n_folds=3, seed=5)
+        for split_a, split_b in zip(a, b):
+            np.testing.assert_array_equal(split_a.test_indices, split_b.test_indices)
+
+    def test_invalid_fold_count(self, tiny_graph):
+        with pytest.raises(ValueError):
+            block_kfold(tiny_graph, n_folds=1)
+
+    def test_too_many_folds_raises(self, tiny_graph):
+        with pytest.raises(ValueError):
+            block_kfold(tiny_graph, n_folds=1000)
+
+    def test_fold_split_validates_overlap(self):
+        with pytest.raises(ValueError):
+            FoldSplit(fold=0, train_indices=np.array([1, 2]),
+                      test_indices=np.array([2, 3]))
+
+    def test_single_holdout(self, tiny_graph):
+        split = single_holdout(tiny_graph, test_fraction=0.34, seed=0)
+        assert split.test_indices.size > 0
+        assert split.train_indices.size > split.test_indices.size
+
+
+class TestNestedSplits:
+    def test_inner_splits_within_outer_training(self, tiny_graph):
+        for outer, inner_splits in nested_cross_validation_splits(tiny_graph,
+                                                                  n_outer=3, n_inner=2):
+            outer_train = set(outer.train_indices)
+            for inner_train, inner_validation in inner_splits:
+                assert set(inner_train) <= outer_train
+                assert set(inner_validation) <= outer_train
+                assert not set(inner_train) & set(inner_validation)
+
+    def test_train_validation_split_covers_training(self, tiny_graph):
+        outer = block_kfold(tiny_graph, n_folds=3, seed=0)[0]
+        inner = train_validation_split(outer.train_indices, tiny_graph, 2, seed=0)
+        assert len(inner) >= 1
+        for training, validation in inner:
+            covered = np.sort(np.concatenate([training, validation]))
+            np.testing.assert_array_equal(covered, np.sort(outer.train_indices))
+
+
+class TestMasking:
+    def test_ratio_sizes(self, tiny_graph):
+        train = tiny_graph.labeled_indices()
+        masked = mask_train_indices(train, tiny_graph.labels, 0.5, seed=0)
+        assert masked.size == pytest.approx(train.size * 0.5, abs=1)
+        assert set(masked) <= set(train)
+
+    def test_full_ratio_is_identity(self, tiny_graph):
+        train = tiny_graph.labeled_indices()
+        np.testing.assert_array_equal(mask_train_indices(train, tiny_graph.labels, 1.0),
+                                      train)
+
+    def test_keeps_at_least_one_uv(self, tiny_graph):
+        train = tiny_graph.labeled_indices()
+        for seed in range(5):
+            masked = mask_train_indices(train, tiny_graph.labels, 0.1, seed=seed)
+            assert (tiny_graph.labels[masked] == 1).any()
+
+    def test_invalid_ratio(self, tiny_graph):
+        with pytest.raises(ValueError):
+            mask_train_indices(tiny_graph.labeled_indices(), tiny_graph.labels, 0.0)
+
+    def test_ratio_sweep_keys(self, tiny_graph):
+        sweep = ratio_sweep(tiny_graph.labeled_indices(), tiny_graph.labels)
+        assert set(sweep) == set(LABEL_RATIOS)
+        sizes = [sweep[ratio].size for ratio in sorted(sweep)]
+        assert sizes == sorted(sizes)
+
+
+class TestProtocol:
+    def test_evaluate_detector_returns_metrics_and_timing(self, tiny_graph_small_image):
+        graph = tiny_graph_small_image
+        split = block_kfold(graph, n_folds=3, seed=0)[0]
+        result = evaluate_detector(MLPDetector(training=FAST), graph, split)
+        assert "auc" in result.metrics
+        assert result.fit_seconds > 0
+        assert result.predict_seconds > 0
+        assert result.num_parameters > 0
+
+    def test_cross_validate_aggregates_all_folds(self, tiny_graph_small_image):
+        graph = tiny_graph_small_image
+        summary = cross_validate(lambda seed: MLPDetector(training=FAST), graph,
+                                 n_folds=3, seeds=(0,), method_name="MLP")
+        assert len(summary.runs) == 3
+        assert 0.0 <= summary.mean("auc") <= 1.0
+        assert summary.std("auc") >= 0.0
+
+    def test_cross_validate_multiple_seeds(self, tiny_graph_small_image):
+        graph = tiny_graph_small_image
+        summary = cross_validate(
+            lambda seed: MLPDetector(training=BaselineTrainingConfig(epochs=5, seed=seed)),
+            graph, n_folds=3, seeds=(0, 1), method_name="MLP")
+        assert len(summary.runs) == 6
+
+    def test_compare_methods(self, tiny_graph_small_image):
+        graph = tiny_graph_small_image
+        results = compare_methods({
+            "MLP": lambda seed: MLPDetector(training=FAST),
+        }, graph, n_folds=3, seeds=(0,))
+        assert set(results) == {"MLP"}
+        assert results["MLP"].method == "MLP"
+
+    def test_rank_regions_returns_top_percent(self, tiny_graph_small_image):
+        graph = tiny_graph_small_image
+        detector = MLPDetector(training=FAST)
+        detector.fit(graph, graph.labeled_indices())
+        top = rank_regions(detector, graph, top_percent=3.0)
+        assert top.size == int(np.ceil(graph.num_nodes * 0.03))
+        pool = graph.labeled_indices()
+        top_pool = rank_regions(detector, graph, pool=pool, top_percent=10.0)
+        assert set(top_pool) <= set(pool)
+
+    def test_measure_efficiency_report(self, tiny_graph_small_image):
+        graph = tiny_graph_small_image
+        report = measure_efficiency(lambda: MLPDetector(training=FAST), graph,
+                                    graph.labeled_indices())
+        assert report.method == "MLP"
+        assert report.train_seconds_per_epoch > 0
+        assert report.inference_seconds > 0
+        assert report.model_size_mb > 0
+        assert report.epochs == FAST.epochs
+        assert set(report.as_dict()) >= {"method", "city", "train_s_per_epoch"}
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        table = format_table(["a", "bb"], [[1.23456, "x"], [2.0, "yy"]], title="T")
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        assert "1.235" in table
+        assert len(lines) >= 5
+
+    def test_format_metric_with_std(self):
+        assert format_metric_with_std(0.87654, 0.012) == "0.877 (0.012)"
+        assert format_metric_with_std(float("nan"), 0.0) == "n/a"
+
+    def test_format_series(self):
+        text = format_series("AUC", [10, 25], [0.7, 0.8], "ratio", "auc")
+        assert "10" in text and "0.800" in text
+
+    def test_table2_rows_ordering(self, tiny_graph_small_image):
+        graph = tiny_graph_small_image
+        summaries = compare_methods({"MLP": lambda seed: MLPDetector(training=FAST)},
+                                    graph, n_folds=3, seeds=(0,))
+        rows = table2_rows("tiny", summaries, ["MLP", "missing-method"])
+        assert len(rows) == 1
+        assert rows[0][1] == "MLP"
+        assert len(rows[0]) == len(TABLE2_HEADERS)

@@ -1,0 +1,96 @@
+"""Tests for the experiment settings and dataset caching helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import EVALUATION_CITIES, PAPER_CITY_SETTINGS, run_scale
+from repro.experiments.datasets import clear_caches, load_city, load_graph
+from repro.experiments.settings import (EFFICIENCY_CITIES, QUICK_GRID_FACTOR,
+                                        ScaleSettings, city_cmsf_config,
+                                        scaled_city_config)
+from repro.synth import get_preset
+
+
+class TestRunScale:
+    def test_default_is_quick(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert run_scale() == "quick"
+
+    def test_full_scale_selected_via_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "FULL")
+        assert run_scale() == "full"
+
+    def test_invalid_scale_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "huge")
+        with pytest.raises(ValueError):
+            run_scale()
+
+
+class TestScaleSettings:
+    def test_quick_settings_are_reduced(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        quick = ScaleSettings.current()
+        monkeypatch.setenv("REPRO_SCALE", "full")
+        full = ScaleSettings.current()
+        assert quick.cmsf_master_epochs < full.cmsf_master_epochs
+        assert len(quick.seeds) < len(full.seeds)
+        assert quick.n_folds == full.n_folds == 3
+
+
+class TestScaledCityConfig:
+    def test_quick_scale_shrinks_evaluation_cities(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        preset = get_preset("fuzhou")
+        scaled = scaled_city_config("fuzhou")
+        assert scaled.grid_height == max(int(round(preset.grid_height * QUICK_GRID_FACTOR)), 16)
+        assert scaled.grid_width < preset.grid_width
+        assert scaled.villages.count <= preset.villages.count
+
+    def test_full_scale_keeps_preset(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "full")
+        preset = get_preset("fuzhou")
+        scaled = scaled_city_config("fuzhou")
+        assert scaled.grid_height == preset.grid_height
+        assert scaled.villages.count == preset.villages.count
+
+    def test_small_presets_never_shrunk(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert scaled_city_config("tiny").grid_height == get_preset("tiny").grid_height
+
+
+class TestCityCmsfConfig:
+    def test_per_city_hyperparameters_differ(self):
+        shenzhen = city_cmsf_config("shenzhen")
+        fuzhou = city_cmsf_config("fuzhou")
+        beijing = city_cmsf_config("beijing")
+        assert beijing.maga_heads == 1
+        assert shenzhen.maga_heads == fuzhou.maga_heads == 2
+        assert beijing.cluster_aggregation == "concat"
+        assert shenzhen.lambda_weight != fuzhou.lambda_weight
+
+    def test_seed_propagates(self):
+        assert city_cmsf_config("fuzhou", seed=7).seed == 7
+
+    def test_paper_reference_settings_cover_all_cities(self):
+        assert set(PAPER_CITY_SETTINGS) == set(EVALUATION_CITIES)
+        assert set(EFFICIENCY_CITIES) <= set(EVALUATION_CITIES)
+
+
+class TestDatasetCaching:
+    def test_load_city_is_memoised(self):
+        clear_caches()
+        first = load_city("tiny")
+        second = load_city("tiny")
+        assert first is second
+        clear_caches()
+
+    def test_load_graph_builds_consistent_graph(self):
+        clear_caches()
+        graph = load_graph("tiny")
+        again = load_graph("tiny")
+        assert graph is again
+        assert graph.num_nodes > 0
+        np.testing.assert_array_equal(graph.labels, again.labels)
+        clear_caches()

@@ -1,0 +1,107 @@
+"""Tests for the cross-city transfer and master-slave regression extensions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import CMSFConfig
+from repro.extensions import (CrossCityTransfer, MasterSlaveRegressor,
+                              RegressionConfig, TransferConfig,
+                              synthetic_region_indicator)
+from repro.synth import generate_city, tiny_city
+from repro.urg import build_urg
+
+FAST_CMSF = CMSFConfig(hidden_dim=16, image_reduce_dim=16, classifier_hidden=8,
+                       maga_layers=1, maga_heads=2, num_clusters=6, context_dim=8,
+                       master_epochs=20, slave_epochs=8, patience=None,
+                       dropout=0.0, seed=0)
+
+
+@pytest.fixture(scope="module")
+def two_cities():
+    """Two small cities sharing the same feature configuration."""
+    source = generate_city(tiny_city(seed=21))
+    target = generate_city(tiny_city(seed=22))
+    return build_urg(source), build_urg(target)
+
+
+class TestCrossCityTransfer:
+    def test_transfer_strategies_produce_metrics(self, two_cities):
+        source_graph, target_graph = two_cities
+        transfer = CrossCityTransfer(TransferConfig(cmsf=FAST_CMSF, target_epochs=15))
+        transfer.pretrain(source_graph)
+
+        labeled = target_graph.labeled_indices()
+        half = labeled.size // 2
+        results = transfer.transfer(target_graph, labeled[:half], labeled[half:],
+                                    strategies=("finetune", "master_slave"))
+        assert set(results) == {"finetune", "master_slave"}
+        for result in results.values():
+            assert result.scores.shape == (target_graph.num_nodes,)
+            assert "auc" in result.metrics
+            assert len(result.history) > 0
+
+    def test_transfer_before_pretrain_raises(self, two_cities):
+        _, target_graph = two_cities
+        labeled = target_graph.labeled_indices()
+        with pytest.raises(RuntimeError):
+            CrossCityTransfer(TransferConfig(cmsf=FAST_CMSF)).transfer(
+                target_graph, labeled[:10], labeled[10:])
+
+    def test_unknown_strategy_rejected(self, two_cities):
+        source_graph, target_graph = two_cities
+        transfer = CrossCityTransfer(TransferConfig(cmsf=FAST_CMSF, target_epochs=5))
+        transfer.pretrain(source_graph)
+        labeled = target_graph.labeled_indices()
+        with pytest.raises(ValueError):
+            transfer.transfer(target_graph, labeled[:10], labeled[10:],
+                              strategies=("teleport",))
+
+
+class TestSyntheticIndicator:
+    def test_indicator_range_and_structure(self, tiny_city_data, tiny_graph):
+        indicator = synthetic_region_indicator(tiny_city_data, tiny_graph, noise=0.0)
+        assert indicator.shape == (tiny_graph.num_nodes,)
+        assert indicator.min() >= 0.0 and indicator.max() <= 1.0
+        # Downtown regions should look more "developed" than urban villages.
+        from repro.synth.config import LandUse
+        land = tiny_city_data.land_use.land_use.reshape(-1)[tiny_graph.region_index]
+        downtown = indicator[land == int(LandUse.DOWNTOWN)]
+        villages = indicator[land == int(LandUse.URBAN_VILLAGE)]
+        if downtown.size and villages.size:
+            assert downtown.mean() > villages.mean()
+
+    def test_noise_is_reproducible(self, tiny_city_data, tiny_graph):
+        first = synthetic_region_indicator(tiny_city_data, tiny_graph, seed=5)
+        second = synthetic_region_indicator(tiny_city_data, tiny_graph, seed=5)
+        np.testing.assert_allclose(first, second)
+
+
+class TestMasterSlaveRegressor:
+    def test_fit_predict_evaluate(self, tiny_city_data, tiny_graph_small_image):
+        graph = tiny_graph_small_image
+        targets = synthetic_region_indicator(tiny_city_data, graph, noise=0.02)
+        rng = np.random.default_rng(0)
+        nodes = rng.permutation(graph.num_nodes)
+        train, test = nodes[:graph.num_nodes // 2], nodes[graph.num_nodes // 2:]
+
+        config = RegressionConfig(cmsf=FAST_CMSF, epochs=150, learning_rate=3e-3, seed=0)
+        regressor = MasterSlaveRegressor(config)
+        regressor.fit(graph, targets, train)
+        report = regressor.evaluate(graph, targets, test)
+
+        # Better than always predicting the mean, and a small absolute error.
+        assert report["mse"] < 0.05
+        assert report["r2"] > 0.0
+        assert len(regressor.history) == 150
+        assert regressor.history[-1] < regressor.history[0]
+
+    def test_predict_before_fit_raises(self, tiny_graph_small_image):
+        with pytest.raises(RuntimeError):
+            MasterSlaveRegressor().predict(tiny_graph_small_image)
+
+    def test_target_length_mismatch_raises(self, tiny_graph_small_image):
+        with pytest.raises(ValueError):
+            MasterSlaveRegressor(RegressionConfig(cmsf=FAST_CMSF, epochs=1)).fit(
+                tiny_graph_small_image, np.zeros(3), np.array([0, 1]))

@@ -1,0 +1,150 @@
+"""Tests for activations, softmax and dropout (repro.nn.functional)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+from tests.nn.test_tensor_autograd import check_gradient
+
+
+class TestActivationValues:
+    def test_relu_values(self):
+        x = Tensor(np.array([-2.0, 0.0, 3.0]))
+        np.testing.assert_allclose(F.relu(x).data, [0.0, 0.0, 3.0])
+
+    def test_leaky_relu_values(self):
+        x = Tensor(np.array([-2.0, 0.0, 3.0]))
+        np.testing.assert_allclose(F.leaky_relu(x, 0.1).data, [-0.2, 0.0, 3.0])
+
+    def test_sigmoid_bounds_and_symmetry(self):
+        x = Tensor(np.array([-100.0, 0.0, 100.0]))
+        out = F.sigmoid(x).data
+        assert out[0] == pytest.approx(0.0, abs=1e-30)
+        assert out[1] == pytest.approx(0.5)
+        assert out[2] == pytest.approx(1.0)
+
+    def test_sigmoid_no_overflow_on_large_negative(self):
+        x = Tensor(np.array([-1e4]))
+        out = F.sigmoid(x).data
+        assert np.isfinite(out).all()
+
+    def test_tanh_matches_numpy(self, rng):
+        x = rng.normal(size=(5,))
+        np.testing.assert_allclose(F.tanh(Tensor(x)).data, np.tanh(x))
+
+    def test_elu_values(self):
+        x = Tensor(np.array([-1.0, 2.0]))
+        out = F.elu(x).data
+        assert out[0] == pytest.approx(np.expm1(-1.0))
+        assert out[1] == pytest.approx(2.0)
+
+    def test_get_activation_lookup(self):
+        assert F.get_activation("relu") is F.relu
+        assert F.get_activation(None) is F.identity
+        assert F.get_activation("NONE") is F.identity
+        with pytest.raises(KeyError):
+            F.get_activation("swishish")
+
+
+class TestActivationGradients:
+    def test_relu_gradient(self, rng):
+        x = rng.normal(size=(4, 3)) + 0.05
+        check_gradient(lambda t: F.relu(t).sum(), x)
+
+    def test_leaky_relu_gradient(self, rng):
+        x = rng.normal(size=(4, 3)) + 0.05
+        check_gradient(lambda t: F.leaky_relu(t, 0.2).sum(), x)
+
+    def test_elu_gradient(self, rng):
+        x = rng.normal(size=(4, 3))
+        check_gradient(lambda t: F.elu(t).sum(), x, atol=1e-4)
+
+    def test_sigmoid_gradient(self, rng):
+        x = rng.normal(size=(4, 3))
+        check_gradient(lambda t: (F.sigmoid(t) ** 2).sum(), x)
+
+    def test_tanh_gradient(self, rng):
+        x = rng.normal(size=(4, 3))
+        check_gradient(lambda t: (F.tanh(t) ** 2).sum(), x)
+
+    def test_softmax_gradient(self, rng):
+        x = rng.normal(size=(5, 4))
+        check_gradient(lambda t: (F.softmax(t, axis=-1) ** 2).sum(), x)
+
+    def test_softmax_with_temperature_gradient(self, rng):
+        x = rng.normal(size=(3, 6))
+        check_gradient(lambda t: (F.softmax(t, axis=-1, temperature=0.3) ** 2).sum(), x)
+
+    def test_log_softmax_gradient(self, rng):
+        x = rng.normal(size=(4, 4))
+        check_gradient(lambda t: (F.log_softmax(t, axis=-1) * Tensor(np.eye(4))).sum(), x)
+
+
+class TestSoftmaxProperties:
+    @given(st.integers(min_value=1, max_value=8), st.integers(min_value=2, max_value=8),
+           st.floats(min_value=0.05, max_value=5.0))
+    @settings(max_examples=30, deadline=None)
+    def test_softmax_rows_sum_to_one(self, rows, cols, temperature):
+        rng = np.random.default_rng(rows * 100 + cols)
+        x = Tensor(rng.normal(size=(rows, cols)) * 3)
+        out = F.softmax(x, axis=-1, temperature=temperature).data
+        np.testing.assert_allclose(out.sum(axis=-1), np.ones(rows), atol=1e-9)
+        assert (out >= 0).all()
+
+    def test_lower_temperature_sharpens(self):
+        x = Tensor(np.array([[1.0, 2.0, 3.0]]))
+        soft = F.softmax(x, temperature=1.0).data
+        sharp = F.softmax(x, temperature=0.1).data
+        assert sharp.max() > soft.max()
+
+    def test_softmax_invalid_temperature(self):
+        with pytest.raises(ValueError):
+            F.softmax(Tensor(np.ones(3)), temperature=0.0)
+
+    def test_softmax_invariant_to_shift(self, rng):
+        x = rng.normal(size=(2, 5))
+        a = F.softmax(Tensor(x)).data
+        b = F.softmax(Tensor(x + 100.0)).data
+        np.testing.assert_allclose(a, b, atol=1e-12)
+
+    def test_log_softmax_consistent_with_softmax(self, rng):
+        x = Tensor(rng.normal(size=(3, 4)))
+        np.testing.assert_allclose(np.exp(F.log_softmax(x).data), F.softmax(x).data,
+                                   atol=1e-12)
+
+
+class TestDropout:
+    def test_dropout_eval_mode_is_identity(self, rng):
+        x = Tensor(rng.normal(size=(10, 10)), requires_grad=True)
+        out = F.dropout(x, 0.5, rng, training=False)
+        assert out is x
+
+    def test_dropout_zero_probability_is_identity(self, rng):
+        x = Tensor(rng.normal(size=(10, 10)))
+        assert F.dropout(x, 0.0, rng, training=True) is x
+
+    def test_dropout_scales_surviving_entries(self):
+        rng = np.random.default_rng(0)
+        x = Tensor(np.ones((200, 50)))
+        out = F.dropout(x, 0.5, rng, training=True).data
+        surviving = out[out != 0]
+        # Inverted dropout rescales kept units by 1/keep_prob.
+        np.testing.assert_allclose(surviving, 2.0)
+        assert 0.3 < (out == 0).mean() < 0.7
+
+    def test_dropout_invalid_probability(self, rng):
+        with pytest.raises(ValueError):
+            F.dropout(Tensor(np.ones(3)), 1.0, rng)
+
+    def test_dropout_gradient_masks_match_forward(self):
+        rng = np.random.default_rng(3)
+        x = Tensor(np.ones((6, 6)), requires_grad=True)
+        out = F.dropout(x, 0.4, rng, training=True)
+        out.sum().backward()
+        # Gradient must be zero exactly where the forward output was dropped.
+        np.testing.assert_allclose((out.data == 0), (x.grad == 0))

@@ -1,0 +1,210 @@
+"""Tests for loss functions, optimisers and the LR schedule."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import Linear
+from repro.nn import functional as F
+from repro.nn.losses import (bce_with_logits, binary_cross_entropy,
+                             class_balanced_weights, mse_loss, pu_rank_loss)
+from repro.nn.module import Parameter
+from repro.nn.optim import SGD, Adam, ExponentialDecay
+from repro.nn.tensor import Tensor
+from tests.nn.test_tensor_autograd import check_gradient
+
+
+class TestBinaryCrossEntropy:
+    def test_matches_manual_value(self):
+        probs = Tensor(np.array([0.9, 0.1, 0.8]))
+        targets = np.array([1.0, 0.0, 0.0])
+        expected = -(np.log(0.9) + np.log(0.9) + np.log(0.2)) / 3
+        assert binary_cross_entropy(probs, targets).item() == pytest.approx(expected)
+
+    def test_perfect_prediction_is_near_zero(self):
+        probs = Tensor(np.array([1.0, 0.0]))
+        loss = binary_cross_entropy(probs, np.array([1.0, 0.0]))
+        assert loss.item() < 1e-6
+
+    def test_weights_change_the_loss(self):
+        probs = Tensor(np.array([0.6, 0.6]))
+        targets = np.array([1.0, 0.0])
+        unweighted = binary_cross_entropy(probs, targets).item()
+        weighted = binary_cross_entropy(probs, targets,
+                                        weights=np.array([10.0, 1.0])).item()
+        assert weighted != pytest.approx(unweighted)
+
+    def test_gradient(self, rng):
+        logits = rng.normal(size=(8,))
+        targets = (rng.random(8) > 0.5).astype(float)
+        check_gradient(lambda t: binary_cross_entropy(F.sigmoid(t), targets), logits)
+
+    def test_bce_with_logits_matches_probability_form(self, rng):
+        logits = rng.normal(size=(10,))
+        targets = (rng.random(10) > 0.5).astype(float)
+        a = bce_with_logits(Tensor(logits), targets).item()
+        b = binary_cross_entropy(F.sigmoid(Tensor(logits)), targets).item()
+        assert a == pytest.approx(b, rel=1e-6)
+
+    def test_bce_with_logits_stable_for_extreme_logits(self):
+        logits = Tensor(np.array([1e4, -1e4]))
+        loss = bce_with_logits(logits, np.array([1.0, 0.0]))
+        assert np.isfinite(loss.item())
+
+
+class TestPuRankLoss:
+    def test_zero_when_positive_outranks_by_margin(self):
+        probs = Tensor(np.array([1.0, 0.0, 0.0]))
+        labels = np.array([1, 0, 0])
+        assert pu_rank_loss(probs, labels).item() == pytest.approx(0.0)
+
+    def test_positive_when_ranking_is_wrong(self):
+        probs = Tensor(np.array([0.0, 1.0]))
+        labels = np.array([1, 0])
+        # diff = -1, margin term = (1 - (-1))^2 = 4
+        assert pu_rank_loss(probs, labels).item() == pytest.approx(4.0)
+
+    def test_degenerate_sets_return_zero(self):
+        probs = Tensor(np.array([0.3, 0.4]))
+        assert pu_rank_loss(probs, np.array([1, 1])).item() == 0.0
+        assert pu_rank_loss(probs, np.array([0, 0])).item() == 0.0
+
+    def test_gradient_pushes_positives_up(self):
+        scores = Tensor(np.array([0.2, 0.8, 0.3]), requires_grad=True)
+        labels = np.array([1, 0, 0])
+        pu_rank_loss(scores, labels).backward()
+        assert scores.grad[0] < 0          # increasing the positive reduces loss
+        assert scores.grad[1] > 0           # decreasing the unlabeled reduces loss
+
+    def test_gradient_numeric(self, rng):
+        values = rng.random(6)
+        labels = np.array([1, 1, 0, 0, 0, 1])
+        check_gradient(lambda t: pu_rank_loss(t, labels), values)
+
+
+class TestOtherLosses:
+    def test_mse_loss_value(self):
+        pred = Tensor(np.array([1.0, 2.0]))
+        assert mse_loss(pred, np.array([0.0, 0.0])).item() == pytest.approx(2.5)
+
+    def test_class_balanced_weights_sum_property(self):
+        labels = np.array([1, 0, 0, 0, 0, 0, 0, 0, 0, 1])
+        weights = class_balanced_weights(labels)
+        # positives get upweighted, negatives downweighted
+        assert weights[labels == 1].mean() > weights[labels == 0].mean()
+        assert weights.sum() == pytest.approx(len(labels))
+
+    def test_class_balanced_weights_single_class(self):
+        weights = class_balanced_weights(np.zeros(5))
+        assert np.isfinite(weights).all()
+
+
+class _Quadratic:
+    """Simple quadratic objective f(w) = ||w - target||^2 for optimiser tests."""
+
+    def __init__(self, target):
+        self.w = Parameter(np.zeros_like(target))
+        self.target = target
+
+    def loss(self):
+        diff = self.w - Tensor(self.target)
+        return (diff * diff).sum()
+
+
+class TestOptimizers:
+    def test_sgd_converges_on_quadratic(self):
+        problem = _Quadratic(np.array([1.0, -2.0, 3.0]))
+        optimizer = SGD([problem.w], lr=0.1)
+        for _ in range(200):
+            optimizer.zero_grad()
+            problem.loss().backward()
+            optimizer.step()
+        np.testing.assert_allclose(problem.w.data, problem.target, atol=1e-3)
+
+    def test_sgd_momentum_converges_faster_than_plain(self):
+        target = np.array([2.0, 2.0])
+        plain, momentum = _Quadratic(target), _Quadratic(target)
+        opt_plain = SGD([plain.w], lr=0.01)
+        opt_momentum = SGD([momentum.w], lr=0.01, momentum=0.9)
+        for _ in range(50):
+            for problem, optimizer in ((plain, opt_plain), (momentum, opt_momentum)):
+                optimizer.zero_grad()
+                problem.loss().backward()
+                optimizer.step()
+        assert momentum.loss().item() < plain.loss().item()
+
+    def test_adam_converges_on_quadratic(self):
+        problem = _Quadratic(np.array([0.5, -0.5]))
+        optimizer = Adam([problem.w], lr=0.05)
+        for _ in range(300):
+            optimizer.zero_grad()
+            problem.loss().backward()
+            optimizer.step()
+        np.testing.assert_allclose(problem.w.data, problem.target, atol=1e-2)
+
+    def test_adam_trains_a_linear_classifier(self, rng):
+        # Separable 2-D problem: Adam + BCE should reach high training accuracy.
+        n = 200
+        x = rng.normal(size=(n, 2))
+        y = (x[:, 0] + x[:, 1] > 0).astype(float)
+        layer = Linear(2, 1, rng)
+        optimizer = Adam(layer.parameters(), lr=0.05)
+        for _ in range(150):
+            optimizer.zero_grad()
+            probs = F.sigmoid(layer(Tensor(x)).reshape(-1))
+            binary_cross_entropy(probs, y).backward()
+            optimizer.step()
+        predictions = (F.sigmoid(layer(Tensor(x)).reshape(-1)).data > 0.5).astype(float)
+        assert (predictions == y).mean() > 0.95
+
+    def test_gradient_clipping_limits_update(self):
+        param = Parameter(np.zeros(4))
+        optimizer = SGD([param], lr=1.0, max_grad_norm=1.0)
+        param.grad = np.full(4, 100.0)
+        optimizer.step()
+        assert np.linalg.norm(param.data) <= 1.0 + 1e-9
+
+    def test_weight_decay_shrinks_weights(self):
+        param = Parameter(np.ones(3) * 10)
+        optimizer = SGD([param], lr=0.1, weight_decay=0.5)
+        param.grad = np.zeros(3)
+        optimizer.step()
+        assert (param.data < 10).all()
+
+    def test_empty_parameter_list_raises(self):
+        with pytest.raises(ValueError):
+            Adam([], lr=0.1)
+
+    def test_invalid_learning_rate(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.ones(1))], lr=0.0)
+
+
+class TestExponentialDecay:
+    def test_decay_rate_matches_paper_setting(self):
+        optimizer = SGD([Parameter(np.ones(1))], lr=1.0)
+        scheduler = ExponentialDecay(optimizer, decay_rate=0.001)
+        scheduler.step()
+        assert optimizer.lr == pytest.approx(0.999)
+        for _ in range(9):
+            scheduler.step()
+        assert optimizer.lr == pytest.approx(0.999 ** 10)
+
+    def test_minimum_learning_rate_floor(self):
+        optimizer = SGD([Parameter(np.ones(1))], lr=1e-7)
+        scheduler = ExponentialDecay(optimizer, decay_rate=0.5, min_lr=1e-7)
+        scheduler.step()
+        assert optimizer.lr == pytest.approx(1e-7)
+
+    def test_reset_restores_initial(self):
+        optimizer = SGD([Parameter(np.ones(1))], lr=0.3)
+        scheduler = ExponentialDecay(optimizer, decay_rate=0.1)
+        scheduler.step()
+        scheduler.reset()
+        assert optimizer.lr == pytest.approx(0.3)
+
+    def test_invalid_decay_rate(self):
+        optimizer = SGD([Parameter(np.ones(1))], lr=0.3)
+        with pytest.raises(ValueError):
+            ExponentialDecay(optimizer, decay_rate=1.5)

@@ -1,0 +1,98 @@
+"""Tests for the additional learning-rate schedulers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import Linear
+from repro.nn.optim import SGD
+from repro.nn.schedulers import CosineAnnealing, LinearWarmup, StepDecay
+
+
+def _optimizer(lr=0.1):
+    module = Linear(3, 2, np.random.default_rng(0))
+    return SGD(module.parameters(), lr=lr)
+
+
+class TestStepDecay:
+    def test_rate_halves_every_step_size(self):
+        optimizer = _optimizer(lr=0.1)
+        scheduler = StepDecay(optimizer, step_size=2, gamma=0.5)
+        rates = [scheduler.step() for _ in range(6)]
+        assert rates[0] == pytest.approx(0.1)
+        assert rates[1] == pytest.approx(0.05)
+        assert rates[3] == pytest.approx(0.025)
+        assert rates[5] == pytest.approx(0.0125)
+
+    def test_min_lr_floor(self):
+        optimizer = _optimizer(lr=1e-7)
+        scheduler = StepDecay(optimizer, step_size=1, gamma=0.1, min_lr=1e-8)
+        for _ in range(5):
+            scheduler.step()
+        assert optimizer.lr == pytest.approx(1e-8)
+
+    def test_reset_restores_initial_rate(self):
+        optimizer = _optimizer(lr=0.2)
+        scheduler = StepDecay(optimizer, step_size=1, gamma=0.5)
+        scheduler.step()
+        scheduler.reset()
+        assert optimizer.lr == pytest.approx(0.2)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            StepDecay(_optimizer(), step_size=0)
+        with pytest.raises(ValueError):
+            StepDecay(_optimizer(), step_size=1, gamma=1.5)
+
+
+class TestCosineAnnealing:
+    def test_monotone_decrease_to_min(self):
+        optimizer = _optimizer(lr=0.1)
+        scheduler = CosineAnnealing(optimizer, total_epochs=10, min_lr=0.001)
+        rates = [scheduler.step() for _ in range(10)]
+        assert all(b <= a + 1e-12 for a, b in zip(rates, rates[1:]))
+        assert rates[-1] == pytest.approx(0.001)
+
+    def test_rate_stays_at_min_after_horizon(self):
+        optimizer = _optimizer(lr=0.1)
+        scheduler = CosineAnnealing(optimizer, total_epochs=4, min_lr=0.01)
+        for _ in range(10):
+            scheduler.step()
+        assert optimizer.lr == pytest.approx(0.01)
+
+    def test_halfway_rate_is_midpoint(self):
+        optimizer = _optimizer(lr=0.2)
+        scheduler = CosineAnnealing(optimizer, total_epochs=2, min_lr=0.0)
+        first = scheduler.step()
+        assert first == pytest.approx(0.1)
+
+
+class TestLinearWarmup:
+    def test_ramps_to_base_rate(self):
+        optimizer = _optimizer(lr=0.1)
+        scheduler = LinearWarmup(optimizer, warmup_epochs=4)
+        assert optimizer.lr == pytest.approx(0.025)
+        rates = [scheduler.step() for _ in range(4)]
+        assert rates[-1] == pytest.approx(0.1)
+        assert all(b >= a for a, b in zip(rates, rates[1:]))
+
+    def test_hands_over_to_wrapped_scheduler(self):
+        optimizer = _optimizer(lr=0.1)
+        after = StepDecay(optimizer, step_size=1, gamma=0.5)
+        scheduler = LinearWarmup(optimizer, warmup_epochs=2, after=after)
+        scheduler.step()
+        scheduler.step()               # warm-up complete, lr == 0.1
+        assert optimizer.lr == pytest.approx(0.1)
+        assert scheduler.step() == pytest.approx(0.05)
+
+    def test_reset(self):
+        optimizer = _optimizer(lr=0.1)
+        scheduler = LinearWarmup(optimizer, warmup_epochs=2)
+        scheduler.step()
+        scheduler.reset()
+        assert optimizer.lr == pytest.approx(0.05)
+
+    def test_invalid_warmup(self):
+        with pytest.raises(ValueError):
+            LinearWarmup(_optimizer(), warmup_epochs=0)

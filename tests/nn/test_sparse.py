@@ -1,0 +1,126 @@
+"""Tests for the sparse/segment operations used by the GNN layers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.sparse import (degree, gather_rows, scatter_rows, segment_max_raw,
+                             segment_mean, segment_softmax, segment_sum)
+from repro.nn.tensor import Tensor
+from tests.nn.test_tensor_autograd import check_gradient
+
+
+class TestGatherRows:
+    def test_gather_values(self, rng):
+        x = Tensor(rng.normal(size=(5, 3)))
+        index = np.array([0, 4, 4, 2])
+        out = gather_rows(x, index)
+        np.testing.assert_allclose(out.data, x.data[index])
+
+    def test_gather_gradient_with_repeats(self, rng):
+        x_value = rng.normal(size=(5, 3))
+        index = np.array([1, 1, 1, 0])
+        check_gradient(lambda t: (gather_rows(t, index) ** 2).sum(), x_value)
+
+
+class TestSegmentSum:
+    def test_segment_sum_values(self):
+        values = Tensor(np.array([[1.0, 2.0], [3.0, 4.0], [5.0, 6.0]]))
+        out = segment_sum(values, np.array([0, 0, 2]), 3)
+        np.testing.assert_allclose(out.data, [[4.0, 6.0], [0.0, 0.0], [5.0, 6.0]])
+
+    def test_segment_sum_empty_segment_is_zero(self):
+        values = Tensor(np.ones((2, 2)))
+        out = segment_sum(values, np.array([0, 0]), 4)
+        np.testing.assert_allclose(out.data[1:], 0.0)
+
+    def test_segment_sum_gradient(self, rng):
+        values = rng.normal(size=(6, 2))
+        ids = np.array([0, 1, 1, 2, 2, 2])
+        check_gradient(lambda t: (segment_sum(t, ids, 3) ** 2).sum(), values)
+
+    def test_segment_sum_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            segment_sum(Tensor(np.ones((3, 2))), np.array([0, 1]), 2)
+
+    def test_segment_sum_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            segment_sum(Tensor(np.ones((2, 2))), np.array([0, 5]), 3)
+
+    def test_scatter_rows_alias(self, rng):
+        values = Tensor(rng.normal(size=(4, 2)))
+        ids = np.array([3, 0, 0, 2])
+        np.testing.assert_allclose(scatter_rows(values, ids, 4).data,
+                                   segment_sum(values, ids, 4).data)
+
+    def test_segment_sum_3d_values(self, rng):
+        values = Tensor(rng.normal(size=(5, 2, 3)))
+        ids = np.array([0, 1, 0, 1, 1])
+        out = segment_sum(values, ids, 2)
+        expected = np.zeros((2, 2, 3))
+        for i, seg in enumerate(ids):
+            expected[seg] += values.data[i]
+        np.testing.assert_allclose(out.data, expected)
+
+
+class TestSegmentMeanMax:
+    def test_segment_mean_values(self):
+        values = Tensor(np.array([[2.0], [4.0], [10.0]]))
+        out = segment_mean(values, np.array([0, 0, 1]), 3)
+        np.testing.assert_allclose(out.data, [[3.0], [10.0], [0.0]])
+
+    def test_segment_max_raw(self):
+        values = np.array([1.0, 5.0, -2.0, 3.0])
+        out = segment_max_raw(values, np.array([0, 0, 1, 1]), 2)
+        np.testing.assert_allclose(out, [5.0, 3.0])
+
+    def test_degree(self):
+        ids = np.array([0, 0, 2, 2, 2])
+        np.testing.assert_allclose(degree(ids, 4), [2, 0, 3, 0])
+
+
+class TestSegmentSoftmax:
+    def test_sums_to_one_within_each_segment(self, rng):
+        scores = Tensor(rng.normal(size=(10,)))
+        ids = np.array([0, 0, 0, 1, 1, 2, 2, 2, 2, 3])
+        out = segment_softmax(scores, ids, 4).data
+        for segment in range(4):
+            np.testing.assert_allclose(out[ids == segment].sum(), 1.0, atol=1e-9)
+
+    def test_single_entry_segment_gets_probability_one(self):
+        scores = Tensor(np.array([12.3]))
+        out = segment_softmax(scores, np.array([0]), 1).data
+        np.testing.assert_allclose(out, [1.0], atol=1e-9)
+
+    def test_numerically_stable_with_large_scores(self):
+        scores = Tensor(np.array([1000.0, 1001.0, -1000.0]))
+        out = segment_softmax(scores, np.array([0, 0, 0]), 1).data
+        assert np.isfinite(out).all()
+        np.testing.assert_allclose(out.sum(), 1.0, atol=1e-9)
+
+    def test_gradient(self, rng):
+        scores_value = rng.normal(size=(6,))
+        ids = np.array([0, 0, 1, 1, 1, 2])
+        check_gradient(lambda t: (segment_softmax(t, ids, 3) ** 2).sum(), scores_value)
+
+    def test_multihead_scores(self, rng):
+        scores = Tensor(rng.normal(size=(5, 3)))
+        ids = np.array([0, 0, 1, 1, 1])
+        out = segment_softmax(scores, ids, 2).data
+        for segment in range(2):
+            np.testing.assert_allclose(out[ids == segment].sum(axis=0),
+                                       np.ones(3), atol=1e-9)
+
+    @given(st.integers(min_value=1, max_value=30), st.integers(min_value=1, max_value=5))
+    @settings(max_examples=25, deadline=None)
+    def test_property_distribution_per_segment(self, n_edges, n_segments):
+        rng = np.random.default_rng(n_edges * 7 + n_segments)
+        ids = rng.integers(0, n_segments, size=n_edges)
+        scores = Tensor(rng.normal(size=(n_edges,)) * 5)
+        out = segment_softmax(scores, ids, n_segments).data
+        assert (out >= 0).all() and (out <= 1 + 1e-9).all()
+        for segment in np.unique(ids):
+            np.testing.assert_allclose(out[ids == segment].sum(), 1.0, atol=1e-8)

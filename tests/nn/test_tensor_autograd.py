@@ -1,0 +1,209 @@
+"""Gradient correctness of the autodiff core.
+
+Every differentiable operation is checked against central finite differences
+on random inputs.  If these tests pass, the CMSF training code can trust the
+gradients it receives.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.tensor import (Tensor, as_tensor, concatenate, maximum, no_grad,
+                             stack, where)
+
+
+def numerical_gradient(fn, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central finite-difference gradient of a scalar-valued function."""
+    grad = np.zeros_like(x, dtype=np.float64)
+    flat = x.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        plus = fn(x)
+        flat[i] = original - eps
+        minus = fn(x)
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2 * eps)
+    return grad
+
+
+def check_gradient(build_loss, x_value: np.ndarray, atol: float = 1e-5) -> None:
+    """Compare autograd gradient against finite differences."""
+    x = Tensor(x_value.copy(), requires_grad=True)
+    loss = build_loss(x)
+    loss.backward()
+    analytic = x.grad.copy()
+
+    def scalar_fn(value: np.ndarray) -> float:
+        return float(build_loss(Tensor(value)).item())
+
+    numeric = numerical_gradient(scalar_fn, x_value.copy())
+    np.testing.assert_allclose(analytic, numeric, atol=atol, rtol=1e-4)
+
+
+class TestBasicOps:
+    def test_add_gradient(self, rng):
+        x = rng.normal(size=(4, 3))
+        y = rng.normal(size=(4, 3))
+        check_gradient(lambda t: (t + Tensor(y)).sum(), x)
+
+    def test_add_broadcast_gradient(self, rng):
+        x = rng.normal(size=(4, 3))
+        bias = rng.normal(size=(3,))
+        check_gradient(lambda t: (t + Tensor(bias)).sum(), x)
+        # gradient w.r.t. the broadcast operand
+        check_gradient(lambda t: (Tensor(x) + t).sum(), bias.copy())
+
+    def test_mul_gradient(self, rng):
+        x = rng.normal(size=(5, 2))
+        y = rng.normal(size=(5, 2))
+        check_gradient(lambda t: (t * Tensor(y) * 2.0).sum(), x)
+
+    def test_div_gradient(self, rng):
+        x = rng.normal(size=(3, 3)) + 3.0
+        y = rng.normal(size=(3, 3)) + 3.0
+        check_gradient(lambda t: (Tensor(y) / t).sum(), x)
+
+    def test_pow_gradient(self, rng):
+        x = rng.random((4, 4)) + 0.5
+        check_gradient(lambda t: (t ** 3).sum(), x)
+
+    def test_neg_and_sub(self, rng):
+        x = rng.normal(size=(3, 4))
+        check_gradient(lambda t: (-t - Tensor(np.ones((3, 4)))).sum(), x)
+
+    def test_matmul_gradient(self, rng):
+        a = rng.normal(size=(4, 3))
+        b = rng.normal(size=(3, 5))
+        check_gradient(lambda t: (t @ Tensor(b)).sum(), a)
+        check_gradient(lambda t: (Tensor(a) @ t).sum(), b)
+
+    def test_matmul_vector_gradient(self, rng):
+        a = rng.normal(size=(4, 3))
+        v = rng.normal(size=(3,))
+        check_gradient(lambda t: (t @ Tensor(v)).sum(), a)
+        check_gradient(lambda t: (Tensor(a) @ t).sum(), v)
+
+    def test_exp_log_gradient(self, rng):
+        x = rng.random((3, 3)) + 0.5
+        check_gradient(lambda t: t.exp().sum(), x)
+        check_gradient(lambda t: t.log().sum(), x)
+
+    def test_abs_gradient(self, rng):
+        x = rng.normal(size=(4, 4)) + 0.1  # keep away from the kink at 0
+        check_gradient(lambda t: t.abs().sum(), x)
+
+    def test_clip_gradient(self, rng):
+        x = rng.normal(size=(5, 5))
+        check_gradient(lambda t: t.clip(-0.5, 0.5).sum(), x, atol=1e-4)
+
+
+class TestReductionsAndShapes:
+    def test_sum_axis_gradient(self, rng):
+        x = rng.normal(size=(4, 5))
+        check_gradient(lambda t: (t.sum(axis=0) ** 2).sum(), x)
+        check_gradient(lambda t: (t.sum(axis=1, keepdims=True) ** 2).sum(), x)
+
+    def test_mean_gradient(self, rng):
+        x = rng.normal(size=(6, 2))
+        check_gradient(lambda t: (t.mean(axis=0) ** 2).sum(), x)
+        check_gradient(lambda t: t.mean(), x)
+
+    def test_max_gradient(self, rng):
+        x = rng.normal(size=(4, 5))
+        check_gradient(lambda t: t.max(axis=1).sum(), x)
+
+    def test_reshape_gradient(self, rng):
+        x = rng.normal(size=(4, 6))
+        check_gradient(lambda t: (t.reshape(2, 12) ** 2).sum(), x)
+        check_gradient(lambda t: (t.reshape(4, 2, 3) ** 2).sum(), x)
+
+    def test_transpose_gradient(self, rng):
+        x = rng.normal(size=(3, 5))
+        check_gradient(lambda t: (t.T @ Tensor(np.ones((3, 2)))).sum(), x)
+
+    def test_getitem_gradient(self, rng):
+        x = rng.normal(size=(6, 4))
+        index = np.array([0, 2, 2, 5])
+        check_gradient(lambda t: (t[index] ** 2).sum(), x)
+        check_gradient(lambda t: (t[:, 1:3] ** 2).sum(), x)
+
+    def test_concatenate_gradient(self, rng):
+        x = rng.normal(size=(3, 4))
+        y = rng.normal(size=(3, 2))
+        check_gradient(lambda t: (concatenate([t, Tensor(y)], axis=1) ** 2).sum(), x)
+        check_gradient(lambda t: (concatenate([Tensor(x), t], axis=1) ** 2).sum(), y)
+
+    def test_stack_gradient(self, rng):
+        x = rng.normal(size=(3, 4))
+        y = rng.normal(size=(3, 4))
+        check_gradient(lambda t: (stack([t, Tensor(y)], axis=0) ** 2).sum(), x)
+
+    def test_where_and_maximum_gradient(self, rng):
+        x = rng.normal(size=(4, 4)) + 0.05
+        cond = rng.random((4, 4)) > 0.5
+        check_gradient(lambda t: where(cond, t, Tensor(np.zeros((4, 4)))).sum(), x)
+        other = rng.normal(size=(4, 4))
+        check_gradient(lambda t: maximum(t, Tensor(other)).sum(), x, atol=1e-4)
+
+
+class TestAutogradMechanics:
+    def test_gradient_accumulates_over_multiple_uses(self, rng):
+        x = Tensor(rng.normal(size=(3,)), requires_grad=True)
+        loss = (x * x).sum() + x.sum()
+        loss.backward()
+        np.testing.assert_allclose(x.grad, 2 * x.data + 1.0)
+
+    def test_backward_requires_scalar_without_grad(self):
+        x = Tensor(np.ones((2, 2)), requires_grad=True)
+        with pytest.raises(ValueError):
+            (x * 2).backward()
+
+    def test_backward_with_explicit_gradient(self):
+        x = Tensor(np.ones((2, 2)), requires_grad=True)
+        y = x * 3.0
+        y.backward(np.full((2, 2), 2.0))
+        np.testing.assert_allclose(x.grad, np.full((2, 2), 6.0))
+
+    def test_no_grad_context_blocks_graph(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        with no_grad():
+            y = (x * 2).sum()
+        assert y._backward is None
+        assert y._parents == ()
+
+    def test_detach_cuts_graph(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        y = (x.detach() * 5).sum()
+        assert not y.requires_grad
+
+    def test_zero_grad(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        (x * 2).sum().backward()
+        assert x.grad is not None
+        x.zero_grad()
+        assert x.grad is None
+
+    def test_diamond_graph_gradient(self, rng):
+        # f(x) = sum((x*2) * (x+1)) exercises shared parents in the tape.
+        x_value = rng.normal(size=(4,))
+        check_gradient(lambda t: ((t * 2.0) * (t + 1.0)).sum(), x_value)
+
+    def test_repr_and_item(self):
+        x = Tensor(np.array([2.5]), requires_grad=True)
+        assert "requires_grad" in repr(x)
+        assert x.item() == pytest.approx(2.5)
+
+    def test_as_tensor_idempotent(self):
+        x = Tensor(np.ones(3))
+        assert as_tensor(x) is x
+        assert isinstance(as_tensor([1.0, 2.0]), Tensor)
+
+    def test_comparison_returns_numpy(self):
+        x = Tensor(np.array([1.0, 2.0, 3.0]))
+        mask = x > 1.5
+        assert isinstance(mask, np.ndarray)
+        assert mask.tolist() == [False, True, True]

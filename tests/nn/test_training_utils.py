@@ -1,0 +1,120 @@
+"""Tests for the training utilities (validation splits, early stopping, AUC)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval.metrics import roc_auc
+from repro.nn import EarlyStopping, Linear, validation_split
+from repro.nn.training import binary_auc
+
+
+class TestValidationSplit:
+    def _labels(self, n_pos: int, n_neg: int) -> np.ndarray:
+        labels = np.full(n_pos + n_neg + 10, -1, dtype=np.int64)
+        labels[:n_pos] = 1
+        labels[n_pos:n_pos + n_neg] = 0
+        return labels
+
+    def test_partition_is_disjoint_and_complete(self, rng):
+        labels = self._labels(20, 60)
+        train = np.arange(80)
+        fit, val = validation_split(train, labels, 0.2, rng)
+        assert np.intersect1d(fit, val).size == 0
+        np.testing.assert_array_equal(np.sort(np.concatenate([fit, val])), train)
+
+    def test_stratification_keeps_both_classes_in_validation(self, rng):
+        labels = self._labels(20, 60)
+        fit, val = validation_split(np.arange(80), labels, 0.25, rng)
+        assert (labels[val] == 1).sum() >= 2
+        assert (labels[val] == 0).sum() >= 2
+
+    def test_too_few_positives_disable_validation(self, rng):
+        labels = self._labels(3, 60)
+        fit, val = validation_split(np.arange(63), labels, 0.2, rng)
+        assert val.size == 0
+        assert fit.size == 63
+
+    def test_zero_fraction_returns_everything(self, rng):
+        labels = self._labels(10, 10)
+        fit, val = validation_split(np.arange(20), labels, 0.0, rng)
+        assert val.size == 0 and fit.size == 20
+
+    def test_invalid_fraction_raises(self, rng):
+        with pytest.raises(ValueError):
+            validation_split(np.arange(10), np.ones(10), 1.0, rng)
+
+    @given(n_pos=st.integers(5, 40), n_neg=st.integers(5, 120),
+           fraction=st.floats(0.05, 0.5))
+    @settings(max_examples=30, deadline=None)
+    def test_property_split_never_loses_samples(self, n_pos, n_neg, fraction):
+        labels = self._labels(n_pos, n_neg)
+        train = np.arange(n_pos + n_neg)
+        fit, val = validation_split(train, labels, fraction,
+                                    np.random.default_rng(0))
+        assert fit.size + val.size == train.size
+        assert np.intersect1d(fit, val).size == 0
+
+
+class TestEarlyStopping:
+    def _module(self):
+        return Linear(3, 2, np.random.default_rng(0))
+
+    def test_min_mode_stops_after_patience(self):
+        module = self._module()
+        stopper = EarlyStopping(module, patience=3, mode="min")
+        values = [1.0, 0.5, 0.6, 0.7, 0.8]
+        stops = [stopper.update(value, epoch) for epoch, value in enumerate(values)]
+        assert stops == [False, False, False, False, True]
+        assert stopper.best_epoch == 1
+
+    def test_restore_best_reloads_snapshot(self):
+        module = self._module()
+        stopper = EarlyStopping(module, patience=None, mode="max")
+        stopper.update(0.9, epoch=0)
+        best_weights = module.weight.data.copy()
+        module.weight.data = module.weight.data + 10.0
+        stopper.update(0.1, epoch=1)
+        assert stopper.restore_best()
+        np.testing.assert_allclose(module.weight.data, best_weights)
+
+    def test_restore_without_updates_is_noop(self):
+        stopper = EarlyStopping(self._module(), patience=2)
+        assert stopper.restore_best() is False
+
+    def test_nan_values_count_as_no_improvement(self):
+        stopper = EarlyStopping(self._module(), patience=2, mode="max")
+        assert not stopper.update(float("nan"), 0)
+        assert stopper.update(float("nan"), 1)
+        assert stopper.best_value is None
+        assert stopper.epochs_since_best == 2
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            EarlyStopping(self._module(), mode="sideways")
+
+
+class TestBinaryAuc:
+    def test_perfect_and_inverted_ranking(self):
+        labels = np.array([0, 0, 1, 1])
+        assert binary_auc(labels, np.array([0.1, 0.2, 0.8, 0.9])) == 1.0
+        assert binary_auc(labels, np.array([0.9, 0.8, 0.2, 0.1])) == 0.0
+
+    def test_single_class_returns_nan(self):
+        assert np.isnan(binary_auc(np.ones(5), np.random.rand(5)))
+
+    @given(st.integers(2, 60), st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_property_matches_reference_auc(self, size, seed):
+        rng = np.random.default_rng(seed)
+        labels = rng.integers(0, 2, size=size)
+        scores = rng.normal(size=size)
+        expected = roc_auc(labels, scores)
+        actual = binary_auc(labels, scores)
+        if np.isnan(expected):
+            assert np.isnan(actual)
+        else:
+            assert actual == pytest.approx(expected, abs=1e-9)

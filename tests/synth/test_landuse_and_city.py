@@ -1,0 +1,120 @@
+"""Tests for the synthetic land-use map and city assembly."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.synth import (CityConfig, LandUse, SyntheticCity, UrbanVillageConfig,
+                         generate_city, generate_land_use, tiny_city)
+from repro.synth.landuse import generate_land_use as generate_land_use_direct
+
+
+def _small_config(**overrides) -> CityConfig:
+    defaults = dict(name="unit", grid_height=20, grid_width=20, seed=3,
+                    villages=UrbanVillageConfig(count=4, size_range=(2, 5)))
+    defaults.update(overrides)
+    return CityConfig(**defaults)
+
+
+class TestLandUseGeneration:
+    def test_shapes_and_value_ranges(self, rng):
+        config = _small_config()
+        land = generate_land_use(config, rng)
+        assert land.land_use.shape == (20, 20)
+        assert set(np.unique(land.land_use)).issubset({int(code) for code in LandUse})
+        for field in (land.building_density, land.irregularity, land.greenery):
+            assert field.shape == (20, 20)
+            assert field.min() >= 0.0 and field.max() <= 1.0
+
+    def test_villages_are_contiguous_patches(self, rng):
+        config = _small_config()
+        land = generate_land_use(config, rng)
+        assert len(land.villages) >= 1
+        for village in land.villages:
+            # contiguity: every cell has at least one 4-neighbour inside the
+            # village (trivially true for single-cell patches, which we forbid)
+            assert len(village) >= 2
+            for (row, col) in village:
+                neighbours = {(row + 1, col), (row - 1, col), (row, col + 1), (row, col - 1)}
+                assert neighbours & village, "village cell has no neighbour in patch"
+
+    def test_village_cells_marked_in_land_use(self, rng):
+        land = generate_land_use(_small_config(), rng)
+        for (row, col) in land.village_cells():
+            assert land.land_use[row, col] == int(LandUse.URBAN_VILLAGE)
+
+    def test_urban_villages_are_denser_and_more_irregular(self, rng):
+        land = generate_land_use(_small_config(grid_height=30, grid_width=30), rng)
+        uv_mask = land.land_use == int(LandUse.URBAN_VILLAGE)
+        suburb_mask = land.land_use == int(LandUse.SUBURB)
+        if uv_mask.sum() and suburb_mask.sum():
+            assert land.building_density[uv_mask].mean() > land.building_density[suburb_mask].mean()
+            assert land.irregularity[uv_mask].mean() > land.irregularity[suburb_mask].mean()
+
+    def test_downtown_exists_near_centers(self, rng):
+        land = generate_land_use(_small_config(), rng)
+        assert (land.land_use == int(LandUse.DOWNTOWN)).sum() > 0
+        for (row, col) in land.downtown_centers:
+            assert 0 <= row < 20 and 0 <= col < 20
+
+    def test_deterministic_given_seed(self):
+        config = _small_config()
+        a = generate_land_use_direct(config, np.random.default_rng(11))
+        b = generate_land_use_direct(config, np.random.default_rng(11))
+        np.testing.assert_array_equal(a.land_use, b.land_use)
+
+    def test_zero_villages_supported(self, rng):
+        config = _small_config(villages=UrbanVillageConfig(count=0))
+        land = generate_land_use(config, rng)
+        assert len(land.villages) == 0
+        assert (land.land_use == int(LandUse.URBAN_VILLAGE)).sum() == 0
+
+
+class TestCityConfigValidation:
+    def test_invalid_grid(self):
+        with pytest.raises(ValueError):
+            CityConfig(grid_height=0, grid_width=10)
+
+    def test_invalid_water_fraction(self):
+        with pytest.raises(ValueError):
+            CityConfig(water_green_fraction=1.2)
+
+    def test_region_center(self):
+        config = CityConfig(grid_height=4, grid_width=4, region_size_m=100.0)
+        assert config.region_center(0, 0) == (50.0, 50.0)
+        assert config.region_center(1, 2) == (250.0, 150.0)
+
+    def test_num_regions(self):
+        assert CityConfig(grid_height=6, grid_width=7).num_regions == 42
+
+
+class TestGenerateCity:
+    def test_full_city_assembly(self, tiny_city_data):
+        city = tiny_city_data
+        assert isinstance(city, SyntheticCity)
+        assert city.num_regions == 256
+        assert len(city.pois) > 0
+        assert city.roads.num_intersections > 0
+        assert city.imagery.features.shape == (256, 256)
+        assert city.labels.ground_truth.shape == (256,)
+
+    def test_summary_fields(self, tiny_city_data):
+        summary = tiny_city_data.summary()
+        for key in ("city", "regions", "pois", "road_segments", "true_uv_regions",
+                    "labeled_uv", "labeled_non_uv"):
+            assert key in summary
+        assert summary["labeled_uv"] <= summary["true_uv_regions"]
+
+    def test_reproducible_for_same_config(self):
+        a = generate_city(tiny_city(seed=42))
+        b = generate_city(tiny_city(seed=42))
+        np.testing.assert_array_equal(a.labels.ground_truth, b.labels.ground_truth)
+        np.testing.assert_allclose(a.imagery.features, b.imagery.features)
+        assert len(a.pois) == len(b.pois)
+
+    def test_different_seeds_differ(self):
+        a = generate_city(tiny_city(seed=1))
+        b = generate_city(tiny_city(seed=2))
+        assert not np.array_equal(a.labels.ground_truth, b.labels.ground_truth) \
+            or len(a.pois) != len(b.pois)

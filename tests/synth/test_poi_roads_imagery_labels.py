@@ -1,0 +1,194 @@
+"""Tests for the POI, road-network, imagery and label simulators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.synth import (BASIC_FACILITY_TYPES, POI_CATEGORIES, RADIUS_POI_TYPES,
+                         CityConfig, LandUse, UrbanVillageConfig, generate_city,
+                         generate_image_features, generate_labels,
+                         generate_land_use, generate_pois,
+                         generate_road_network, masked_label_subset,
+                         pois_per_region, region_pairs_within_hops, tiny_city)
+
+
+@pytest.fixture(scope="module")
+def module_city():
+    config = CityConfig(name="module", grid_height=20, grid_width=20, seed=9,
+                        villages=UrbanVillageConfig(count=5, size_range=(2, 5)))
+    return config, generate_city(config)
+
+
+class TestPoiCatalogue:
+    def test_catalogue_sizes_match_paper(self):
+        assert len(POI_CATEGORIES) == 23
+        assert len(RADIUS_POI_TYPES) == 15
+        assert len(BASIC_FACILITY_TYPES) == 9
+
+    def test_no_duplicate_categories(self):
+        assert len(set(POI_CATEGORIES)) == len(POI_CATEGORIES)
+        assert len(set(RADIUS_POI_TYPES)) == len(RADIUS_POI_TYPES)
+
+
+class TestPoiGeneration:
+    def test_pois_lie_inside_their_region(self, module_city):
+        config, city = module_city
+        size = config.region_size_m
+        for poi in city.pois[:500]:
+            row, col = divmod(poi.region_index, config.grid_width)
+            assert col * size <= poi.x <= (col + 1) * size
+            assert row * size <= poi.y <= (row + 1) * size
+
+    def test_categories_are_valid(self, module_city):
+        _, city = module_city
+        assert all(poi.category in POI_CATEGORIES for poi in city.pois)
+
+    def test_downtown_denser_than_suburb(self, module_city):
+        config, city = module_city
+        counts = pois_per_region(city.pois, config.num_regions)
+        land_use = city.land_use.land_use.reshape(-1)
+        downtown = counts[land_use == int(LandUse.DOWNTOWN)]
+        suburb = counts[land_use == int(LandUse.SUBURB)]
+        if downtown.size and suburb.size:
+            assert downtown.mean() > suburb.mean()
+
+    def test_urban_villages_lack_basic_facilities(self):
+        """UV regions should contain systematically fewer hospitals/schools."""
+        config = CityConfig(name="uvpoi", grid_height=30, grid_width=30, seed=4,
+                            villages=UrbanVillageConfig(count=10, size_range=(4, 8)))
+        land = generate_land_use(config, np.random.default_rng(0))
+        pois = generate_pois(config, land, np.random.default_rng(1))
+        land_flat = land.land_use.reshape(-1)
+        facility_types = {"Hospital", "School", "Subway Station", "Clinic"}
+        uv_facilities = sum(1 for p in pois if p.poi_type in facility_types
+                            and land_flat[p.region_index] == int(LandUse.URBAN_VILLAGE))
+        res_facilities = sum(1 for p in pois if p.poi_type in facility_types
+                             and land_flat[p.region_index] == int(LandUse.RESIDENTIAL))
+        uv_regions = max((land_flat == int(LandUse.URBAN_VILLAGE)).sum(), 1)
+        res_regions = max((land_flat == int(LandUse.RESIDENTIAL)).sum(), 1)
+        assert uv_facilities / uv_regions < res_facilities / res_regions
+
+    def test_facility_group_mapping(self, module_city):
+        _, city = module_city
+        groups = {poi.facility_group for poi in city.pois}
+        # every produced group must be a known basic facility group or empty
+        assert groups.issubset(set(BASIC_FACILITY_TYPES) | {""})
+
+
+class TestRoadNetwork:
+    def test_nodes_have_coordinates_and_regions(self, module_city):
+        config, city = module_city
+        graph = city.roads.graph
+        assert graph.number_of_nodes() > 0
+        for node, data in list(graph.nodes(data=True))[:50]:
+            assert 0 <= data["region"] < config.num_regions
+            assert 0 <= data["x"] <= config.grid_width * config.region_size_m
+            assert 0 <= data["y"] <= config.grid_height * config.region_size_m
+
+    def test_intersections_by_region_consistent(self, module_city):
+        _, city = module_city
+        for region, nodes in city.roads.intersections_by_region.items():
+            for node in nodes:
+                assert city.roads.graph.nodes[node]["region"] == region
+
+    def test_region_pairs_within_hops_monotone_in_hops(self, module_city):
+        config, city = module_city
+        few = region_pairs_within_hops(city.roads, 2, config.num_regions)
+        many = region_pairs_within_hops(city.roads, 5, config.num_regions)
+        assert set(few).issubset(set(many))
+        assert len(many) >= len(few)
+
+    def test_region_pairs_exclude_self_pairs(self, module_city):
+        config, city = module_city
+        pairs = region_pairs_within_hops(city.roads, 3, config.num_regions)
+        assert all(a != b for a, b in pairs)
+        assert all(a < b for a, b in pairs)
+
+    def test_zero_hops_yields_no_pairs_between_regions(self, module_city):
+        config, city = module_city
+        assert region_pairs_within_hops(city.roads, 0, config.num_regions) == []
+
+    def test_negative_hops_raises(self, module_city):
+        config, city = module_city
+        with pytest.raises(ValueError):
+            region_pairs_within_hops(city.roads, -1, config.num_regions)
+
+
+class TestImagery:
+    def test_feature_shapes(self, module_city):
+        config, city = module_city
+        assert city.imagery.features.shape == (config.num_regions,
+                                               config.imagery.feature_dim)
+        assert city.imagery.latent.shape == (config.num_regions,
+                                             config.imagery.latent_dim)
+
+    def test_features_nonnegative_like_vgg_relu_output(self, module_city):
+        _, city = module_city
+        # The simulated extractor ends with a ReLU plus small noise, so values
+        # should be (almost) all non-negative.
+        fraction_negative = (city.imagery.features < -0.5).mean()
+        assert fraction_negative < 0.01
+
+    def test_uv_regions_visually_distinct_from_suburbs(self, module_city):
+        config, city = module_city
+        land_flat = city.land_use.land_use.reshape(-1)
+        uv = city.imagery.latent[land_flat == int(LandUse.URBAN_VILLAGE)]
+        suburb = city.imagery.latent[land_flat == int(LandUse.SUBURB)]
+        if len(uv) and len(suburb):
+            # density * irregularity channel (index 3) separates them on average
+            assert uv[:, 3].mean() > suburb[:, 3].mean()
+
+    def test_deterministic(self, module_city):
+        config, _ = module_city
+        land = generate_land_use(config, np.random.default_rng(5))
+        a = generate_image_features(config, land, np.random.default_rng(6))
+        b = generate_image_features(config, land, np.random.default_rng(6))
+        np.testing.assert_allclose(a.features, b.features)
+
+
+class TestLabels:
+    def test_label_consistency(self, module_city):
+        _, city = module_city
+        labels = city.labels
+        # labelled mask and labels agree
+        assert (labels.labels[~labels.labeled_mask] == -1).all()
+        assert set(np.unique(labels.labels[labels.labeled_mask])).issubset({0, 1})
+
+    def test_labeled_uvs_are_subset_of_ground_truth(self, module_city):
+        _, city = module_city
+        labels = city.labels
+        labeled_uv = np.flatnonzero((labels.labels == 1) & labels.labeled_mask)
+        true_uv = set(np.flatnonzero(labels.ground_truth == 1))
+        # Crowdsourcing false positives are rare; allow at most one stray label.
+        stray = sum(1 for index in labeled_uv if index not in true_uv)
+        assert stray <= 1
+
+    def test_label_scarcity_regime(self, module_city):
+        config, city = module_city
+        labels = city.labels
+        # Only a minority of regions is labelled, as in the paper.
+        assert labels.labeled_mask.sum() < 0.6 * config.num_regions
+        # Not all true UVs are discovered.
+        assert labels.num_labeled_uv <= labels.ground_truth.sum()
+
+    def test_ground_truth_only_on_village_cells(self, module_city):
+        _, city = module_city
+        village_cells = {row * city.config.grid_width + col
+                         for row, col in city.land_use.village_cells()}
+        for index in np.flatnonzero(city.labels.ground_truth == 1):
+            assert index in village_cells
+
+    def test_masked_label_subset_ratio(self, module_city):
+        _, city = module_city
+        rng = np.random.default_rng(0)
+        masked = masked_label_subset(city.labels, 0.5, rng)
+        original = city.labels.labeled_mask.sum()
+        assert masked.labeled_mask.sum() == pytest.approx(original * 0.5, abs=1)
+        # masked labels must be a subset of the original labelled set
+        assert np.all(city.labels.labeled_mask[masked.labeled_mask])
+
+    def test_masked_label_subset_invalid_ratio(self, module_city):
+        _, city = module_city
+        with pytest.raises(ValueError):
+            masked_label_subset(city.labels, 0.0, np.random.default_rng(0))

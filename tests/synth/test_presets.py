@@ -1,0 +1,48 @@
+"""Tests for the city presets mirroring the paper's three datasets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.synth import (PAPER_TABLE1, available_presets, beijing_city,
+                         fuzhou_city, get_preset, paper_cities, shenzhen_city,
+                         tiny_city)
+
+
+class TestPresets:
+    def test_all_presets_listed(self):
+        names = available_presets()
+        for expected in ("tiny", "mini", "shenzhen", "fuzhou", "beijing"):
+            assert expected in names
+
+    def test_get_preset_roundtrip(self):
+        config = get_preset("shenzhen")
+        assert config.name == "shenzhen"
+        assert get_preset("SHENZHEN").name == "shenzhen"
+
+    def test_get_preset_seed_override(self):
+        assert get_preset("tiny", seed=99).seed == 99
+
+    def test_unknown_preset_raises(self):
+        with pytest.raises(KeyError):
+            get_preset("atlantis")
+
+    def test_relative_city_sizes_match_paper_ordering(self):
+        """Beijing largest, Fuzhou smallest — same ordering as Table I."""
+        sizes = {name: config.num_regions for name, config in paper_cities().items()}
+        assert sizes["beijing"] > sizes["shenzhen"] > sizes["fuzhou"]
+        paper_sizes = {name: stats["regions"] for name, stats in PAPER_TABLE1.items()}
+        assert paper_sizes["beijing"] > paper_sizes["shenzhen"] > paper_sizes["fuzhou"]
+
+    def test_beijing_is_most_heterogeneous(self):
+        assert beijing_city().downtown_centers > shenzhen_city().downtown_centers
+
+    def test_paper_table1_reference_complete(self):
+        for city in ("shenzhen", "fuzhou", "beijing"):
+            stats = PAPER_TABLE1[city]
+            assert {"regions", "edges", "uvs", "non_uvs"} <= set(stats)
+
+    def test_distinct_seeds_across_cities(self):
+        seeds = {shenzhen_city().seed, fuzhou_city().seed, beijing_city().seed,
+                 tiny_city().seed}
+        assert len(seeds) == 4

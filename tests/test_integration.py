@@ -1,0 +1,105 @@
+"""End-to-end integration tests spanning synth → urg → core → eval → data.
+
+These tests exercise the same path as the examples and the CLI, but at the
+smallest viable scale so they stay fast: a 16x16 synthetic city, a handful of
+training epochs and the full public API surface (fit, predict, rank, persist,
+reload, export).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import CMSFConfig, CMSFDetector, make_variant
+from repro.data import load_graph_npz, save_graph_npz
+from repro.eval import block_kfold, detection_report, rank_regions
+from repro.eval.significance import permutation_auc_test
+
+FAST = CMSFConfig(hidden_dim=16, image_reduce_dim=16, classifier_hidden=8,
+                  maga_layers=1, maga_heads=2, num_clusters=6, context_dim=8,
+                  master_epochs=25, slave_epochs=8, patience=None, dropout=0.0,
+                  seed=0)
+
+
+@pytest.fixture(scope="module")
+def fitted_detector(tiny_graph_small_image):
+    graph = tiny_graph_small_image
+    split = block_kfold(graph, n_folds=3, seed=0)[0]
+    detector = CMSFDetector(FAST)
+    detector.fit(graph, split.train_indices)
+    return graph, split, detector
+
+
+class TestEndToEndDetection:
+    def test_detection_beats_chance_on_held_out_blocks(self, fitted_detector):
+        graph, split, detector = fitted_detector
+        scores = detector.predict_proba(graph)
+        report = detection_report(graph.labels[split.test_indices],
+                                  scores[split.test_indices])
+        assert report["auc"] > 0.5
+
+    def test_predictions_are_deterministic_for_fixed_seed(self, tiny_graph_small_image):
+        graph = tiny_graph_small_image
+        split = block_kfold(graph, n_folds=3, seed=0)[0]
+        first = CMSFDetector(FAST).fit(graph, split.train_indices).predict_proba(graph)
+        second = CMSFDetector(FAST).fit(graph, split.train_indices).predict_proba(graph)
+        np.testing.assert_allclose(first, second)
+
+    def test_ranked_screening_list_prioritises_uv_regions(self, fitted_detector):
+        graph, _, detector = fitted_detector
+        top = rank_regions(detector, graph, top_percent=10.0)
+        bottom_rate = graph.ground_truth.mean()
+        top_rate = graph.ground_truth[top].mean()
+        assert top_rate >= bottom_rate
+
+    def test_training_history_exposed_for_both_stages(self, fitted_detector):
+        _, _, detector = fitted_detector
+        history = detector.training_history()
+        assert "master" in history and len(history["master"]) > 0
+        assert "slave_detection" in history
+
+
+class TestPersistenceRoundTrips:
+    def test_detector_parameters_round_trip(self, fitted_detector, tmp_path):
+        graph, _, detector = fitted_detector
+        original = detector.predict_proba(graph)
+        path = detector.save(str(tmp_path / "cmsf_params"))
+        # Perturbing then reloading must restore the original predictions.
+        module = detector.slave_result.stage
+        for parameter in module.parameters():
+            parameter.data = parameter.data + 0.05
+        detector.load_parameters(path)
+        np.testing.assert_allclose(detector.predict_proba(graph), original, atol=1e-10)
+
+    def test_graph_archive_round_trip_preserves_evaluation(self, fitted_detector,
+                                                           tmp_path):
+        graph, split, detector = fitted_detector
+        path = save_graph_npz(graph, tmp_path / "graph.npz")
+        reloaded = load_graph_npz(path)
+        scores = detector.predict_proba(reloaded)
+        report = detection_report(reloaded.labels[split.test_indices],
+                                  scores[split.test_indices])
+        assert 0.0 <= report["auc"] <= 1.0
+
+
+class TestVariantsAndSignificance:
+    def test_component_variants_share_interface(self, tiny_graph_small_image):
+        graph = tiny_graph_small_image
+        split = block_kfold(graph, n_folds=3, seed=0)[0]
+        for name in ("CMSF-M", "CMSF-G", "CMSF-H"):
+            detector = make_variant(name, FAST)
+            detector.fit(graph, split.train_indices)
+            scores = detector.predict_proba(graph)
+            assert scores.shape == (graph.num_nodes,)
+            assert np.isfinite(scores).all()
+
+    def test_significance_test_on_model_vs_random_scores(self, fitted_detector, rng):
+        graph, split, detector = fitted_detector
+        scores = detector.predict_proba(graph)
+        random_scores = rng.random(graph.num_nodes)
+        pool = split.test_indices
+        result = permutation_auc_test(graph.labels[pool], scores[pool],
+                                      random_scores[pool], num_permutations=200)
+        assert result.auc_a >= result.auc_b - 0.2
+        assert 0.0 <= result.p_value <= 1.0

@@ -1,0 +1,209 @@
+"""Tests for POI/image feature construction and the URG builder."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.synth.poi import POI_CATEGORIES, RADIUS_POI_TYPES, Poi
+from repro.urg import (DATA_ABLATIONS, ImageFeatureConfig, PoiFeatureConfig,
+                       UrbanRegionGraph, UrgBuildConfig, build_poi_features,
+                       build_region_grid, build_urg, build_urg_variant,
+                       bucketize_distances, extract_image_features, pca_reduce,
+                       standardize_features)
+from repro.urg.grid import RegionGrid
+
+
+def _grid(height=4, width=4, size=128.0) -> RegionGrid:
+    return RegionGrid(height=height, width=width, region_size_m=size,
+                      active_mask=np.ones(height * width, dtype=bool))
+
+
+def _poi(x, y, category="Food Service", poi_type=None, grid=None):
+    poi_type = poi_type or category
+    region = grid.region_of_point(x, y) if grid is not None else 0
+    return Poi(x=x, y=y, category=category, poi_type=poi_type, region_index=region)
+
+
+class TestPoiFeatures:
+    def test_full_feature_dimension(self):
+        grid = _grid()
+        result = build_poi_features(grid, [])
+        # 23 (1x1 hist) + 23 (3x3 hist) + 1 (count) + 15 (radius) + 1 (index)
+        assert result.dim == 63
+        assert len(result.feature_names) == 63
+
+    def test_category_histogram_normalised(self):
+        grid = _grid()
+        pois = [_poi(10.0, 10.0, "Food Service", grid=grid),
+                _poi(20.0, 20.0, "Food Service", grid=grid),
+                _poi(30.0, 30.0, "Hotel", grid=grid)]
+        result = build_poi_features(grid, pois)
+        food_column = result.feature_names.index("cat:Food Service")
+        hotel_column = result.feature_names.index("cat:Hotel")
+        assert result.features[0, food_column] == pytest.approx(2 / 3)
+        assert result.features[0, hotel_column] == pytest.approx(1 / 3)
+
+    def test_window_histogram_includes_neighbours(self):
+        grid = _grid()
+        # POI in region (0,0); the 3x3 histogram of region (1,1) must see it.
+        pois = [_poi(10.0, 10.0, "Hotel", grid=grid)]
+        result = build_poi_features(grid, pois)
+        column = result.feature_names.index("cat3x3:Hotel")
+        center_region = grid.index(1, 1)
+        assert result.features[center_region, column] == pytest.approx(1.0)
+
+    def test_radius_buckets_match_paper_edges(self):
+        distances = np.array([[100.0, 600.0, 2000.0, 5000.0]])
+        np.testing.assert_array_equal(bucketize_distances(distances), [[0, 1, 2, 3]])
+
+    def test_radius_feature_reflects_distance(self):
+        grid = _grid(height=12, width=12)
+        # One hospital in the top-left corner region.
+        pois = [_poi(10.0, 10.0, "Medicine", poi_type="Hospital", grid=grid)]
+        result = build_poi_features(grid, pois)
+        column = result.feature_names.index("radius:Hospital")
+        near = result.features[grid.index(0, 0), column]
+        far = result.features[grid.index(11, 11), column]
+        assert near < far
+
+    def test_missing_poi_type_lands_in_last_bucket(self):
+        grid = _grid()
+        result = build_poi_features(grid, [])  # no POIs at all
+        column = result.feature_names.index("radius:Airport")
+        np.testing.assert_allclose(result.features[:, column], 1.0)
+
+    def test_facility_index_requires_all_groups(self):
+        grid = _grid()
+        # Only one facility group present -> the index must be 0 everywhere.
+        pois = [_poi(10.0, 10.0, "Medicine", poi_type="Hospital", grid=grid)]
+        result = build_poi_features(grid, pois)
+        column = result.feature_names.index("basic_facility_index")
+        assert result.features[:, column].sum() == 0
+
+    def test_onehot_radius_encoding(self):
+        grid = _grid()
+        config = PoiFeatureConfig(radius_encoding="onehot")
+        result = build_poi_features(grid, [], config)
+        # 23+23+1 category block + 15*4 one-hot radius + 1 index
+        assert result.dim == 47 + 60 + 1
+
+    def test_feature_switches(self):
+        grid = _grid()
+        no_category = build_poi_features(grid, [], PoiFeatureConfig(use_category=False))
+        assert no_category.dim == 16
+        no_radius = build_poi_features(grid, [], PoiFeatureConfig(use_radius=False))
+        assert no_radius.dim == 48
+        no_index = build_poi_features(grid, [], PoiFeatureConfig(use_index=False))
+        assert no_index.dim == 62
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            PoiFeatureConfig(use_category=False, use_radius=False, use_index=False)
+        with pytest.raises(ValueError):
+            PoiFeatureConfig(radius_encoding="fourier")
+
+
+class TestImageFeatures:
+    def test_disabled_returns_zero_width(self, tiny_city_data):
+        features = extract_image_features(tiny_city_data, ImageFeatureConfig(enabled=False))
+        assert features.shape == (tiny_city_data.num_regions, 0)
+
+    def test_standardisation(self, tiny_city_data):
+        features = extract_image_features(tiny_city_data, ImageFeatureConfig(standardize=True))
+        np.testing.assert_allclose(features.mean(axis=0), 0.0, atol=1e-8)
+
+    def test_reduction_dimension(self, tiny_city_data):
+        features = extract_image_features(tiny_city_data,
+                                          ImageFeatureConfig(reduce_dim=16))
+        assert features.shape[1] == 16
+
+    def test_pca_reduce_preserves_leading_variance(self, rng):
+        base = rng.normal(size=(200, 3)) @ rng.normal(size=(3, 40))
+        noise = rng.normal(scale=0.01, size=(200, 40))
+        reduced = pca_reduce(base + noise, 3)
+        assert reduced.shape == (200, 3)
+        # Three components should capture nearly all the variance of a rank-3 matrix.
+        assert reduced.var(axis=0).sum() > 0.95 * (base + noise).var(axis=0).sum()
+
+    def test_pca_reduce_invalid_dim(self, rng):
+        with pytest.raises(ValueError):
+            pca_reduce(rng.normal(size=(10, 5)), 0)
+
+    def test_standardize_features_unit_variance(self, rng):
+        x = rng.normal(loc=5.0, scale=3.0, size=(100, 4))
+        standardized = standardize_features(x)
+        np.testing.assert_allclose(standardized.std(axis=0), 1.0, atol=1e-6)
+
+
+class TestUrgBuilder:
+    def test_graph_invariants(self, tiny_graph):
+        graph = tiny_graph
+        assert isinstance(graph, UrbanRegionGraph)
+        assert graph.num_nodes > 0
+        assert graph.edge_index.max() < graph.num_nodes
+        assert graph.edge_index.min() >= 0
+        # directed edge list contains both directions
+        pairs = set(map(tuple, graph.edge_index.T))
+        assert all((b, a) in pairs for a, b in list(pairs)[:200])
+
+    def test_labels_and_masks_consistent(self, tiny_graph):
+        graph = tiny_graph
+        assert (graph.labels[~graph.labeled_mask] == -1).all()
+        assert set(np.unique(graph.labels[graph.labeled_mask])).issubset({0, 1})
+        assert graph.num_labeled_uv + graph.num_labeled_non_uv == graph.labeled_mask.sum()
+
+    def test_feature_concatenation(self, tiny_graph):
+        features = tiny_graph.features()
+        assert features.shape == (tiny_graph.num_nodes, tiny_graph.feature_dim)
+
+    def test_summary_matches_table1_fields(self, tiny_graph):
+        summary = tiny_graph.summary()
+        assert {"city", "regions", "edges", "uvs", "non_uvs"} <= set(summary)
+
+    def test_with_labels_returns_copy(self, tiny_graph):
+        new_labels = np.full(tiny_graph.num_nodes, -1)
+        new_mask = np.zeros(tiny_graph.num_nodes, dtype=bool)
+        modified = tiny_graph.with_labels(new_labels, new_mask)
+        assert modified.labeled_mask.sum() == 0
+        assert tiny_graph.labeled_mask.sum() > 0  # original untouched
+
+    def test_with_labels_validates_length(self, tiny_graph):
+        with pytest.raises(ValueError):
+            tiny_graph.with_labels(np.zeros(3), np.zeros(3, dtype=bool))
+
+    def test_degree_matches_edge_count(self, tiny_graph):
+        assert tiny_graph.degree().sum() == tiny_graph.num_edges
+
+    def test_graph_validation_rejects_bad_edges(self, tiny_graph):
+        with pytest.raises(ValueError):
+            UrbanRegionGraph(
+                name="bad", edge_index=np.array([[0], [999999]]),
+                x_poi=tiny_graph.x_poi, x_img=tiny_graph.x_img,
+                labels=tiny_graph.labels, labeled_mask=tiny_graph.labeled_mask,
+                ground_truth=tiny_graph.ground_truth,
+                region_index=tiny_graph.region_index,
+                block_ids=tiny_graph.block_ids, grid_shape=tiny_graph.grid_shape)
+
+    @pytest.mark.parametrize("ablation", list(DATA_ABLATIONS) + ["full"])
+    def test_all_data_ablations_build(self, tiny_city_data, ablation):
+        graph = build_urg_variant(tiny_city_data, ablation)
+        assert graph.num_nodes > 0
+        if ablation == "noImage":
+            assert graph.image_dim == 0
+        if ablation == "noProx":
+            full = build_urg(tiny_city_data)
+            assert graph.num_undirected_edges < full.num_undirected_edges
+
+    def test_unknown_ablation_raises(self, tiny_city_data):
+        with pytest.raises(ValueError):
+            build_urg_variant(tiny_city_data, "noEverything")
+
+    def test_feature_ablation_dimensions(self, tiny_city_data):
+        full = build_urg(tiny_city_data)
+        no_cate = build_urg_variant(tiny_city_data, "noCate")
+        no_rad = build_urg_variant(tiny_city_data, "noRad")
+        no_index = build_urg_variant(tiny_city_data, "noIndex")
+        assert no_cate.poi_dim < full.poi_dim
+        assert no_rad.poi_dim == full.poi_dim - 15
+        assert no_index.poi_dim == full.poi_dim - 1

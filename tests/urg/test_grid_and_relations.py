@@ -1,0 +1,152 @@
+"""Tests for the region grid, main-urban-area selection and edge construction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.synth.poi import Poi
+from repro.urg.grid import RegionGrid, build_region_grid, main_urban_area_mask
+from repro.urg.relations import (add_self_loops, adjacency_matrix, build_edge_index,
+                                 merge_edge_sets, road_connectivity_edges,
+                                 spatial_proximity_edges, to_directed_edge_index)
+
+
+def _full_grid(height=6, width=5, size=128.0) -> RegionGrid:
+    return RegionGrid(height=height, width=width, region_size_m=size,
+                      active_mask=np.ones(height * width, dtype=bool))
+
+
+class TestRegionGrid:
+    def test_index_coords_roundtrip(self):
+        grid = _full_grid()
+        for index in range(grid.num_regions):
+            row, col = grid.coords(index)
+            assert grid.index(row, col) == index
+
+    def test_index_out_of_range(self):
+        grid = _full_grid()
+        with pytest.raises(IndexError):
+            grid.index(6, 0)
+        with pytest.raises(IndexError):
+            grid.coords(30)
+
+    def test_center_and_point_lookup(self):
+        grid = _full_grid()
+        x, y = grid.center(0)
+        assert (x, y) == (64.0, 64.0)
+        assert grid.region_of_point(x, y) == 0
+        # points outside the grid are clamped to border regions
+        assert grid.region_of_point(-50.0, -50.0) == 0
+        assert grid.region_of_point(1e6, 1e6) == grid.num_regions - 1
+
+    def test_neighbors_8_interior_and_corner(self):
+        grid = _full_grid()
+        interior = grid.index(2, 2)
+        assert len(grid.neighbors_8(interior)) == 8
+        corner = grid.index(0, 0)
+        assert len(grid.neighbors_8(corner)) == 3
+
+    def test_block_ids_group_10x10(self):
+        grid = _full_grid(height=25, width=25)
+        assert grid.block_id(grid.index(0, 0)) == grid.block_id(grid.index(9, 9))
+        assert grid.block_id(grid.index(0, 0)) != grid.block_id(grid.index(0, 10))
+        assert grid.block_id(grid.index(0, 0)) != grid.block_id(grid.index(10, 0))
+        ids = grid.all_block_ids()
+        assert ids.shape == (625,)
+        assert len(np.unique(ids)) == 9  # 3x3 blocks of 10x10 over a 25x25 grid
+
+
+class TestMainUrbanArea:
+    def test_no_pois_keeps_everything(self):
+        mask = main_urban_area_mask(4, 4, 100.0, [], coverage=0.9)
+        assert mask.all()
+
+    def test_concentrated_pois_shrink_the_frame(self):
+        # All POIs in the centre cell of a 9x9 grid: the frame should not cover
+        # the full grid.
+        pois = [Poi(x=450.0 + i, y=450.0 + i, category="Food Service",
+                    poi_type="Food Service", region_index=40) for i in range(20)]
+        mask = main_urban_area_mask(9, 9, 100.0, pois, coverage=0.9)
+        assert mask.sum() < 81
+        # the central region must be covered
+        assert mask[4 * 9 + 4]
+
+    def test_invalid_coverage(self):
+        with pytest.raises(ValueError):
+            main_urban_area_mask(4, 4, 100.0, [], coverage=0.0)
+
+    def test_build_region_grid_active_subset(self, tiny_city_data):
+        grid = build_region_grid(tiny_city_data)
+        assert 0 < grid.num_active <= grid.num_regions
+
+
+class TestEdgeConstruction:
+    def test_spatial_proximity_counts_on_full_grid(self):
+        grid = _full_grid(height=3, width=3)
+        edges = spatial_proximity_edges(grid)
+        # 3x3 grid with 8-neighbourhood: 20 undirected edges
+        assert len(edges) == 20
+        assert all(a < b for a, b in edges)
+
+    def test_spatial_proximity_respects_active_mask(self):
+        grid = _full_grid(height=3, width=3)
+        grid.active_mask[4] = False  # deactivate the centre
+        edges = spatial_proximity_edges(grid)
+        assert all(4 not in edge for edge in edges)
+
+    def test_road_connectivity_respects_hops(self, tiny_city_data):
+        grid = build_region_grid(tiny_city_data)
+        few = road_connectivity_edges(grid, tiny_city_data.roads, max_hops=1)
+        many = road_connectivity_edges(grid, tiny_city_data.roads, max_hops=5)
+        assert few.issubset(many)
+
+    def test_merge_edge_sets_deduplicates_and_sorts(self):
+        merged = merge_edge_sets({(1, 2), (3, 4)}, {(2, 1), (5, 6), (7, 7)})
+        assert merged == [(1, 2), (3, 4), (5, 6)]
+
+    def test_to_directed_edge_index_symmetric(self):
+        edge_index = to_directed_edge_index([(0, 1), (2, 3)])
+        assert edge_index.shape == (2, 4)
+        pairs = set(map(tuple, edge_index.T))
+        assert (0, 1) in pairs and (1, 0) in pairs
+
+    def test_to_directed_empty(self):
+        assert to_directed_edge_index([]).shape == (2, 0)
+
+    def test_add_self_loops(self):
+        edge_index = to_directed_edge_index([(0, 1)])
+        with_loops = add_self_loops(edge_index, 3)
+        # 2 directed edges + 3 self-loops
+        assert with_loops.shape == (2, 5)
+        assert (with_loops[:, -3:] == np.array([[0, 1, 2], [0, 1, 2]])).all()
+
+    def test_adjacency_matrix_symmetric(self):
+        edge_index = to_directed_edge_index([(0, 1), (1, 2)])
+        adjacency = adjacency_matrix(edge_index, 3)
+        assert (adjacency == adjacency.T).all()
+        assert adjacency.sum() == 4
+
+    def test_build_edge_index_requires_a_relation(self, tiny_city_data):
+        grid = build_region_grid(tiny_city_data)
+        with pytest.raises(ValueError):
+            build_edge_index(grid, tiny_city_data.roads,
+                             use_proximity=False, use_road=False)
+
+    def test_build_edge_index_stats(self, tiny_city_data):
+        grid = build_region_grid(tiny_city_data)
+        edge_index, stats = build_edge_index(grid, tiny_city_data.roads)
+        assert stats["undirected_edges"] * 2 == edge_index.shape[1]
+        assert stats["proximity_edges"] > 0
+        assert stats["road_edges"] > 0
+
+    def test_build_edge_index_without_roads(self, tiny_city_data):
+        grid = build_region_grid(tiny_city_data)
+        edge_index, stats = build_edge_index(grid, None, use_road=False)
+        assert stats["road_edges"] == 0
+        assert edge_index.shape[1] == 2 * stats["proximity_edges"]
+
+    def test_road_requested_but_missing_network(self, tiny_city_data):
+        grid = build_region_grid(tiny_city_data)
+        with pytest.raises(ValueError):
+            build_edge_index(grid, None, use_proximity=True, use_road=True)

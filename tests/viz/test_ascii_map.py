@@ -1,0 +1,87 @@
+"""Tests for the ASCII map renderers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.synth.config import LandUse
+from repro.viz import (MapLegend, render_cluster_map, render_detection_map,
+                       render_label_map, render_land_use_map, render_score_map)
+from repro.viz.ascii_map import LAND_USE_CHARS
+
+
+class TestLandUseMap:
+    def test_dimensions_match_grid(self, tiny_city_data):
+        text = render_land_use_map(tiny_city_data, with_legend=False, title=None)
+        lines = text.splitlines()
+        height, width = tiny_city_data.region_grid_shape()
+        # One title line plus one line per grid row.
+        assert len(lines) == height + 1
+        assert all(len(line) == width for line in lines[1:])
+
+    def test_village_cells_marked(self, tiny_city_data):
+        text = render_land_use_map(tiny_city_data, with_legend=False)
+        land_use = tiny_city_data.land_use.land_use
+        expected_villages = int((land_use == int(LandUse.URBAN_VILLAGE)).sum())
+        assert text.count(LAND_USE_CHARS[int(LandUse.URBAN_VILLAGE)]) == expected_villages
+
+    def test_legend_contains_all_classes(self, tiny_city_data):
+        text = render_land_use_map(tiny_city_data, with_legend=True)
+        for name in ("urban village", "downtown", "suburb"):
+            assert name in text
+
+
+class TestLabelMap:
+    def test_counts_match_graph(self, tiny_graph):
+        text = render_label_map(tiny_graph, with_legend=False)
+        body = "\n".join(text.splitlines()[1:])
+        assert body.count("U") == tiny_graph.num_labeled_uv
+        assert body.count("n") == tiny_graph.num_labeled_non_uv
+        assert body.count("?") == tiny_graph.num_nodes - len(tiny_graph.labeled_indices())
+
+
+class TestDetectionMap:
+    def test_hits_and_false_alarms(self, tiny_graph):
+        uv_nodes = np.flatnonzero(tiny_graph.ground_truth == 1)
+        non_uv_nodes = np.flatnonzero(tiny_graph.ground_truth == 0)
+        detected = np.concatenate([uv_nodes[:2], non_uv_nodes[:3]])
+        text = render_detection_map(tiny_graph, detected, with_legend=False)
+        body = "\n".join(text.splitlines()[1:])
+        assert body.count("#") == 2
+        assert body.count("o") == 3
+        assert body.count(".") == uv_nodes.size - 2
+
+    def test_empty_detection_set(self, tiny_graph):
+        text = render_detection_map(tiny_graph, [], with_legend=False, title="map")
+        body = "\n".join(text.splitlines()[1:])
+        assert "#" not in body and "o" not in body
+
+
+class TestClusterAndScoreMaps:
+    def test_cluster_map_uses_alphabet(self, tiny_graph, rng):
+        assignment = rng.integers(0, 5, size=tiny_graph.num_nodes)
+        text = render_cluster_map(tiny_graph, assignment)
+        assert any(char in text for char in "01234")
+
+    def test_cluster_map_rejects_wrong_length(self, tiny_graph):
+        with pytest.raises(ValueError):
+            render_cluster_map(tiny_graph, np.zeros(3, dtype=int))
+
+    def test_score_map_extremes(self, tiny_graph, rng):
+        scores = rng.random(tiny_graph.num_nodes)
+        scores[0], scores[1] = 0.0, 1.0
+        text = render_score_map(tiny_graph, scores)
+        assert "@" in text and "lowest score" in text
+
+    def test_score_map_rejects_wrong_length(self, tiny_graph):
+        with pytest.raises(ValueError):
+            render_score_map(tiny_graph, np.zeros(2))
+
+
+class TestLegend:
+    def test_render_lists_all_entries(self):
+        legend = MapLegend({"#": "hit", "o": "false alarm"})
+        rendered = legend.render()
+        assert "hit" in rendered and "false alarm" in rendered
+        assert len(rendered.splitlines()) == 2

@@ -1,0 +1,99 @@
+"""Tests for the text charts and markdown report helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.eval.protocol import MethodSummary
+from repro.viz import (ablation_markdown, bar_chart, comparison_markdown, histogram,
+                       line_plot, markdown_table, series_markdown, sparkline,
+                       training_curve_report)
+
+
+class TestBarChart:
+    def test_longest_bar_for_largest_value(self):
+        chart = bar_chart(["a", "b", "c"], [0.2, 0.8, 0.4])
+        lines = chart.splitlines()
+        bars = {line.split("|")[0].strip(): line.count("█") for line in lines}
+        assert bars["b"] == max(bars.values())
+        assert bars["a"] < bars["c"] < bars["b"]
+
+    def test_handles_nan_values(self):
+        chart = bar_chart(["ok", "missing"], [0.5, float("nan")])
+        assert "n/a" in chart
+
+    def test_label_value_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+
+    def test_title_included(self):
+        assert bar_chart(["a"], [1.0], title="Figure 5(a)").startswith("Figure 5(a)")
+
+
+class TestSparkline:
+    def test_length_matches_input(self):
+        values = [1.0, 2.0, 3.0, 2.0, 1.0]
+        assert len(sparkline(values)) == len(values)
+
+    def test_monotone_series_uses_increasing_blocks(self):
+        line = sparkline([0.0, 1.0, 2.0, 3.0])
+        assert line[0] < line[-1]
+
+    def test_empty_series(self):
+        assert sparkline([]) == ""
+
+
+class TestLinePlot:
+    def test_contains_points_and_axis_labels(self):
+        xs = [1, 2, 3, 4, 5]
+        ys = [0.5, 0.6, 0.7, 0.65, 0.6]
+        plot = line_plot(xs, ys, x_label="K", y_label="AUC")
+        assert "o" in plot
+        assert "K" in plot and "AUC" in plot
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            line_plot([1, 2], [1.0])
+
+
+class TestHistogram:
+    def test_total_count_preserved(self, rng):
+        values = rng.normal(size=200)
+        text = histogram(values, bins=8)
+        counts = [int(line.rsplit(" ", 1)[-1]) for line in text.splitlines()]
+        assert sum(counts) == 200
+
+
+class TestMarkdown:
+    def test_markdown_table_shape(self):
+        table = markdown_table(["a", "b"], [[1, 2.5], ["x", float("nan")]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("| a | b |")
+        assert "n/a" in lines[3]
+
+    def test_comparison_markdown_lists_methods(self):
+        summary = MethodSummary(method="MLP",
+                                summary={"auc": {"mean": 0.8, "std": 0.01}})
+        text = comparison_markdown({"fuzhou": {"MLP": summary}}, ["MLP"],
+                                   metrics=("auc",), title="Table II")
+        assert "Table II" in text
+        assert "0.800 (0.010)" in text
+
+    def test_series_markdown(self):
+        text = series_markdown({10: 0.8, 20: 0.85}, "K", "AUC", title="Figure 6(a)")
+        assert "| K | AUC |" in text
+        assert "| 20 | 0.850 |" in text
+
+    def test_ablation_markdown_includes_all_variants(self):
+        results = {"fuzhou": {"CMSF": 0.9, "CMSF-M": 0.85},
+                   "beijing": {"CMSF": 0.8}}
+        text = ablation_markdown(results, metric="AUC")
+        assert "CMSF-M" in text and "beijing" in text
+
+    def test_training_curve_report_has_sparkline_per_stage(self):
+        report = training_curve_report({"master": [1.0, 0.5, 0.2], "slave": []})
+        assert "master" in report and "slave" in report
+        assert "(empty)" in report
+        assert "1.0000 → 0.2000" in report
