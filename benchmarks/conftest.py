@@ -13,9 +13,29 @@ suite finishes in tens of minutes on a laptop.
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import pytest
 
 from repro.experiments import run_scale
+
+
+BENCHMARKS_DIR = Path(__file__).parent.resolve()
+
+
+def pytest_collection_modifyitems(items):
+    """Every benchmark regenerates a full table/figure: all are ``slow``.
+
+    This hook sees the whole session's items, so it marks only the ones
+    collected from this directory.  The serving-throughput benchmark opts
+    out explicitly (it trains one reduced detector and times scoring,
+    seconds not minutes) via the ``not_slow`` marker.
+    """
+    for item in items:
+        if BENCHMARKS_DIR not in Path(str(item.fspath)).resolve().parents:
+            continue
+        if not item.get_closest_marker("not_slow"):
+            item.add_marker(pytest.mark.slow)
 
 
 def run_once(benchmark, runner, *args, **kwargs):

@@ -1,0 +1,116 @@
+"""Serving-layer throughput: cold scoring vs. the fingerprint cache.
+
+Unlike every other benchmark in this directory this one measures the
+system's speed rather than reproduction fidelity: it trains one reduced
+CMSF detector, packages it, and times the three serving paths —
+
+* **cold** — full forward pass through the loaded bundle (cache cleared
+  before every round);
+* **cached** — repeated scoring of the same graph, answered from the LRU
+  result cache keyed by the graph fingerprint;
+* **concurrent** — a multi-city batch through the engine's thread pool.
+
+The cached path must be faster than the cold path by a wide margin — that
+gap is the entire point of the serving subsystem.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import CMSFConfig, CMSFDetector
+from repro.serve import InferenceEngine, ModelRegistry
+from repro.synth import generate_city, tiny_city
+from repro.urg import UrgBuildConfig, build_urg
+from repro.urg.image_features import ImageFeatureConfig
+
+pytestmark = pytest.mark.not_slow
+
+SERVE_CONFIG = CMSFConfig(
+    hidden_dim=16, image_reduce_dim=16, classifier_hidden=8, maga_layers=1,
+    maga_heads=2, num_clusters=6, context_dim=8, master_epochs=12, slave_epochs=5,
+    patience=None, dropout=0.0, seed=0,
+)
+
+
+@pytest.fixture(scope="module")
+def serving_setup(tmp_path_factory):
+    """A published bundle plus the graph it was trained on."""
+    city = generate_city(tiny_city(seed=7))
+    graph = build_urg(city, UrgBuildConfig(image=ImageFeatureConfig(reduce_dim=32)))
+    detector = CMSFDetector(SERVE_CONFIG).fit(graph, graph.labeled_indices())
+    registry = ModelRegistry(tmp_path_factory.mktemp("serving-bench"))
+    registry.publish(detector, graph, "bench")
+    reference = detector.predict_proba(graph)
+    return registry, graph, reference
+
+
+def test_cold_scoring_throughput(benchmark, serving_setup):
+    registry, graph, reference = serving_setup
+    engine = InferenceEngine.from_bundle(registry.load("bench"))
+
+    def cold():
+        engine.clear_cache()
+        return engine.predict_proba(graph)
+
+    scores = benchmark.pedantic(cold, rounds=5, iterations=1, warmup_rounds=1)
+    np.testing.assert_array_equal(scores, reference)
+    assert engine.cache_stats.hits == 0
+
+
+def test_cached_scoring_throughput(benchmark, serving_setup):
+    registry, graph, reference = serving_setup
+    engine = InferenceEngine.from_bundle(registry.load("bench"))
+    engine.warm(graph)
+
+    scores = benchmark.pedantic(engine.predict_proba, args=(graph,),
+                                rounds=20, iterations=5, warmup_rounds=1)
+    np.testing.assert_array_equal(scores, reference)
+    assert engine.cache_stats.misses == 0
+    assert engine.cold_computes == 1  # only the explicit warm-up computed
+
+
+def test_concurrent_multi_city_throughput(benchmark, serving_setup):
+    registry, graph, reference = serving_setup
+    engine = InferenceEngine.from_bundle(registry.load("bench"), max_workers=4)
+    # four distinct "cities" (distinct fingerprints, identical features)
+    from dataclasses import replace
+    graphs = [replace(graph, name=f"city-{i}") for i in range(4)]
+    for g in graphs:
+        engine.warm(g)
+
+    results = benchmark.pedantic(engine.score_many, args=(graphs,),
+                                 rounds=5, iterations=1, warmup_rounds=1)
+    for result in results:
+        np.testing.assert_array_equal(result.probabilities, reference)
+
+
+def test_cached_is_faster_than_cold(serving_setup):
+    """The acceptance check: cached scoring beats cold scoring."""
+    registry, graph, reference = serving_setup
+    engine = InferenceEngine.from_bundle(registry.load("bench"))
+
+    cold_times = []
+    for _ in range(3):
+        engine.clear_cache()
+        start = time.perf_counter()
+        cold_scores = engine.predict_proba(graph)
+        cold_times.append(time.perf_counter() - start)
+
+    engine.warm(graph)
+    cached_times = []
+    for _ in range(10):
+        start = time.perf_counter()
+        cached_scores = engine.predict_proba(graph)
+        cached_times.append(time.perf_counter() - start)
+
+    np.testing.assert_array_equal(cold_scores, reference)
+    np.testing.assert_array_equal(cached_scores, reference)
+    # generous 2x margin: the observed gap is orders of magnitude, but CI
+    # machines are noisy and a flaky speed assertion helps nobody
+    assert min(cached_times) * 2 < min(cold_times), (
+        f"cached scoring ({min(cached_times)*1e3:.2f} ms) not faster than "
+        f"cold scoring ({min(cold_times)*1e3:.2f} ms)")

@@ -4,8 +4,24 @@ from setuptools import setup, find_packages
 setup(
     name="repro",
     version="1.0.0",
+    description=("Reproduction of 'A Contextual Master-Slave Framework on "
+                 "Urban Region Graph for Urban Village Detection' (ICDE 2023) "
+                 "with a training, evaluation and serving stack"),
     package_dir={"": "src"},
     packages=find_packages(where="src"),
     python_requires=">=3.10",
     install_requires=["numpy", "scipy", "networkx"],
+    extras_require={
+        # the test suite proper
+        "test": ["pytest"],
+        # the table/figure benchmark harness under benchmarks/
+        "benchmarks": ["pytest", "pytest-benchmark"],
+        # everything a contributor needs
+        "dev": ["pytest", "pytest-benchmark"],
+    },
+    entry_points={
+        "console_scripts": [
+            "repro-uv = repro.cli.main:main",
+        ],
+    },
 )

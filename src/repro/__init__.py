@@ -1,6 +1,9 @@
 """Reproduction of "A Contextual Master-Slave Framework on Urban Region Graph
 for Urban Village Detection" (ICDE 2023).
 
+See the top-level ``README.md`` for installation, the train → package →
+serve → score quickstart and the full package-layout map.
+
 Package layout
 --------------
 
@@ -18,6 +21,8 @@ Package layout
   screening budgets, error breakdowns
 * :mod:`repro.viz` — ASCII maps, text charts and markdown reports
 * :mod:`repro.data` — dataset persistence, export and registry
+* :mod:`repro.serve` — model bundles, model registry, batch inference
+  engine and the HTTP scoring service (train once, score many cities)
 * :mod:`repro.extensions` — cross-city transfer and master-slave regression
 * :mod:`repro.cli` — the ``repro-uv`` command-line tool
 

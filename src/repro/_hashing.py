@@ -1,0 +1,34 @@
+"""Shared content-hashing for arrays.
+
+One implementation of the digest framing (label, dtype, shape, raw bytes)
+used by both the graph fingerprint (:meth:`repro.urg.graph.UrbanRegionGraph.
+fingerprint`) and the parameter checksum (:func:`repro.nn.serialization.
+state_dict_checksum`), so the two cannot drift apart and silently
+invalidate persisted checksums or cache keys.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable, Tuple
+
+import numpy as np
+
+
+def sha256_of_arrays(items: Iterable[Tuple[str, np.ndarray]],
+                     seed: str = "") -> str:
+    """SHA-256 hex digest over labelled arrays.
+
+    Each item contributes its label, dtype, shape and raw bytes in order;
+    ``seed`` prefixes the digest (e.g. a graph name).  Callers are
+    responsible for a deterministic item order.
+    """
+    digest = hashlib.sha256()
+    digest.update(seed.encode("utf-8"))
+    for label, array in items:
+        contiguous = np.ascontiguousarray(array)
+        digest.update(label.encode("utf-8"))
+        digest.update(str(contiguous.dtype).encode("ascii"))
+        digest.update(np.asarray(contiguous.shape, dtype=np.int64).tobytes())
+        digest.update(contiguous.tobytes())
+    return digest.hexdigest()

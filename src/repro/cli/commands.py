@@ -14,6 +14,7 @@ from typing import Optional
 import numpy as np
 
 from ..baselines import available_methods, make_detector
+from ..core.cmsf import CMSFDetector
 from ..core.config import CMSFConfig
 from ..data import (DatasetRegistry, export_predictions_csv, load_city_dir,
                     load_graph_npz, regions_to_geojson, save_city_dir,
@@ -22,6 +23,8 @@ from ..eval import block_kfold, compare_methods, rank_regions
 from ..eval.reporting import TABLE2_HEADERS, format_table, table2_rows
 from ..experiments import (run_fig5a, run_fig5b, run_fig6a, run_fig6b, run_fig6c,
                            run_fig7, run_table1, run_table2, run_table3)
+from ..serve import (ModelRegistry, ScoringClient, ScoringServer, read_manifest,
+                     save_bundle)
 from ..synth import generate_city, get_preset
 from ..synth.city import SyntheticCity
 from ..urg import UrgBuildConfig, build_urg, build_urg_variant
@@ -165,6 +168,85 @@ def cmd_reproduce(args: argparse.Namespace) -> int:
         "fig7": lambda: run_fig7(cities) if cities else run_fig7(),
     }
     runners[args.experiment]()
+    return 0
+
+
+def cmd_package(args: argparse.Namespace) -> int:
+    # args.seed None keeps the preset's own city seed (unlike `train`, the
+    # packaged artifact should default to the canonical city)
+    graph = _load_or_build_graph(args)
+    detector = _detector_factory(args.method, args.epochs)(
+        args.seed if args.seed is not None else 0)
+    if not isinstance(detector, CMSFDetector):
+        raise ValueError(f"only CMSF variants can be packaged into model "
+                         f"bundles, not {args.method!r}")
+    print(f"training {detector.name} on '{graph.name}' "
+          f"({len(graph.labeled_indices())} labelled regions) ...")
+    detector.fit(graph, graph.labeled_indices())
+    name = args.name or graph.name.lower()
+    if args.model_registry:
+        registry = ModelRegistry(args.model_registry)
+        directory = registry.publish(detector, graph, name, version=args.version)
+        registry.save_manifest()
+    else:
+        directory = save_bundle(detector, args.output, graph, name=name,
+                                version=args.version or "1")
+    manifest = read_manifest(directory)
+    print(f"packaged {manifest.name}:{manifest.version} -> {directory}")
+    print(f"  {manifest.describe()}")
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    registry = ModelRegistry(args.registry)
+    if not registry.models():
+        raise ValueError(f"model registry at {args.registry} is empty; "
+                         "publish a bundle first with 'repro-uv package'")
+    try:
+        server = ScoringServer(
+            registry, host=args.host, port=args.port,
+            cache_size=args.cache_size,
+            batch_size=args.batch_size if args.batch_size > 0 else None,
+            max_workers=args.workers, quiet=not args.verbose)
+    except OSError as error:
+        raise ValueError(
+            f"cannot bind {args.host}:{args.port}: {error}") from error
+    print(f"serving {len(registry.models())} model(s) from {args.registry} "
+          f"at {server.url}")
+    print("endpoints: GET /healthz  GET /models  POST /score  (Ctrl-C to stop)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        server.stop()
+    return 0
+
+
+def cmd_score(args: argparse.Namespace) -> int:
+    graph = _load_or_build_graph(args)
+    client = ScoringClient(args.url)
+    response = client.score(graph, args.model, version=args.version,
+                            top_percent=args.top_percent,
+                            threshold=args.threshold)
+    scores = np.asarray(response["probabilities"], dtype=np.float64)
+    print(f"scored '{graph.name}' ({graph.num_nodes} regions) with "
+          f"{response.get('model', args.model)}:{response.get('version', '?')} "
+          f"in {response['elapsed_ms']:.1f} ms "
+          f"({'cache hit' if response['cache_hit'] else 'cold'})")
+    cache = response.get("cache", {})
+    if cache:
+        print("  engine cache: %(hits)d hits / %(misses)d misses "
+              "(hit rate %(hit_rate).2f)" % cache)
+    if args.top_percent is not None:
+        selected = response.get("selected") or []
+        print(f"  top {args.top_percent:g}% shortlist: {len(selected)} regions")
+    if args.threshold is not None:
+        predictions = response.get("predictions") or []
+        print(f"  regions over threshold {args.threshold:g}: {sum(predictions)}")
+    if args.predictions:
+        path = export_predictions_csv(graph, scores, args.predictions)
+        print(f"wrote ranked predictions to {path}")
     return 0
 
 

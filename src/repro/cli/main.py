@@ -6,6 +6,7 @@ import argparse
 import sys
 from typing import List, Optional, Sequence
 
+from ..serve.client import ScoringServiceError
 from . import commands
 
 
@@ -119,6 +120,75 @@ def build_parser() -> argparse.ArgumentParser:
                           help="comma-separated presets to materialise")
     registry.set_defaults(handler=commands.cmd_registry)
 
+    # ------------------------------------------------------------------
+    # package
+    # ------------------------------------------------------------------
+    package = subparsers.add_parser(
+        "package", help="train a CMSF detector and package it as a model bundle")
+    package_source = package.add_mutually_exclusive_group(required=True)
+    package_source.add_argument("--preset", help="city preset to train on")
+    package_source.add_argument("--graph", help="previously built graph (.npz)")
+    package.add_argument("--method", default="CMSF",
+                         help="CMSF variant (CMSF, CMSF-M, CMSF-G, CMSF-H)")
+    package.add_argument("--seed", type=int, default=None,
+                         help="override the preset's city seed and the "
+                              "training seed (default: keep the preset city, "
+                              "train with seed 0)")
+    package.add_argument("--epochs", type=int, default=None,
+                         help="override training epochs")
+    package_dest = package.add_mutually_exclusive_group(required=True)
+    package_dest.add_argument("--output", help="write the bundle to this directory")
+    package_dest.add_argument("--registry", dest="model_registry",
+                              help="publish into this model-registry root")
+    package.add_argument("--name", default=None,
+                         help="bundle name (defaults to the city name)")
+    package.add_argument("--version", default=None,
+                         help="bundle version (auto-incremented in a registry)")
+    package.set_defaults(handler=commands.cmd_package)
+
+    # ------------------------------------------------------------------
+    # serve
+    # ------------------------------------------------------------------
+    serve = subparsers.add_parser(
+        "serve", help="run the HTTP scoring service over a model registry")
+    serve.add_argument("--registry", required=True,
+                       help="model-registry root with published bundles")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8000,
+                       help="port to bind (0 picks an ephemeral port)")
+    serve.add_argument("--cache-size", type=int, default=32,
+                       help="LRU capacity of each engine's result cache")
+    serve.add_argument("--batch-size", type=int, default=2048,
+                       help="region micro-batch of the cold scoring path "
+                            "(0 disables chunking)")
+    serve.add_argument("--workers", type=int, default=4,
+                       help="thread-pool width for concurrent scoring")
+    serve.add_argument("--verbose", action="store_true",
+                       help="log every HTTP request")
+    serve.set_defaults(handler=commands.cmd_serve)
+
+    # ------------------------------------------------------------------
+    # score
+    # ------------------------------------------------------------------
+    score = subparsers.add_parser(
+        "score", help="score a graph against a running scoring service")
+    score.add_argument("--url", required=True,
+                       help="base URL of the service (e.g. http://127.0.0.1:8000)")
+    score_source = score.add_mutually_exclusive_group(required=True)
+    score_source.add_argument("--preset", help="build the graph from this preset")
+    score_source.add_argument("--graph", help="previously built graph (.npz)")
+    score.add_argument("--seed", type=int, default=None,
+                       help="override the preset seed")
+    score.add_argument("--model", required=True, help="published model name")
+    score.add_argument("--version", default=None, help="model version (latest)")
+    score.add_argument("--top-percent", type=float, default=None,
+                       help="also report the top-k%% screening shortlist")
+    score.add_argument("--threshold", type=float, default=None,
+                       help="also report binary predictions at this threshold")
+    score.add_argument("--predictions", default=None,
+                       help="write the ranked scores to this CSV path")
+    score.set_defaults(handler=commands.cmd_score)
+
     return parser
 
 
@@ -131,6 +201,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except (ValueError, KeyError, FileNotFoundError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    except ScoringServiceError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 3
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via the console script

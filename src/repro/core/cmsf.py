@@ -92,6 +92,16 @@ class CMSFDetector(DetectorBase):
     # ------------------------------------------------------------------
     # introspection / persistence
     # ------------------------------------------------------------------
+    @property
+    def has_slave(self) -> bool:
+        """Whether prediction uses the region-specific slave models."""
+        return self.slave_result is not None
+
+    def _persisted_module(self):
+        """The module whose parameters :meth:`save` persists."""
+        return (self.slave_result.stage if self.slave_result is not None
+                else self.master_result.model)
+
     def num_parameters(self) -> int:
         if self.slave_result is not None:
             return self.slave_result.stage.num_parameters()
@@ -102,17 +112,67 @@ class CMSFDetector(DetectorBase):
     def save(self, path: str) -> str:
         """Persist the trained parameters (master or full slave stage)."""
         self.check_fitted()
-        module = (self.slave_result.stage if self.slave_result is not None
-                  else self.master_result.model)
-        return save_state_dict(module, path)
+        return save_state_dict(self._persisted_module(), path)
 
-    def load_parameters(self, path: str) -> "CMSFDetector":
-        """Load parameters saved by :meth:`save` into the fitted modules."""
+    def load_parameters(self, path: str, strict: bool = True) -> "CMSFDetector":
+        """Load parameters saved by :meth:`save` into the fitted modules.
+
+        The state dict must have been produced by a detector with the same
+        configuration: with ``strict`` (the default) missing or unexpected
+        keys raise ``KeyError``, and shape mismatches always raise
+        ``ValueError`` — loading a master-only checkpoint into a gated
+        detector (or vice versa) is reported instead of silently ignored.
+        """
         self.check_fitted()
-        module = (self.slave_result.stage if self.slave_result is not None
-                  else self.master_result.model)
-        module.load_state_dict(load_state_dict(path))
+        module = self._persisted_module()
+        state = load_state_dict(path)
+        try:
+            module.load_state_dict(state, strict=strict)
+        except KeyError as error:
+            raise KeyError(
+                f"{path!r} does not match this detector's architecture "
+                f"(gate {'enabled' if self.has_slave else 'disabled'}): {error}"
+            ) from error
         return self
+
+    @classmethod
+    def from_parameters(cls, config: CMSFConfig, poi_dim: int, img_dim: int,
+                        state: Dict[str, np.ndarray],
+                        hard_assignment: Optional[np.ndarray] = None,
+                        pseudo_labels: Optional[np.ndarray] = None) -> "CMSFDetector":
+        """Rebuild a fitted detector from persisted parameters — no training.
+
+        This is the deserialisation counterpart of :meth:`save`: the modules
+        are constructed exactly as :meth:`fit` would build them for a graph
+        with the given feature dimensions, then the trained parameters are
+        loaded strictly.  ``hard_assignment`` / ``pseudo_labels`` restore the
+        fixed hierarchical structure recorded by the master stage; they are
+        optional because prediction recomputes the cluster assignment from
+        the parameters (only the introspection accessors need them).
+
+        Model bundles (:mod:`repro.serve.bundle`) use this to turn a
+        packaged artifact back into a scoring detector.
+        """
+        detector = cls(config)
+        rng = np.random.default_rng(config.seed)
+        model = MasterModel(poi_dim=poi_dim, img_dim=img_dim, config=config, rng=rng)
+        use_slave = config.use_gate and config.use_gscm
+        if hard_assignment is None:
+            hard_assignment = np.zeros(0, dtype=np.int64)
+        if pseudo_labels is None:
+            pseudo_labels = np.zeros(0, dtype=np.int64)
+        detector.master_result = MasterTrainingResult(
+            model=model,
+            hard_assignment=np.asarray(hard_assignment, dtype=np.int64),
+            pseudo_labels=np.asarray(pseudo_labels, dtype=np.int64))
+        if use_slave:
+            stage = SlaveStage(model, config, rng)
+            stage.load_state_dict(state)
+            detector.slave_result = SlaveTrainingResult(stage=stage)
+        else:
+            model.load_state_dict(state)
+        detector._mark_fitted()
+        return detector
 
 
 def make_variant(variant: str, config: Optional[CMSFConfig] = None) -> CMSFDetector:

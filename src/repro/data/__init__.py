@@ -17,14 +17,18 @@ the reproduction the same "data lives on disk" workflow:
 from .city_io import load_city_dir, save_city_dir
 from .export import (export_pois_csv, export_predictions_csv, regions_to_geojson,
                      save_geojson)
-from .graph_io import load_graph_npz, save_graph_npz
-from .registry import DatasetRegistry
+from .graph_io import (graph_from_bytes, graph_to_bytes, load_graph_npz,
+                       save_graph_npz)
+from .registry import DatasetRegistry, tree_size_bytes
 
 __all__ = [
     "save_city_dir",
     "load_city_dir",
     "save_graph_npz",
     "load_graph_npz",
+    "graph_to_bytes",
+    "graph_from_bytes",
+    "tree_size_bytes",
     "regions_to_geojson",
     "save_geojson",
     "export_pois_csv",

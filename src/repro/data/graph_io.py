@@ -7,6 +7,7 @@ harness, the CLI and downstream applications reload it instantly.
 
 from __future__ import annotations
 
+import io
 import json
 from pathlib import Path
 from typing import Union
@@ -22,12 +23,8 @@ PathLike = Union[str, Path]
 FORMAT_VERSION = 1
 
 
-def save_graph_npz(graph: UrbanRegionGraph, path: PathLike) -> Path:
-    """Write ``graph`` to ``path`` (``.npz`` appended if missing)."""
-    path = Path(path)
-    if path.suffix != ".npz":
-        path = path.with_suffix(".npz")
-    path.parent.mkdir(parents=True, exist_ok=True)
+def _write_graph_npz(graph: UrbanRegionGraph, target) -> None:
+    """Write the archive to ``target`` (a path or a binary file object)."""
     meta = {
         "format_version": FORMAT_VERSION,
         "name": graph.name,
@@ -36,7 +33,7 @@ def save_graph_npz(graph: UrbanRegionGraph, path: PathLike) -> Path:
         "poi_feature_names": graph.poi_feature_names or [],
     }
     np.savez_compressed(
-        path,
+        target,
         edge_index=graph.edge_index,
         x_poi=graph.x_poi,
         x_img=graph.x_img,
@@ -47,15 +44,11 @@ def save_graph_npz(graph: UrbanRegionGraph, path: PathLike) -> Path:
         block_ids=graph.block_ids,
         meta=np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8),
     )
-    return path
 
 
-def load_graph_npz(path: PathLike) -> UrbanRegionGraph:
-    """Load a graph previously written by :func:`save_graph_npz`."""
-    path = Path(path)
-    if not path.exists():
-        raise FileNotFoundError(f"graph archive {path} does not exist")
-    archive = np.load(path)
+def _read_graph_npz(source) -> UrbanRegionGraph:
+    """Rebuild a graph from ``source`` (a path or a binary file object)."""
+    archive = np.load(source)
     meta = json.loads(bytes(archive["meta"]).decode("utf-8"))
     if meta.get("format_version") != FORMAT_VERSION:
         raise ValueError(
@@ -75,3 +68,38 @@ def load_graph_npz(path: PathLike) -> UrbanRegionGraph:
         stats=meta["stats"],
         poi_feature_names=meta["poi_feature_names"] or None,
     )
+
+
+def save_graph_npz(graph: UrbanRegionGraph, path: PathLike) -> Path:
+    """Write ``graph`` to ``path`` (``.npz`` appended if missing)."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    _write_graph_npz(graph, path)
+    return path
+
+
+def load_graph_npz(path: PathLike) -> UrbanRegionGraph:
+    """Load a graph previously written by :func:`save_graph_npz`."""
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"graph archive {path} does not exist")
+    return _read_graph_npz(path)
+
+
+def graph_to_bytes(graph: UrbanRegionGraph) -> bytes:
+    """Serialise ``graph`` to the ``.npz`` archive format in memory.
+
+    Same byte layout as :func:`save_graph_npz`; used by the serving wire
+    protocol (:mod:`repro.serve.wire`) to ship graphs over HTTP without
+    touching the filesystem.
+    """
+    buffer = io.BytesIO()
+    _write_graph_npz(graph, buffer)
+    return buffer.getvalue()
+
+
+def graph_from_bytes(data: bytes) -> UrbanRegionGraph:
+    """Rebuild a graph from bytes produced by :func:`graph_to_bytes`."""
+    return _read_graph_npz(io.BytesIO(data))

@@ -24,6 +24,20 @@ from .graph_io import load_graph_npz, save_graph_npz
 PathLike = Union[str, Path]
 
 
+def tree_size_bytes(path: PathLike) -> int:
+    """Total size of every regular file under ``path`` (0 if missing).
+
+    Shared by the dataset registry and the model registry
+    (:mod:`repro.serve.registry`) for their on-disk footprint reports.
+    """
+    root = Path(path)
+    if not root.exists():
+        return 0
+    if root.is_file():
+        return int(root.stat().st_size)
+    return int(sum(p.stat().st_size for p in root.rglob("*") if p.is_file()))
+
+
 class DatasetRegistry:
     """Materialise and cache city presets under a root directory."""
 
@@ -95,7 +109,7 @@ class DatasetRegistry:
         for entry in sorted(self.root.iterdir()):
             if not entry.is_dir():
                 continue
-            size = sum(path.stat().st_size for path in entry.rglob("*") if path.is_file())
+            size = tree_size_bytes(entry)
             found.append({
                 "name": entry.name,
                 "has_city": (entry / "city").is_dir(),

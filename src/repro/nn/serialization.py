@@ -13,6 +13,7 @@ from typing import Dict
 
 import numpy as np
 
+from .._hashing import sha256_of_arrays
 from .module import Module
 
 
@@ -23,6 +24,9 @@ def save_state_dict(module: Module, path: str) -> str:
     directory = os.path.dirname(os.path.abspath(path))
     os.makedirs(directory, exist_ok=True)
     state = module.state_dict()
+    if not state:
+        raise ValueError("refusing to save an empty state dict "
+                         f"({type(module).__name__} has no parameters)")
     # npz keys cannot contain '/' reliably across loaders; '.' is fine.
     np.savez(path, **state)
     return path
@@ -32,8 +36,22 @@ def load_state_dict(path: str) -> Dict[str, np.ndarray]:
     """Read a parameter dictionary previously written by :func:`save_state_dict`."""
     if not path.endswith(".npz"):
         path = path + ".npz"
+    if not os.path.exists(path):
+        raise FileNotFoundError(f"parameter archive {path} does not exist")
     with np.load(path) as archive:
         return {key: archive[key].copy() for key in archive.files}
+
+
+def state_dict_checksum(state: Dict[str, np.ndarray]) -> str:
+    """Deterministic SHA-256 digest of a parameter dictionary.
+
+    Keys are visited in sorted order and each array contributes its name,
+    dtype, shape and raw bytes, so the digest is independent of insertion
+    order and of the on-disk container.  Model bundles
+    (:mod:`repro.serve.bundle`) store this next to the parameters and verify
+    it on load to catch truncated or hand-edited archives.
+    """
+    return sha256_of_arrays((name, state[name]) for name in sorted(state))
 
 
 def load_into(module: Module, path: str, strict: bool = True) -> Module:

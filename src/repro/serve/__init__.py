@@ -1,0 +1,43 @@
+"""Model packaging and online scoring for trained CMSF detectors.
+
+Everything before this subpackage reproduces the paper; :mod:`repro.serve`
+turns the reproduction into a deployable system — train once, package the
+fitted detector, then score many cities fast:
+
+* :mod:`repro.serve.bundle` — versioned on-disk model bundles (parameters,
+  config, graph-preprocessing metadata, integrity checksum) with a
+  save/load round-trip back to a scoring :class:`~repro.core.CMSFDetector`;
+* :mod:`repro.serve.registry` — a :class:`ModelRegistry` that publishes,
+  discovers and resolves bundles by name and version (the model-side
+  mirror of :class:`~repro.data.DatasetRegistry`);
+* :mod:`repro.serve.engine` — an :class:`InferenceEngine` that loads a
+  bundle once and serves predictions with an LRU result cache keyed by
+  :meth:`~repro.urg.graph.UrbanRegionGraph.fingerprint`, micro-batched
+  region scoring and a thread pool for concurrent multi-city requests;
+* :mod:`repro.serve.wire` — the JSON wire format shipping graphs and
+  scores over HTTP;
+* :mod:`repro.serve.server` / :mod:`repro.serve.client` — a stdlib-only
+  HTTP scoring service (``/healthz``, ``/models``, ``/score``) and its
+  matching client.
+"""
+
+from .bundle import (BundleManifest, ModelBundle, load_bundle, read_manifest,
+                     save_bundle)
+from .client import ScoringClient
+from .engine import CacheStats, InferenceEngine, ScoreResult
+from .registry import ModelRegistry
+from .server import ScoringServer
+
+__all__ = [
+    "BundleManifest",
+    "ModelBundle",
+    "save_bundle",
+    "load_bundle",
+    "read_manifest",
+    "ModelRegistry",
+    "InferenceEngine",
+    "CacheStats",
+    "ScoreResult",
+    "ScoringServer",
+    "ScoringClient",
+]

@@ -1,0 +1,215 @@
+"""Versioned on-disk model bundles for fitted CMSF detectors.
+
+A bundle is a directory holding everything needed to score new graphs
+without re-running ``fit``:
+
+* ``bundle.json`` — the manifest: bundle name/version, library version,
+  the full :class:`~repro.core.CMSFConfig`, the feature dimensions the
+  modules were built for, graph-preprocessing metadata of the training
+  graph and a SHA-256 checksum of the parameters;
+* ``params.npz`` — the state dict persisted by
+  :meth:`~repro.core.CMSFDetector.save` (slave stage when the gate is
+  enabled, otherwise the master model);
+* ``structure.npz`` — the fixed hierarchical structure recorded after the
+  master stage (hard cluster assignment and per-cluster pseudo labels).
+
+:func:`load_bundle` verifies the checksum and rebuilds the detector via
+:meth:`~repro.core.CMSFDetector.from_parameters`, so a loaded bundle
+reproduces ``predict_proba`` bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from .. import __version__ as LIBRARY_VERSION
+from ..core.cmsf import CMSFDetector
+from ..core.config import CMSFConfig
+from ..nn.serialization import load_state_dict, state_dict_checksum
+from ..urg.graph import UrbanRegionGraph
+
+PathLike = Union[str, Path]
+
+#: Bumped whenever the on-disk layout changes incompatibly.
+BUNDLE_FORMAT_VERSION = 1
+
+MANIFEST_FILENAME = "bundle.json"
+PARAMS_FILENAME = "params.npz"
+STRUCTURE_FILENAME = "structure.npz"
+
+
+@dataclass
+class BundleManifest:
+    """Everything ``bundle.json`` records about a packaged detector."""
+
+    name: str
+    version: str
+    format_version: int
+    library_version: str
+    created_at: str
+    config: Dict[str, object]
+    poi_dim: int
+    image_dim: int
+    has_slave: bool
+    num_parameters: int
+    checksum: str
+    #: metadata of the graph the detector was trained on — city name, node
+    #: and edge counts, content fingerprint and the preprocessing stats the
+    #: URG builder recorded (feature dimensions, relation edge counts, ...)
+    graph: Dict[str, object] = field(default_factory=dict)
+    extra: Dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "BundleManifest":
+        known = {f for f in cls.__dataclass_fields__}
+        return cls(**{key: value for key, value in payload.items() if key in known})
+
+    def cmsf_config(self) -> CMSFConfig:
+        """Reconstruct the :class:`CMSFConfig` the detector was trained with."""
+        return CMSFConfig(**self.config)
+
+    def describe(self) -> str:
+        graph_name = self.graph.get("name", "?")
+        return ("%s:%s  params=%d  gate=%s  trained-on=%s  created=%s"
+                % (self.name, self.version, self.num_parameters,
+                   "yes" if self.has_slave else "no", graph_name, self.created_at))
+
+
+@dataclass
+class ModelBundle:
+    """A loaded bundle: the manifest plus the reconstructed detector."""
+
+    manifest: BundleManifest
+    detector: CMSFDetector
+    path: Optional[Path] = None
+
+    @property
+    def name(self) -> str:
+        return self.manifest.name
+
+    @property
+    def version(self) -> str:
+        return self.manifest.version
+
+
+def _graph_metadata(graph: UrbanRegionGraph) -> Dict[str, object]:
+    """Preprocessing metadata recorded next to the parameters."""
+    return {
+        "name": graph.name,
+        "num_nodes": int(graph.num_nodes),
+        "num_edges": int(graph.num_edges),
+        "poi_dim": int(graph.poi_dim),
+        "image_dim": int(graph.image_dim),
+        "grid_shape": list(graph.grid_shape),
+        "fingerprint": graph.fingerprint(),
+        "stats": {key: value for key, value in graph.stats.items()},
+    }
+
+
+def save_bundle(detector: CMSFDetector, directory: PathLike,
+                graph: UrbanRegionGraph, name: Optional[str] = None,
+                version: str = "1",
+                extra: Optional[Dict[str, object]] = None) -> Path:
+    """Package a fitted ``detector`` into ``directory``.
+
+    ``graph`` must be the training graph (or one with identical
+    preprocessing): its feature dimensions pin the module shapes used when
+    the bundle is loaded back, and its metadata is recorded so a serving
+    deployment can verify incoming graphs were built the same way.
+    """
+    detector.check_fitted()
+    if graph is None:
+        raise ValueError("save_bundle requires the training graph for its "
+                         "feature dimensions and preprocessing metadata")
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+
+    params_path = detector.save(str(directory / PARAMS_FILENAME))
+    state = load_state_dict(params_path)
+
+    master = detector.master_result
+    np.savez(directory / STRUCTURE_FILENAME,
+             hard_assignment=master.hard_assignment.astype(np.int64),
+             pseudo_labels=master.pseudo_labels.astype(np.int64))
+
+    manifest = BundleManifest(
+        name=name or detector.name.lower(),
+        version=str(version),
+        format_version=BUNDLE_FORMAT_VERSION,
+        library_version=LIBRARY_VERSION,
+        created_at=datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        config=asdict(detector.config),
+        poi_dim=int(graph.poi_dim),
+        image_dim=int(graph.image_dim),
+        has_slave=detector.has_slave,
+        num_parameters=detector.num_parameters(),
+        checksum=state_dict_checksum(state),
+        graph=_graph_metadata(graph),
+        extra=dict(extra or {}),
+    )
+    with open(directory / MANIFEST_FILENAME, "w") as handle:
+        json.dump(manifest.to_dict(), handle, indent=2, sort_keys=True)
+    return directory
+
+
+def read_manifest(directory: PathLike) -> BundleManifest:
+    """Read and validate only the manifest of a bundle directory."""
+    directory = Path(directory)
+    manifest_path = directory / MANIFEST_FILENAME
+    if not manifest_path.exists():
+        raise FileNotFoundError(f"{directory} is not a model bundle "
+                                f"(missing {MANIFEST_FILENAME})")
+    with open(manifest_path) as handle:
+        payload = json.load(handle)
+    if payload.get("format_version") != BUNDLE_FORMAT_VERSION:
+        raise ValueError("unsupported bundle format version %r (expected %d)"
+                         % (payload.get("format_version"), BUNDLE_FORMAT_VERSION))
+    return BundleManifest.from_dict(payload)
+
+
+def is_bundle_dir(directory: PathLike) -> bool:
+    """Whether ``directory`` looks like a model bundle."""
+    directory = Path(directory)
+    return (directory / MANIFEST_FILENAME).exists()
+
+
+def load_bundle(directory: PathLike) -> ModelBundle:
+    """Load a bundle and rebuild its scoring detector.
+
+    Raises ``ValueError`` when the stored parameters fail the manifest's
+    integrity checksum, and propagates the strict shape/key validation of
+    :meth:`CMSFDetector.from_parameters` when the archive does not match
+    the recorded configuration.
+    """
+    directory = Path(directory)
+    manifest = read_manifest(directory)
+
+    state = load_state_dict(str(directory / PARAMS_FILENAME))
+    checksum = state_dict_checksum(state)
+    if checksum != manifest.checksum:
+        raise ValueError(
+            f"bundle {directory} failed its integrity check: parameter "
+            f"checksum {checksum[:12]}... does not match the manifest "
+            f"({manifest.checksum[:12]}...)")
+
+    structure_path = directory / STRUCTURE_FILENAME
+    hard_assignment = pseudo_labels = None
+    if structure_path.exists():
+        with np.load(structure_path) as archive:
+            hard_assignment = archive["hard_assignment"].copy()
+            pseudo_labels = archive["pseudo_labels"].copy()
+
+    detector = CMSFDetector.from_parameters(
+        manifest.cmsf_config(), manifest.poi_dim, manifest.image_dim, state,
+        hard_assignment=hard_assignment, pseudo_labels=pseudo_labels)
+    detector.name = manifest.name.upper()
+    return ModelBundle(manifest=manifest, detector=detector, path=directory)

@@ -1,0 +1,122 @@
+"""HTTP client for the scoring service (stdlib ``urllib`` only).
+
+:class:`ScoringClient` mirrors the three server endpoints, handles the
+graph wire encoding and converts JSON error responses back into Python
+exceptions, so calling code reads like a local engine call::
+
+    client = ScoringClient(server.url)
+    result = client.score(graph, model="shenzhen")
+    result["probabilities"]          # same values as detector.predict_proba
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from ..urg.graph import UrbanRegionGraph
+from .wire import graph_to_payload
+
+
+class ScoringServiceError(RuntimeError):
+    """Raised when the service answers with an error status."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"scoring service returned {status}: {message}")
+        self.status = status
+
+
+class ScoringClient:
+    """Talk to a :class:`~repro.serve.server.ScoringServer`."""
+
+    def __init__(self, base_url: str, timeout: float = 60.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # transport
+    # ------------------------------------------------------------------
+    def _request(self, path: str, body: Optional[Dict[str, object]] = None) -> Dict[str, object]:
+        url = self.base_url + path
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(url, data=data, headers=headers)
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                payload = json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as error:
+            try:
+                detail = json.loads(error.read().decode("utf-8")).get("error", "")
+            except Exception:
+                detail = error.reason
+            raise ScoringServiceError(error.code, str(detail)) from error
+        except urllib.error.URLError as error:
+            raise ScoringServiceError(0, f"cannot reach {url}: {error.reason}") from error
+        return payload
+
+    # ------------------------------------------------------------------
+    # endpoints
+    # ------------------------------------------------------------------
+    def healthz(self) -> Dict[str, object]:
+        """The server's liveness report."""
+        return self._request("/healthz")
+
+    def models(self) -> Dict[str, object]:
+        """Every published model with manifest summary and cache stats."""
+        return self._request("/models")
+
+    def score(self, graph: UrbanRegionGraph, model: str,
+              version: Optional[str] = None,
+              regions: Optional[Sequence[int]] = None,
+              top_percent: Optional[float] = None,
+              threshold: Optional[float] = None,
+              encoding: str = "npz") -> Dict[str, object]:
+        """Score ``graph`` with ``model`` and return the response payload.
+
+        The returned dict carries ``probabilities`` (also exposed as a
+        numpy array via :meth:`score_array`), the graph ``fingerprint``,
+        ``cache_hit`` and the engine's running cache statistics.
+        """
+        body: Dict[str, object] = {
+            "model": model,
+            "graph": graph_to_payload(graph, encoding=encoding),
+        }
+        if version is not None:
+            body["version"] = str(version)
+        if regions is not None:
+            body["regions"] = [int(i) for i in regions]
+        if top_percent is not None:
+            body["top_percent"] = float(top_percent)
+        if threshold is not None:
+            body["threshold"] = float(threshold)
+        return self._request("/score", body)
+
+    def score_array(self, graph: UrbanRegionGraph, model: str,
+                    **kwargs) -> np.ndarray:
+        """Like :meth:`score` but return just the probabilities as an array."""
+        payload = self.score(graph, model, **kwargs)
+        return np.asarray(payload["probabilities"], dtype=np.float64)
+
+    # ------------------------------------------------------------------
+    # convenience
+    # ------------------------------------------------------------------
+    def wait_until_ready(self, timeout: float = 10.0, interval: float = 0.05) -> Dict[str, object]:
+        """Poll ``/healthz`` until the server answers (or raise on timeout)."""
+        deadline = time.monotonic() + timeout
+        last_error: Optional[Exception] = None
+        while time.monotonic() < deadline:
+            try:
+                return self.healthz()
+            except ScoringServiceError as error:
+                last_error = error
+                time.sleep(interval)
+        raise TimeoutError(f"scoring service at {self.base_url} not ready "
+                           f"after {timeout:.1f}s: {last_error}")

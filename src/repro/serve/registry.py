@@ -1,0 +1,175 @@
+"""On-disk model registry: publish, discover and resolve model bundles.
+
+The registry mirrors :class:`~repro.data.DatasetRegistry` on the model
+side.  Bundles live under ``root/<name>/<version>/`` so a deployment can
+keep every trained detector for a city next to its newer retrains and roll
+back by version.  Versions are free-form strings; ``latest`` resolution
+prefers numeric ordering (``2 < 10``) and falls back to lexicographic
+order for non-numeric tags.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..core.cmsf import CMSFDetector
+from ..data.registry import tree_size_bytes
+from ..urg.graph import UrbanRegionGraph
+from .bundle import (BundleManifest, ModelBundle, is_bundle_dir, load_bundle,
+                     read_manifest, save_bundle)
+
+PathLike = Union[str, Path]
+
+_SAFE_COMPONENT = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+
+
+def _check_component(kind: str, value: str) -> str:
+    if not _SAFE_COMPONENT.match(value):
+        raise ValueError(f"invalid {kind} {value!r}: use letters, digits, "
+                         "'.', '_' or '-' (must not start with a separator)")
+    return value
+
+
+def _version_sort_key(version: str) -> Tuple[int, object]:
+    """Numeric versions order numerically and after non-numeric tags."""
+    try:
+        return (1, int(version))
+    except ValueError:
+        return (0, version)
+
+
+class ModelRegistry:
+    """Materialise and resolve model bundles under a root directory."""
+
+    def __init__(self, root: PathLike) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # paths
+    # ------------------------------------------------------------------
+    def bundle_dir(self, name: str, version: str) -> Path:
+        return (self.root / _check_component("model name", name.lower())
+                / _check_component("version", str(version)))
+
+    # ------------------------------------------------------------------
+    # publishing
+    # ------------------------------------------------------------------
+    def publish(self, detector: CMSFDetector, graph: UrbanRegionGraph,
+                name: str, version: Optional[str] = None,
+                extra: Optional[Dict[str, object]] = None) -> Path:
+        """Package ``detector`` into the registry and return the bundle dir.
+
+        Without an explicit ``version`` the next free integer version is
+        assigned (``1`` for a new model name).
+        """
+        name = name.lower()
+        if version is None:
+            version = str(self._next_version(name))
+        directory = self.bundle_dir(name, version)
+        if directory.exists() and is_bundle_dir(directory):
+            raise ValueError(f"bundle {name}:{version} already exists at "
+                             f"{directory}; pick a new version")
+        return save_bundle(detector, directory, graph, name=name,
+                           version=str(version), extra=extra)
+
+    def _next_version(self, name: str) -> int:
+        numeric = [int(v) for v in self.versions(name) if v.isdigit()]
+        return max(numeric, default=0) + 1
+
+    # ------------------------------------------------------------------
+    # discovery
+    # ------------------------------------------------------------------
+    def models(self) -> List[str]:
+        """Sorted model names with at least one bundle."""
+        if not self.root.is_dir():
+            return []
+        return sorted(entry.name for entry in self.root.iterdir()
+                      if entry.is_dir() and _SAFE_COMPONENT.match(entry.name)
+                      and self.versions(entry.name))
+
+    def versions(self, name: str) -> List[str]:
+        """Versions of ``name`` sorted oldest to newest.
+
+        Validates ``name`` before touching the filesystem — lookups come
+        straight from scoring requests, and an unchecked join would let a
+        crafted name probe directories outside the registry root.
+        """
+        _check_component("model name", name.lower())
+        model_dir = self.root / name.lower()
+        if not model_dir.is_dir():
+            return []
+        found = [entry.name for entry in model_dir.iterdir()
+                 if entry.is_dir() and is_bundle_dir(entry)]
+        return sorted(found, key=_version_sort_key)
+
+    def resolve(self, name: str, version: Optional[str] = None) -> Path:
+        """Directory of ``name:version`` (latest version when omitted).
+
+        Raises ``ValueError`` for malformed names/versions and ``KeyError``
+        for well-formed ones that are not in the registry.
+        """
+        if version is not None:
+            _check_component("version", str(version))
+        versions = self.versions(name)
+        if not versions:
+            raise KeyError(f"model {name!r} is not in the registry at "
+                           f"{self.root} (known: {self.models()})")
+        if version is None:
+            version = versions[-1]
+        elif str(version) not in versions:
+            raise KeyError(f"model {name!r} has no version {version!r} "
+                           f"(known: {versions})")
+        return self.bundle_dir(name, str(version))
+
+    def manifest(self, name: str, version: Optional[str] = None) -> BundleManifest:
+        return read_manifest(self.resolve(name, version))
+
+    def load(self, name: str, version: Optional[str] = None) -> ModelBundle:
+        """Load ``name:version`` and rebuild its detector."""
+        return load_bundle(self.resolve(name, version))
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    def entries(self) -> List[Dict[str, object]]:
+        """Flat listing of every bundle with its on-disk footprint."""
+        found = []
+        for name in self.models():
+            for version in self.versions(name):
+                directory = self.bundle_dir(name, version)
+                manifest = read_manifest(directory)
+                found.append({
+                    "name": name,
+                    "version": version,
+                    "has_slave": manifest.has_slave,
+                    "num_parameters": manifest.num_parameters,
+                    "trained_on": manifest.graph.get("name"),
+                    "created_at": manifest.created_at,
+                    "size_bytes": tree_size_bytes(directory),
+                })
+        return found
+
+    def describe(self) -> str:
+        """Human-readable summary of the registry contents."""
+        entries = self.entries()
+        if not entries:
+            return f"model registry at {self.root}: empty"
+        lines = [f"model registry at {self.root}:"]
+        for entry in entries:
+            lines.append(
+                "  %-16s v%-6s params=%-8d gate=%-5s trained-on=%-10s %.2f MB"
+                % (entry["name"], entry["version"], entry["num_parameters"],
+                   str(bool(entry["has_slave"])), entry["trained_on"],
+                   entry["size_bytes"] / 1e6))
+        return "\n".join(lines)
+
+    def save_manifest(self) -> Path:
+        """Write a JSON manifest of the registry contents."""
+        path = self.root / "manifest.json"
+        with open(path, "w") as handle:
+            json.dump(self.entries(), handle, indent=2)
+        return path

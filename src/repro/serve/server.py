@@ -1,0 +1,292 @@
+"""A stdlib-only HTTP scoring service for packaged CMSF detectors.
+
+The server exposes three JSON endpoints:
+
+``GET /healthz``
+    Liveness probe — uptime, number of loaded models, request counter.
+``GET /models``
+    Every model the backing registry knows, with the manifest summary and
+    the live cache statistics of any engine already loaded.
+``POST /score``
+    Score a graph with a named model.  The request body is a JSON object::
+
+        {"model": "shenzhen",          # required
+         "version": "2",               # optional (latest when omitted)
+         "graph": {...},               # wire payload (repro.serve.wire)
+         "regions": [0, 4, 17],        # optional subset to return
+         "top_percent": 5.0,           # optional screening budget
+         "threshold": 0.5}             # optional binary predictions
+
+Engines are created lazily per model/version on first use and kept for the
+lifetime of the server, so the bundle-load cost is paid once and the
+fingerprint cache accumulates across requests.  Built on
+``http.server.ThreadingHTTPServer`` — no third-party dependency, which
+keeps the serving path importable in the same minimal environment as the
+rest of the reproduction.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Optional, Tuple, Union
+
+from .engine import InferenceEngine
+from .registry import ModelRegistry
+from .wire import graph_from_payload
+
+#: request bodies larger than this are rejected up front (64 MiB covers the
+#: biggest preset city with raw image features several times over)
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+class ServiceError(Exception):
+    """An error with an HTTP status code attached."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class ScoringService:
+    """The framework-free application logic behind the HTTP endpoints.
+
+    Separating this from the request handler keeps every endpoint testable
+    in-process without sockets and reusable behind a different transport.
+    """
+
+    def __init__(self, registry: Union[ModelRegistry, str],
+                 cache_size: int = 32, batch_size: Optional[int] = 2048,
+                 max_workers: int = 4) -> None:
+        if not isinstance(registry, ModelRegistry):
+            registry = ModelRegistry(registry)
+        self.registry = registry
+        self.cache_size = cache_size
+        self.batch_size = batch_size
+        self.max_workers = max_workers
+        self.started_at = time.time()
+        self.requests_served = 0
+        self._engines: Dict[Tuple[str, str], InferenceEngine] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # engines
+    # ------------------------------------------------------------------
+    def engine_for(self, model: str, version: Optional[str] = None) -> InferenceEngine:
+        """The (lazily created) engine serving ``model:version``."""
+        try:
+            directory = self.registry.resolve(model, version)
+        except ValueError as error:
+            # malformed name/version in the request, not a missing model
+            raise ServiceError(400, str(error)) from error
+        except KeyError as error:
+            raise ServiceError(404, str(error)) from error
+        key = (model.lower(), directory.name)
+        with self._lock:
+            engine = self._engines.get(key)
+        if engine is None:
+            # load outside the lock so a cold bundle load (disk read +
+            # checksum + module rebuild) cannot stall requests for models
+            # that are already warm; concurrent first-loads of the same
+            # model may both load, setdefault keeps exactly one
+            engine = InferenceEngine.from_bundle(
+                directory, cache_size=self.cache_size,
+                batch_size=self.batch_size, max_workers=self.max_workers)
+            with self._lock:
+                engine = self._engines.setdefault(key, engine)
+        return engine
+
+    # ------------------------------------------------------------------
+    # endpoints
+    # ------------------------------------------------------------------
+    def healthz(self) -> Dict[str, object]:
+        return {
+            "status": "ok",
+            "uptime_s": round(time.time() - self.started_at, 3),
+            "models_available": len(self.registry.models()),
+            "engines_loaded": len(self._engines),
+            "requests_served": self.requests_served,
+        }
+
+    def models(self) -> Dict[str, object]:
+        entries = []
+        for entry in self.registry.entries():
+            key = (str(entry["name"]), str(entry["version"]))
+            engine = self._engines.get(key)
+            if engine is not None:
+                entry = dict(entry)
+                entry["cache"] = engine.cache_stats.to_dict()
+                entry["cached_graphs"] = engine.cache_len
+            entries.append(entry)
+        return {"models": entries}
+
+    def score(self, request: Dict[str, object]) -> Dict[str, object]:
+        if not isinstance(request, dict):
+            raise ServiceError(400, "request body must be a JSON object")
+        model = request.get("model")
+        if not model or not isinstance(model, str):
+            raise ServiceError(400, "missing required field 'model'")
+        version = request.get("version")
+        if version is not None:
+            version = str(version)
+        graph_payload = request.get("graph")
+        if graph_payload is None:
+            raise ServiceError(400, "missing required field 'graph'")
+        try:
+            graph = graph_from_payload(graph_payload)
+        except ValueError as error:
+            raise ServiceError(400, f"bad graph payload: {error}") from error
+
+        engine = self.engine_for(model, version)
+        try:
+            # TypeError covers wrong-typed optional fields (e.g. a string
+            # top_percent) — a malformed request, not a server fault
+            result = engine.score(graph,
+                                  regions=request.get("regions"),
+                                  top_percent=request.get("top_percent"))
+        except (ValueError, TypeError) as error:
+            raise ServiceError(400, str(error)) from error
+
+        payload = result.to_dict()
+        threshold = request.get("threshold")
+        if threshold is not None:
+            try:
+                threshold = float(threshold)
+            except (ValueError, TypeError) as error:
+                raise ServiceError(400, f"bad threshold: {error}") from error
+            payload["predictions"] = [
+                int(p >= threshold) for p in payload["probabilities"]]
+        payload["graph_name"] = graph.name
+        payload["num_regions"] = graph.num_nodes
+        payload["cache"] = engine.cache_stats.to_dict()
+        self.requests_served += 1
+        return payload
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Maps HTTP requests onto the :class:`ScoringService` endpoints."""
+
+    server_version = "repro-serve/1"
+    #: set by ScoringServer when quiet (the default for tests / in-process use)
+    quiet = True
+
+    @property
+    def service(self) -> ScoringService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    # ------------------------------------------------------------------
+    def _send_json(self, status: int, payload: Dict[str, object]) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, status: int, message: str) -> None:
+        self._send_json(status, {"error": message, "status": status})
+
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - http.server naming convention
+        try:
+            if self.path == "/healthz":
+                self._send_json(200, self.service.healthz())
+            elif self.path == "/models":
+                self._send_json(200, self.service.models())
+            else:
+                self._send_error_json(404, f"unknown endpoint {self.path!r}")
+        except ServiceError as error:
+            self._send_error_json(error.status, str(error))
+        except Exception as error:  # pragma: no cover - defensive
+            self._send_error_json(500, f"internal error: {error}")
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server naming convention
+        try:
+            if self.path != "/score":
+                raise ServiceError(404, f"unknown endpoint {self.path!r}")
+            length = int(self.headers.get("Content-Length") or 0)
+            if length <= 0:
+                raise ServiceError(400, "missing request body")
+            if length > MAX_BODY_BYTES:
+                raise ServiceError(413, "request body too large")
+            raw = self.rfile.read(length)
+            try:
+                request = json.loads(raw.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as error:
+                raise ServiceError(400, f"invalid JSON body: {error}") from error
+            self._send_json(200, self.service.score(request))
+        except ServiceError as error:
+            self._send_error_json(error.status, str(error))
+        except Exception as error:  # pragma: no cover - defensive
+            self._send_error_json(500, f"internal error: {error}")
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if not self.quiet:
+            super().log_message(format, *args)
+
+
+class ScoringServer:
+    """Own a :class:`ScoringService` plus its threaded HTTP front-end.
+
+    ``port=0`` binds an ephemeral port (the default, test- and
+    multi-instance-friendly); the bound address is available as
+    :attr:`url` once constructed.  Use :meth:`start` for a background
+    thread (in-process serving, tests) or :meth:`serve_forever` to block
+    (the CLI ``repro-uv serve`` path).
+    """
+
+    def __init__(self, registry: Union[ModelRegistry, str],
+                 host: str = "127.0.0.1", port: int = 0,
+                 cache_size: int = 32, batch_size: Optional[int] = 2048,
+                 max_workers: int = 4, quiet: bool = True) -> None:
+        self.service = ScoringService(registry, cache_size=cache_size,
+                                      batch_size=batch_size,
+                                      max_workers=max_workers)
+        handler = type("Handler", (_Handler,), {"quiet": quiet})
+        self._httpd = ThreadingHTTPServer((host, port), handler)
+        self._httpd.daemon_threads = True
+        self._httpd.service = self.service  # type: ignore[attr-defined]
+        self._thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return int(self._httpd.server_address[1])
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # ------------------------------------------------------------------
+    def start(self) -> "ScoringServer":
+        """Serve in a daemon background thread and return immediately."""
+        if self._thread is not None:
+            raise RuntimeError("server already started")
+        self._thread = threading.Thread(target=self._httpd.serve_forever,
+                                        name="repro-serve", daemon=True)
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until interrupted."""
+        self._httpd.serve_forever()
+
+    def stop(self) -> None:
+        """Shut the server down and release the socket."""
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    def __enter__(self) -> "ScoringServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -1,0 +1,122 @@
+"""JSON wire format of the scoring service.
+
+Graphs travel as the same ``.npz`` archive the offline pipeline writes
+(:func:`repro.data.graph_io.graph_to_bytes`), base64-armoured into a JSON
+field — compact, lossless (bit-exact float64 round-trip) and free of any
+dependency beyond the stdlib on the client side once the payload is built.
+A plain-JSON encoding is also supported for hand-written requests and
+non-Python clients.
+"""
+
+from __future__ import annotations
+
+import base64
+from typing import Dict
+
+import numpy as np
+
+from ..data.graph_io import graph_from_bytes, graph_to_bytes
+from ..urg.graph import UrbanRegionGraph
+
+#: wire schema marker, checked on decode
+WIRE_VERSION = 1
+
+
+def graph_to_payload(graph: UrbanRegionGraph, encoding: str = "npz") -> Dict[str, object]:
+    """Encode ``graph`` as a JSON-serialisable payload.
+
+    ``encoding='npz'`` (default) ships the compressed archive base64-encoded;
+    ``encoding='json'`` ships explicit nested lists (larger, human-readable,
+    and the float64 values survive exactly thanks to ``repr`` round-tripping
+    in the JSON number grammar).
+    """
+    if encoding == "npz":
+        return {
+            "wire_version": WIRE_VERSION,
+            "encoding": "npz",
+            "npz_base64": base64.b64encode(graph_to_bytes(graph)).decode("ascii"),
+        }
+    if encoding == "json":
+        return {
+            "wire_version": WIRE_VERSION,
+            "encoding": "json",
+            "name": graph.name,
+            "edge_index": graph.edge_index.tolist(),
+            "x_poi": graph.x_poi.tolist(),
+            "x_img": graph.x_img.tolist(),
+            "labels": graph.labels.tolist(),
+            "labeled_mask": graph.labeled_mask.astype(int).tolist(),
+            "ground_truth": graph.ground_truth.tolist(),
+            "region_index": graph.region_index.tolist(),
+            "block_ids": graph.block_ids.tolist(),
+            "grid_shape": list(graph.grid_shape),
+            "stats": dict(graph.stats),
+        }
+    raise ValueError(f"unknown graph encoding {encoding!r} (use 'npz' or 'json')")
+
+
+def _edge_index_array(value) -> np.ndarray:
+    """Normalise a JSON edge list to the ``(2, M)`` layout.
+
+    Accepted forms: ``[[sources...], [targets...]]`` (the native layout),
+    ``[[u, v], [u, v], ...]`` source/target pairs (the common hand-written
+    form), or a flat ``[u, v, u, v, ...]`` list.  Anything else is
+    rejected rather than silently reinterpreted — reshaping an arbitrary
+    even-sized array would build a different graph topology without any
+    error.  ``(2, 2)`` inputs are taken as the native layout.
+    """
+    array = np.asarray(value, dtype=np.int64)
+    if array.size == 0:
+        return np.zeros((2, 0), dtype=np.int64)
+    if array.ndim == 2 and array.shape[0] == 2:
+        return array
+    if array.ndim == 2 and array.shape[1] == 2:
+        return array.T.copy()
+    if array.ndim == 1 and array.size % 2 == 0:
+        return array.reshape(-1, 2).T.copy()
+    raise ValueError(
+        "edge_index must be [[sources],[targets]], a list of [u, v] pairs "
+        "or a flat pair list; got shape %s" % (array.shape,))
+
+
+def graph_from_payload(payload: Dict[str, object]) -> UrbanRegionGraph:
+    """Decode a payload produced by :func:`graph_to_payload`."""
+    if not isinstance(payload, dict):
+        raise ValueError("graph payload must be a JSON object")
+    if payload.get("wire_version") != WIRE_VERSION:
+        raise ValueError("unsupported graph wire version %r (expected %d)"
+                         % (payload.get("wire_version"), WIRE_VERSION))
+    encoding = payload.get("encoding")
+    if encoding == "npz":
+        try:
+            raw = base64.b64decode(payload["npz_base64"], validate=True)
+        except (KeyError, ValueError) as error:
+            raise ValueError(f"invalid npz_base64 graph payload: {error}") from error
+        try:
+            return graph_from_bytes(raw)
+        except ValueError:
+            raise
+        except Exception as error:
+            # np.load on corrupt bytes raises zipfile.BadZipFile; an archive
+            # missing expected arrays raises KeyError — all are client-side
+            # payload problems, normalised to ValueError so transports can
+            # report a clean 400
+            raise ValueError(f"invalid graph archive: {error}") from error
+    if encoding == "json":
+        try:
+            return UrbanRegionGraph(
+                name=str(payload["name"]),
+                edge_index=_edge_index_array(payload["edge_index"]),
+                x_poi=np.asarray(payload["x_poi"], dtype=np.float64),
+                x_img=np.asarray(payload["x_img"], dtype=np.float64),
+                labels=np.asarray(payload["labels"], dtype=np.int64),
+                labeled_mask=np.asarray(payload["labeled_mask"]).astype(bool),
+                ground_truth=np.asarray(payload["ground_truth"], dtype=np.int64),
+                region_index=np.asarray(payload["region_index"], dtype=np.int64),
+                block_ids=np.asarray(payload["block_ids"], dtype=np.int64),
+                grid_shape=tuple(payload["grid_shape"]),
+                stats=dict(payload.get("stats") or {}),
+            )
+        except KeyError as error:
+            raise ValueError(f"json graph payload missing field {error}") from error
+    raise ValueError(f"unknown graph encoding {encoding!r}")

@@ -19,6 +19,8 @@ from typing import Dict, Optional
 
 import numpy as np
 
+from .._hashing import sha256_of_arrays
+
 
 @dataclass
 class UrbanRegionGraph:
@@ -153,6 +155,23 @@ class UrbanRegionGraph:
         if labels.shape[0] != self.num_nodes or labeled_mask.shape[0] != self.num_nodes:
             raise ValueError("labels/labeled_mask must have one entry per node")
         return replace(self, labels=labels.copy(), labeled_mask=labeled_mask.copy())
+
+    def fingerprint(self) -> str:
+        """Deterministic content hash over features, adjacency and labels.
+
+        Covers the city name, edge structure, both feature modalities and
+        the labelling — everything that identifies the graph as a dataset.
+        Evaluation-only bookkeeping (``ground_truth``, ``stats``, grid
+        geometry) is deliberately left out.  Used as the cache key of the
+        serving layer (:mod:`repro.serve.engine`) and to identify the
+        training graph in model-bundle manifests.  Note the cache key is
+        deliberately conservative: CMSF inference itself reads only the
+        features and edges, so a relabelled copy of a cached graph scores
+        identically but re-computes under its new fingerprint.
+        """
+        fields = ("edge_index", "x_poi", "x_img", "labels", "labeled_mask")
+        return sha256_of_arrays(((name, getattr(self, name)) for name in fields),
+                                seed=self.name)
 
     def degree(self) -> np.ndarray:
         """In-degree of every node under the directed edge index."""

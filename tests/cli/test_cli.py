@@ -25,7 +25,8 @@ class TestParser:
         subparsers = next(action for action in parser._actions
                           if isinstance(action, type(parser._subparsers._group_actions[0])))
         assert set(subparsers.choices) == {"generate-city", "build-graph", "show-city",
-                                           "train", "evaluate", "reproduce", "registry"}
+                                           "train", "evaluate", "reproduce", "registry",
+                                           "package", "serve", "score"}
 
 
 class TestGenerateAndBuild:
@@ -104,6 +105,100 @@ class TestTrainAndEvaluate:
         exit_code = main(["evaluate", "--preset", "tiny", "--methods", "NotAMethod"])
         assert exit_code == 2
         assert "unknown method" in capsys.readouterr().err
+
+
+class TestPackageServeScore:
+    def test_package_into_registry_and_score_through_service(self, tmp_path, capsys):
+        from repro.serve import ModelRegistry, ScoringServer
+
+        registry_root = tmp_path / "models"
+        exit_code = main(["package", "--preset", "tiny", "--epochs", "8",
+                          "--registry", str(registry_root), "--name", "tiny"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "packaged tiny:1" in out
+
+        server = ScoringServer(ModelRegistry(registry_root), quiet=True).start()
+        try:
+            predictions = tmp_path / "scores.csv"
+            exit_code = main(["score", "--url", server.url, "--preset", "tiny",
+                              "--model", "tiny", "--top-percent", "5",
+                              "--predictions", str(predictions)])
+            assert exit_code == 0
+            out = capsys.readouterr().out
+            assert "cold" in out and "shortlist" in out
+            with open(predictions) as handle:
+                rows = list(csv.DictReader(handle))
+            assert rows and "uv_probability" in rows[0]
+
+            exit_code = main(["score", "--url", server.url, "--preset", "tiny",
+                              "--model", "tiny"])
+            assert exit_code == 0
+            assert "cache hit" in capsys.readouterr().out
+        finally:
+            server.stop()
+
+    def test_package_to_output_directory(self, tmp_path, capsys):
+        bundle_dir = tmp_path / "bundle"
+        exit_code = main(["package", "--preset", "tiny", "--epochs", "8",
+                          "--output", str(bundle_dir), "--version", "7"])
+        assert exit_code == 0
+        assert (bundle_dir / "bundle.json").exists()
+        assert "tiny:7" in capsys.readouterr().out
+
+    def test_package_rejects_non_cmsf_method(self, capsys):
+        exit_code = main(["package", "--preset", "tiny", "--method", "MLP",
+                          "--output", "/tmp/never-written"])
+        assert exit_code == 2
+        assert "only CMSF variants" in capsys.readouterr().err
+
+    def test_score_unknown_model_is_reported(self, tmp_path, capsys):
+        from repro.serve import ModelRegistry, ScoringServer
+
+        registry_root = tmp_path / "models"
+        main(["package", "--preset", "tiny", "--epochs", "8",
+              "--registry", str(registry_root)])
+        capsys.readouterr()
+        server = ScoringServer(ModelRegistry(registry_root), quiet=True).start()
+        try:
+            exit_code = main(["score", "--url", server.url, "--preset", "tiny",
+                              "--model", "missing"])
+        finally:
+            server.stop()
+        assert exit_code == 3
+        assert "404" in capsys.readouterr().err
+
+    def test_serve_refuses_empty_registry(self, tmp_path, capsys):
+        exit_code = main(["serve", "--registry", str(tmp_path / "none")])
+        assert exit_code == 2
+        assert "empty" in capsys.readouterr().err
+
+    def test_serve_reports_busy_port(self, tmp_path, capsys):
+        import socket
+
+        main(["package", "--preset", "tiny", "--epochs", "8",
+              "--registry", str(tmp_path / "models")])
+        capsys.readouterr()
+        with socket.socket() as blocker:
+            blocker.bind(("127.0.0.1", 0))
+            blocker.listen(1)
+            port = blocker.getsockname()[1]
+            exit_code = main(["serve", "--registry", str(tmp_path / "models"),
+                              "--port", str(port)])
+        assert exit_code == 2
+        assert "cannot bind" in capsys.readouterr().err
+
+    def test_package_default_keeps_preset_city_seed(self, tmp_path, capsys):
+        from repro.serve import read_manifest
+        from repro.synth import generate_city, get_preset
+        from repro.urg import build_urg
+
+        bundle_dir = tmp_path / "bundle"
+        assert main(["package", "--preset", "tiny", "--epochs", "8",
+                     "--output", str(bundle_dir)]) == 0
+        manifest = read_manifest(bundle_dir)
+        canonical = build_urg(generate_city(get_preset("tiny")))
+        assert manifest.graph["fingerprint"] == canonical.fingerprint()
 
 
 class TestRegistry:

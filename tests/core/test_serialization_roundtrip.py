@@ -1,0 +1,102 @@
+"""Save → load_parameters / from_parameters round-trips of the CMSF detector.
+
+The serving layer's correctness rests on a loaded detector reproducing
+``predict_proba`` bit-for-bit, so every assertion here is exact equality,
+not approximate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import CMSFConfig, CMSFDetector
+from repro.nn.serialization import load_state_dict, state_dict_checksum
+
+FAST_CONFIG = CMSFConfig(
+    hidden_dim=16, image_reduce_dim=16, classifier_hidden=8, maga_layers=1,
+    maga_heads=2, num_clusters=6, context_dim=8, master_epochs=12, slave_epochs=5,
+    patience=None, dropout=0.0, seed=0,
+)
+
+
+@pytest.fixture(scope="module")
+def fitted(tiny_graph_small_image):
+    graph = tiny_graph_small_image
+    detector = CMSFDetector(FAST_CONFIG).fit(graph, graph.labeled_indices())
+    return graph, detector
+
+
+@pytest.fixture(scope="module")
+def fitted_master_only(tiny_graph_small_image):
+    graph = tiny_graph_small_image
+    config = FAST_CONFIG.with_overrides(use_gate=False)
+    detector = CMSFDetector(config).fit(graph, graph.labeled_indices())
+    return graph, detector
+
+
+class TestLoadParameters:
+    def test_roundtrip_into_fitted_detector_is_bit_exact(self, fitted, tmp_path):
+        graph, detector = fitted
+        reference = detector.predict_proba(graph)
+        path = detector.save(str(tmp_path / "params"))
+
+        other = CMSFDetector(FAST_CONFIG).fit(graph, graph.labeled_indices()[:20])
+        assert not np.array_equal(other.predict_proba(graph), reference)
+        other.load_parameters(path)
+        np.testing.assert_array_equal(other.predict_proba(graph), reference)
+
+    def test_mismatched_architecture_is_reported(self, fitted, fitted_master_only,
+                                                 tmp_path):
+        graph, detector = fitted
+        _, master_only = fitted_master_only
+        path = master_only.save(str(tmp_path / "master_only"))
+        with pytest.raises(KeyError, match="does not match"):
+            detector.load_parameters(path)
+
+    def test_unfitted_detector_refuses_to_load(self, fitted, tmp_path):
+        graph, detector = fitted
+        path = detector.save(str(tmp_path / "params"))
+        with pytest.raises(RuntimeError, match="must be fitted"):
+            CMSFDetector(FAST_CONFIG).load_parameters(path)
+
+    def test_missing_archive_is_reported(self, fitted, tmp_path):
+        _, detector = fitted
+        with pytest.raises(FileNotFoundError):
+            detector.load_parameters(str(tmp_path / "nope"))
+
+
+class TestFromParameters:
+    def test_rebuilt_detector_is_bit_exact(self, fitted, tmp_path):
+        graph, detector = fitted
+        reference = detector.predict_proba(graph)
+        path = detector.save(str(tmp_path / "params"))
+        rebuilt = CMSFDetector.from_parameters(
+            FAST_CONFIG, graph.poi_dim, graph.image_dim, load_state_dict(path),
+            hard_assignment=detector.master_result.hard_assignment,
+            pseudo_labels=detector.pseudo_labels())
+        assert rebuilt.has_slave
+        np.testing.assert_array_equal(rebuilt.predict_proba(graph), reference)
+        np.testing.assert_array_equal(rebuilt.cluster_assignment(graph),
+                                      detector.cluster_assignment(graph))
+        np.testing.assert_array_equal(rebuilt.pseudo_labels(),
+                                      detector.pseudo_labels())
+
+    def test_master_only_rebuild_is_bit_exact(self, fitted_master_only, tmp_path):
+        graph, detector = fitted_master_only
+        reference = detector.predict_proba(graph)
+        path = detector.save(str(tmp_path / "params"))
+        rebuilt = CMSFDetector.from_parameters(
+            detector.config, graph.poi_dim, graph.image_dim, load_state_dict(path))
+        assert not rebuilt.has_slave
+        np.testing.assert_array_equal(rebuilt.predict_proba(graph), reference)
+
+    def test_state_dict_checksum_is_content_addressed(self, fitted, tmp_path):
+        _, detector = fitted
+        path = detector.save(str(tmp_path / "params"))
+        state = load_state_dict(path)
+        checksum = state_dict_checksum(state)
+        assert checksum == state_dict_checksum(dict(reversed(list(state.items()))))
+        name = next(iter(state))
+        state[name] = state[name] + 1e-9
+        assert checksum != state_dict_checksum(state)

@@ -1,0 +1,144 @@
+"""Model bundles and the model registry."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.serve import ModelRegistry, load_bundle, read_manifest, save_bundle
+from repro.serve.bundle import (BUNDLE_FORMAT_VERSION, MANIFEST_FILENAME,
+                                PARAMS_FILENAME, is_bundle_dir)
+
+
+class TestBundle:
+    def test_save_load_roundtrip_is_bit_exact(self, fitted_detector,
+                                              tiny_graph_small_image,
+                                              reference_scores, tmp_path):
+        graph = tiny_graph_small_image
+        directory = save_bundle(fitted_detector, tmp_path / "bundle", graph,
+                                name="tiny", version="3")
+        bundle = load_bundle(directory)
+        assert bundle.name == "tiny" and bundle.version == "3"
+        np.testing.assert_array_equal(bundle.detector.predict_proba(graph),
+                                      reference_scores)
+
+    def test_manifest_records_config_and_graph_metadata(self, fitted_detector,
+                                                        tiny_graph_small_image,
+                                                        fast_config, tmp_path):
+        graph = tiny_graph_small_image
+        directory = save_bundle(fitted_detector, tmp_path / "bundle", graph,
+                                name="tiny", extra={"note": "unit test"})
+        manifest = read_manifest(directory)
+        assert manifest.format_version == BUNDLE_FORMAT_VERSION
+        assert manifest.cmsf_config() == fast_config
+        assert manifest.poi_dim == graph.poi_dim
+        assert manifest.image_dim == graph.image_dim
+        assert manifest.has_slave
+        assert manifest.graph["fingerprint"] == graph.fingerprint()
+        assert manifest.graph["num_nodes"] == graph.num_nodes
+        assert manifest.extra == {"note": "unit test"}
+
+    def test_unfitted_detector_cannot_be_bundled(self, tiny_graph_small_image,
+                                                 fast_config, tmp_path):
+        from repro.core import CMSFDetector
+        with pytest.raises(RuntimeError, match="must be fitted"):
+            save_bundle(CMSFDetector(fast_config), tmp_path / "bundle",
+                        tiny_graph_small_image)
+
+    def test_tampered_parameters_fail_integrity_check(self, fitted_detector,
+                                                      tiny_graph_small_image,
+                                                      tmp_path):
+        directory = save_bundle(fitted_detector, tmp_path / "bundle",
+                                tiny_graph_small_image, name="tiny")
+        params_path = directory / PARAMS_FILENAME
+        with np.load(params_path) as archive:
+            state = {key: archive[key].copy() for key in archive.files}
+        key = next(iter(state))
+        state[key] = state[key] + 1.0
+        np.savez(params_path, **state)
+        with pytest.raises(ValueError, match="integrity"):
+            load_bundle(directory)
+
+    def test_unsupported_format_version_rejected(self, fitted_detector,
+                                                 tiny_graph_small_image, tmp_path):
+        directory = save_bundle(fitted_detector, tmp_path / "bundle",
+                                tiny_graph_small_image, name="tiny")
+        manifest_path = directory / MANIFEST_FILENAME
+        payload = json.loads(manifest_path.read_text())
+        payload["format_version"] = 999
+        manifest_path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError, match="format version"):
+            read_manifest(directory)
+
+    def test_non_bundle_directory_rejected(self, tmp_path):
+        assert not is_bundle_dir(tmp_path)
+        with pytest.raises(FileNotFoundError, match="not a model bundle"):
+            load_bundle(tmp_path)
+
+
+class TestModelRegistry:
+    def test_publish_auto_increments_versions(self, fitted_detector,
+                                              tiny_graph_small_image, tmp_path):
+        registry = ModelRegistry(tmp_path)
+        first = registry.publish(fitted_detector, tiny_graph_small_image, "city")
+        second = registry.publish(fitted_detector, tiny_graph_small_image, "city")
+        assert first.name == "1" and second.name == "2"
+        assert registry.versions("city") == ["1", "2"]
+        assert registry.resolve("city") == second
+
+    def test_resolve_explicit_and_unknown_versions(self, model_registry):
+        assert model_registry.resolve("tiny", "1").is_dir()
+        with pytest.raises(KeyError, match="no version"):
+            model_registry.resolve("tiny", "42")
+        with pytest.raises(KeyError, match="not in the registry"):
+            model_registry.resolve("ghost")
+
+    def test_numeric_versions_order_numerically(self, fitted_detector,
+                                                tiny_graph_small_image, tmp_path):
+        registry = ModelRegistry(tmp_path)
+        for version in ("2", "10", "1"):
+            registry.publish(fitted_detector, tiny_graph_small_image, "city",
+                             version=version)
+        assert registry.versions("city") == ["1", "2", "10"]
+        assert registry.resolve("city").name == "10"
+
+    def test_duplicate_version_rejected(self, fitted_detector,
+                                        tiny_graph_small_image, tmp_path):
+        registry = ModelRegistry(tmp_path)
+        registry.publish(fitted_detector, tiny_graph_small_image, "city", version="1")
+        with pytest.raises(ValueError, match="already exists"):
+            registry.publish(fitted_detector, tiny_graph_small_image, "city",
+                             version="1")
+
+    def test_unsafe_names_rejected(self, model_registry):
+        with pytest.raises(ValueError, match="invalid model name"):
+            model_registry.bundle_dir("../escape", "1")
+        with pytest.raises(ValueError, match="invalid version"):
+            model_registry.bundle_dir("fine", "../1")
+
+    def test_unsafe_names_rejected_before_filesystem_access(self, model_registry):
+        # lookups come straight from scoring requests: a crafted name must
+        # fail validation, not walk directories outside the registry root
+        with pytest.raises(ValueError, match="invalid model name"):
+            model_registry.versions("../../etc")
+        with pytest.raises(ValueError, match="invalid model name"):
+            model_registry.resolve("tiny/")
+        with pytest.raises(ValueError, match="invalid version"):
+            model_registry.resolve("tiny", "../1")
+
+    def test_entries_and_describe(self, model_registry):
+        entries = model_registry.entries()
+        assert len(entries) == 1
+        entry = entries[0]
+        assert entry["name"] == "tiny" and entry["version"] == "1"
+        assert entry["size_bytes"] > 0
+        description = model_registry.describe()
+        assert "tiny" in description and "v1" in description
+
+    def test_load_returns_scoring_bundle(self, model_registry,
+                                         tiny_graph_small_image, reference_scores):
+        bundle = model_registry.load("tiny")
+        np.testing.assert_array_equal(
+            bundle.detector.predict_proba(tiny_graph_small_image), reference_scores)

@@ -1,0 +1,45 @@
+"""The content fingerprint used as the serving cache key."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+
+
+class TestFingerprint:
+    def test_deterministic_and_hex(self, tiny_graph):
+        first = tiny_graph.fingerprint()
+        assert first == tiny_graph.fingerprint()
+        assert len(first) == 64
+        int(first, 16)  # valid hex digest
+
+    def test_identical_content_same_fingerprint(self, tiny_graph):
+        clone = tiny_graph.with_labels(tiny_graph.labels, tiny_graph.labeled_mask)
+        assert clone is not tiny_graph
+        assert clone.fingerprint() == tiny_graph.fingerprint()
+
+    def test_label_change_alters_fingerprint(self, tiny_graph):
+        labels = tiny_graph.labels.copy()
+        index = int(np.flatnonzero(labels == 1)[0])
+        labels[index] = 0
+        changed = tiny_graph.with_labels(labels, tiny_graph.labeled_mask)
+        assert changed.fingerprint() != tiny_graph.fingerprint()
+
+    def test_feature_change_alters_fingerprint(self, tiny_graph):
+        changed = replace(tiny_graph, x_poi=tiny_graph.x_poi + 1e-12)
+        assert changed.fingerprint() != tiny_graph.fingerprint()
+
+    def test_edge_change_alters_fingerprint(self, tiny_graph):
+        flipped = tiny_graph.edge_index[:, ::-1].copy()
+        changed = replace(tiny_graph, edge_index=flipped)
+        assert changed.fingerprint() != tiny_graph.fingerprint()
+
+    def test_name_change_alters_fingerprint(self, tiny_graph):
+        changed = replace(tiny_graph, name="other-city")
+        assert changed.fingerprint() != tiny_graph.fingerprint()
+
+    def test_inference_irrelevant_fields_ignored(self, tiny_graph):
+        changed = replace(tiny_graph, ground_truth=1 - tiny_graph.ground_truth,
+                          stats={"anything": 1.0})
+        assert changed.fingerprint() == tiny_graph.fingerprint()
