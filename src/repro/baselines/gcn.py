@@ -12,6 +12,7 @@ import numpy as np
 
 from .. import nn
 from ..nn import functional as F
+from ..nn.graphops import EdgePlan
 from ..nn.module import Module
 from ..nn.tensor import Tensor, concatenate
 from ..urg.graph import UrbanRegionGraph
@@ -45,15 +46,21 @@ class _GCNModule(Module):
 
     def forward(self, graph: UrbanRegionGraph) -> Tensor:
         num_nodes = graph.num_nodes
+        # One self-loop-augmented plan shared by every layer and (via the
+        # content-keyed cache) every epoch of the training loop.
+        plan = EdgePlan.for_graph(graph)
         parts = []
         if self.has_poi:
-            h = self.poi_gcn1(Tensor(graph.x_poi), graph.edge_index, num_nodes)
-            h = self.poi_gcn2(self.dropout(h), graph.edge_index, num_nodes)
+            h = self.poi_gcn1(Tensor(graph.x_poi), graph.edge_index, num_nodes,
+                              plan=plan)
+            h = self.poi_gcn2(self.dropout(h), graph.edge_index, num_nodes,
+                              plan=plan)
             parts.append(h)
         if self.has_img:
             reduced = self.image_reduce(Tensor(graph.x_img))
-            h = self.img_gcn1(reduced, graph.edge_index, num_nodes)
-            h = self.img_gcn2(self.dropout(h), graph.edge_index, num_nodes)
+            h = self.img_gcn1(reduced, graph.edge_index, num_nodes, plan=plan)
+            h = self.img_gcn2(self.dropout(h), graph.edge_index, num_nodes,
+                              plan=plan)
             parts.append(h)
         fused = parts[0] if len(parts) == 1 else concatenate(parts, axis=-1)
         return self.classifier(F.relu(self.fuse(self.dropout(fused))))

@@ -4,17 +4,26 @@
   symmetric degree normalisation and self-loops, computed over the edge list.
 * :class:`GATLayer` — a single-modality graph attention layer [22], thin
   wrapper around the edge attention used inside MAGA.
+
+Both layers accept an optional precomputed
+:class:`~repro.nn.graphops.EdgePlan` (self-loop augmented).  The plan hoists
+the per-call self-loop augmentation, degree counting and scatter-operator
+construction out of the forward pass; results are bit-identical to the
+legacy per-call path.
 """
 
 from __future__ import annotations
+
+from typing import Optional
 
 import numpy as np
 
 from .. import nn
 from ..nn import functional as F
+from ..nn.graphops import EdgePlan
 from ..nn.module import Module
 from ..nn.sparse import gather_rows, segment_sum
-from ..nn.tensor import Tensor
+from ..nn.tensor import Tensor, get_default_dtype
 from ..core.maga import EdgeAttention
 from ..urg.relations import add_self_loops
 
@@ -28,12 +37,17 @@ class GCNLayer(Module):
         self.linear = nn.Linear(in_dim, out_dim, rng)
         self.activation = F.get_activation(activation)
 
-    def forward(self, x: Tensor, edge_index: np.ndarray, num_nodes: int) -> Tensor:
-        edges = add_self_loops(edge_index, num_nodes)
-        src, dst = edges[0], edges[1]
-        degree = np.bincount(dst, minlength=num_nodes).astype(np.float64)
-        degree = np.maximum(degree, 1.0)
-        norm = 1.0 / np.sqrt(degree[src] * degree[dst])
+    def forward(self, x: Tensor, edge_index: np.ndarray, num_nodes: int,
+                plan: Optional[EdgePlan] = None) -> Tensor:
+        if plan is not None:
+            src, dst = plan.src_plan, plan.dst_plan
+            norm = plan.gcn_norm(get_default_dtype())
+        else:
+            edges = add_self_loops(edge_index, num_nodes)
+            src, dst = edges[0], edges[1]
+            degree = np.bincount(dst, minlength=num_nodes).astype(np.float64)
+            degree = np.maximum(degree, 1.0)
+            norm = 1.0 / np.sqrt(degree[src] * degree[dst])
         transformed = self.linear(x)
         messages = gather_rows(transformed, src) * Tensor(norm.reshape(-1, 1))
         aggregated = segment_sum(messages, dst, num_nodes)
@@ -49,6 +63,9 @@ class GATLayer(Module):
         self.attention = EdgeAttention(in_dim, in_dim, out_dim, heads, rng,
                                        negative_slope, share_transform=True)
 
-    def forward(self, x: Tensor, edge_index: np.ndarray, num_nodes: int) -> Tensor:
+    def forward(self, x: Tensor, edge_index: np.ndarray, num_nodes: int,
+                plan: Optional[EdgePlan] = None) -> Tensor:
+        if plan is not None:
+            return self.attention(x, x, plan, num_nodes)
         edges = add_self_loops(edge_index, num_nodes)
         return self.attention(x, x, edges, num_nodes)

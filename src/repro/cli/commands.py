@@ -52,14 +52,20 @@ def _load_or_build_graph(args: argparse.Namespace) -> UrbanRegionGraph:
     return build_urg(city)
 
 
-def _detector_factory(method: str, epochs: Optional[int]):
+def _detector_factory(method: str, epochs: Optional[int],
+                      dtype: Optional[str] = None):
     def make(seed: int):
         if method.upper().startswith("CMSF"):
             config = CMSFConfig()
             if epochs is not None:
                 config = config.with_overrides(master_epochs=epochs,
                                                slave_epochs=max(epochs // 4, 5))
+            if dtype is not None:
+                config = config.with_overrides(dtype=dtype)
             return make_detector(method, seed=seed, cmsf_config=config)
+        if dtype is not None and dtype != "float64":
+            raise ValueError("--dtype is only supported for CMSF variants; "
+                             f"{method!r} always trains in float64")
         return make_detector(method, seed=seed, epochs=epochs)
     return make
 
@@ -108,7 +114,8 @@ def cmd_show_city(args: argparse.Namespace) -> int:
 
 def cmd_train(args: argparse.Namespace) -> int:
     graph = _load_or_build_graph(args)
-    detector = _detector_factory(args.method, args.epochs)(args.seed)
+    detector = _detector_factory(args.method, args.epochs,
+                                 getattr(args, "dtype", None))(args.seed)
     print(f"training {detector.name} on '{graph.name}' "
           f"({len(graph.labeled_indices())} labelled regions) ...")
     detector.fit(graph, graph.labeled_indices())
@@ -175,7 +182,8 @@ def cmd_package(args: argparse.Namespace) -> int:
     # args.seed None keeps the preset's own city seed (unlike `train`, the
     # packaged artifact should default to the canonical city)
     graph = _load_or_build_graph(args)
-    detector = _detector_factory(args.method, args.epochs)(
+    detector = _detector_factory(args.method, args.epochs,
+                                 getattr(args, "dtype", None))(
         args.seed if args.seed is not None else 0)
     if not isinstance(detector, CMSFDetector):
         raise ValueError(f"only CMSF variants can be packaged into model "

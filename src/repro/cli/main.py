@@ -78,6 +78,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write region polygons with scores to this GeoJSON path")
     train.add_argument("--top-percent", type=float, default=5.0,
                        help="screening budget used for the printed summary")
+    train.add_argument("--dtype", choices=["float64", "float32"], default=None,
+                       help="compute precision for CMSF variants: float64 "
+                            "(default, bit-reproducible) or float32 (the "
+                            "fast path, roughly half the memory traffic)")
     train.set_defaults(handler=commands.cmd_train)
 
     # ------------------------------------------------------------------
@@ -136,6 +140,10 @@ def build_parser() -> argparse.ArgumentParser:
                               "train with seed 0)")
     package.add_argument("--epochs", type=int, default=None,
                          help="override training epochs")
+    package.add_argument("--dtype", choices=["float64", "float32"], default=None,
+                         help="compute precision of the packaged detector "
+                              "(recorded in the bundle manifest and enforced "
+                              "at load time)")
     package_dest = package.add_mutually_exclusive_group(required=True)
     package_dest.add_argument("--output", help="write the bundle to this directory")
     package_dest.add_argument("--registry", dest="model_registry",

@@ -63,12 +63,17 @@ class CMSFDetector(DetectorBase):
     # ------------------------------------------------------------------
     # inference
     # ------------------------------------------------------------------
-    def predict_proba(self, graph: UrbanRegionGraph) -> np.ndarray:
-        """UV probability for every region (slave models if available)."""
+    def predict_proba(self, graph: UrbanRegionGraph, plan=None) -> np.ndarray:
+        """UV probability for every region (slave models if available).
+
+        ``plan`` is an optional precomputed :class:`repro.nn.EdgePlan` for
+        ``graph`` (the serving engine passes its cached one); left as None a
+        cached plan is looked up unless ``config.use_edge_plan`` is off.
+        """
         self.check_fitted()
         if self.slave_result is not None:
-            return slave_predict_proba(self.slave_result.stage, graph)
-        return self.master_result.model.predict_proba(graph)
+            return slave_predict_proba(self.slave_result.stage, graph, plan=plan)
+        return self.master_result.model.predict_proba(graph, plan=plan)
 
     def cluster_assignment(self, graph: UrbanRegionGraph) -> np.ndarray:
         """Hard cluster membership of every region (empty if GSCM disabled)."""

@@ -93,6 +93,24 @@ class CMSFConfig:
     #: model selection in both training stages (0 keeps every label for
     #: training and falls back to the training-loss plateau rule)
     validation_fraction: float = 0.0
+    #: run the validation-monitoring forward pass every this many epochs
+    #: (1 = every epoch, the historical behaviour).  Larger intervals skip
+    #: the extra full inference forward on large cities; early stopping then
+    #: reacts at the same cadence.
+    val_interval: int = 1
+
+    # ------------------------------------------------------------------
+    # compute / performance
+    # ------------------------------------------------------------------
+    #: floating dtype of parameters, activations and optimiser state.
+    #: 'float64' (default) reproduces historical results bit-for-bit;
+    #: 'float32' is the fast path (roughly half the memory traffic).
+    dtype: str = "float64"
+    #: precompute an :class:`repro.nn.EdgePlan` per training graph and reuse
+    #: it across epochs/layers/heads.  False falls back to the legacy
+    #: per-call kernels (bit-identical, several times slower) — kept as a
+    #: benchmark baseline and an escape hatch.
+    use_edge_plan: bool = True
 
     # ------------------------------------------------------------------
     # component switches (used by the ablation variants of Figure 5(a))
@@ -131,6 +149,12 @@ class CMSFConfig:
             raise ValueError("lambda_weight must be non-negative")
         if self.pseudo_label_loss not in ("rank", "bce"):
             raise ValueError("pseudo_label_loss must be 'rank' or 'bce'")
+        if self.dtype not in ("float32", "float64"):
+            raise ValueError("dtype must be 'float32' or 'float64', got %r"
+                             % (self.dtype,))
+        if self.val_interval < 1:
+            raise ValueError("val_interval must be >= 1, got %r"
+                             % (self.val_interval,))
 
     # ------------------------------------------------------------------
     # derived sizes

@@ -26,15 +26,16 @@ import numpy as np
 
 from .. import nn
 from ..nn import functional as F
+from ..nn.graphops import EdgePlan
 from ..nn.losses import (binary_cross_entropy, class_balanced_weights,
                          pu_rank_loss)
 from ..nn.module import Module
 from ..nn.optim import Adam, ExponentialDecay
-from ..nn.tensor import Tensor, no_grad
+from ..nn.tensor import Tensor, dtype_scope, no_grad
 from ..nn.training import EarlyStopping, binary_auc, validation_split
 from ..urg.graph import UrbanRegionGraph
 from .config import CMSFConfig
-from .master import MasterModel, MasterTrainingResult
+from .master import MasterModel, MasterTrainingResult, _val_due
 
 
 class PseudoLabelPredictor(Module):
@@ -64,7 +65,8 @@ class GateFunction(Module):
         self.context = nn.Linear(num_clusters, context_dim, rng)
         #: W_f of Eq. 20 — context vector -> parameter filter
         self.filter = nn.Linear(context_dim, num_gated_parameters, rng)
-        self.filter.bias.data = np.full(num_gated_parameters, self.FILTER_BIAS_INIT)
+        self.filter.bias.data = np.full(num_gated_parameters, self.FILTER_BIAS_INIT,
+                                        dtype=self.filter.bias.data.dtype)
 
     def context_vector(self, assignment: Tensor, inclusion_probs: Tensor) -> Tensor:
         """Region context vector ``q_i`` (Eq. 19)."""
@@ -89,15 +91,16 @@ class SlaveStage(Module):
             raise ValueError("the slave stage requires the GSCM hierarchy; "
                              "use the master model alone when GSCM is disabled")
         self.master = master
-        self.pseudo_predictor = PseudoLabelPredictor(master.gscm.input_dim, rng)
-        self.gate = GateFunction(
-            num_clusters=config.num_clusters,
-            context_dim=config.context_dim,
-            num_gated_parameters=master.classifier.num_gated_parameters,
-            rng=rng,
-        )
+        with dtype_scope(config.dtype):
+            self.pseudo_predictor = PseudoLabelPredictor(master.gscm.input_dim, rng)
+            self.gate = GateFunction(
+                num_clusters=config.num_clusters,
+                context_dim=config.context_dim,
+                num_gated_parameters=master.classifier.num_gated_parameters,
+                rng=rng,
+            )
 
-    def forward(self, graph: UrbanRegionGraph):
+    def forward(self, graph: UrbanRegionGraph, plan: Optional[EdgePlan] = None):
         """Run the full slave-stage forward pass.
 
         Returns
@@ -107,11 +110,12 @@ class SlaveStage(Module):
         inclusion_probs:
             Per-cluster inclusion probability from the pseudo-label predictor.
         """
-        enhanced, gscm_out = self.master.encode(graph)
-        inclusion = self.pseudo_predictor(gscm_out.cluster_repr)
-        parameter_filter = self.gate(gscm_out.assignment, inclusion)
-        probs = self.master.classifier.forward_gated(enhanced, parameter_filter)
-        return probs, inclusion
+        with dtype_scope(self.master.config.dtype):
+            enhanced, gscm_out = self.master.encode(graph, plan=plan)
+            inclusion = self.pseudo_predictor(gscm_out.cluster_repr)
+            parameter_filter = self.gate(gscm_out.assignment, inclusion)
+            probs = self.master.classifier.forward_gated(enhanced, parameter_filter)
+            return probs, inclusion
 
 
 @dataclass
@@ -158,48 +162,60 @@ def train_slave(master_result: MasterTrainingResult, graph: UrbanRegionGraph,
     stopper = EarlyStopping(stage, patience=config.patience,
                             mode="max" if val_indices.size else "min")
 
+    # Shared structural precomputation — the same plan instance the master
+    # stage used (the content-keyed cache returns it, not a rebuild).
+    plan = stage.master.graph_plan(graph)
+
     history: List[float] = []
     rank_history: List[float] = []
-    for epoch in range(config.slave_epochs):
-        optimizer.zero_grad()
-        probs, inclusion = stage(graph)
-        detection_loss = binary_cross_entropy(probs[fit_indices], fit_targets, fit_weights)
-        if config.pseudo_label_loss == "rank":
-            rank_loss = pu_rank_loss(inclusion, pseudo_labels)
-        else:
-            # Ablation (DESIGN.md §4): treat the pseudo labels as hard targets
-            # instead of ranking constraints.
-            rank_loss = binary_cross_entropy(inclusion, pseudo_labels.astype(np.float64))
-        loss = detection_loss + Tensor(config.lambda_weight) * rank_loss
-        loss.backward()
-        optimizer.step()
-        scheduler.step()
-        history.append(float(detection_loss.item()))
-        rank_history.append(float(rank_loss.item()))
+    with dtype_scope(config.dtype):
+        for epoch in range(config.slave_epochs):
+            optimizer.zero_grad()
+            probs, inclusion = stage(graph, plan=plan)
+            detection_loss = binary_cross_entropy(probs[fit_indices], fit_targets, fit_weights)
+            if config.pseudo_label_loss == "rank":
+                rank_loss = pu_rank_loss(inclusion, pseudo_labels)
+            else:
+                # Ablation (DESIGN.md §4): treat the pseudo labels as hard targets
+                # instead of ranking constraints.
+                rank_loss = binary_cross_entropy(inclusion, pseudo_labels.astype(np.float64))
+            loss = detection_loss + Tensor(config.lambda_weight) * rank_loss
+            loss.backward()
+            optimizer.step()
+            scheduler.step()
+            history.append(float(detection_loss.item()))
+            rank_history.append(float(rank_loss.item()))
 
-        if val_indices.size:
-            stage.eval()
-            with no_grad():
-                val_probs, _ = stage(graph)
-            stage.train()
-            monitored = binary_auc(val_targets, val_probs.data[val_indices])
-        else:
-            monitored = history[-1]
-        if verbose and (epoch % 10 == 0 or epoch == config.slave_epochs - 1):
-            print(f"[slave] epoch {epoch:3d} detection {history[-1]:.4f} "
-                  f"rank {rank_history[-1]:.4f} val {monitored:.4f}")
-        if stopper.update(monitored if val_indices.size else history[-1], epoch):
-            break
+            if val_indices.size and _val_due(epoch, config.val_interval,
+                                             config.slave_epochs):
+                stage.eval()
+                with no_grad():
+                    val_probs, _ = stage(graph, plan=plan)
+                stage.train()
+                monitored = binary_auc(val_targets, val_probs.data[val_indices])
+            elif val_indices.size:
+                # Off-interval epoch: skip the extra inference forward.
+                continue
+            else:
+                monitored = history[-1]
+            if verbose and (epoch % 10 == 0 or epoch == config.slave_epochs - 1):
+                print(f"[slave] epoch {epoch:3d} detection {history[-1]:.4f} "
+                      f"rank {rank_history[-1]:.4f} val {monitored:.4f}")
+            if stopper.update(monitored if val_indices.size else history[-1], epoch):
+                break
     stopper.restore_best()
 
     return SlaveTrainingResult(stage=stage, history=history,
                                rank_loss_history=rank_history)
 
 
-def slave_predict_proba(stage: SlaveStage, graph: UrbanRegionGraph) -> np.ndarray:
+def slave_predict_proba(stage: SlaveStage, graph: UrbanRegionGraph,
+                        plan: Optional[EdgePlan] = None) -> np.ndarray:
     """Inference with the region-specific slave models (Section V-C)."""
+    if plan is None:
+        plan = stage.master.graph_plan(graph)
     stage.eval()
     with no_grad():
-        probs, _ = stage(graph)
+        probs, _ = stage(graph, plan=plan)
     stage.train()
     return probs.data.copy()

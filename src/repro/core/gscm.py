@@ -97,7 +97,10 @@ class GlobalSemanticClustering(Module):
         # cluster); the soft variant weighs every region by its membership
         # probability instead.
         if self.hard_collection:
-            cluster_repr = segment_sum(local_repr, hard, self.num_clusters)
+            # ``hard`` is an argmax over ``num_clusters`` columns so it is in
+            # range by construction; skip the per-call min/max scan.
+            cluster_repr = segment_sum(local_repr, hard, self.num_clusters,
+                                       check=False)
         else:
             cluster_repr = assignment.transpose().matmul(local_repr)
 

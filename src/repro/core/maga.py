@@ -27,6 +27,7 @@ import numpy as np
 
 from .. import nn
 from ..nn import functional as F
+from ..nn.graphops import EdgePlan
 from ..nn.module import Module, ModuleList, Parameter
 from ..nn.sparse import gather_rows, segment_softmax, segment_sum
 from ..nn.tensor import Tensor, concatenate
@@ -71,8 +72,7 @@ class EdgeAttention(Module):
         self.attn_src = Parameter(
             rng.normal(0.0, np.sqrt(2.0 / (self.head_dim + 1)), size=(heads, self.head_dim)))
 
-    def forward(self, x_dst: Tensor, x_src: Tensor, edge_index: np.ndarray,
-                num_nodes: int) -> Tensor:
+    def forward(self, x_dst: Tensor, x_src: Tensor, edge_index, num_nodes: int) -> Tensor:
         """Aggregate ``x_src`` into destination nodes along ``edge_index``.
 
         Parameters
@@ -80,19 +80,38 @@ class EdgeAttention(Module):
         x_dst / x_src:
             Node feature tensors for the destination / source roles.
         edge_index:
-            ``(2, M)`` array with rows ``(src, dst)``.
+            ``(2, M)`` array with rows ``(src, dst)``, or a precomputed
+            :class:`~repro.nn.graphops.EdgePlan` whose prebuilt scatter
+            operators make the per-call sparse-matrix construction and id
+            validation disappear (bit-identical results either way).
         num_nodes:
             Number of nodes (rows of the output).
         """
-        src, dst = edge_index[0], edge_index[1]
+        if isinstance(edge_index, EdgePlan):
+            src, dst = edge_index.src_plan, edge_index.dst_plan
+        else:
+            src, dst = edge_index[0], edge_index[1]
         proj_src = self.w_src(x_src).reshape(num_nodes, self.heads, self.head_dim)
         proj_dst = self.w_dst(x_dst).reshape(num_nodes, self.heads, self.head_dim)
 
         src_feat = gather_rows(proj_src, src)   # (M, heads, head_dim)
-        dst_feat = gather_rows(proj_dst, dst)   # (M, heads, head_dim)
 
-        score_dst = (dst_feat * self.attn_dst).sum(axis=-1)   # (M, heads)
-        score_src = (src_feat * self.attn_src).sum(axis=-1)   # (M, heads)
+        if proj_src.dtype == np.float32 and isinstance(edge_index, EdgePlan):
+            # Fast-path formulation: evaluate the attention projections
+            # a^T W x once per *node* and gather the scalar per-head scores
+            # onto the edges, instead of gathering (M, heads, head_dim)
+            # features and contracting per edge.  Forward values are the
+            # same arithmetic on the same inputs; the gradient accumulation
+            # order differs, so this is reserved for float32, where no
+            # bit-compatibility with the float64 reference is promised.
+            node_score_src = (proj_src * self.attn_src).sum(axis=-1)  # (N, heads)
+            node_score_dst = (proj_dst * self.attn_dst).sum(axis=-1)  # (N, heads)
+            score_dst = gather_rows(node_score_dst, dst)              # (M, heads)
+            score_src = gather_rows(node_score_src, src)              # (M, heads)
+        else:
+            dst_feat = gather_rows(proj_dst, dst)   # (M, heads, head_dim)
+            score_dst = (dst_feat * self.attn_dst).sum(axis=-1)   # (M, heads)
+            score_src = (src_feat * self.attn_src).sum(axis=-1)   # (M, heads)
         scores = F.leaky_relu(score_dst + score_src, self.negative_slope)
         alpha = segment_softmax(scores, dst, num_nodes)        # (M, heads)
 
@@ -171,7 +190,7 @@ class MAGALayer(Module):
             return self.agg_poi.output_dim
         return self.hidden_dim
 
-    def forward(self, x_poi: Tensor, x_img: Tensor, edge_index: np.ndarray,
+    def forward(self, x_poi: Tensor, x_img: Tensor, edge_index,
                 num_nodes: int) -> Tuple[Tensor, Tensor]:
         intra_poi = self.intra_poi(x_poi, x_poi, edge_index, num_nodes)
         intra_img = self.intra_img(x_img, x_img, edge_index, num_nodes)
@@ -233,7 +252,8 @@ class MAGAEncoder(Module):
         return 2 * self.modality_dim
 
     def forward(self, x_poi_raw: np.ndarray, x_img_raw: np.ndarray,
-                edge_index: np.ndarray) -> Tensor:
+                edge_index: np.ndarray,
+                plan: Optional[EdgePlan] = None) -> Tensor:
         num_nodes = x_poi_raw.shape[0] if self.has_poi else x_img_raw.shape[0]
         x_poi = Tensor(x_poi_raw) if self.has_poi else Tensor(np.zeros((num_nodes, 1)))
         if self.has_img:
@@ -241,10 +261,12 @@ class MAGAEncoder(Module):
         else:
             x_img = Tensor(np.zeros((num_nodes, 1)))
         # Self-loops keep each region's own (most discriminative) features in
-        # the attentive aggregation alongside its neighbourhood context.
-        edge_index = add_self_loops(edge_index, num_nodes)
+        # the attentive aggregation alongside its neighbourhood context.  A
+        # precomputed plan already carries them (hoisted out of the forward);
+        # the legacy path re-augments the edge list on every call.
+        edges = plan if plan is not None else add_self_loops(edge_index, num_nodes)
         for layer in self.layers:
-            x_poi, x_img = layer(x_poi, x_img, edge_index, num_nodes)
+            x_poi, x_img = layer(x_poi, x_img, edges, num_nodes)
             if self.dropout > 0:
                 x_poi = F.dropout(x_poi, self.dropout, self._rng, training=self.training)
                 x_img = F.dropout(x_img, self.dropout, self._rng, training=self.training)

@@ -20,10 +20,11 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from ..nn import functional as F
+from ..nn.graphops import EdgePlan
 from ..nn.losses import binary_cross_entropy, class_balanced_weights
 from ..nn.module import Module, Parameter
 from ..nn.optim import Adam, ExponentialDecay
-from ..nn.tensor import Tensor, no_grad
+from ..nn.tensor import Tensor, dtype_scope, no_grad
 from ..nn.training import EarlyStopping, binary_auc, validation_split
 from ..urg.graph import UrbanRegionGraph
 from .config import CMSFConfig
@@ -99,6 +100,11 @@ class MasterModel(Module):
                  rng: np.random.Generator) -> None:
         super().__init__()
         self.config = config
+        with dtype_scope(config.dtype):
+            self._build(poi_dim, img_dim, config, rng)
+
+    def _build(self, poi_dim: int, img_dim: int, config: CMSFConfig,
+               rng: np.random.Generator) -> None:
         self.encoder = MAGAEncoder(
             poi_dim=poi_dim,
             img_dim=img_dim,
@@ -131,20 +137,38 @@ class MasterModel(Module):
     # ------------------------------------------------------------------
     # forward passes
     # ------------------------------------------------------------------
-    def encode(self, graph: UrbanRegionGraph):
-        """Run MAGA (+ GSCM) and return ``(enhanced_repr, GSCMOutput | None)``."""
-        local = self.encoder(graph.x_poi, graph.x_img, graph.edge_index)
-        if self.gscm is None:
-            return local, None
-        gscm_out: GSCMOutput = self.gscm(local)
-        return gscm_out.enhanced, gscm_out
+    def graph_plan(self, graph: UrbanRegionGraph) -> Optional[EdgePlan]:
+        """The (cached) compute plan for ``graph`` — or None when disabled."""
+        if not self.config.use_edge_plan:
+            return None
+        return EdgePlan.for_graph(graph)
 
-    def forward(self, graph: UrbanRegionGraph) -> Tensor:
+    def encode(self, graph: UrbanRegionGraph, plan: Optional[EdgePlan] = None):
+        """Run MAGA (+ GSCM) and return ``(enhanced_repr, GSCMOutput | None)``.
+
+        ``plan`` is the self-loop-augmented :class:`EdgePlan` of the graph;
+        training loops build it once and pass it in, one-shot callers leave
+        it None and the config decides whether a cached plan is looked up.
+        """
+        with dtype_scope(self.config.dtype):
+            if plan is None:
+                plan = self.graph_plan(graph)
+            local = self.encoder(graph.x_poi, graph.x_img, graph.edge_index,
+                                 plan=plan)
+            if self.gscm is None:
+                return local, None
+            gscm_out: GSCMOutput = self.gscm(local)
+            return gscm_out.enhanced, gscm_out
+
+    def forward(self, graph: UrbanRegionGraph,
+                plan: Optional[EdgePlan] = None) -> Tensor:
         """Probability of every region being an urban village (Eq. 14)."""
-        enhanced, _ = self.encode(graph)
-        return self.classifier(enhanced)
+        with dtype_scope(self.config.dtype):
+            enhanced, _ = self.encode(graph, plan=plan)
+            return self.classifier(enhanced)
 
-    def predict_proba_tensor(self, graph: UrbanRegionGraph) -> Tensor:
+    def predict_proba_tensor(self, graph: UrbanRegionGraph,
+                             plan: Optional[EdgePlan] = None) -> Tensor:
         """Inference-mode probabilities as a detached :class:`Tensor`.
 
         Dropout is disabled and no autograd graph is built, so the result can
@@ -152,13 +176,14 @@ class MasterModel(Module):
         """
         self.eval()
         with no_grad():
-            probs = self.forward(graph)
+            probs = self.forward(graph, plan=plan)
         self.train()
         return probs
 
-    def predict_proba(self, graph: UrbanRegionGraph) -> np.ndarray:
+    def predict_proba(self, graph: UrbanRegionGraph,
+                      plan: Optional[EdgePlan] = None) -> np.ndarray:
         """Inference-mode probabilities as a plain numpy array."""
-        return self.predict_proba_tensor(graph).data.copy()
+        return self.predict_proba_tensor(graph, plan=plan).data.copy()
 
 
 @dataclass
@@ -207,6 +232,10 @@ def train_master(model: MasterModel, graph: UrbanRegionGraph,
     fit_weights = class_balanced_weights(fit_targets) if config.class_balance else None
     val_targets = graph.labels[val_indices].astype(np.float64)
 
+    # Structural precomputation shared by every epoch (and the validation
+    # forwards): self-loop augmentation, scatter operators, id validation.
+    plan = model.graph_plan(graph)
+
     optimizer = Adam(model.parameters(), lr=config.learning_rate,
                      weight_decay=config.weight_decay,
                      max_grad_norm=config.max_grad_norm)
@@ -217,31 +246,39 @@ def train_master(model: MasterModel, graph: UrbanRegionGraph,
                             mode="max" if val_indices.size else "min")
 
     history: List[float] = []
-    for epoch in range(config.master_epochs):
-        optimizer.zero_grad()
-        probs = model(graph)
-        loss = binary_cross_entropy(probs[fit_indices], fit_targets, fit_weights)
-        loss.backward()
-        optimizer.step()
-        scheduler.step()
-        value = float(loss.item())
-        history.append(value)
+    with dtype_scope(config.dtype):
+        for epoch in range(config.master_epochs):
+            optimizer.zero_grad()
+            probs = model(graph, plan=plan)
+            loss = binary_cross_entropy(probs[fit_indices], fit_targets, fit_weights)
+            loss.backward()
+            optimizer.step()
+            scheduler.step()
+            value = float(loss.item())
+            history.append(value)
 
-        if val_indices.size:
-            val_scores = model.predict_proba_tensor(graph).data[val_indices]
-            monitored = binary_auc(val_targets, val_scores)
-        else:
-            monitored = value
-        if verbose and (epoch % 10 == 0 or epoch == config.master_epochs - 1):
-            print(f"[master] epoch {epoch:3d} loss {value:.4f} val {monitored:.4f}")
-        if stopper.update(monitored, epoch):
-            break
+            if val_indices.size and _val_due(epoch, config.val_interval,
+                                             config.master_epochs):
+                val_scores = model.predict_proba_tensor(graph, plan=plan).data[val_indices]
+                monitored = binary_auc(val_targets, val_scores)
+            elif val_indices.size:
+                # Off-interval epoch: skip the extra inference forward and
+                # leave the early-stopping state untouched.
+                if verbose and epoch % 10 == 0:
+                    print(f"[master] epoch {epoch:3d} loss {value:.4f}")
+                continue
+            else:
+                monitored = value
+            if verbose and (epoch % 10 == 0 or epoch == config.master_epochs - 1):
+                print(f"[master] epoch {epoch:3d} loss {value:.4f} val {monitored:.4f}")
+            if stopper.update(monitored, epoch):
+                break
     stopper.restore_best()
 
     # Fix the hierarchical structure and derive pseudo labels (Eq. 16).
     model.eval()
     with no_grad():
-        _, gscm_out = model.encode(graph)
+        _, gscm_out = model.encode(graph, plan=plan)
     model.train()
     if gscm_out is not None:
         hard = gscm_out.hard_assignment
@@ -253,6 +290,13 @@ def train_master(model: MasterModel, graph: UrbanRegionGraph,
         pseudo = np.zeros(0, dtype=np.int64)
     return MasterTrainingResult(model=model, hard_assignment=hard,
                                 pseudo_labels=pseudo, history=history)
+
+
+def _val_due(epoch: int, interval: int, total_epochs: int) -> bool:
+    """Whether the validation forward runs this epoch (always the last one)."""
+    if interval <= 1:
+        return True
+    return epoch % interval == 0 or epoch == total_epochs - 1
 
 
 def _training_mask(graph: UrbanRegionGraph, train_indices: np.ndarray) -> np.ndarray:

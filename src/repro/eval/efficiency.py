@@ -5,7 +5,10 @@ Three quantities are reported per method:
 * **training time** — average wall-clock time of one training epoch;
 * **inference time** — wall-clock time of producing probabilities for every
   region of the city from raw inputs;
-* **model size** — parameter count converted to megabytes (float32).
+* **model size** — parameter count converted to megabytes at the detector's
+  actual parameter storage dtype (float64 by default, float32 when the
+  detector was trained with ``CMSFConfig(dtype="float32")``; 4 bytes per
+  parameter is assumed for detectors without inspectable parameters).
 
 Absolute values obviously depend on the machine and on the numpy substrate
 replacing the paper's GPU stack; what the reproduction preserves is the
@@ -24,7 +27,9 @@ import numpy as np
 from ..base import DetectorBase
 from ..urg.graph import UrbanRegionGraph
 
-#: bytes per parameter used when reporting model size (float32 deployment)
+#: fallback bytes per parameter for detectors whose storage dtype cannot be
+#: inspected (kept for backwards compatibility; reports now derive the size
+#: from the actual parameter dtype whenever the detector exposes a module)
 BYTES_PER_PARAMETER = 4
 
 
@@ -40,6 +45,8 @@ class EfficiencyReport:
     num_parameters: int
     total_fit_seconds: float
     epochs: int
+    #: storage dtype of the trained parameters the size is computed from
+    parameter_dtype: str = "float32"
 
     def as_dict(self) -> Dict[str, float]:
         return {
@@ -49,7 +56,28 @@ class EfficiencyReport:
             "inference_s": self.inference_seconds,
             "model_size_mb": self.model_size_mb,
             "parameters": self.num_parameters,
+            "parameter_dtype": self.parameter_dtype,
         }
+
+
+def _parameter_dtype(detector: DetectorBase) -> Optional[np.dtype]:
+    """Best-effort storage dtype of a fitted detector's parameters.
+
+    Covers the two module-backed detector families (the baselines'
+    ``GraphModuleDetector.module`` and CMSF's persisted stage); detectors
+    without inspectable numpy parameters return None.
+    """
+    module = getattr(detector, "module", None)
+    if module is None:
+        accessor = getattr(detector, "_persisted_module", None)
+        if callable(accessor):
+            try:
+                module = accessor()
+            except Exception:
+                module = None
+    if module is not None and hasattr(module, "parameter_dtype"):
+        return np.dtype(module.parameter_dtype())
+    return None
 
 
 def _count_epochs(detector: DetectorBase) -> Optional[int]:
@@ -80,13 +108,16 @@ def measure_efficiency(factory: Callable[[], DetectorBase], graph: UrbanRegionGr
     inference = time.perf_counter() - start
 
     parameters = detector.num_parameters()
+    dtype = _parameter_dtype(detector)
+    bytes_per_param = dtype.itemsize if dtype is not None else BYTES_PER_PARAMETER
     return EfficiencyReport(
         method=detector.name,
         city=graph.name,
         train_seconds_per_epoch=total_fit / max(epochs, 1),
         inference_seconds=inference,
-        model_size_mb=parameters * BYTES_PER_PARAMETER / (1024.0 ** 2),
+        model_size_mb=parameters * bytes_per_param / (1024.0 ** 2),
         num_parameters=parameters,
         total_fit_seconds=total_fit,
         epochs=epochs,
+        parameter_dtype=str(dtype) if dtype is not None else "float32",
     )

@@ -7,6 +7,7 @@ from scratch so that the reproduction has no external DL dependency:
 * :mod:`repro.nn.tensor` — reverse-mode autodiff tensors,
 * :mod:`repro.nn.functional` — activations / softmax / dropout,
 * :mod:`repro.nn.sparse` — segment operations for edge-list GNNs,
+* :mod:`repro.nn.graphops` — precomputed per-graph compute plans (EdgePlan),
 * :mod:`repro.nn.module` / :mod:`repro.nn.layers` — module system and layers,
 * :mod:`repro.nn.losses` — BCE, PU rank loss, MSE,
 * :mod:`repro.nn.optim` — SGD, Adam, exponential decay,
@@ -15,6 +16,7 @@ from scratch so that the reproduction has no external DL dependency:
 """
 
 from . import functional
+from . import graphops
 from . import init
 from . import losses
 from . import optim
@@ -22,13 +24,22 @@ from . import schedulers
 from . import serialization
 from . import sparse
 from . import training
+from .graphops import EdgePlan, SegmentPlan
 from .layers import MLP, Activation, Dropout, Linear, LogisticRegression, Sequential
 from .module import Module, ModuleList, Parameter
-from .tensor import Tensor, as_tensor, concatenate, maximum, no_grad, stack, where
+from .tensor import (Tensor, as_tensor, concatenate, dtype_scope,
+                     get_default_dtype, maximum, no_grad, set_default_dtype,
+                     stack, where)
 from .training import EarlyStopping, validation_split
 
 __all__ = [
     "Tensor",
+    "EdgePlan",
+    "SegmentPlan",
+    "dtype_scope",
+    "get_default_dtype",
+    "set_default_dtype",
+    "graphops",
     "as_tensor",
     "concatenate",
     "stack",

@@ -36,6 +36,10 @@ def binary_cross_entropy(probs: Tensor, targets: Union[Tensor, np.ndarray],
         Clamp constant guarding against ``log(0)``.
     """
     targets = targets.data if isinstance(targets, Tensor) else np.asarray(targets, dtype=np.float64)
+    # In float32 the default clamp underflows (1 - 1e-12 rounds to exactly
+    # 1.0), so widen it to the dtype's machine epsilon: saturated sigmoids
+    # would otherwise produce log(0) = -inf.
+    eps = max(eps, float(np.finfo(probs.dtype).eps))
     probs = probs.clip(eps, 1.0 - eps)
     positive = Tensor(targets) * probs.log()
     negative = Tensor(1.0 - targets) * (Tensor(1.0) - probs).log()

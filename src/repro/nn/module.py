@@ -13,14 +13,20 @@ from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
-from .tensor import Tensor
+from .tensor import Tensor, get_default_dtype
 
 
 class Parameter(Tensor):
-    """A tensor that is registered as a trainable model parameter."""
+    """A tensor that is registered as a trainable model parameter.
+
+    Parameters are stored in the default tensor dtype active at construction
+    time (see :func:`repro.nn.tensor.set_default_dtype`): float64 unless a
+    model opts into the float32 fast path.
+    """
 
     def __init__(self, data, name: Optional[str] = None) -> None:
-        super().__init__(np.asarray(data, dtype=np.float64), requires_grad=True, name=name)
+        super().__init__(np.asarray(data, dtype=get_default_dtype()),
+                         requires_grad=True, name=name)
 
 
 class Module:
@@ -99,8 +105,14 @@ class Module:
         return int(sum(param.size for param in self.parameters()))
 
     def model_size_bytes(self) -> int:
-        """Size of all parameters in bytes (float64 storage)."""
+        """Size of all parameters in bytes (at their actual storage dtype)."""
         return int(sum(param.data.nbytes for param in self.parameters()))
+
+    def parameter_dtype(self) -> np.dtype:
+        """Storage dtype of the parameters (first parameter's dtype)."""
+        for param in self.parameters():
+            return param.data.dtype
+        return np.dtype(np.float64)
 
     # ------------------------------------------------------------------
     # serialisation
@@ -130,7 +142,9 @@ class Module:
         for name, param in own.items():
             if name not in state:
                 continue
-            value = np.asarray(state[name], dtype=np.float64)
+            # Cast to the parameter's own dtype so float32 modules stay in
+            # the fast path when restoring snapshots or loading bundles.
+            value = np.asarray(state[name], dtype=param.data.dtype)
             if value.shape != param.data.shape:
                 raise ValueError(
                     "shape mismatch for %r: expected %s, got %s"

@@ -40,9 +40,11 @@ class Optimizer:
         for param in self.parameters:
             if param.grad is not None:
                 total += float((param.grad ** 2).sum())
-        norm = np.sqrt(total)
+        norm = float(np.sqrt(total))
         if norm > max_norm and norm > 0:
-            scale = max_norm / norm
+            # Plain python float: a numpy float64 scalar would silently
+            # promote float32 gradients to float64 and kill the fast path.
+            scale = float(max_norm / norm)
             for param in self.parameters:
                 if param.grad is not None:
                     param.grad = param.grad * scale

@@ -12,14 +12,28 @@ matrices.  The primitives needed for that style of computation are:
 
 All operations are differentiable with respect to their dense inputs.
 Segment ids are plain integer numpy arrays and are never differentiated.
+
+Every primitive also accepts a precomputed
+:class:`~repro.nn.graphops.SegmentPlan` in place of the raw id array.  The
+plan carries a prebuilt CSR scatter operator, ``reduceat`` offsets for the
+per-segment max and already-validated ids, so the per-call sparse-matrix
+construction, ``min``/``max`` range scans and ``astype`` copies all
+disappear from the hot path.  Plan-based results are bit-identical to the
+id-array path — the plan changes *when* the structural work happens, not
+what is computed.
 """
 
 from __future__ import annotations
 
+from typing import Union
+
 import numpy as np
 from scipy import sparse as sp
 
+from .graphops import SegmentPlan
 from .tensor import Tensor, is_grad_enabled
+
+SegmentIds = Union[np.ndarray, SegmentPlan]
 
 
 def _scatter_add_rows(index: np.ndarray, values: np.ndarray, num_rows: int) -> np.ndarray:
@@ -27,7 +41,9 @@ def _scatter_add_rows(index: np.ndarray, values: np.ndarray, num_rows: int) -> n
 
     Equivalent to ``np.add.at(out, index, values)`` but implemented as a
     sparse-matrix product, which is one to two orders of magnitude faster for
-    the edge counts of a typical URG.
+    the edge counts of a typical URG.  This is the legacy per-call kernel;
+    plan-based calls use the prebuilt operator on the
+    :class:`~repro.nn.graphops.SegmentPlan` instead.
     """
     flat = values.reshape(values.shape[0], -1)
     matrix = sp.csr_matrix(
@@ -37,44 +53,81 @@ def _scatter_add_rows(index: np.ndarray, values: np.ndarray, num_rows: int) -> n
     return np.asarray(out).reshape((num_rows,) + values.shape[1:])
 
 
-def _check_segment_ids(segment_ids: np.ndarray, num_segments: int) -> np.ndarray:
-    segment_ids = np.asarray(segment_ids)
+def _check_segment_ids(segment_ids: np.ndarray, num_segments: int,
+                       check: bool = True) -> np.ndarray:
+    # ``asarray`` with an explicit dtype is a no-op for arrays that are
+    # already int64, so repeated calls stop paying an ``astype`` copy.
+    segment_ids = np.asarray(segment_ids, dtype=np.int64)
     if segment_ids.ndim != 1:
         raise ValueError("segment_ids must be 1-D, got shape %s" % (segment_ids.shape,))
-    if segment_ids.size and (segment_ids.min() < 0 or segment_ids.max() >= num_segments):
+    if check and segment_ids.size and (
+            segment_ids.min() < 0 or segment_ids.max() >= num_segments):
         raise ValueError(
             "segment ids must lie in [0, %d), got range [%d, %d]"
             % (num_segments, segment_ids.min(), segment_ids.max())
         )
-    return segment_ids.astype(np.int64)
+    return segment_ids
 
 
-def gather_rows(x: Tensor, index: np.ndarray) -> Tensor:
+def _resolve_plan(segment_ids: SegmentIds, num_segments: int,
+                  check: bool = True):
+    """Split a ``segment_ids`` argument into ``(ids, plan-or-None)``.
+
+    A :class:`SegmentPlan` was validated at construction, so its ids are
+    trusted; raw arrays go through :func:`_check_segment_ids` (which callers
+    may skip with ``check=False`` when the ids are trusted by construction,
+    e.g. an ``argmax`` over ``num_segments`` columns).
+    """
+    if isinstance(segment_ids, SegmentPlan):
+        if segment_ids.num_segments != num_segments:
+            raise ValueError(
+                "segment plan covers %d segments but %d were requested"
+                % (segment_ids.num_segments, num_segments))
+        return segment_ids.ids, segment_ids
+    return _check_segment_ids(segment_ids, num_segments, check=check), None
+
+
+def gather_rows(x: Tensor, index: SegmentIds) -> Tensor:
     """Return ``x[index]`` with gradient scattered back by ``np.add.at``.
 
     ``index`` may contain repeated entries (each node appears once per
     incident edge), which is exactly the case for edge-list message passing.
+    When ``index`` is a :class:`SegmentPlan` the backward scatter reuses the
+    plan's prebuilt CSR operator.
     """
-    index = np.asarray(index, dtype=np.int64)
+    if isinstance(index, SegmentPlan):
+        plan = index
+        index = plan.ids
+    else:
+        plan = None
+        index = np.asarray(index, dtype=np.int64)
     out_data = x.data[index]
     if not (is_grad_enabled() and x.requires_grad):
         return Tensor(out_data)
 
-    def backward(grad: np.ndarray) -> None:
-        x._accumulate(_scatter_add_rows(index, grad, x.shape[0]))
+    if plan is not None:
+        def backward(grad: np.ndarray) -> None:
+            x._accumulate(plan.scatter_sum(grad))
+    else:
+        def backward(grad: np.ndarray) -> None:
+            x._accumulate(_scatter_add_rows(index, grad, x.shape[0]))
 
     return Tensor(out_data, requires_grad=True, parents=(x,), backward=backward)
 
 
-def segment_sum(values: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:
+def segment_sum(values: Tensor, segment_ids: SegmentIds, num_segments: int,
+                check: bool = True) -> Tensor:
     """Sum ``values`` rows into ``num_segments`` buckets given by ``segment_ids``."""
-    segment_ids = _check_segment_ids(segment_ids, num_segments)
+    segment_ids, plan = _resolve_plan(segment_ids, num_segments, check=check)
     if values.shape[0] != segment_ids.shape[0]:
         raise ValueError(
             "values and segment_ids must agree on the first dimension: %d vs %d"
             % (values.shape[0], segment_ids.shape[0])
         )
-    out_data = _scatter_add_rows(segment_ids, values.data, num_segments)
+    if plan is not None:
+        out_data = plan.scatter_sum(values.data)
+    else:
+        out_data = _scatter_add_rows(segment_ids, values.data, num_segments)
     if not (is_grad_enabled() and values.requires_grad):
         return Tensor(out_data)
 
@@ -84,49 +137,58 @@ def segment_sum(values: Tensor, segment_ids: np.ndarray, num_segments: int) -> T
     return Tensor(out_data, requires_grad=True, parents=(values,), backward=backward)
 
 
-def segment_mean(values: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:
+def segment_mean(values: Tensor, segment_ids: SegmentIds, num_segments: int) -> Tensor:
     """Average of ``values`` per segment; empty segments yield zeros."""
-    segment_ids = _check_segment_ids(segment_ids, num_segments)
-    counts = np.bincount(segment_ids, minlength=num_segments).astype(values.dtype)
+    segment_ids, plan = _resolve_plan(segment_ids, num_segments)
+    if plan is not None:
+        counts = plan.counts.astype(values.dtype)
+    else:
+        counts = np.bincount(segment_ids, minlength=num_segments).astype(values.dtype)
     counts = np.maximum(counts, 1.0)
-    total = segment_sum(values, segment_ids, num_segments)
+    total = segment_sum(values, plan if plan is not None else segment_ids,
+                        num_segments, check=False)
     shape = (num_segments,) + (1,) * (values.ndim - 1)
     return total * Tensor(1.0 / counts.reshape(shape))
 
 
-def segment_max_raw(values: np.ndarray, segment_ids: np.ndarray, num_segments: int,
+def segment_max_raw(values: np.ndarray, segment_ids: SegmentIds, num_segments: int,
                     fill: float = -np.inf) -> np.ndarray:
     """Non-differentiable per-segment maximum (used for numerical stability)."""
-    segment_ids = _check_segment_ids(segment_ids, num_segments)
+    segment_ids, plan = _resolve_plan(segment_ids, num_segments)
+    if plan is not None:
+        return plan.segment_max(values, fill=fill)
     out = np.full((num_segments,) + values.shape[1:], fill, dtype=values.dtype)
     np.maximum.at(out, segment_ids, values)
     return out
 
 
-def segment_softmax(scores: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:
+def segment_softmax(scores: Tensor, segment_ids: SegmentIds, num_segments: int) -> Tensor:
     """Softmax over the entries of each segment.
 
     This is the normalisation of attention coefficients per destination node
     used by GAT-style layers (paper Eq. 3 / Eq. 7).  ``scores`` must be 1-D
     (one scalar score per edge) or 2-D with trailing head dimension.
     """
-    segment_ids = _check_segment_ids(segment_ids, num_segments)
+    segment_ids, plan = _resolve_plan(segment_ids, num_segments)
     if scores.shape[0] != segment_ids.shape[0]:
         raise ValueError(
             "scores and segment_ids must agree on the first dimension: %d vs %d"
             % (scores.shape[0], segment_ids.shape[0])
         )
+    # The ids were validated once above (or at plan construction); the inner
+    # segment_sum / gather_rows calls reuse them without re-scanning.
+    ids: SegmentIds = plan if plan is not None else segment_ids
     # Subtract per-segment max for numerical stability (constant w.r.t. grad).
-    seg_max = segment_max_raw(scores.data, segment_ids, num_segments)
+    seg_max = segment_max_raw(scores.data, ids, num_segments)
     seg_max = np.where(np.isfinite(seg_max), seg_max, 0.0)
     shifted = scores - Tensor(seg_max[segment_ids])
     exp = shifted.exp()
-    denom = segment_sum(exp, segment_ids, num_segments)
-    denom_per_edge = gather_rows(denom, segment_ids)
+    denom = segment_sum(exp, ids, num_segments, check=False)
+    denom_per_edge = gather_rows(denom, ids)
     return exp / (denom_per_edge + 1e-16)
 
 
-def scatter_rows(values: Tensor, index: np.ndarray, num_rows: int) -> Tensor:
+def scatter_rows(values: Tensor, index: SegmentIds, num_rows: int) -> Tensor:
     """Scatter-add ``values`` rows into a zero matrix with ``num_rows`` rows.
 
     Alias of :func:`segment_sum` kept for readability at call sites that think
@@ -135,7 +197,9 @@ def scatter_rows(values: Tensor, index: np.ndarray, num_rows: int) -> Tensor:
     return segment_sum(values, index, num_rows)
 
 
-def degree(segment_ids: np.ndarray, num_segments: int, dtype=np.float64) -> np.ndarray:
+def degree(segment_ids: SegmentIds, num_segments: int, dtype=np.float64) -> np.ndarray:
     """Number of entries per segment (e.g. in-degree of each node)."""
-    segment_ids = _check_segment_ids(segment_ids, num_segments)
+    segment_ids, plan = _resolve_plan(segment_ids, num_segments)
+    if plan is not None:
+        return plan.counts.astype(dtype)
     return np.bincount(segment_ids, minlength=num_segments).astype(dtype)

@@ -25,6 +25,58 @@ import numpy as np
 ArrayLike = Union[np.ndarray, float, int, Sequence]
 
 _grad_enabled = True
+_default_dtype = np.dtype(np.float64)
+
+#: dtypes the substrate supports as a compute precision
+_SUPPORTED_DTYPES = (np.dtype(np.float32), np.dtype(np.float64))
+
+
+def set_default_dtype(dtype) -> np.dtype:
+    """Set the floating dtype used for tensor data; returns the previous one.
+
+    Every :class:`Tensor` (and :class:`~repro.nn.module.Parameter`) created
+    afterwards stores its data in this dtype, which is how the float32 fast
+    path is switched on: under float32 the whole forward/backward pass —
+    activations, gradients, optimiser state — stays in single precision.
+    The default is float64, under which results are bit-identical to the
+    historical behaviour.
+    """
+    global _default_dtype
+    dtype = np.dtype(dtype)
+    if dtype not in _SUPPORTED_DTYPES:
+        raise ValueError("default dtype must be float32 or float64, got %r"
+                         % (dtype,))
+    previous = _default_dtype
+    _default_dtype = dtype
+    return previous
+
+
+def get_default_dtype() -> np.dtype:
+    """The floating dtype new tensors are created with."""
+    return _default_dtype
+
+
+class dtype_scope:
+    """Context manager pinning the default tensor dtype within a block.
+
+    Model construction, training and inference entry points wrap themselves
+    in ``dtype_scope(config.dtype)`` so a float32 model keeps computing in
+    float32 even when the ambient default is float64 (and vice versa).
+    Scopes nest and restore the previous default on exit.
+    """
+
+    def __init__(self, dtype) -> None:
+        self._dtype = np.dtype(dtype)
+        if self._dtype not in _SUPPORTED_DTYPES:
+            raise ValueError("dtype_scope requires float32 or float64, got %r"
+                             % (self._dtype,))
+
+    def __enter__(self) -> "dtype_scope":
+        self._previous = set_default_dtype(self._dtype)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        set_default_dtype(self._previous)
 
 
 class no_grad:
@@ -50,7 +102,9 @@ def is_grad_enabled() -> bool:
     return _grad_enabled
 
 
-def _as_array(value: ArrayLike, dtype=np.float64) -> np.ndarray:
+def _as_array(value: ArrayLike, dtype=None) -> np.ndarray:
+    if dtype is None:
+        dtype = _default_dtype
     if isinstance(value, np.ndarray):
         if value.dtype != dtype:
             return value.astype(dtype)
@@ -147,7 +201,14 @@ class Tensor:
     # ------------------------------------------------------------------
     def _accumulate(self, grad: np.ndarray) -> None:
         if self.grad is None:
-            self.grad = np.array(grad, dtype=self.data.dtype, copy=True)
+            if isinstance(grad, np.ndarray) and grad.dtype == self.data.dtype:
+                # Alias instead of copying: gradient arrays are never
+                # mutated in place anywhere in the package (accumulation
+                # and optimisers rebind), so the defensive copy on the
+                # first accumulation only cost memory bandwidth.
+                self.grad = grad
+            else:
+                self.grad = np.array(grad, dtype=self.data.dtype, copy=True)
         else:
             self.grad = self.grad + grad
 

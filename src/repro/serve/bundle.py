@@ -59,6 +59,9 @@ class BundleManifest:
     has_slave: bool
     num_parameters: int
     checksum: str
+    #: floating dtype the parameters were trained (and are served) in;
+    #: bundles written before the dtype knob existed default to float64
+    dtype: str = "float64"
     #: metadata of the graph the detector was trained on — city name, node
     #: and edge counts, content fingerprint and the preprocessing stats the
     #: URG builder recorded (feature dimensions, relation edge counts, ...)
@@ -79,8 +82,8 @@ class BundleManifest:
 
     def describe(self) -> str:
         graph_name = self.graph.get("name", "?")
-        return ("%s:%s  params=%d  gate=%s  trained-on=%s  created=%s"
-                % (self.name, self.version, self.num_parameters,
+        return ("%s:%s  params=%d (%s)  gate=%s  trained-on=%s  created=%s"
+                % (self.name, self.version, self.num_parameters, self.dtype,
                    "yes" if self.has_slave else "no", graph_name, self.created_at))
 
 
@@ -153,6 +156,7 @@ def save_bundle(detector: CMSFDetector, directory: PathLike,
         has_slave=detector.has_slave,
         num_parameters=detector.num_parameters(),
         checksum=state_dict_checksum(state),
+        dtype=detector.config.dtype,
         graph=_graph_metadata(graph),
         extra=dict(extra or {}),
     )

@@ -18,7 +18,11 @@ three speed mechanisms the offline pipeline does not have:
   graphs smaller than one chunk take the monolithic, bit-identical path);
 * **thread-pooled multi-city scoring** — :meth:`score_many` fans
   independent graphs out over a thread pool (numpy releases the GIL in
-  the BLAS-heavy parts) for concurrent multi-city requests.
+  the BLAS-heavy parts) for concurrent multi-city requests;
+* **edge-plan cache** — cold forward passes reuse a fingerprint-keyed
+  :class:`~repro.nn.graphops.EdgePlan` (self-loop augmentation, prebuilt
+  scatter operators, validated ids), so repeated cold scoring across many
+  cities pays the structural precomputation once per city, not per request.
 """
 
 from __future__ import annotations
@@ -33,7 +37,8 @@ from typing import Dict, List, Optional, Sequence, Union
 import numpy as np
 
 from ..core.cmsf import CMSFDetector
-from ..nn.tensor import no_grad
+from ..nn.graphops import EdgePlan
+from ..nn.tensor import dtype_scope, no_grad
 from ..urg.graph import UrbanRegionGraph
 from .bundle import ModelBundle, load_bundle
 
@@ -161,10 +166,18 @@ class InferenceEngine:
                  model_name: Optional[str] = None,
                  model_version: Optional[str] = None,
                  expected_poi_dim: Optional[int] = None,
-                 expected_image_dim: Optional[int] = None) -> None:
+                 expected_image_dim: Optional[int] = None,
+                 expected_dtype: Optional[str] = None,
+                 plan_cache_size: int = 8) -> None:
         detector.check_fitted()
         if batch_size is not None and batch_size <= 0:
             raise ValueError("batch_size must be positive or None")
+        if (expected_dtype is not None
+                and expected_dtype != detector.config.dtype):
+            raise ValueError(
+                f"bundle manifest records dtype {expected_dtype!r} but the "
+                f"loaded detector computes in {detector.config.dtype!r}; the "
+                "bundle is inconsistent — repackage it")
         self.detector = detector
         self.batch_size = batch_size
         self.max_workers = max(1, int(max_workers))
@@ -179,6 +192,10 @@ class InferenceEngine:
         #: number of actual forward passes (cache misses that computed)
         self.cold_computes = 0
         self._cache = _LRUCache(capacity=cache_size)
+        #: fingerprint-keyed :class:`EdgePlan` cache: cold scoring of a city
+        #: whose result was evicted (or whose labels changed) reuses the
+        #: structural precomputation without even re-hashing the edge bytes
+        self._plan_cache = _LRUCache(capacity=plan_cache_size)
         #: serialises cold forward passes — the underlying modules flip
         #: train/eval mode in place, which is not re-entrant
         self._predict_lock = threading.Lock()
@@ -196,6 +213,7 @@ class InferenceEngine:
         kwargs.setdefault("model_version", bundle.version)
         kwargs.setdefault("expected_poi_dim", bundle.manifest.poi_dim)
         kwargs.setdefault("expected_image_dim", bundle.manifest.image_dim)
+        kwargs.setdefault("expected_dtype", bundle.manifest.dtype)
         return cls(bundle.detector, **kwargs)
 
     # ------------------------------------------------------------------
@@ -334,12 +352,30 @@ class InferenceEngine:
         with self._predict_lock:
             scores = self._cache.peek(fingerprint)
             if scores is None:
-                scores = self._cold_scores(graph)
+                scores = self._cold_scores(graph, fingerprint)
                 self.cold_computes += 1
                 self._cache.put(fingerprint, scores)
             return scores
 
-    def _cold_scores(self, graph: UrbanRegionGraph) -> np.ndarray:
+    def _graph_plan(self, graph: UrbanRegionGraph,
+                    fingerprint: str) -> Optional[EdgePlan]:
+        """The compute plan for ``graph``, cached per fingerprint.
+
+        Two cache levels: this engine's fingerprint-keyed LRU (no hashing at
+        all on repeat requests) in front of the module-level content-keyed
+        cache in :mod:`repro.nn.graphops` (which deduplicates plans across
+        relabelled copies of the same city).
+        """
+        if not self.detector.config.use_edge_plan:
+            return None
+        plan = self._plan_cache.peek(fingerprint)
+        if plan is None:
+            plan = EdgePlan.for_graph(graph)
+            self._plan_cache.put(fingerprint, plan)
+        return plan
+
+    def _cold_scores(self, graph: UrbanRegionGraph,
+                     fingerprint: str) -> np.ndarray:
         """One full forward pass, micro-batching the per-region head.
 
         Every head operation (gate context, parameter filter, gated
@@ -350,25 +386,28 @@ class InferenceEngine:
         fit in one chunk (including everything below ``batch_size``) take
         the monolithic path and are bit-identical to ``predict_proba``.
         """
+        plan = self._graph_plan(graph, fingerprint)
         if self.batch_size is None or graph.num_nodes <= self.batch_size:
-            return self.detector.predict_proba(graph)
+            return self.detector.predict_proba(graph, plan=plan)
         if self.detector.slave_result is not None:
-            return self._batched_slave_scores(graph)
-        return self._batched_master_scores(graph)
+            return self._batched_slave_scores(graph, plan)
+        return self._batched_master_scores(graph, plan)
 
     def _region_chunks(self, num_nodes: int):
         step = self.batch_size
         for start in range(0, num_nodes, step):
             yield slice(start, min(start + step, num_nodes))
 
-    def _batched_slave_scores(self, graph: UrbanRegionGraph) -> np.ndarray:
+    def _batched_slave_scores(self, graph: UrbanRegionGraph,
+                              plan: Optional[EdgePlan]) -> np.ndarray:
         stage = self.detector.slave_result.stage
         stage.eval()
         try:
-            with no_grad():
-                enhanced, gscm_out = stage.master.encode(graph)
+            with no_grad(), dtype_scope(self.detector.config.dtype):
+                enhanced, gscm_out = stage.master.encode(graph, plan=plan)
                 inclusion = stage.pseudo_predictor(gscm_out.cluster_repr)
-                out = np.empty(graph.num_nodes, dtype=np.float64)
+                out = np.empty(graph.num_nodes,
+                               dtype=np.dtype(self.detector.config.dtype))
                 for chunk in self._region_chunks(graph.num_nodes):
                     parameter_filter = stage.gate(gscm_out.assignment[chunk], inclusion)
                     probs = stage.master.classifier.forward_gated(
@@ -378,13 +417,15 @@ class InferenceEngine:
             stage.train()
         return out
 
-    def _batched_master_scores(self, graph: UrbanRegionGraph) -> np.ndarray:
+    def _batched_master_scores(self, graph: UrbanRegionGraph,
+                               plan: Optional[EdgePlan]) -> np.ndarray:
         model = self.detector.master_result.model
         model.eval()
         try:
-            with no_grad():
-                enhanced, _ = model.encode(graph)
-                out = np.empty(graph.num_nodes, dtype=np.float64)
+            with no_grad(), dtype_scope(self.detector.config.dtype):
+                enhanced, _ = model.encode(graph, plan=plan)
+                out = np.empty(graph.num_nodes,
+                               dtype=np.dtype(self.detector.config.dtype))
                 for chunk in self._region_chunks(graph.num_nodes):
                     out[chunk] = model.classifier(enhanced[chunk]).data
         finally:

@@ -1,0 +1,110 @@
+"""End-to-end contracts of the EdgePlan refactor and the dtype knob.
+
+* training with the precomputed plans (the default) must reproduce the
+  legacy per-call kernels **bit-for-bit** in float64, including through a
+  saved-bundle round trip;
+* the float32 fast path must train a usable detector whose artefacts record
+  and enforce their precision.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import CMSFConfig, CMSFDetector
+from repro.nn.tensor import get_default_dtype
+from repro.serve import InferenceEngine, load_bundle, save_bundle
+
+FAST = dict(hidden_dim=16, image_reduce_dim=16, classifier_hidden=8,
+            maga_layers=1, maga_heads=2, num_clusters=6, context_dim=8,
+            master_epochs=10, slave_epochs=4, patience=None, dropout=0.0,
+            seed=0)
+
+
+def _fit(graph, **overrides):
+    config = CMSFConfig(**{**FAST, **overrides})
+    return CMSFDetector(config).fit(graph, graph.labeled_indices())
+
+
+@pytest.fixture(scope="module")
+def graph(tiny_graph_small_image):
+    return tiny_graph_small_image
+
+
+@pytest.fixture(scope="module")
+def legacy_scores(graph):
+    """Predictions of the pre-refactor path (per-call kernels, float64)."""
+    return _fit(graph, use_edge_plan=False).predict_proba(graph)
+
+
+class TestFloat64BitIdentity:
+    def test_plan_training_matches_legacy_bit_for_bit(self, graph, legacy_scores):
+        planned = _fit(graph, use_edge_plan=True)
+        np.testing.assert_array_equal(planned.predict_proba(graph), legacy_scores)
+
+    def test_bundle_roundtrip_matches_legacy_bit_for_bit(self, graph, legacy_scores,
+                                                         tmp_path):
+        detector = _fit(graph, use_edge_plan=True)
+        save_bundle(detector, tmp_path / "bundle", graph, name="plan-test")
+        loaded = load_bundle(tmp_path / "bundle")
+        np.testing.assert_array_equal(loaded.detector.predict_proba(graph),
+                                      legacy_scores)
+
+    def test_default_dtype_restored_after_fit(self, graph):
+        _fit(graph, dtype="float32")
+        assert get_default_dtype() == np.float64
+
+
+class TestFloat32FastPath:
+    def test_parameters_and_output_are_float32(self, graph):
+        detector = _fit(graph, dtype="float32")
+        stage = detector.slave_result.stage
+        assert all(p.data.dtype == np.float32 for p in stage.parameters())
+        scores = detector.predict_proba(graph)
+        assert scores.dtype == np.float32
+        assert np.isfinite(scores).all()
+        assert (scores >= 0).all() and (scores <= 1).all()
+
+    def test_close_to_float64_results(self, graph):
+        f64 = _fit(graph).predict_proba(graph)
+        f32 = _fit(graph, dtype="float32").predict_proba(graph)
+        # Training trajectories diverge in low precision; the detector must
+        # still land on essentially the same scores on this tiny problem.
+        assert np.abs(f32.astype(np.float64) - f64).mean() < 0.05
+
+    def test_bundle_records_and_reproduces_dtype(self, graph, tmp_path):
+        detector = _fit(graph, dtype="float32")
+        reference = detector.predict_proba(graph)
+        save_bundle(detector, tmp_path / "bundle32", graph, name="f32")
+        bundle = load_bundle(tmp_path / "bundle32")
+        assert bundle.manifest.dtype == "float32"
+        assert bundle.detector.config.dtype == "float32"
+        np.testing.assert_array_equal(bundle.detector.predict_proba(graph),
+                                      reference)
+        engine = InferenceEngine.from_bundle(bundle)
+        np.testing.assert_array_equal(engine.predict_proba(graph), reference)
+
+    def test_engine_rejects_manifest_dtype_mismatch(self, graph):
+        detector = _fit(graph)  # float64
+        with pytest.raises(ValueError, match="dtype"):
+            InferenceEngine(detector, expected_dtype="float32")
+
+
+class TestValInterval:
+    def test_interval_skips_validation_forwards(self, graph):
+        # With a validation split, interval > 1 must still train and select
+        # a model; the histories stay full-length (loss is recorded every
+        # epoch, only the monitoring forward is skipped).
+        sparse_val = _fit(graph, validation_fraction=0.3, val_interval=5)
+        every_epoch = _fit(graph, validation_fraction=0.3, val_interval=1)
+        assert len(sparse_val.training_history()["master"]) == FAST["master_epochs"]
+        assert len(every_epoch.training_history()["master"]) == FAST["master_epochs"]
+        scores = sparse_val.predict_proba(graph)
+        assert np.isfinite(scores).all()
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ValueError):
+            CMSFConfig(val_interval=0)
+        with pytest.raises(ValueError):
+            CMSFConfig(dtype="float16")
