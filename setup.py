@@ -13,11 +13,11 @@ setup(
     install_requires=["numpy", "scipy", "networkx"],
     extras_require={
         # the test suite proper
-        "test": ["pytest"],
+        "test": ["pytest", "hypothesis"],
         # the table/figure benchmark harness under benchmarks/
         "benchmarks": ["pytest", "pytest-benchmark"],
-        # everything a contributor needs
-        "dev": ["pytest", "pytest-benchmark"],
+        # everything a contributor needs (incl. the CI coverage gate)
+        "dev": ["pytest", "pytest-benchmark", "hypothesis", "pytest-cov"],
     },
     entry_points={
         "console_scripts": [

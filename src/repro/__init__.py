@@ -23,6 +23,8 @@ Package layout
 * :mod:`repro.data` — dataset persistence, export and registry
 * :mod:`repro.serve` — model bundles, model registry, batch inference
   engine and the HTTP scoring service (train once, score many cities)
+* :mod:`repro.stream` — incremental graph deltas and the streaming scorer
+  for evolving cities (update once, never re-upload)
 * :mod:`repro.extensions` — cross-city transfer and master-slave regression
 * :mod:`repro.cli` — the ``repro-uv`` command-line tool
 

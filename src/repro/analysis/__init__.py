@@ -14,11 +14,14 @@ collects those analyses:
 * :mod:`repro.analysis.thresholds` — screening-budget analysis: metric
   sweeps over the top-p%% budget and operating-threshold selection;
 * :mod:`repro.analysis.errors` — error breakdowns by latent land use,
-  village kind and node degree (simulator-aware diagnostics).
+  village kind and node degree (simulator-aware diagnostics);
+* :mod:`repro.analysis.drift` — score-trajectory drift across an
+  evolving-city delta sequence (streaming workloads).
 """
 
 from .calibration import CalibrationReport, brier_score, calibration_report
 from .clusters import ClusterQualityReport, cluster_quality, silhouette_score
+from .drift import DriftReport, DriftStep, score_drift_report
 from .errors import error_breakdown
 from .spatial import join_count_statistics, morans_i, neighborhood_agreement
 from .thresholds import (budget_sweep, best_f1_threshold, precision_recall_curve,
@@ -39,4 +42,7 @@ __all__ = [
     "best_f1_threshold",
     "screening_report",
     "error_breakdown",
+    "DriftReport",
+    "DriftStep",
+    "score_drift_report",
 ]

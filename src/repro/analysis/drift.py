@@ -1,0 +1,176 @@
+"""Score-drift analysis across an evolving-city delta sequence.
+
+Given the probability trajectories produced while streaming deltas
+through a :class:`~repro.stream.scorer.StreamingScorer` (one score vector
+per graph version), :func:`score_drift_report` quantifies how much the
+detector's output moved at every step:
+
+* mean / max absolute probability change over the regions both versions
+  share (region growth appends ids, so the shared prefix is exact; after
+  region *removal* ids are compacted and the prefix comparison becomes an
+  approximation — flagged per step via ``regions_before/after``);
+* Spearman rank correlation of the two score vectors (screening lists
+  are rankings, so rank stability is what a planner actually consumes);
+* how many regions crossed the operating threshold in either direction.
+
+The report prints as a fixed-width table (mirroring the style of the
+experiment harness) and serialises to a plain dict for JSON export.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+from scipy.stats import rankdata
+
+__all__ = ["DriftStep", "DriftReport", "score_drift_report"]
+
+
+@dataclass(frozen=True)
+class DriftStep:
+    """Score movement caused by one applied delta."""
+
+    step: int
+    kind: str
+    regions_before: int
+    regions_after: int
+    mean_abs_change: float
+    max_abs_change: float
+    rank_correlation: float
+    crossed_up: int
+    crossed_down: int
+    topology: bool
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "step": self.step,
+            "kind": self.kind,
+            "regions_before": self.regions_before,
+            "regions_after": self.regions_after,
+            "mean_abs_change": self.mean_abs_change,
+            "max_abs_change": self.max_abs_change,
+            "rank_correlation": self.rank_correlation,
+            "crossed_up": self.crossed_up,
+            "crossed_down": self.crossed_down,
+            "topology": self.topology,
+        }
+
+
+@dataclass
+class DriftReport:
+    """Per-step drift plus trajectory-level aggregates."""
+
+    threshold: float
+    steps: List[DriftStep] = field(default_factory=list)
+
+    @property
+    def num_steps(self) -> int:
+        return len(self.steps)
+
+    @property
+    def total_mean_abs_change(self) -> float:
+        return float(sum(step.mean_abs_change for step in self.steps))
+
+    @property
+    def worst_rank_correlation(self) -> float:
+        finite = [step.rank_correlation for step in self.steps
+                  if np.isfinite(step.rank_correlation)]
+        return float(min(finite)) if finite else float("nan")
+
+    @property
+    def total_crossings(self) -> int:
+        return sum(step.crossed_up + step.crossed_down for step in self.steps)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "threshold": self.threshold,
+            "num_steps": self.num_steps,
+            "total_mean_abs_change": self.total_mean_abs_change,
+            "worst_rank_correlation": self.worst_rank_correlation,
+            "total_crossings": self.total_crossings,
+            "steps": [step.to_dict() for step in self.steps],
+        }
+
+    def format(self) -> str:
+        """The report as a fixed-width text table."""
+        header = (f"{'step':>4}  {'kind':<16} {'regions':>9}  "
+                  f"{'mean|Δp|':>9}  {'max|Δp|':>8}  {'rank-ρ':>7}  "
+                  f"{'+cross':>6}  {'-cross':>6}")
+        lines = [header, "-" * len(header)]
+        for step in self.steps:
+            regions = (f"{step.regions_after}"
+                       if step.regions_after == step.regions_before
+                       else f"{step.regions_before}→{step.regions_after}")
+            lines.append(
+                f"{step.step:>4}  {step.kind:<16} {regions:>9}  "
+                f"{step.mean_abs_change:>9.5f}  {step.max_abs_change:>8.5f}  "
+                f"{step.rank_correlation:>7.4f}  "
+                f"{step.crossed_up:>6}  {step.crossed_down:>6}")
+        lines.append("-" * len(header))
+        lines.append(
+            f"{self.num_steps} steps, cumulative mean|Δp| "
+            f"{self.total_mean_abs_change:.5f}, worst rank-ρ "
+            f"{self.worst_rank_correlation:.4f}, "
+            f"{self.total_crossings} threshold crossings at "
+            f"{self.threshold:g}")
+        return "\n".join(lines)
+
+
+def _spearman(a: np.ndarray, b: np.ndarray) -> float:
+    if a.size < 2:
+        return float("nan")
+    ranks_a, ranks_b = rankdata(a), rankdata(b)
+    if ranks_a.std() == 0 or ranks_b.std() == 0:
+        return float("nan")
+    return float(np.corrcoef(ranks_a, ranks_b)[0, 1])
+
+
+def score_drift_report(trajectories: Sequence[np.ndarray],
+                       kinds: Optional[Sequence[str]] = None,
+                       topology: Optional[Sequence[bool]] = None,
+                       threshold: float = 0.5) -> DriftReport:
+    """Compare consecutive score vectors of an evolving city.
+
+    Parameters
+    ----------
+    trajectories:
+        Score vectors, one per graph version (the initial scores first,
+        then one entry per applied delta).  Lengths may differ when
+        regions were added or removed.
+    kinds / topology:
+        Optional per-delta labels (``len(trajectories) - 1`` entries),
+        e.g. the ``kind`` and ``touches_topology`` of each applied
+        :class:`~repro.stream.delta.GraphDelta`.
+    threshold:
+        Operating threshold used to count decision flips.
+    """
+    if len(trajectories) < 2:
+        raise ValueError("need at least two score vectors (before/after) "
+                         "to measure drift")
+    if kinds is not None and len(kinds) != len(trajectories) - 1:
+        raise ValueError("kinds must have one entry per applied delta")
+    if topology is not None and len(topology) != len(trajectories) - 1:
+        raise ValueError("topology must have one entry per applied delta")
+    steps: List[DriftStep] = []
+    for index in range(1, len(trajectories)):
+        before = np.asarray(trajectories[index - 1], dtype=np.float64)
+        after = np.asarray(trajectories[index], dtype=np.float64)
+        shared = min(before.size, after.size)
+        b, a = before[:shared], after[:shared]
+        change = np.abs(a - b)
+        steps.append(DriftStep(
+            step=index,
+            kind=str(kinds[index - 1]) if kinds is not None else "delta",
+            regions_before=int(before.size),
+            regions_after=int(after.size),
+            mean_abs_change=float(change.mean()) if shared else float("nan"),
+            max_abs_change=float(change.max()) if shared else float("nan"),
+            rank_correlation=_spearman(b, a),
+            crossed_up=int(((b < threshold) & (a >= threshold)).sum()),
+            crossed_down=int(((b >= threshold) & (a < threshold)).sum()),
+            topology=(bool(topology[index - 1]) if topology is not None
+                      else before.size != after.size),
+        ))
+    return DriftReport(threshold=float(threshold), steps=steps)

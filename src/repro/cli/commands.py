@@ -8,6 +8,7 @@ all real work happens in the library packages so the CLI stays a veneer.
 from __future__ import annotations
 
 import argparse
+import json
 from dataclasses import replace
 from typing import Optional
 
@@ -23,9 +24,12 @@ from ..eval import block_kfold, compare_methods, rank_regions
 from ..eval.reporting import TABLE2_HEADERS, format_table, table2_rows
 from ..experiments import (run_fig5a, run_fig5b, run_fig6a, run_fig6b, run_fig6c,
                            run_fig7, run_table1, run_table2, run_table3)
-from ..serve import (ModelRegistry, ScoringClient, ScoringServer, read_manifest,
-                     save_bundle)
-from ..synth import generate_city, get_preset
+from ..analysis import score_drift_report
+from ..serve import (InferenceEngine, ModelRegistry, ScoringClient,
+                     ScoringServer, read_manifest, save_bundle)
+from ..stream import StreamingScorer
+from ..synth import (EvolutionConfig, generate_city, generate_evolution,
+                     get_preset)
 from ..synth.city import SyntheticCity
 from ..urg import UrgBuildConfig, build_urg, build_urg_variant
 from ..urg.graph import UrbanRegionGraph
@@ -221,7 +225,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
             f"cannot bind {args.host}:{args.port}: {error}") from error
     print(f"serving {len(registry.models())} model(s) from {args.registry} "
           f"at {server.url}")
-    print("endpoints: GET /healthz  GET /models  POST /score  (Ctrl-C to stop)")
+    print("endpoints: GET /healthz  GET /models  GET /streams  POST /score  "
+          "POST /update  (Ctrl-C to stop)")
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -255,6 +260,74 @@ def cmd_score(args: argparse.Namespace) -> int:
     if args.predictions:
         path = export_predictions_csv(graph, scores, args.predictions)
         print(f"wrote ranked predictions to {path}")
+    return 0
+
+
+def cmd_stream(args: argparse.Namespace) -> int:
+    """Drive an evolving-city scenario and report the score drift.
+
+    The graph evolves through a seeded delta sequence; each step is pushed
+    incrementally (never re-uploading the whole graph) either to a remote
+    scoring service (``--url``) or through an in-process engine loaded
+    from a model registry (``--registry``).
+    """
+    graph = _load_or_build_graph(args)
+    scenarios = tuple(name.strip() for name in args.scenarios.split(",")
+                      if name.strip())
+    overrides = {"scenarios": scenarios} if scenarios else {}
+    config = EvolutionConfig(steps=args.steps, seed=args.evolution_seed,
+                             **overrides)
+    deltas = generate_evolution(graph, config)
+    if not deltas:
+        raise ValueError("the evolution produced no applicable deltas for "
+                         f"'{graph.name}' (scenarios: {args.scenarios})")
+    print(f"evolving '{graph.name}' ({graph.num_nodes} regions) through "
+          f"{len(deltas)} deltas (seed {args.evolution_seed}): "
+          + ", ".join(delta.kind for delta in deltas))
+
+    trajectories = []
+    kinds = [delta.kind for delta in deltas]
+    topology = [delta.touches_topology for delta in deltas]
+    if args.url:
+        client = ScoringClient(args.url)
+        stream = args.stream or f"{graph.name.lower()}-evolution"
+        opened = client.open_stream(stream, graph, args.model,
+                                    version=args.version)
+        trajectories.append(np.asarray(opened["score"]["probabilities"]))
+        reused = 0
+        for delta in deltas:
+            response = client.update_stream(stream, delta)
+            trajectories.append(np.asarray(response["score"]["probabilities"]))
+            reused += int(bool(response.get("plan_reused")))
+        stats = response.get("stats", {})
+        print(f"stream '{stream}' now at version {response['version']} "
+              f"({response['num_regions']} regions); plan reused on "
+              f"{reused}/{len(deltas)} updates")
+    else:
+        registry = ModelRegistry(args.registry)
+        engine = InferenceEngine.from_bundle(registry.resolve(args.model,
+                                                              args.version))
+        scorer = StreamingScorer(engine, graph)
+        trajectories.append(scorer.predict_proba())
+        for delta in deltas:
+            update = scorer.update(delta)
+            trajectories.append(update.probabilities)
+        stats = scorer.stats.to_dict()
+        print(f"scored {stats['updates']} updates in-process; plan reused "
+              f"on {stats['plan_reuses']}, rebuilt on "
+              f"{stats['plan_rebuilds']}")
+
+    report = score_drift_report(trajectories, kinds=kinds, topology=topology,
+                                threshold=args.threshold)
+    print()
+    print(report.format())
+    if args.json:
+        payload = report.to_dict()
+        payload["city"] = graph.name
+        payload["stats"] = stats
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"wrote drift report to {args.json}")
     return 0
 
 

@@ -176,6 +176,42 @@ def build_parser() -> argparse.ArgumentParser:
     serve.set_defaults(handler=commands.cmd_serve)
 
     # ------------------------------------------------------------------
+    # stream
+    # ------------------------------------------------------------------
+    stream = subparsers.add_parser(
+        "stream", help="evolve a city through incremental deltas and report "
+                       "the score drift")
+    stream_source = stream.add_mutually_exclusive_group(required=True)
+    stream_source.add_argument("--preset", help="build the graph from this preset")
+    stream_source.add_argument("--graph", help="previously built graph (.npz)")
+    stream.add_argument("--seed", type=int, default=None,
+                        help="override the preset seed")
+    stream_backend = stream.add_mutually_exclusive_group(required=True)
+    stream_backend.add_argument("--url", help="push deltas to this running "
+                                              "scoring service")
+    stream_backend.add_argument("--registry",
+                                help="score in-process with a bundle from "
+                                     "this model-registry root")
+    stream.add_argument("--model", required=True, help="published model name")
+    stream.add_argument("--version", default=None, help="model version (latest)")
+    stream.add_argument("--stream", default=None,
+                        help="stream name on the service (default: derived "
+                             "from the city name)")
+    stream.add_argument("--steps", type=int, default=8,
+                        help="number of evolution steps to generate")
+    stream.add_argument("--evolution-seed", type=int, default=0,
+                        help="seed of the evolution scenario generator")
+    stream.add_argument("--scenarios", default="",
+                        help="comma-separated scenario kinds (default: all; "
+                             "poi_churn, imagery_refresh, road_rewiring, "
+                             "region_growth)")
+    stream.add_argument("--threshold", type=float, default=0.5,
+                        help="operating threshold for drift crossing counts")
+    stream.add_argument("--json", default=None,
+                        help="write the drift report to this JSON path")
+    stream.set_defaults(handler=commands.cmd_stream)
+
+    # ------------------------------------------------------------------
     # score
     # ------------------------------------------------------------------
     score = subparsers.add_parser(

@@ -8,8 +8,8 @@ used by the benchmark harness.
 
 from .efficiency import BYTES_PER_PARAMETER, EfficiencyReport, measure_efficiency
 from .masking import LABEL_RATIOS, mask_train_indices, ratio_sweep
-from .metrics import (TopPercentResult, aggregate_reports, detection_report,
-                      roc_auc, top_percent_metrics)
+from .metrics import (TopPercentResult, aggregate_reports, average_precision,
+                      detection_report, roc_auc, top_percent_metrics)
 from .protocol import (EvaluationResult, MethodSummary, compare_methods,
                        cross_validate, evaluate_detector, rank_regions)
 from .reporting import (TABLE2_HEADERS, format_metric_with_std, format_series,
@@ -21,6 +21,7 @@ from .splits import (FoldSplit, block_kfold, nested_cross_validation_splits,
 
 __all__ = [
     "roc_auc",
+    "average_precision",
     "top_percent_metrics",
     "TopPercentResult",
     "detection_report",

@@ -87,10 +87,32 @@ def top_percent_metrics(labels: np.ndarray, scores: np.ndarray,
                             f1=f1, num_selected=k, num_true_positive=true_positive)
 
 
+def average_precision(labels: np.ndarray, scores: np.ndarray) -> float:
+    """Average precision (area under the precision-recall curve).
+
+    The rank-based formulation: precision@k averaged over the ranks k of
+    the true positives, with ties broken stably by original order (the
+    same convention as :func:`top_percent_metrics`).  Returns ``nan``
+    when no positive example exists.
+    """
+    labels = np.asarray(labels).astype(int)
+    scores = np.asarray(scores, dtype=np.float64)
+    if labels.shape != scores.shape:
+        raise ValueError("labels and scores must have the same shape")
+    total_positive = int((labels == 1).sum())
+    if total_positive == 0:
+        return float("nan")
+    order = np.argsort(-scores, kind="stable")
+    hits = (labels[order] == 1)
+    precision_at_k = np.cumsum(hits) / np.arange(1, labels.size + 1)
+    return float(precision_at_k[hits].sum() / total_positive)
+
+
 def detection_report(labels: np.ndarray, scores: np.ndarray,
                      percents: Sequence[float] = (3.0, 5.0)) -> Dict[str, float]:
     """The full metric set of Table II for one evaluation pool."""
-    report: Dict[str, float] = {"auc": roc_auc(labels, scores)}
+    report: Dict[str, float] = {"auc": roc_auc(labels, scores),
+                                "ap": average_precision(labels, scores)}
     for percent in percents:
         report.update(top_percent_metrics(labels, scores, percent).as_dict())
     return report

@@ -157,6 +157,9 @@ class EdgePlan:
 
     def __init__(self, edge_index: np.ndarray, num_nodes: int,
                  self_loops: bool = True) -> None:
+        global _PLAN_BUILDS
+        with _CACHE_LOCK:
+            _PLAN_BUILDS += 1
         edge_index = np.asarray(edge_index, dtype=np.int64)
         if edge_index.ndim != 2 or edge_index.shape[0] != 2:
             raise ValueError("edge_index must have shape (2, M), got %s"
@@ -246,6 +249,9 @@ class EdgePlan:
 _PLAN_CACHE: "OrderedDict[Tuple[str, int, bool], EdgePlan]" = OrderedDict()
 _PLAN_CACHE_CAPACITY = 64
 _CACHE_LOCK = threading.Lock()
+#: lifetime count of EdgePlan constructions — the streaming layer's tests
+#: use it to prove that feature-only deltas never rebuild a plan
+_PLAN_BUILDS = 0
 
 
 def clear_plan_cache() -> None:
@@ -255,6 +261,7 @@ def clear_plan_cache() -> None:
 
 
 def plan_cache_info() -> Dict[str, int]:
-    """Size and capacity of the module-level plan cache."""
+    """Size, capacity and lifetime build count of the plan machinery."""
     with _CACHE_LOCK:
-        return {"entries": len(_PLAN_CACHE), "capacity": _PLAN_CACHE_CAPACITY}
+        return {"entries": len(_PLAN_CACHE), "capacity": _PLAN_CACHE_CAPACITY,
+                "builds": _PLAN_BUILDS}

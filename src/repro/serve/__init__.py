@@ -14,11 +14,13 @@ fitted detector, then score many cities fast:
   bundle once and serves predictions with an LRU result cache keyed by
   :meth:`~repro.urg.graph.UrbanRegionGraph.fingerprint`, micro-batched
   region scoring and a thread pool for concurrent multi-city requests;
-* :mod:`repro.serve.wire` — the JSON wire format shipping graphs and
-  scores over HTTP;
+* :mod:`repro.serve.wire` — the JSON wire format shipping graphs, graph
+  deltas and scores over HTTP;
 * :mod:`repro.serve.server` / :mod:`repro.serve.client` — a stdlib-only
-  HTTP scoring service (``/healthz``, ``/models``, ``/score``) and its
-  matching client.
+  HTTP scoring service (``/healthz``, ``/models``, ``/streams``,
+  ``/score``, ``/update``) and its matching client; the ``/update`` route
+  backs the streaming layer (:mod:`repro.stream`) so evolving cities are
+  rescored from incremental deltas instead of full re-uploads.
 """
 
 from .bundle import (BundleManifest, ModelBundle, load_bundle, read_manifest,

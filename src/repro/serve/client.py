@@ -19,8 +19,9 @@ from typing import Dict, Optional, Sequence
 
 import numpy as np
 
+from ..stream.delta import GraphDelta
 from ..urg.graph import UrbanRegionGraph
-from .wire import graph_to_payload
+from .wire import delta_to_payload, graph_to_payload
 
 
 class ScoringServiceError(RuntimeError):
@@ -104,6 +105,55 @@ class ScoringClient:
         """Like :meth:`score` but return just the probabilities as an array."""
         payload = self.score(graph, model, **kwargs)
         return np.asarray(payload["probabilities"], dtype=np.float64)
+
+    # ------------------------------------------------------------------
+    # streaming
+    # ------------------------------------------------------------------
+    def streams(self) -> Dict[str, object]:
+        """Every open update stream with its version and statistics."""
+        return self._request("/streams")
+
+    def open_stream(self, stream: str, graph: UrbanRegionGraph, model: str,
+                    version: Optional[str] = None, rescore: bool = True,
+                    encoding: str = "npz") -> Dict[str, object]:
+        """Open (or reset) the named update stream with a full graph.
+
+        This is the only time the whole graph crosses the wire; afterwards
+        :meth:`update_stream` ships just the deltas.
+        """
+        body: Dict[str, object] = {
+            "stream": stream,
+            "model": model,
+            "graph": graph_to_payload(graph, encoding=encoding),
+            "rescore": bool(rescore),
+        }
+        if version is not None:
+            body["version"] = str(version)
+        return self._request("/update", body)
+
+    def update_stream(self, stream: str, delta: GraphDelta,
+                      rescore: bool = True,
+                      regions: Optional[Sequence[int]] = None,
+                      top_percent: Optional[float] = None,
+                      encoding: str = "npz") -> Dict[str, object]:
+        """Apply ``delta`` to the named stream and (optionally) rescore.
+
+        The response carries the new graph ``version`` and ``fingerprint``,
+        whether the delta changed the topology (``topology_changed``) or
+        reused the compute plan (``plan_reused``), the stream's running
+        ``stats``, and — when ``rescore`` — the ``score`` payload of the
+        updated city.
+        """
+        body: Dict[str, object] = {
+            "stream": stream,
+            "delta": delta_to_payload(delta, encoding=encoding),
+            "rescore": bool(rescore),
+        }
+        if regions is not None:
+            body["regions"] = [int(i) for i in regions]
+        if top_percent is not None:
+            body["top_percent"] = float(top_percent)
+        return self._request("/update", body)
 
     # ------------------------------------------------------------------
     # convenience

@@ -32,7 +32,7 @@ import time
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -135,6 +135,11 @@ class _LRUCache:
                 self._entries.popitem(last=False)
                 self.stats.evictions += 1
 
+    def discard(self, key: str) -> None:
+        """Drop ``key`` if present (no effect on the hit/miss counters)."""
+        with self._lock:
+            self._entries.pop(key, None)
+
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
@@ -230,6 +235,27 @@ class InferenceEngine:
     def clear_cache(self) -> None:
         self._cache.clear()
 
+    def evict(self, fingerprint: str) -> None:
+        """Drop one fingerprint from the result and plan caches.
+
+        The streaming layer calls this when a delta supersedes a graph
+        version: the old entries are still *correct* for the old graph,
+        but a stream never scores it again, so keeping them would only
+        push live entries out of the LRU.
+        """
+        self._cache.discard(fingerprint)
+        self._plan_cache.discard(fingerprint)
+
+    def seed_plan(self, fingerprint: str, plan: EdgePlan) -> None:
+        """Register a known-valid :class:`EdgePlan` for ``fingerprint``.
+
+        Used by :class:`~repro.stream.scorer.StreamingScorer` after a
+        feature-only delta: the edge structure is untouched, so the
+        existing plan is re-registered under the new fingerprint and the
+        next cold score skips even the edge-content hash.
+        """
+        self._plan_cache.put(fingerprint, plan)
+
     def warm(self, graph: UrbanRegionGraph) -> str:
         """Pre-populate the cache for ``graph``; returns its fingerprint."""
         self._check_dimensions(graph)
@@ -248,18 +274,17 @@ class InferenceEngine:
         """Binary prediction by thresholding :meth:`predict_proba`."""
         return (self.predict_proba(graph) >= threshold).astype(np.int64)
 
-    def score(self, graph: UrbanRegionGraph,
-              regions: Optional[Sequence[int]] = None,
-              top_percent: Optional[float] = None) -> ScoreResult:
-        """Score ``graph``, optionally restricted to ``regions``.
+    def validate_request(self, graph: UrbanRegionGraph,
+                         regions: Optional[Sequence[int]] = None,
+                         top_percent: Optional[float] = None,
+                         ) -> Tuple[Optional[np.ndarray], Optional[float]]:
+        """Normalise and validate a scoring request against ``graph``.
 
-        ``top_percent`` additionally reports the highest-scoring regions
-        within the requested screening budget (the paper's deployment
-        scenario: hand planners a ranked shortlist).
+        Returns the ``(region_index, top_percent)`` pair :meth:`score`
+        works with, raising :class:`ValueError` on malformed input.  The
+        streaming layer calls this *before* committing a delta, so a
+        request that would be rejected cannot advance the stream.
         """
-        start = time.perf_counter()
-        # validate the request before paying the forward pass, so malformed
-        # input fails fast and cheap
         self._check_dimensions(graph)
         region_index: Optional[np.ndarray] = None
         if regions is not None:
@@ -285,8 +310,27 @@ class InferenceEngine:
                 raise ValueError(f"top_percent must be a number: {error}") from error
             if not 0 < top_percent <= 100:
                 raise ValueError("top_percent must be in (0, 100]")
+        return region_index, top_percent
 
-        fingerprint = graph.fingerprint()
+    def score(self, graph: UrbanRegionGraph,
+              regions: Optional[Sequence[int]] = None,
+              top_percent: Optional[float] = None,
+              fingerprint: Optional[str] = None) -> ScoreResult:
+        """Score ``graph``, optionally restricted to ``regions``.
+
+        ``top_percent`` additionally reports the highest-scoring regions
+        within the requested screening budget (the paper's deployment
+        scenario: hand planners a ranked shortlist).  ``fingerprint`` is a
+        trusted precomputed ``graph.fingerprint()`` (the streaming layer
+        passes the one it already paid for); leave it ``None`` otherwise.
+        """
+        start = time.perf_counter()
+        # validate the request before paying the forward pass, so malformed
+        # input fails fast and cheap
+        region_index, top_percent = self.validate_request(graph, regions,
+                                                          top_percent)
+        if fingerprint is None:
+            fingerprint = graph.fingerprint()
         scores = self._cache.get(fingerprint)
         cache_hit = scores is not None
         if scores is None:

@@ -1,12 +1,14 @@
 """A stdlib-only HTTP scoring service for packaged CMSF detectors.
 
-The server exposes three JSON endpoints:
+The server exposes these JSON endpoints:
 
 ``GET /healthz``
     Liveness probe — uptime, number of loaded models, request counter.
 ``GET /models``
     Every model the backing registry knows, with the manifest summary and
     the live cache statistics of any engine already loaded.
+``GET /streams``
+    Every open update stream with its current version and statistics.
 ``POST /score``
     Score a graph with a named model.  The request body is a JSON object::
 
@@ -16,6 +18,18 @@ The server exposes three JSON endpoints:
          "regions": [0, 4, 17],        # optional subset to return
          "top_percent": 5.0,           # optional screening budget
          "threshold": 0.5}             # optional binary predictions
+
+``POST /update``
+    Open an update stream or push an incremental delta to it.  Opening
+    uploads the full graph once; every later request ships only the
+    delta::
+
+        {"stream": "sz-live",          # required stream name
+         "model": "shenzhen",          # required when opening
+         "graph": {...},               # open/reset: full wire payload
+         "delta": {...},               # update: delta wire payload
+         "rescore": true,              # score the new version (default)
+         "regions": [...], "top_percent": 5.0}   # as for /score
 
 Engines are created lazily per model/version on first use and kept for the
 lifetime of the server, so the bundle-load cost is paid once and the
@@ -33,9 +47,10 @@ import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, Optional, Tuple, Union
 
+from ..stream.scorer import StreamingScorer
 from .engine import InferenceEngine
 from .registry import ModelRegistry
-from .wire import graph_from_payload
+from .wire import delta_from_payload, graph_from_payload
 
 #: request bodies larger than this are rejected up front (64 MiB covers the
 #: biggest preset city with raw image features several times over)
@@ -69,6 +84,8 @@ class ScoringService:
         self.started_at = time.time()
         self.requests_served = 0
         self._engines: Dict[Tuple[str, str], InferenceEngine] = {}
+        #: open update streams: name -> (scorer, model, version)
+        self._streams: Dict[str, Tuple[StreamingScorer, str, str]] = {}
         self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
@@ -107,6 +124,7 @@ class ScoringService:
             "uptime_s": round(time.time() - self.started_at, 3),
             "models_available": len(self.registry.models()),
             "engines_loaded": len(self._engines),
+            "streams_open": len(self._streams),
             "requests_served": self.requests_served,
         }
 
@@ -164,6 +182,96 @@ class ScoringService:
         self.requests_served += 1
         return payload
 
+    # ------------------------------------------------------------------
+    # streaming
+    # ------------------------------------------------------------------
+    def streams(self) -> Dict[str, object]:
+        with self._lock:
+            open_streams = dict(self._streams)
+        entries = []
+        for name in sorted(open_streams):
+            scorer, model, version = open_streams[name]
+            entry = {"stream": name, "model": model, "model_version": version}
+            entry.update(scorer.describe())
+            entries.append(entry)
+        return {"streams": entries}
+
+    def update(self, request: Dict[str, object]) -> Dict[str, object]:
+        """Open an update stream (full graph) or apply a delta to one."""
+        if not isinstance(request, dict):
+            raise ServiceError(400, "request body must be a JSON object")
+        stream = request.get("stream")
+        if not stream or not isinstance(stream, str) or not stream.strip():
+            raise ServiceError(400, "missing required field 'stream'")
+        stream = stream.strip()
+        graph_payload = request.get("graph")
+        delta_payload = request.get("delta")
+        if (graph_payload is None) == (delta_payload is None):
+            raise ServiceError(
+                400, "send exactly one of 'graph' (open/reset the stream) "
+                     "or 'delta' (update it)")
+        rescore = request.get("rescore", True)
+        if not isinstance(rescore, bool):
+            raise ServiceError(400, "'rescore' must be a boolean")
+
+        if graph_payload is not None:
+            model = request.get("model")
+            if not model or not isinstance(model, str):
+                raise ServiceError(400, "opening a stream requires 'model'")
+            version = request.get("version")
+            if version is not None:
+                version = str(version)
+            try:
+                graph = graph_from_payload(graph_payload)
+            except ValueError as error:
+                raise ServiceError(400, f"bad graph payload: {error}") from error
+            engine = self.engine_for(model, version)
+            try:
+                scorer = StreamingScorer(engine, graph)
+            except ValueError as error:
+                raise ServiceError(400, str(error)) from error
+            with self._lock:
+                self._streams[stream] = (scorer, model,
+                                         engine.model_version or version or "")
+            payload: Dict[str, object] = {"stream": stream, "opened": True,
+                                          "model": model,
+                                          "model_version": engine.model_version}
+            payload.update(scorer.describe())
+            if rescore:
+                try:
+                    result = scorer.score(regions=request.get("regions"),
+                                          top_percent=request.get("top_percent"))
+                except (ValueError, TypeError) as error:
+                    raise ServiceError(400, str(error)) from error
+                payload["score"] = result.to_dict()
+            payload["cache"] = engine.cache_stats.to_dict()
+            self.requests_served += 1
+            return payload
+
+        with self._lock:
+            entry = self._streams.get(stream)
+        if entry is None:
+            raise ServiceError(404, f"unknown stream {stream!r}; open it "
+                                    "first by sending a full 'graph'")
+        scorer, model, version = entry
+        try:
+            delta = delta_from_payload(delta_payload)
+        except ValueError as error:
+            raise ServiceError(400, f"bad delta payload: {error}") from error
+        try:
+            update = scorer.update(delta, rescore=rescore,
+                                   regions=request.get("regions"),
+                                   top_percent=request.get("top_percent"))
+        except (ValueError, TypeError) as error:
+            raise ServiceError(400, str(error)) from error
+        payload = {"stream": stream, "opened": False, "model": model,
+                   "model_version": version}
+        payload.update(update.to_dict())
+        payload["stats"] = scorer.stats.to_dict()
+        payload["cache"] = scorer.engine.cache_stats.to_dict()
+        self.requests_served += 1
+        return payload
+
 
 class _Handler(BaseHTTPRequestHandler):
     """Maps HTTP requests onto the :class:`ScoringService` endpoints."""
@@ -195,6 +303,8 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send_json(200, self.service.healthz())
             elif self.path == "/models":
                 self._send_json(200, self.service.models())
+            elif self.path == "/streams":
+                self._send_json(200, self.service.streams())
             else:
                 self._send_error_json(404, f"unknown endpoint {self.path!r}")
         except ServiceError as error:
@@ -204,7 +314,7 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_POST(self) -> None:  # noqa: N802 - http.server naming convention
         try:
-            if self.path != "/score":
+            if self.path not in ("/score", "/update"):
                 raise ServiceError(404, f"unknown endpoint {self.path!r}")
             length = int(self.headers.get("Content-Length") or 0)
             if length <= 0:
@@ -216,7 +326,10 @@ class _Handler(BaseHTTPRequestHandler):
                 request = json.loads(raw.decode("utf-8"))
             except (UnicodeDecodeError, json.JSONDecodeError) as error:
                 raise ServiceError(400, f"invalid JSON body: {error}") from error
-            self._send_json(200, self.service.score(request))
+            if self.path == "/update":
+                self._send_json(200, self.service.update(request))
+            else:
+                self._send_json(200, self.service.score(request))
         except ServiceError as error:
             self._send_error_json(error.status, str(error))
         except Exception as error:  # pragma: no cover - defensive

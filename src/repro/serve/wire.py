@@ -6,6 +6,11 @@ field — compact, lossless (bit-exact float64 round-trip) and free of any
 dependency beyond the stdlib on the client side once the payload is built.
 A plain-JSON encoding is also supported for hand-written requests and
 non-Python clients.
+
+Graph *deltas* (:class:`repro.stream.delta.GraphDelta`, the incremental
+update unit of the streaming layer) use the same two encodings:
+``'npz'`` base64-armours the delta archive, ``'json'`` ships the present
+fields as nested lists.
 """
 
 from __future__ import annotations
@@ -16,6 +21,7 @@ from typing import Dict
 import numpy as np
 
 from ..data.graph_io import graph_from_bytes, graph_to_bytes
+from ..stream.delta import GraphDelta, delta_from_bytes, delta_to_bytes
 from ..urg.graph import UrbanRegionGraph
 
 #: wire schema marker, checked on decode
@@ -90,7 +96,7 @@ def graph_from_payload(payload: Dict[str, object]) -> UrbanRegionGraph:
     if encoding == "npz":
         try:
             raw = base64.b64decode(payload["npz_base64"], validate=True)
-        except (KeyError, ValueError) as error:
+        except (KeyError, TypeError, ValueError) as error:
             raise ValueError(f"invalid npz_base64 graph payload: {error}") from error
         try:
             return graph_from_bytes(raw)
@@ -104,19 +110,119 @@ def graph_from_payload(payload: Dict[str, object]) -> UrbanRegionGraph:
             raise ValueError(f"invalid graph archive: {error}") from error
     if encoding == "json":
         try:
+            grid_shape = payload["grid_shape"]
+            if (not isinstance(grid_shape, (list, tuple))
+                    or len(grid_shape) != 2
+                    or not all(isinstance(side, int) and side >= 0
+                               for side in grid_shape)):
+                raise ValueError("grid_shape must be a [height, width] pair "
+                                 "of non-negative integers, got %r" % (grid_shape,))
             return UrbanRegionGraph(
                 name=str(payload["name"]),
                 edge_index=_edge_index_array(payload["edge_index"]),
-                x_poi=np.asarray(payload["x_poi"], dtype=np.float64),
-                x_img=np.asarray(payload["x_img"], dtype=np.float64),
-                labels=np.asarray(payload["labels"], dtype=np.int64),
-                labeled_mask=np.asarray(payload["labeled_mask"]).astype(bool),
-                ground_truth=np.asarray(payload["ground_truth"], dtype=np.int64),
-                region_index=np.asarray(payload["region_index"], dtype=np.int64),
-                block_ids=np.asarray(payload["block_ids"], dtype=np.int64),
-                grid_shape=tuple(payload["grid_shape"]),
+                x_poi=_field_array(payload, "x_poi", np.float64, ndim=2),
+                x_img=_field_array(payload, "x_img", np.float64, ndim=2),
+                labels=_field_array(payload, "labels", np.int64, ndim=1),
+                labeled_mask=_field_array(payload, "labeled_mask", None,
+                                          ndim=1).astype(bool),
+                ground_truth=_field_array(payload, "ground_truth", np.int64,
+                                          ndim=1),
+                region_index=_field_array(payload, "region_index", np.int64,
+                                          ndim=1),
+                block_ids=_field_array(payload, "block_ids", np.int64, ndim=1),
+                grid_shape=tuple(grid_shape),
                 stats=dict(payload.get("stats") or {}),
             )
         except KeyError as error:
             raise ValueError(f"json graph payload missing field {error}") from error
+        except TypeError as error:
+            raise ValueError(f"malformed json graph payload: {error}") from error
     raise ValueError(f"unknown graph encoding {encoding!r}")
+
+
+def _field_array(payload: Dict[str, object], name: str, dtype,
+                 ndim: int) -> np.ndarray:
+    """Decode one JSON array field, rejecting ragged/scalar/mistyped input
+    with a clean :class:`ValueError` naming the field."""
+    try:
+        array = (np.asarray(payload[name]) if dtype is None
+                 else np.asarray(payload[name], dtype=dtype))
+    except KeyError:
+        raise
+    except (TypeError, ValueError) as error:
+        raise ValueError(f"graph field {name!r} is malformed: {error}") from error
+    if array.ndim != ndim:
+        raise ValueError(f"graph field {name!r} must be {ndim}-D, got "
+                         f"shape {array.shape}")
+    return array
+
+
+# ----------------------------------------------------------------------
+# graph deltas
+# ----------------------------------------------------------------------
+def delta_to_payload(delta: GraphDelta, encoding: str = "npz") -> Dict[str, object]:
+    """Encode a :class:`GraphDelta` as a JSON-serialisable payload."""
+    if encoding == "npz":
+        return {
+            "wire_version": WIRE_VERSION,
+            "encoding": "npz",
+            "kind": delta.kind,
+            "npz_base64": base64.b64encode(delta_to_bytes(delta)).decode("ascii"),
+        }
+    if encoding == "json":
+        payload: Dict[str, object] = {
+            "wire_version": WIRE_VERSION,
+            "encoding": "json",
+            "kind": delta.kind,
+        }
+        for name, array in delta.to_arrays().items():
+            payload[name] = array.tolist()
+        return payload
+    raise ValueError(f"unknown delta encoding {encoding!r} (use 'npz' or 'json')")
+
+
+#: JSON delta fields that hold directed edge lists and therefore accept the
+#: same flexible layouts as a graph's ``edge_index``
+_DELTA_EDGE_FIELDS = ("add_edges", "remove_edges")
+
+#: every array field a JSON delta payload may carry
+_DELTA_ARRAY_FIELDS = (
+    "poi_rows", "poi_values", "img_rows", "img_values",
+    "add_edges", "remove_edges", "add_x_poi", "add_x_img",
+    "add_region_index", "add_block_ids", "add_labels", "add_ground_truth",
+    "remove_regions",
+)
+
+
+def delta_from_payload(payload: Dict[str, object]) -> GraphDelta:
+    """Decode a payload produced by :func:`delta_to_payload`."""
+    if not isinstance(payload, dict):
+        raise ValueError("delta payload must be a JSON object")
+    if payload.get("wire_version") != WIRE_VERSION:
+        raise ValueError("unsupported delta wire version %r (expected %d)"
+                         % (payload.get("wire_version"), WIRE_VERSION))
+    encoding = payload.get("encoding")
+    if encoding == "npz":
+        try:
+            raw = base64.b64decode(payload["npz_base64"], validate=True)
+        except (KeyError, TypeError, ValueError) as error:
+            raise ValueError(f"invalid npz_base64 delta payload: {error}") from error
+        return delta_from_bytes(raw)
+    if encoding == "json":
+        kwargs: Dict[str, object] = {}
+        for name in _DELTA_ARRAY_FIELDS:
+            value = payload.get(name)
+            if value is None:
+                continue
+            try:
+                if name in _DELTA_EDGE_FIELDS:
+                    kwargs[name] = _edge_index_array(value)
+                else:
+                    kwargs[name] = np.asarray(value)
+            except (TypeError, ValueError) as error:
+                raise ValueError(f"bad delta field {name!r}: {error}") from error
+        try:
+            return GraphDelta(kind=str(payload.get("kind", "delta")), **kwargs)
+        except (ValueError, TypeError) as error:
+            raise ValueError(f"invalid delta payload: {error}") from error
+    raise ValueError(f"unknown delta encoding {encoding!r}")

@@ -1,0 +1,36 @@
+"""``repro.stream`` — evolving cities and online rescoring.
+
+The offline pipeline and the serving layer both treat an
+:class:`~repro.urg.graph.UrbanRegionGraph` as frozen: any change to the
+city means rebuilding and re-uploading the whole graph.  Real urban-region
+workloads drift continuously — POIs open and close, road segments are
+added and removed, satellite imagery refreshes, cities grow — so this
+subpackage makes *incremental* updates first-class:
+
+* :mod:`repro.stream.delta` — :class:`GraphDelta`, a validated, composable
+  description of one city update (feature patches, edge changes, region
+  growth/removal) with pure-functional ``apply`` semantics;
+* :mod:`repro.stream.scorer` — :class:`StreamingScorer`, which wraps an
+  :class:`~repro.serve.engine.InferenceEngine` around one evolving graph,
+  applies deltas atomically, and reuses the cached
+  :class:`~repro.nn.graphops.EdgePlan` whenever a delta leaves the edge
+  structure untouched (feature-only updates never re-plan).
+
+The serving layer exposes the same mechanics over HTTP (``POST /update``
+on :class:`~repro.serve.server.ScoringServer`), the synthesiser generates
+reproducible delta sequences (:func:`repro.synth.evolution.generate_evolution`)
+and :func:`repro.analysis.drift.score_drift_report` summarises how scores
+move across a sequence.
+"""
+
+from .delta import GraphDelta, apply_deltas, compose_deltas
+from .scorer import StreamStats, StreamUpdateResult, StreamingScorer
+
+__all__ = [
+    "GraphDelta",
+    "apply_deltas",
+    "compose_deltas",
+    "StreamingScorer",
+    "StreamStats",
+    "StreamUpdateResult",
+]

@@ -1,0 +1,531 @@
+"""Incremental updates (deltas) over urban region graphs.
+
+A :class:`GraphDelta` describes one batch of city changes as data:
+
+* **feature patches** — new POI / image feature rows for existing regions
+  (POI churn, imagery refresh);
+* **edge changes** — directed edges to remove and to add (road rewiring);
+* **region growth** — new regions appended with their features, grid
+  position and (optionally) labels;
+* **region removal** — regions deleted, their incident edges dropped and
+  the remaining node ids compacted.
+
+``apply`` is pure: it validates the delta against the input graph and
+returns a *new* :class:`~repro.urg.graph.UrbanRegionGraph`, never mutating
+the old one.  That immutability is what lets the streaming scorer swap
+graph versions atomically under concurrent reads.
+
+Application order within one delta (each stage sees the ids produced by
+the previous stage):
+
+1. feature patches (ids of the input graph),
+2. ``remove_edges`` (ids of the input graph),
+3. region additions (new regions take ids ``N .. N+R-1``),
+4. ``add_edges`` (may reference both old and freshly added ids),
+5. ``remove_regions`` (ids in the post-addition space; survivors are
+   compacted in order).
+
+Validation is strict by design: removing an edge that does not exist,
+adding one that already does, patching an out-of-range region and similar
+inconsistencies raise :class:`ValueError` instead of being silently
+ignored — an update stream that drifts out of sync with the server-side
+graph should fail loudly on the first divergent delta.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Sequence
+
+import numpy as np
+
+from ..urg.graph import UrbanRegionGraph
+
+__all__ = ["GraphDelta", "apply_deltas", "compose_deltas",
+           "delta_to_bytes", "delta_from_bytes"]
+
+#: archive format marker of :func:`delta_to_bytes`
+DELTA_FORMAT_VERSION = 1
+
+#: array fields of a delta, with their canonical dtypes (``None`` keeps the
+#: float dtype of the payload) and expected rank
+_ARRAY_FIELDS = {
+    "poi_rows": (np.int64, 1),
+    "poi_values": (np.float64, 2),
+    "img_rows": (np.int64, 1),
+    "img_values": (np.float64, 2),
+    "remove_edges": (np.int64, 2),
+    "add_edges": (np.int64, 2),
+    "add_x_poi": (np.float64, 2),
+    "add_x_img": (np.float64, 2),
+    "add_region_index": (np.int64, 1),
+    "add_block_ids": (np.int64, 1),
+    "add_labels": (np.int64, 1),
+    "add_ground_truth": (np.int64, 1),
+    "remove_regions": (np.int64, 1),
+}
+
+
+def _edge_keys(edge_index: np.ndarray, base: int) -> np.ndarray:
+    """Encode directed edges as scalar keys ``src * base + dst``."""
+    return edge_index[0].astype(np.int64) * base + edge_index[1]
+
+
+@dataclass(frozen=True)
+class GraphDelta:
+    """One validated, immutable batch of changes to an urban region graph.
+
+    All array fields are optional; ``None`` means "no change of that
+    kind".  ``kind`` is a free-form label carried through to stream
+    statistics and drift reports (e.g. ``"poi_churn"``).
+    """
+
+    kind: str = "delta"
+    #: feature patches: row indices + replacement rows, per modality
+    poi_rows: Optional[np.ndarray] = None
+    poi_values: Optional[np.ndarray] = None
+    img_rows: Optional[np.ndarray] = None
+    img_values: Optional[np.ndarray] = None
+    #: directed edges to drop / insert, shape ``(2, K)``
+    remove_edges: Optional[np.ndarray] = None
+    add_edges: Optional[np.ndarray] = None
+    #: appended regions: features plus grid bookkeeping (all same length)
+    add_x_poi: Optional[np.ndarray] = None
+    add_x_img: Optional[np.ndarray] = None
+    add_region_index: Optional[np.ndarray] = None
+    add_block_ids: Optional[np.ndarray] = None
+    #: optional labelling of the appended regions (defaults: unlabeled)
+    add_labels: Optional[np.ndarray] = None
+    add_ground_truth: Optional[np.ndarray] = None
+    #: regions to delete (ids in the post-addition space)
+    remove_regions: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        for name, (dtype, rank) in _ARRAY_FIELDS.items():
+            value = getattr(self, name)
+            if value is None:
+                continue
+            array = np.asarray(value)
+            if array.size == 0:
+                object.__setattr__(self, name, None)
+                continue
+            if np.issubdtype(dtype, np.integer):
+                if not np.issubdtype(array.dtype, np.integer):
+                    if not np.issubdtype(array.dtype, np.bool_):
+                        raise ValueError(f"{name} must be integer-valued, got "
+                                         f"dtype {array.dtype}")
+                array = array.astype(np.int64)
+            else:
+                array = array.astype(np.float64)
+            if array.ndim != rank:
+                raise ValueError(f"{name} must be {rank}-D, got shape "
+                                 f"{array.shape}")
+            object.__setattr__(self, name, np.ascontiguousarray(array))
+        for rows_name, values_name, what in (
+                ("poi_rows", "poi_values", "POI feature patch"),
+                ("img_rows", "img_values", "image feature patch")):
+            rows, values = getattr(self, rows_name), getattr(self, values_name)
+            if (rows is None) != (values is None):
+                raise ValueError(f"{what} needs both {rows_name} and {values_name}")
+            if rows is not None:
+                if rows.shape[0] != values.shape[0]:
+                    raise ValueError(
+                        f"{what}: {rows.shape[0]} row indices but "
+                        f"{values.shape[0]} value rows")
+                if np.unique(rows).size != rows.size:
+                    raise ValueError(f"{what} patches the same region twice; "
+                                     "compose the patches first")
+        for name in ("remove_edges", "add_edges"):
+            edges = getattr(self, name)
+            if edges is not None and edges.shape[0] != 2:
+                raise ValueError(f"{name} must have shape (2, K), got "
+                                 f"{edges.shape}")
+        counts = {name: getattr(self, name).shape[0]
+                  for name in ("add_x_poi", "add_x_img", "add_region_index",
+                               "add_block_ids", "add_labels", "add_ground_truth")
+                  if getattr(self, name) is not None}
+        if counts:
+            if getattr(self, "add_region_index") is None:
+                raise ValueError("region additions need add_region_index")
+            if len(set(counts.values())) > 1:
+                raise ValueError(f"region-addition arrays disagree on the "
+                                 f"number of new regions: {counts}")
+        if self.remove_regions is not None:
+            if np.unique(self.remove_regions).size != self.remove_regions.size:
+                raise ValueError("remove_regions lists a region twice")
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def num_added_regions(self) -> int:
+        index = self.add_region_index
+        return 0 if index is None else int(index.shape[0])
+
+    @property
+    def num_removed_regions(self) -> int:
+        return 0 if self.remove_regions is None else int(self.remove_regions.shape[0])
+
+    @property
+    def num_added_edges(self) -> int:
+        return 0 if self.add_edges is None else int(self.add_edges.shape[1])
+
+    @property
+    def num_removed_edges(self) -> int:
+        return 0 if self.remove_edges is None else int(self.remove_edges.shape[1])
+
+    @property
+    def num_patched_regions(self) -> int:
+        total = 0
+        for rows in (self.poi_rows, self.img_rows):
+            if rows is not None:
+                total += int(rows.shape[0])
+        return total
+
+    @property
+    def touches_topology(self) -> bool:
+        """Whether applying this delta changes the edge structure.
+
+        Feature-only deltas leave the :class:`~repro.nn.graphops.EdgePlan`
+        of the graph valid; anything touching edges or the node set
+        invalidates it.
+        """
+        return bool(self.num_added_edges or self.num_removed_edges
+                    or self.num_added_regions or self.num_removed_regions)
+
+    @property
+    def touches_features(self) -> bool:
+        return self.num_patched_regions > 0
+
+    @property
+    def is_empty(self) -> bool:
+        return not (self.touches_topology or self.touches_features)
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "kind": self.kind,
+            "patched_regions": self.num_patched_regions,
+            "added_edges": self.num_added_edges,
+            "removed_edges": self.num_removed_edges,
+            "added_regions": self.num_added_regions,
+            "removed_regions": self.num_removed_regions,
+            "topology": self.touches_topology,
+        }
+
+    # ------------------------------------------------------------------
+    # validation against a concrete graph
+    # ------------------------------------------------------------------
+    def validate(self, graph: UrbanRegionGraph) -> None:
+        """Raise :class:`ValueError` unless this delta applies cleanly."""
+        n = graph.num_nodes
+        for rows_name, values_name, dim, what in (
+                ("poi_rows", "poi_values", graph.poi_dim, "POI feature patch"),
+                ("img_rows", "img_values", graph.image_dim, "image feature patch")):
+            rows, values = getattr(self, rows_name), getattr(self, values_name)
+            if rows is None:
+                continue
+            if rows.min() < 0 or rows.max() >= n:
+                offender = int(rows.max()) if rows.max() >= n else int(rows.min())
+                raise ValueError(f"{what} references region {offender} "
+                                 f"but the graph has {n} regions")
+            if values.shape[1] != dim:
+                raise ValueError(f"{what} has {values.shape[1]} feature "
+                                 f"columns, the graph has {dim}")
+
+        n_after_add = n + self.num_added_regions
+        base = max(n_after_add, 1)
+        # the O(E) edge-key set is only needed for edge changes; building it
+        # for feature-only deltas would tax the streaming hot path
+        existing = (set(_edge_keys(graph.edge_index, base).tolist())
+                    if self.remove_edges is not None or self.add_edges is not None
+                    else set())
+        if self.remove_edges is not None:
+            if self.remove_edges.min() < 0 or self.remove_edges.max() >= n:
+                raise ValueError("remove_edges references a region outside "
+                                 f"the graph's {n} regions")
+            keys = _edge_keys(self.remove_edges, base)
+            if np.unique(keys).size != keys.size:
+                raise ValueError("remove_edges lists the same directed edge twice")
+            missing = [key for key in keys.tolist() if key not in existing]
+            if missing:
+                u, v = divmod(missing[0], base)
+                raise ValueError(
+                    f"remove_edges lists edge ({u}, {v}) which is not in the "
+                    "graph (delta stream out of sync?)")
+            existing.difference_update(keys.tolist())
+
+        if self.num_added_regions:
+            index = self.add_region_index
+            grid_cells = int(np.prod(graph.grid_shape)) if graph.grid_shape else 0
+            if index.min() < 0 or (grid_cells and index.max() >= grid_cells):
+                raise ValueError("add_region_index outside the "
+                                 f"{graph.grid_shape} city grid")
+            clash = np.intersect1d(index, graph.region_index)
+            if clash.size:
+                raise ValueError(f"add_region_index reuses occupied grid "
+                                 f"cell {int(clash[0])}")
+            if np.unique(index).size != index.size:
+                raise ValueError("add_region_index lists a grid cell twice")
+            for name, dim, what in (("add_x_poi", graph.poi_dim, "POI"),
+                                    ("add_x_img", graph.image_dim, "image")):
+                values = getattr(self, name)
+                if values is None:
+                    if dim:
+                        raise ValueError(f"new regions need {name} with "
+                                         f"{dim} {what} feature columns")
+                elif values.shape[1] != dim:
+                    raise ValueError(f"{name} has {values.shape[1]} columns, "
+                                     f"the graph's {what} features have {dim}")
+            if self.add_labels is not None and self.add_labels.size:
+                bad = ~np.isin(self.add_labels, (-1, 0, 1))
+                if bad.any():
+                    raise ValueError("add_labels must be -1 (unlabeled), 0 or 1")
+
+        if self.add_edges is not None:
+            if self.add_edges.min() < 0 or self.add_edges.max() >= n_after_add:
+                raise ValueError(
+                    f"add_edges references region {int(self.add_edges.max())} "
+                    f"but after additions the graph has {n_after_add} regions")
+            if (self.add_edges[0] == self.add_edges[1]).any():
+                raise ValueError("add_edges must not contain self-loops "
+                                 "(message-passing self-loops are added by "
+                                 "the compute plan)")
+            keys = _edge_keys(self.add_edges, base)
+            if np.unique(keys).size != keys.size:
+                raise ValueError("add_edges lists the same directed edge twice")
+            duplicate = [key for key in keys.tolist() if key in existing]
+            if duplicate:
+                u, v = divmod(duplicate[0], base)
+                raise ValueError(f"add_edges lists edge ({u}, {v}) which "
+                                 "already exists")
+
+        if self.remove_regions is not None:
+            if (self.remove_regions.min() < 0
+                    or self.remove_regions.max() >= n_after_add):
+                raise ValueError(
+                    f"remove_regions references region "
+                    f"{int(self.remove_regions.max())} but after additions "
+                    f"the graph has {n_after_add} regions")
+            if self.num_removed_regions >= n_after_add:
+                raise ValueError("delta would remove every region")
+
+    # ------------------------------------------------------------------
+    # application
+    # ------------------------------------------------------------------
+    def apply(self, graph: UrbanRegionGraph,
+              validate: bool = True) -> UrbanRegionGraph:
+        """Return a new graph with this delta applied (see module docs for
+        the staging order).  ``graph`` is never mutated."""
+        if validate:
+            self.validate(graph)
+
+        x_poi = graph.x_poi
+        x_img = graph.x_img
+        if self.poi_rows is not None:
+            x_poi = x_poi.copy()
+            x_poi[self.poi_rows] = self.poi_values.astype(x_poi.dtype, copy=False)
+        if self.img_rows is not None:
+            x_img = x_img.copy()
+            x_img[self.img_rows] = self.img_values.astype(x_img.dtype, copy=False)
+
+        edge_index = graph.edge_index
+        n_after_add = graph.num_nodes + self.num_added_regions
+        base = max(n_after_add, 1)
+        if self.remove_edges is not None:
+            keep = ~np.isin(_edge_keys(edge_index, base),
+                            _edge_keys(self.remove_edges, base))
+            edge_index = edge_index[:, keep]
+
+        labels = graph.labels
+        labeled_mask = graph.labeled_mask
+        ground_truth = graph.ground_truth
+        region_index = graph.region_index
+        block_ids = graph.block_ids
+        if self.num_added_regions:
+            r = self.num_added_regions
+            add_poi = (self.add_x_poi if self.add_x_poi is not None
+                       else np.zeros((r, graph.poi_dim)))
+            add_img = (self.add_x_img if self.add_x_img is not None
+                       else np.zeros((r, graph.image_dim)))
+            x_poi = np.concatenate([x_poi, add_poi.astype(x_poi.dtype, copy=False)])
+            x_img = np.concatenate([x_img, add_img.astype(x_img.dtype, copy=False)])
+            add_labels = (self.add_labels if self.add_labels is not None
+                          else np.full(r, -1, dtype=np.int64))
+            labels = np.concatenate([labels,
+                                     add_labels.astype(labels.dtype, copy=False)])
+            labeled_mask = np.concatenate([labeled_mask, add_labels >= 0])
+            add_truth = (self.add_ground_truth if self.add_ground_truth is not None
+                         else np.zeros(r, dtype=np.int64))
+            ground_truth = np.concatenate(
+                [ground_truth, add_truth.astype(ground_truth.dtype, copy=False)])
+            region_index = np.concatenate([region_index, self.add_region_index])
+            add_blocks = (self.add_block_ids if self.add_block_ids is not None
+                          else np.zeros(r, dtype=np.int64))
+            block_ids = np.concatenate([block_ids, add_blocks])
+
+        if self.add_edges is not None:
+            edge_index = np.concatenate([edge_index, self.add_edges], axis=1)
+
+        if self.remove_regions is not None:
+            keep_mask = np.ones(n_after_add, dtype=bool)
+            keep_mask[self.remove_regions] = False
+            new_id = -np.ones(n_after_add, dtype=np.int64)
+            new_id[keep_mask] = np.arange(int(keep_mask.sum()))
+            edge_keep = keep_mask[edge_index[0]] & keep_mask[edge_index[1]]
+            edge_index = new_id[edge_index[:, edge_keep]]
+            x_poi = x_poi[keep_mask]
+            x_img = x_img[keep_mask]
+            labels = labels[keep_mask]
+            labeled_mask = labeled_mask[keep_mask]
+            ground_truth = ground_truth[keep_mask]
+            region_index = region_index[keep_mask]
+            block_ids = block_ids[keep_mask]
+
+        stats = dict(graph.stats)
+        stats["stream_updates"] = int(stats.get("stream_updates", 0)) + 1
+        return UrbanRegionGraph(
+            name=graph.name,
+            edge_index=np.ascontiguousarray(edge_index),
+            x_poi=x_poi,
+            x_img=x_img,
+            labels=labels,
+            labeled_mask=labeled_mask,
+            ground_truth=ground_truth,
+            region_index=region_index,
+            block_ids=block_ids,
+            grid_shape=graph.grid_shape,
+            stats=stats,
+            poi_feature_names=graph.poi_feature_names,
+        )
+
+    # ------------------------------------------------------------------
+    # composition
+    # ------------------------------------------------------------------
+    def compose(self, later: "GraphDelta") -> "GraphDelta":
+        """Merge ``self`` followed by ``later`` into one equivalent delta.
+
+        Supported for feature/edge deltas; deltas that add or remove
+        regions renumber node ids, so composing across them is rejected —
+        apply those sequentially (:func:`apply_deltas`).
+        """
+        for delta, role in ((self, "earlier"), (later, "later")):
+            if delta.num_added_regions or delta.num_removed_regions:
+                raise ValueError(
+                    f"cannot compose: the {role} delta ({delta.kind!r}) adds "
+                    "or removes regions; apply region deltas sequentially")
+
+        def merge_patch(rows_a, values_a, rows_b, values_b):
+            if rows_a is None:
+                return rows_b, values_b
+            if rows_b is None:
+                return rows_a, values_a
+            # later rows win on overlap
+            keep = ~np.isin(rows_a, rows_b)
+            rows = np.concatenate([rows_a[keep], rows_b])
+            values = np.concatenate([values_a[keep], values_b])
+            return rows, values
+
+        poi_rows, poi_values = merge_patch(self.poi_rows, self.poi_values,
+                                           later.poi_rows, later.poi_values)
+        img_rows, img_values = merge_patch(self.img_rows, self.img_values,
+                                           later.img_rows, later.img_values)
+
+        # sequential edge algebra with cancellation:
+        #   E2 = ((E - R1) + A1 - R2) + A2
+        # add  = (A1 \ R2) ∪ A2,  remove = R1 ∪ (R2 \ A1)
+        def keyed(edges, base):
+            if edges is None:
+                return {}
+            keys = _edge_keys(edges, base)
+            return {int(key): edges[:, i] for i, key in enumerate(keys)}
+
+        bases = [edges.max() + 1 for edges in
+                 (self.add_edges, self.remove_edges,
+                  later.add_edges, later.remove_edges) if edges is not None]
+        base = int(max(bases)) if bases else 1
+        add1, rem1 = keyed(self.add_edges, base), keyed(self.remove_edges, base)
+        add2, rem2 = keyed(later.add_edges, base), keyed(later.remove_edges, base)
+        if set(add2) & set(add1):
+            raise ValueError("cannot compose: the later delta re-adds an edge "
+                             "the earlier one already added")
+        if (set(rem2) - set(add1)) & set(rem1):
+            # removing an edge twice without re-adding it in between can
+            # only happen on out-of-sync streams; validate() would reject it
+            raise ValueError("cannot compose: the later delta removes an edge "
+                             "the earlier one already removed")
+        add = {key: edge for key, edge in add1.items() if key not in rem2}
+        add.update(add2)
+        remove = dict(rem1)
+        remove.update({key: edge for key, edge in rem2.items()
+                       if key not in add1})
+
+        def stacked(edges: Dict[int, np.ndarray]) -> Optional[np.ndarray]:
+            if not edges:
+                return None
+            return np.stack([edges[key] for key in sorted(edges)], axis=1)
+
+        return GraphDelta(
+            kind=f"{self.kind}+{later.kind}",
+            poi_rows=poi_rows, poi_values=poi_values,
+            img_rows=img_rows, img_values=img_values,
+            add_edges=stacked(add), remove_edges=stacked(remove),
+        )
+
+    # ------------------------------------------------------------------
+    # (de)serialisation
+    # ------------------------------------------------------------------
+    def to_arrays(self) -> Dict[str, np.ndarray]:
+        """The present array fields, keyed by field name."""
+        return {name: getattr(self, name) for name in _ARRAY_FIELDS
+                if getattr(self, name) is not None}
+
+
+def delta_to_bytes(delta: GraphDelta) -> bytes:
+    """Serialise a delta to an in-memory ``.npz`` archive."""
+    meta = {"format_version": DELTA_FORMAT_VERSION, "kind": delta.kind}
+    buffer = io.BytesIO()
+    np.savez_compressed(
+        buffer,
+        meta=np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8),
+        **delta.to_arrays())
+    return buffer.getvalue()
+
+
+def delta_from_bytes(data: bytes) -> GraphDelta:
+    """Rebuild a delta from :func:`delta_to_bytes` output."""
+    try:
+        archive = np.load(io.BytesIO(data))
+        meta = json.loads(bytes(archive["meta"]).decode("utf-8"))
+    except ValueError:
+        raise
+    except Exception as error:
+        raise ValueError(f"invalid delta archive: {error}") from error
+    if meta.get("format_version") != DELTA_FORMAT_VERSION:
+        raise ValueError("unsupported delta archive version %r (expected %d)"
+                         % (meta.get("format_version"), DELTA_FORMAT_VERSION))
+    arrays = {name: archive[name] for name in archive.files if name != "meta"}
+    unknown = set(arrays) - set(_ARRAY_FIELDS)
+    if unknown:
+        raise ValueError(f"delta archive has unknown fields {sorted(unknown)}")
+    return GraphDelta(kind=str(meta.get("kind", "delta")), **arrays)
+
+
+def apply_deltas(graph: UrbanRegionGraph,
+                 deltas: Iterable[GraphDelta],
+                 validate: bool = True) -> UrbanRegionGraph:
+    """Apply a sequence of deltas left to right."""
+    for delta in deltas:
+        graph = delta.apply(graph, validate=validate)
+    return graph
+
+
+def compose_deltas(deltas: Sequence[GraphDelta]) -> GraphDelta:
+    """Fold a sequence of composable deltas into one."""
+    if not deltas:
+        return GraphDelta(kind="empty")
+    combined = deltas[0]
+    for delta in deltas[1:]:
+        combined = combined.compose(delta)
+    return combined

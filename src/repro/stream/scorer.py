@@ -1,0 +1,240 @@
+"""Online rescoring over an evolving graph.
+
+:class:`StreamingScorer` owns the *current* version of one city graph and
+an :class:`~repro.serve.engine.InferenceEngine` to score it with.  Each
+:meth:`update` applies a :class:`~repro.stream.delta.GraphDelta`, decides
+what the delta invalidated, and swaps in the new version atomically:
+
+* **feature-only deltas** keep the edge structure, so the existing
+  :class:`~repro.nn.graphops.EdgePlan` stays valid — it is re-registered
+  with the engine under the new fingerprint and the rescore pays only the
+  forward pass (no re-plan, not even an edge-content hash);
+* **topology deltas** (edge or region changes) rebuild the plan once and
+  register the fresh one;
+* the superseded graph version's cache entries are evicted from the
+  engine so the LRU holds live versions only.
+
+Concurrency contract: the graph versions themselves are immutable
+(:meth:`GraphDelta.apply` always builds a new graph), updates are
+serialised by a lock, and readers obtain the whole version under the same
+lock — so a concurrent :meth:`score` sees either the pre-delta or the
+post-delta graph in full, never a half-applied state, and its scores are
+always bit-identical to a full-rebuild ``predict_proba`` of whichever
+version it observed.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, Optional, Sequence
+
+import numpy as np
+
+from ..nn.graphops import EdgePlan
+from ..urg.graph import UrbanRegionGraph
+from .delta import GraphDelta
+
+if TYPE_CHECKING:  # imported lazily to avoid a cycle with repro.serve
+    from ..serve.engine import InferenceEngine, ScoreResult
+
+__all__ = ["StreamingScorer", "StreamStats", "StreamUpdateResult"]
+
+
+@dataclass(frozen=True)
+class _StreamState:
+    """One immutable version of the evolving graph."""
+
+    graph: UrbanRegionGraph
+    fingerprint: str
+    plan: Optional[EdgePlan]
+    version: int
+
+
+@dataclass
+class StreamStats:
+    """Counters over the lifetime of one stream."""
+
+    updates: int = 0
+    feature_updates: int = 0
+    topology_updates: int = 0
+    plan_reuses: int = 0
+    plan_rebuilds: int = 0
+    rescores: int = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        return {"updates": self.updates,
+                "feature_updates": self.feature_updates,
+                "topology_updates": self.topology_updates,
+                "plan_reuses": self.plan_reuses,
+                "plan_rebuilds": self.plan_rebuilds,
+                "rescores": self.rescores}
+
+
+@dataclass
+class StreamUpdateResult:
+    """Outcome of one applied delta."""
+
+    kind: str
+    version: int
+    fingerprint: str
+    topology_changed: bool
+    plan_reused: bool
+    num_regions: int
+    elapsed_ms: float
+    #: present when the update rescored
+    result: Optional[ScoreResult] = None
+    delta_summary: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def probabilities(self) -> Optional[np.ndarray]:
+        return None if self.result is None else self.result.probabilities
+
+    def to_dict(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {
+            "kind": self.kind,
+            "version": self.version,
+            "fingerprint": self.fingerprint,
+            "topology_changed": self.topology_changed,
+            "plan_reused": self.plan_reused,
+            "num_regions": self.num_regions,
+            "elapsed_ms": round(float(self.elapsed_ms), 3),
+            "delta": dict(self.delta_summary),
+        }
+        if self.result is not None:
+            payload["score"] = self.result.to_dict()
+        return payload
+
+
+class StreamingScorer:
+    """Score one evolving city without ever re-uploading the whole graph.
+
+    Parameters
+    ----------
+    engine:
+        The engine to score with (typically shared with the HTTP service).
+    graph:
+        The initial graph version.
+    warm:
+        When True, score the initial version eagerly so the first request
+        is a cache hit.
+    """
+
+    def __init__(self, engine: InferenceEngine, graph: UrbanRegionGraph,
+                 warm: bool = False) -> None:
+        engine._check_dimensions(graph)
+        self._engine = engine
+        self._lock = threading.Lock()
+        self.stats = StreamStats()
+        fingerprint = graph.fingerprint()
+        plan = None
+        if engine.detector.config.use_edge_plan:
+            plan = EdgePlan.for_graph(graph)
+            engine.seed_plan(fingerprint, plan)
+        self._state = _StreamState(graph=graph, fingerprint=fingerprint,
+                                   plan=plan, version=0)
+        if warm:
+            self._engine.warm(graph)
+
+    # ------------------------------------------------------------------
+    # current version
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> UrbanRegionGraph:
+        return self._state.graph
+
+    @property
+    def fingerprint(self) -> str:
+        return self._state.fingerprint
+
+    @property
+    def version(self) -> int:
+        return self._state.version
+
+    @property
+    def engine(self) -> InferenceEngine:
+        return self._engine
+
+    def describe(self) -> Dict[str, object]:
+        state = self._state
+        return {
+            "version": state.version,
+            "fingerprint": state.fingerprint,
+            "regions": state.graph.num_nodes,
+            "edges": state.graph.num_edges,
+            "stats": self.stats.to_dict(),
+        }
+
+    # ------------------------------------------------------------------
+    # scoring
+    # ------------------------------------------------------------------
+    def score(self, regions: Optional[Sequence[int]] = None,
+              top_percent: Optional[float] = None) -> ScoreResult:
+        """Score the current graph version through the engine."""
+        with self._lock:
+            state = self._state
+            self.stats.rescores += 1
+        return self._engine.score(state.graph, regions=regions,
+                                  top_percent=top_percent,
+                                  fingerprint=state.fingerprint)
+
+    def predict_proba(self) -> np.ndarray:
+        return self.score().probabilities
+
+    # ------------------------------------------------------------------
+    # updates
+    # ------------------------------------------------------------------
+    def update(self, delta: GraphDelta, rescore: bool = True,
+               regions: Optional[Sequence[int]] = None,
+               top_percent: Optional[float] = None) -> StreamUpdateResult:
+        """Apply ``delta`` to the current version (atomically) and
+        optionally rescore the result."""
+        start = time.perf_counter()
+        with self._lock:
+            state = self._state
+            new_graph = delta.apply(state.graph)
+            # validate the whole request before committing anything: a
+            # rejected update must leave the stream exactly as it was
+            if rescore:
+                self._engine.validate_request(new_graph, regions, top_percent)
+            else:
+                self._engine._check_dimensions(new_graph)
+            topology_changed = delta.touches_topology
+            plan = None
+            plan_reused = False
+            if self._engine.detector.config.use_edge_plan:
+                if not topology_changed and state.plan is not None:
+                    plan = state.plan
+                    plan_reused = True
+                    self.stats.plan_reuses += 1
+                else:
+                    plan = EdgePlan.for_graph(new_graph)
+                    self.stats.plan_rebuilds += 1
+            fingerprint = new_graph.fingerprint()
+            if plan is not None:
+                self._engine.seed_plan(fingerprint, plan)
+            self._engine.evict(state.fingerprint)
+            new_state = _StreamState(graph=new_graph, fingerprint=fingerprint,
+                                     plan=plan, version=state.version + 1)
+            self._state = new_state
+            self.stats.updates += 1
+            if topology_changed:
+                self.stats.topology_updates += 1
+            else:
+                self.stats.feature_updates += 1
+            if rescore:
+                self.stats.rescores += 1
+
+        result: Optional[ScoreResult] = None
+        if rescore:
+            result = self._engine.score(new_state.graph, regions=regions,
+                                        top_percent=top_percent,
+                                        fingerprint=new_state.fingerprint)
+        elapsed_ms = (time.perf_counter() - start) * 1000.0
+        return StreamUpdateResult(
+            kind=delta.kind, version=new_state.version,
+            fingerprint=new_state.fingerprint,
+            topology_changed=topology_changed, plan_reused=plan_reused,
+            num_regions=new_state.graph.num_nodes, elapsed_ms=elapsed_ms,
+            result=result, delta_summary=delta.summary())

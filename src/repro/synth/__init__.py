@@ -12,6 +12,7 @@ of why the synthetic data preserves the behaviours the paper relies on.
 from .city import SyntheticCity, generate_city
 from .config import (CityConfig, ImageryConfig, LabelingConfig, LandUse,
                      PoiConfig, RoadConfig, UrbanVillageConfig, LAND_USE_NAMES)
+from .evolution import EvolutionConfig, available_scenarios, generate_evolution
 from .imagery import ImageFeatureBank, generate_image_features
 from .labels import LabelSet, generate_labels, masked_label_subset
 from .landuse import LandUseMap, generate_land_use
@@ -48,6 +49,9 @@ __all__ = [
     "masked_label_subset",
     "SyntheticCity",
     "generate_city",
+    "EvolutionConfig",
+    "generate_evolution",
+    "available_scenarios",
     "available_presets",
     "get_preset",
     "paper_cities",

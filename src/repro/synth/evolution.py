@@ -1,0 +1,223 @@
+"""Seeded evolution scenarios: reproducible delta sequences over a URG.
+
+Urban regions drift: POIs open and close, satellite imagery is re-captured,
+road segments are rewired and cities grow into unused land.  This module
+turns that drift into a *reproducible workload* — given a built
+:class:`~repro.urg.graph.UrbanRegionGraph` and an :class:`EvolutionConfig`,
+:func:`generate_evolution` produces a deterministic sequence of
+:class:`~repro.stream.delta.GraphDelta` steps that apply cleanly one after
+the other (each step is generated against the graph state left by the
+previous one).
+
+Four scenario kinds are built in:
+
+* ``poi_churn`` — a fraction of regions get new POI feature rows
+  (businesses opening/closing shift the category mix);
+* ``imagery_refresh`` — a fraction of regions get perturbed image
+  features (new satellite capture);
+* ``road_rewiring`` — a few undirected edges are removed and the same
+  number of new ones added between previously unconnected region pairs;
+* ``region_growth`` — new regions appear on unused grid cells, connected
+  to a few existing regions, with features drawn near an existing
+  "template" region.
+
+The first two are feature-only (the streaming layer reuses the compute
+plan); the last two change topology (the plan is rebuilt).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..stream.delta import GraphDelta
+from ..urg.graph import UrbanRegionGraph
+
+__all__ = ["EvolutionConfig", "generate_evolution", "available_scenarios"]
+
+
+@dataclass(frozen=True)
+class EvolutionConfig:
+    """Knobs of the evolution simulator.
+
+    ``scenarios`` cycles in order, one kind per step, so a default config
+    interleaves feature-only and topology deltas deterministically.
+    """
+
+    steps: int = 8
+    seed: int = 0
+    scenarios: Tuple[str, ...] = ("poi_churn", "imagery_refresh",
+                                  "road_rewiring", "region_growth")
+    #: fraction of regions whose POI features churn per poi_churn step
+    poi_churn_fraction: float = 0.05
+    #: fraction of regions re-captured per imagery_refresh step
+    imagery_refresh_fraction: float = 0.08
+    #: relative noise scale of feature perturbations
+    feature_noise: float = 0.25
+    #: undirected edges swapped per road_rewiring step
+    rewire_edges: int = 3
+    #: regions appended per region_growth step
+    growth_regions: int = 2
+    #: undirected connections of each new region
+    growth_connections: int = 3
+
+    def __post_init__(self) -> None:
+        if self.steps < 0:
+            raise ValueError("steps must be non-negative")
+        unknown = set(self.scenarios) - set(_SCENARIOS)
+        if unknown:
+            raise ValueError(f"unknown scenarios {sorted(unknown)}; "
+                             f"available: {available_scenarios()}")
+        if not self.scenarios:
+            raise ValueError("scenarios must not be empty")
+
+
+# ----------------------------------------------------------------------
+# scenario builders (graph, config, rng) -> delta or None when impossible
+# ----------------------------------------------------------------------
+def _perturbed_rows(values: np.ndarray, rows: np.ndarray, noise: float,
+                    rng: np.random.Generator) -> np.ndarray:
+    """New feature rows near the old ones, scaled to the feature spread."""
+    scale = values.std(axis=0, keepdims=True) + 1e-8
+    return values[rows] + rng.normal(0.0, noise, (rows.size, values.shape[1])) * scale
+
+
+def _poi_churn(graph: UrbanRegionGraph, config: EvolutionConfig,
+               rng: np.random.Generator) -> Optional[GraphDelta]:
+    if graph.poi_dim == 0:
+        return None
+    count = max(1, int(round(graph.num_nodes * config.poi_churn_fraction)))
+    rows = rng.choice(graph.num_nodes, size=min(count, graph.num_nodes),
+                      replace=False)
+    rows = np.sort(rows)
+    return GraphDelta(kind="poi_churn", poi_rows=rows,
+                      poi_values=_perturbed_rows(graph.x_poi, rows,
+                                                 config.feature_noise, rng))
+
+
+def _imagery_refresh(graph: UrbanRegionGraph, config: EvolutionConfig,
+                     rng: np.random.Generator) -> Optional[GraphDelta]:
+    if graph.image_dim == 0:
+        return None
+    count = max(1, int(round(graph.num_nodes * config.imagery_refresh_fraction)))
+    rows = rng.choice(graph.num_nodes, size=min(count, graph.num_nodes),
+                      replace=False)
+    rows = np.sort(rows)
+    return GraphDelta(kind="imagery_refresh", img_rows=rows,
+                      img_values=_perturbed_rows(graph.x_img, rows,
+                                                 config.feature_noise, rng))
+
+
+def _undirected_pairs(edge_index: np.ndarray) -> np.ndarray:
+    """Unique ``(u, v), u < v`` pairs of a symmetric directed edge list."""
+    low = np.minimum(edge_index[0], edge_index[1])
+    high = np.maximum(edge_index[0], edge_index[1])
+    return np.unique(np.stack([low, high], axis=1), axis=0)
+
+
+def _road_rewiring(graph: UrbanRegionGraph, config: EvolutionConfig,
+                   rng: np.random.Generator) -> Optional[GraphDelta]:
+    pairs = _undirected_pairs(graph.edge_index)
+    n = graph.num_nodes
+    if pairs.shape[0] == 0 or n < 3:
+        return None
+    swaps = min(config.rewire_edges, pairs.shape[0] - 1)
+    if swaps <= 0:
+        return None
+    drop = pairs[rng.choice(pairs.shape[0], size=swaps, replace=False)]
+    existing = set(map(tuple, pairs.tolist()))
+    added: List[Tuple[int, int]] = []
+    # rejection-sample new pairs; the budget bounds worst-case dense graphs
+    for _ in range(swaps * 50):
+        if len(added) == swaps:
+            break
+        u, v = rng.choice(n, size=2, replace=False)
+        pair = (int(min(u, v)), int(max(u, v)))
+        if pair in existing:
+            continue
+        existing.add(pair)
+        added.append(pair)
+    if not added:
+        return None
+    add = np.asarray(added, dtype=np.int64).T
+    remove_edges = np.concatenate([drop.T, drop.T[::-1]], axis=1)
+    add_edges = np.concatenate([add, add[::-1]], axis=1)
+    return GraphDelta(kind="road_rewiring", remove_edges=remove_edges,
+                      add_edges=add_edges)
+
+
+def _region_growth(graph: UrbanRegionGraph, config: EvolutionConfig,
+                   rng: np.random.Generator) -> Optional[GraphDelta]:
+    grid_cells = int(np.prod(graph.grid_shape)) if graph.grid_shape else 0
+    free = np.setdiff1d(np.arange(grid_cells), graph.region_index)
+    if free.size == 0 or config.growth_regions <= 0 or graph.num_nodes == 0:
+        return None
+    count = min(config.growth_regions, free.size)
+    new_cells = np.sort(rng.choice(free, size=count, replace=False))
+    templates = rng.choice(graph.num_nodes, size=count, replace=True)
+    n = graph.num_nodes
+    add_edges: List[Tuple[int, int]] = []
+    for offset in range(count):
+        new_id = n + offset
+        neighbours = rng.choice(n, size=min(config.growth_connections, n),
+                                replace=False)
+        for neighbour in neighbours:
+            add_edges.append((new_id, int(neighbour)))
+            add_edges.append((int(neighbour), new_id))
+    add = np.asarray(add_edges, dtype=np.int64).T
+    kwargs = {}
+    if graph.poi_dim:
+        kwargs["add_x_poi"] = _perturbed_rows(graph.x_poi, templates,
+                                              config.feature_noise, rng)
+    if graph.image_dim:
+        kwargs["add_x_img"] = _perturbed_rows(graph.x_img, templates,
+                                              config.feature_noise, rng)
+    return GraphDelta(
+        kind="region_growth",
+        add_region_index=new_cells,
+        # new regions inherit the split block of their template region
+        add_block_ids=graph.block_ids[templates],
+        add_edges=add,
+        **kwargs)
+
+
+_SCENARIOS: Dict[str, Callable[[UrbanRegionGraph, EvolutionConfig,
+                                np.random.Generator],
+                               Optional[GraphDelta]]] = {
+    "poi_churn": _poi_churn,
+    "imagery_refresh": _imagery_refresh,
+    "road_rewiring": _road_rewiring,
+    "region_growth": _region_growth,
+}
+
+
+def available_scenarios() -> List[str]:
+    """Names of the built-in evolution scenarios."""
+    return sorted(_SCENARIOS)
+
+
+def generate_evolution(graph: UrbanRegionGraph,
+                       config: Optional[EvolutionConfig] = None) -> List[GraphDelta]:
+    """Generate a deterministic, sequentially applicable delta sequence.
+
+    Step ``i`` uses scenario ``config.scenarios[i % len(scenarios)]`` and
+    is generated against the graph produced by applying steps ``0..i-1``,
+    so ``apply_deltas(graph, deltas)`` always succeeds.  A scenario that
+    cannot fire on the current state (no free grid cells, zero-width
+    modality, ...) is skipped, so the returned list may be shorter than
+    ``config.steps``.
+    """
+    config = config or EvolutionConfig()
+    rng = np.random.default_rng(config.seed)
+    deltas: List[GraphDelta] = []
+    current = graph
+    for step in range(config.steps):
+        kind = config.scenarios[step % len(config.scenarios)]
+        delta = _SCENARIOS[kind](current, config, rng)
+        if delta is None:
+            continue
+        current = delta.apply(current)
+        deltas.append(delta)
+    return deltas

@@ -173,6 +173,18 @@ class UrbanRegionGraph:
         return sha256_of_arrays(((name, getattr(self, name)) for name in fields),
                                 seed=self.name)
 
+    def structural_fingerprint(self) -> str:
+        """Content hash over the edge structure only (edges + node count).
+
+        Two graphs with the same structural fingerprint share every
+        edge-derived precomputation (:class:`~repro.nn.graphops.EdgePlan`,
+        degrees, GCN normalisation); the streaming layer compares it to
+        decide whether a delta invalidated the compute plan or only the
+        features.
+        """
+        return sha256_of_arrays([("edge_index", self.edge_index)],
+                                seed="structure:%d" % self.num_nodes)
+
     def degree(self) -> np.ndarray:
         """In-degree of every node under the directed edge index."""
         return np.bincount(self.edge_index[1], minlength=self.num_nodes)

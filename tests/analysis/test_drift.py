@@ -1,0 +1,87 @@
+"""Score-drift report over evolving-city trajectories."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import DriftReport, score_drift_report
+
+
+class TestScoreDriftReport:
+    def test_identical_trajectories_show_no_drift(self):
+        scores = np.linspace(0.0, 1.0, 20)
+        report = score_drift_report([scores, scores.copy(), scores.copy()])
+        assert report.num_steps == 2
+        for step in report.steps:
+            assert step.mean_abs_change == 0.0
+            assert step.max_abs_change == 0.0
+            assert step.rank_correlation == pytest.approx(1.0)
+            assert step.crossed_up == step.crossed_down == 0
+        assert report.total_crossings == 0
+        assert report.total_mean_abs_change == 0.0
+
+    def test_step_statistics(self):
+        before = np.array([0.1, 0.4, 0.9])
+        after = np.array([0.6, 0.4, 0.3])   # region 0 up-crosses, 2 down-crosses
+        report = score_drift_report([before, after], threshold=0.5)
+        (step,) = report.steps
+        assert step.crossed_up == 1
+        assert step.crossed_down == 1
+        assert step.max_abs_change == pytest.approx(0.6)
+        assert step.mean_abs_change == pytest.approx((0.5 + 0.0 + 0.6) / 3)
+        # the ranking reversed between 0 and 2
+        assert step.rank_correlation < 1.0
+
+    def test_kinds_and_topology_labels(self):
+        a, b, c = np.zeros(4), np.ones(4) * 0.2, np.ones(4) * 0.4
+        report = score_drift_report([a, b, c],
+                                    kinds=["poi_churn", "road_rewiring"],
+                                    topology=[False, True])
+        assert [step.kind for step in report.steps] == ["poi_churn",
+                                                        "road_rewiring"]
+        assert [step.topology for step in report.steps] == [False, True]
+
+    def test_region_growth_compares_shared_prefix(self):
+        before = np.array([0.1, 0.2, 0.3])
+        after = np.array([0.1, 0.2, 0.3, 0.9])   # one appended region
+        report = score_drift_report([before, after])
+        (step,) = report.steps
+        assert step.regions_before == 3
+        assert step.regions_after == 4
+        assert step.mean_abs_change == 0.0
+        # growth changed the node set: topology inferred when not given
+        assert step.topology is True
+
+    def test_mismatched_label_lengths_rejected(self):
+        with pytest.raises(ValueError, match="one entry per applied delta"):
+            score_drift_report([np.zeros(3), np.ones(3)], kinds=["a", "b"])
+        with pytest.raises(ValueError, match="one entry per applied delta"):
+            score_drift_report([np.zeros(3), np.ones(3)], topology=[])
+
+    def test_single_trajectory_rejected(self):
+        with pytest.raises(ValueError, match="at least two"):
+            score_drift_report([np.zeros(3)])
+
+    def test_constant_scores_have_nan_rank_corr(self):
+        report = score_drift_report([np.full(5, 0.5), np.full(5, 0.7)])
+        assert np.isnan(report.steps[0].rank_correlation)
+        assert np.isnan(report.worst_rank_correlation)
+
+    def test_to_dict_round_trips_through_json(self):
+        import json
+        report = score_drift_report([np.zeros(3), np.ones(3)],
+                                    kinds=["imagery_refresh"])
+        payload = json.loads(json.dumps(report.to_dict()))
+        assert payload["num_steps"] == 1
+        assert payload["steps"][0]["kind"] == "imagery_refresh"
+        assert payload["steps"][0]["crossed_up"] == 3
+
+    def test_format_renders_every_step(self):
+        report = score_drift_report(
+            [np.zeros(4), np.ones(4) * 0.1, np.ones(4)],
+            kinds=["poi_churn", "region_growth"])
+        text = report.format()
+        assert "poi_churn" in text and "region_growth" in text
+        assert "threshold crossings" in text
+        assert len(text.splitlines()) == 2 + 2 + 2  # header+rule, rows, rule+summary

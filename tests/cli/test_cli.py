@@ -26,7 +26,7 @@ class TestParser:
                           if isinstance(action, type(parser._subparsers._group_actions[0])))
         assert set(subparsers.choices) == {"generate-city", "build-graph", "show-city",
                                            "train", "evaluate", "reproduce", "registry",
-                                           "package", "serve", "score"}
+                                           "package", "serve", "score", "stream"}
 
 
 class TestGenerateAndBuild:
@@ -199,6 +199,55 @@ class TestPackageServeScore:
         manifest = read_manifest(bundle_dir)
         canonical = build_urg(generate_city(get_preset("tiny")))
         assert manifest.graph["fingerprint"] == canonical.fingerprint()
+
+
+class TestStream:
+    @pytest.fixture(scope="class")
+    def packaged_registry(self, tmp_path_factory):
+        root = tmp_path_factory.mktemp("stream-models")
+        assert main(["package", "--preset", "tiny", "--epochs", "8",
+                     "--registry", str(root), "--name", "tiny"]) == 0
+        return root
+
+    def test_stream_local_registry_mode(self, packaged_registry, tmp_path, capsys):
+        report_path = tmp_path / "drift.json"
+        exit_code = main(["stream", "--preset", "tiny",
+                          "--registry", str(packaged_registry),
+                          "--model", "tiny", "--steps", "4",
+                          "--scenarios", "poi_churn,road_rewiring",
+                          "--json", str(report_path)])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "plan reused" in out
+        assert "rank-ρ" in out
+        report = json.loads(report_path.read_text())
+        assert report["num_steps"] == 4
+        assert report["stats"]["plan_reuses"] == 2
+        assert report["stats"]["plan_rebuilds"] == 2
+        assert [step["kind"] for step in report["steps"]] == \
+            ["poi_churn", "road_rewiring", "poi_churn", "road_rewiring"]
+
+    def test_stream_against_running_service(self, packaged_registry, capsys):
+        from repro.serve import ModelRegistry, ScoringServer
+
+        server = ScoringServer(ModelRegistry(packaged_registry), quiet=True).start()
+        try:
+            exit_code = main(["stream", "--preset", "tiny", "--url", server.url,
+                              "--model", "tiny", "--steps", "2",
+                              "--scenarios", "imagery_refresh"])
+        finally:
+            server.stop()
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "plan reused on 2/2 updates" in out
+        assert "imagery_refresh" in out
+
+    def test_stream_unknown_scenario_is_reported(self, packaged_registry, capsys):
+        exit_code = main(["stream", "--preset", "tiny",
+                          "--registry", str(packaged_registry),
+                          "--model", "tiny", "--scenarios", "earthquake"])
+        assert exit_code == 2
+        assert "unknown scenarios" in capsys.readouterr().err
 
 
 class TestRegistry:

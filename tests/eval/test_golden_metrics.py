@@ -1,0 +1,96 @@
+"""Golden-metrics regression test: end-to-end detection quality pinned.
+
+Trains the fixed golden configuration (float64, fixed seeds) on the
+medium ``mini`` city and compares AUC / AP / F1@k against values recorded
+when this test was introduced.  The float64 pipeline is bit-reproducible
+for a fixed seed on one platform; the tolerances below only absorb
+BLAS-order differences across platforms (~1e-12), so *any* behavioural
+change to training, features or inference fails here instead of only
+surfacing in the slow benchmark harness.
+
+If a deliberate quality-affecting change lands, re-run the golden setup
+and update the ``GOLDEN`` constants in the same commit, noting why.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import CMSFConfig, CMSFDetector
+from repro.eval.metrics import (average_precision, roc_auc,
+                                top_percent_metrics)
+from repro.synth import generate_city, mini_city
+from repro.urg import UrgBuildConfig, build_urg
+from repro.urg.image_features import ImageFeatureConfig
+
+#: the frozen golden setup — do not tweak casually: every constant below
+#: is part of the pinned contract
+GOLDEN_CITY_SEED = 1
+GOLDEN_IMAGE_DIM = 48
+GOLDEN_CONFIG = dict(hidden_dim=32, image_reduce_dim=32, classifier_hidden=16,
+                     maga_layers=2, maga_heads=2, num_clusters=12,
+                     context_dim=16, master_epochs=30, slave_epochs=10,
+                     patience=None, dropout=0.0, seed=0, dtype="float64")
+
+#: pinned values (recorded at introduction; float64, fixed seeds)
+GOLDEN = {
+    "auc": 0.704797047970480,
+    "ap": 0.110126765270031,
+    "f1@3": 0.038461538461538,
+    "f1@5": 0.063492063492064,
+    "recall@5": 0.058823529411765,
+    "score_sum": 240.833526527676099,
+}
+#: rank metrics tolerate cross-platform BLAS noise only
+METRIC_ATOL = 1e-6
+SCORE_SUM_RTOL = 1e-9
+
+
+@pytest.fixture(scope="module")
+def golden_scores():
+    graph = build_urg(
+        generate_city(mini_city(seed=GOLDEN_CITY_SEED)),
+        UrgBuildConfig(image=ImageFeatureConfig(reduce_dim=GOLDEN_IMAGE_DIM)))
+    detector = CMSFDetector(CMSFConfig(**GOLDEN_CONFIG))
+    detector.fit(graph, graph.labeled_indices())
+    return graph, detector.predict_proba(graph)
+
+
+class TestGoldenMetrics:
+    def test_scores_are_float64(self, golden_scores):
+        _, scores = golden_scores
+        assert scores.dtype == np.float64
+
+    def test_auc_pinned(self, golden_scores):
+        graph, scores = golden_scores
+        auc = roc_auc(graph.ground_truth, scores)
+        assert auc == pytest.approx(GOLDEN["auc"], abs=METRIC_ATOL), \
+            f"AUC drifted: got {auc!r}; if intentional, re-pin GOLDEN"
+
+    def test_average_precision_pinned(self, golden_scores):
+        graph, scores = golden_scores
+        ap = average_precision(graph.ground_truth, scores)
+        assert ap == pytest.approx(GOLDEN["ap"], abs=METRIC_ATOL), \
+            f"AP drifted: got {ap!r}; if intentional, re-pin GOLDEN"
+
+    def test_screening_f1_pinned(self, golden_scores):
+        graph, scores = golden_scores
+        at3 = top_percent_metrics(graph.ground_truth, scores, 3.0)
+        at5 = top_percent_metrics(graph.ground_truth, scores, 5.0)
+        assert at3.f1 == pytest.approx(GOLDEN["f1@3"], abs=METRIC_ATOL)
+        assert at5.f1 == pytest.approx(GOLDEN["f1@5"], abs=METRIC_ATOL)
+        assert at5.recall == pytest.approx(GOLDEN["recall@5"], abs=METRIC_ATOL)
+
+    def test_score_mass_pinned(self, golden_scores):
+        """The raw probability mass pins the numeric path itself: a change
+        that happens not to flip any rank still fails here."""
+        _, scores = golden_scores
+        assert scores.sum() == pytest.approx(GOLDEN["score_sum"],
+                                             rel=SCORE_SUM_RTOL), \
+            f"score mass drifted: got {scores.sum()!r}; re-pin if intentional"
+
+    def test_probabilities_well_formed(self, golden_scores):
+        _, scores = golden_scores
+        assert np.isfinite(scores).all()
+        assert scores.min() >= 0.0 and scores.max() <= 1.0

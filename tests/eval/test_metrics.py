@@ -7,8 +7,8 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.eval import (aggregate_reports, detection_report, roc_auc,
-                        top_percent_metrics)
+from repro.eval import (aggregate_reports, average_precision, detection_report,
+                        roc_auc, top_percent_metrics)
 
 
 class TestRocAuc:
@@ -108,12 +108,59 @@ class TestTopPercentMetrics:
             assert 0.0 <= result.f1 <= 1.0
 
 
+class TestAveragePrecision:
+    def test_perfect_ranking_is_one(self):
+        labels = np.array([1, 1, 0, 0])
+        scores = np.array([0.9, 0.8, 0.2, 0.1])
+        assert average_precision(labels, scores) == 1.0
+
+    def test_worst_ranking(self):
+        labels = np.array([0, 0, 1])
+        scores = np.array([0.9, 0.8, 0.1])
+        # the single positive sits at rank 3: AP = 1/3
+        assert average_precision(labels, scores) == pytest.approx(1 / 3)
+
+    def test_known_value(self):
+        labels = np.array([1, 0, 1, 0])
+        scores = np.array([0.9, 0.8, 0.7, 0.1])
+        # positives at ranks 1 and 3: (1/1 + 2/3) / 2
+        assert average_precision(labels, scores) == pytest.approx(5 / 6)
+
+    def test_no_positives_is_nan(self):
+        assert np.isnan(average_precision(np.zeros(4), np.linspace(0, 1, 4)))
+
+    def test_unlabeled_entries_count_as_negatives(self):
+        labels = np.array([1, -1, 0])
+        scores = np.array([0.9, 0.5, 0.1])
+        assert average_precision(labels, scores) == 1.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            average_precision(np.zeros(3), np.zeros(4))
+
+    @given(st.integers(min_value=2, max_value=60), st.integers(0, 2 ** 31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_property_bounds_and_baseline(self, n, seed):
+        rng = np.random.default_rng(seed)
+        labels = rng.integers(0, 2, size=n)
+        scores = rng.random(n)
+        positives = int((labels == 1).sum())
+        ap = average_precision(labels, scores)
+        if positives == 0:
+            assert np.isnan(ap)
+        else:
+            # AP is bounded by (prevalence/n, 1] and never below the
+            # precision of the all-positives-last ordering
+            assert 0.0 < ap <= 1.0
+            assert ap >= positives / n / n
+
+
 class TestReports:
     def test_detection_report_keys(self):
         labels = np.array([1, 0, 1, 0, 0, 0])
         scores = np.array([0.8, 0.2, 0.7, 0.3, 0.4, 0.1])
         report = detection_report(labels, scores)
-        assert set(report) == {"auc", "recall@3", "precision@3", "f1@3",
+        assert set(report) == {"auc", "ap", "recall@3", "precision@3", "f1@3",
                                "recall@5", "precision@5", "f1@5"}
 
     def test_aggregate_reports_mean_std(self):

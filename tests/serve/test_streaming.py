@@ -1,0 +1,256 @@
+"""StreamingScorer correctness and the HTTP /update route.
+
+The acceptance contract of the streaming layer:
+
+* after every applied delta, the stream's scores are **bit-identical** to
+  a full-rebuild ``detector.predict_proba`` of the same graph (float64);
+* feature-only deltas reuse the cached :class:`EdgePlan` (no re-plan at
+  all — verified via the module-level build counter);
+* topology deltas rebuild the plan exactly once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.graphops import plan_cache_info
+from repro.serve import InferenceEngine, ScoringServer, ScoringClient
+from repro.serve.client import ScoringServiceError
+from repro.stream import GraphDelta, StreamingScorer, apply_deltas
+from repro.synth import EvolutionConfig, generate_evolution
+
+
+@pytest.fixture()
+def engine(fitted_detector):
+    return InferenceEngine(fitted_detector, cache_size=8)
+
+
+def evolution(graph, scenarios, steps=4, seed=11, **kwargs):
+    return generate_evolution(graph, EvolutionConfig(
+        steps=steps, seed=seed, scenarios=scenarios, **kwargs))
+
+
+# ----------------------------------------------------------------------
+# incremental correctness (acceptance criterion)
+# ----------------------------------------------------------------------
+class TestIncrementalCorrectness:
+    @pytest.mark.parametrize("seed", [3, 11, 29])
+    def test_streamed_scores_match_full_rebuild_bitwise(
+            self, engine, fitted_detector, tiny_graph_small_image, seed):
+        graph = tiny_graph_small_image
+        scorer = StreamingScorer(engine, graph)
+        deltas = evolution(graph, ("poi_churn", "imagery_refresh",
+                                   "road_rewiring"), steps=6, seed=seed)
+        assert len(deltas) == 6
+        current = graph
+        for delta in deltas:
+            update = scorer.update(delta)
+            current = delta.apply(current)
+            reference = fitted_detector.predict_proba(current)
+            assert reference.dtype == np.float64
+            assert np.array_equal(update.probabilities, reference), delta.kind
+
+    def test_feature_only_deltas_never_replan(self, engine,
+                                              tiny_graph_small_image):
+        graph = tiny_graph_small_image
+        scorer = StreamingScorer(engine, graph)
+        scorer.predict_proba()
+        deltas = evolution(graph, ("poi_churn", "imagery_refresh"),
+                           steps=5, seed=7)
+        builds_before = plan_cache_info()["builds"]
+        for delta in deltas:
+            update = scorer.update(delta)
+            assert not update.topology_changed
+            assert update.plan_reused
+        assert plan_cache_info()["builds"] == builds_before
+        assert scorer.stats.plan_reuses == 5
+        assert scorer.stats.plan_rebuilds == 0
+
+    def test_topology_delta_rebuilds_plan(self, engine,
+                                          tiny_graph_small_image):
+        graph = tiny_graph_small_image
+        scorer = StreamingScorer(engine, graph)
+        deltas = evolution(graph, ("road_rewiring",), steps=2, seed=5)
+        builds_before = plan_cache_info()["builds"]
+        for delta in deltas:
+            update = scorer.update(delta)
+            assert update.topology_changed
+            assert not update.plan_reused
+        assert plan_cache_info()["builds"] == builds_before + len(deltas)
+        assert scorer.stats.plan_rebuilds == len(deltas)
+
+    def test_region_growth_streams_bitwise(self, engine, fitted_detector,
+                                           tiny_graph_small_image):
+        graph = GraphDelta(remove_regions=[0, 1]).apply(tiny_graph_small_image)
+        scorer = StreamingScorer(engine, graph)
+        deltas = evolution(graph, ("region_growth", "poi_churn"),
+                           steps=4, seed=13)
+        assert any(d.kind == "region_growth" for d in deltas)
+        final = apply_deltas(graph, deltas)
+        for delta in deltas:
+            update = scorer.update(delta)
+        assert update.num_regions == final.num_nodes
+        assert np.array_equal(update.probabilities,
+                              fitted_detector.predict_proba(final))
+
+    def test_update_without_rescore(self, engine, tiny_graph_small_image):
+        scorer = StreamingScorer(engine, tiny_graph_small_image)
+        (delta,) = evolution(tiny_graph_small_image, ("poi_churn",), steps=1)
+        update = scorer.update(delta, rescore=False)
+        assert update.result is None
+        assert update.probabilities is None
+        assert scorer.version == 1
+        assert scorer.stats.rescores == 0
+
+    def test_version_and_fingerprint_advance(self, engine,
+                                             tiny_graph_small_image):
+        scorer = StreamingScorer(engine, tiny_graph_small_image)
+        before = scorer.fingerprint
+        (delta,) = evolution(tiny_graph_small_image, ("poi_churn",), steps=1)
+        update = scorer.update(delta)
+        assert scorer.version == update.version == 1
+        assert update.fingerprint == scorer.fingerprint != before
+
+    def test_superseded_version_evicted_from_cache(self, engine,
+                                                   tiny_graph_small_image):
+        scorer = StreamingScorer(engine, tiny_graph_small_image)
+        scorer.predict_proba()
+        old_fingerprint = scorer.fingerprint
+        assert engine._cache.peek(old_fingerprint) is not None
+        (delta,) = evolution(tiny_graph_small_image, ("poi_churn",), steps=1)
+        scorer.update(delta)
+        assert engine._cache.peek(old_fingerprint) is None
+
+    def test_rejected_rescore_request_does_not_advance_stream(
+            self, engine, tiny_graph_small_image):
+        """A delta paired with an invalid scoring request must be rejected
+        atomically — the stream stays at its previous version."""
+        scorer = StreamingScorer(engine, tiny_graph_small_image)
+        before = scorer.fingerprint
+        (delta,) = evolution(tiny_graph_small_image, ("poi_churn",), steps=1)
+        with pytest.raises(ValueError, match="out of range"):
+            scorer.update(delta, regions=[10 ** 6])
+        assert scorer.version == 0
+        assert scorer.fingerprint == before
+        assert scorer.stats.updates == 0
+        # the same delta still applies cleanly afterwards
+        assert scorer.update(delta).version == 1
+
+    def test_dimension_mismatch_rejected(self, model_registry, tiny_graph):
+        # tiny_graph has full-width image features, the bundle was trained
+        # on the reduced variant; the manifest check must fire at stream
+        # creation, not deep inside the encoder
+        bundle_engine = InferenceEngine.from_bundle(
+            model_registry.resolve("tiny"))
+        with pytest.raises(ValueError, match="does not match"):
+            StreamingScorer(bundle_engine, tiny_graph)
+
+
+# ----------------------------------------------------------------------
+# HTTP transport (/update, /streams)
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="class")
+def streaming_server(model_registry):
+    with ScoringServer(model_registry, cache_size=8) as server:
+        client = ScoringClient(server.url)
+        client.wait_until_ready()
+        yield server, client
+
+
+class TestUpdateRoute:
+    def test_open_update_and_list(self, streaming_server, fitted_detector,
+                                  tiny_graph_small_image):
+        server, client = streaming_server
+        graph = tiny_graph_small_image
+        opened = client.open_stream("live", graph, "tiny")
+        assert opened["opened"] is True
+        assert opened["version"] == 0
+        assert np.array_equal(np.asarray(opened["score"]["probabilities"]),
+                              fitted_detector.predict_proba(graph))
+
+        deltas = evolution(graph, ("poi_churn", "road_rewiring"),
+                           steps=2, seed=19)
+        current = graph
+        for expected_version, delta in enumerate(deltas, start=1):
+            response = client.update_stream("live", delta)
+            current = delta.apply(current)
+            assert response["version"] == expected_version
+            assert np.array_equal(
+                np.asarray(response["score"]["probabilities"]),
+                fitted_detector.predict_proba(current))
+        assert response["stats"]["plan_reuses"] == 1
+        assert response["stats"]["plan_rebuilds"] == 1
+
+        listing = client.streams()["streams"]
+        (entry,) = [e for e in listing if e["stream"] == "live"]
+        assert entry["model"] == "tiny"
+        assert entry["version"] == 2
+
+    def test_json_encoded_delta(self, streaming_server,
+                                tiny_graph_small_image):
+        server, client = streaming_server
+        client.open_stream("json-stream", tiny_graph_small_image, "tiny")
+        (delta,) = evolution(tiny_graph_small_image, ("poi_churn",), steps=1)
+        response = client.update_stream("json-stream", delta, encoding="json")
+        assert response["version"] == 1
+        assert response["kind"] == "poi_churn"
+
+    def test_unknown_stream_404(self, streaming_server,
+                                tiny_graph_small_image):
+        server, client = streaming_server
+        (delta,) = evolution(tiny_graph_small_image, ("poi_churn",), steps=1)
+        with pytest.raises(ScoringServiceError) as excinfo:
+            client.update_stream("never-opened", delta)
+        assert excinfo.value.status == 404
+
+    def test_desynchronised_delta_is_clean_400(self, streaming_server,
+                                               tiny_graph_small_image):
+        server, client = streaming_server
+        graph = tiny_graph_small_image
+        client.open_stream("desync", graph, "tiny")
+        stale = GraphDelta(remove_edges=[[0], [0]])  # edge does not exist
+        with pytest.raises(ScoringServiceError) as excinfo:
+            client.update_stream("desync", stale)
+        assert excinfo.value.status == 400
+        assert "not in the graph" in str(excinfo.value)
+
+    def test_graph_and_delta_together_rejected(self, streaming_server,
+                                               tiny_graph_small_image):
+        server, client = streaming_server
+        response_error = None
+        from repro.serve.wire import delta_to_payload, graph_to_payload
+        body = {"stream": "x", "model": "tiny",
+                "graph": graph_to_payload(tiny_graph_small_image),
+                "delta": delta_to_payload(GraphDelta())}
+        with pytest.raises(ScoringServiceError) as excinfo:
+            client._request("/update", body)
+        assert excinfo.value.status == 400
+        assert "exactly one" in str(excinfo.value)
+
+    def test_open_requires_model(self, streaming_server,
+                                 tiny_graph_small_image):
+        server, client = streaming_server
+        from repro.serve.wire import graph_to_payload
+        body = {"stream": "x",
+                "graph": graph_to_payload(tiny_graph_small_image)}
+        with pytest.raises(ScoringServiceError) as excinfo:
+            client._request("/update", body)
+        assert excinfo.value.status == 400
+        assert "model" in str(excinfo.value)
+
+    def test_reopen_resets_stream(self, streaming_server,
+                                  tiny_graph_small_image):
+        server, client = streaming_server
+        client.open_stream("reset-me", tiny_graph_small_image, "tiny")
+        (delta,) = evolution(tiny_graph_small_image, ("poi_churn",), steps=1)
+        assert client.update_stream("reset-me", delta)["version"] == 1
+        reopened = client.open_stream("reset-me", tiny_graph_small_image,
+                                      "tiny", rescore=False)
+        assert reopened["version"] == 0
+        assert "score" not in reopened
+
+    def test_healthz_counts_streams(self, streaming_server):
+        server, client = streaming_server
+        health = client.healthz()
+        assert health["streams_open"] >= 1

@@ -1,0 +1,235 @@
+"""Concurrency stress tests for the engine, streaming scorer and server.
+
+The invariants exercised under a threaded mixed workload (cache hits,
+misses, evictions and graph updates):
+
+* every score returned by the engine is bit-identical to the detector's
+  own ``predict_proba`` of the graph version that was scored — caching,
+  eviction and request deduplication never corrupt a result;
+* cache statistics stay consistent (``hits + misses == requests``);
+* a reader racing a streaming update observes either the pre-delta or the
+  post-delta version in full — each returned (fingerprint, scores) pair
+  matches the serial reference for exactly that version, so a
+  half-applied delta would be caught as a mismatched vector;
+* the HTTP server survives the same mix over real sockets.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.serve import InferenceEngine, ScoringClient, ScoringServer
+from repro.stream import StreamingScorer, apply_deltas
+from repro.synth import EvolutionConfig, generate_evolution
+
+N_VERSIONS = 6
+WORKERS = 6
+OPS_PER_WORKER = 10
+
+
+@pytest.fixture(scope="module")
+def graph_versions(fitted_detector, tiny_graph_small_image):
+    """A chain of graph versions with serial reference scores.
+
+    Versions alternate feature-only and topology deltas, so the stress
+    mix covers plan reuse and rebuild as well.
+    """
+    deltas = generate_evolution(
+        tiny_graph_small_image,
+        EvolutionConfig(steps=N_VERSIONS - 1, seed=23,
+                        scenarios=("poi_churn", "road_rewiring",
+                                   "imagery_refresh")))
+    assert len(deltas) == N_VERSIONS - 1
+    versions = [tiny_graph_small_image]
+    for delta in deltas:
+        versions.append(delta.apply(versions[-1]))
+    references = {
+        graph.fingerprint(): fitted_detector.predict_proba(graph)
+        for graph in versions
+    }
+    return versions, deltas, references
+
+
+class TestEngineStress:
+    def test_threaded_mixed_workload_returns_exact_scores(
+            self, fitted_detector, graph_versions):
+        versions, _, references = graph_versions
+        # cache smaller than the version count forces constant evictions
+        engine = InferenceEngine(fitted_detector, cache_size=2, max_workers=4)
+        errors = []
+
+        def worker(worker_id):
+            rng = np.random.default_rng(worker_id)
+            for op in range(OPS_PER_WORKER):
+                graph = versions[int(rng.integers(len(versions)))]
+                action = rng.integers(4)
+                try:
+                    if action == 0:
+                        engine.warm(graph)
+                    elif action == 1:
+                        subset = rng.integers(0, graph.num_nodes, size=5)
+                        result = engine.score(graph, regions=np.unique(subset))
+                        expected = references[graph.fingerprint()]
+                        if not np.array_equal(result.probabilities,
+                                              expected[np.unique(subset)]):
+                            errors.append(f"subset mismatch in worker {worker_id}")
+                    else:
+                        result = engine.score(graph)
+                        expected = references[graph.fingerprint()]
+                        if not np.array_equal(result.probabilities, expected):
+                            errors.append(f"mismatch in worker {worker_id}")
+                except Exception as error:  # noqa: BLE001 - collected for report
+                    errors.append(f"worker {worker_id} op {op}: {error!r}")
+
+        with ThreadPoolExecutor(max_workers=WORKERS) as pool:
+            list(pool.map(worker, range(WORKERS)))
+
+        assert errors == []
+        stats = engine.cache_stats
+        assert stats.hits + stats.misses == stats.requests
+        assert stats.evictions > 0, "cache_size=2 over 6 versions must evict"
+        assert engine.cache_len <= 2
+
+    def test_score_many_under_eviction_pressure(self, fitted_detector,
+                                                graph_versions):
+        versions, _, references = graph_versions
+        engine = InferenceEngine(fitted_detector, cache_size=1, max_workers=4)
+        results = engine.score_many(versions * 2)
+        assert len(results) == len(versions) * 2
+        for graph, result in zip(versions * 2, results):
+            assert np.array_equal(result.probabilities,
+                                  references[graph.fingerprint()])
+
+    def test_concurrent_same_graph_computes_once(self, fitted_detector,
+                                                 tiny_graph_small_image):
+        engine = InferenceEngine(fitted_detector, cache_size=4, max_workers=4)
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            results = list(pool.map(
+                lambda _: engine.score(tiny_graph_small_image), range(8)))
+        assert engine.cold_computes == 1
+        first = results[0].probabilities
+        for result in results[1:]:
+            assert np.array_equal(result.probabilities, first)
+
+
+class TestStreamingStress:
+    def test_readers_never_observe_half_applied_delta(
+            self, fitted_detector, graph_versions):
+        versions, deltas, references = graph_versions
+        engine = InferenceEngine(fitted_detector, cache_size=2)
+        scorer = StreamingScorer(engine, versions[0])
+        stop = threading.Event()
+        errors = []
+        observed_fingerprints = set()
+
+        def reader(reader_id):
+            while not stop.is_set():
+                try:
+                    result = scorer.score()
+                except Exception as error:  # noqa: BLE001
+                    errors.append(f"reader {reader_id}: {error!r}")
+                    return
+                expected = references.get(result.fingerprint)
+                if expected is None:
+                    errors.append(f"reader {reader_id} saw unknown version "
+                                  f"{result.fingerprint[:12]}")
+                    return
+                if not np.array_equal(result.probabilities, expected):
+                    errors.append(f"reader {reader_id} saw torn scores for "
+                                  f"{result.fingerprint[:12]}")
+                    return
+                observed_fingerprints.add(result.fingerprint)
+
+        threads = [threading.Thread(target=reader, args=(i,))
+                   for i in range(3)]
+        for thread in threads:
+            thread.start()
+        try:
+            for delta in deltas:          # writer: one delta at a time
+                scorer.update(delta, rescore=True)
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=30)
+        assert errors == []
+        assert scorer.version == len(deltas)
+        assert observed_fingerprints <= set(references)
+
+    def test_concurrent_updates_are_serialised(self, fitted_detector,
+                                               tiny_graph_small_image):
+        """Racing feature updates must all land; versions are strictly
+        sequential and the final graph reflects every delta exactly once."""
+        engine = InferenceEngine(fitted_detector, cache_size=2)
+        scorer = StreamingScorer(engine, tiny_graph_small_image)
+        rng = np.random.default_rng(31)
+        # patches over disjoint row blocks are order-independent, so the
+        # racing appliers must converge to the serial result
+        from repro.stream import GraphDelta
+        deltas = [
+            GraphDelta(kind=f"patch-{block}",
+                       poi_rows=np.arange(block * 8, block * 8 + 8),
+                       poi_values=rng.normal(
+                           size=(8, tiny_graph_small_image.poi_dim)))
+            for block in range(4)
+        ]
+        serial = apply_deltas(tiny_graph_small_image, deltas, validate=False)
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            results = list(pool.map(
+                lambda delta: scorer.update(delta, rescore=False), deltas))
+        assert sorted(r.version for r in results) == [1, 2, 3, 4]
+        assert scorer.stats.updates == 4
+        assert np.array_equal(scorer.graph.x_poi, serial.x_poi)
+        assert np.array_equal(
+            scorer.predict_proba(), fitted_detector.predict_proba(serial))
+
+
+class TestServerStress:
+    def test_threaded_clients_mixing_score_update_and_health(
+            self, model_registry, graph_versions):
+        versions, deltas, references = graph_versions
+        with ScoringServer(model_registry, cache_size=2,
+                           max_workers=4) as server:
+            client = ScoringClient(server.url)
+            client.wait_until_ready()
+            client.open_stream("stress", versions[0], "tiny", rescore=False)
+            errors = []
+
+            def scorer_worker(worker_id):
+                rng = np.random.default_rng(100 + worker_id)
+                for _ in range(6):
+                    graph = versions[int(rng.integers(len(versions)))]
+                    try:
+                        payload = client.score(graph, "tiny")
+                        expected = references[payload["fingerprint"]]
+                        got = np.asarray(payload["probabilities"])
+                        if not np.array_equal(got, expected):
+                            errors.append(f"worker {worker_id}: torn score")
+                        if rng.random() < 0.3:
+                            client.healthz()
+                    except Exception as error:  # noqa: BLE001
+                        errors.append(f"worker {worker_id}: {error!r}")
+
+            def updater():
+                try:
+                    for delta in deltas:
+                        response = client.update_stream("stress", delta)
+                        expected = references[response["fingerprint"]]
+                        got = np.asarray(response["score"]["probabilities"])
+                        if not np.array_equal(got, expected):
+                            errors.append("updater saw torn stream score")
+                except Exception as error:  # noqa: BLE001
+                    errors.append(f"updater: {error!r}")
+
+            with ThreadPoolExecutor(max_workers=4) as pool:
+                futures = [pool.submit(scorer_worker, i) for i in range(3)]
+                futures.append(pool.submit(updater))
+                for future in futures:
+                    future.result(timeout=120)
+            assert errors == []
+            listing = client.streams()["streams"]
+            (entry,) = [e for e in listing if e["stream"] == "stress"]
+            assert entry["version"] == len(deltas)

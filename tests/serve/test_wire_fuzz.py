@@ -1,0 +1,320 @@
+"""Fuzz / property tests for the wire codec (`repro.serve.wire`).
+
+Two properties are pinned down:
+
+1. **round-trip fidelity** — seeded random graphs (across feature dtypes,
+   degenerate shapes: no edges, one region, zero-width modalities) survive
+   encode→decode bit-exactly under the npz encoding and exactly for
+   float64 under the JSON encoding;
+2. **clean failure** — malformed payloads (random mutations, corrupt
+   base64, truncated archives, wrong-typed and ragged fields) always
+   raise :class:`ValueError` with a message, never a numpy shape error,
+   ``KeyError``, ``zipfile.BadZipFile`` or any other internal exception
+   that a transport would report as a 500.
+"""
+
+from __future__ import annotations
+
+import base64
+import copy
+
+import numpy as np
+import pytest
+
+from repro.serve.wire import (delta_from_payload, delta_to_payload,
+                              graph_from_payload, graph_to_payload)
+from repro.stream import GraphDelta
+from repro.urg.graph import UrbanRegionGraph
+
+GRAPH_ARRAY_FIELDS = ("edge_index", "x_poi", "x_img", "labels",
+                      "labeled_mask", "ground_truth", "region_index",
+                      "block_ids")
+
+
+def random_graph(rng: np.random.Generator, num_nodes: int = None,
+                 num_undirected: int = None, poi_dim: int = None,
+                 image_dim: int = None, dtype=np.float64) -> UrbanRegionGraph:
+    """A structurally valid random URG drawn from ``rng``."""
+    n = int(rng.integers(1, 40)) if num_nodes is None else num_nodes
+    poi_dim = int(rng.integers(0, 12)) if poi_dim is None else poi_dim
+    image_dim = int(rng.integers(0, 12)) if image_dim is None else image_dim
+    if poi_dim == 0 and image_dim == 0:
+        poi_dim = 1
+    max_pairs = n * (n - 1) // 2
+    m = (int(rng.integers(0, min(max_pairs, 3 * n) + 1))
+         if num_undirected is None else num_undirected)
+    if m and n > 1:
+        pairs = set()
+        while len(pairs) < m:
+            u, v = rng.integers(0, n, size=2)
+            if u != v:
+                pairs.add((int(min(u, v)), int(max(u, v))))
+        undirected = np.array(sorted(pairs), dtype=np.int64).T
+        edge_index = np.concatenate([undirected, undirected[::-1]], axis=1)
+    else:
+        edge_index = np.zeros((2, 0), dtype=np.int64)
+    labels = rng.choice([-1, 0, 1], size=n).astype(np.int64)
+    grid = (int(np.ceil(np.sqrt(n))) + 1, int(np.ceil(np.sqrt(n))) + 1)
+    region_index = rng.choice(grid[0] * grid[1], size=n, replace=False).astype(np.int64)
+    return UrbanRegionGraph(
+        name=f"fuzz-{rng.integers(1 << 30)}",
+        edge_index=edge_index,
+        x_poi=rng.normal(size=(n, poi_dim)).astype(dtype),
+        x_img=rng.normal(size=(n, image_dim)).astype(dtype),
+        labels=labels,
+        labeled_mask=(labels >= 0),
+        ground_truth=rng.integers(0, 2, size=n).astype(np.int64),
+        region_index=region_index,
+        block_ids=(region_index // 5).astype(np.int64),
+        grid_shape=grid,
+        stats={"undirected_edges": edge_index.shape[1] // 2},
+    )
+
+
+def assert_graphs_equal(a: UrbanRegionGraph, b: UrbanRegionGraph,
+                        exact_dtype: bool = True) -> None:
+    assert a.name == b.name
+    assert tuple(a.grid_shape) == tuple(b.grid_shape)
+    for name in GRAPH_ARRAY_FIELDS:
+        left, right = getattr(a, name), getattr(b, name)
+        assert left.shape == right.shape, name
+        assert np.array_equal(left, right), name
+        if exact_dtype:
+            assert left.dtype == right.dtype, name
+
+
+# ----------------------------------------------------------------------
+# round-trip properties
+# ----------------------------------------------------------------------
+class TestGraphRoundTrip:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_npz_round_trip_random_graphs(self, seed):
+        graph = random_graph(np.random.default_rng(seed))
+        restored = graph_from_payload(graph_to_payload(graph, encoding="npz"))
+        assert_graphs_equal(graph, restored)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_json_round_trip_random_graphs(self, seed):
+        graph = random_graph(np.random.default_rng(100 + seed))
+        restored = graph_from_payload(graph_to_payload(graph, encoding="json"))
+        # JSON numbers repr-round-trip float64 exactly
+        assert_graphs_equal(graph, restored, exact_dtype=False)
+
+    @pytest.mark.parametrize("dtype", [np.float64, np.float32, np.float16])
+    def test_npz_preserves_feature_dtype(self, dtype):
+        graph = random_graph(np.random.default_rng(7), dtype=dtype)
+        restored = graph_from_payload(graph_to_payload(graph))
+        assert restored.x_poi.dtype == np.dtype(dtype)
+        assert np.array_equal(graph.x_poi, restored.x_poi)
+
+    @pytest.mark.parametrize("encoding", ["npz", "json"])
+    def test_empty_edge_city(self, encoding):
+        graph = random_graph(np.random.default_rng(1), num_nodes=5,
+                             num_undirected=0)
+        assert graph.num_edges == 0
+        restored = graph_from_payload(graph_to_payload(graph, encoding=encoding))
+        assert restored.num_edges == 0
+        assert restored.edge_index.shape == (2, 0)
+
+    @pytest.mark.parametrize("encoding", ["npz", "json"])
+    def test_single_region_city(self, encoding):
+        graph = random_graph(np.random.default_rng(2), num_nodes=1,
+                             num_undirected=0)
+        restored = graph_from_payload(graph_to_payload(graph, encoding=encoding))
+        assert restored.num_nodes == 1
+
+    def test_zero_width_modalities(self):
+        for poi_dim, image_dim in ((0, 6), (6, 0)):
+            graph = random_graph(np.random.default_rng(3), poi_dim=poi_dim,
+                                 image_dim=image_dim)
+            restored = graph_from_payload(graph_to_payload(graph))
+            assert restored.poi_dim == poi_dim
+            assert restored.image_dim == image_dim
+
+    def test_all_accepted_edge_layouts_agree(self):
+        graph = random_graph(np.random.default_rng(4), num_nodes=10,
+                             num_undirected=6)
+        payload = graph_to_payload(graph, encoding="json")
+        native = graph_from_payload(payload)
+        pairs = copy.deepcopy(payload)
+        pairs["edge_index"] = np.asarray(payload["edge_index"]).T.tolist()
+        flat = copy.deepcopy(payload)
+        flat["edge_index"] = np.asarray(payload["edge_index"]).T.reshape(-1).tolist()
+        for variant in (pairs, flat):
+            assert np.array_equal(graph_from_payload(variant).edge_index,
+                                  native.edge_index)
+
+    def test_ambiguous_edge_layout_rejected(self):
+        graph = random_graph(np.random.default_rng(5), num_nodes=8,
+                             num_undirected=3)
+        payload = graph_to_payload(graph, encoding="json")
+        payload["edge_index"] = [[0, 1, 2], [1, 2, 0], [2, 0, 1]]  # (3, 3)
+        with pytest.raises(ValueError, match="edge_index"):
+            graph_from_payload(payload)
+
+
+class TestDeltaRoundTrip:
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("encoding", ["npz", "json"])
+    def test_random_delta_round_trip(self, seed, encoding):
+        rng = np.random.default_rng(seed)
+        kwargs = {}
+        if rng.random() < 0.7:
+            rows = np.sort(rng.choice(50, size=rng.integers(1, 6), replace=False))
+            kwargs.update(poi_rows=rows,
+                          poi_values=rng.normal(size=(rows.size, 7)))
+        if rng.random() < 0.5:
+            kwargs.update(add_edges=np.array([[0, 1], [2, 3]]))
+        if rng.random() < 0.5:
+            kwargs.update(remove_regions=np.sort(
+                rng.choice(50, size=3, replace=False)))
+        delta = GraphDelta(kind=f"fuzz-{seed}", **kwargs)
+        restored = delta_from_payload(delta_to_payload(delta, encoding=encoding))
+        assert restored.kind == delta.kind
+        assert set(restored.to_arrays()) == set(delta.to_arrays())
+        for name, array in delta.to_arrays().items():
+            assert np.array_equal(array, restored.to_arrays()[name]), name
+
+
+# ----------------------------------------------------------------------
+# malformed payloads must fail cleanly
+# ----------------------------------------------------------------------
+def assert_clean_value_error(decode, payload):
+    """Decoding must raise ValueError with a message — nothing else."""
+    with pytest.raises(ValueError) as excinfo:
+        decode(payload)
+    assert str(excinfo.value), "error message must not be empty"
+
+
+class TestMalformedGraphPayloads:
+    @pytest.fixture()
+    def valid_json_payload(self):
+        return graph_to_payload(random_graph(np.random.default_rng(0)),
+                                encoding="json")
+
+    @pytest.fixture()
+    def valid_npz_payload(self):
+        return graph_to_payload(random_graph(np.random.default_rng(0)))
+
+    def test_non_dict_payloads(self):
+        for junk in (None, 17, "graph", [1, 2, 3]):
+            assert_clean_value_error(graph_from_payload, junk)
+
+    def test_wrong_wire_version(self, valid_json_payload):
+        payload = dict(valid_json_payload, wire_version=99)
+        assert_clean_value_error(graph_from_payload, payload)
+
+    def test_unknown_encoding(self, valid_json_payload):
+        payload = dict(valid_json_payload, encoding="msgpack")
+        assert_clean_value_error(graph_from_payload, payload)
+
+    def test_missing_fields(self, valid_json_payload):
+        for name in ("name", "edge_index", "x_poi", "labels", "grid_shape"):
+            payload = dict(valid_json_payload)
+            del payload[name]
+            assert_clean_value_error(graph_from_payload, payload)
+
+    def test_corrupt_base64(self, valid_npz_payload):
+        payload = dict(valid_npz_payload, npz_base64="@@@not-base64@@@")
+        assert_clean_value_error(graph_from_payload, payload)
+
+    def test_valid_base64_of_garbage(self, valid_npz_payload):
+        garbage = base64.b64encode(b"these are not npz bytes").decode("ascii")
+        payload = dict(valid_npz_payload, npz_base64=garbage)
+        assert_clean_value_error(graph_from_payload, payload)
+
+    def test_truncated_archive(self, valid_npz_payload):
+        raw = base64.b64decode(valid_npz_payload["npz_base64"])
+        truncated = base64.b64encode(raw[:len(raw) // 2]).decode("ascii")
+        payload = dict(valid_npz_payload, npz_base64=truncated)
+        assert_clean_value_error(graph_from_payload, payload)
+
+    def test_row_count_mismatch_is_value_error(self, valid_json_payload):
+        payload = copy.deepcopy(valid_json_payload)
+        payload["labels"] = payload["labels"][:-1]
+        assert_clean_value_error(graph_from_payload, payload)
+
+    def test_edge_referencing_missing_node(self, valid_json_payload):
+        payload = copy.deepcopy(valid_json_payload)
+        n = len(payload["labels"])
+        payload["edge_index"] = [[0, n + 5], [1, 0]]
+        assert_clean_value_error(graph_from_payload, payload)
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_random_field_mutations(self, valid_json_payload, seed):
+        """Randomly corrupt one field; decode must raise clean ValueError
+        (or still decode, when the mutation happens to stay valid)."""
+        rng = np.random.default_rng(1000 + seed)
+        payload = copy.deepcopy(valid_json_payload)
+        victim = str(rng.choice([k for k in payload if k != "encoding"]))
+        mutation = rng.choice(["drop", "string", "ragged", "negative"])
+        if mutation == "drop":
+            del payload[victim]
+        elif mutation == "string":
+            payload[victim] = "corrupted"
+        elif mutation == "ragged":
+            payload[victim] = [[1, 2], [3]]
+        else:
+            payload[victim] = [[-9]]
+        try:
+            graph_from_payload(payload)
+        except ValueError:
+            pass  # the contract: ValueError or a valid decode, nothing else
+
+    def test_json_wrong_typed_scalars(self, valid_json_payload):
+        payload = dict(valid_json_payload, grid_shape="not-a-shape")
+        assert_clean_value_error(graph_from_payload, payload)
+
+
+class TestMalformedDeltaPayloads:
+    @pytest.fixture()
+    def valid_payload(self):
+        delta = GraphDelta(poi_rows=[0, 1], poi_values=np.zeros((2, 3)))
+        return delta_to_payload(delta, encoding="json")
+
+    def test_non_dict_payloads(self):
+        for junk in (None, [], "delta", 3.5):
+            assert_clean_value_error(delta_from_payload, junk)
+
+    def test_wrong_wire_version(self, valid_payload):
+        assert_clean_value_error(delta_from_payload,
+                                 dict(valid_payload, wire_version=0))
+
+    def test_unknown_encoding(self, valid_payload):
+        assert_clean_value_error(delta_from_payload,
+                                 dict(valid_payload, encoding="yaml"))
+
+    def test_corrupt_base64(self):
+        payload = {"wire_version": 1, "encoding": "npz", "npz_base64": "!!"}
+        assert_clean_value_error(delta_from_payload, payload)
+
+    def test_non_string_base64(self):
+        for junk in (123, None, ["a"], {"b": 1}):
+            payload = {"wire_version": 1, "encoding": "npz",
+                       "npz_base64": junk}
+            assert_clean_value_error(delta_from_payload, payload)
+            graph_payload = {"wire_version": 1, "encoding": "npz",
+                             "npz_base64": junk}
+            assert_clean_value_error(graph_from_payload, graph_payload)
+
+    def test_garbage_archive(self):
+        payload = {"wire_version": 1, "encoding": "npz",
+                   "npz_base64": base64.b64encode(b"junk").decode("ascii")}
+        assert_clean_value_error(delta_from_payload, payload)
+
+    def test_ragged_field(self, valid_payload):
+        payload = dict(valid_payload, poi_values=[[1.0], [1.0, 2.0]])
+        assert_clean_value_error(delta_from_payload, payload)
+
+    def test_inconsistent_patch(self, valid_payload):
+        payload = dict(valid_payload)
+        del payload["poi_values"]
+        assert_clean_value_error(delta_from_payload, payload)
+
+    def test_float_rows_rejected(self, valid_payload):
+        payload = dict(valid_payload, poi_rows=[0.25, 1.75])
+        assert_clean_value_error(delta_from_payload, payload)
+
+    def test_bad_edge_shape(self, valid_payload):
+        payload = dict(valid_payload, add_edges=[[1, 2, 3], [4, 5, 6], [7, 8, 9]])
+        assert_clean_value_error(delta_from_payload, payload)

@@ -1,0 +1,305 @@
+"""GraphDelta apply / validate / compose semantics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.stream import GraphDelta, apply_deltas, compose_deltas
+from repro.stream.delta import delta_from_bytes, delta_to_bytes
+
+
+def edge_set(graph):
+    return set(map(tuple, graph.edge_index.T.tolist()))
+
+
+# ----------------------------------------------------------------------
+# construction / normalisation
+# ----------------------------------------------------------------------
+class TestConstruction:
+    def test_empty_delta(self):
+        delta = GraphDelta(kind="noop")
+        assert delta.is_empty
+        assert not delta.touches_topology
+        assert not delta.touches_features
+
+    def test_empty_arrays_normalise_to_none(self):
+        delta = GraphDelta(poi_rows=np.zeros(0, dtype=np.int64),
+                           poi_values=np.zeros((0, 4)))
+        assert delta.poi_rows is None and delta.poi_values is None
+        assert delta.is_empty
+
+    def test_patch_requires_rows_and_values(self):
+        with pytest.raises(ValueError, match="poi_values"):
+            GraphDelta(poi_rows=[0, 1])
+
+    def test_patch_row_value_count_mismatch(self):
+        with pytest.raises(ValueError, match="row indices"):
+            GraphDelta(poi_rows=[0, 1], poi_values=np.zeros((3, 4)))
+
+    def test_duplicate_patch_rows_rejected(self):
+        with pytest.raises(ValueError, match="twice"):
+            GraphDelta(poi_rows=[1, 1], poi_values=np.zeros((2, 4)))
+
+    def test_non_integer_rows_rejected(self):
+        with pytest.raises(ValueError, match="integer"):
+            GraphDelta(poi_rows=[0.5], poi_values=np.zeros((1, 4)))
+
+    def test_bad_edge_shape_rejected(self):
+        with pytest.raises(ValueError, match=r"\(2, K\)"):
+            GraphDelta(add_edges=np.zeros((3, 2), dtype=np.int64))
+
+    def test_region_addition_arrays_must_agree(self):
+        with pytest.raises(ValueError, match="disagree"):
+            GraphDelta(add_region_index=[10, 11], add_x_poi=np.zeros((3, 4)))
+
+    def test_region_addition_needs_region_index(self):
+        with pytest.raises(ValueError, match="add_region_index"):
+            GraphDelta(add_x_poi=np.zeros((2, 4)))
+
+    def test_summary_counts(self):
+        delta = GraphDelta(poi_rows=[0, 1], poi_values=np.zeros((2, 4)),
+                           add_edges=[[0], [1]])
+        summary = delta.summary()
+        assert summary["patched_regions"] == 2
+        assert summary["added_edges"] == 1
+        assert summary["topology"] is True
+
+
+# ----------------------------------------------------------------------
+# validation against a graph
+# ----------------------------------------------------------------------
+class TestValidate:
+    def test_patch_out_of_range(self, tiny_graph):
+        delta = GraphDelta(poi_rows=[tiny_graph.num_nodes],
+                           poi_values=np.zeros((1, tiny_graph.poi_dim)))
+        with pytest.raises(ValueError, match="references region"):
+            delta.validate(tiny_graph)
+
+    def test_patch_wrong_width(self, tiny_graph):
+        delta = GraphDelta(poi_rows=[0],
+                           poi_values=np.zeros((1, tiny_graph.poi_dim + 1)))
+        with pytest.raises(ValueError, match="feature"):
+            delta.validate(tiny_graph)
+
+    def test_remove_missing_edge(self, tiny_graph):
+        # self-edges never exist in a built URG
+        delta = GraphDelta(remove_edges=[[0], [0]])
+        with pytest.raises(ValueError, match="not in the graph"):
+            delta.validate(tiny_graph)
+
+    def test_add_existing_edge(self, tiny_graph):
+        existing = tiny_graph.edge_index[:, :1]
+        delta = GraphDelta(add_edges=existing)
+        with pytest.raises(ValueError, match="already exists"):
+            delta.validate(tiny_graph)
+
+    def test_add_self_loop_rejected(self, tiny_graph):
+        delta = GraphDelta(add_edges=[[3], [3]])
+        with pytest.raises(ValueError, match="self-loops"):
+            delta.validate(tiny_graph)
+
+    def test_add_edge_out_of_range(self, tiny_graph):
+        delta = GraphDelta(add_edges=[[0], [tiny_graph.num_nodes + 5]])
+        with pytest.raises(ValueError, match="references region"):
+            delta.validate(tiny_graph)
+
+    def test_add_region_on_occupied_cell(self, tiny_graph):
+        taken = int(tiny_graph.region_index[0])
+        delta = GraphDelta(add_region_index=[taken],
+                           add_x_poi=np.zeros((1, tiny_graph.poi_dim)),
+                           add_x_img=np.zeros((1, tiny_graph.image_dim)))
+        with pytest.raises(ValueError, match="occupied"):
+            delta.validate(tiny_graph)
+
+    def test_remove_every_region_rejected(self, tiny_graph):
+        delta = GraphDelta(remove_regions=np.arange(tiny_graph.num_nodes))
+        with pytest.raises(ValueError, match="every region"):
+            delta.validate(tiny_graph)
+
+    def test_bad_labels_rejected(self, tiny_graph):
+        graph = GraphDelta(remove_regions=[0]).apply(tiny_graph)
+        delta = GraphDelta(add_region_index=[_free_cell(graph)],
+                           add_x_poi=np.zeros((1, graph.poi_dim)),
+                           add_x_img=np.zeros((1, graph.image_dim)),
+                           add_labels=[7])
+        with pytest.raises(ValueError, match="add_labels"):
+            delta.validate(graph)
+
+
+def _free_cell(graph):
+    """A grid cell without a region (falls back to an occupied one)."""
+    cells = int(np.prod(graph.grid_shape))
+    free = np.setdiff1d(np.arange(cells), graph.region_index)
+    return int(free[0]) if free.size else int(graph.region_index[0])
+
+
+# ----------------------------------------------------------------------
+# application semantics
+# ----------------------------------------------------------------------
+class TestApply:
+    def test_apply_is_pure(self, tiny_graph, rng):
+        before = tiny_graph.x_poi.copy()
+        delta = GraphDelta(poi_rows=[1], poi_values=rng.normal(size=(1, tiny_graph.poi_dim)))
+        updated = delta.apply(tiny_graph)
+        assert np.array_equal(tiny_graph.x_poi, before)
+        assert not np.array_equal(updated.x_poi[1], before[1])
+        assert np.array_equal(updated.x_poi[0], before[0])
+
+    def test_feature_patch_keeps_structure(self, tiny_graph, rng):
+        delta = GraphDelta(img_rows=[0, 5], img_values=rng.normal(size=(2, tiny_graph.image_dim)))
+        updated = delta.apply(tiny_graph)
+        assert updated.structural_fingerprint() == tiny_graph.structural_fingerprint()
+        assert updated.fingerprint() != tiny_graph.fingerprint()
+
+    def test_edge_swap(self, tiny_graph):
+        drop = tiny_graph.edge_index[:, :2]
+        n = tiny_graph.num_nodes
+        # find a pair that is not connected
+        connected = edge_set(tiny_graph)
+        pair = next((u, v) for u in range(n) for v in range(n)
+                    if u != v and (u, v) not in connected)
+        delta = GraphDelta(remove_edges=drop, add_edges=np.array([[pair[0]], [pair[1]]]))
+        updated = delta.apply(tiny_graph)
+        assert updated.num_edges == tiny_graph.num_edges - 1
+        new_edges = edge_set(updated)
+        assert pair in new_edges
+        assert tuple(drop[:, 0].tolist()) not in new_edges
+        assert updated.structural_fingerprint() != tiny_graph.structural_fingerprint()
+
+    def test_region_growth(self, tiny_graph, rng):
+        removed = GraphDelta(remove_regions=[0]).apply(tiny_graph)
+        free = _free_cell(removed)
+        delta = GraphDelta(
+            add_region_index=[free],
+            add_x_poi=rng.normal(size=(1, removed.poi_dim)),
+            add_x_img=rng.normal(size=(1, removed.image_dim)),
+            add_edges=[[removed.num_nodes, 0], [0, removed.num_nodes]],
+            add_labels=[1], add_ground_truth=[1])
+        updated = delta.apply(removed)
+        new_id = removed.num_nodes
+        assert updated.num_nodes == removed.num_nodes + 1
+        assert updated.labels[new_id] == 1
+        assert updated.labeled_mask[new_id]
+        assert updated.ground_truth[new_id] == 1
+        assert int(updated.region_index[new_id]) == free
+        assert (new_id, 0) in edge_set(updated)
+
+    def test_region_growth_defaults_unlabeled(self, tiny_graph, rng):
+        removed = GraphDelta(remove_regions=[3]).apply(tiny_graph)
+        delta = GraphDelta(
+            add_region_index=[_free_cell(removed)],
+            add_x_poi=rng.normal(size=(1, removed.poi_dim)),
+            add_x_img=rng.normal(size=(1, removed.image_dim)))
+        updated = delta.apply(removed)
+        assert updated.labels[-1] == -1
+        assert not updated.labeled_mask[-1]
+        assert updated.ground_truth[-1] == 0
+
+    def test_region_removal_compacts_and_remaps(self, tiny_graph):
+        victim = 5
+        delta = GraphDelta(remove_regions=[victim])
+        updated = delta.apply(tiny_graph)
+        assert updated.num_nodes == tiny_graph.num_nodes - 1
+        # all edges incident to the victim are gone, others remapped
+        old_edges = tiny_graph.edge_index
+        incident = (old_edges == victim).any(axis=0)
+        assert updated.num_edges == tiny_graph.num_edges - int(incident.sum())
+        assert updated.edge_index.max() < updated.num_nodes
+        # surviving node data is preserved in order
+        keep = np.ones(tiny_graph.num_nodes, dtype=bool)
+        keep[victim] = False
+        assert np.array_equal(updated.x_poi, tiny_graph.x_poi[keep])
+        assert np.array_equal(updated.region_index, tiny_graph.region_index[keep])
+
+    def test_validate_false_skips_checks(self, tiny_graph):
+        # removing a non-existent edge silently keeps the graph intact
+        delta = GraphDelta(remove_edges=[[0], [0]])
+        updated = delta.apply(tiny_graph, validate=False)
+        assert updated.num_edges == tiny_graph.num_edges
+
+    def test_apply_deltas_chains(self, tiny_graph, rng):
+        d1 = GraphDelta(poi_rows=[0], poi_values=rng.normal(size=(1, tiny_graph.poi_dim)))
+        d2 = GraphDelta(remove_regions=[1])
+        result = apply_deltas(tiny_graph, [d1, d2])
+        assert result.num_nodes == tiny_graph.num_nodes - 1
+        assert result.stats["stream_updates"] == 2
+
+
+# ----------------------------------------------------------------------
+# composition
+# ----------------------------------------------------------------------
+class TestCompose:
+    def test_feature_compose_later_wins(self, tiny_graph, rng):
+        a = GraphDelta(poi_rows=[0, 1], poi_values=rng.normal(size=(2, tiny_graph.poi_dim)))
+        b = GraphDelta(poi_rows=[1, 2], poi_values=rng.normal(size=(2, tiny_graph.poi_dim)))
+        combined = a.compose(b)
+        sequential = b.apply(a.apply(tiny_graph))
+        at_once = combined.apply(tiny_graph)
+        assert np.array_equal(sequential.x_poi, at_once.x_poi)
+        assert np.array_equal(sequential.x_img, at_once.x_img)
+
+    def test_edge_compose_with_cancellation(self, tiny_graph):
+        n = tiny_graph.num_nodes
+        connected = edge_set(tiny_graph)
+        pair = next((u, v) for u in range(n) for v in range(n)
+                    if u != v and (u, v) not in connected)
+        add = np.array([[pair[0]], [pair[1]]])
+        a = GraphDelta(add_edges=add)
+        b = GraphDelta(remove_edges=add)       # removes what a added
+        combined = a.compose(b)
+        sequential = b.apply(a.apply(tiny_graph))
+        at_once = combined.apply(tiny_graph)
+        assert edge_set(sequential) == edge_set(at_once)
+        assert combined.num_added_edges == 0
+
+    def test_compose_rejects_region_changes(self, tiny_graph):
+        a = GraphDelta(remove_regions=[0])
+        b = GraphDelta(kind="other")
+        with pytest.raises(ValueError, match="sequentially"):
+            a.compose(b)
+        with pytest.raises(ValueError, match="sequentially"):
+            b.compose(a)
+
+    def test_compose_deltas_folds(self, tiny_graph, rng):
+        parts = [GraphDelta(poi_rows=[i], poi_values=rng.normal(size=(1, tiny_graph.poi_dim)))
+                 for i in range(3)]
+        combined = compose_deltas(parts)
+        sequential = apply_deltas(tiny_graph, parts)
+        assert np.array_equal(combined.apply(tiny_graph).x_poi, sequential.x_poi)
+
+    def test_compose_empty_sequence(self):
+        assert compose_deltas([]).is_empty
+
+
+# ----------------------------------------------------------------------
+# bytes round-trip
+# ----------------------------------------------------------------------
+class TestBytesRoundTrip:
+    def test_round_trip_all_fields(self, tiny_graph, rng):
+        delta = GraphDelta(
+            kind="everything",
+            poi_rows=[0, 2], poi_values=rng.normal(size=(2, tiny_graph.poi_dim)),
+            img_rows=[1], img_values=rng.normal(size=(1, tiny_graph.image_dim)),
+            remove_edges=tiny_graph.edge_index[:, :2],
+            add_edges=[[0], [200]],
+            remove_regions=[7])
+        restored = delta_from_bytes(delta_to_bytes(delta))
+        assert restored.kind == "everything"
+        for name, array in delta.to_arrays().items():
+            assert np.array_equal(array, restored.to_arrays()[name]), name
+
+    def test_corrupt_bytes_raise_value_error(self):
+        with pytest.raises(ValueError):
+            delta_from_bytes(b"definitely not an npz archive")
+
+    def test_unknown_fields_rejected(self, rng):
+        import io
+        import json
+        buffer = io.BytesIO()
+        meta = {"format_version": 1, "kind": "x"}
+        np.savez(buffer,
+                 meta=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
+                 bogus=np.zeros(3))
+        with pytest.raises(ValueError, match="unknown fields"):
+            delta_from_bytes(buffer.getvalue())

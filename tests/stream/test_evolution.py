@@ -1,0 +1,101 @@
+"""Seeded evolution scenarios: determinism and applicability."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.stream import GraphDelta, apply_deltas
+from repro.synth import EvolutionConfig, available_scenarios, generate_evolution
+
+
+class TestConfig:
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ValueError, match="unknown scenarios"):
+            EvolutionConfig(scenarios=("tsunami",))
+
+    def test_empty_scenarios_rejected(self):
+        with pytest.raises(ValueError, match="not be empty"):
+            EvolutionConfig(scenarios=())
+
+    def test_negative_steps_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            EvolutionConfig(steps=-1)
+
+    def test_available_scenarios(self):
+        assert available_scenarios() == ["imagery_refresh", "poi_churn",
+                                         "region_growth", "road_rewiring"]
+
+
+class TestGenerate:
+    def test_deterministic_for_seed(self, tiny_graph):
+        config = EvolutionConfig(steps=6, seed=42)
+        first = generate_evolution(tiny_graph, config)
+        second = generate_evolution(tiny_graph, config)
+        assert len(first) == len(second) > 0
+        for a, b in zip(first, second):
+            assert a.kind == b.kind
+            for name, array in a.to_arrays().items():
+                assert np.array_equal(array, b.to_arrays()[name])
+
+    def test_different_seeds_differ(self, tiny_graph):
+        a = generate_evolution(tiny_graph, EvolutionConfig(steps=2, seed=1,
+                                                           scenarios=("poi_churn",)))
+        b = generate_evolution(tiny_graph, EvolutionConfig(steps=2, seed=2,
+                                                           scenarios=("poi_churn",)))
+        assert not np.array_equal(a[0].poi_values, b[0].poi_values)
+
+    def test_sequence_applies_cleanly(self, tiny_graph):
+        deltas = generate_evolution(tiny_graph, EvolutionConfig(steps=10, seed=5))
+        evolved = apply_deltas(tiny_graph, deltas)   # validates every step
+        assert evolved.num_nodes >= tiny_graph.num_nodes
+
+    def test_scenario_cycle_order(self, tiny_graph):
+        deltas = generate_evolution(
+            tiny_graph, EvolutionConfig(steps=4, seed=0,
+                                        scenarios=("poi_churn", "road_rewiring")))
+        assert [d.kind for d in deltas] == ["poi_churn", "road_rewiring",
+                                            "poi_churn", "road_rewiring"]
+
+    def test_feature_scenarios_are_feature_only(self, tiny_graph):
+        deltas = generate_evolution(
+            tiny_graph,
+            EvolutionConfig(steps=4, seed=0,
+                            scenarios=("poi_churn", "imagery_refresh")))
+        assert deltas and all(not d.touches_topology for d in deltas)
+
+    def test_rewiring_preserves_counts_and_symmetry(self, tiny_graph):
+        deltas = generate_evolution(
+            tiny_graph, EvolutionConfig(steps=1, seed=0,
+                                        scenarios=("road_rewiring",),
+                                        rewire_edges=3))
+        evolved = apply_deltas(tiny_graph, deltas)
+        assert evolved.num_edges == tiny_graph.num_edges
+        # symmetry: every directed edge has its reverse
+        edges = set(map(tuple, evolved.edge_index.T.tolist()))
+        assert all((v, u) in edges for (u, v) in edges)
+
+    def test_region_growth_fires_when_cells_are_free(self, tiny_graph):
+        # the tiny city occupies the full grid; free a few cells first
+        shrunk = GraphDelta(remove_regions=[0, 1, 2, 3]).apply(tiny_graph)
+        deltas = generate_evolution(
+            shrunk, EvolutionConfig(steps=2, seed=0,
+                                    scenarios=("region_growth",),
+                                    growth_regions=2))
+        assert [d.kind for d in deltas] == ["region_growth", "region_growth"]
+        evolved = apply_deltas(shrunk, deltas)
+        assert evolved.num_nodes == shrunk.num_nodes + 4
+        # appended regions are unlabeled and connected
+        assert (evolved.labels[-4:] == -1).all()
+        assert (evolved.degree()[-4:] > 0).all()
+
+    def test_region_growth_skipped_on_full_grid(self, tiny_graph):
+        assert tiny_graph.num_nodes == int(np.prod(tiny_graph.grid_shape)), \
+            "fixture assumption: the tiny city occupies every grid cell"
+        deltas = generate_evolution(
+            tiny_graph, EvolutionConfig(steps=3, seed=0,
+                                        scenarios=("region_growth",)))
+        assert deltas == []
+
+    def test_zero_steps(self, tiny_graph):
+        assert generate_evolution(tiny_graph, EvolutionConfig(steps=0)) == []
