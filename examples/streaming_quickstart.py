@@ -9,10 +9,13 @@ instead of re-uploading it:
    time the full graph crosses the wire);
 3. generate a seeded evolution — POI churn, imagery refreshes, road
    rewiring — and push each step as an incremental delta to ``/update``;
-4. show that feature-only deltas reuse the cached edge plan while
-   topology deltas rebuild it, that every streamed score matches a full
-   local rebuild bit-for-bit, and finish with a drift report of how the
-   scores moved.
+4. show the delta-localised rescoring at work: the stream opens with
+   ``incremental="auto"`` (the default), each update reports whether it
+   rescored incrementally and how many regions its receptive field
+   covered, feature-only deltas reuse the cached edge plan while
+   topology deltas rebuild it, every streamed score matches a full local
+   rebuild bit-for-bit, and a drift report summarises how the scores
+   moved.
 
 Run with::
 
@@ -55,10 +58,12 @@ def main() -> None:
         client.wait_until_ready()
         print(f"scoring service at {server.url}")
 
-        opened = client.open_stream("live-city", graph, graph.name)
+        opened = client.open_stream("live-city", graph, graph.name,
+                                    incremental="auto")
         trajectories = [np.asarray(opened["score"]["probabilities"])]
         print(f"stream 'live-city' opened at version {opened['version']} "
-              f"({opened['regions']} regions)")
+              f"({opened['regions']} regions, incremental rescoring: "
+              f"{opened['incremental']})")
 
         # --------------------------------------------------------------
         # 3. evolve the city and push each step as a delta
@@ -76,15 +81,22 @@ def main() -> None:
                 else "MISMATCH"
             plan = ("plan reused" if response["plan_reused"]
                     else "plan rebuilt")
+            rescored = response["mode"]
+            if rescored == "incremental":
+                rescored += (f" ({response['affected_regions']}/"
+                             f"{response['num_regions']} regions recomputed)")
             print(f"  v{response['version']} {delta.kind:<16} "
-                  f"{plan:<12} streamed vs full rebuild: {bitwise}")
+                  f"{plan:<12} rescore: {rescored:<40} "
+                  f"vs full rebuild: {bitwise}")
             trajectories.append(streamed)
 
         stats = response["stats"]
         print(f"stream stats: {stats['feature_updates']} feature updates "
               f"(plan reused {stats['plan_reuses']}x), "
               f"{stats['topology_updates']} topology updates "
-              f"(plan rebuilt {stats['plan_rebuilds']}x)")
+              f"(plan rebuilt {stats['plan_rebuilds']}x); "
+              f"{stats['incremental_rescores']}/{stats['rescores']} rescores "
+              f"ran incrementally")
 
         # --------------------------------------------------------------
         # 4. drift report over the score trajectory

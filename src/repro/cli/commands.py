@@ -25,6 +25,7 @@ from ..eval.reporting import TABLE2_HEADERS, format_table, table2_rows
 from ..experiments import (run_fig5a, run_fig5b, run_fig6a, run_fig6b, run_fig6c,
                            run_fig7, run_table1, run_table2, run_table3)
 from ..analysis import score_drift_report
+from ..nn.graphops import plan_cache_info
 from ..serve import (InferenceEngine, ModelRegistry, ScoringClient,
                      ScoringServer, read_manifest, save_bundle)
 from ..stream import StreamingScorer
@@ -225,8 +226,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
             f"cannot bind {args.host}:{args.port}: {error}") from error
     print(f"serving {len(registry.models())} model(s) from {args.registry} "
           f"at {server.url}")
-    print("endpoints: GET /healthz  GET /models  GET /streams  POST /score  "
-          "POST /update  (Ctrl-C to stop)")
+    print("endpoints: GET /healthz  GET /models  GET /streams  GET /stats  "
+          "POST /score  POST /update  (Ctrl-C to stop)")
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -288,26 +289,35 @@ def cmd_stream(args: argparse.Namespace) -> int:
     trajectories = []
     kinds = [delta.kind for delta in deltas]
     topology = [delta.touches_topology for delta in deltas]
+    plan_info = None
     if args.url:
         client = ScoringClient(args.url)
         stream = args.stream or f"{graph.name.lower()}-evolution"
         opened = client.open_stream(stream, graph, args.model,
-                                    version=args.version)
+                                    version=args.version,
+                                    incremental=args.incremental)
         trajectories.append(np.asarray(opened["score"]["probabilities"]))
-        reused = 0
+        reused = incremental = 0
         for delta in deltas:
             response = client.update_stream(stream, delta)
             trajectories.append(np.asarray(response["score"]["probabilities"]))
             reused += int(bool(response.get("plan_reused")))
+            incremental += int(response.get("mode") == "incremental")
         stats = response.get("stats", {})
         print(f"stream '{stream}' now at version {response['version']} "
               f"({response['num_regions']} regions); plan reused on "
-              f"{reused}/{len(deltas)} updates")
+              f"{reused}/{len(deltas)} updates, incremental rescore on "
+              f"{incremental}/{len(deltas)}")
+        if args.stats:
+            plan_info = client.stats().get("plan_cache", {})
     else:
         registry = ModelRegistry(args.registry)
         engine = InferenceEngine.from_bundle(registry.resolve(args.model,
                                                               args.version))
-        scorer = StreamingScorer(engine, graph)
+        # warm=True scores the initial version while also priming the
+        # incremental activation cache, so the first delta is already fast
+        scorer = StreamingScorer(engine, graph, warm=True,
+                                 incremental=args.incremental)
         trajectories.append(scorer.predict_proba())
         for delta in deltas:
             update = scorer.update(delta)
@@ -315,7 +325,16 @@ def cmd_stream(args: argparse.Namespace) -> int:
         stats = scorer.stats.to_dict()
         print(f"scored {stats['updates']} updates in-process; plan reused "
               f"on {stats['plan_reuses']}, rebuilt on "
-              f"{stats['plan_rebuilds']}")
+              f"{stats['plan_rebuilds']}; incremental rescore on "
+              f"{stats['incremental_rescores']}/{stats['rescores']} scores")
+        if args.stats:
+            plan_info = plan_cache_info()
+    if args.stats:
+        print()
+        print("plan cache: " + ", ".join(
+            f"{key}={value}" for key, value in sorted((plan_info or {}).items())))
+        print("stream counters: " + ", ".join(
+            f"{key}={value}" for key, value in sorted(stats.items())))
 
     report = score_drift_report(trajectories, kinds=kinds, topology=topology,
                                 threshold=args.threshold)

@@ -207,6 +207,14 @@ def build_parser() -> argparse.ArgumentParser:
                              "region_growth)")
     stream.add_argument("--threshold", type=float, default=0.5,
                         help="operating threshold for drift crossing counts")
+    stream.add_argument("--incremental", default="auto",
+                        choices=("auto", "always", "never"),
+                        help="delta-localised rescoring policy: recompute "
+                             "only a delta's receptive field (auto falls "
+                             "back to full rescoring for city-wide deltas)")
+    stream.add_argument("--stats", action="store_true",
+                        help="print compute-plan cache and incremental "
+                             "rescoring counters after the run")
     stream.add_argument("--json", default=None,
                         help="write the drift report to this JSON path")
     stream.set_defaults(handler=commands.cmd_stream)

@@ -9,6 +9,8 @@ its pre-training stage, the contextual master-slave gating mechanism
 
 from .cmsf import CMSFDetector, make_variant
 from .config import COMPONENT_VARIANTS, CMSFConfig, variant_config
+from .incremental import (DeltaSeeds, ScoreCache, SubsetScoreResult,
+                          build_score_cache, delta_seeds, subset_rescore)
 from .gate import (GateFunction, PseudoLabelPredictor, SlaveStage,
                    SlaveTrainingResult, slave_predict_proba, train_slave)
 from .gscm import GlobalSemanticClustering, GSCMOutput
@@ -40,6 +42,12 @@ __all__ = [
     "slave_predict_proba",
     "CMSFDetector",
     "make_variant",
+    "ScoreCache",
+    "DeltaSeeds",
+    "SubsetScoreResult",
+    "build_score_cache",
+    "delta_seeds",
+    "subset_rescore",
     "component_variants",
     "full_model",
     "without_gate",

@@ -75,6 +75,53 @@ class CMSFDetector(DetectorBase):
             return slave_predict_proba(self.slave_result.stage, graph, plan=plan)
         return self.master_result.model.predict_proba(graph, plan=plan)
 
+    def build_score_cache(self, graph: UrbanRegionGraph, plan=None):
+        """Full forward capturing the per-level encoder activations.
+
+        The returned :class:`~repro.core.incremental.ScoreCache` seeds
+        :meth:`predict_proba_subset`; its ``scores`` are bit-identical to
+        :meth:`predict_proba` of the same graph.
+        """
+        from .incremental import build_score_cache
+        return build_score_cache(self, graph, plan=plan)
+
+    def predict_proba_subset(self, graph: UrbanRegionGraph, node_ids,
+                             plan=None, cache=None, strategy: str = "wavefront"):
+        """Rescore after a change confined to ``node_ids``.
+
+        Runs the encoder only over the receptive field of ``node_ids``
+        (their ``maga_layers``-hop out-neighbourhood, plus the halo needed
+        to recompute it exactly) and re-runs the cheap post-encoder tail
+        over every region.  Returns a
+        :class:`~repro.core.incremental.SubsetScoreResult` whose ``scores``
+        are bit-identical in float64 to a full-rebuild
+        :meth:`predict_proba`; the full forward stays the default and the
+        oracle.  ``cache`` must be a :class:`ScoreCache` of the *same*
+        graph with the old values at ``node_ids`` (see
+        :meth:`build_score_cache`); use :func:`repro.core.subset_rescore`
+        with :func:`repro.core.delta_seeds` when topology changed too.
+        """
+        from .incremental import DeltaSeeds, _master_model, subset_rescore
+        self.check_fitted()
+        if cache is None:
+            raise ValueError(
+                "predict_proba_subset needs the previous version's score "
+                "cache; build one with build_score_cache(graph)")
+        node_ids = np.unique(np.asarray(node_ids, dtype=np.int64))
+        if node_ids.size and (node_ids[0] < 0 or node_ids[-1] >= graph.num_nodes):
+            raise ValueError("node_ids out of range for a graph with %d "
+                             "regions" % graph.num_nodes)
+        if plan is None:
+            plan = _master_model(self).graph_plan(graph)
+            if plan is None:
+                raise ValueError("predict_proba_subset requires edge plans; "
+                                 "the detector was configured with "
+                                 "use_edge_plan=False")
+        seeds = DeltaSeeds(touched=node_ids, img_changed=node_ids,
+                           keep_mask=None, num_added=0, num_removed=0)
+        return subset_rescore(self, graph, plan, seeds, cache,
+                              strategy=strategy)
+
     def cluster_assignment(self, graph: UrbanRegionGraph) -> np.ndarray:
         """Hard cluster membership of every region (empty if GSCM disabled)."""
         self.check_fitted()

@@ -119,6 +119,50 @@ class EdgeAttention(Module):
         aggregated = segment_sum(messages, dst, num_nodes)     # (N, heads, head_dim)
         return F.elu(aggregated.reshape(num_nodes, self.out_dim))
 
+    def forward_frontier(self, x_dst: Tensor, x_src: Tensor,
+                         frontier) -> Tensor:
+        """Attention restricted to a :class:`~repro.nn.graphops.Frontier`.
+
+        ``x_dst`` / ``x_src`` are the **full-graph** feature matrices; only
+        the per-edge work (gathers, attention softmax, message scatter) is
+        restricted to the frontier's destination set.  The projections stay
+        full-graph products on purpose: BLAS picks kernels (and therefore
+        accumulation order) by operand shape, so a row-subset product can
+        round differently than the same rows inside the full product —
+        full-shape projections keep every row bit-identical to
+        :meth:`forward`, and they are a small share of its cost (the edge
+        machinery dominates).  Returns one output row per
+        ``frontier.dst_nodes`` entry, bit-identical in float64 to the
+        corresponding rows of :meth:`forward`.
+        """
+        num_nodes = x_src.shape[0]
+        n_dst = frontier.num_dst
+        proj_src = self.w_src(x_src).reshape(num_nodes, self.heads, self.head_dim)
+        if self.w_dst is self.w_src and x_dst is x_src:
+            proj_dst = proj_src
+        else:
+            proj_dst = self.w_dst(x_dst).reshape(num_nodes, self.heads,
+                                                 self.head_dim)
+
+        src_feat = gather_rows(proj_src, frontier.edge_src)
+
+        if proj_src.dtype == np.float32:
+            # mirror the float32 per-node score formulation of `forward`
+            node_score_src = (proj_src * self.attn_src).sum(axis=-1)
+            node_score_dst = (proj_dst * self.attn_dst).sum(axis=-1)
+            score_dst = gather_rows(node_score_dst, frontier.edge_dst)
+            score_src = gather_rows(node_score_src, frontier.edge_src)
+        else:
+            dst_feat = gather_rows(proj_dst, frontier.edge_dst)
+            score_dst = (dst_feat * self.attn_dst).sum(axis=-1)
+            score_src = (src_feat * self.attn_src).sum(axis=-1)
+        scores = F.leaky_relu(score_dst + score_src, self.negative_slope)
+        alpha = segment_softmax(scores, frontier.seg, n_dst)
+
+        messages = src_feat * alpha.reshape(-1, self.heads, 1)
+        aggregated = segment_sum(messages, frontier.seg, n_dst)
+        return F.elu(aggregated.reshape(n_dst, self.out_dim))
+
 
 class ContextAggregator(Module):
     """AGG(.) of Eq. 8 — fuse the intra-modal and inter-modal context."""
@@ -144,6 +188,27 @@ class ContextAggregator(Module):
         # Attention over the two context vectors.
         score_intra = self.score(intra)          # (N, 1)
         score_inter = self.score(inter)          # (N, 1)
+        weights = F.softmax(concatenate([score_intra, score_inter], axis=-1), axis=-1)
+        return intra * weights[:, 0:1] + inter * weights[:, 1:2]
+
+    def forward_rows(self, intra: Tensor, inter: Tensor, rows: np.ndarray,
+                     num_nodes: int) -> Tensor:
+        """:meth:`forward` for a row subset, bit-identical to the full pass.
+
+        ``sum`` and ``concat`` are elementwise, so they are row-stable as
+        is.  The ``attention`` score head is a matrix product whose BLAS
+        kernel depends on the row count; to reproduce the full forward's
+        rounding, the subset rows are scattered into a full-graph-shaped
+        buffer, scored at the full shape (a GEMM row depends only on its
+        own input row, so the zero rows are inert), and gathered back.
+        """
+        if self.mode != "attention":
+            return self.forward(intra, inter)
+        buffer = np.zeros((num_nodes, intra.shape[1]), dtype=intra.data.dtype)
+        buffer[rows] = intra.data
+        score_intra = Tensor(self.score(Tensor(buffer)).data[rows])
+        buffer[rows] = inter.data
+        score_inter = Tensor(self.score(Tensor(buffer)).data[rows])
         weights = F.softmax(concatenate([score_intra, score_inter], axis=-1), axis=-1)
         return intra * weights[:, 0:1] + inter * weights[:, 1:2]
 
@@ -206,6 +271,35 @@ class MAGALayer(Module):
             out_img = out_img + self.res_img(x_img)
         return out_poi, out_img
 
+    def forward_frontier(self, x_poi: Tensor, x_img: Tensor,
+                         frontier) -> Tuple[Tensor, Tensor]:
+        """One layer's outputs for ``frontier.dst_nodes`` only.
+
+        ``x_poi`` / ``x_img`` are the full-graph inputs of this layer;
+        mirrors :meth:`forward` but confines the per-edge attention work to
+        the frontier (see :meth:`EdgeAttention.forward_frontier`).
+        """
+        num_nodes = x_poi.shape[0]
+        intra_poi = self.intra_poi.forward_frontier(x_poi, x_poi, frontier)
+        intra_img = self.intra_img.forward_frontier(x_img, x_img, frontier)
+        if self.use_inter_modal:
+            inter_poi = self.cross_poi_from_img.forward_frontier(
+                x_poi, x_img, frontier)
+            inter_img = self.cross_img_from_poi.forward_frontier(
+                x_img, x_poi, frontier)
+            out_poi = self.agg_poi.forward_rows(intra_poi, inter_poi,
+                                                frontier.dst_nodes, num_nodes)
+            out_img = self.agg_img.forward_rows(intra_img, inter_img,
+                                                frontier.dst_nodes, num_nodes)
+        else:
+            out_poi, out_img = intra_poi, intra_img
+        if self.residual:
+            out_poi = out_poi + gather_rows(self.res_poi(x_poi),
+                                            frontier.dst_nodes)
+            out_img = out_img + gather_rows(self.res_img(x_img),
+                                            frontier.dst_nodes)
+        return out_poi, out_img
+
 
 class MAGAEncoder(Module):
     """A stack of MAGA layers producing the fused multi-modal representation.
@@ -253,13 +347,24 @@ class MAGAEncoder(Module):
 
     def forward(self, x_poi_raw: np.ndarray, x_img_raw: np.ndarray,
                 edge_index: np.ndarray,
-                plan: Optional[EdgePlan] = None) -> Tensor:
+                plan: Optional[EdgePlan] = None,
+                collect: Optional[list] = None) -> Tensor:
+        """Fused multi-modal representation of every region.
+
+        ``collect``, when given, receives one ``(poi, img)`` pair of raw
+        activation matrices per level: the layer-0 inputs (after the image
+        reduction) followed by each layer's output as fed to the next layer.
+        The incremental scorer caches these to restrict later forwards to a
+        delta's receptive field.
+        """
         num_nodes = x_poi_raw.shape[0] if self.has_poi else x_img_raw.shape[0]
         x_poi = Tensor(x_poi_raw) if self.has_poi else Tensor(np.zeros((num_nodes, 1)))
         if self.has_img:
             x_img = self.image_reduce(Tensor(x_img_raw))
         else:
             x_img = Tensor(np.zeros((num_nodes, 1)))
+        if collect is not None:
+            collect.append((x_poi.data, x_img.data))
         # Self-loops keep each region's own (most discriminative) features in
         # the attentive aggregation alongside its neighbourhood context.  A
         # precomputed plan already carries them (hoisted out of the forward);
@@ -270,4 +375,6 @@ class MAGAEncoder(Module):
             if self.dropout > 0:
                 x_poi = F.dropout(x_poi, self.dropout, self._rng, training=self.training)
                 x_img = F.dropout(x_img, self.dropout, self._rng, training=self.training)
+            if collect is not None:
+                collect.append((x_poi.data, x_img.data))
         return concatenate([x_poi, x_img], axis=-1)

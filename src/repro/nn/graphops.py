@@ -40,12 +40,13 @@ from __future__ import annotations
 import hashlib
 import threading
 from collections import OrderedDict
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Sequence, Tuple, Union
 
 import numpy as np
 from scipy import sparse as sp
 
-__all__ = ["SegmentPlan", "EdgePlan", "clear_plan_cache", "plan_cache_info"]
+__all__ = ["SegmentPlan", "EdgePlan", "SubPlan", "Frontier",
+           "affected_regions", "clear_plan_cache", "plan_cache_info"]
 
 
 class SegmentPlan:
@@ -141,6 +142,176 @@ class SegmentPlan:
         return values[self.ids]
 
 
+def _as_edge_arrays(edges: Union["EdgePlan", np.ndarray],
+                    num_nodes: Optional[int]) -> Tuple[np.ndarray, np.ndarray, int]:
+    """Normalise an ``EdgePlan``-or-``(2, M)``-array argument."""
+    if isinstance(edges, EdgePlan):
+        return edges.src, edges.dst, edges.num_nodes
+    edges = np.asarray(edges, dtype=np.int64)
+    if edges.ndim != 2 or edges.shape[0] != 2:
+        raise ValueError("edge_index must have shape (2, M), got %s"
+                         % (edges.shape,))
+    if num_nodes is None:
+        raise ValueError("num_nodes is required with a raw edge array")
+    return edges[0], edges[1], int(num_nodes)
+
+
+def affected_regions(edges: Union["EdgePlan", np.ndarray],
+                     touched: Sequence[int], hops: int,
+                     num_nodes: Optional[int] = None,
+                     direction: str = "out") -> np.ndarray:
+    """Receptive-field expansion: every node within ``hops`` edges of ``touched``.
+
+    This is the locality bound of message passing — after ``hops`` stacked
+    layers, a change confined to ``touched`` can only influence the returned
+    node set (``direction="out"``, following ``src -> dst`` message flow),
+    and recomputing a node set exactly needs inputs from the returned set
+    (``direction="in"``).  The touched nodes themselves are always included.
+
+    Implemented as repeated CSR-style neighbour gathers over the edge
+    arrays: O(hops * M) boolean work, no Python-level adjacency walk.
+    """
+    src, dst, n = _as_edge_arrays(edges, num_nodes)
+    if direction not in ("out", "in", "both"):
+        raise ValueError("direction must be 'out', 'in' or 'both', got %r"
+                         % (direction,))
+    if hops < 0:
+        raise ValueError("hops must be non-negative")
+    touched = np.asarray(touched, dtype=np.int64).reshape(-1)
+    if touched.size and (touched.min() < 0 or touched.max() >= n):
+        raise ValueError("touched ids must lie in [0, %d)" % n)
+    mask = np.zeros(n, dtype=bool)
+    mask[touched] = True
+    for _ in range(hops):
+        grown = mask.copy()
+        if direction in ("out", "both"):
+            grown[dst[mask[src]]] = True
+        if direction in ("in", "both"):
+            grown[src[mask[dst]]] = True
+        if grown.sum() == mask.sum():
+            break
+        mask = grown
+    return np.flatnonzero(mask)
+
+
+class Frontier:
+    """One wavefront step: every in-edge of a destination node set.
+
+    Holds the machinery to aggregate messages into ``dst_nodes`` exactly as
+    the parent :class:`EdgePlan` would: the gathered edge positions keep the
+    parent's per-destination edge order (original edges first, self-loop
+    last), so plan-based segment reductions over the frontier are
+    bit-identical, per destination row, to the full-graph reductions.
+
+    Edge endpoints stay in *global* node ids (``edge_src`` / ``edge_dst``
+    index full-graph row matrices); only the destination segments are
+    compacted to ``0..num_dst-1`` for the per-destination reductions.
+
+    Attributes
+    ----------
+    dst_nodes:
+        Sorted global node ids of the destination set.
+    edge_src / edge_dst:
+        Global endpoint ids of every gathered in-edge.
+    seg:
+        A :class:`SegmentPlan` over the compacted destination ids, ready
+        for ``segment_softmax`` / ``segment_sum`` into ``num_dst`` rows.
+    """
+
+    __slots__ = ("dst_nodes", "edge_src", "edge_dst", "seg", "num_dst",
+                 "num_edges")
+
+    def __init__(self, plan: "EdgePlan", dst_nodes: np.ndarray) -> None:
+        dst_nodes = np.asarray(dst_nodes, dtype=np.int64)
+        if dst_nodes.size == 0:
+            raise ValueError("frontier needs at least one destination node")
+        if np.any(np.diff(dst_nodes) <= 0):
+            raise ValueError("dst_nodes must be sorted and unique")
+        if dst_nodes[0] < 0 or dst_nodes[-1] >= plan.num_nodes:
+            raise ValueError("dst_nodes out of range for a plan over %d nodes"
+                             % plan.num_nodes)
+        perm, starts, present = plan.dst_plan._sorted_offsets()
+        counts = plan.dst_plan.counts[dst_nodes]
+        # positions of `present` matching each requested dst (every dst has
+        # at least its self-loop when the plan carries them; dsts without
+        # any in-edge simply contribute an empty slice)
+        if present is not None and present.size:
+            where = np.searchsorted(present, dst_nodes)
+            have = (where < present.size)
+            have[have] = present[where[have]] == dst_nodes[have]
+            counts = np.where(have, counts, 0)
+            start_sel = np.where(have, starts[np.minimum(where, present.size - 1)], 0)
+        else:
+            counts = np.zeros(dst_nodes.size, dtype=np.int64)
+            start_sel = np.zeros(dst_nodes.size, dtype=np.int64)
+        total = int(counts.sum())
+        # flat CSR row gather: positions of every in-edge, grouped by dst in
+        # requested order, parent edge order preserved within each group
+        offsets = np.zeros(dst_nodes.size, dtype=np.int64)
+        np.cumsum(counts[:-1], out=offsets[1:])
+        flat = np.arange(total, dtype=np.int64)
+        flat += np.repeat(start_sel - offsets, counts)
+        positions = perm[flat]
+        self.dst_nodes = dst_nodes
+        self.num_dst = int(dst_nodes.size)
+        self.num_edges = total
+        self.edge_src = plan.src[positions]
+        self.edge_dst = plan.dst[positions]
+        self.seg = SegmentPlan(
+            np.repeat(np.arange(dst_nodes.size, dtype=np.int64), counts),
+            self.num_dst)
+
+
+class SubPlan:
+    """An induced-subgraph compute plan extracted from a parent plan.
+
+    ``nodes`` is the sorted union of the requested interior with its
+    ``halo`` -hop in-neighbourhood; ``plan`` is a fresh :class:`EdgePlan`
+    over the induced edges (relabelled to local ids, self-loops re-added in
+    the same per-destination position as the parent).  Running an encoder
+    over the subgraph yields, for the interior rows, exactly the values the
+    full graph forward would produce — provided the halo covers the
+    encoder's receptive field.
+    """
+
+    __slots__ = ("nodes", "interior", "interior_local", "halo_hops", "plan")
+
+    def __init__(self, parent: "EdgePlan", interior: np.ndarray,
+                 halo: int) -> None:
+        interior = np.unique(np.asarray(interior, dtype=np.int64))
+        if interior.size == 0:
+            raise ValueError("subplan needs at least one interior node")
+        if interior[0] < 0 or interior[-1] >= parent.num_nodes:
+            raise ValueError("interior ids out of range for a plan over %d "
+                             "nodes" % parent.num_nodes)
+        nodes = affected_regions(parent, interior, halo, direction="in")
+        raw = parent.raw_edge_index
+        mask = np.zeros(parent.num_nodes, dtype=bool)
+        mask[nodes] = True
+        keep = mask[raw[0]] & mask[raw[1]]
+        local = np.full(parent.num_nodes, -1, dtype=np.int64)
+        local[nodes] = np.arange(nodes.size)
+        sub_edges = local[raw[:, keep]]
+        self.nodes = nodes
+        self.interior = interior
+        self.interior_local = local[interior]
+        self.halo_hops = int(halo)
+        self.plan = EdgePlan(sub_edges, int(nodes.size),
+                             self_loops=parent.has_self_loops)
+
+    @property
+    def num_nodes(self) -> int:
+        return int(self.nodes.size)
+
+    def local_of(self, ids: np.ndarray) -> np.ndarray:
+        """Local row indices of global ``ids`` (which must be in ``nodes``)."""
+        ids = np.asarray(ids, dtype=np.int64)
+        local = np.searchsorted(self.nodes, ids)
+        if np.any(local >= self.nodes.size) or np.any(self.nodes[local] != ids):
+            raise ValueError("ids outside the subplan's node set")
+        return local
+
+
 class EdgePlan:
     """Graph-lifetime precomputation for one ``(edge_index, num_nodes)``.
 
@@ -153,7 +324,8 @@ class EdgePlan:
     """
 
     __slots__ = ("edge_index", "src", "dst", "num_nodes", "has_self_loops",
-                 "dst_plan", "src_plan", "_gcn_norm")
+                 "dst_plan", "src_plan", "_gcn_norm", "num_raw_edges",
+                 "_subplans")
 
     def __init__(self, edge_index: np.ndarray, num_nodes: int,
                  self_loops: bool = True) -> None:
@@ -164,6 +336,7 @@ class EdgePlan:
         if edge_index.ndim != 2 or edge_index.shape[0] != 2:
             raise ValueError("edge_index must have shape (2, M), got %s"
                              % (edge_index.shape,))
+        self.num_raw_edges = int(edge_index.shape[1])
         if self_loops:
             loops = np.arange(num_nodes, dtype=np.int64)
             edge_index = np.concatenate(
@@ -184,11 +357,17 @@ class EdgePlan:
         self.dst_plan = SegmentPlan(self.dst, num_nodes)
         self.src_plan = SegmentPlan(self.src, num_nodes)
         self._gcn_norm: Dict[np.dtype, np.ndarray] = {}
+        self._subplans: "OrderedDict[Tuple[str, int], SubPlan]" = OrderedDict()
 
     @property
     def num_edges(self) -> int:
         """Number of message-passing edges (including any self-loops)."""
         return self.edge_index.shape[1]
+
+    @property
+    def raw_edge_index(self) -> np.ndarray:
+        """The edge list as given at construction (self-loops excluded)."""
+        return self.edge_index[:, :self.num_raw_edges]
 
     @property
     def degrees(self) -> np.ndarray:
@@ -209,6 +388,40 @@ class EdgePlan:
             norm = np.ascontiguousarray(norm.astype(dtype, copy=False))
             self._gcn_norm[dtype] = norm
         return norm
+
+    # ------------------------------------------------------------------
+    # incremental machinery
+    # ------------------------------------------------------------------
+    def subplan(self, node_ids: np.ndarray, halo: int = 0) -> SubPlan:
+        """A (cached) induced-subgraph plan around ``node_ids``.
+
+        ``halo`` extra in-neighbourhood hops are included so an encoder with
+        ``halo`` stacked layers reproduces the full-graph values on the
+        interior rows exactly.  Cached content-keyed (like :meth:`for_edges`)
+        on this plan instance, so replaying the same delta neighbourhood
+        reuses the extraction.
+        """
+        global _SUBPLAN_BUILDS
+        node_ids = np.unique(np.asarray(node_ids, dtype=np.int64))
+        digest = hashlib.sha256(np.ascontiguousarray(node_ids).tobytes())
+        key = (digest.hexdigest(), int(halo))
+        with _CACHE_LOCK:
+            cached = self._subplans.get(key)
+            if cached is not None:
+                self._subplans.move_to_end(key)
+                return cached
+        sub = SubPlan(self, node_ids, halo)
+        with _CACHE_LOCK:
+            _SUBPLAN_BUILDS += 1
+            self._subplans[key] = sub
+            self._subplans.move_to_end(key)
+            while len(self._subplans) > _SUBPLAN_CACHE_CAPACITY:
+                self._subplans.popitem(last=False)
+        return sub
+
+    def frontier(self, dst_nodes: np.ndarray) -> Frontier:
+        """A :class:`Frontier` aggregating this plan's in-edges of ``dst_nodes``."""
+        return Frontier(self, dst_nodes)
 
     # ------------------------------------------------------------------
     # cached construction
@@ -252,6 +465,10 @@ _CACHE_LOCK = threading.Lock()
 #: lifetime count of EdgePlan constructions — the streaming layer's tests
 #: use it to prove that feature-only deltas never rebuild a plan
 _PLAN_BUILDS = 0
+#: lifetime count of SubPlan extractions (cache misses of EdgePlan.subplan)
+_SUBPLAN_BUILDS = 0
+#: per-parent-plan capacity of the content-keyed subplan cache
+_SUBPLAN_CACHE_CAPACITY = 16
 
 
 def clear_plan_cache() -> None:
@@ -264,4 +481,4 @@ def plan_cache_info() -> Dict[str, int]:
     """Size, capacity and lifetime build count of the plan machinery."""
     with _CACHE_LOCK:
         return {"entries": len(_PLAN_CACHE), "capacity": _PLAN_CACHE_CAPACITY,
-                "builds": _PLAN_BUILDS}
+                "builds": _PLAN_BUILDS, "subplan_builds": _SUBPLAN_BUILDS}

@@ -74,6 +74,14 @@ class ScoringClient:
         """Every published model with manifest summary and cache stats."""
         return self._request("/models")
 
+    def stats(self) -> Dict[str, object]:
+        """Serving-wide performance counters (``GET /stats``).
+
+        Plan-cache builds, per-engine result-cache statistics (including
+        stampedes avoided) and per-stream incremental-rescoring counters.
+        """
+        return self._request("/stats")
+
     def score(self, graph: UrbanRegionGraph, model: str,
               version: Optional[str] = None,
               regions: Optional[Sequence[int]] = None,
@@ -115,11 +123,18 @@ class ScoringClient:
 
     def open_stream(self, stream: str, graph: UrbanRegionGraph, model: str,
                     version: Optional[str] = None, rescore: bool = True,
-                    encoding: str = "npz") -> Dict[str, object]:
+                    encoding: str = "npz",
+                    incremental: Optional[str] = None,
+                    incremental_cutoff: Optional[float] = None,
+                    fingerprints: Optional[str] = None) -> Dict[str, object]:
         """Open (or reset) the named update stream with a full graph.
 
         This is the only time the whole graph crosses the wire; afterwards
-        :meth:`update_stream` ships just the deltas.
+        :meth:`update_stream` ships just the deltas.  ``incremental``,
+        ``incremental_cutoff`` and ``fingerprints`` configure the
+        server-side :class:`~repro.stream.scorer.StreamingScorer` (left
+        ``None``, the server defaults apply: delta-localised rescoring in
+        ``auto`` mode with chained version fingerprints).
         """
         body: Dict[str, object] = {
             "stream": stream,
@@ -129,6 +144,12 @@ class ScoringClient:
         }
         if version is not None:
             body["version"] = str(version)
+        if incremental is not None:
+            body["incremental"] = str(incremental)
+        if incremental_cutoff is not None:
+            body["incremental_cutoff"] = float(incremental_cutoff)
+        if fingerprints is not None:
+            body["fingerprints"] = str(fingerprints)
         return self._request("/update", body)
 
     def update_stream(self, stream: str, delta: GraphDelta,

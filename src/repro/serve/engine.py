@@ -22,7 +22,16 @@ three speed mechanisms the offline pipeline does not have:
 * **edge-plan cache** — cold forward passes reuse a fingerprint-keyed
   :class:`~repro.nn.graphops.EdgePlan` (self-loop augmentation, prebuilt
   scatter operators, validated ids), so repeated cold scoring across many
-  cities pays the structural precomputation once per city, not per request.
+  cities pays the structural precomputation once per city, not per request;
+* **cache-stampede guard** — concurrent cold requests for one fingerprint
+  rendezvous on a per-fingerprint in-flight entry, so N threads asking for
+  the same city pay one forward pass between them even when LRU eviction
+  pressure would have dropped the result before the waiters reached it.
+
+The engine also accepts externally computed state: the streaming layer
+seeds full score vectors (:meth:`InferenceEngine.seed_scores`) and edge
+plans (:meth:`InferenceEngine.seed_plan`) for graph versions it derived
+incrementally, turning follow-up requests into cache hits.
 """
 
 from __future__ import annotations
@@ -149,6 +158,17 @@ class _LRUCache:
             return len(self._entries)
 
 
+class _InflightCompute:
+    """Rendezvous for concurrent cold requests of one fingerprint."""
+
+    __slots__ = ("done", "result", "error")
+
+    def __init__(self) -> None:
+        self.done = threading.Event()
+        self.result: Optional[np.ndarray] = None
+        self.error: Optional[BaseException] = None
+
+
 class InferenceEngine:
     """Load a detector once, then score graphs fast and concurrently.
 
@@ -204,6 +224,16 @@ class InferenceEngine:
         #: serialises cold forward passes — the underlying modules flip
         #: train/eval mode in place, which is not re-entrant
         self._predict_lock = threading.Lock()
+        #: per-fingerprint in-flight computes: concurrent cold requests for
+        #: the same city wait on the first thread's result instead of each
+        #: recomputing it (the LRU alone cannot guarantee that — under
+        #: eviction pressure the first result may already be gone by the
+        #: time the second thread looks)
+        self._inflight: Dict[str, _InflightCompute] = {}
+        self._inflight_lock = threading.Lock()
+        #: number of requests that waited on another thread's in-flight
+        #: compute instead of running their own forward pass
+        self.stampedes_avoided = 0
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -255,6 +285,31 @@ class InferenceEngine:
         next cold score skips even the edge-content hash.
         """
         self._plan_cache.put(fingerprint, plan)
+
+    def seed_scores(self, fingerprint: str, scores: np.ndarray) -> None:
+        """Register a known-valid full-graph score vector for ``fingerprint``.
+
+        The streaming layer computes incremental scores itself (splicing a
+        delta's receptive field into the previous version's vector) and
+        publishes them here, so the next :meth:`score` of that version is a
+        cache hit instead of a forward pass.
+        """
+        self._cache.put(fingerprint, np.ascontiguousarray(scores))
+
+    @property
+    def caching_enabled(self) -> bool:
+        """Whether the result cache can hold seeded score vectors."""
+        return self._cache.capacity > 0
+
+    @property
+    def model_lock(self) -> threading.Lock:
+        """The lock serialising direct use of the detector's modules.
+
+        The modules flip train/eval mode in place, so any out-of-engine
+        forward pass (the streaming layer's incremental rescoring) must
+        hold this lock to coexist with the engine's own cold path.
+        """
+        return self._predict_lock
 
     def warm(self, graph: UrbanRegionGraph) -> str:
         """Pre-populate the cache for ``graph``; returns its fingerprint."""
@@ -390,16 +445,50 @@ class InferenceEngine:
     # cold path
     # ------------------------------------------------------------------
     def _compute_or_reuse(self, fingerprint: str, graph: UrbanRegionGraph) -> np.ndarray:
-        """Compute scores under the predict lock, deduplicating concurrent
-        requests for the same fingerprint (only one thread pays the forward
-        pass; the rest reuse its cached result)."""
-        with self._predict_lock:
+        """Compute scores once per fingerprint, however many threads ask.
+
+        A per-fingerprint in-flight entry hands the first thread's result
+        directly to every concurrent requester of the same city, so the
+        dedup holds even when LRU pressure evicts the entry before the
+        waiters get to the cache — previously each of N concurrent cold
+        requests could pay its own forward pass in that window.  The
+        forward itself still runs under the model lock (the modules are
+        stateful); if the computing thread fails, one waiter at a time
+        retries so a transient error cannot wedge the fingerprint.
+        """
+        while True:
             scores = self._cache.peek(fingerprint)
-            if scores is None:
-                scores = self._cold_scores(graph, fingerprint)
-                self.cold_computes += 1
-                self._cache.put(fingerprint, scores)
-            return scores
+            if scores is not None:
+                return scores
+            with self._inflight_lock:
+                entry = self._inflight.get(fingerprint)
+                owner = entry is None
+                if owner:
+                    entry = _InflightCompute()
+                    self._inflight[fingerprint] = entry
+            if owner:
+                try:
+                    with self._predict_lock:
+                        scores = self._cache.peek(fingerprint)
+                        if scores is None:
+                            scores = self._cold_scores(graph, fingerprint)
+                            self.cold_computes += 1
+                            self._cache.put(fingerprint, scores)
+                    entry.result = scores
+                except BaseException as error:
+                    entry.error = error
+                    raise
+                finally:
+                    with self._inflight_lock:
+                        self._inflight.pop(fingerprint, None)
+                    entry.done.set()
+                return scores
+            entry.done.wait()
+            if entry.error is None and entry.result is not None:
+                with self._inflight_lock:
+                    self.stampedes_avoided += 1
+                return entry.result
+            # the computing thread failed; loop and try to take over
 
     def _graph_plan(self, graph: UrbanRegionGraph,
                     fingerprint: str) -> Optional[EdgePlan]:

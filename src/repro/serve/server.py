@@ -9,6 +9,10 @@ The server exposes these JSON endpoints:
     the live cache statistics of any engine already loaded.
 ``GET /streams``
     Every open update stream with its current version and statistics.
+``GET /stats``
+    Serving-wide performance counters: the compute-plan cache, each
+    engine's result cache / cold computes / stampedes avoided, and each
+    stream's incremental-rescoring counters.
 ``POST /score``
     Score a graph with a named model.  The request body is a JSON object::
 
@@ -29,7 +33,15 @@ The server exposes these JSON endpoints:
          "graph": {...},               # open/reset: full wire payload
          "delta": {...},               # update: delta wire payload
          "rescore": true,              # score the new version (default)
+         "incremental": "auto",        # open only: auto|always|never
+         "incremental_cutoff": 0.75,   # open only: auto-mode fallback
+         "fingerprints": "chained",    # open only: chained|content
          "regions": [...], "top_percent": 5.0}   # as for /score
+
+    Update responses report how the rescore ran: ``mode``
+    ("incremental"/"full"/"none"), ``affected_regions`` /
+    ``affected_fraction`` (the delta's receptive field) and
+    ``elapsed_ms``.
 
 Engines are created lazily per model/version on first use and kept for the
 lifetime of the server, so the bundle-load cost is paid once and the
@@ -182,6 +194,45 @@ class ScoringService:
         self.requests_served += 1
         return payload
 
+    def stats(self) -> Dict[str, object]:
+        """Serving-wide performance counters.
+
+        One stop for the cache/compute health of the process: the
+        module-level plan cache (builds, subplan extractions), every
+        engine's result-cache statistics, cold computes and stampedes
+        avoided, and every open stream's incremental-rescoring counters.
+        """
+        from ..nn.graphops import plan_cache_info
+        with self._lock:
+            engines = dict(self._engines)
+            open_streams = dict(self._streams)
+        engine_entries = []
+        for (name, version), engine in sorted(engines.items()):
+            engine_entries.append({
+                "model": name,
+                "version": version,
+                "cache": engine.cache_stats.to_dict(),
+                "cached_graphs": engine.cache_len,
+                "cold_computes": engine.cold_computes,
+                "stampedes_avoided": engine.stampedes_avoided,
+            })
+        stream_entries = []
+        for stream_name in sorted(open_streams):
+            scorer, model, version = open_streams[stream_name]
+            stream_entries.append({
+                "stream": stream_name,
+                "model": model,
+                "incremental": scorer.incremental,
+                "incremental_active": scorer.incremental_active,
+                "stats": scorer.stats.to_dict(),
+            })
+        return {
+            "plan_cache": plan_cache_info(),
+            "engines": engine_entries,
+            "streams": stream_entries,
+            "requests_served": self.requests_served,
+        }
+
     # ------------------------------------------------------------------
     # streaming
     # ------------------------------------------------------------------
@@ -221,13 +272,31 @@ class ScoringService:
             version = request.get("version")
             if version is not None:
                 version = str(version)
+            options = {}
+            for knob in ("incremental", "fingerprints"):
+                value = request.get(knob)
+                if value is not None:
+                    if not isinstance(value, str):
+                        raise ServiceError(400, f"'{knob}' must be a string")
+                    options[knob] = value
+            cutoff = request.get("incremental_cutoff")
+            if cutoff is not None:
+                try:
+                    options["incremental_cutoff"] = float(cutoff)
+                except (TypeError, ValueError) as error:
+                    raise ServiceError(
+                        400, f"bad incremental_cutoff: {error}") from error
             try:
                 graph = graph_from_payload(graph_payload)
             except ValueError as error:
                 raise ServiceError(400, f"bad graph payload: {error}") from error
             engine = self.engine_for(model, version)
             try:
-                scorer = StreamingScorer(engine, graph)
+                # warming under rescore both serves the opening score from
+                # the cache and primes the incremental activation cache, so
+                # the very first delta can already rescore incrementally
+                scorer = StreamingScorer(engine, graph, warm=bool(rescore),
+                                         **options)
             except ValueError as error:
                 raise ServiceError(400, str(error)) from error
             with self._lock:
@@ -305,6 +374,8 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send_json(200, self.service.models())
             elif self.path == "/streams":
                 self._send_json(200, self.service.streams())
+            elif self.path == "/stats":
+                self._send_json(200, self.service.stats())
             else:
                 self._send_error_json(404, f"unknown endpoint {self.path!r}")
         except ServiceError as error:

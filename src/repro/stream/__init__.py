@@ -12,9 +12,13 @@ subpackage makes *incremental* updates first-class:
   growth/removal) with pure-functional ``apply`` semantics;
 * :mod:`repro.stream.scorer` — :class:`StreamingScorer`, which wraps an
   :class:`~repro.serve.engine.InferenceEngine` around one evolving graph,
-  applies deltas atomically, and reuses the cached
+  applies deltas atomically, reuses the cached
   :class:`~repro.nn.graphops.EdgePlan` whenever a delta leaves the edge
-  structure untouched (feature-only updates never re-plan).
+  structure untouched (feature-only updates never re-plan), and rescores
+  *incrementally*: only a delta's receptive field is recomputed through
+  the encoder (:mod:`repro.core.incremental`), bit-identical in float64
+  to a full rebuild, with automatic fallback to full rescoring for
+  city-wide or node-count-changing deltas.
 
 The serving layer exposes the same mechanics over HTTP (``POST /update``
 on :class:`~repro.serve.server.ScoringServer`), the synthesiser generates

@@ -481,6 +481,19 @@ class GraphDelta:
         return {name: getattr(self, name) for name in _ARRAY_FIELDS
                 if getattr(self, name) is not None}
 
+    def digest(self) -> str:
+        """Deterministic content hash of this delta.
+
+        The streaming layer chains it onto the previous version's
+        fingerprint to derive the next version's cache key in O(delta)
+        instead of re-hashing the whole updated graph (
+        :class:`~repro.stream.scorer.StreamingScorer` with
+        ``fingerprints="chained"``).
+        """
+        from .._hashing import sha256_of_arrays
+        return sha256_of_arrays(sorted(self.to_arrays().items()),
+                                seed="delta:%s" % self.kind)
+
 
 def delta_to_bytes(delta: GraphDelta) -> bytes:
     """Serialise a delta to an in-memory ``.npz`` archive."""

@@ -38,6 +38,14 @@ from ..urg.graph import UrbanRegionGraph
 __all__ = ["EvolutionConfig", "generate_evolution", "available_scenarios"]
 
 
+def _step_count(num_nodes: int, fraction: float,
+                count: Optional[int]) -> int:
+    """Regions touched by one feature step (absolute count wins)."""
+    if count is not None:
+        return max(1, min(int(count), num_nodes))
+    return max(1, min(int(round(num_nodes * fraction)), num_nodes))
+
+
 @dataclass(frozen=True)
 class EvolutionConfig:
     """Knobs of the evolution simulator.
@@ -54,6 +62,15 @@ class EvolutionConfig:
     poi_churn_fraction: float = 0.05
     #: fraction of regions re-captured per imagery_refresh step
     imagery_refresh_fraction: float = 0.08
+    #: absolute region count per poi_churn step; overrides the fraction
+    #: when set.  Small absolute counts keep a delta's receptive field
+    #: local on any city size — the regime the incremental rescoring path
+    #: (and its latency benchmark) is built for, while the default
+    #: fractional sizing scales with the city and exercises the full
+    #: rescore fallback.
+    poi_churn_count: Optional[int] = None
+    #: absolute region count per imagery_refresh step (see poi_churn_count)
+    imagery_refresh_count: Optional[int] = None
     #: relative noise scale of feature perturbations
     feature_noise: float = 0.25
     #: undirected edges swapped per road_rewiring step
@@ -72,6 +89,10 @@ class EvolutionConfig:
                              f"available: {available_scenarios()}")
         if not self.scenarios:
             raise ValueError("scenarios must not be empty")
+        for name in ("poi_churn_count", "imagery_refresh_count"):
+            value = getattr(self, name)
+            if value is not None and value < 1:
+                raise ValueError(f"{name} must be >= 1 when set, got {value!r}")
 
 
 # ----------------------------------------------------------------------
@@ -88,9 +109,9 @@ def _poi_churn(graph: UrbanRegionGraph, config: EvolutionConfig,
                rng: np.random.Generator) -> Optional[GraphDelta]:
     if graph.poi_dim == 0:
         return None
-    count = max(1, int(round(graph.num_nodes * config.poi_churn_fraction)))
-    rows = rng.choice(graph.num_nodes, size=min(count, graph.num_nodes),
-                      replace=False)
+    count = _step_count(graph.num_nodes, config.poi_churn_fraction,
+                        config.poi_churn_count)
+    rows = rng.choice(graph.num_nodes, size=count, replace=False)
     rows = np.sort(rows)
     return GraphDelta(kind="poi_churn", poi_rows=rows,
                       poi_values=_perturbed_rows(graph.x_poi, rows,
@@ -101,9 +122,9 @@ def _imagery_refresh(graph: UrbanRegionGraph, config: EvolutionConfig,
                      rng: np.random.Generator) -> Optional[GraphDelta]:
     if graph.image_dim == 0:
         return None
-    count = max(1, int(round(graph.num_nodes * config.imagery_refresh_fraction)))
-    rows = rng.choice(graph.num_nodes, size=min(count, graph.num_nodes),
-                      replace=False)
+    count = _step_count(graph.num_nodes, config.imagery_refresh_fraction,
+                        config.imagery_refresh_count)
+    rows = rng.choice(graph.num_nodes, size=count, replace=False)
     rows = np.sort(rows)
     return GraphDelta(kind="imagery_refresh", img_rows=rows,
                       img_values=_perturbed_rows(graph.x_img, rows,

@@ -242,6 +242,39 @@ class TestStream:
         assert "plan reused on 2/2 updates" in out
         assert "imagery_refresh" in out
 
+    def test_stream_incremental_with_stats(self, packaged_registry, capsys):
+        exit_code = main(["stream", "--preset", "tiny",
+                          "--registry", str(packaged_registry),
+                          "--model", "tiny", "--steps", "5",
+                          "--scenarios", "poi_churn,imagery_refresh",
+                          "--incremental", "always", "--stats"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        # the warm initial score primes the activation cache, so every
+        # update takes the incremental path (denominator = initial score
+        # + 5 updates)
+        assert "incremental rescore on 5/6 scores" in out
+        assert "plan cache:" in out and "builds=" in out
+        assert "incremental_rescores=5" in out
+        assert "verify_failures=0" in out
+
+    def test_stream_incremental_against_service(self, packaged_registry,
+                                                capsys):
+        from repro.serve import ModelRegistry, ScoringServer
+
+        server = ScoringServer(ModelRegistry(packaged_registry), quiet=True).start()
+        try:
+            exit_code = main(["stream", "--preset", "tiny", "--url", server.url,
+                              "--model", "tiny", "--steps", "3",
+                              "--scenarios", "poi_churn",
+                              "--incremental", "always", "--stats"])
+        finally:
+            server.stop()
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "incremental rescore on 3/3" in out
+        assert "plan cache:" in out
+
     def test_stream_unknown_scenario_is_reported(self, packaged_registry, capsys):
         exit_code = main(["stream", "--preset", "tiny",
                           "--registry", str(packaged_registry),

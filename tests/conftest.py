@@ -11,9 +11,19 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.core import CMSFConfig, CMSFDetector
 from repro.synth import generate_city, tiny_city
 from repro.urg import UrgBuildConfig, build_urg
 from repro.urg.image_features import ImageFeatureConfig
+
+#: reduced configuration shared by the serving/streaming test packages —
+#: training even this takes seconds, so one fitted detector is shared
+#: session-wide and treated as read-only
+FAST_CONFIG = CMSFConfig(
+    hidden_dim=16, image_reduce_dim=16, classifier_hidden=8, maga_layers=1,
+    maga_heads=2, num_clusters=6, context_dim=8, master_epochs=12, slave_epochs=5,
+    patience=None, dropout=0.0, seed=0,
+)
 
 
 @pytest.fixture(scope="session")
@@ -33,6 +43,22 @@ def tiny_graph_small_image(tiny_city_data):
     """URG variant with aggressively reduced image features (fast training)."""
     config = UrgBuildConfig(image=ImageFeatureConfig(reduce_dim=32))
     return build_urg(tiny_city_data, config)
+
+
+@pytest.fixture(scope="session")
+def fast_config():
+    return FAST_CONFIG
+
+
+@pytest.fixture(scope="session")
+def fitted_detector(tiny_graph_small_image):
+    graph = tiny_graph_small_image
+    return CMSFDetector(FAST_CONFIG).fit(graph, graph.labeled_indices())
+
+
+@pytest.fixture(scope="session")
+def reference_scores(fitted_detector, tiny_graph_small_image):
+    return fitted_detector.predict_proba(tiny_graph_small_image)
 
 
 @pytest.fixture()

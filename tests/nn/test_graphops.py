@@ -17,8 +17,8 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.nn.graphops import (EdgePlan, SegmentPlan, clear_plan_cache,
-                               plan_cache_info)
+from repro.nn.graphops import (EdgePlan, SegmentPlan, affected_regions,
+                               clear_plan_cache, plan_cache_info)
 from repro.nn.sparse import (gather_rows, segment_max_raw, segment_mean,
                              segment_softmax, segment_sum)
 from repro.nn.tensor import Tensor, dtype_scope
@@ -233,3 +233,150 @@ class TestPlanPrimitivesBitIdentical:
         plan = EdgePlan(np.array([[0], [1]]), 3)
         with pytest.raises(ValueError):
             segment_sum(Tensor(np.ones((plan.num_edges, 1))), plan.dst_plan, 5)
+
+
+class TestAffectedRegions:
+    """Receptive-field expansion over edge arrays and plans."""
+
+    def _chain_plan(self, n=8):
+        # 0 -> 1 -> 2 -> ... -> n-1 (directed chain)
+        edges = np.stack([np.arange(n - 1), np.arange(1, n)])
+        return EdgePlan(edges, n)
+
+    def test_out_expansion_follows_message_flow(self):
+        plan = self._chain_plan()
+        assert affected_regions(plan, [2], 0).tolist() == [2]
+        assert affected_regions(plan, [2], 1).tolist() == [2, 3]
+        assert affected_regions(plan, [2], 3).tolist() == [2, 3, 4, 5]
+
+    def test_in_expansion_is_the_transpose(self):
+        plan = self._chain_plan()
+        assert affected_regions(plan, [4], 2, direction="in").tolist() == [2, 3, 4]
+
+    def test_both_directions(self):
+        plan = self._chain_plan()
+        assert affected_regions(plan, [4], 1,
+                                direction="both").tolist() == [3, 4, 5]
+
+    def test_raw_edge_arrays_do_not_imply_self_loops(self):
+        edges = np.stack([np.arange(7), np.arange(1, 8)])
+        got = affected_regions(edges, [2], 2, num_nodes=8)
+        assert got.tolist() == [2, 3, 4]
+
+    def test_converges_early_on_saturation(self):
+        plan = self._chain_plan(4)
+        assert affected_regions(plan, [0], 100).tolist() == [0, 1, 2, 3]
+
+    def test_validates_inputs(self):
+        plan = self._chain_plan()
+        with pytest.raises(ValueError, match="direction"):
+            affected_regions(plan, [0], 1, direction="sideways")
+        with pytest.raises(ValueError, match="hops"):
+            affected_regions(plan, [0], -1)
+        with pytest.raises(ValueError, match="touched"):
+            affected_regions(plan, [99], 1)
+        with pytest.raises(ValueError, match="num_nodes"):
+            affected_regions(np.zeros((2, 0), dtype=np.int64), [0], 1)
+
+
+class TestSubPlan:
+    def _grid_plan(self):
+        # 4x4 grid, symmetric 4-neighbourhood
+        n = 16
+        edges = []
+        for r in range(4):
+            for c in range(4):
+                i = r * 4 + c
+                if c < 3:
+                    edges += [(i, i + 1), (i + 1, i)]
+                if r < 3:
+                    edges += [(i, i + 4), (i + 4, i)]
+        return EdgePlan(np.asarray(edges, dtype=np.int64).T, n)
+
+    def test_induced_subgraph_preserves_per_dst_edge_order(self):
+        plan = self._grid_plan()
+        sub = plan.subplan(np.array([5]), halo=2)
+        # every interior in-edge must be present, relabelled, in the same
+        # relative order as the parent (raw edges first, self-loop last)
+        interior_local = sub.interior_local[0]
+        parent_srcs = plan.src[plan.dst == 5]
+        sub_srcs = sub.nodes[sub.plan.src[sub.plan.dst == interior_local]]
+        assert parent_srcs.tolist() == sub_srcs.tolist()
+
+    def test_halo_covers_receptive_field(self):
+        plan = self._grid_plan()
+        sub = plan.subplan(np.array([5]), halo=2)
+        expected = affected_regions(plan, [5], 2, direction="in")
+        assert sub.nodes.tolist() == expected.tolist()
+        assert sub.interior.tolist() == [5]
+
+    def test_subplan_is_cached_content_keyed(self):
+        plan = self._grid_plan()
+        before = plan_cache_info()["subplan_builds"]
+        first = plan.subplan(np.array([1, 2]), halo=1)
+        again = plan.subplan(np.array([2, 1, 2]), halo=1)
+        assert again is first
+        assert plan_cache_info()["subplan_builds"] == before + 1
+        other = plan.subplan(np.array([1, 2]), halo=2)
+        assert other is not first
+        assert plan_cache_info()["subplan_builds"] == before + 2
+
+    def test_local_of_rejects_outside_ids(self):
+        plan = self._grid_plan()
+        sub = plan.subplan(np.array([0]), halo=1)
+        with pytest.raises(ValueError, match="outside"):
+            sub.local_of(np.array([15]))
+
+    def test_interior_validation(self):
+        plan = self._grid_plan()
+        with pytest.raises(ValueError, match="interior"):
+            plan.subplan(np.array([], dtype=np.int64))
+        with pytest.raises(ValueError, match="range"):
+            plan.subplan(np.array([99]))
+
+
+class TestFrontier:
+    def test_gathers_every_in_edge_in_parent_order(self):
+        edges = np.array([[0, 1, 2, 0], [1, 1, 1, 2]])
+        plan = EdgePlan(edges, 3)
+        frontier = plan.frontier(np.array([1]))
+        # parent order for dst 1: raw edges (0,1), (1,1), (2,1), then loop
+        assert frontier.edge_src.tolist() == [0, 1, 2, 1]
+        assert frontier.edge_dst.tolist() == [1, 1, 1, 1]
+        assert frontier.seg.ids.tolist() == [0, 0, 0, 0]
+        assert frontier.num_dst == 1
+
+    def test_multiple_dsts_group_contiguously(self):
+        edges = np.array([[0, 1, 2, 0], [1, 1, 1, 2]])
+        plan = EdgePlan(edges, 3)
+        frontier = plan.frontier(np.array([0, 2]))
+        # dst 0 has only its self-loop; dst 2 has (0,2) then its loop
+        assert frontier.edge_src.tolist() == [0, 0, 2]
+        assert frontier.seg.ids.tolist() == [0, 1, 1]
+
+    def test_segment_reductions_match_full_plan(self):
+        rng = np.random.default_rng(0)
+        n, m = 30, 200
+        edges = rng.integers(0, n, size=(2, m))
+        plan = EdgePlan(edges, n)
+        values = rng.normal(size=(plan.num_edges, 3))
+        full = plan.dst_plan.scatter_sum(values)
+        dsts = np.unique(rng.integers(0, n, size=10))
+        frontier = plan.frontier(dsts)
+        # gather the same per-edge values through the frontier's positions
+        order = np.argsort(plan.dst, kind="stable")
+        lookup = {}
+        for pos in order:
+            lookup.setdefault(int(plan.dst[pos]), []).append(pos)
+        positions = np.concatenate([lookup[int(d)] for d in dsts])
+        sub = frontier.seg.scatter_sum(values[positions])
+        assert np.array_equal(sub, full[dsts])
+
+    def test_validates_dst_nodes(self):
+        plan = EdgePlan(np.array([[0], [1]]), 2)
+        with pytest.raises(ValueError, match="sorted"):
+            plan.frontier(np.array([1, 0]))
+        with pytest.raises(ValueError, match="range"):
+            plan.frontier(np.array([5]))
+        with pytest.raises(ValueError, match="destination"):
+            plan.frontier(np.array([], dtype=np.int64))

@@ -1,39 +1,15 @@
 """Shared fixtures for the serving-layer tests.
 
-Training even the reduced CMSF configuration dominates test runtime, so a
-single fitted detector (and its published bundle) is shared session-wide;
-every test treats it as read-only.
+The reduced CMSF configuration and the session-scoped fitted detector live
+in the top-level ``tests/conftest.py`` (the streaming tests share them);
+this package only adds the published model registry.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from repro.core import CMSFConfig, CMSFDetector
 from repro.serve import ModelRegistry
-
-FAST_CONFIG = CMSFConfig(
-    hidden_dim=16, image_reduce_dim=16, classifier_hidden=8, maga_layers=1,
-    maga_heads=2, num_clusters=6, context_dim=8, master_epochs=12, slave_epochs=5,
-    patience=None, dropout=0.0, seed=0,
-)
-
-
-@pytest.fixture(scope="session")
-def fast_config():
-    return FAST_CONFIG
-
-
-@pytest.fixture(scope="session")
-def fitted_detector(tiny_graph_small_image):
-    graph = tiny_graph_small_image
-    detector = CMSFDetector(FAST_CONFIG).fit(graph, graph.labeled_indices())
-    return detector
-
-
-@pytest.fixture(scope="session")
-def reference_scores(fitted_detector, tiny_graph_small_image):
-    return fitted_detector.predict_proba(tiny_graph_small_image)
 
 
 @pytest.fixture(scope="session")

@@ -121,7 +121,9 @@ class TestStreamingStress:
             self, fitted_detector, graph_versions):
         versions, deltas, references = graph_versions
         engine = InferenceEngine(fitted_detector, cache_size=2)
-        scorer = StreamingScorer(engine, versions[0])
+        # content fingerprints so every observed version can be matched
+        # against the precomputed per-version references by identity
+        scorer = StreamingScorer(engine, versions[0], fingerprints="content")
         stop = threading.Event()
         errors = []
         observed_fingerprints = set()
@@ -195,7 +197,10 @@ class TestServerStress:
                            max_workers=4) as server:
             client = ScoringClient(server.url)
             client.wait_until_ready()
-            client.open_stream("stress", versions[0], "tiny", rescore=False)
+            # content fingerprints: the workers match responses against
+            # precomputed per-version references by fingerprint identity
+            client.open_stream("stress", versions[0], "tiny", rescore=False,
+                               fingerprints="content")
             errors = []
 
             def scorer_worker(worker_id):

@@ -1,0 +1,255 @@
+"""StreamingScorer's incremental rescoring policy and bookkeeping.
+
+Complements ``tests/serve/test_streaming.py`` (which pins the bit-identity
+acceptance contract end to end): here the policy machinery itself is under
+test — mode selection, the auto-mode cutoff fallback, first-update
+verification, pending seeds across ``rescore=False`` updates, chained
+version fingerprints and the stats counters the ``/stats`` endpoint and
+``repro-uv stream --stats`` surface.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.serve import InferenceEngine
+from repro.stream import GraphDelta, StreamingScorer
+from repro.synth import EvolutionConfig, generate_evolution
+
+
+@pytest.fixture()
+def engine(fitted_detector):
+    return InferenceEngine(fitted_detector, cache_size=8)
+
+
+def _feature_delta(graph, rows, kind="edit", shift=0.25):
+    rows = np.asarray(sorted(rows), dtype=np.int64)
+    return GraphDelta(kind=kind, poi_rows=rows,
+                      poi_values=graph.x_poi[rows] + shift)
+
+
+class TestModeSelection:
+    def test_first_rescore_is_full_then_incremental(self, engine,
+                                                    tiny_graph_small_image):
+        graph = tiny_graph_small_image
+        scorer = StreamingScorer(engine, graph, incremental="auto")
+        first = scorer.update(_feature_delta(graph, [5]))
+        # no cache yet: the first update must take the full path
+        assert first.mode == "full"
+        second = scorer.update(_feature_delta(scorer.graph, [6]))
+        assert second.mode == "incremental"
+        assert 0 < second.affected_regions < graph.num_nodes
+        assert 0 < second.affected_fraction < 1
+        assert scorer.stats.incremental_rescores == 1
+        assert scorer.stats.full_rescores == 1
+
+    def test_warm_primes_the_incremental_path(self, engine,
+                                              tiny_graph_small_image):
+        graph = tiny_graph_small_image
+        scorer = StreamingScorer(engine, graph, warm=True)
+        update = scorer.update(_feature_delta(graph, [5]))
+        assert update.mode == "incremental"
+
+    def test_never_mode_always_full(self, engine, tiny_graph_small_image):
+        graph = tiny_graph_small_image
+        scorer = StreamingScorer(engine, graph, warm=True, incremental="never")
+        assert not scorer.incremental_active
+        update = scorer.update(_feature_delta(graph, [5]))
+        assert update.mode == "full"
+        assert scorer.stats.incremental_rescores == 0
+
+    def test_auto_cutoff_falls_back_to_full(self, engine,
+                                            tiny_graph_small_image):
+        graph = tiny_graph_small_image
+        scorer = StreamingScorer(engine, graph, warm=True,
+                                 incremental_cutoff=0.05)
+        # a city-wide delta exceeds any 5% receptive-field budget
+        update = scorer.update(
+            _feature_delta(graph, range(graph.num_nodes // 2)))
+        assert update.mode == "full"
+        assert scorer.stats.cutoff_fallbacks == 1
+
+    def test_always_mode_ignores_cutoff(self, engine, tiny_graph_small_image):
+        graph = tiny_graph_small_image
+        scorer = StreamingScorer(engine, graph, warm=True,
+                                 incremental="always",
+                                 incremental_cutoff=0.05)
+        update = scorer.update(
+            _feature_delta(graph, range(graph.num_nodes // 2)))
+        assert update.mode == "incremental"
+        assert scorer.stats.cutoff_fallbacks == 0
+
+    def test_cache_disabled_engine_disables_incremental(
+            self, fitted_detector, tiny_graph_small_image):
+        engine = InferenceEngine(fitted_detector, cache_size=0)
+        scorer = StreamingScorer(engine, tiny_graph_small_image, warm=True)
+        assert not scorer.incremental_active
+        update = scorer.update(_feature_delta(tiny_graph_small_image, [5]))
+        assert update.mode == "full"
+
+    def test_invalid_knobs_rejected(self, engine, tiny_graph_small_image):
+        with pytest.raises(ValueError, match="incremental"):
+            StreamingScorer(engine, tiny_graph_small_image,
+                            incremental="sometimes")
+        with pytest.raises(ValueError, match="cutoff"):
+            StreamingScorer(engine, tiny_graph_small_image,
+                            incremental_cutoff=0.0)
+        with pytest.raises(ValueError, match="fingerprints"):
+            StreamingScorer(engine, tiny_graph_small_image,
+                            fingerprints="vibes")
+
+
+class TestCorrectnessUnderPolicy:
+    @pytest.mark.parametrize("incremental", ["auto", "always", "never"])
+    def test_scores_identical_across_modes(self, engine, fitted_detector,
+                                           tiny_graph_small_image,
+                                           incremental):
+        graph = tiny_graph_small_image
+        scorer = StreamingScorer(engine, graph, warm=True,
+                                 incremental=incremental)
+        deltas = generate_evolution(graph, EvolutionConfig(
+            steps=6, seed=19, scenarios=("poi_churn", "road_rewiring",
+                                         "imagery_refresh")))
+        current = graph
+        for delta in deltas:
+            update = scorer.update(delta)
+            current = delta.apply(current)
+            assert np.array_equal(update.probabilities,
+                                  fitted_detector.predict_proba(current)), \
+                (incremental, delta.kind)
+
+    def test_verification_runs_once_in_auto(self, engine,
+                                            tiny_graph_small_image):
+        graph = tiny_graph_small_image
+        scorer = StreamingScorer(engine, graph, warm=True)
+        scorer.update(_feature_delta(graph, [5]))
+        scorer.update(_feature_delta(scorer.graph, [9]))
+        assert scorer.stats.verified_rescores == 1
+        assert scorer.stats.verify_failures == 0
+        assert scorer.incremental_active
+
+    def test_verification_failure_disables_incremental(
+            self, engine, tiny_graph_small_image, monkeypatch):
+        graph = tiny_graph_small_image
+        scorer = StreamingScorer(engine, graph, warm=True)
+        # sabotage the comparison so the stream sees a "mismatch"
+        monkeypatch.setattr(scorer, "_scores_match",
+                            lambda *args, **kwargs: False)
+        update = scorer.update(_feature_delta(graph, [5]))
+        # the oracle's scores are served, and the path is retired for good
+        assert update.mode == "full"
+        assert scorer.stats.verify_failures == 1
+        assert not scorer.incremental_active
+        later = scorer.update(_feature_delta(scorer.graph, [9]))
+        assert later.mode == "full"
+
+    def test_pending_seeds_cover_unscored_updates(self, engine,
+                                                  fitted_detector,
+                                                  tiny_graph_small_image):
+        graph = tiny_graph_small_image
+        scorer = StreamingScorer(engine, graph, warm=True)
+        scorer.update(_feature_delta(graph, [5]), rescore=False)
+        scorer.update(_feature_delta(scorer.graph, [60]), rescore=False)
+        update = scorer.update(_feature_delta(scorer.graph, [100]))
+        assert update.mode == "incremental"
+        assert np.array_equal(update.probabilities,
+                              fitted_detector.predict_proba(scorer.graph))
+
+    def test_region_deltas_rescore_fully_and_stay_bitwise(
+            self, engine, fitted_detector, tiny_graph_small_image):
+        """Node-set changes break the fixed-shape bit-stability argument,
+        so they must take the full path — and still end bit-identical."""
+        graph = tiny_graph_small_image
+        scorer = StreamingScorer(engine, graph, warm=True,
+                                 incremental="always")
+        shrink = GraphDelta(kind="shrink", remove_regions=np.array([7, 80]))
+        update = scorer.update(shrink)
+        assert update.mode == "full"
+        assert np.array_equal(update.probabilities,
+                              fitted_detector.predict_proba(scorer.graph))
+        grow = generate_evolution(scorer.graph, EvolutionConfig(
+            steps=1, seed=5, scenarios=("region_growth",)))
+        assert grow, "the removals above must free grid cells"
+        update = scorer.update(grow[0])
+        assert update.mode == "full"
+        assert np.array_equal(update.probabilities,
+                              fitted_detector.predict_proba(scorer.graph))
+        # the incremental path re-arms on the next feature delta
+        update = scorer.update(_feature_delta(scorer.graph, [5]))
+        assert update.mode == "incremental"
+        assert np.array_equal(update.probabilities,
+                              fitted_detector.predict_proba(scorer.graph))
+
+    def test_region_delta_without_rescore_drops_the_cache(
+            self, engine, fitted_detector, tiny_graph_small_image):
+        graph = tiny_graph_small_image
+        scorer = StreamingScorer(engine, graph, warm=True)
+        shrink = GraphDelta(kind="shrink", remove_regions=np.array([40, 41]))
+        scorer.update(shrink, rescore=False)
+        update = scorer.update(_feature_delta(scorer.graph, [5]))
+        assert update.mode == "full"   # cache was dropped, full rebuild
+        assert np.array_equal(update.probabilities,
+                              fitted_detector.predict_proba(scorer.graph))
+        # and the path re-arms afterwards
+        again = scorer.update(_feature_delta(scorer.graph, [9]))
+        assert again.mode == "incremental"
+
+    def test_incremental_update_seeds_engine_cache(self, engine,
+                                                   tiny_graph_small_image):
+        graph = tiny_graph_small_image
+        scorer = StreamingScorer(engine, graph, warm=True)
+        update = scorer.update(_feature_delta(graph, [5]))
+        assert update.mode == "incremental"
+        hits_before = engine.cache_stats.hits
+        repeat = scorer.score()
+        assert repeat.cache_hit
+        assert engine.cache_stats.hits == hits_before + 1
+        assert np.array_equal(repeat.probabilities, update.probabilities)
+
+
+class TestFingerprints:
+    def test_chained_fingerprints_are_deterministic(self, engine,
+                                                    tiny_graph_small_image):
+        graph = tiny_graph_small_image
+        delta = _feature_delta(graph, [5])
+        a = StreamingScorer(engine, graph)
+        b = StreamingScorer(engine, graph)
+        assert a.update(delta).fingerprint == b.update(delta).fingerprint
+
+    def test_chained_fingerprints_diverge_per_delta(self, engine,
+                                                    tiny_graph_small_image):
+        graph = tiny_graph_small_image
+        scorer = StreamingScorer(engine, graph)
+        first = scorer.update(_feature_delta(graph, [5]))
+        second = scorer.update(_feature_delta(scorer.graph, [5], shift=0.5))
+        assert first.fingerprint != second.fingerprint != scorer.graph.fingerprint()
+
+    def test_content_mode_matches_graph_fingerprint(self, engine,
+                                                    tiny_graph_small_image):
+        graph = tiny_graph_small_image
+        scorer = StreamingScorer(engine, graph, fingerprints="content")
+        update = scorer.update(_feature_delta(graph, [5]))
+        assert update.fingerprint == scorer.graph.fingerprint()
+
+    def test_delta_digest_is_content_keyed(self, tiny_graph_small_image):
+        graph = tiny_graph_small_image
+        a = _feature_delta(graph, [5])
+        b = _feature_delta(graph, [5])
+        c = _feature_delta(graph, [6])
+        assert a.digest() == b.digest()
+        assert a.digest() != c.digest()
+
+
+class TestDescribe:
+    def test_describe_reports_incremental_state(self, engine,
+                                                tiny_graph_small_image):
+        scorer = StreamingScorer(engine, tiny_graph_small_image)
+        info = scorer.describe()
+        assert info["incremental"] == "auto"
+        assert isinstance(info["incremental_active"], bool)
+        stats = info["stats"]
+        for key in ("incremental_rescores", "full_rescores",
+                    "cutoff_fallbacks", "verified_rescores",
+                    "verify_failures", "incremental_regions"):
+            assert key in stats
