@@ -1,0 +1,125 @@
+"""Quickstart for fleet-scale serving: shards, failover, replayed traffic.
+
+This example scales the serving layer past one engine:
+
+1. train a (reduced) CMSF detector on a small synthetic city and publish
+   it to a local model registry;
+2. derive three structurally distinct city variants and record a seeded
+   workload trace over them (mixed score / update / evict ops with
+   concrete deltas);
+3. spin up a 2-shard in-process fleet — each shard wraps its own
+   :class:`~repro.serve.engine.InferenceEngine` loaded from the bundle —
+   behind a consistent-hash :class:`~repro.serve.fleet.FleetRouter` with
+   replication, and replay the trace against it;
+4. verify the fleet's float64 scores are bit-identical to a single-engine
+   oracle replay of the same trace, then kill a shard mid-trace with the
+   fault-injection wrapper and show the router failing over without
+   dropping a request or changing a score;
+5. print the fleet-wide aggregated ``/stats`` (cache totals, incremental
+   counters, routing/failover counters).
+
+Run with::
+
+    python examples/fleet_quickstart.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from repro.bench import (WorkloadConfig, derive_cities, generate_workload,
+                         load_trace, replay_trace, replays_identical,
+                         save_trace)
+from repro.core import CMSFConfig, CMSFDetector
+from repro.serve import (ChaosShard, EngineShard, FleetRouter,
+                         InferenceEngine, ModelRegistry)
+from repro.synth import generate_city, tiny_city
+from repro.urg import UrgBuildConfig, build_urg
+from repro.urg.image_features import ImageFeatureConfig
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. train once, publish once
+    # ------------------------------------------------------------------
+    city = generate_city(tiny_city(seed=7))
+    graph = build_urg(city, UrgBuildConfig(image=ImageFeatureConfig(reduce_dim=32)))
+    config = CMSFConfig(hidden_dim=32, image_reduce_dim=32, num_clusters=8,
+                        master_epochs=60, slave_epochs=15)
+    print(f"training CMSF on '{graph.name}' ({graph.num_nodes} regions) ...")
+    detector = CMSFDetector(config).fit(graph, graph.labeled_indices())
+    registry = ModelRegistry(tempfile.mkdtemp(prefix="repro-models-"))
+    registry.publish(detector, graph, "tiny")
+
+    # ------------------------------------------------------------------
+    # 2. record a deterministic workload trace over three cities
+    # ------------------------------------------------------------------
+    cities = derive_cities(graph, 3, seed=11)
+    trace = generate_workload(cities, WorkloadConfig(ops=24, seed=5))
+    trace_path = Path(tempfile.mkdtemp(prefix="repro-traces-")) / "trace.npz"
+    save_trace(trace, trace_path)
+    trace = load_trace(trace_path)  # replay exactly what was recorded
+    print(f"recorded trace: {trace.summary()}")
+    for name, variant in cities.items():
+        print(f"  {name}: routing key "
+              f"{variant.structural_fingerprint()[:12]}")
+
+    # ------------------------------------------------------------------
+    # 3. a 2-shard fleet, each shard with its own engine
+    # ------------------------------------------------------------------
+    def make_shard(shard_id):
+        engine = InferenceEngine.from_bundle(registry.resolve("tiny"),
+                                             cache_size=8)
+        return EngineShard(engine, shard_id=shard_id)
+
+    fleet = FleetRouter([make_shard("shard-0"), make_shard("shard-1")],
+                        replication=2)
+    fleet_replay = replay_trace(trace, fleet)
+    print(f"\nfleet replay: {fleet_replay.summary()}")
+    for name, state in fleet.cities().items():
+        print(f"  {name} -> {state['active']} "
+              f"(replicas {state['replicas']}, version {state['version']})")
+
+    # ------------------------------------------------------------------
+    # 4a. the fleet is numerically invisible: 1-shard oracle comparison
+    # ------------------------------------------------------------------
+    oracle_replay = replay_trace(trace, make_shard("oracle"))
+    identical, max_diff = replays_identical(oracle_replay, fleet_replay)
+    print(f"\nfleet vs single-engine oracle: bit-identical={identical} "
+          f"(max |diff| {max_diff:.3e})")
+
+    # ------------------------------------------------------------------
+    # 4b. chaos: kill a shard mid-trace, nothing is lost
+    # ------------------------------------------------------------------
+    victim = make_shard("doomed")
+    chaos = ChaosShard(victim, fail_after=4)  # dies after 4 delegated calls
+    chaos_fleet = FleetRouter([chaos, make_shard("survivor")], replication=2)
+    chaos_replay = replay_trace(trace, chaos_fleet)
+    identical, max_diff = replays_identical(oracle_replay, chaos_replay)
+    counters = chaos_fleet.fleet_stats
+    print(f"chaos replay with shard 'doomed' killed mid-trace: "
+          f"completed {chaos_replay.completed_ops}/{len(trace)} ops, "
+          f"failovers={counters.failovers}, "
+          f"shard_failures={counters.shard_failures}, "
+          f"bit-identical={identical}")
+
+    # ------------------------------------------------------------------
+    # 5. fleet-wide aggregated stats
+    # ------------------------------------------------------------------
+    stats = fleet.stats()
+    totals = stats["totals"]
+    print("\naggregated fleet /stats:")
+    print(f"  cache: {totals['cache']}")
+    print(f"  cold_computes={totals['cold_computes']} "
+          f"stampedes_avoided={totals['stampedes_avoided']} "
+          f"streams_open={totals['streams_open']}")
+    incr = totals["stream_counters"]
+    print(f"  stream counters: updates={incr.get('updates', 0)}, "
+          f"incremental_rescores={incr.get('incremental_rescores', 0)}, "
+          f"plan_reuses={incr.get('plan_reuses', 0)}")
+    print(f"  routing: {stats['fleet']}")
+
+
+if __name__ == "__main__":
+    main()

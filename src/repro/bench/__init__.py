@@ -1,0 +1,38 @@
+"""``repro.bench`` — deterministic workload generation and replay.
+
+The fleet serving layer (:mod:`repro.serve.fleet`) is only trustworthy if
+the *same* traffic can be thrown at different fleet topologies and the
+answers compared bit-for-bit.  This subpackage provides that traffic:
+
+* :mod:`repro.bench.workload` — a seeded generator of mixed
+  ``score`` / ``update`` / ``evict`` op sequences over evolving cities
+  (:class:`WorkloadTrace`), an npz/json codec so traces can be recorded
+  and shipped, and a replayer that drives any
+  :class:`~repro.serve.fleet.ShardBackend`-shaped target (a single
+  in-process shard, a remote server, or a whole
+  :class:`~repro.serve.fleet.FleetRouter`) and collects the float64 score
+  trajectory for comparison.
+"""
+
+from .workload import (ReplayResult, WorkloadConfig, WorkloadOp,
+                       WorkloadTrace, derive_cities, generate_workload,
+                       load_trace, replay_trace, replays_identical,
+                       save_trace, trace_from_bytes, trace_from_payload,
+                       trace_to_bytes, trace_to_payload)
+
+__all__ = [
+    "WorkloadOp",
+    "WorkloadConfig",
+    "WorkloadTrace",
+    "generate_workload",
+    "derive_cities",
+    "trace_to_bytes",
+    "trace_from_bytes",
+    "trace_to_payload",
+    "trace_from_payload",
+    "save_trace",
+    "load_trace",
+    "replay_trace",
+    "replays_identical",
+    "ReplayResult",
+]

@@ -1,0 +1,516 @@
+"""Seeded workload traces: generate, record, replay, compare.
+
+A :class:`WorkloadTrace` is a *frozen unit of traffic*: a set of named
+initial city graphs plus an ordered list of ``score`` / ``update`` /
+``evict`` ops, where every update carries the concrete
+:class:`~repro.stream.delta.GraphDelta` it applies.  Because the deltas
+are materialised at generation time (not re-drawn at replay time), the
+same trace replayed against *any* backend topology — one in-process
+engine, a 3-shard fleet, a fleet with a shard dying mid-run — issues the
+identical request sequence, and deterministic scoring makes the float64
+score trajectories comparable bit-for-bit
+(:func:`replays_identical`).
+
+Generation (:func:`generate_workload`) draws every decision — which city
+an op hits, which op kind fires, which evolution scenario produces the
+next delta — from one ``numpy`` generator seeded by
+:class:`WorkloadConfig.seed`, so a ``(graphs, config)`` pair always
+yields the same trace.  Deltas are produced with
+:func:`repro.synth.evolution.generate_step` against each city's *current*
+state, so a trace's updates always apply cleanly in order.
+
+Traces record to an ``.npz`` archive (:func:`trace_to_bytes` /
+:func:`save_trace`; graphs and deltas nest as their own npz archives) and
+to a JSON wire payload (:func:`trace_to_payload`, reusing
+:mod:`repro.serve.wire` encodings) — both lossless, both covered by
+round-trip property tests.
+
+Replay (:func:`replay_trace`) drives anything speaking the
+:class:`~repro.serve.fleet.ShardBackend` stream protocol.  It is
+deliberately sequential: deterministic op order is the whole point (the
+concurrency soak tests drive the router directly instead).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from ..data.graph_io import graph_from_bytes, graph_to_bytes
+from ..stream.delta import GraphDelta, delta_from_bytes, delta_to_bytes
+from ..synth.evolution import EvolutionConfig, generate_step
+from ..urg.graph import UrbanRegionGraph
+
+__all__ = [
+    "WorkloadOp", "WorkloadConfig", "WorkloadTrace",
+    "generate_workload", "derive_cities",
+    "trace_to_bytes", "trace_from_bytes",
+    "trace_to_payload", "trace_from_payload",
+    "save_trace", "load_trace",
+    "replay_trace", "replays_identical", "ReplayResult",
+]
+
+#: archive/payload schema marker, checked on decode
+TRACE_FORMAT_VERSION = 1
+
+#: the op kinds a trace may contain
+OP_KINDS = ("score", "update", "evict")
+
+
+@dataclass(frozen=True)
+class WorkloadOp:
+    """One request in a workload trace."""
+
+    op: str
+    city: str
+    delta: Optional[GraphDelta] = None
+
+    def __post_init__(self) -> None:
+        if self.op not in OP_KINDS:
+            raise ValueError(f"op must be one of {OP_KINDS}, got {self.op!r}")
+        if not self.city or not isinstance(self.city, str):
+            raise ValueError(f"city must be a non-empty string, got "
+                             f"{self.city!r}")
+        if (self.op == "update") != (self.delta is not None):
+            raise ValueError("exactly the 'update' ops carry a delta "
+                             f"(op={self.op!r}, delta "
+                             f"{'present' if self.delta is not None else 'missing'})")
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Knobs of the workload generator.
+
+    The three weights set the op mix (normalised internally); scenarios
+    cycle per city, so each city's update stream interleaves feature-only
+    and topology deltas the same way :func:`generate_evolution` does.
+    """
+
+    ops: int = 32
+    seed: int = 0
+    score_weight: float = 0.6
+    update_weight: float = 0.3
+    evict_weight: float = 0.1
+    scenarios: Tuple[str, ...] = ("poi_churn", "imagery_refresh",
+                                  "road_rewiring", "region_growth")
+    #: evolution knobs for the update deltas (its own ``steps``/
+    #: ``scenarios``/``seed`` fields are ignored — this module drives the
+    #: stepping, the scenario cycle and the RNG)
+    evolution: EvolutionConfig = field(default_factory=EvolutionConfig)
+
+    def __post_init__(self) -> None:
+        if self.ops < 0:
+            raise ValueError("ops must be non-negative")
+        weights = (self.score_weight, self.update_weight, self.evict_weight)
+        if any(w < 0 for w in weights) or sum(weights) <= 0:
+            raise ValueError("op weights must be non-negative with a "
+                             f"positive sum, got {weights}")
+        if not self.scenarios:
+            raise ValueError("scenarios must not be empty")
+        # delegate scenario-name validation to EvolutionConfig
+        replace(self.evolution, scenarios=tuple(self.scenarios))
+
+    @property
+    def weights(self) -> np.ndarray:
+        raw = np.asarray([self.score_weight, self.update_weight,
+                          self.evict_weight], dtype=np.float64)
+        return raw / raw.sum()
+
+
+@dataclass
+class WorkloadTrace:
+    """A frozen, replayable unit of traffic."""
+
+    cities: "OrderedDict[str, UrbanRegionGraph]"
+    ops: List[WorkloadOp]
+    seed: int = 0
+    name: str = "workload"
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.cities = OrderedDict(self.cities)
+        unknown = {op.city for op in self.ops} - set(self.cities)
+        if unknown:
+            raise ValueError(f"ops reference cities not in the trace: "
+                             f"{sorted(unknown)}")
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def op_counts(self) -> Dict[str, int]:
+        counts = {kind: 0 for kind in OP_KINDS}
+        for op in self.ops:
+            counts[op.op] += 1
+        return counts
+
+    def summary(self) -> Dict[str, object]:
+        return {"name": self.name, "seed": self.seed,
+                "cities": len(self.cities), "ops": len(self.ops),
+                **self.op_counts()}
+
+
+# ----------------------------------------------------------------------
+# generation
+# ----------------------------------------------------------------------
+def derive_cities(graph: UrbanRegionGraph, count: int,
+                  seed: int = 0,
+                  config: Optional[EvolutionConfig] = None,
+                  ) -> "OrderedDict[str, UrbanRegionGraph]":
+    """Deterministic multi-city variants of one base graph.
+
+    City 0 is the base graph itself; each further city applies a seeded
+    road-rewiring plus a POI-churn delta, so the variants keep the base
+    feature dimensionality (they score through the same model bundle) but
+    differ *structurally* — distinct
+    :meth:`~repro.urg.graph.UrbanRegionGraph.structural_fingerprint`
+    routing keys, so a fleet spreads them across shards.
+    """
+    if count < 1:
+        raise ValueError("count must be >= 1")
+    config = config or EvolutionConfig()
+    rng = np.random.default_rng(seed)
+    base_name = graph.name.lower() or "city"
+    cities: "OrderedDict[str, UrbanRegionGraph]" = OrderedDict()
+    cities[f"{base_name}-0"] = graph
+    for i in range(1, count):
+        variant = graph
+        for kind in ("road_rewiring", "poi_churn"):
+            delta = generate_step(variant, kind, config, rng)
+            if delta is not None:
+                variant = delta.apply(variant)
+        cities[f"{base_name}-{i}"] = variant
+    return cities
+
+
+def generate_workload(graphs: Mapping[str, UrbanRegionGraph],
+                      config: Optional[WorkloadConfig] = None,
+                      name: Optional[str] = None) -> WorkloadTrace:
+    """Generate a deterministic mixed-op trace over ``graphs``.
+
+    Every op picks a city uniformly and an op kind by the configured
+    weights.  Updates materialise the next delta of the city's scenario
+    cycle against its *current* (already-updated) state; a scenario that
+    cannot fire falls through to the next one in the cycle, and an update
+    with no applicable scenario degrades to a score op — deterministically,
+    so the trace never depends on replay-time state.
+    """
+    config = config or WorkloadConfig()
+    names = sorted(graphs)
+    if not names:
+        raise ValueError("generate_workload needs at least one city graph")
+    evolution = replace(config.evolution, scenarios=tuple(config.scenarios))
+    rng = np.random.default_rng(config.seed)
+    weights = config.weights
+    current: Dict[str, UrbanRegionGraph] = {n: graphs[n] for n in names}
+    cycle_at: Dict[str, int] = {n: 0 for n in names}
+    ops: List[WorkloadOp] = []
+    for _ in range(config.ops):
+        city = names[int(rng.integers(len(names)))]
+        kind = OP_KINDS[int(rng.choice(len(OP_KINDS), p=weights))]
+        if kind == "update":
+            delta = None
+            for probe in range(len(config.scenarios)):
+                scenario = config.scenarios[
+                    (cycle_at[city] + probe) % len(config.scenarios)]
+                delta = generate_step(current[city], scenario, evolution, rng)
+                if delta is not None:
+                    break
+            cycle_at[city] += 1
+            if delta is None:
+                kind = "score"
+            else:
+                current[city] = delta.apply(current[city])
+                ops.append(WorkloadOp("update", city, delta))
+                continue
+        ops.append(WorkloadOp(kind, city))
+    trace = WorkloadTrace(
+        cities=OrderedDict((n, graphs[n]) for n in names),
+        ops=ops, seed=config.seed,
+        name=name or f"workload-seed{config.seed}",
+        meta={"scenarios": list(config.scenarios),
+              "weights": [float(w) for w in weights],
+              "requested_ops": config.ops})
+    trace.meta.update(trace.op_counts())
+    return trace
+
+
+# ----------------------------------------------------------------------
+# codec
+# ----------------------------------------------------------------------
+def trace_to_bytes(trace: WorkloadTrace) -> bytes:
+    """Serialise a trace to an in-memory ``.npz`` archive.
+
+    Graphs and deltas nest as their own npz archives (bit-exact float64
+    round-trips via :func:`graph_to_bytes` / :func:`delta_to_bytes`); op
+    order, city order and metadata live in a JSON ``meta`` member.
+    """
+    meta = {
+        "format_version": TRACE_FORMAT_VERSION,
+        "name": trace.name,
+        "seed": int(trace.seed),
+        "meta": trace.meta,
+        "cities": list(trace.cities),
+        "ops": [{"op": op.op, "city": op.city,
+                 "delta": (f"delta_{i}" if op.delta is not None else None)}
+                for i, op in enumerate(trace.ops)],
+    }
+    arrays: Dict[str, np.ndarray] = {
+        "meta": np.frombuffer(json.dumps(meta).encode("utf-8"),
+                              dtype=np.uint8)}
+    for j, graph in enumerate(trace.cities.values()):
+        arrays[f"city_{j}"] = np.frombuffer(graph_to_bytes(graph),
+                                            dtype=np.uint8)
+    for i, op in enumerate(trace.ops):
+        if op.delta is not None:
+            arrays[f"delta_{i}"] = np.frombuffer(delta_to_bytes(op.delta),
+                                                 dtype=np.uint8)
+    buffer = io.BytesIO()
+    np.savez_compressed(buffer, **arrays)
+    return buffer.getvalue()
+
+
+def trace_from_bytes(data: bytes) -> WorkloadTrace:
+    """Rebuild a trace from :func:`trace_to_bytes` output."""
+    try:
+        archive = np.load(io.BytesIO(data))
+        meta = json.loads(bytes(archive["meta"]).decode("utf-8"))
+    except Exception as error:
+        # np.load's own ValueError on garbage bytes talks about pickled
+        # data and allow_pickle — wrap it too, not just non-ValueErrors
+        raise ValueError(f"invalid trace archive: {error}") from error
+    if meta.get("format_version") != TRACE_FORMAT_VERSION:
+        raise ValueError("unsupported trace archive version %r (expected %d)"
+                         % (meta.get("format_version"), TRACE_FORMAT_VERSION))
+    try:
+        cities: "OrderedDict[str, UrbanRegionGraph]" = OrderedDict()
+        for j, city_name in enumerate(meta["cities"]):
+            cities[str(city_name)] = graph_from_bytes(
+                bytes(archive[f"city_{j}"]))
+        ops: List[WorkloadOp] = []
+        for entry in meta["ops"]:
+            delta = None
+            if entry.get("delta") is not None:
+                delta = delta_from_bytes(bytes(archive[str(entry["delta"])]))
+            ops.append(WorkloadOp(str(entry["op"]), str(entry["city"]),
+                                  delta))
+    except ValueError:
+        raise
+    except Exception as error:
+        raise ValueError(f"malformed trace archive: {error}") from error
+    return WorkloadTrace(cities=cities, ops=ops, seed=int(meta.get("seed", 0)),
+                         name=str(meta.get("name", "workload")),
+                         meta=dict(meta.get("meta") or {}))
+
+
+def trace_to_payload(trace: WorkloadTrace,
+                     encoding: str = "npz") -> Dict[str, object]:
+    """Encode a trace as a JSON-serialisable wire payload.
+
+    ``'npz'`` base64-armours the whole archive into one field; ``'json'``
+    nests per-city graph payloads and per-op delta payloads (themselves
+    ``encoding='json'``), human-readable and still float64-exact.
+    """
+    import base64
+    from ..serve.wire import WIRE_VERSION, delta_to_payload, graph_to_payload
+    if encoding == "npz":
+        return {"wire_version": WIRE_VERSION, "encoding": "npz",
+                "trace_base64": base64.b64encode(
+                    trace_to_bytes(trace)).decode("ascii")}
+    if encoding == "json":
+        return {
+            "wire_version": WIRE_VERSION,
+            "encoding": "json",
+            "name": trace.name,
+            "seed": int(trace.seed),
+            "meta": dict(trace.meta),
+            "cities": {name: graph_to_payload(graph, encoding="json")
+                       for name, graph in trace.cities.items()},
+            "city_order": list(trace.cities),
+            "ops": [{"op": op.op, "city": op.city,
+                     "delta": (delta_to_payload(op.delta, encoding="json")
+                               if op.delta is not None else None)}
+                    for op in trace.ops],
+        }
+    raise ValueError(f"unknown trace encoding {encoding!r} "
+                     "(use 'npz' or 'json')")
+
+
+def trace_from_payload(payload: Dict[str, object]) -> WorkloadTrace:
+    """Decode a payload produced by :func:`trace_to_payload`."""
+    import base64
+    from ..serve.wire import WIRE_VERSION, delta_from_payload, graph_from_payload
+    if not isinstance(payload, dict):
+        raise ValueError("trace payload must be a JSON object")
+    if payload.get("wire_version") != WIRE_VERSION:
+        raise ValueError("unsupported trace wire version %r (expected %d)"
+                         % (payload.get("wire_version"), WIRE_VERSION))
+    encoding = payload.get("encoding")
+    if encoding == "npz":
+        try:
+            raw = base64.b64decode(payload["trace_base64"], validate=True)
+        except (KeyError, TypeError, ValueError) as error:
+            raise ValueError(f"invalid trace_base64 payload: {error}") from error
+        return trace_from_bytes(raw)
+    if encoding == "json":
+        try:
+            city_payloads = payload["cities"]
+            order = payload.get("city_order") or list(city_payloads)
+            cities: "OrderedDict[str, UrbanRegionGraph]" = OrderedDict(
+                (str(name), graph_from_payload(city_payloads[name]))
+                for name in order)
+            ops = []
+            for entry in payload["ops"]:
+                delta = None
+                if entry.get("delta") is not None:
+                    delta = delta_from_payload(entry["delta"])
+                ops.append(WorkloadOp(str(entry["op"]), str(entry["city"]),
+                                      delta))
+        except ValueError:
+            raise
+        except Exception as error:
+            raise ValueError(f"malformed json trace payload: {error}") from error
+        return WorkloadTrace(cities=cities, ops=ops,
+                             seed=int(payload.get("seed", 0)),
+                             name=str(payload.get("name", "workload")),
+                             meta=dict(payload.get("meta") or {}))
+    raise ValueError(f"unknown trace encoding {encoding!r}")
+
+
+def save_trace(trace: WorkloadTrace, path) -> str:
+    """Record a trace to disk (npz archive); returns the path written."""
+    data = trace_to_bytes(trace)
+    with open(path, "wb") as handle:
+        handle.write(data)
+    return str(path)
+
+
+def load_trace(path) -> WorkloadTrace:
+    """Load a trace recorded by :func:`save_trace`."""
+    with open(path, "rb") as handle:
+        return trace_from_bytes(handle.read())
+
+
+# ----------------------------------------------------------------------
+# replay
+# ----------------------------------------------------------------------
+@dataclass
+class ReplayResult:
+    """The score trajectory one backend produced for one trace."""
+
+    trace_name: str
+    #: initial score vector per city (float64), from the opening rescore
+    opening_scores: "OrderedDict[str, np.ndarray]"
+    #: one entry per op: the float64 score vector for score/update ops,
+    #: None for evict ops (and updates replayed with rescore=False)
+    scores: List[Optional[np.ndarray]]
+    op_kinds: List[str]
+    elapsed_s: float
+    #: backend stats snapshot taken right after the last op
+    stats: Optional[Dict[str, object]] = None
+
+    @property
+    def completed_ops(self) -> int:
+        return len(self.scores)
+
+    @property
+    def ops_per_second(self) -> float:
+        return self.completed_ops / self.elapsed_s if self.elapsed_s else 0.0
+
+    def summary(self) -> Dict[str, object]:
+        return {"trace": self.trace_name, "ops": self.completed_ops,
+                "cities": len(self.opening_scores),
+                "elapsed_s": round(self.elapsed_s, 3),
+                "ops_per_second": round(self.ops_per_second, 2)}
+
+
+def replay_trace(trace: WorkloadTrace, backend,
+                 rescore_updates: bool = True,
+                 open_options: Optional[Dict[str, object]] = None,
+                 collect_stats: bool = True) -> ReplayResult:
+    """Drive ``trace`` against ``backend`` and collect the score trajectory.
+
+    ``backend`` is anything speaking the
+    :class:`~repro.serve.fleet.ShardBackend` stream protocol — a single
+    :class:`~repro.serve.fleet.EngineShard` (the oracle), a
+    :class:`~repro.serve.fleet.RemoteShard`, or a whole
+    :class:`~repro.serve.fleet.FleetRouter`.  Every city is opened first
+    (with an eager rescore, so the opening scores are comparable too),
+    then the ops run strictly in trace order.
+    """
+    start = time.perf_counter()
+    opening: "OrderedDict[str, np.ndarray]" = OrderedDict()
+    for name, graph in trace.cities.items():
+        payload = backend.open_stream(name, graph, rescore=True,
+                                      **(open_options or {}))
+        opening[name] = np.asarray(payload["score"]["probabilities"],
+                                   dtype=np.float64)
+    scores: List[Optional[np.ndarray]] = []
+    for op in trace.ops:
+        if op.op == "score":
+            payload = backend.score_stream(op.city)
+            scores.append(np.asarray(payload["probabilities"],
+                                     dtype=np.float64))
+        elif op.op == "update":
+            payload = backend.update_stream(op.city, op.delta,
+                                            rescore=rescore_updates)
+            if rescore_updates:
+                scores.append(np.asarray(payload["score"]["probabilities"],
+                                         dtype=np.float64))
+            else:
+                scores.append(None)
+        else:  # evict — WorkloadOp validated the kind already
+            backend.evict_stream(op.city)
+            scores.append(None)
+    elapsed = time.perf_counter() - start
+    stats = None
+    if collect_stats:
+        try:
+            stats = backend.stats()
+        except Exception:
+            stats = None
+    return ReplayResult(trace_name=trace.name, opening_scores=opening,
+                        scores=scores, op_kinds=[op.op for op in trace.ops],
+                        elapsed_s=elapsed, stats=stats)
+
+
+def replays_identical(a: ReplayResult, b: ReplayResult) -> Tuple[bool, float]:
+    """Compare two replays of the *same* trace.
+
+    Returns ``(bit_identical, max_abs_difference)`` across the opening
+    scores and every per-op score vector.  Misaligned replays (different
+    op counts, different cities, a score where the other has None) raise
+    ``ValueError`` — that is a harness bug, not a numeric difference.
+    """
+    if list(a.opening_scores) != list(b.opening_scores):
+        raise ValueError("replays opened different city sets: "
+                         f"{list(a.opening_scores)} vs {list(b.opening_scores)}")
+    if a.op_kinds != b.op_kinds or len(a.scores) != len(b.scores):
+        raise ValueError("replays ran different op sequences — are they "
+                         "from the same trace?")
+    identical = True
+    max_diff = 0.0
+
+    def compare(left: np.ndarray, right: np.ndarray, label: str) -> None:
+        nonlocal identical, max_diff
+        if left.shape != right.shape:
+            raise ValueError(f"{label}: score shapes differ "
+                             f"({left.shape} vs {right.shape})")
+        if not np.array_equal(left, right):
+            identical = False
+            max_diff = max(max_diff, float(np.max(np.abs(left - right))))
+
+    for name in a.opening_scores:
+        compare(a.opening_scores[name], b.opening_scores[name],
+                f"opening[{name}]")
+    for i, (left, right) in enumerate(zip(a.scores, b.scores)):
+        if (left is None) != (right is None):
+            raise ValueError(f"op {i}: one replay scored, the other did not")
+        if left is not None:
+            compare(left, right, f"op[{i}]")
+    return identical, max_diff

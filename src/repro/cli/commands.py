@@ -25,9 +25,12 @@ from ..eval.reporting import TABLE2_HEADERS, format_table, table2_rows
 from ..experiments import (run_fig5a, run_fig5b, run_fig6a, run_fig6b, run_fig6c,
                            run_fig7, run_table1, run_table2, run_table3)
 from ..analysis import score_drift_report
+from ..bench import (WorkloadConfig, derive_cities, generate_workload,
+                     load_trace, replay_trace, replays_identical, save_trace)
 from ..nn.graphops import plan_cache_info
-from ..serve import (InferenceEngine, ModelRegistry, ScoringClient,
-                     ScoringServer, read_manifest, save_bundle)
+from ..serve import (ChaosShard, EngineShard, FleetRouter, InferenceEngine,
+                     ModelRegistry, RemoteShard, ScoringClient, ScoringServer,
+                     read_manifest, save_bundle)
 from ..stream import StreamingScorer
 from ..synth import (EvolutionConfig, generate_city, generate_evolution,
                      get_preset)
@@ -226,8 +229,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
             f"cannot bind {args.host}:{args.port}: {error}") from error
     print(f"serving {len(registry.models())} model(s) from {args.registry} "
           f"at {server.url}")
-    print("endpoints: GET /healthz  GET /models  GET /streams  GET /stats  "
-          "POST /score  POST /update  (Ctrl-C to stop)")
+    print("endpoints: GET /healthz /models /models/<name> /streams /stats  "
+          "POST /score /update /evict  (Ctrl-C to stop)")
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -348,6 +351,129 @@ def cmd_stream(args: argparse.Namespace) -> int:
             json.dump(payload, handle, indent=2)
         print(f"wrote drift report to {args.json}")
     return 0
+
+
+def cmd_workload(args: argparse.Namespace) -> int:
+    """Generate and record a deterministic workload trace."""
+    graph = _load_or_build_graph(args)
+    cities = derive_cities(graph, args.cities, seed=args.workload_seed)
+    scenarios = tuple(name.strip() for name in args.scenarios.split(",")
+                      if name.strip())
+    overrides = {"scenarios": scenarios} if scenarios else {}
+    config = WorkloadConfig(ops=args.ops, seed=args.workload_seed,
+                            score_weight=args.score_weight,
+                            update_weight=args.update_weight,
+                            evict_weight=args.evict_weight, **overrides)
+    trace = generate_workload(cities, config)
+    path = save_trace(trace, args.output)
+    summary = trace.summary()
+    print(f"recorded trace '{trace.name}' to {path}")
+    print("  cities: %(cities)d, ops: %(ops)d "
+          "(score %(score)d / update %(update)d / evict %(evict)d)" % summary)
+    for name, city in cities.items():
+        print(f"  {name}: {city.num_nodes} regions, "
+              f"routing key {city.structural_fingerprint()[:12]}")
+    return 0
+
+
+def _build_fleet(args: argparse.Namespace,
+                 registry: ModelRegistry) -> FleetRouter:
+    urls = [url.strip() for url in (args.urls or "").split(",")
+            if url.strip()]
+    shards = []
+    for i in range(args.shards):
+        if urls:
+            shard = RemoteShard(urls[i % len(urls)], args.model,
+                                version=args.version, shard_id=f"shard-{i}")
+        else:
+            engine = InferenceEngine.from_bundle(
+                registry.resolve(args.model, args.version),
+                cache_size=args.cache_size)
+            shard = EngineShard(engine, shard_id=f"shard-{i}")
+        if args.kill_shard is not None and args.kill_shard == i:
+            shard = ChaosShard(shard, fail_after=args.kill_after)
+        shards.append(shard)
+    return FleetRouter(shards, replication=args.replication)
+
+
+def cmd_fleet(args: argparse.Namespace) -> int:
+    """Replay a workload trace against a sharded fleet and report stats."""
+    if args.kill_shard is not None:
+        if args.replication < 2:
+            raise ValueError("--kill-shard needs --replication >= 2, "
+                             "otherwise the killed shard has no failover "
+                             "replica")
+        if not 0 <= args.kill_shard < args.shards:
+            raise ValueError(f"--kill-shard {args.kill_shard} is out of "
+                             f"range for {args.shards} shard(s)")
+    registry = ModelRegistry(args.registry)
+    if args.trace:
+        trace = load_trace(args.trace)
+    else:
+        graph = _load_or_build_graph(args)
+        cities = derive_cities(graph, max(2, min(args.shards, 3)),
+                               seed=args.workload_seed)
+        trace = generate_workload(cities, WorkloadConfig(
+            ops=args.ops, seed=args.workload_seed))
+    summary = trace.summary()
+    print(f"replaying trace '{trace.name}': %(cities)d cities, %(ops)d ops "
+          "(score %(score)d / update %(update)d / evict %(evict)d) "
+          % summary + f"against {args.shards} shard(s), "
+          f"replication {args.replication}")
+
+    fleet = _build_fleet(args, registry)
+    # per-open option rather than a shard default, so the incremental
+    # policy reaches remote shards (server-side streams) as well as
+    # in-process ones — and the oracle replays under the same policy
+    open_options = {"incremental": args.incremental}
+    # fleet.stats() runs below anyway — don't aggregate (and, with remote
+    # shards, round-trip /stats) twice
+    result = replay_trace(trace, fleet, open_options=open_options,
+                          collect_stats=False)
+    print(f"completed {result.completed_ops}/{len(trace)} ops in "
+          f"{result.elapsed_s:.2f}s ({result.ops_per_second:.1f} ops/s)")
+    stats = fleet.stats()
+    fleet_counters = stats["fleet"]
+    totals = stats["totals"]
+    print("fleet: " + ", ".join(
+        f"{key}={fleet_counters[key]}"
+        for key in ("requests", "failovers", "shard_failures",
+                    "reopened_streams", "no_replica_errors")))
+    print("totals: cache hits=%(hits)d misses=%(misses)d "
+          "(hit rate %(hit_rate).2f)" % totals["cache"]
+          + f", cold_computes={totals['cold_computes']}"
+          + f", stampedes_avoided={totals['stampedes_avoided']}")
+    counters = totals["stream_counters"]
+    if counters:
+        print("streams: " + ", ".join(
+            f"{key}={value}" for key, value in sorted(counters.items())))
+    for entry in stats["shards"]:
+        cache = (entry.get("engine") or {}).get("cache", {})
+        print(f"  shard {entry['shard']}: "
+              f"{'healthy' if entry['healthy'] else 'DOWN'}, "
+              f"{len(entry.get('streams', []))} stream(s), "
+              f"{cache.get('hits', 0)} hits / {cache.get('misses', 0)} misses")
+
+    exit_code = 0
+    if args.verify_single:
+        oracle = EngineShard(
+            InferenceEngine.from_bundle(
+                registry.resolve(args.model, args.version)),
+            shard_id="oracle")
+        oracle_result = replay_trace(trace, oracle, collect_stats=False,
+                                     open_options=open_options)
+        identical, max_diff = replays_identical(oracle_result, result)
+        print(f"scores bit-identical to single-engine oracle: "
+              f"{'yes' if identical else 'NO'} (max |diff| {max_diff:.3e})")
+        if not identical:
+            exit_code = 1
+    if args.json:
+        payload = {"trace": summary, "replay": result.summary(),
+                   "stats": stats}
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, default=str)
+        print(f"wrote fleet report to {args.json}")
+    return exit_code
 
 
 def cmd_registry(args: argparse.Namespace) -> int:

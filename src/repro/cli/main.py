@@ -7,6 +7,7 @@ import sys
 from typing import List, Optional, Sequence
 
 from ..serve.client import ScoringServiceError
+from ..serve.fleet import FleetError
 from . import commands
 
 
@@ -220,6 +221,87 @@ def build_parser() -> argparse.ArgumentParser:
     stream.set_defaults(handler=commands.cmd_stream)
 
     # ------------------------------------------------------------------
+    # workload
+    # ------------------------------------------------------------------
+    workload = subparsers.add_parser(
+        "workload", help="generate and record a deterministic mixed "
+                         "score/update/evict workload trace")
+    workload_source = workload.add_mutually_exclusive_group(required=True)
+    workload_source.add_argument("--preset", help="build the base graph "
+                                                  "from this preset")
+    workload_source.add_argument("--graph", help="previously built graph (.npz)")
+    workload.add_argument("--seed", type=int, default=None,
+                          help="override the preset seed")
+    workload.add_argument("--cities", type=int, default=2,
+                          help="number of city variants derived from the "
+                               "base graph (distinct routing keys)")
+    workload.add_argument("--ops", type=int, default=32,
+                          help="number of ops in the trace")
+    workload.add_argument("--workload-seed", type=int, default=0,
+                          help="seed of the workload generator")
+    workload.add_argument("--score-weight", type=float, default=0.6)
+    workload.add_argument("--update-weight", type=float, default=0.3)
+    workload.add_argument("--evict-weight", type=float, default=0.1)
+    workload.add_argument("--scenarios", default="",
+                          help="comma-separated delta scenario kinds for "
+                               "the update ops (default: all)")
+    workload.add_argument("--output", required=True,
+                          help="record the trace to this .npz path")
+    workload.set_defaults(handler=commands.cmd_workload)
+
+    # ------------------------------------------------------------------
+    # fleet
+    # ------------------------------------------------------------------
+    fleet = subparsers.add_parser(
+        "fleet", help="replay a workload trace against a sharded "
+                      "multi-engine fleet with failover")
+    fleet.add_argument("--registry", required=True,
+                       help="model-registry root with published bundles")
+    fleet.add_argument("--model", required=True, help="published model name")
+    fleet.add_argument("--version", default=None, help="model version (latest)")
+    fleet.add_argument("--shards", type=int, default=2,
+                       help="number of shard workers")
+    fleet.add_argument("--replication", type=int, default=2,
+                       help="replica-set size per city (1 disables failover)")
+    fleet.add_argument("--cache-size", type=int, default=32,
+                       help="LRU capacity of each shard engine's result "
+                            "cache (in-process shards only; remote shards "
+                            "use their server's setting)")
+    fleet.add_argument("--incremental", default="auto",
+                       choices=("auto", "always", "never"),
+                       help="delta-localised rescoring policy of the "
+                            "per-shard streams")
+    fleet.add_argument("--urls", default=None,
+                       help="comma-separated scoring-service URLs: use "
+                            "remote shards against running servers instead "
+                            "of in-process engines")
+    fleet_trace = fleet.add_mutually_exclusive_group(required=True)
+    fleet_trace.add_argument("--trace", help="replay this recorded trace "
+                                             "(see 'repro-uv workload')")
+    fleet_trace.add_argument("--preset", help="generate an ad-hoc workload "
+                                              "from this preset")
+    fleet_trace.add_argument("--graph", help="generate an ad-hoc workload "
+                                             "from this graph (.npz)")
+    fleet.add_argument("--seed", type=int, default=None,
+                       help="override the preset seed")
+    fleet.add_argument("--ops", type=int, default=32,
+                       help="ops of the ad-hoc workload (no --trace)")
+    fleet.add_argument("--workload-seed", type=int, default=0,
+                       help="seed of the ad-hoc workload (no --trace)")
+    fleet.add_argument("--kill-shard", type=int, default=None,
+                       help="chaos demo: wrap this shard index so it starts "
+                            "failing mid-replay (needs replication >= 2)")
+    fleet.add_argument("--kill-after", type=int, default=5,
+                       help="delegated calls before the killed shard fails")
+    fleet.add_argument("--verify-single", action="store_true",
+                       help="also replay on a single-engine oracle and "
+                            "verify the fleet's scores are bit-identical "
+                            "(exit 1 on mismatch)")
+    fleet.add_argument("--json", default=None,
+                       help="write the replay report to this JSON path")
+    fleet.set_defaults(handler=commands.cmd_fleet)
+
+    # ------------------------------------------------------------------
     # score
     # ------------------------------------------------------------------
     score = subparsers.add_parser(
@@ -251,9 +333,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     try:
         return int(args.handler(args) or 0)
     except (ValueError, KeyError, FileNotFoundError) as error:
-        print(f"error: {error}", file=sys.stderr)
+        # str(KeyError(msg)) is the repr of msg — unwrap so registry
+        # lookups don't print their message wrapped in stray quotes
+        message = (error.args[0] if isinstance(error, KeyError) and error.args
+                   else error)
+        print(f"error: {message}", file=sys.stderr)
         return 2
-    except ScoringServiceError as error:
+    except (ScoringServiceError, FleetError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 3
 

@@ -18,15 +18,24 @@ fitted detector, then score many cities fast:
   deltas and scores over HTTP;
 * :mod:`repro.serve.server` / :mod:`repro.serve.client` — a stdlib-only
   HTTP scoring service (``/healthz``, ``/models``, ``/streams``,
-  ``/score``, ``/update``) and its matching client; the ``/update`` route
-  backs the streaming layer (:mod:`repro.stream`) so evolving cities are
-  rescored from incremental deltas instead of full re-uploads.
+  ``/score``, ``/update``, ``/evict``) and its matching client; the
+  ``/update`` route backs the streaming layer (:mod:`repro.stream`) so
+  evolving cities are rescored from incremental deltas instead of full
+  re-uploads;
+* :mod:`repro.serve.fleet` — horizontal scale: a consistent-hash
+  :class:`FleetRouter` spreading cities across N shard workers
+  (:class:`EngineShard` in-process, :class:`RemoteShard` over HTTP) with
+  replication, health checks and lossless failover, paired with the
+  deterministic workload traces in :mod:`repro.bench.workload`.
 """
 
 from .bundle import (BundleManifest, ModelBundle, load_bundle, read_manifest,
                      save_bundle)
 from .client import ScoringClient
 from .engine import CacheStats, InferenceEngine, ScoreResult
+from .fleet import (ChaosShard, ConsistentHashRing, EngineShard, FleetError,
+                    FleetRouter, FleetStats, RemoteShard, ShardBackend,
+                    ShardFailure)
 from .registry import ModelRegistry
 from .server import ScoringServer
 
@@ -42,4 +51,13 @@ __all__ = [
     "ScoreResult",
     "ScoringServer",
     "ScoringClient",
+    "ConsistentHashRing",
+    "ShardBackend",
+    "EngineShard",
+    "RemoteShard",
+    "ChaosShard",
+    "FleetRouter",
+    "FleetStats",
+    "FleetError",
+    "ShardFailure",
 ]

@@ -14,6 +14,7 @@ from __future__ import annotations
 import json
 import time
 import urllib.error
+import urllib.parse
 import urllib.request
 from typing import Dict, Optional, Sequence
 
@@ -74,6 +75,18 @@ class ScoringClient:
         """Every published model with manifest summary and cache stats."""
         return self._request("/models")
 
+    def model_info(self, model: str,
+                   version: Optional[str] = None) -> Dict[str, object]:
+        """Manifest summary of one model (``GET /models/<name>``).
+
+        The fleet layer's health-check probe: cheap (no bundle load) and
+        a clean 404 for unknown models/versions.
+        """
+        path = "/models/" + urllib.parse.quote(str(model), safe="")
+        if version is not None:
+            path += "?version=" + urllib.parse.quote(str(version), safe="")
+        return self._request(path)
+
     def stats(self) -> Dict[str, object]:
         """Serving-wide performance counters (``GET /stats``).
 
@@ -113,6 +126,28 @@ class ScoringClient:
         """Like :meth:`score` but return just the probabilities as an array."""
         payload = self.score(graph, model, **kwargs)
         return np.asarray(payload["probabilities"], dtype=np.float64)
+
+    def score_stream(self, stream: str,
+                     regions: Optional[Sequence[int]] = None,
+                     top_percent: Optional[float] = None,
+                     threshold: Optional[float] = None) -> Dict[str, object]:
+        """Score the current version of an open stream (no graph upload).
+
+        The fleet shard hot path: after :meth:`open_stream` the graph
+        lives server-side, so repeat scoring ships only the stream name.
+        """
+        body: Dict[str, object] = {"stream": stream}
+        if regions is not None:
+            body["regions"] = [int(i) for i in regions]
+        if top_percent is not None:
+            body["top_percent"] = float(top_percent)
+        if threshold is not None:
+            body["threshold"] = float(threshold)
+        return self._request("/score", body)
+
+    def evict_stream(self, stream: str) -> Dict[str, object]:
+        """Drop a stream's current version from the server-side caches."""
+        return self._request("/evict", {"stream": stream})
 
     # ------------------------------------------------------------------
     # streaming

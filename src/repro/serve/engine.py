@@ -311,6 +311,17 @@ class InferenceEngine:
         """
         return self._predict_lock
 
+    def stats_summary(self) -> Dict[str, object]:
+        """The engine's performance counters as one JSON-shaped dict.
+
+        Shared by the server's ``/stats`` endpoint and the fleet layer's
+        per-shard aggregation, so both report the same fields.
+        """
+        return {"cache": self.cache_stats.to_dict(),
+                "cached_graphs": self.cache_len,
+                "cold_computes": self.cold_computes,
+                "stampedes_avoided": self.stampedes_avoided}
+
     def warm(self, graph: UrbanRegionGraph) -> str:
         """Pre-populate the cache for ``graph``; returns its fingerprint."""
         self._check_dimensions(graph)

@@ -1,0 +1,917 @@
+"""Fleet-scale serving: a sharded multi-engine router with failover.
+
+A single :class:`~repro.serve.engine.InferenceEngine` (or one
+:class:`~repro.serve.server.ScoringServer` process) caps out at one
+machine's cores and one LRU cache.  This module scales the serving layer
+*horizontally*:
+
+* :class:`ConsistentHashRing` — deterministic consistent hashing with
+  virtual nodes; cities map to shards by routing key, and adding or
+  removing a shard only moves the keys that shard owned (~K/N of them),
+  so fleet resizes do not flush every cache in the fleet;
+* :class:`ShardBackend` — the protocol one shard worker speaks
+  (stream-oriented: ``open_stream`` / ``score_stream`` / ``update_stream``
+  / ``evict_stream`` plus ``healthz`` / ``stats``), with two
+  implementations: :class:`EngineShard` (in-process, wraps an
+  ``InferenceEngine`` + per-stream :class:`~repro.stream.scorer.StreamingScorer`)
+  and :class:`RemoteShard` (a :class:`~repro.serve.client.ScoringClient`
+  against a running ``ScoringServer``);
+* :class:`FleetRouter` — routes each city to the first healthy shard of
+  its replica set (the ``replication`` first distinct shards on the ring,
+  keyed by :meth:`~repro.urg.graph.UrbanRegionGraph.structural_fingerprint`
+  at open time), keeps the *authoritative* current graph version per city,
+  and on shard failure re-materialises the stream on the next replica and
+  retries the request — no request is lost, and because scoring is
+  deterministic the failover replica returns bit-identical float64 scores;
+* :class:`ChaosShard` — a fault-injection wrapper used by the chaos tests
+  and the ``repro-uv fleet --kill-shard`` demo.
+
+The router exposes the *same* stream-facing protocol as a single shard,
+so the workload replayer (:mod:`repro.bench.workload`) can drive a
+one-shard oracle and an N-shard fleet with identical code and assert the
+score trajectories bit-identical.
+
+Failure semantics: a backend call that raises :class:`ShardFailure`,
+``TimeoutError`` / ``ConnectionError`` / ``OSError``, or a
+:class:`~repro.serve.client.ScoringServiceError` with status 0 (transport)
+or >= 500 marks the shard down and triggers failover.  Client errors
+(``ValueError``, 400/404 responses) propagate to the caller unchanged —
+a malformed delta must not poison a healthy shard's standing.  Down
+shards are revived by :meth:`FleetRouter.health` once they answer their
+health check again.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import itertools
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..stream.delta import GraphDelta
+from ..stream.scorer import StreamingScorer
+from ..urg.graph import UrbanRegionGraph
+from .client import ScoringClient, ScoringServiceError
+from .engine import InferenceEngine
+
+__all__ = [
+    "ConsistentHashRing",
+    "ShardBackend",
+    "EngineShard",
+    "RemoteShard",
+    "ChaosShard",
+    "FleetRouter",
+    "FleetStats",
+    "FleetError",
+    "ShardFailure",
+    "is_shard_failure",
+]
+
+
+class ShardFailure(RuntimeError):
+    """A shard-level fault (process gone, injected failure, timeout)."""
+
+
+class FleetError(RuntimeError):
+    """No healthy replica was able to serve a request."""
+
+
+def is_shard_failure(error: BaseException) -> bool:
+    """Whether ``error`` means the *shard* is broken (vs. the request).
+
+    Shard-fatal: :class:`ShardFailure`, timeouts, connection/OS errors and
+    transport-level or 5xx :class:`ScoringServiceError`.  Everything else
+    (``ValueError`` on a malformed delta, a 400/404 response) is a request
+    problem and must propagate to the caller without failover.
+    """
+    if isinstance(error, ShardFailure):
+        return True
+    if isinstance(error, (TimeoutError, ConnectionError, OSError)):
+        return True
+    if isinstance(error, ScoringServiceError):
+        return error.status == 0 or error.status >= 500
+    return False
+
+
+# ----------------------------------------------------------------------
+# consistent hashing
+# ----------------------------------------------------------------------
+def _hash64(data: str) -> int:
+    """Stable 64-bit hash (``hash()`` is salted per process — useless for
+    routing that must agree across processes and runs)."""
+    return int.from_bytes(hashlib.sha256(data.encode("utf-8")).digest()[:8],
+                          "big")
+
+
+class ConsistentHashRing:
+    """Consistent hashing with virtual nodes.
+
+    Each shard owns ``vnodes`` points on a 64-bit ring; a key is served by
+    the first ``count`` distinct shards clockwise from its own hash.  The
+    classic guarantee holds: removing a shard only reassigns keys that
+    shard owned, adding one only steals keys for the new shard — on
+    average ``K/N`` of them.  Hashes are SHA-256 based, so assignment is
+    identical across processes, platforms and runs.
+    """
+
+    def __init__(self, shard_ids: Sequence[str] = (), vnodes: int = 64) -> None:
+        if vnodes < 1:
+            raise ValueError("vnodes must be >= 1")
+        self.vnodes = int(vnodes)
+        self._points: List[tuple] = []  # sorted (hash, shard_id)
+        self._shards: set = set()
+        for shard_id in shard_ids:
+            self.add(shard_id)
+
+    def __len__(self) -> int:
+        return len(self._shards)
+
+    def __contains__(self, shard_id: str) -> bool:
+        return shard_id in self._shards
+
+    @property
+    def shards(self) -> List[str]:
+        return sorted(self._shards)
+
+    def add(self, shard_id: str) -> None:
+        if not shard_id or not isinstance(shard_id, str):
+            raise ValueError(f"shard id must be a non-empty string, got "
+                             f"{shard_id!r}")
+        if shard_id in self._shards:
+            raise ValueError(f"shard {shard_id!r} is already on the ring")
+        self._shards.add(shard_id)
+        for i in range(self.vnodes):
+            point = (_hash64(f"shard:{shard_id}#{i}"), shard_id)
+            bisect.insort(self._points, point)
+
+    def remove(self, shard_id: str) -> None:
+        if shard_id not in self._shards:
+            raise ValueError(f"shard {shard_id!r} is not on the ring")
+        self._shards.discard(shard_id)
+        self._points = [p for p in self._points if p[1] != shard_id]
+
+    def assign(self, key: str, count: int = 1) -> List[str]:
+        """The first ``count`` distinct shards clockwise from ``key``.
+
+        ``count`` is clamped to the shard population; the first element is
+        the key's primary owner and stays stable as ``count`` grows.
+        """
+        if not self._shards:
+            raise ValueError("cannot route on an empty ring")
+        count = max(1, min(int(count), len(self._shards)))
+        # (h,) sorts before (h, shard), so bisect_left finds the first
+        # point with hash >= h
+        start = bisect.bisect_left(self._points, (_hash64(f"key:{key}"),))
+        chosen: List[str] = []
+        for step in range(len(self._points)):
+            shard_id = self._points[(start + step) % len(self._points)][1]
+            if shard_id not in chosen:
+                chosen.append(shard_id)
+                if len(chosen) == count:
+                    break
+        return chosen
+
+
+# ----------------------------------------------------------------------
+# shard backends
+# ----------------------------------------------------------------------
+_SHARD_COUNTER = itertools.count()
+
+
+class ShardBackend:
+    """The stream-oriented protocol one fleet shard speaks.
+
+    Every method returns a JSON-shaped ``dict`` (the same payloads the
+    HTTP server produces), so in-process and remote shards — and the
+    :class:`FleetRouter` itself, which re-exposes this protocol — are
+    interchangeable to callers like the workload replayer.
+    """
+
+    shard_id: str
+
+    def open_stream(self, name: str, graph: UrbanRegionGraph,
+                    rescore: bool = True, **options) -> Dict[str, object]:
+        raise NotImplementedError
+
+    def score_stream(self, name: str, regions=None,
+                     top_percent=None) -> Dict[str, object]:
+        raise NotImplementedError
+
+    def update_stream(self, name: str, delta: GraphDelta, rescore: bool = True,
+                      regions=None, top_percent=None) -> Dict[str, object]:
+        raise NotImplementedError
+
+    def evict_stream(self, name: str) -> Dict[str, object]:
+        raise NotImplementedError
+
+    def healthz(self) -> Dict[str, object]:
+        raise NotImplementedError
+
+    def stats(self) -> Dict[str, object]:
+        """Per-shard counters, normalised to
+        ``{"shard", "engine": {...}, "streams": [...]}``."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release per-shard resources (idempotent)."""
+
+
+class EngineShard(ShardBackend):
+    """An in-process shard: one engine plus its named update streams.
+
+    ``stream_defaults`` (e.g. ``incremental="always"``,
+    ``fingerprints="content"``) apply to every stream opened on this
+    shard; per-open options override them.
+    """
+
+    def __init__(self, engine: InferenceEngine, shard_id: Optional[str] = None,
+                 **stream_defaults) -> None:
+        self.engine = engine
+        self.shard_id = shard_id or f"engine-shard-{next(_SHARD_COUNTER)}"
+        self._stream_defaults = dict(stream_defaults)
+        self._streams: Dict[str, StreamingScorer] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def _scorer(self, name: str) -> StreamingScorer:
+        with self._lock:
+            scorer = self._streams.get(name)
+        if scorer is None:
+            raise KeyError(f"shard {self.shard_id!r} has no open stream "
+                           f"{name!r}")
+        return scorer
+
+    def open_stream(self, name: str, graph: UrbanRegionGraph,
+                    rescore: bool = True, **options) -> Dict[str, object]:
+        merged = {**self._stream_defaults, **options}
+        scorer = StreamingScorer(self.engine, graph, warm=bool(rescore),
+                                 **merged)
+        with self._lock:
+            self._streams[name] = scorer
+        payload: Dict[str, object] = {"stream": name, "opened": True,
+                                      "shard": self.shard_id}
+        payload.update(scorer.describe())
+        if rescore:
+            payload["score"] = scorer.score().to_dict()
+        return payload
+
+    def score_stream(self, name: str, regions=None,
+                     top_percent=None) -> Dict[str, object]:
+        result = self._scorer(name).score(regions=regions,
+                                          top_percent=top_percent)
+        payload = result.to_dict()
+        payload["stream"] = name
+        payload["shard"] = self.shard_id
+        return payload
+
+    def update_stream(self, name: str, delta: GraphDelta, rescore: bool = True,
+                      regions=None, top_percent=None) -> Dict[str, object]:
+        update = self._scorer(name).update(delta, rescore=rescore,
+                                           regions=regions,
+                                           top_percent=top_percent)
+        payload = update.to_dict()
+        payload["stream"] = name
+        payload["shard"] = self.shard_id
+        return payload
+
+    def evict_stream(self, name: str) -> Dict[str, object]:
+        fingerprint = self._scorer(name).evict()
+        return {"stream": name, "evicted": fingerprint,
+                "shard": self.shard_id}
+
+    def close_stream(self, name: str) -> None:
+        with self._lock:
+            self._streams.pop(name, None)
+
+    def healthz(self) -> Dict[str, object]:
+        with self._lock:
+            streams_open = len(self._streams)
+        return {"status": "ok", "shard": self.shard_id,
+                "streams_open": streams_open,
+                "model": self.engine.model_name,
+                "version": self.engine.model_version}
+
+    def stats(self) -> Dict[str, object]:
+        with self._lock:
+            streams = dict(self._streams)
+        return {
+            "shard": self.shard_id,
+            "engine": self.engine.stats_summary(),
+            "streams": [{"stream": name, "stats": scorer.stats.to_dict()}
+                        for name, scorer in sorted(streams.items())],
+        }
+
+    def close(self) -> None:
+        with self._lock:
+            self._streams.clear()
+
+
+#: stream options a RemoteShard can forward to the server's /update open
+_REMOTE_STREAM_OPTIONS = ("incremental", "incremental_cutoff", "fingerprints")
+
+
+class RemoteShard(ShardBackend):
+    """A shard living behind a running :class:`ScoringServer`.
+
+    Stream names are prefixed with the shard id by default, so several
+    remote shards pointing at the same server (tests, co-hosted fleets)
+    never collide in the server's stream namespace.  404 responses for a
+    stream the server does not know are translated to :class:`KeyError` —
+    the same signal an :class:`EngineShard` gives the router when a
+    restarted worker lost its streams.
+    """
+
+    def __init__(self, url_or_client, model: str,
+                 version: Optional[str] = None,
+                 shard_id: Optional[str] = None, timeout: float = 30.0,
+                 stream_prefix: Optional[str] = None) -> None:
+        if isinstance(url_or_client, ScoringClient):
+            self.client = url_or_client
+        else:
+            self.client = ScoringClient(str(url_or_client), timeout=timeout)
+        self.model = model
+        self.version = version
+        self.shard_id = shard_id or f"remote-shard-{next(_SHARD_COUNTER)}"
+        self.stream_prefix = (stream_prefix if stream_prefix is not None
+                              else f"{self.shard_id}/")
+
+    # ------------------------------------------------------------------
+    def _name(self, name: str) -> str:
+        return self.stream_prefix + name
+
+    @staticmethod
+    def _missing_stream_to_keyerror(error: ScoringServiceError):
+        if error.status == 404 and "unknown stream" in str(error):
+            raise KeyError(str(error)) from error
+        raise error
+
+    def open_stream(self, name: str, graph: UrbanRegionGraph,
+                    rescore: bool = True, **options) -> Dict[str, object]:
+        unknown = set(options) - set(_REMOTE_STREAM_OPTIONS)
+        if unknown:
+            raise ValueError(f"remote shards support stream options "
+                             f"{_REMOTE_STREAM_OPTIONS}, got {sorted(unknown)}")
+        payload = self.client.open_stream(self._name(name), graph,
+                                          model=self.model,
+                                          version=self.version,
+                                          rescore=rescore, **options)
+        payload["stream"] = name
+        payload["shard"] = self.shard_id
+        return payload
+
+    def score_stream(self, name: str, regions=None,
+                     top_percent=None) -> Dict[str, object]:
+        try:
+            payload = self.client.score_stream(self._name(name),
+                                               regions=regions,
+                                               top_percent=top_percent)
+        except ScoringServiceError as error:
+            self._missing_stream_to_keyerror(error)
+        payload["stream"] = name
+        payload["shard"] = self.shard_id
+        return payload
+
+    def update_stream(self, name: str, delta: GraphDelta, rescore: bool = True,
+                      regions=None, top_percent=None) -> Dict[str, object]:
+        try:
+            payload = self.client.update_stream(self._name(name), delta,
+                                                rescore=rescore,
+                                                regions=regions,
+                                                top_percent=top_percent)
+        except ScoringServiceError as error:
+            self._missing_stream_to_keyerror(error)
+        payload["stream"] = name
+        payload["shard"] = self.shard_id
+        return payload
+
+    def evict_stream(self, name: str) -> Dict[str, object]:
+        try:
+            payload = self.client.evict_stream(self._name(name))
+        except ScoringServiceError as error:
+            self._missing_stream_to_keyerror(error)
+        payload["stream"] = name
+        payload["shard"] = self.shard_id
+        return payload
+
+    def healthz(self) -> Dict[str, object]:
+        payload = dict(self.client.healthz())
+        # resolving the model exercises the registry: a misconfigured shard
+        # (wrong model/version) fails its health check with a clean 404
+        payload["model"] = self.client.model_info(self.model, self.version)
+        payload["shard"] = self.shard_id
+        return payload
+
+    def stats(self) -> Dict[str, object]:
+        # NB: two RemoteShards co-hosted on one server each report that
+        # server's engine entry, so a fleet aggregation double-counts the
+        # shared engine's cache counters; stream counters are filtered by
+        # this shard's prefix and stay exact.  Real deployments point each
+        # shard at its own server process.
+        raw = self.client.stats()
+        engine_entry: Dict[str, object] = {}
+        for entry in raw.get("engines", []):
+            if str(entry.get("model", "")).lower() != self.model.lower():
+                continue
+            if (self.version is not None
+                    and str(entry.get("version")) != str(self.version)):
+                continue
+            engine_entry = {
+                "cache": entry.get("cache", {}),
+                "cached_graphs": entry.get("cached_graphs", 0),
+                "cold_computes": entry.get("cold_computes", 0),
+                "stampedes_avoided": entry.get("stampedes_avoided", 0),
+            }
+            break
+        streams = [
+            # report under the fleet-side city name (prefix stripped)
+            {"stream": str(entry["stream"])[len(self.stream_prefix):],
+             "stats": entry.get("stats", {})}
+            for entry in raw.get("streams", [])
+            if str(entry.get("stream", "")).startswith(self.stream_prefix)
+        ]
+        return {"shard": self.shard_id, "engine": engine_entry,
+                "streams": streams}
+
+
+class ChaosShard(ShardBackend):
+    """Fault-injection wrapper: delegate to ``inner`` until told to fail.
+
+    Used by the chaos tests and ``repro-uv fleet --kill-shard``.  After
+    :meth:`fail` (or once ``fail_after`` delegated calls have happened)
+    every call — including the health check — raises
+    :class:`ShardFailure` until :meth:`recover`.
+    """
+
+    def __init__(self, inner: ShardBackend, fail_after: Optional[int] = None,
+                 error_factory=None) -> None:
+        self.inner = inner
+        self.shard_id = inner.shard_id
+        self.fail_after = fail_after
+        self.calls = 0
+        self.failed_calls = 0
+        self._failing = False
+        self._error_factory = error_factory or (
+            lambda: ShardFailure(f"injected failure on shard "
+                                 f"{self.shard_id!r}"))
+        self._lock = threading.Lock()
+
+    def fail(self) -> None:
+        with self._lock:
+            self._failing = True
+
+    def recover(self) -> None:
+        with self._lock:
+            self._failing = False
+            self.fail_after = None
+
+    @property
+    def failing(self) -> bool:
+        with self._lock:
+            return self._failing
+
+    def _gate(self) -> None:
+        with self._lock:
+            self.calls += 1
+            if (self.fail_after is not None
+                    and self.calls > self.fail_after):
+                self._failing = True
+            if self._failing:
+                self.failed_calls += 1
+                raise self._error_factory()
+
+    def open_stream(self, name, graph, rescore=True, **options):
+        self._gate()
+        return self.inner.open_stream(name, graph, rescore=rescore, **options)
+
+    def score_stream(self, name, regions=None, top_percent=None):
+        self._gate()
+        return self.inner.score_stream(name, regions=regions,
+                                       top_percent=top_percent)
+
+    def update_stream(self, name, delta, rescore=True, regions=None,
+                      top_percent=None):
+        self._gate()
+        return self.inner.update_stream(name, delta, rescore=rescore,
+                                        regions=regions,
+                                        top_percent=top_percent)
+
+    def evict_stream(self, name):
+        self._gate()
+        return self.inner.evict_stream(name)
+
+    def healthz(self):
+        self._gate()
+        return self.inner.healthz()
+
+    def stats(self):
+        # stats stay readable while failing: operators must be able to see
+        # a dead shard's last counters
+        return self.inner.stats()
+
+    def close(self):
+        self.inner.close()
+
+
+# ----------------------------------------------------------------------
+# the router
+# ----------------------------------------------------------------------
+@dataclass
+class FleetStats:
+    """Fleet-wide routing counters."""
+
+    opens: int = 0
+    score_requests: int = 0
+    update_requests: int = 0
+    evict_requests: int = 0
+    #: requests that succeeded on a replica after their shard failed
+    failovers: int = 0
+    #: individual backend calls that failed shard-fatally
+    shard_failures: int = 0
+    #: stream re-materialisations from the router's authoritative copy
+    reopened_streams: int = 0
+    #: requests that found no healthy replica at all
+    no_replica_errors: int = 0
+
+    @property
+    def requests(self) -> int:
+        return (self.opens + self.score_requests + self.update_requests
+                + self.evict_requests)
+
+    def to_dict(self) -> Dict[str, int]:
+        return {"opens": self.opens,
+                "score_requests": self.score_requests,
+                "update_requests": self.update_requests,
+                "evict_requests": self.evict_requests,
+                "requests": self.requests,
+                "failovers": self.failovers,
+                "shard_failures": self.shard_failures,
+                "reopened_streams": self.reopened_streams,
+                "no_replica_errors": self.no_replica_errors}
+
+
+@dataclass
+class _CityState:
+    """Router-side state of one open city stream."""
+
+    name: str
+    key: str                     # routing key (structural fp at open)
+    replicas: List[str]          # eligible shards, ring order
+    active: str                  # shard currently holding the stream
+    graph: UrbanRegionGraph      # authoritative current version
+    warm: bool
+    options: Dict[str, object]
+    version: int = 0
+    lock: threading.Lock = field(default_factory=threading.Lock)
+
+
+class FleetRouter(ShardBackend):
+    """Route cities across shard workers with replication and failover.
+
+    Parameters
+    ----------
+    backends:
+        The shard workers (unique ``shard_id`` each).
+    replication:
+        Size of each city's replica set: the first ``replication``
+        distinct shards on the ring are eligible to serve it.  ``1``
+        means no failover — a dead primary fails the request.
+    vnodes:
+        Virtual nodes per shard on the hash ring.
+
+    The router holds the authoritative current graph of every open city
+    (updated only after a shard accepted the delta), which is what makes
+    failover lossless: a replica that never saw the stream is opened from
+    that copy and the in-flight request retried there.  Scoring is
+    deterministic, so the replica's answers are bit-identical to the ones
+    the dead shard would have produced.
+    """
+
+    def __init__(self, backends: Sequence[ShardBackend],
+                 replication: int = 2, vnodes: int = 64,
+                 name: str = "fleet") -> None:
+        backends = list(backends)
+        if not backends:
+            raise ValueError("a fleet needs at least one shard backend")
+        ids = [backend.shard_id for backend in backends]
+        if len(set(ids)) != len(ids):
+            raise ValueError(f"shard ids must be unique, got {ids}")
+        if replication < 1:
+            raise ValueError("replication must be >= 1")
+        self.name = name
+        self.replication = int(replication)
+        self._backends: "OrderedDict[str, ShardBackend]" = OrderedDict(
+            (backend.shard_id, backend) for backend in backends)
+        self._ring = ConsistentHashRing(list(self._backends), vnodes=vnodes)
+        self._down: set = set()
+        self._cities: Dict[str, _CityState] = {}
+        self._lock = threading.Lock()
+        self.fleet_stats = FleetStats()
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def shard_id(self) -> str:  # ShardBackend protocol compatibility
+        return self.name
+
+    @property
+    def shards(self) -> List[str]:
+        return list(self._backends)
+
+    def backend(self, shard_id: str) -> ShardBackend:
+        return self._backends[shard_id]
+
+    def down_shards(self) -> List[str]:
+        with self._lock:
+            return sorted(self._down)
+
+    def route(self, key: str) -> List[str]:
+        """Replica set (ring order) for a routing key."""
+        return self._ring.assign(key, self.replication)
+
+    def cities(self) -> Dict[str, Dict[str, object]]:
+        with self._lock:
+            states = dict(self._cities)
+        return {name: {"routing_key": state.key,
+                       "replicas": list(state.replicas),
+                       "active": state.active,
+                       "version": state.version,
+                       "regions": state.graph.num_nodes}
+                for name, state in sorted(states.items())}
+
+    # ------------------------------------------------------------------
+    # health
+    # ------------------------------------------------------------------
+    def _note_failure(self, shard_id: str) -> None:
+        with self._lock:
+            self.fleet_stats.shard_failures += 1
+            self._down.add(shard_id)
+
+    def health(self) -> Dict[str, object]:
+        """Probe every shard; mark failures down, revive recoveries."""
+        report: Dict[str, object] = {}
+        for shard_id, backend in self._backends.items():
+            try:
+                payload = backend.healthz()
+            except Exception as error:  # any probe failure marks it down
+                with self._lock:
+                    self._down.add(shard_id)
+                report[shard_id] = {"healthy": False, "error": str(error)}
+                continue
+            with self._lock:
+                self._down.discard(shard_id)
+            entry = {"healthy": True}
+            if isinstance(payload, dict):
+                entry.update(payload)
+            report[shard_id] = entry
+        with self._lock:
+            down = sorted(self._down)
+        return {"shards": report,
+                "healthy": [sid for sid in self._backends if sid not in down],
+                "down": down}
+
+    def healthz(self) -> Dict[str, object]:
+        with self._lock:
+            down = sorted(self._down)
+            cities_open = len(self._cities)
+        healthy = len(self._backends) - len(down)
+        return {"status": "ok" if healthy else "down",
+                "shard": self.name,
+                "shards_total": len(self._backends),
+                "shards_healthy": healthy,
+                "down": down,
+                "cities_open": cities_open}
+
+    # ------------------------------------------------------------------
+    # stream protocol
+    # ------------------------------------------------------------------
+    def open_stream(self, name: str, graph: UrbanRegionGraph,
+                    rescore: bool = True, **options) -> Dict[str, object]:
+        """Open (or reset) a city stream on its primary shard."""
+        key = graph.structural_fingerprint()
+        replicas = self.route(key)
+        state = _CityState(name=name, key=key, replicas=replicas,
+                           active=replicas[0], graph=graph,
+                           warm=bool(rescore), options=dict(options))
+        last_error: Optional[BaseException] = None
+        for shard_id in replicas:
+            with self._lock:
+                if shard_id in self._down:
+                    continue
+            try:
+                payload = self._backends[shard_id].open_stream(
+                    name, graph, rescore=rescore, **options)
+            except Exception as error:
+                if not is_shard_failure(error):
+                    raise
+                last_error = error
+                self._note_failure(shard_id)
+                continue
+            state.active = shard_id
+            with self._lock:
+                self._cities[name] = state
+                self.fleet_stats.opens += 1
+            payload = dict(payload)
+            payload["shard"] = shard_id
+            payload["routing_key"] = key
+            payload["replicas"] = list(replicas)
+            return payload
+        with self._lock:
+            self.fleet_stats.no_replica_errors += 1
+        raise FleetError(f"no healthy replica could open city {name!r} "
+                         f"(replicas {replicas}): {last_error}")
+
+    def _city(self, name: str) -> _CityState:
+        with self._lock:
+            state = self._cities.get(name)
+        if state is None:
+            raise KeyError(f"fleet has no open city {name!r}; open it first "
+                           "with open_stream")
+        return state
+
+    def _materialise(self, backend: ShardBackend, state: _CityState) -> None:
+        """Open the stream on ``backend`` from the authoritative copy."""
+        backend.open_stream(state.name, state.graph, rescore=state.warm,
+                            **state.options)
+        with self._lock:
+            self.fleet_stats.reopened_streams += 1
+
+    def _dispatch(self, state: _CityState, call) -> Dict[str, object]:
+        """Run ``call(backend)`` with failover.  Caller holds ``state.lock``.
+
+        Candidates are the active shard first, then the remaining replicas
+        in ring order.  A replica that never saw the stream (or a shard
+        that restarted and lost it — surfacing as ``KeyError``) is
+        re-materialised from the router's authoritative graph before the
+        call is retried there.
+        """
+        order = [state.active] + [sid for sid in state.replicas
+                                  if sid != state.active]
+        last_error: Optional[BaseException] = None
+        for shard_id in order:
+            with self._lock:
+                if shard_id in self._down:
+                    continue
+            backend = self._backends[shard_id]
+            try:
+                if shard_id != state.active:
+                    self._materialise(backend, state)
+                try:
+                    payload = call(backend)
+                except KeyError:
+                    # alive but lost the stream: re-establish once, retry
+                    self._materialise(backend, state)
+                    payload = call(backend)
+            except Exception as error:
+                if not is_shard_failure(error):
+                    raise
+                last_error = error
+                self._note_failure(shard_id)
+                continue
+            if shard_id != state.active:
+                state.active = shard_id
+                with self._lock:
+                    self.fleet_stats.failovers += 1
+            return payload
+        with self._lock:
+            self.fleet_stats.no_replica_errors += 1
+            down = sorted(self._down)
+        raise FleetError(f"no healthy replica for city {state.name!r} "
+                         f"(replicas {state.replicas}, down {down}): "
+                         f"{last_error}")
+
+    def score_stream(self, name: str, regions=None,
+                     top_percent=None) -> Dict[str, object]:
+        state = self._city(name)
+
+        def call(backend: ShardBackend) -> Dict[str, object]:
+            return backend.score_stream(name, regions=regions,
+                                        top_percent=top_percent)
+
+        # fast path: no lock, straight to the active shard — concurrent
+        # scores of one city proceed in parallel (the scorer itself is
+        # thread-safe); any failure retries under the city lock
+        active = state.active
+        with self._lock:
+            active_down = active in self._down
+        if not active_down:
+            try:
+                payload = call(self._backends[active])
+                with self._lock:
+                    self.fleet_stats.score_requests += 1
+                return payload
+            except KeyError:
+                pass  # stream missing on the shard — slow path re-opens
+            except Exception as error:
+                if not is_shard_failure(error):
+                    raise
+                self._note_failure(active)
+        with state.lock:
+            payload = self._dispatch(state, call)
+        with self._lock:
+            self.fleet_stats.score_requests += 1
+        return payload
+
+    def update_stream(self, name: str, delta: GraphDelta, rescore: bool = True,
+                      regions=None, top_percent=None) -> Dict[str, object]:
+        state = self._city(name)
+
+        def call(backend: ShardBackend) -> Dict[str, object]:
+            return backend.update_stream(name, delta, rescore=rescore,
+                                         regions=regions,
+                                         top_percent=top_percent)
+
+        with state.lock:
+            payload = self._dispatch(state, call)
+            # advance the authoritative copy only after a shard accepted
+            # the delta; the shard validated this exact transition against
+            # an identical graph, so re-validation here would be pure cost
+            state.graph = delta.apply(state.graph, validate=False)
+            state.version += 1
+        with self._lock:
+            self.fleet_stats.update_requests += 1
+        return payload
+
+    def evict_stream(self, name: str) -> Dict[str, object]:
+        state = self._city(name)
+
+        def call(backend: ShardBackend) -> Dict[str, object]:
+            return backend.evict_stream(name)
+
+        with state.lock:
+            payload = self._dispatch(state, call)
+        with self._lock:
+            self.fleet_stats.evict_requests += 1
+        return payload
+
+    # ------------------------------------------------------------------
+    # aggregation
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        """Fleet-wide ``/stats``: routing counters, per-shard entries and
+        counter totals summed across every shard."""
+        with self._lock:
+            down = sorted(self._down)
+            fleet = self.fleet_stats.to_dict()
+        totals: Dict[str, object] = {
+            "cache": {"hits": 0, "misses": 0, "evictions": 0},
+            "cold_computes": 0,
+            "stampedes_avoided": 0,
+            "streams_open": 0,
+            "stream_counters": {},
+        }
+        shard_entries: List[Dict[str, object]] = []
+        for shard_id, backend in self._backends.items():
+            entry: Dict[str, object] = {"shard": shard_id,
+                                        "healthy": shard_id not in down}
+            try:
+                payload = backend.stats()
+            except Exception as error:
+                entry["error"] = str(error)
+                shard_entries.append(entry)
+                continue
+            engine = payload.get("engine", {}) or {}
+            streams = payload.get("streams", []) or []
+            entry["engine"] = engine
+            entry["streams"] = streams
+            cache = engine.get("cache", {}) or {}
+            for counter in ("hits", "misses", "evictions"):
+                totals["cache"][counter] += int(cache.get(counter, 0))
+            totals["cold_computes"] += int(engine.get("cold_computes", 0))
+            totals["stampedes_avoided"] += int(
+                engine.get("stampedes_avoided", 0))
+            totals["streams_open"] += len(streams)
+            for stream in streams:
+                for counter, value in (stream.get("stats") or {}).items():
+                    if isinstance(value, bool) or not isinstance(value, int):
+                        continue
+                    totals["stream_counters"][counter] = (
+                        totals["stream_counters"].get(counter, 0) + value)
+            shard_entries.append(entry)
+        requests = totals["cache"]["hits"] + totals["cache"]["misses"]
+        totals["cache"]["hit_rate"] = round(
+            totals["cache"]["hits"] / requests, 4) if requests else 0.0
+        return {
+            "fleet": {**fleet,
+                      "name": self.name,
+                      "shards_total": len(self._backends),
+                      "replication": self.replication,
+                      "down": down,
+                      "cities_open": len(self._cities)},
+            "cities": self.cities(),
+            "shards": shard_entries,
+            "totals": totals,
+        }
+
+    def close(self) -> None:
+        for backend in self._backends.values():
+            try:
+                backend.close()
+            except Exception:
+                pass
+        with self._lock:
+            self._cities.clear()

@@ -7,6 +7,9 @@ The server exposes these JSON endpoints:
 ``GET /models``
     Every model the backing registry knows, with the manifest summary and
     the live cache statistics of any engine already loaded.
+``GET /models/<name>[?version=v]``
+    Manifest summary of one model — the fleet health-check probe.
+    Unknown models/versions answer with a clean 404 payload.
 ``GET /streams``
     Every open update stream with its current version and statistics.
 ``GET /stats``
@@ -16,12 +19,21 @@ The server exposes these JSON endpoints:
 ``POST /score``
     Score a graph with a named model.  The request body is a JSON object::
 
-        {"model": "shenzhen",          # required
+        {"model": "shenzhen",          # required (unless "stream")
          "version": "2",               # optional (latest when omitted)
          "graph": {...},               # wire payload (repro.serve.wire)
          "regions": [0, 4, 17],        # optional subset to return
          "top_percent": 5.0,           # optional screening budget
          "threshold": 0.5}             # optional binary predictions
+
+    Alternatively ``{"stream": "sz-live"}`` scores the *current version*
+    of an open update stream without re-uploading its graph — the fleet
+    shard hot path.
+
+``POST /evict``
+    ``{"stream": "sz-live"}`` drops the stream's current version from its
+    engine's result/plan caches (the workload harness's cache-pressure
+    op); the next score of that version recomputes cold.
 
 ``POST /update``
     Open an update stream or push an incremental delta to it.  Opening
@@ -56,10 +68,12 @@ from __future__ import annotations
 import json
 import threading
 import time
+import urllib.parse
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, Optional, Tuple, Union
 
 from ..stream.scorer import StreamingScorer
+from .bundle import read_manifest
 from .engine import InferenceEngine
 from .registry import ModelRegistry
 from .wire import delta_from_payload, graph_from_payload
@@ -103,15 +117,26 @@ class ScoringService:
     # ------------------------------------------------------------------
     # engines
     # ------------------------------------------------------------------
-    def engine_for(self, model: str, version: Optional[str] = None) -> InferenceEngine:
-        """The (lazily created) engine serving ``model:version``."""
+    def _resolve_bundle(self, model: str, version: Optional[str]):
+        """Resolve ``model:version`` to a bundle directory or a clean error.
+
+        ``KeyError`` needs its message unwrapped: ``str(KeyError(msg))``
+        is the *repr* of the message (``"'msg'"``), and before this helper
+        existed a fleet health check probing an unknown model got that
+        quoted repr back in its 404 payload.
+        """
         try:
-            directory = self.registry.resolve(model, version)
+            return self.registry.resolve(model, version)
         except ValueError as error:
             # malformed name/version in the request, not a missing model
             raise ServiceError(400, str(error)) from error
         except KeyError as error:
-            raise ServiceError(404, str(error)) from error
+            message = error.args[0] if error.args else str(error)
+            raise ServiceError(404, str(message)) from error
+
+    def engine_for(self, model: str, version: Optional[str] = None) -> InferenceEngine:
+        """The (lazily created) engine serving ``model:version``."""
+        directory = self._resolve_bundle(model, version)
         key = (model.lower(), directory.name)
         with self._lock:
             engine = self._engines.get(key)
@@ -152,9 +177,69 @@ class ScoringService:
             entries.append(entry)
         return {"models": entries}
 
+    def model_info(self, model: str, version: Optional[str] = None) -> Dict[str, object]:
+        """Manifest summary of one model — the fleet health-check probe.
+
+        Resolves without loading: a health check must be cheap and must
+        not force a cold bundle load.  Unknown models/versions surface as
+        a clean 404 payload via :meth:`_resolve_bundle`.
+        """
+        if not model or not isinstance(model, str):
+            raise ServiceError(400, "missing required model name")
+        directory = self._resolve_bundle(model, version)
+        manifest = read_manifest(directory)
+        payload: Dict[str, object] = {
+            "model": manifest.name,
+            "version": manifest.version,
+            "description": manifest.describe(),
+            "trained_on": manifest.graph.get("name"),
+            "dtype": manifest.dtype,
+        }
+        with self._lock:
+            engine = self._engines.get((model.lower(), directory.name))
+        payload["loaded"] = engine is not None
+        if engine is not None:
+            payload["engine"] = engine.stats_summary()
+        return payload
+
     def score(self, request: Dict[str, object]) -> Dict[str, object]:
         if not isinstance(request, dict):
             raise ServiceError(400, "request body must be a JSON object")
+        stream = request.get("stream")
+        graph_payload = request.get("graph")
+        if stream is not None and graph_payload is not None:
+            raise ServiceError(400, "send either 'stream' (score the live "
+                                    "version of an open stream) or 'graph', "
+                                    "not both")
+        if stream is not None and (request.get("model") is not None
+                                   or request.get("version") is not None):
+            # a stream is bound to its model at open time; silently scoring
+            # it with a different model than requested would be worse than
+            # an error
+            raise ServiceError(400, "'model'/'version' cannot be combined "
+                                    "with 'stream' — the stream already "
+                                    "determines the model")
+        if stream is not None:
+            payload, engine, graph = self._score_stream(stream, request)
+        else:
+            payload, engine, graph = self._score_graph(request)
+
+        threshold = request.get("threshold")
+        if threshold is not None:
+            try:
+                threshold = float(threshold)
+            except (ValueError, TypeError) as error:
+                raise ServiceError(400, f"bad threshold: {error}") from error
+            payload["predictions"] = [
+                int(p >= threshold) for p in payload["probabilities"]]
+        payload["graph_name"] = graph.name
+        payload["num_regions"] = graph.num_nodes
+        payload["cache"] = engine.cache_stats.to_dict()
+        self.requests_served += 1
+        return payload
+
+    def _score_graph(self, request: Dict[str, object]):
+        """The classic ``/score`` body: a full graph payload + model."""
         model = request.get("model")
         if not model or not isinstance(model, str):
             raise ServiceError(400, "missing required field 'model'")
@@ -178,21 +263,47 @@ class ScoringService:
                                   top_percent=request.get("top_percent"))
         except (ValueError, TypeError) as error:
             raise ServiceError(400, str(error)) from error
+        return result.to_dict(), engine, graph
 
+    def _score_stream(self, stream, request: Dict[str, object]):
+        """``/score`` with ``stream``: score an open stream's current
+        version without re-uploading the graph (the fleet-shard hot path)."""
+        scorer, _, _ = self._stream_entry(stream)
+        try:
+            result = scorer.score(regions=request.get("regions"),
+                                  top_percent=request.get("top_percent"))
+        except (ValueError, TypeError) as error:
+            raise ServiceError(400, str(error)) from error
         payload = result.to_dict()
-        threshold = request.get("threshold")
-        if threshold is not None:
-            try:
-                threshold = float(threshold)
-            except (ValueError, TypeError) as error:
-                raise ServiceError(400, f"bad threshold: {error}") from error
-            payload["predictions"] = [
-                int(p >= threshold) for p in payload["probabilities"]]
-        payload["graph_name"] = graph.name
-        payload["num_regions"] = graph.num_nodes
-        payload["cache"] = engine.cache_stats.to_dict()
+        payload["stream"] = stream.strip()
+        payload["stream_version"] = scorer.version
+        return payload, scorer.engine, scorer.graph
+
+    def _stream_entry(self, stream) -> Tuple[StreamingScorer, str, str]:
+        if not stream or not isinstance(stream, str) or not stream.strip():
+            raise ServiceError(400, "'stream' must be a non-empty string")
+        with self._lock:
+            entry = self._streams.get(stream.strip())
+        if entry is None:
+            raise ServiceError(404, f"unknown stream {stream.strip()!r}; "
+                                    "open it first by sending a full 'graph' "
+                                    "to /update")
+        return entry
+
+    def evict(self, request: Dict[str, object]) -> Dict[str, object]:
+        """Drop a stream's current version from its engine's caches.
+
+        The fleet workload's ``evict`` op: simulates cache pressure so the
+        next score of that city runs the cold path.
+        """
+        if not isinstance(request, dict):
+            raise ServiceError(400, "request body must be a JSON object")
+        scorer, model, version = self._stream_entry(request.get("stream"))
+        fingerprint = scorer.evict()
         self.requests_served += 1
-        return payload
+        return {"stream": str(request.get("stream")).strip(),
+                "evicted": fingerprint, "model": model,
+                "model_version": version}
 
     def stats(self) -> Dict[str, object]:
         """Serving-wide performance counters.
@@ -208,14 +319,9 @@ class ScoringService:
             open_streams = dict(self._streams)
         engine_entries = []
         for (name, version), engine in sorted(engines.items()):
-            engine_entries.append({
-                "model": name,
-                "version": version,
-                "cache": engine.cache_stats.to_dict(),
-                "cached_graphs": engine.cache_len,
-                "cold_computes": engine.cold_computes,
-                "stampedes_avoided": engine.stampedes_avoided,
-            })
+            entry: Dict[str, object] = {"model": name, "version": version}
+            entry.update(engine.stats_summary())
+            engine_entries.append(entry)
         stream_entries = []
         for stream_name in sorted(open_streams):
             scorer, model, version = open_streams[stream_name]
@@ -368,13 +474,20 @@ class _Handler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 - http.server naming convention
         try:
-            if self.path == "/healthz":
+            parsed = urllib.parse.urlsplit(self.path)
+            path = parsed.path
+            if path == "/healthz":
                 self._send_json(200, self.service.healthz())
-            elif self.path == "/models":
+            elif path == "/models":
                 self._send_json(200, self.service.models())
-            elif self.path == "/streams":
+            elif path.startswith("/models/"):
+                name = urllib.parse.unquote(path[len("/models/"):])
+                query = urllib.parse.parse_qs(parsed.query)
+                version = (query.get("version") or [None])[0]
+                self._send_json(200, self.service.model_info(name, version))
+            elif path == "/streams":
                 self._send_json(200, self.service.streams())
-            elif self.path == "/stats":
+            elif path == "/stats":
                 self._send_json(200, self.service.stats())
             else:
                 self._send_error_json(404, f"unknown endpoint {self.path!r}")
@@ -385,7 +498,11 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_POST(self) -> None:  # noqa: N802 - http.server naming convention
         try:
-            if self.path not in ("/score", "/update"):
+            handlers = {"/score": self.service.score,
+                        "/update": self.service.update,
+                        "/evict": self.service.evict}
+            handler = handlers.get(self.path)
+            if handler is None:
                 raise ServiceError(404, f"unknown endpoint {self.path!r}")
             length = int(self.headers.get("Content-Length") or 0)
             if length <= 0:
@@ -397,10 +514,7 @@ class _Handler(BaseHTTPRequestHandler):
                 request = json.loads(raw.decode("utf-8"))
             except (UnicodeDecodeError, json.JSONDecodeError) as error:
                 raise ServiceError(400, f"invalid JSON body: {error}") from error
-            if self.path == "/update":
-                self._send_json(200, self.service.update(request))
-            else:
-                self._send_json(200, self.service.score(request))
+            self._send_json(200, handler(request))
         except ServiceError as error:
             self._send_error_json(error.status, str(error))
         except Exception as error:  # pragma: no cover - defensive

@@ -293,6 +293,20 @@ class StreamingScorer:
     def predict_proba(self) -> np.ndarray:
         return self.score().probabilities
 
+    def evict(self) -> str:
+        """Drop the current version's entries from the engine caches.
+
+        Frees a cold city's slots under cache pressure (the fleet
+        workload's ``evict`` op); the next score recomputes through the
+        engine's cold path.  The scorer keeps its own activation cache,
+        so later deltas still rescore incrementally.  Returns the evicted
+        fingerprint.
+        """
+        with self._lock:
+            fingerprint = self._state.fingerprint
+        self._engine.evict(fingerprint)
+        return fingerprint
+
     # ------------------------------------------------------------------
     # updates
     # ------------------------------------------------------------------

@@ -12,7 +12,8 @@ of why the synthetic data preserves the behaviours the paper relies on.
 from .city import SyntheticCity, generate_city
 from .config import (CityConfig, ImageryConfig, LabelingConfig, LandUse,
                      PoiConfig, RoadConfig, UrbanVillageConfig, LAND_USE_NAMES)
-from .evolution import EvolutionConfig, available_scenarios, generate_evolution
+from .evolution import (EvolutionConfig, available_scenarios,
+                        generate_evolution, generate_step)
 from .imagery import ImageFeatureBank, generate_image_features
 from .labels import LabelSet, generate_labels, masked_label_subset
 from .landuse import LandUseMap, generate_land_use
@@ -51,6 +52,7 @@ __all__ = [
     "generate_city",
     "EvolutionConfig",
     "generate_evolution",
+    "generate_step",
     "available_scenarios",
     "available_presets",
     "get_preset",

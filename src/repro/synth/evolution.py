@@ -35,7 +35,8 @@ import numpy as np
 from ..stream.delta import GraphDelta
 from ..urg.graph import UrbanRegionGraph
 
-__all__ = ["EvolutionConfig", "generate_evolution", "available_scenarios"]
+__all__ = ["EvolutionConfig", "generate_evolution", "generate_step",
+           "available_scenarios"]
 
 
 def _step_count(num_nodes: int, fraction: float,
@@ -217,6 +218,26 @@ _SCENARIOS: Dict[str, Callable[[UrbanRegionGraph, EvolutionConfig,
 def available_scenarios() -> List[str]:
     """Names of the built-in evolution scenarios."""
     return sorted(_SCENARIOS)
+
+
+def generate_step(graph: UrbanRegionGraph, kind: str,
+                  config: Optional[EvolutionConfig] = None,
+                  rng: Optional[np.random.Generator] = None,
+                  ) -> Optional[GraphDelta]:
+    """One delta of scenario ``kind`` against the current graph state.
+
+    The single-step form of :func:`generate_evolution`, for callers that
+    interleave delta generation with other seeded decisions (the fleet
+    workload generator draws op kinds, cities and deltas from one RNG).
+    Returns ``None`` when the scenario cannot fire on this state.
+    """
+    if kind not in _SCENARIOS:
+        raise ValueError(f"unknown scenario {kind!r}; "
+                         f"available: {available_scenarios()}")
+    config = config or EvolutionConfig()
+    if rng is None:
+        rng = np.random.default_rng(config.seed)
+    return _SCENARIOS[kind](graph, config, rng)
 
 
 def generate_evolution(graph: UrbanRegionGraph,

@@ -26,7 +26,8 @@ class TestParser:
                           if isinstance(action, type(parser._subparsers._group_actions[0])))
         assert set(subparsers.choices) == {"generate-city", "build-graph", "show-city",
                                            "train", "evaluate", "reproduce", "registry",
-                                           "package", "serve", "score", "stream"}
+                                           "package", "serve", "score", "stream",
+                                           "workload", "fleet"}
 
 
 class TestGenerateAndBuild:
@@ -296,3 +297,78 @@ class TestRegistry:
         exit_code = main(["registry", "--root", str(tmp_path / "empty")])
         assert exit_code == 0
         assert "empty" in capsys.readouterr().out
+
+
+class TestWorkloadFleet:
+    @pytest.fixture(scope="class")
+    def fleet_registry(self, tmp_path_factory):
+        root = tmp_path_factory.mktemp("fleet-models")
+        assert main(["package", "--preset", "tiny", "--epochs", "8",
+                     "--registry", str(root), "--name", "tiny"]) == 0
+        return root
+
+    @pytest.fixture(scope="class")
+    def recorded_trace(self, tmp_path_factory, capsys=None):
+        path = tmp_path_factory.mktemp("traces") / "trace.npz"
+        assert main(["workload", "--preset", "tiny", "--cities", "2",
+                     "--ops", "12", "--output", str(path)]) == 0
+        return path
+
+    def test_workload_records_a_loadable_trace(self, recorded_trace, capsys):
+        from repro.bench import load_trace
+        trace = load_trace(recorded_trace)
+        assert len(trace) == 12
+        assert len(trace.cities) == 2
+
+    def test_fleet_replays_trace_and_verifies_oracle(self, fleet_registry,
+                                                     recorded_trace, tmp_path,
+                                                     capsys):
+        report_path = tmp_path / "fleet.json"
+        exit_code = main(["fleet", "--registry", str(fleet_registry),
+                          "--model", "tiny", "--shards", "2",
+                          "--trace", str(recorded_trace),
+                          "--verify-single", "--json", str(report_path)])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "bit-identical to single-engine oracle: yes" in out
+        report = json.loads(report_path.read_text())
+        assert report["replay"]["ops"] == 12
+        assert report["stats"]["fleet"]["no_replica_errors"] == 0
+
+    def test_fleet_chaos_demo_fails_over(self, fleet_registry, recorded_trace,
+                                         capsys):
+        exit_code = main(["fleet", "--registry", str(fleet_registry),
+                          "--model", "tiny", "--shards", "3",
+                          "--trace", str(recorded_trace),
+                          "--kill-shard", "0", "--kill-after", "2",
+                          "--verify-single"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "bit-identical to single-engine oracle: yes" in out
+        # the killed shard shows up in the printed stats
+        assert "DOWN" in out
+
+    def test_fleet_ad_hoc_workload_without_trace(self, fleet_registry, capsys):
+        exit_code = main(["fleet", "--registry", str(fleet_registry),
+                          "--model", "tiny", "--preset", "tiny",
+                          "--shards", "2", "--ops", "8"])
+        assert exit_code == 0
+        assert "completed 8/8 ops" in capsys.readouterr().out
+
+    def test_fleet_kill_without_replication_is_reported(self, fleet_registry,
+                                                        recorded_trace,
+                                                        capsys):
+        exit_code = main(["fleet", "--registry", str(fleet_registry),
+                          "--model", "tiny", "--shards", "2",
+                          "--replication", "1",
+                          "--trace", str(recorded_trace),
+                          "--kill-shard", "0"])
+        assert exit_code == 2
+        assert "--replication >= 2" in capsys.readouterr().err
+
+    def test_workload_rejects_bad_mix(self, capsys):
+        exit_code = main(["workload", "--preset", "tiny", "--ops", "4",
+                          "--score-weight", "0", "--update-weight", "0",
+                          "--evict-weight", "0", "--output", "/tmp/x.npz"])
+        assert exit_code == 2
+        assert "weights" in capsys.readouterr().err

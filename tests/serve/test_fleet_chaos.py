@@ -1,0 +1,170 @@
+"""Chaos tests: kill a shard mid-workload, prove nothing is lost.
+
+The invariants: when a shard starts failing (raising or timing out) the
+router fails over to the next replica, every request in the trace still
+completes, and the replayed float64 scores stay bit-identical to the
+single-engine oracle — failover is invisible except in the counters.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench import replay_trace, replays_identical
+from repro.serve import (ChaosShard, ConsistentHashRing, FleetError,
+                         FleetRouter, ShardFailure)
+
+SHARD_IDS = ["s0", "s1", "s2"]
+
+
+def _busiest_shard(fleet_trace, fleet_cities):
+    """The primary shard of the city the trace hits most often."""
+    ring = ConsistentHashRing(SHARD_IDS)
+    hits = {name: 0 for name in fleet_cities}
+    for op in fleet_trace.ops:
+        hits[op.city] += 1
+    busiest = max(fleet_cities, key=lambda name: hits[name])
+    key = fleet_cities[busiest].structural_fingerprint()
+    return ring.assign(key, 2)[0]
+
+
+def _chaos_fleet(shard_factory, victim, **chaos_kwargs):
+    shards = []
+    chaos = None
+    for shard_id in SHARD_IDS:
+        shard = shard_factory(shard_id)
+        if shard_id == victim:
+            chaos = ChaosShard(shard, **chaos_kwargs)
+            shard = chaos
+        shards.append(shard)
+    return FleetRouter(shards, replication=2), chaos
+
+
+class TestFailover:
+    @pytest.mark.parametrize("error_factory", [
+        None,  # the default injected ShardFailure
+        lambda: TimeoutError("injected backend timeout"),
+    ], ids=["raises", "times-out"])
+    def test_killed_shard_fails_over_losslessly_and_bit_identically(
+            self, shard_factory, fleet_trace, fleet_cities, error_factory):
+        victim = _busiest_shard(fleet_trace, fleet_cities)
+        router, chaos = _chaos_fleet(shard_factory, victim, fail_after=2,
+                                     error_factory=error_factory)
+        oracle_result = replay_trace(fleet_trace, shard_factory("oracle"),
+                                     collect_stats=False)
+        fleet_result = replay_trace(fleet_trace, router)
+
+        # the fault actually fired and the router absorbed it
+        assert chaos.failed_calls > 0
+        assert router.fleet_stats.failovers >= 1
+        assert router.fleet_stats.shard_failures >= 1
+        assert router.fleet_stats.reopened_streams >= 1
+        assert victim in router.down_shards()
+        # zero dropped requests
+        assert router.fleet_stats.no_replica_errors == 0
+        assert fleet_result.completed_ops == len(fleet_trace)
+        # and the scores never noticed
+        identical, max_diff = replays_identical(oracle_result, fleet_result)
+        assert identical, f"failover changed scores (max |diff| {max_diff})"
+        # greppable proof for the CI chaos smoke
+        print(f"\nchaos[{'timeout' if error_factory else 'raise'}]: "
+              f"failovers={router.fleet_stats.failovers} "
+              f"shard_failures={router.fleet_stats.shard_failures} "
+              f"completed={fleet_result.completed_ops}/{len(fleet_trace)} "
+              f"bit_identical={identical}")
+
+    def test_mid_stream_kill_preserves_update_history(
+            self, shard_factory, fleet_cities, fitted_detector, fleet_trace):
+        """Kill the primary *between* two updates of one city; the replica
+        must resume from the authoritative post-update graph."""
+        name, graph = next(iter(fleet_cities.items()))
+        deltas = [op.delta for op in fleet_trace.ops
+                  if op.op == "update" and op.city == name]
+        assert len(deltas) >= 2
+        primary = ConsistentHashRing(SHARD_IDS).assign(
+            graph.structural_fingerprint(), 2)[0]
+        router, chaos = _chaos_fleet(shard_factory, primary)
+        router.open_stream(name, graph)
+        assert router.cities()[name]["active"] == primary
+        router.update_stream(name, deltas[0])
+        chaos.fail()
+        payload = router.update_stream(name, deltas[1])
+        assert payload["shard"] != primary
+        assert router.cities()[name]["active"] != primary
+        expected = fitted_detector.predict_proba(
+            deltas[1].apply(deltas[0].apply(graph)))
+        np.testing.assert_array_equal(
+            np.asarray(payload["score"]["probabilities"], dtype=np.float64),
+            expected)
+
+    def test_no_replica_left_is_a_fleet_error(self, shard_factory,
+                                              fleet_cities):
+        name, graph = next(iter(fleet_cities.items()))
+        shard = shard_factory("only")
+        chaos = ChaosShard(shard)
+        router = FleetRouter([chaos], replication=1)
+        router.open_stream(name, graph)
+        chaos.fail()
+        with pytest.raises(FleetError, match="no healthy replica"):
+            router.score_stream(name)
+        assert router.fleet_stats.no_replica_errors == 1
+
+    def test_client_errors_do_not_trigger_failover(self, shard_factory,
+                                                   fleet_cities):
+        """A malformed request is the caller's fault — the shard must not
+        be marked down for it."""
+        name, graph = next(iter(fleet_cities.items()))
+        router = FleetRouter([shard_factory(f"s{i}") for i in range(2)],
+                             replication=2)
+        router.open_stream(name, graph)
+        with pytest.raises(ValueError):
+            router.score_stream(name, regions=[graph.num_nodes + 10])
+        assert router.down_shards() == []
+        assert router.fleet_stats.shard_failures == 0
+
+    def test_recovered_shard_is_revived_by_health_check(self, shard_factory,
+                                                        fleet_cities):
+        name, graph = next(iter(fleet_cities.items()))
+        primary = ConsistentHashRing(SHARD_IDS).assign(
+            graph.structural_fingerprint(), 2)[0]
+        router, chaos = _chaos_fleet(shard_factory, primary)
+        router.open_stream(name, graph)
+        chaos.fail()
+        router.score_stream(name)  # fails over
+        assert primary in router.down_shards()
+        chaos.recover()
+        health = router.health()
+        assert health["down"] == []
+        assert primary in health["healthy"]
+        # and the revived shard serves again (stream re-materialises there
+        # only if routing sends something to it — scoring still works)
+        scores = np.asarray(router.score_stream(name)["probabilities"],
+                            dtype=np.float64)
+        assert scores.shape[0] == router.cities()[name]["regions"]
+
+    def test_chaos_shard_counts_its_calls(self, shard_factory, fleet_cities):
+        name, graph = next(iter(fleet_cities.items()))
+        chaos = ChaosShard(shard_factory("only"), fail_after=3)
+        router = FleetRouter([chaos], replication=1)
+        router.open_stream(name, graph)          # call 1
+        router.score_stream(name)                # call 2
+        router.score_stream(name)                # call 3
+        with pytest.raises(FleetError):
+            router.score_stream(name)            # call 4 -> fails
+        assert chaos.calls == 4
+        assert chaos.failed_calls >= 1
+        assert chaos.failing
+
+    def test_shard_failure_classification(self):
+        from repro.serve.client import ScoringServiceError
+        from repro.serve.fleet import is_shard_failure
+        assert is_shard_failure(ShardFailure("x"))
+        assert is_shard_failure(TimeoutError())
+        assert is_shard_failure(ConnectionError())
+        assert is_shard_failure(ScoringServiceError(0, "unreachable"))
+        assert is_shard_failure(ScoringServiceError(500, "boom"))
+        assert not is_shard_failure(ScoringServiceError(400, "bad request"))
+        assert not is_shard_failure(ScoringServiceError(404, "missing"))
+        assert not is_shard_failure(ValueError("bad delta"))
+        assert not is_shard_failure(KeyError("unknown stream"))

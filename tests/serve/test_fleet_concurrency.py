@@ -1,0 +1,141 @@
+"""Concurrency soak: a threaded mixed workload against a 3-shard fleet.
+
+Per-city updates run on one dedicated writer thread (a deterministic
+delta chain), while reader threads hammer scores and evicts through the
+router.  Small LRU caches keep eviction pressure on.  Invariants:
+
+* **no torn reads** — every score vector a reader gets back matches the
+  serial oracle of *some* version of that city (identified by the
+  response fingerprint, using content fingerprints so the mapping is
+  version-order independent);
+* **counters reconcile** — the fleet ``/stats`` totals equal the manual
+  per-shard sums, and every engine's ``hits + misses == requests``.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.serve import FleetRouter
+from repro.synth import EvolutionConfig, generate_evolution
+
+N_VERSIONS = 4
+READERS = 4
+READER_OPS = 12
+
+
+@pytest.fixture(scope="module")
+def soak_setup(fleet_cities, fitted_detector):
+    """Per-city version chains plus fingerprint-keyed oracle scores."""
+    chains = {}
+    references = {}
+    for index, (name, graph) in enumerate(fleet_cities.items()):
+        deltas = generate_evolution(graph, EvolutionConfig(
+            steps=N_VERSIONS - 1, seed=100 + index,
+            scenarios=("poi_churn", "road_rewiring", "imagery_refresh")))
+        versions = [graph]
+        for delta in deltas:
+            versions.append(delta.apply(versions[-1]))
+        chains[name] = (graph, deltas)
+        for version in versions:
+            references[version.fingerprint()] = (
+                fitted_detector.predict_proba(version))
+    return chains, references
+
+
+class TestFleetSoak:
+    def test_threaded_mixed_workload_has_no_torn_reads_and_reconciles(
+            self, shard_factory, soak_setup):
+        chains, references = soak_setup
+        # cache_size=2 on every shard forces evictions under the mix
+        router = FleetRouter(
+            [shard_factory(f"s{i}", cache_size=2) for i in range(3)],
+            replication=2)
+        for name, (graph, _) in chains.items():
+            # content fingerprints so any reader's response maps straight
+            # onto the precomputed per-version oracle
+            router.open_stream(name, graph, fingerprints="content")
+
+        errors = []
+        start = threading.Barrier(len(chains) + READERS)
+
+        def writer(name):
+            _, deltas = chains[name]
+            start.wait()
+            try:
+                for delta in deltas:
+                    router.update_stream(name, delta)
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(f"writer[{name}]: {error!r}")
+
+        def reader(reader_id):
+            rng = np.random.default_rng(reader_id)
+            names = sorted(chains)
+            start.wait()
+            try:
+                for op in range(READER_OPS):
+                    name = names[int(rng.integers(len(names)))]
+                    if rng.random() < 0.2:
+                        router.evict_stream(name)
+                        continue
+                    payload = router.score_stream(name)
+                    scores = np.asarray(payload["probabilities"],
+                                        dtype=np.float64)
+                    expected = references.get(payload["fingerprint"])
+                    if expected is None:
+                        errors.append(f"reader[{reader_id}]: unknown version "
+                                      f"{payload['fingerprint'][:12]}")
+                    elif not np.array_equal(scores, expected):
+                        errors.append(f"reader[{reader_id}]: torn read on "
+                                      f"{name}")
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(f"reader[{reader_id}]: {error!r}")
+
+        threads = ([threading.Thread(target=writer, args=(name,))
+                    for name in chains]
+                   + [threading.Thread(target=reader, args=(i,))
+                      for i in range(READERS)])
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        assert not errors, errors
+
+        # nothing failed over: no chaos in this test
+        stats = router.stats()
+        assert stats["fleet"]["down"] == []
+        assert stats["fleet"]["no_replica_errors"] == 0
+
+        # fleet totals reconcile with the per-shard sums
+        for counter in ("hits", "misses", "evictions"):
+            manual = sum(entry["engine"]["cache"][counter]
+                         for entry in stats["shards"])
+            assert stats["totals"]["cache"][counter] == manual
+        manual_cold = sum(entry["engine"]["cold_computes"]
+                          for entry in stats["shards"])
+        assert stats["totals"]["cold_computes"] == manual_cold
+        manual_updates = sum(
+            stream["stats"]["updates"]
+            for entry in stats["shards"] for stream in entry["streams"])
+        assert stats["totals"]["stream_counters"]["updates"] == manual_updates
+        # every writer's deltas landed exactly once
+        assert manual_updates == sum(
+            len(deltas) for _, deltas in chains.values())
+
+        # each engine's cache arithmetic is intact
+        for entry in stats["shards"]:
+            cache = entry["engine"]["cache"]
+            backend = router.backend(entry["shard"])
+            assert (cache["hits"] + cache["misses"]
+                    == backend.engine.cache_stats.requests)
+
+        # the router-side request counters cover the issued ops
+        fleet = stats["fleet"]
+        assert fleet["opens"] == len(chains)
+        assert fleet["update_requests"] == sum(
+            len(deltas) for _, deltas in chains.values())
+        assert (fleet["score_requests"] + fleet["evict_requests"]
+                == READERS * READER_OPS)

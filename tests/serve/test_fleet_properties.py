@@ -1,0 +1,99 @@
+"""Property tests: consistent-hash stability, trace codec round-trips."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench import (WorkloadConfig, generate_workload, trace_from_bytes,
+                         trace_from_payload, trace_to_bytes, trace_to_payload)
+from repro.serve import ConsistentHashRing
+
+#: small-but-diverse shard id pools
+shard_ids = st.lists(
+    st.text(alphabet="abcdefgh0123456789-", min_size=1, max_size=8),
+    min_size=2, max_size=8, unique=True)
+
+keys = st.lists(st.text(min_size=0, max_size=24), min_size=1, max_size=40,
+                unique=True)
+
+
+class TestRingProperties:
+    @given(ids=shard_ids, keys=keys, data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_removing_a_shard_only_moves_its_own_keys(self, ids, keys, data):
+        ring = ConsistentHashRing(ids)
+        before = {key: ring.assign(key)[0] for key in keys}
+        removed = data.draw(st.sampled_from(ids))
+        ring.remove(removed)
+        for key, owner in before.items():
+            if owner != removed:
+                assert ring.assign(key)[0] == owner
+
+    @given(ids=shard_ids, keys=keys, new_id=st.text(
+        alphabet="zyxw", min_size=9, max_size=12))
+    @settings(max_examples=60, deadline=None)
+    def test_adding_a_shard_only_steals_keys_for_itself(self, ids, keys,
+                                                        new_id):
+        ring = ConsistentHashRing(ids)
+        before = {key: ring.assign(key)[0] for key in keys}
+        ring.add(new_id)
+        for key, owner in before.items():
+            assert ring.assign(key)[0] in (owner, new_id)
+
+    @given(ids=shard_ids, key=st.text(max_size=24),
+           count=st.integers(min_value=1, max_value=10))
+    @settings(max_examples=60, deadline=None)
+    def test_replica_sets_are_distinct_stable_prefixes(self, ids, key, count):
+        ring = ConsistentHashRing(ids)
+        replicas = ring.assign(key, count)
+        assert len(replicas) == min(count, len(ids))
+        assert len(set(replicas)) == len(replicas)
+        assert set(replicas) <= set(ids)
+        # growing the replica count only appends, never reorders
+        assert ring.assign(key, max(1, count - 1)) == replicas[:max(1, count - 1)]
+
+    @given(ids=shard_ids, key=st.text(max_size=24))
+    @settings(max_examples=30, deadline=None)
+    def test_assignment_is_process_independent(self, ids, key):
+        # two independently built rings with the same membership agree —
+        # the hash is content-based, not id()/hash()-salted
+        a = ConsistentHashRing(ids)
+        b = ConsistentHashRing(list(reversed(ids)))
+        assert a.assign(key, 3) == b.assign(key, 3)
+
+
+class TestTraceCodecProperties:
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1),
+           ops=st.integers(min_value=0, max_value=8),
+           weights=st.tuples(*[st.floats(min_value=0.0, max_value=1.0,
+                                         allow_nan=False)] * 3),
+           encoding=st.sampled_from(["bytes", "npz", "json"]))
+    @settings(max_examples=15, deadline=None)
+    def test_arbitrary_seeded_traces_round_trip(self, fleet_cities,
+                                                traces_equal, seed, ops,
+                                                weights, encoding):
+        score_w, update_w, evict_w = weights
+        if score_w + update_w + evict_w <= 0:
+            score_w = 1.0
+        trace = generate_workload(fleet_cities, WorkloadConfig(
+            ops=ops, seed=seed, score_weight=score_w,
+            update_weight=update_w, evict_weight=evict_w))
+        if encoding == "bytes":
+            restored = trace_from_bytes(trace_to_bytes(trace))
+        else:
+            payload = json.loads(json.dumps(
+                trace_to_payload(trace, encoding=encoding)))
+            restored = trace_from_payload(payload)
+        traces_equal(trace, restored)
+
+    @given(seed=st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=10, deadline=None)
+    def test_generation_is_a_pure_function_of_seed(self, fleet_cities,
+                                                   traces_equal, seed):
+        config = WorkloadConfig(ops=6, seed=seed)
+        traces_equal(generate_workload(fleet_cities, config),
+                     generate_workload(fleet_cities, config))

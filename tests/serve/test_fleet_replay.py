@@ -1,0 +1,133 @@
+"""The tentpole acceptance: deterministic traces, fleet-size invariance.
+
+Replaying one seeded :class:`WorkloadTrace` against a 1-shard oracle and
+an N-shard fleet must yield bit-identical float64 scores per city at
+every op — sharding is a pure routing concern, never a numeric one.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench import (WorkloadConfig, generate_workload, load_trace,
+                         replay_trace, replays_identical, save_trace,
+                         trace_from_bytes, trace_from_payload, trace_to_bytes,
+                         trace_to_payload)
+from repro.serve import FleetRouter
+
+
+class TestGeneration:
+    def test_same_seed_same_trace(self, fleet_cities, traces_equal):
+        config = WorkloadConfig(ops=14, seed=9)
+        traces_equal(generate_workload(fleet_cities, config),
+                     generate_workload(fleet_cities, config))
+
+    def test_different_seed_different_trace(self, fleet_cities):
+        a = generate_workload(fleet_cities, WorkloadConfig(ops=14, seed=1))
+        b = generate_workload(fleet_cities, WorkloadConfig(ops=14, seed=2))
+        assert ([op.op for op in a.ops] != [op.op for op in b.ops]
+                or [op.city for op in a.ops] != [op.city for op in b.ops])
+
+    def test_updates_apply_cleanly_in_order(self, fleet_cities, fleet_trace):
+        current = dict(fleet_cities)
+        for op in fleet_trace.ops:
+            if op.op == "update":
+                current[op.city] = op.delta.apply(current[op.city])
+
+    def test_weights_shape_the_mix(self, fleet_cities):
+        trace = generate_workload(fleet_cities, WorkloadConfig(
+            ops=30, seed=3, score_weight=1.0, update_weight=0.0,
+            evict_weight=0.0))
+        assert trace.op_counts() == {"score": 30, "update": 0, "evict": 0}
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="weights"):
+            WorkloadConfig(score_weight=0.0, update_weight=0.0,
+                           evict_weight=0.0)
+        with pytest.raises(ValueError, match="scenario"):
+            WorkloadConfig(scenarios=("not_a_scenario",))
+        with pytest.raises(ValueError, match="ops"):
+            WorkloadConfig(ops=-1)
+
+
+class TestCodec:
+    def test_npz_bytes_round_trip(self, fleet_trace, traces_equal):
+        traces_equal(fleet_trace, trace_from_bytes(trace_to_bytes(fleet_trace)))
+
+    def test_file_round_trip(self, fleet_trace, tmp_path, traces_equal):
+        path = save_trace(fleet_trace, tmp_path / "trace.npz")
+        traces_equal(fleet_trace, load_trace(path))
+
+    @pytest.mark.parametrize("encoding", ["npz", "json"])
+    def test_payload_round_trip_survives_json(self, fleet_trace, encoding,
+                                              traces_equal):
+        import json
+        payload = trace_to_payload(fleet_trace, encoding=encoding)
+        over_the_wire = json.loads(json.dumps(payload))
+        traces_equal(fleet_trace, trace_from_payload(over_the_wire))
+
+    def test_malformed_payloads_are_clean_valueerrors(self, fleet_trace):
+        with pytest.raises(ValueError):
+            trace_from_bytes(b"not an archive")
+        with pytest.raises(ValueError, match="wire version"):
+            trace_from_payload({"wire_version": 99})
+        with pytest.raises(ValueError, match="encoding"):
+            trace_from_payload({"wire_version": 1, "encoding": "xml"})
+        with pytest.raises(ValueError):
+            trace_from_payload({"wire_version": 1, "encoding": "npz",
+                                "trace_base64": "!!!"})
+
+
+class TestFleetSizeInvariance:
+    """The acceptance criterion: 1-shard vs N-shard, bit-identical."""
+
+    def test_three_shard_fleet_matches_single_engine_oracle(
+            self, shard_factory, fleet_trace):
+        oracle = shard_factory("oracle")
+        fleet = FleetRouter([shard_factory(f"s{i}") for i in range(3)],
+                            replication=2)
+        oracle_result = replay_trace(fleet_trace, oracle)
+        fleet_result = replay_trace(fleet_trace, fleet)
+        identical, max_diff = replays_identical(oracle_result, fleet_result)
+        assert identical, f"fleet diverged from oracle (max |diff| {max_diff})"
+        assert max_diff == 0.0
+        # the trace actually exercised the fleet: every op completed and
+        # the cities spread over more than one shard
+        assert fleet_result.completed_ops == len(fleet_trace)
+        active = {state["active"] for state in fleet.cities().values()}
+        assert len(active) > 1
+
+    def test_recorded_trace_replays_identically_after_round_trip(
+            self, shard_factory, fleet_trace, tmp_path):
+        path = save_trace(fleet_trace, tmp_path / "trace.npz")
+        reloaded = load_trace(path)
+        a = replay_trace(fleet_trace, shard_factory("a"), collect_stats=False)
+        b = replay_trace(reloaded, shard_factory("b"), collect_stats=False)
+        identical, max_diff = replays_identical(a, b)
+        assert identical and max_diff == 0.0
+
+    def test_scores_are_float64_and_versioned(self, shard_factory,
+                                              fleet_trace, fleet_cities,
+                                              fitted_detector):
+        result = replay_trace(fleet_trace, shard_factory("solo"))
+        for name, graph in fleet_cities.items():
+            assert result.opening_scores[name].dtype == np.float64
+            np.testing.assert_array_equal(
+                result.opening_scores[name],
+                fitted_detector.predict_proba(graph))
+        # every score op produced a vector, every evict produced None
+        for kind, scores in zip(result.op_kinds, result.scores):
+            if kind == "evict":
+                assert scores is None
+            else:
+                assert scores is not None and scores.dtype == np.float64
+
+    def test_misaligned_replays_are_rejected(self, shard_factory,
+                                             fleet_cities):
+        a_trace = generate_workload(fleet_cities, WorkloadConfig(ops=6, seed=1))
+        b_trace = generate_workload(fleet_cities, WorkloadConfig(ops=8, seed=1))
+        a = replay_trace(a_trace, shard_factory("a"), collect_stats=False)
+        b = replay_trace(b_trace, shard_factory("b"), collect_stats=False)
+        with pytest.raises(ValueError, match="different op sequences"):
+            replays_identical(a, b)

@@ -1,0 +1,198 @@
+"""FleetRouter basics: routing, replication, aggregation, remote shards."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.serve import (ConsistentHashRing, EngineShard, FleetRouter,
+                         InferenceEngine, RemoteShard, ScoringServer)
+from repro.serve.client import ScoringServiceError
+
+
+class TestConsistentHashRing:
+    def test_assignment_is_deterministic_and_valid(self):
+        ring = ConsistentHashRing(["a", "b", "c"])
+        first = ring.assign("some-city", 2)
+        assert first == ring.assign("some-city", 2)
+        assert len(first) == 2 and len(set(first)) == 2
+        assert set(first) <= {"a", "b", "c"}
+
+    def test_primary_is_stable_as_replication_grows(self):
+        ring = ConsistentHashRing(["a", "b", "c", "d"])
+        for key in ("k1", "k2", "k3", "city-42"):
+            primary = ring.assign(key, 1)[0]
+            assert ring.assign(key, 3)[0] == primary
+
+    def test_count_clamps_to_population(self):
+        ring = ConsistentHashRing(["a", "b"])
+        assert sorted(ring.assign("k", 10)) == ["a", "b"]
+
+    def test_keys_spread_across_shards(self):
+        ring = ConsistentHashRing([f"s{i}" for i in range(4)])
+        owners = {ring.assign(f"key-{i}")[0] for i in range(200)}
+        assert owners == {"s0", "s1", "s2", "s3"}
+
+    def test_add_remove_membership(self):
+        ring = ConsistentHashRing(["a"])
+        ring.add("b")
+        assert sorted(ring.shards) == ["a", "b"]
+        ring.remove("a")
+        assert ring.shards == ["b"]
+        with pytest.raises(ValueError):
+            ring.remove("a")
+        with pytest.raises(ValueError):
+            ring.add("b")
+
+    def test_empty_ring_rejects_routing(self):
+        with pytest.raises(ValueError, match="empty ring"):
+            ConsistentHashRing().assign("k")
+
+
+class TestFleetRouting:
+    def test_open_routes_to_replica_set(self, shard_factory, fleet_cities):
+        router = FleetRouter([shard_factory(f"s{i}") for i in range(3)],
+                             replication=2)
+        name, graph = next(iter(fleet_cities.items()))
+        payload = router.open_stream(name, graph)
+        assert payload["routing_key"] == graph.structural_fingerprint()
+        assert payload["shard"] == payload["replicas"][0]
+        assert router.cities()[name]["active"] == payload["shard"]
+        assert payload["replicas"] == router.route(graph.structural_fingerprint())
+
+    def test_scores_match_detector_oracle(self, shard_factory, fleet_cities,
+                                          fitted_detector):
+        router = FleetRouter([shard_factory(f"s{i}") for i in range(3)],
+                             replication=2)
+        for name, graph in fleet_cities.items():
+            router.open_stream(name, graph)
+            scores = np.asarray(
+                router.score_stream(name)["probabilities"], dtype=np.float64)
+            np.testing.assert_array_equal(
+                scores, fitted_detector.predict_proba(graph))
+
+    def test_update_advances_authoritative_copy(self, shard_factory,
+                                                fleet_cities, fleet_trace,
+                                                fitted_detector):
+        router = FleetRouter([shard_factory(f"s{i}") for i in range(2)],
+                             replication=2)
+        name, graph = next(iter(fleet_cities.items()))
+        router.open_stream(name, graph)
+        delta = next(op.delta for op in fleet_trace.ops
+                     if op.op == "update" and op.city == name)
+        payload = router.update_stream(name, delta)
+        assert router.cities()[name]["version"] == 1
+        np.testing.assert_array_equal(
+            np.asarray(payload["score"]["probabilities"], dtype=np.float64),
+            fitted_detector.predict_proba(delta.apply(graph)))
+
+    def test_evict_forces_cold_recompute(self, shard_factory, fleet_cities):
+        router = FleetRouter([shard_factory("s0", cache_size=8)],
+                             replication=1)
+        name, graph = next(iter(fleet_cities.items()))
+        router.open_stream(name, graph)
+        assert router.score_stream(name)["cache_hit"] is True
+        evicted = router.evict_stream(name)
+        assert evicted["evicted"] == graph.fingerprint()
+        cold = router.score_stream(name)
+        assert cold["cache_hit"] is False
+        assert router.score_stream(name)["cache_hit"] is True
+
+    def test_unknown_city_is_a_clean_keyerror(self, shard_factory):
+        router = FleetRouter([shard_factory("s0")], replication=1)
+        with pytest.raises(KeyError, match="no open city"):
+            router.score_stream("nowhere")
+
+    def test_constructor_validation(self, shard_factory):
+        with pytest.raises(ValueError, match="at least one shard"):
+            FleetRouter([])
+        with pytest.raises(ValueError, match="replication"):
+            FleetRouter([shard_factory("s0")], replication=0)
+        shard = shard_factory("dup")
+        with pytest.raises(ValueError, match="unique"):
+            FleetRouter([shard, shard_factory("dup")])
+
+    def test_stats_reconcile_with_per_shard_sums(self, shard_factory,
+                                                 fleet_cities):
+        router = FleetRouter([shard_factory(f"s{i}", cache_size=4)
+                              for i in range(3)], replication=2)
+        for name, graph in fleet_cities.items():
+            router.open_stream(name, graph)
+            router.score_stream(name)
+            router.score_stream(name)
+        stats = router.stats()
+        manual_hits = sum(entry["engine"]["cache"]["hits"]
+                          for entry in stats["shards"])
+        manual_misses = sum(entry["engine"]["cache"]["misses"]
+                            for entry in stats["shards"])
+        assert stats["totals"]["cache"]["hits"] == manual_hits
+        assert stats["totals"]["cache"]["misses"] == manual_misses
+        manual_rescores = sum(
+            stream["stats"]["rescores"]
+            for entry in stats["shards"] for stream in entry["streams"])
+        assert stats["totals"]["stream_counters"]["rescores"] == manual_rescores
+        assert stats["fleet"]["score_requests"] == 2 * len(fleet_cities)
+        assert stats["fleet"]["opens"] == len(fleet_cities)
+        assert stats["totals"]["streams_open"] == len(fleet_cities)
+
+    def test_health_reports_every_shard(self, shard_factory):
+        router = FleetRouter([shard_factory(f"s{i}") for i in range(2)],
+                             replication=2)
+        health = router.health()
+        assert health["down"] == []
+        assert sorted(health["shards"]) == ["s0", "s1"]
+        assert all(entry["healthy"] for entry in health["shards"].values())
+        assert router.healthz()["status"] == "ok"
+
+
+class TestRemoteShard:
+    @pytest.fixture()
+    def server(self, model_registry):
+        with ScoringServer(model_registry) as server:
+            yield server
+
+    def test_remote_matches_in_process_bit_for_bit(
+            self, server, shard_factory, fleet_cities, fitted_detector):
+        remote = RemoteShard(server.url, "tiny", shard_id="r0")
+        name, graph = next(iter(fleet_cities.items()))
+        opened = remote.open_stream(name, graph)
+        assert opened["shard"] == "r0"
+        remote_scores = np.asarray(
+            remote.score_stream(name)["probabilities"], dtype=np.float64)
+        np.testing.assert_array_equal(remote_scores,
+                                      fitted_detector.predict_proba(graph))
+        evicted = remote.evict_stream(name)
+        assert evicted["evicted"] == graph.fingerprint()
+        stats = remote.stats()
+        assert stats["shard"] == "r0"
+        assert stats["engine"]["cache"]["hits"] >= 1
+        assert [entry["stream"] for entry in stats["streams"]] == [name]
+
+    def test_remote_health_check_resolves_the_model(self, server):
+        remote = RemoteShard(server.url, "tiny", shard_id="r0")
+        payload = remote.healthz()
+        assert payload["status"] == "ok"
+        assert payload["model"]["model"] == "tiny"
+        missing = RemoteShard(server.url, "no-such-model", shard_id="r1")
+        with pytest.raises(ScoringServiceError) as excinfo:
+            missing.healthz()
+        assert excinfo.value.status == 404
+
+    def test_unknown_remote_stream_is_keyerror(self, server):
+        remote = RemoteShard(server.url, "tiny", shard_id="r0")
+        with pytest.raises(KeyError):
+            remote.score_stream("never-opened")
+
+    def test_mixed_remote_and_engine_fleet(self, server, shard_factory,
+                                           fleet_cities, fitted_detector):
+        router = FleetRouter(
+            [RemoteShard(server.url, "tiny", shard_id="remote"),
+             shard_factory("local")], replication=2)
+        for name, graph in fleet_cities.items():
+            router.open_stream(name, graph)
+            scores = np.asarray(
+                router.score_stream(name)["probabilities"], dtype=np.float64)
+            np.testing.assert_array_equal(
+                scores, fitted_detector.predict_proba(graph))
+        shards_used = {state["active"] for state in router.cities().values()}
+        assert shards_used <= {"remote", "local"}

@@ -220,3 +220,128 @@ class TestScoringServiceUnit:
         assert service.engine_for("tiny") is first_engine
         assert service.requests_served == 2
         assert first_engine.cache_stats.hits == 1
+
+
+class TestModelResolution:
+    """The fleet health-check path: clean resolution errors, model_info."""
+
+    def test_unknown_model_404_payload_is_not_a_keyerror_repr(
+            self, model_registry):
+        """Regression: ``str(KeyError(msg))`` is the *repr* of the message,
+        so the 404 payload used to arrive wrapped in stray quotes."""
+        service = ScoringService(model_registry)
+        with pytest.raises(ServiceError) as excinfo:
+            service.engine_for("ghost")
+        assert excinfo.value.status == 404
+        message = str(excinfo.value)
+        assert message.startswith("model 'ghost' is not in the registry")
+        assert not message.startswith("'")
+        assert not message.startswith('"')
+
+    def test_unknown_version_404_is_clean_too(self, model_registry):
+        service = ScoringService(model_registry)
+        with pytest.raises(ServiceError) as excinfo:
+            service.model_info("tiny", "999")
+        assert excinfo.value.status == 404
+        message = str(excinfo.value)
+        assert message.startswith("model 'tiny' has no version")
+        assert not message.startswith("'")
+
+    def test_clean_404_over_http(self, client):
+        with pytest.raises(ScoringServiceError) as excinfo:
+            client.model_info("ghost")
+        assert excinfo.value.status == 404
+        detail = str(excinfo.value).split("404: ", 1)[1]
+        assert detail.startswith("model 'ghost' is not in the registry")
+
+    def test_model_info_resolves_without_loading(self, model_registry):
+        service = ScoringService(model_registry)
+        info = service.model_info("tiny")
+        assert info["model"] == "tiny"
+        assert info["version"] == "1"
+        assert info["loaded"] is False          # resolution, not a load
+        service.engine_for("tiny")
+        info = service.model_info("tiny")
+        assert info["loaded"] is True
+        assert "engine" in info
+
+    def test_model_info_over_http_with_version_query(self, client):
+        info = client.model_info("tiny", version="1")
+        assert info["model"] == "tiny"
+        assert info["version"] == "1"
+        assert "description" in info
+
+    def test_malformed_model_name_is_400(self, client):
+        with pytest.raises(ScoringServiceError) as excinfo:
+            client.model_info("../../escape")
+        assert excinfo.value.status == 400
+
+
+class TestStreamScoreAndEvict:
+    """The fleet shard hot path: /score by stream name, /evict."""
+
+    @pytest.fixture()
+    def open_stream(self, client, tiny_graph_small_image):
+        name = "hotpath"
+        client.open_stream(name, tiny_graph_small_image, model="tiny")
+        return name
+
+    def test_score_stream_matches_graph_upload(self, client, open_stream,
+                                               tiny_graph_small_image,
+                                               reference_scores):
+        payload = client.score_stream(open_stream)
+        np.testing.assert_array_equal(
+            np.asarray(payload["probabilities"], dtype=np.float64),
+            reference_scores)
+        assert payload["stream"] == open_stream
+        assert payload["stream_version"] == 0
+        assert payload["num_regions"] == tiny_graph_small_image.num_nodes
+
+    def test_score_stream_supports_regions_and_threshold(self, client,
+                                                         open_stream,
+                                                         reference_scores):
+        payload = client.score_stream(open_stream, regions=[0, 3, 5],
+                                      threshold=0.5)
+        np.testing.assert_array_equal(
+            np.asarray(payload["probabilities"], dtype=np.float64),
+            reference_scores[[0, 3, 5]])
+        assert payload["predictions"] == [
+            int(p >= 0.5) for p in reference_scores[[0, 3, 5]]]
+
+    def test_evict_stream_forces_cold_recompute(self, client, open_stream,
+                                                tiny_graph_small_image):
+        client.score_stream(open_stream)
+        payload = client.evict_stream(open_stream)
+        assert payload["evicted"] == tiny_graph_small_image.fingerprint()
+        assert payload["stream"] == open_stream
+        cold = client.score_stream(open_stream)
+        assert cold["cache_hit"] is False
+
+    def test_stream_and_graph_together_is_400(self, client, open_stream,
+                                              tiny_graph_small_image):
+        service_error = None
+        request = urllib.request.Request(
+            client.base_url + "/score",
+            data=json.dumps({"stream": open_stream, "model": "tiny",
+                             "graph": graph_to_payload(
+                                 tiny_graph_small_image)}).encode(),
+            headers={"Content-Type": "application/json"})
+        try:
+            urllib.request.urlopen(request, timeout=10)
+        except urllib.error.HTTPError as error:
+            service_error = error
+        assert service_error is not None and service_error.code == 400
+
+    def test_unknown_stream_is_404(self, client):
+        with pytest.raises(ScoringServiceError) as excinfo:
+            client.score_stream("never-opened")
+        assert excinfo.value.status == 404
+        with pytest.raises(ScoringServiceError) as excinfo:
+            client.evict_stream("never-opened")
+        assert excinfo.value.status == 404
+
+    def test_evict_requires_a_stream_field(self, model_registry):
+        service = ScoringService(model_registry)
+        with pytest.raises(ServiceError) as excinfo:
+            service.evict({})
+        assert excinfo.value.status == 400
