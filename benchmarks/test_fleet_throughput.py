@@ -28,8 +28,9 @@ from pathlib import Path
 import pytest
 
 from repro.bench import (WorkloadConfig, derive_cities, generate_workload,
-                         replay_trace, replays_identical)
+                         replay_trace, replays_identical, summarize_metrics)
 from repro.core import CMSFConfig, CMSFDetector
+from repro.obs import MetricsRegistry, parse_prometheus_text
 from repro.serve import EngineShard, FleetRouter, InferenceEngine, ModelRegistry
 from repro.synth import generate_city, mini_city, tiny_city
 from repro.urg import UrgBuildConfig, build_urg
@@ -62,13 +63,15 @@ def fleet_setup(tmp_path_factory):
     return registry, trace
 
 
-def _backend(registry, shards):
+def _backend(registry, shards, obs):
     def make(i):
         return EngineShard(InferenceEngine.from_bundle(
-            registry.resolve("bench"), cache_size=8), shard_id=f"shard-{i}")
+            registry.resolve("bench"), cache_size=8, metrics=obs),
+            shard_id=f"shard-{i}")
     if shards == 1:
         return make(0)
-    return FleetRouter([make(i) for i in range(shards)], replication=2)
+    return FleetRouter([make(i) for i in range(shards)], replication=2,
+                       metrics=obs)
 
 
 def test_fleet_replay_throughput(fleet_setup):
@@ -76,10 +79,16 @@ def test_fleet_replay_throughput(fleet_setup):
     results = {}
     replays = {}
     for shards in (1, 2, 3):
-        backend = _backend(registry, shards)
+        # a fresh registry per topology: the scrape below is this
+        # replay's traffic only, and latency percentiles land in the
+        # JSON artifact next to the ops/s numbers
+        obs = MetricsRegistry()
+        backend = _backend(registry, shards, obs)
         replay = replay_trace(trace, backend)
         replays[shards] = replay
         entry = replay.summary()
+        entry["metrics"] = summarize_metrics(
+            parse_prometheus_text(obs.render()))
         if shards > 1:
             stats = backend.stats()
             entry["fleet"] = stats["fleet"]

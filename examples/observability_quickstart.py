@@ -1,0 +1,120 @@
+"""Quickstart for the observability layer: /metrics, histograms, sweeps.
+
+This example walks the whole :mod:`repro.obs` surface:
+
+1. train a (reduced) CMSF detector, publish it and start a
+   :class:`~repro.serve.server.ScoringServer` with an injected
+   :class:`~repro.obs.MetricsRegistry`;
+2. drive some traffic (a cold score, a cached repeat, a streamed delta)
+   and scrape ``GET /metrics`` — the Prometheus text exposition covers
+   every layer at once: HTTP endpoints, engine cache, streaming
+   rescores;
+3. parse the scrape back with :func:`~repro.obs.parse_prometheus_text`
+   and read latency percentiles straight out of the histogram buckets;
+4. diff two scrapes with :func:`~repro.obs.metrics_delta` to isolate
+   exactly one request's worth of traffic;
+5. run a 2-cell ``fleet size x replication`` sweep with
+   :func:`repro.bench.run_experiment` and print the comparison table
+   (the library face of ``repro-uv experiment``).
+
+Run with::
+
+    python examples/observability_quickstart.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+
+from repro.bench import (ExperimentConfig, WorkloadConfig, derive_cities,
+                         format_experiment_table, generate_workload,
+                         run_experiment)
+from repro.core import CMSFConfig, CMSFDetector
+from repro.obs import MetricsRegistry, metrics_delta, parse_prometheus_text
+from repro.serve import ModelRegistry, ScoringClient, ScoringServer
+from repro.synth import EvolutionConfig, generate_city, generate_evolution, tiny_city
+from repro.urg import UrgBuildConfig, build_urg
+from repro.urg.image_features import ImageFeatureConfig
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. train, publish, serve — with an injected metrics registry
+    # ------------------------------------------------------------------
+    city = generate_city(tiny_city(seed=7))
+    graph = build_urg(city, UrgBuildConfig(image=ImageFeatureConfig(reduce_dim=32)))
+    config = CMSFConfig(hidden_dim=32, image_reduce_dim=32, num_clusters=8,
+                        master_epochs=60, slave_epochs=15)
+    print(f"training CMSF on '{graph.name}' ({graph.num_nodes} regions) ...")
+    detector = CMSFDetector(config).fit(graph, graph.labeled_indices())
+    models = ModelRegistry(tempfile.mkdtemp(prefix="repro-models-"))
+    models.publish(detector, graph, "tiny")
+
+    metrics = MetricsRegistry()  # fresh, not the process-global default
+    with ScoringServer(models, quiet=True, metrics=metrics) as server:
+        client = ScoringClient(server.url)
+        client.wait_until_ready()
+
+        # --------------------------------------------------------------
+        # 2. traffic, then one scrape covering every layer
+        # --------------------------------------------------------------
+        client.score(graph, "tiny")            # cold: cache miss
+        client.score(graph, "tiny")            # warm: cache hit
+        client.open_stream("live", graph, "tiny")
+        delta = generate_evolution(graph, EvolutionConfig(steps=1, seed=3))[0]
+        client.update_stream("live", delta)    # streamed incremental update
+
+        text = client.metrics_text()           # GET /metrics
+        families = [line for line in text.splitlines()
+                    if line.startswith("# TYPE")]
+        print(f"\nscraped /metrics: {len(text.splitlines())} lines, "
+              f"{len(families)} families, e.g.")
+        for line in families[:6]:
+            print(f"  {line}")
+
+        # --------------------------------------------------------------
+        # 3. structured read-back: percentiles from histogram buckets
+        # --------------------------------------------------------------
+        parsed = parse_prometheus_text(text)
+        p50 = parsed.quantile("repro_http_request_seconds", 0.50,
+                              endpoint="/score")
+        p95 = parsed.quantile("repro_http_request_seconds", 0.95,
+                              endpoint="/score")
+        print(f"\n/score latency: p50~{p50 * 1000:.2f}ms p95~{p95 * 1000:.2f}ms "
+              f"over {parsed.value('repro_http_request_seconds_count', endpoint='/score'):.0f} requests")
+        print(f"engine cache: hits={parsed.total('repro_engine_cache_hits_total'):.0f} "
+              f"misses={parsed.total('repro_engine_cache_misses_total'):.0f}")
+        print("stream update modes: " + ", ".join(
+            f"{mode}={parsed.value('repro_stream_update_seconds_count', mode=mode):.0f}"
+            for mode in parsed.labels_of("repro_stream_update_seconds_count", "mode")))
+
+        # --------------------------------------------------------------
+        # 4. metrics_delta isolates a slice of traffic: the stream update
+        #    above evicted the superseded version from the result cache,
+        #    so scoring twice more is exactly one miss + one hit
+        # --------------------------------------------------------------
+        before = parsed
+        client.score(graph, "tiny")
+        client.score(graph, "tiny")
+        after = parse_prometheus_text(client.metrics_text())
+        moved = metrics_delta(before, after)
+        print(f"\ntwo more /score moved: requests(+"
+              f"{moved.value('repro_http_requests_total', endpoint='/score', method='POST', status='200'):.0f}), "
+              f"cache misses(+{moved.total('repro_engine_cache_misses_total'):.0f}), "
+              f"cache hits(+{moved.total('repro_engine_cache_hits_total'):.0f})")
+
+    # ------------------------------------------------------------------
+    # 5. a tiny config sweep: 1-shard vs 2-shard fleet on one trace
+    # ------------------------------------------------------------------
+    cities = derive_cities(graph, 2, seed=11)
+    trace = generate_workload(cities, WorkloadConfig(ops=16, seed=5))
+    report = run_experiment(models.resolve("tiny"), [trace],
+                            ExperimentConfig(fleet_sizes=(1, 2),
+                                             replications=(2,)),
+                            model="tiny")
+    print()
+    print(format_experiment_table(report))
+
+
+if __name__ == "__main__":
+    main()

@@ -11,9 +11,17 @@ answers compared bit-for-bit.  This subpackage provides that traffic:
   :class:`~repro.serve.fleet.ShardBackend`-shaped target (a single
   in-process shard, a remote server, or a whole
   :class:`~repro.serve.fleet.FleetRouter`) and collects the float64 score
-  trajectory for comparison.
+  trajectory for comparison;
+* :mod:`repro.bench.experiment` — a config-sweep runner replaying the
+  same traces across a fleet-size × replication grid, measuring each
+  cell through a fresh :mod:`repro.obs` metrics registry (latency
+  percentiles from histogram buckets, cache hit rates, failovers) and
+  emitting a schema-pinned ``EXPERIMENT.json`` report.
 """
 
+from .experiment import (EXPERIMENT_SCHEMA_VERSION, ExperimentConfig,
+                         format_experiment_table, run_experiment,
+                         summarize_metrics)
 from .workload import (ReplayResult, WorkloadConfig, WorkloadOp,
                        WorkloadTrace, derive_cities, generate_workload,
                        load_trace, replay_trace, replays_identical,
@@ -35,4 +43,9 @@ __all__ = [
     "replay_trace",
     "replays_identical",
     "ReplayResult",
+    "ExperimentConfig",
+    "EXPERIMENT_SCHEMA_VERSION",
+    "run_experiment",
+    "summarize_metrics",
+    "format_experiment_table",
 ]

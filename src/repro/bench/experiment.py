@@ -1,0 +1,253 @@
+"""Config-sweep experiment runner over the fleet serving stack.
+
+``repro-uv fleet`` replays one trace against one topology;
+:func:`run_experiment` sweeps a grid — fleet size × replication ×
+workload trace — and measures every cell the same way:
+
+1. build a **fresh** :class:`~repro.obs.MetricsRegistry` for the cell
+   (nothing leaks between cells, and the sweep doubles as a test of the
+   registry's injectability);
+2. build the fleet — one :class:`~repro.serve.InferenceEngine` per shard
+   from the same bundle, all reporting into the cell registry — behind a
+   :class:`~repro.serve.FleetRouter`;
+3. snapshot the rendered ``/metrics`` text before and after replaying
+   the trace with :func:`repro.bench.workload.replay_trace`, and keep
+   only the delta (:func:`repro.obs.metrics_delta`), so each cell's
+   numbers describe exactly its own traffic;
+4. condense the scrape with :func:`summarize_metrics` — request
+   latency percentiles read back out of the histogram buckets, cache
+   hit rates, failover counts, stream rescore-mode mix.
+
+The report is a plain JSON-serialisable dict (``schema_version`` pinned
+by tests) written to ``EXPERIMENT.json`` by the CLI, plus a
+human-readable comparison table via :func:`format_experiment_table`.
+Scores are also checked bit-identical across cells that replayed the
+same trace — the fleet acceptance invariant, now enforced per sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..eval.reporting import format_table
+from ..obs import (MetricsRegistry, ParsedMetrics, metrics_delta,
+                   parse_prometheus_text)
+from .workload import WorkloadTrace, replay_trace, replays_identical
+
+EXPERIMENT_SCHEMA_VERSION = 1
+
+# quantiles reported per cell, in report-key order
+_QUANTILES: Tuple[Tuple[str, float], ...] = (
+    ("p50_ms", 0.50), ("p95_ms", 0.95), ("p99_ms", 0.99))
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """The sweep grid plus the per-cell serving knobs."""
+
+    fleet_sizes: Tuple[int, ...] = (1, 2)
+    replications: Tuple[int, ...] = (2,)
+    cache_size: int = 8
+    incremental: str = "auto"
+    verify_identical: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.fleet_sizes or min(self.fleet_sizes) < 1:
+            raise ValueError("fleet_sizes must be positive integers")
+        if not self.replications or min(self.replications) < 1:
+            raise ValueError("replications must be positive integers")
+
+
+def _ms(seconds: Optional[float]) -> Optional[float]:
+    return None if seconds is None else round(seconds * 1000.0, 4)
+
+
+def _rate(part: float, whole: float) -> Optional[float]:
+    return round(part / whole, 4) if whole else None
+
+
+def _latency_summary(parsed: ParsedMetrics, name: str,
+                     **labels: str) -> Dict[str, object]:
+    count = parsed.total(name + "_count", **labels)
+    total = parsed.total(name + "_sum", **labels)
+    summary: Dict[str, object] = {
+        "count": int(count),
+        "mean_ms": _ms(total / count) if count else None,
+    }
+    for key, q in _QUANTILES:
+        summary[key] = _ms(parsed.quantile(name, q, **labels))
+    return summary
+
+
+def summarize_metrics(parsed: ParsedMetrics) -> Dict[str, object]:
+    """Condense one scrape (or scrape delta) into headline numbers.
+
+    Works on whatever subset of the ``repro_*`` families is present:
+    an in-process fleet has no HTTP samples, a bare engine shard has no
+    fleet samples — missing families summarise to zero counts and
+    ``None`` percentiles rather than failing.  Shared by the experiment
+    runner, ``repro-uv fleet --json`` and the fleet benchmark so all
+    three emit the same shape.
+    """
+    hits = parsed.total("repro_engine_cache_hits_total")
+    misses = parsed.total("repro_engine_cache_misses_total")
+    ops = sorted(parsed.labels_of("repro_fleet_requests_total", "op"))
+    stream_modes = sorted(
+        parsed.labels_of("repro_stream_update_seconds_count", "mode"))
+    return {
+        "http": {
+            "requests": int(parsed.total("repro_http_requests_total")),
+            "errors": int(parsed.total("repro_http_errors_total")),
+            "latency": _latency_summary(parsed,
+                                        "repro_http_request_seconds"),
+        },
+        "fleet": {
+            "requests": {op: int(parsed.total("repro_fleet_requests_total",
+                                              op=op)) for op in ops},
+            "failovers": int(parsed.total("repro_fleet_failovers_total")),
+            "shard_failures": int(
+                parsed.total("repro_fleet_shard_failures_total")),
+            "shards_healthy": int(
+                parsed.total("repro_fleet_shard_healthy")),
+            "latency": _latency_summary(parsed,
+                                        "repro_fleet_request_seconds"),
+            "latency_by_op": {
+                op: _latency_summary(parsed, "repro_fleet_request_seconds",
+                                     op=op) for op in ops},
+        },
+        "cache": {
+            "hits": int(hits),
+            "misses": int(misses),
+            "hit_rate": _rate(hits, hits + misses),
+            "evictions": int(
+                parsed.total("repro_engine_cache_evictions_total")),
+            "stampedes_avoided": int(
+                parsed.total("repro_engine_stampedes_avoided_total")),
+            "cold_computes": int(
+                parsed.total("repro_engine_cold_compute_seconds_count")),
+            "cold_compute": _latency_summary(
+                parsed, "repro_engine_cold_compute_seconds"),
+        },
+        "streams": {
+            "updates": int(
+                parsed.total("repro_stream_update_seconds_count")),
+            "updates_by_mode": {
+                mode: int(parsed.total("repro_stream_update_seconds_count",
+                                       mode=mode))
+                for mode in stream_modes},
+            "affected_fraction_p50": parsed.quantile(
+                "repro_stream_affected_fraction", 0.5),
+        },
+    }
+
+
+def _run_cell(bundle, trace: WorkloadTrace, fleet_size: int,
+              replication: int, config: ExperimentConfig):
+    """One grid cell: fresh registry, fresh fleet, one replay."""
+    # imported here, not at module top: repro.bench must stay importable
+    # without dragging the serving stack in for trace-only callers
+    from ..serve import EngineShard, FleetRouter, InferenceEngine
+
+    registry = MetricsRegistry()
+    shards = [
+        EngineShard(
+            InferenceEngine.from_bundle(bundle,
+                                        cache_size=config.cache_size,
+                                        metrics=registry),
+            shard_id=f"shard-{i}")
+        for i in range(fleet_size)]
+    router = FleetRouter(shards, replication=replication,
+                         name=f"f{fleet_size}r{replication}",
+                         metrics=registry)
+    before = parse_prometheus_text(registry.render())
+    result = replay_trace(trace, router, collect_stats=False,
+                          open_options={"incremental": config.incremental})
+    after = parse_prometheus_text(registry.render())
+    return result, metrics_delta(before, after)
+
+
+def run_experiment(bundle, traces: Sequence[WorkloadTrace],
+                   config: ExperimentConfig = ExperimentConfig(),
+                   model: Optional[str] = None) -> Dict[str, object]:
+    """Sweep the grid and return the machine-readable report.
+
+    ``bundle`` is anything :meth:`InferenceEngine.from_bundle` accepts
+    (a loaded :class:`~repro.serve.ModelBundle` or a bundle directory).
+    Cells that collapse to the same effective topology after clamping
+    replication to the fleet size (a 1-shard fleet can only replicate
+    once) run once, not once per requested replication.
+    """
+    if not traces:
+        raise ValueError("run_experiment needs at least one trace")
+    names = [trace.name for trace in traces]
+    if len(set(names)) != len(names):
+        raise ValueError(f"trace names must be unique, got {names}")
+
+    cells: List[Dict[str, object]] = []
+    baselines: Dict[str, object] = {}
+    seen = set()
+    for trace in traces:
+        for fleet_size in config.fleet_sizes:
+            for replication in config.replications:
+                effective = min(replication, fleet_size)
+                key = (trace.name, fleet_size, effective)
+                if key in seen:
+                    continue
+                seen.add(key)
+                result, moved = _run_cell(bundle, trace, fleet_size,
+                                          effective, config)
+                cell: Dict[str, object] = {
+                    "cell": f"{trace.name}/f{fleet_size}r{effective}",
+                    "trace": trace.name,
+                    "fleet_size": fleet_size,
+                    "replication": effective,
+                    "replay": result.summary(),
+                    "metrics": summarize_metrics(moved),
+                }
+                if config.verify_identical:
+                    baseline = baselines.setdefault(trace.name, result)
+                    identical, max_diff = replays_identical(baseline, result)
+                    cell["bit_identical_to_baseline"] = bool(identical)
+                    cell["max_score_diff"] = float(max_diff)
+                cells.append(cell)
+
+    return {
+        "schema_version": EXPERIMENT_SCHEMA_VERSION,
+        "experiment": "fleet_config_sweep",
+        "model": model,
+        "grid": {
+            "fleet_sizes": sorted(set(config.fleet_sizes)),
+            "replications": sorted(set(config.replications)),
+            "traces": names,
+            "cache_size": config.cache_size,
+            "incremental": config.incremental,
+        },
+        "traces": {trace.name: trace.summary() for trace in traces},
+        "cells": cells,
+    }
+
+
+def format_experiment_table(report: Dict[str, object]) -> str:
+    """The human-readable per-cell comparison the CLI prints."""
+    headers = ["cell", "shards", "repl", "ops/s", "p50 ms", "p95 ms",
+               "p99 ms", "hit rate", "failovers", "identical"]
+    def fmt(value, pattern="{:.2f}"):
+        return "-" if value is None else pattern.format(value)
+
+    rows = []
+    for cell in report["cells"]:
+        metrics = cell["metrics"]
+        latency = metrics["fleet"]["latency"]
+        rows.append([
+            cell["cell"], cell["fleet_size"], cell["replication"],
+            fmt(cell["replay"]["ops_per_second"], "{:.1f}"),
+            fmt(latency["p50_ms"]), fmt(latency["p95_ms"]),
+            fmt(latency["p99_ms"]),
+            fmt(metrics["cache"]["hit_rate"]),
+            metrics["fleet"]["failovers"],
+            {True: "yes", False: "NO"}.get(
+                cell.get("bit_identical_to_baseline"), "-"),
+        ])
+    return format_table(headers, rows,
+                        title=f"fleet config sweep ({len(rows)} cells)")

@@ -25,8 +25,11 @@ from ..eval.reporting import TABLE2_HEADERS, format_table, table2_rows
 from ..experiments import (run_fig5a, run_fig5b, run_fig6a, run_fig6b, run_fig6c,
                            run_fig7, run_table1, run_table2, run_table3)
 from ..analysis import score_drift_report
-from ..bench import (WorkloadConfig, derive_cities, generate_workload,
-                     load_trace, replay_trace, replays_identical, save_trace)
+from ..bench import (ExperimentConfig, WorkloadConfig, derive_cities,
+                     format_experiment_table, generate_workload, load_trace,
+                     replay_trace, replays_identical, run_experiment,
+                     save_trace, summarize_metrics)
+from ..obs import MetricsRegistry, parse_prometheus_text
 from ..nn.graphops import plan_cache_info
 from ..serve import (ChaosShard, EngineShard, FleetRouter, InferenceEngine,
                      ModelRegistry, RemoteShard, ScoringClient, ScoringServer,
@@ -229,8 +232,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
             f"cannot bind {args.host}:{args.port}: {error}") from error
     print(f"serving {len(registry.models())} model(s) from {args.registry} "
           f"at {server.url}")
-    print("endpoints: GET /healthz /models /models/<name> /streams /stats  "
-          "POST /score /update /evict  (Ctrl-C to stop)")
+    print("endpoints: GET /healthz /models /models/<name> /streams /stats "
+          "/metrics  POST /score /update /evict  (Ctrl-C to stop)")
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -376,8 +379,8 @@ def cmd_workload(args: argparse.Namespace) -> int:
     return 0
 
 
-def _build_fleet(args: argparse.Namespace,
-                 registry: ModelRegistry) -> FleetRouter:
+def _build_fleet(args: argparse.Namespace, registry: ModelRegistry,
+                 metrics: Optional[MetricsRegistry] = None) -> FleetRouter:
     urls = [url.strip() for url in (args.urls or "").split(",")
             if url.strip()]
     shards = []
@@ -388,12 +391,12 @@ def _build_fleet(args: argparse.Namespace,
         else:
             engine = InferenceEngine.from_bundle(
                 registry.resolve(args.model, args.version),
-                cache_size=args.cache_size)
+                cache_size=args.cache_size, metrics=metrics)
             shard = EngineShard(engine, shard_id=f"shard-{i}")
         if args.kill_shard is not None and args.kill_shard == i:
             shard = ChaosShard(shard, fail_after=args.kill_after)
         shards.append(shard)
-    return FleetRouter(shards, replication=args.replication)
+    return FleetRouter(shards, replication=args.replication, metrics=metrics)
 
 
 def cmd_fleet(args: argparse.Namespace) -> int:
@@ -421,7 +424,10 @@ def cmd_fleet(args: argparse.Namespace) -> int:
           % summary + f"against {args.shards} shard(s), "
           f"replication {args.replication}")
 
-    fleet = _build_fleet(args, registry)
+    # a fresh registry so the scrape below shows this replay's traffic
+    # only, not whatever else the process has served
+    obs = MetricsRegistry()
+    fleet = _build_fleet(args, registry, metrics=obs)
     # per-open option rather than a shard default, so the incremental
     # policy reaches remote shards (server-side streams) as well as
     # in-process ones — and the oracle replays under the same policy
@@ -432,6 +438,13 @@ def cmd_fleet(args: argparse.Namespace) -> int:
                           collect_stats=False)
     print(f"completed {result.completed_ops}/{len(trace)} ops in "
           f"{result.elapsed_s:.2f}s ({result.ops_per_second:.1f} ops/s)")
+    metrics_summary = summarize_metrics(parse_prometheus_text(obs.render()))
+    latency = metrics_summary["fleet"]["latency"]
+    if latency["count"]:
+        print("latency: " + ", ".join(
+            f"{key.replace('_ms', '')}={latency[key]:.2f}ms"
+            for key in ("p50_ms", "p95_ms", "p99_ms")
+            if latency[key] is not None))
     stats = fleet.stats()
     fleet_counters = stats["fleet"]
     totals = stats["totals"]
@@ -469,10 +482,52 @@ def cmd_fleet(args: argparse.Namespace) -> int:
             exit_code = 1
     if args.json:
         payload = {"trace": summary, "replay": result.summary(),
-                   "stats": stats}
+                   "stats": stats, "metrics": metrics_summary}
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2, default=str)
         print(f"wrote fleet report to {args.json}")
+    return exit_code
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    """Sweep fleet size x replication over workload traces and report."""
+    registry = ModelRegistry(args.registry)
+    bundle_dir = registry.resolve(args.model, args.version)
+    if args.trace:
+        traces = [load_trace(path.strip())
+                  for path in args.trace.split(",") if path.strip()]
+    else:
+        graph = _load_or_build_graph(args)
+        cities = derive_cities(graph, args.cities, seed=args.workload_seed)
+        traces = [generate_workload(cities, WorkloadConfig(
+            ops=args.ops, seed=args.workload_seed))]
+    fleet_sizes = tuple(int(size) for size in args.fleet_sizes.split(",")
+                        if size.strip())
+    replications = tuple(int(repl) for repl in args.replications.split(",")
+                         if repl.strip())
+    config = ExperimentConfig(fleet_sizes=fleet_sizes,
+                              replications=replications,
+                              cache_size=args.cache_size,
+                              incremental=args.incremental,
+                              verify_identical=not args.no_verify)
+    print(f"sweeping fleet sizes {sorted(set(fleet_sizes))} x replications "
+          f"{sorted(set(replications))} over "
+          f"{len(traces)} trace(s) with model '{args.model}'")
+    report = run_experiment(bundle_dir, traces, config, model=args.model)
+    print()
+    print(format_experiment_table(report))
+
+    exit_code = 0
+    if config.verify_identical:
+        diverged = [cell["cell"] for cell in report["cells"]
+                    if not cell["bit_identical_to_baseline"]]
+        if diverged:
+            print(f"DIVERGED from per-trace baseline: {', '.join(diverged)}")
+            exit_code = 1
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote experiment report to {args.output}")
     return exit_code
 
 

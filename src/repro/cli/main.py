@@ -302,6 +302,58 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.set_defaults(handler=commands.cmd_fleet)
 
     # ------------------------------------------------------------------
+    # experiment
+    # ------------------------------------------------------------------
+    experiment = subparsers.add_parser(
+        "experiment", help="sweep fleet size x replication over workload "
+                           "traces, measuring each cell through a fresh "
+                           "metrics registry")
+    experiment.add_argument("--registry", required=True,
+                            help="model-registry root with published bundles")
+    experiment.add_argument("--model", required=True,
+                            help="published model name")
+    experiment.add_argument("--version", default=None,
+                            help="model version (latest)")
+    experiment.add_argument("--fleet-sizes", default="1,2",
+                            help="comma-separated shard counts to sweep")
+    experiment.add_argument("--replications", default="2",
+                            help="comma-separated replica-set sizes to sweep "
+                                 "(clamped to each cell's fleet size)")
+    experiment.add_argument("--cache-size", type=int, default=8,
+                            help="LRU capacity of each shard engine's "
+                                 "result cache")
+    experiment.add_argument("--incremental", default="auto",
+                            choices=("auto", "always", "never"),
+                            help="delta-localised rescoring policy of the "
+                                 "per-shard streams")
+    experiment_trace = experiment.add_mutually_exclusive_group(required=True)
+    experiment_trace.add_argument("--trace",
+                                  help="comma-separated recorded traces to "
+                                       "replay (see 'repro-uv workload')")
+    experiment_trace.add_argument("--preset",
+                                  help="generate an ad-hoc workload from "
+                                       "this preset")
+    experiment_trace.add_argument("--graph",
+                                  help="generate an ad-hoc workload from "
+                                       "this graph (.npz)")
+    experiment.add_argument("--seed", type=int, default=None,
+                            help="override the preset seed")
+    experiment.add_argument("--cities", type=int, default=3,
+                            help="city variants of the ad-hoc workload "
+                                 "(no --trace)")
+    experiment.add_argument("--ops", type=int, default=32,
+                            help="ops of the ad-hoc workload (no --trace)")
+    experiment.add_argument("--workload-seed", type=int, default=0,
+                            help="seed of the ad-hoc workload (no --trace)")
+    experiment.add_argument("--no-verify", action="store_true",
+                            help="skip the bit-identity check against each "
+                                 "trace's first cell")
+    experiment.add_argument("--output", default="EXPERIMENT.json",
+                            help="write the machine-readable report to this "
+                                 "JSON path")
+    experiment.set_defaults(handler=commands.cmd_experiment)
+
+    # ------------------------------------------------------------------
     # score
     # ------------------------------------------------------------------
     score = subparsers.add_parser(

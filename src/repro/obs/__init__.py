@@ -1,0 +1,39 @@
+"""Observability: a dependency-free metrics core for the serving stack.
+
+See :mod:`repro.obs.metrics` for the full story; the short version is
+that every serving component (engine, streaming scorer, fleet router,
+HTTP server) increments counters/gauges/histograms against a
+:class:`MetricsRegistry` — the process-global one by default, an
+injected one in tests and experiments — and ``GET /metrics`` renders the
+Prometheus text exposition format.
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    FRACTION_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    ParsedMetrics,
+    default_registry,
+    metrics_delta,
+    parse_prometheus_text,
+    quantile_from_buckets,
+    set_default_registry,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "ParsedMetrics",
+    "default_registry",
+    "set_default_registry",
+    "parse_prometheus_text",
+    "metrics_delta",
+    "quantile_from_buckets",
+    "DEFAULT_LATENCY_BUCKETS",
+    "FRACTION_BUCKETS",
+]

@@ -1,0 +1,730 @@
+"""A dependency-free metrics core with Prometheus text exposition.
+
+The serving stack emits plenty of counters, but before this module they
+only existed as ad-hoc JSON blobs (``FleetRouter.stats()``,
+``StreamStats``, ``plan_cache_info()``) — no latencies, no history, no
+way to diff two runs.  ``repro.obs`` gives every layer one shared
+vocabulary:
+
+* :class:`Counter` — a monotonically increasing total;
+* :class:`Gauge` — a value that can go up and down (health, occupancy);
+* :class:`Histogram` — fixed-bucket latency/fraction distributions with
+  Prometheus ``_bucket``/``_sum``/``_count`` semantics and
+  :meth:`~HistogramChild.quantile` estimation by linear interpolation
+  within buckets (the ``histogram_quantile`` model);
+* :class:`MetricsRegistry` — owns metric families, renders the
+  `Prometheus text exposition format
+  <https://prometheus.io/docs/instrumenting/exposition_formats/>`_ and is
+  what ``GET /metrics`` serves.
+
+There is a process-global default registry (:func:`default_registry`) so
+instrumented components need zero wiring in production, and every
+component also accepts an explicit registry (``metrics=...``) so tests
+and the experiment runner (:mod:`repro.bench.experiment`) can observe an
+isolated world.
+
+The module also ships the *consumer* side: :func:`parse_prometheus_text`
+parses a rendered exposition back into :class:`ParsedMetrics` (used by
+the experiment runner to snapshot ``/metrics`` before/after a run),
+:func:`metrics_delta` subtracts two snapshots (counters and histogram
+buckets subtract; gauges keep the later value), and
+:func:`quantile_from_buckets` recovers percentiles from parsed
+cumulative buckets.
+
+Everything is thread-safe: families guard their child maps, children
+guard their numbers, and no lock is ever held while calling foreign
+code, so instrumentation can be dropped into hot paths (one dict lookup
+plus one locked integer add per event).
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "ParsedMetrics",
+    "default_registry",
+    "set_default_registry",
+    "parse_prometheus_text",
+    "metrics_delta",
+    "quantile_from_buckets",
+    "DEFAULT_LATENCY_BUCKETS",
+    "FRACTION_BUCKETS",
+]
+
+#: default histogram buckets for request/compute latencies, in seconds —
+#: sub-millisecond cache hits up to ten-second cold cities
+DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0)
+
+#: buckets for [0, 1] ratios (e.g. a delta's affected-region fraction)
+FRACTION_BUCKETS: Tuple[float, ...] = (
+    0.01, 0.025, 0.05, 0.1, 0.2, 0.35, 0.5, 0.75, 0.9, 1.0)
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+#: sample suffixes the histogram type owns
+_HISTOGRAM_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+def _check_name(name: str) -> str:
+    if not isinstance(name, str) or not _NAME_RE.match(name):
+        raise ValueError(f"invalid metric name {name!r}")
+    return name
+
+
+def _check_labelnames(labelnames: Sequence[str]) -> Tuple[str, ...]:
+    names = tuple(labelnames)
+    for label in names:
+        if not isinstance(label, str) or not _LABEL_RE.match(label):
+            raise ValueError(f"invalid label name {label!r}")
+        if label.startswith("__") or label == "le":
+            raise ValueError(f"reserved label name {label!r}")
+    if len(set(names)) != len(names):
+        raise ValueError(f"duplicate label names in {names}")
+    return names
+
+
+def _escape_label_value(value: str) -> str:
+    return (value.replace("\\", "\\\\").replace("\n", "\\n")
+            .replace('"', '\\"'))
+
+
+def _unescape_label_value(value: str) -> str:
+    out: List[str] = []
+    i = 0
+    while i < len(value):
+        ch = value[i]
+        if ch == "\\" and i + 1 < len(value):
+            nxt = value[i + 1]
+            if nxt == "n":
+                out.append("\n")
+            elif nxt in ('"', "\\"):
+                out.append(nxt)
+            else:  # unknown escape: keep both characters
+                out.append(ch)
+                out.append(nxt)
+            i += 2
+            continue
+        out.append(ch)
+        i += 1
+    return "".join(out)
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    """Canonical sample formatting: integers stay integral, +Inf spelled
+    the Prometheus way, floats via ``repr`` (shortest round-trip form)."""
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if value != value:  # NaN
+        return "NaN"
+    if float(value).is_integer() and abs(value) < 2**53:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _format_le(upper: float) -> str:
+    return "+Inf" if upper == math.inf else _format_value(upper)
+
+
+def _render_labels(items: Sequence[Tuple[str, str]]) -> str:
+    if not items:
+        return ""
+    body = ",".join(f'{key}="{_escape_label_value(str(value))}"'
+                    for key, value in items)
+    return "{" + body + "}"
+
+
+# ----------------------------------------------------------------------
+# quantiles
+# ----------------------------------------------------------------------
+def quantile_from_buckets(buckets: Sequence[Tuple[float, float]],
+                          q: float) -> Optional[float]:
+    """Estimate the ``q``-quantile from cumulative histogram buckets.
+
+    ``buckets`` is a sequence of ``(upper_bound, cumulative_count)``
+    pairs sorted by bound, ending with the ``+Inf`` bucket (total count)
+    — exactly the shape a Prometheus histogram exposes.  Uses the
+    ``histogram_quantile`` model: linear interpolation inside the target
+    bucket, the lowest bucket interpolates from zero, and a result in
+    the ``+Inf`` bucket reports the highest finite bound.  Returns
+    ``None`` for an empty histogram.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    if not buckets:
+        return None
+    ordered = sorted((float(upper), float(count)) for upper, count in buckets)
+    total = ordered[-1][1]
+    if total <= 0:
+        return None
+    rank = q * total
+    previous_upper, previous_count = 0.0, 0.0
+    for upper, count in ordered:
+        if count >= rank:
+            if upper == math.inf:
+                # no information above the last finite bound
+                finite = [u for u, _ in ordered if u != math.inf]
+                return finite[-1] if finite else None
+            if count == previous_count:
+                return upper
+            fraction = (rank - previous_count) / (count - previous_count)
+            return previous_upper + (upper - previous_upper) * fraction
+        previous_upper, previous_count = upper, count
+    return ordered[-1][0] if ordered[-1][0] != math.inf else None
+
+
+# ----------------------------------------------------------------------
+# children (one labelled time series each)
+# ----------------------------------------------------------------------
+class CounterChild:
+    """One labelled counter series."""
+
+    __slots__ = ("_value", "_lock")
+
+    def __init__(self) -> None:
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up, got inc({amount})")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class GaugeChild:
+    """One labelled gauge series."""
+
+    __slots__ = ("_value", "_lock")
+
+    def __init__(self) -> None:
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class HistogramChild:
+    """One labelled histogram series (fixed buckets)."""
+
+    __slots__ = ("_uppers", "_counts", "_sum", "_count", "_lock")
+
+    def __init__(self, uppers: Tuple[float, ...]) -> None:
+        self._uppers = uppers          # strictly increasing, ends with +Inf
+        self._counts = [0] * len(uppers)  # per-bucket (non-cumulative)
+        self._sum = 0.0
+        self._count = 0
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        # linear scan: bucket lists are short (~15) and most observations
+        # land early; bisect would not measurably help
+        index = 0
+        while self._uppers[index] < value:
+            index += 1
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    def buckets(self) -> List[Tuple[float, float]]:
+        """Cumulative ``(upper_bound, count)`` pairs, ending at +Inf."""
+        with self._lock:
+            counts = list(self._counts)
+        out: List[Tuple[float, float]] = []
+        running = 0
+        for upper, count in zip(self._uppers, counts):
+            running += count
+            out.append((upper, float(running)))
+        return out
+
+    def quantile(self, q: float) -> Optional[float]:
+        return quantile_from_buckets(self.buckets(), q)
+
+
+# ----------------------------------------------------------------------
+# families
+# ----------------------------------------------------------------------
+class _MetricFamily:
+    """Base of Counter/Gauge/Histogram: a named set of labelled children.
+
+    A family with no label names behaves as its own single child — e.g.
+    ``registry.counter("x", "help").inc()`` — while labelled families
+    hand out children via :meth:`labels`.
+    """
+
+    metric_type = "untyped"
+
+    def __init__(self, name: str, help: str,
+                 labelnames: Sequence[str] = ()) -> None:
+        self.name = _check_name(name)
+        self.help = str(help)
+        self.labelnames = _check_labelnames(labelnames)
+        self._children: Dict[Tuple[str, ...], object] = {}
+        self._lock = threading.Lock()
+
+    def _make_child(self):
+        raise NotImplementedError
+
+    def labels(self, **labels: str) -> object:
+        if set(labels) != set(self.labelnames):
+            raise ValueError(
+                f"metric {self.name!r} takes labels {self.labelnames}, "
+                f"got {tuple(sorted(labels))}")
+        key = tuple(str(labels[name]) for name in self.labelnames)
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                child = self._make_child()
+                self._children[key] = child
+        return child
+
+    def _default_child(self):
+        if self.labelnames:
+            raise ValueError(f"metric {self.name!r} is labelled "
+                             f"{self.labelnames}; use .labels(...)")
+        return self.labels()
+
+    def children(self) -> List[Tuple[Tuple[str, ...], object]]:
+        with self._lock:
+            return sorted(self._children.items())
+
+    # ------------------------------------------------------------------
+    def header_lines(self) -> List[str]:
+        return [f"# HELP {self.name} {_escape_help(self.help)}",
+                f"# TYPE {self.name} {self.metric_type}"]
+
+    def sample_lines(self) -> List[str]:
+        raise NotImplementedError
+
+
+class Counter(_MetricFamily):
+    """A monotonically increasing total (family)."""
+
+    metric_type = "counter"
+
+    def _make_child(self) -> CounterChild:
+        return CounterChild()
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._default_child().inc(amount)
+
+    @property
+    def value(self) -> float:
+        return self._default_child().value
+
+    def sample_lines(self) -> List[str]:
+        lines = []
+        for key, child in self.children():
+            labels = _render_labels(list(zip(self.labelnames, key)))
+            lines.append(f"{self.name}{labels} "
+                         f"{_format_value(child.value)}")
+        return lines
+
+
+class Gauge(_MetricFamily):
+    """A value that can go up and down (family)."""
+
+    metric_type = "gauge"
+
+    def _make_child(self) -> GaugeChild:
+        return GaugeChild()
+
+    def set(self, value: float) -> None:
+        self._default_child().set(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._default_child().inc(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._default_child().dec(amount)
+
+    @property
+    def value(self) -> float:
+        return self._default_child().value
+
+    def sample_lines(self) -> List[str]:
+        lines = []
+        for key, child in self.children():
+            labels = _render_labels(list(zip(self.labelnames, key)))
+            lines.append(f"{self.name}{labels} "
+                         f"{_format_value(child.value)}")
+        return lines
+
+
+class Histogram(_MetricFamily):
+    """A fixed-bucket distribution (family)."""
+
+    metric_type = "histogram"
+
+    def __init__(self, name: str, help: str, labelnames: Sequence[str] = (),
+                 buckets: Optional[Sequence[float]] = None) -> None:
+        super().__init__(name, help, labelnames)
+        bounds = tuple(float(b) for b in
+                       (buckets if buckets is not None
+                        else DEFAULT_LATENCY_BUCKETS))
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        if any(b != b or b == math.inf for b in bounds):
+            raise ValueError("finite bucket bounds only (+Inf is implicit)")
+        if list(bounds) != sorted(set(bounds)):
+            raise ValueError(f"bucket bounds must be strictly increasing, "
+                             f"got {bounds}")
+        self.bucket_bounds = bounds + (math.inf,)
+
+    def _make_child(self) -> HistogramChild:
+        return HistogramChild(self.bucket_bounds)
+
+    def observe(self, value: float) -> None:
+        self._default_child().observe(value)
+
+    def quantile(self, q: float) -> Optional[float]:
+        return self._default_child().quantile(q)
+
+    @property
+    def count(self) -> int:
+        return self._default_child().count
+
+    @property
+    def sum(self) -> float:
+        return self._default_child().sum
+
+    def sample_lines(self) -> List[str]:
+        lines = []
+        for key, child in self.children():
+            base = list(zip(self.labelnames, key))
+            for upper, cumulative in child.buckets():
+                labels = _render_labels(base + [("le", _format_le(upper))])
+                lines.append(f"{self.name}_bucket{labels} "
+                             f"{_format_value(cumulative)}")
+            labels = _render_labels(base)
+            lines.append(f"{self.name}_sum{labels} "
+                         f"{_format_value(child.sum)}")
+            lines.append(f"{self.name}_count{labels} "
+                         f"{_format_value(float(child.count))}")
+        return lines
+
+
+# ----------------------------------------------------------------------
+# the registry
+# ----------------------------------------------------------------------
+class MetricsRegistry:
+    """Owns metric families and renders the text exposition format.
+
+    Families are created on first use and returned on every later
+    request with the same name — re-registration with a different type,
+    label set or bucket layout is an error (two call sites disagreeing
+    about a metric is a bug worth failing loudly on).
+    """
+
+    def __init__(self) -> None:
+        self._families: "Dict[str, _MetricFamily]" = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def _get_or_create(self, cls, name: str, help: str,
+                       labelnames: Sequence[str], **kwargs) -> _MetricFamily:
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                family = cls(name, help, labelnames, **kwargs)
+                self._families[name] = family
+                return family
+        if not isinstance(family, cls):
+            raise ValueError(
+                f"metric {name!r} already registered as "
+                f"{family.metric_type}, not {cls.metric_type}")
+        if family.labelnames != _check_labelnames(labelnames):
+            raise ValueError(
+                f"metric {name!r} already registered with labels "
+                f"{family.labelnames}, got {tuple(labelnames)}")
+        if (isinstance(family, Histogram) and kwargs.get("buckets") is not None
+                and family.bucket_bounds[:-1]
+                != tuple(float(b) for b in kwargs["buckets"])):
+            raise ValueError(f"metric {name!r} already registered with "
+                             f"buckets {family.bucket_bounds[:-1]}")
+        return family
+
+    def counter(self, name: str, help: str,
+                labelnames: Sequence[str] = ()) -> Counter:
+        return self._get_or_create(Counter, name, help, labelnames)
+
+    def gauge(self, name: str, help: str,
+              labelnames: Sequence[str] = ()) -> Gauge:
+        return self._get_or_create(Gauge, name, help, labelnames)
+
+    def histogram(self, name: str, help: str,
+                  labelnames: Sequence[str] = (),
+                  buckets: Optional[Sequence[float]] = None) -> Histogram:
+        return self._get_or_create(Histogram, name, help, labelnames,
+                                   buckets=buckets)
+
+    # ------------------------------------------------------------------
+    def families(self) -> List[_MetricFamily]:
+        with self._lock:
+            return [self._families[name] for name in sorted(self._families)]
+
+    def get(self, name: str) -> Optional[_MetricFamily]:
+        with self._lock:
+            return self._families.get(name)
+
+    def render(self) -> str:
+        """The full Prometheus text exposition (content type
+        ``text/plain; version=0.0.4``)."""
+        lines: List[str] = []
+        for family in self.families():
+            samples = family.sample_lines()
+            if not samples:
+                continue
+            lines.extend(family.header_lines())
+            lines.extend(samples)
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+_default_lock = threading.Lock()
+_default: MetricsRegistry = MetricsRegistry()
+
+
+def default_registry() -> MetricsRegistry:
+    """The process-global registry instrumented components fall back to."""
+    with _default_lock:
+        return _default
+
+
+def set_default_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the process-global registry; returns the previous one.
+
+    Meant for tests that want components built *without* an explicit
+    ``metrics=...`` to land in a fresh world — swap, exercise, swap back.
+    """
+    global _default
+    if not isinstance(registry, MetricsRegistry):
+        raise TypeError(f"expected a MetricsRegistry, got {registry!r}")
+    with _default_lock:
+        previous = _default
+        _default = registry
+        return previous
+
+
+# ----------------------------------------------------------------------
+# the consumer side: parse / diff / summarise
+# ----------------------------------------------------------------------
+_SampleKey = Tuple[str, Tuple[Tuple[str, str], ...]]
+
+
+class ParsedMetrics:
+    """A parsed ``/metrics`` exposition, queryable by name and labels.
+
+    Samples are stored flat (histogram series appear as their
+    ``_bucket``/``_sum``/``_count`` samples, exactly as exposed);
+    :meth:`value`, :meth:`total`, :meth:`buckets` and :meth:`quantile`
+    are the typed accessors the experiment runner works through.
+    """
+
+    def __init__(self, types: Mapping[str, str],
+                 samples: Mapping[_SampleKey, float]) -> None:
+        self.types = dict(types)
+        self.samples = dict(samples)
+
+    # ------------------------------------------------------------------
+    def base_type(self, sample_name: str) -> str:
+        """Metric type of a sample name, resolving histogram suffixes."""
+        if sample_name in self.types:
+            return self.types[sample_name]
+        for suffix in _HISTOGRAM_SUFFIXES:
+            if sample_name.endswith(suffix):
+                base = sample_name[: -len(suffix)]
+                if self.types.get(base) == "histogram":
+                    return "histogram"
+        return "untyped"
+
+    def value(self, name: str, default: float = 0.0,
+              **labels: str) -> float:
+        """The sample with exactly these labels (``default`` if absent)."""
+        key = (name, tuple(sorted((k, str(v)) for k, v in labels.items())))
+        return self.samples.get(key, default)
+
+    def total(self, name: str, **labels: str) -> float:
+        """Sum of every sample of ``name`` matching the given label
+        *subset* (aggregation across the remaining labels)."""
+        want = {(k, str(v)) for k, v in labels.items()}
+        out = 0.0
+        for (sample_name, label_items), value in self.samples.items():
+            if sample_name == name and want <= set(label_items):
+                out += value
+        return out
+
+    def labels_of(self, name: str, label: str) -> List[str]:
+        """Every observed value of one label across a sample name."""
+        seen = set()
+        for (sample_name, label_items), _ in self.samples.items():
+            if sample_name == name:
+                for key, value in label_items:
+                    if key == label:
+                        seen.add(value)
+        return sorted(seen)
+
+    def buckets(self, name: str, **labels: str) -> List[Tuple[float, float]]:
+        """Cumulative ``(le, count)`` pairs of one histogram series.
+
+        With a label *subset*, buckets are summed across the remaining
+        labels (valid because every series of a family shares bounds).
+        """
+        want = {(k, str(v)) for k, v in labels.items()}
+        merged: Dict[float, float] = {}
+        for (sample_name, label_items), value in self.samples.items():
+            if sample_name != f"{name}_bucket":
+                continue
+            items = dict(label_items)
+            le = items.pop("le", None)
+            if le is None or not want <= set(items.items()):
+                continue
+            upper = math.inf if le == "+Inf" else float(le)
+            merged[upper] = merged.get(upper, 0.0) + value
+        return sorted(merged.items())
+
+    def quantile(self, name: str, q: float, **labels: str) -> Optional[float]:
+        return quantile_from_buckets(self.buckets(name, **labels), q)
+
+
+def _split_labels(body: str) -> List[Tuple[str, str]]:
+    """Parse the inside of a ``{...}`` label block (escape-aware)."""
+    items: List[Tuple[str, str]] = []
+    i = 0
+    while i < len(body):
+        if body[i] in ", ":
+            i += 1
+            continue
+        eq = body.index("=", i)
+        key = body[i:eq].strip()
+        if not _LABEL_RE.match(key) and key != "le":
+            raise ValueError(f"invalid label name {key!r}")
+        if eq + 1 >= len(body) or body[eq + 1] != '"':
+            raise ValueError(f"label {key!r} value is not quoted")
+        j = eq + 2
+        raw: List[str] = []
+        while j < len(body):
+            ch = body[j]
+            if ch == "\\" and j + 1 < len(body):
+                raw.append(body[j:j + 2])
+                j += 2
+                continue
+            if ch == '"':
+                break
+            raw.append(ch)
+            j += 1
+        else:
+            raise ValueError(f"unterminated label value for {key!r}")
+        items.append((key, _unescape_label_value("".join(raw))))
+        i = j + 1
+    return items
+
+
+def parse_prometheus_text(text: str) -> ParsedMetrics:
+    """Parse a text exposition back into queryable samples.
+
+    The round-trip partner of :meth:`MetricsRegistry.render` — the
+    experiment runner snapshots ``/metrics`` with this, and the format
+    tests assert ``parse(render(registry))`` recovers every sample.
+    Malformed lines raise :class:`ValueError` with the offending line.
+    """
+    types: Dict[str, str] = {}
+    samples: Dict[_SampleKey, float] = {}
+    for line_number, line in enumerate(text.splitlines(), 1):
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 4 and parts[1] == "TYPE":
+                types[parts[2]] = parts[3].strip()
+            continue
+        try:
+            if "{" in line:
+                brace = line.index("{")
+                name = line[:brace]
+                close = line.rindex("}")
+                label_items = _split_labels(line[brace + 1:close])
+                rest = line[close + 1:].strip()
+            else:
+                name, _, rest = line.partition(" ")
+                label_items = []
+                rest = rest.strip()
+            if not _NAME_RE.match(name):
+                raise ValueError(f"invalid sample name {name!r}")
+            value_str = rest.split()[0]  # a timestamp may follow the value
+            value = float("inf") if value_str == "+Inf" else float(value_str)
+        except ValueError:
+            raise
+        except Exception as error:
+            raise ValueError(f"malformed exposition line {line_number}: "
+                             f"{line!r} ({error})") from error
+        key = (name, tuple(sorted(label_items)))
+        # repeated samples (aggregation proxies) accumulate
+        samples[key] = samples.get(key, 0.0) + value
+    return ParsedMetrics(types, samples)
+
+
+def metrics_delta(before: ParsedMetrics, after: ParsedMetrics) -> ParsedMetrics:
+    """What happened *between* two snapshots.
+
+    Counters and histogram samples subtract (clamped at zero, so a
+    counter reset between snapshots degrades to "everything since the
+    reset" instead of going negative); gauges keep the ``after`` value —
+    a gauge describes a state, not an accumulation.
+    """
+    samples: Dict[_SampleKey, float] = {}
+    for key, value in after.samples.items():
+        name = key[0]
+        if after.base_type(name) == "gauge":
+            samples[key] = value
+        else:
+            samples[key] = max(0.0, value - before.samples.get(key, 0.0))
+    types = dict(before.types)
+    types.update(after.types)
+    return ParsedMetrics(types, samples)

@@ -27,6 +27,12 @@ fitted detector, then score many cities fast:
   (:class:`EngineShard` in-process, :class:`RemoteShard` over HTTP) with
   replication, health checks and lossless failover, paired with the
   deterministic workload traces in :mod:`repro.bench.workload`.
+
+Every layer reports into a :mod:`repro.obs` metrics registry (the
+process-global one by default, injectable via each component's
+``metrics=`` parameter); ``GET /metrics`` on the server renders the
+whole stack's counters and latency histograms in the Prometheus text
+exposition format.
 """
 
 from .bundle import (BundleManifest, ModelBundle, load_bundle, read_manifest,

@@ -95,6 +95,24 @@ class ScoringClient:
         """
         return self._request("/stats")
 
+    def metrics_text(self) -> str:
+        """The raw Prometheus text exposition (``GET /metrics``).
+
+        Returned as text, not JSON — feed it to
+        :func:`repro.obs.parse_prometheus_text` for structured access.
+        """
+        url = self.base_url + "/metrics"
+        request = urllib.request.Request(url, headers={"Accept": "text/plain"})
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self.timeout) as response:
+                return response.read().decode("utf-8")
+        except urllib.error.HTTPError as error:
+            raise ScoringServiceError(error.code, str(error.reason)) from error
+        except urllib.error.URLError as error:
+            raise ScoringServiceError(
+                0, f"cannot reach {url}: {error.reason}") from error
+
     def score(self, graph: UrbanRegionGraph, model: str,
               version: Optional[str] = None,
               regions: Optional[Sequence[int]] = None,

@@ -48,6 +48,7 @@ import numpy as np
 from ..core.cmsf import CMSFDetector
 from ..nn.graphops import EdgePlan
 from ..nn.tensor import dtype_scope, no_grad
+from ..obs import MetricsRegistry, default_registry
 from ..urg.graph import UrbanRegionGraph
 from .bundle import ModelBundle, load_bundle
 
@@ -116,6 +117,10 @@ class _LRUCache:
     def __post_init__(self) -> None:
         self._entries: "OrderedDict[str, np.ndarray]" = OrderedDict()
         self._lock = threading.Lock()
+        #: optional ``callback(count)`` fired after entries are evicted
+        #: (outside the cache lock) — how the engine exports evictions to
+        #: its metrics registry without the cache knowing about metrics
+        self.on_evict = None
 
     def get(self, key: str) -> Optional[np.ndarray]:
         with self._lock:
@@ -137,12 +142,16 @@ class _LRUCache:
     def put(self, key: str, value: np.ndarray) -> None:
         if self.capacity <= 0:
             return
+        evicted = 0
         with self._lock:
             self._entries[key] = value
             self._entries.move_to_end(key)
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
                 self.stats.evictions += 1
+                evicted += 1
+        if evicted and self.on_evict is not None:
+            self.on_evict(evicted)
 
     def discard(self, key: str) -> None:
         """Drop ``key`` if present (no effect on the hit/miss counters)."""
@@ -184,6 +193,12 @@ class InferenceEngine:
         ``None`` scores every region in one shot.
     max_workers:
         Thread-pool width used by :meth:`score_many`.
+    metrics:
+        The :class:`~repro.obs.MetricsRegistry` cache/stampede counters
+        and the cold-compute latency histogram are exported to, all
+        labelled ``model=<model_name>``.  ``None`` (the default) uses the
+        process-global registry served by ``GET /metrics``; tests and the
+        experiment runner inject a fresh one to observe in isolation.
     """
 
     def __init__(self, detector: CMSFDetector, cache_size: int = 32,
@@ -193,7 +208,8 @@ class InferenceEngine:
                  expected_poi_dim: Optional[int] = None,
                  expected_image_dim: Optional[int] = None,
                  expected_dtype: Optional[str] = None,
-                 plan_cache_size: int = 8) -> None:
+                 plan_cache_size: int = 8,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
         detector.check_fitted()
         if batch_size is not None and batch_size <= 0:
             raise ValueError("batch_size must be positive or None")
@@ -234,6 +250,31 @@ class InferenceEngine:
         #: number of requests that waited on another thread's in-flight
         #: compute instead of running their own forward pass
         self.stampedes_avoided = 0
+        #: the registry this engine's counters live in — the streaming
+        #: layer instruments its per-stream updates against the same one
+        self.metrics = metrics if metrics is not None else default_registry()
+        label = model_name or "unnamed"
+        self._m_hits = self.metrics.counter(
+            "repro_engine_cache_hits_total",
+            "Result-cache hits (score requests served without a forward pass).",
+            labelnames=("model",)).labels(model=label)
+        self._m_misses = self.metrics.counter(
+            "repro_engine_cache_misses_total",
+            "Result-cache misses on score requests.",
+            labelnames=("model",)).labels(model=label)
+        self._m_evictions = self.metrics.counter(
+            "repro_engine_cache_evictions_total",
+            "Score vectors dropped from the result cache by LRU pressure.",
+            labelnames=("model",)).labels(model=label)
+        self._m_stampedes = self.metrics.counter(
+            "repro_engine_stampedes_avoided_total",
+            "Cold requests that reused another thread's in-flight compute.",
+            labelnames=("model",)).labels(model=label)
+        self._m_cold_seconds = self.metrics.histogram(
+            "repro_engine_cold_compute_seconds",
+            "Latency of full cold forward passes (one per cold compute).",
+            labelnames=("model",)).labels(model=label)
+        self._cache.on_evict = self._m_evictions.inc
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -399,6 +440,7 @@ class InferenceEngine:
             fingerprint = graph.fingerprint()
         scores = self._cache.get(fingerprint)
         cache_hit = scores is not None
+        (self._m_hits if cache_hit else self._m_misses).inc()
         if scores is None:
             scores = self._compute_or_reuse(fingerprint, graph)
 
@@ -482,7 +524,10 @@ class InferenceEngine:
                     with self._predict_lock:
                         scores = self._cache.peek(fingerprint)
                         if scores is None:
+                            cold_start = time.perf_counter()
                             scores = self._cold_scores(graph, fingerprint)
+                            self._m_cold_seconds.observe(
+                                time.perf_counter() - cold_start)
                             self.cold_computes += 1
                             self._cache.put(fingerprint, scores)
                     entry.result = scores
@@ -498,6 +543,7 @@ class InferenceEngine:
             if entry.error is None and entry.result is not None:
                 with self._inflight_lock:
                     self.stampedes_avoided += 1
+                self._m_stampedes.inc()
                 return entry.result
             # the computing thread failed; loop and try to take over
 

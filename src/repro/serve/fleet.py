@@ -52,6 +52,7 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from ..obs import MetricsRegistry, default_registry
 from ..stream.delta import GraphDelta
 from ..stream.scorer import StreamingScorer
 from ..urg.graph import UrbanRegionGraph
@@ -581,6 +582,11 @@ class FleetRouter(ShardBackend):
         means no failover — a dead primary fails the request.
     vnodes:
         Virtual nodes per shard on the hash ring.
+    metrics:
+        The :class:`~repro.obs.MetricsRegistry` routing counters, the
+        per-op request latency histogram and the per-shard health gauges
+        are exported to (labelled ``fleet=<name>``).  ``None`` uses the
+        process-global registry.
 
     The router holds the authoritative current graph of every open city
     (updated only after a shard accepted the delta), which is what makes
@@ -592,7 +598,8 @@ class FleetRouter(ShardBackend):
 
     def __init__(self, backends: Sequence[ShardBackend],
                  replication: int = 2, vnodes: int = 64,
-                 name: str = "fleet") -> None:
+                 name: str = "fleet",
+                 metrics: Optional[MetricsRegistry] = None) -> None:
         backends = list(backends)
         if not backends:
             raise ValueError("a fleet needs at least one shard backend")
@@ -610,6 +617,36 @@ class FleetRouter(ShardBackend):
         self._cities: Dict[str, _CityState] = {}
         self._lock = threading.Lock()
         self.fleet_stats = FleetStats()
+        self.metrics = metrics if metrics is not None else default_registry()
+        self._m_requests = self.metrics.counter(
+            "repro_fleet_requests_total",
+            "Requests routed to a shard, by serving shard and operation.",
+            labelnames=("fleet", "shard", "op"))
+        self._m_request_seconds = self.metrics.histogram(
+            "repro_fleet_request_seconds",
+            "End-to-end latency of fleet requests (routing + shard work + "
+            "any failover), by operation.",
+            labelnames=("fleet", "op"))
+        self._m_failovers = self.metrics.counter(
+            "repro_fleet_failovers_total",
+            "Requests that succeeded on a replica after their shard failed.",
+            labelnames=("fleet",)).labels(fleet=name)
+        self._m_shard_failures = self.metrics.counter(
+            "repro_fleet_shard_failures_total",
+            "Shard-fatal backend call failures, by shard.",
+            labelnames=("fleet", "shard"))
+        self._m_shard_healthy = self.metrics.gauge(
+            "repro_fleet_shard_healthy",
+            "Whether the router considers a shard healthy (1) or down (0).",
+            labelnames=("fleet", "shard"))
+        for shard_id in self._backends:
+            self._m_shard_healthy.labels(fleet=name, shard=shard_id).set(1)
+
+    def _observe_request(self, op: str, shard_id: str, start: float) -> None:
+        """Record one routed request (serving shard + end-to-end latency)."""
+        self._m_requests.labels(fleet=self.name, shard=shard_id, op=op).inc()
+        self._m_request_seconds.labels(fleet=self.name, op=op).observe(
+            time.perf_counter() - start)
 
     # ------------------------------------------------------------------
     # introspection
@@ -650,6 +687,8 @@ class FleetRouter(ShardBackend):
         with self._lock:
             self.fleet_stats.shard_failures += 1
             self._down.add(shard_id)
+        self._m_shard_failures.labels(fleet=self.name, shard=shard_id).inc()
+        self._m_shard_healthy.labels(fleet=self.name, shard=shard_id).set(0)
 
     def health(self) -> Dict[str, object]:
         """Probe every shard; mark failures down, revive recoveries."""
@@ -660,10 +699,14 @@ class FleetRouter(ShardBackend):
             except Exception as error:  # any probe failure marks it down
                 with self._lock:
                     self._down.add(shard_id)
+                self._m_shard_healthy.labels(fleet=self.name,
+                                             shard=shard_id).set(0)
                 report[shard_id] = {"healthy": False, "error": str(error)}
                 continue
             with self._lock:
                 self._down.discard(shard_id)
+            self._m_shard_healthy.labels(fleet=self.name,
+                                         shard=shard_id).set(1)
             entry = {"healthy": True}
             if isinstance(payload, dict):
                 entry.update(payload)
@@ -692,6 +735,7 @@ class FleetRouter(ShardBackend):
     def open_stream(self, name: str, graph: UrbanRegionGraph,
                     rescore: bool = True, **options) -> Dict[str, object]:
         """Open (or reset) a city stream on its primary shard."""
+        start = time.perf_counter()
         key = graph.structural_fingerprint()
         replicas = self.route(key)
         state = _CityState(name=name, key=key, replicas=replicas,
@@ -715,6 +759,7 @@ class FleetRouter(ShardBackend):
             with self._lock:
                 self._cities[name] = state
                 self.fleet_stats.opens += 1
+            self._observe_request("open", shard_id, start)
             payload = dict(payload)
             payload["shard"] = shard_id
             payload["routing_key"] = key
@@ -776,6 +821,7 @@ class FleetRouter(ShardBackend):
                 state.active = shard_id
                 with self._lock:
                     self.fleet_stats.failovers += 1
+                self._m_failovers.inc()
             return payload
         with self._lock:
             self.fleet_stats.no_replica_errors += 1
@@ -786,6 +832,7 @@ class FleetRouter(ShardBackend):
 
     def score_stream(self, name: str, regions=None,
                      top_percent=None) -> Dict[str, object]:
+        start = time.perf_counter()
         state = self._city(name)
 
         def call(backend: ShardBackend) -> Dict[str, object]:
@@ -803,6 +850,7 @@ class FleetRouter(ShardBackend):
                 payload = call(self._backends[active])
                 with self._lock:
                     self.fleet_stats.score_requests += 1
+                self._observe_request("score", active, start)
                 return payload
             except KeyError:
                 pass  # stream missing on the shard — slow path re-opens
@@ -812,12 +860,15 @@ class FleetRouter(ShardBackend):
                 self._note_failure(active)
         with state.lock:
             payload = self._dispatch(state, call)
+            served = state.active
         with self._lock:
             self.fleet_stats.score_requests += 1
+        self._observe_request("score", served, start)
         return payload
 
     def update_stream(self, name: str, delta: GraphDelta, rescore: bool = True,
                       regions=None, top_percent=None) -> Dict[str, object]:
+        start = time.perf_counter()
         state = self._city(name)
 
         def call(backend: ShardBackend) -> Dict[str, object]:
@@ -827,6 +878,7 @@ class FleetRouter(ShardBackend):
 
         with state.lock:
             payload = self._dispatch(state, call)
+            served = state.active
             # advance the authoritative copy only after a shard accepted
             # the delta; the shard validated this exact transition against
             # an identical graph, so re-validation here would be pure cost
@@ -834,9 +886,11 @@ class FleetRouter(ShardBackend):
             state.version += 1
         with self._lock:
             self.fleet_stats.update_requests += 1
+        self._observe_request("update", served, start)
         return payload
 
     def evict_stream(self, name: str) -> Dict[str, object]:
+        start = time.perf_counter()
         state = self._city(name)
 
         def call(backend: ShardBackend) -> Dict[str, object]:
@@ -844,8 +898,10 @@ class FleetRouter(ShardBackend):
 
         with state.lock:
             payload = self._dispatch(state, call)
+            served = state.active
         with self._lock:
             self.fleet_stats.evict_requests += 1
+        self._observe_request("evict", served, start)
         return payload
 
     # ------------------------------------------------------------------
@@ -853,10 +909,19 @@ class FleetRouter(ShardBackend):
     # ------------------------------------------------------------------
     def stats(self) -> Dict[str, object]:
         """Fleet-wide ``/stats``: routing counters, per-shard entries and
-        counter totals summed across every shard."""
-        with self._lock:
-            down = sorted(self._down)
-            fleet = self.fleet_stats.to_dict()
+        counter totals summed across every shard.
+
+        The whole report is assembled under the router lock, so it is one
+        consistent point in time: the fleet counters, the down set, the
+        city table and every shard's counters all describe the same
+        instant, with no request commits interleaved between them
+        (previously each piece was snapshotted separately, so e.g.
+        ``cities_open`` could disagree with the per-shard stream lists).
+        Requests block for the duration; shard ``stats()`` calls are
+        cheap counter reads (in-process) or one small HTTP GET (remote),
+        and the lock ordering router → shard has no reverse path, so
+        this cannot deadlock.
+        """
         totals: Dict[str, object] = {
             "cache": {"hits": 0, "misses": 0, "evictions": 0},
             "cold_computes": 0,
@@ -865,33 +930,44 @@ class FleetRouter(ShardBackend):
             "stream_counters": {},
         }
         shard_entries: List[Dict[str, object]] = []
-        for shard_id, backend in self._backends.items():
-            entry: Dict[str, object] = {"shard": shard_id,
-                                        "healthy": shard_id not in down}
-            try:
-                payload = backend.stats()
-            except Exception as error:
-                entry["error"] = str(error)
+        with self._lock:
+            down = sorted(self._down)
+            fleet = self.fleet_stats.to_dict()
+            # self.cities() would re-take the (non-reentrant) lock, so the
+            # city snapshot is inlined here
+            cities = {name: {"routing_key": state.key,
+                             "replicas": list(state.replicas),
+                             "active": state.active,
+                             "version": state.version,
+                             "regions": state.graph.num_nodes}
+                      for name, state in sorted(self._cities.items())}
+            for shard_id, backend in self._backends.items():
+                entry: Dict[str, object] = {"shard": shard_id,
+                                            "healthy": shard_id not in down}
+                try:
+                    payload = backend.stats()
+                except Exception as error:
+                    entry["error"] = str(error)
+                    shard_entries.append(entry)
+                    continue
+                engine = payload.get("engine", {}) or {}
+                streams = payload.get("streams", []) or []
+                entry["engine"] = engine
+                entry["streams"] = streams
+                cache = engine.get("cache", {}) or {}
+                for counter in ("hits", "misses", "evictions"):
+                    totals["cache"][counter] += int(cache.get(counter, 0))
+                totals["cold_computes"] += int(engine.get("cold_computes", 0))
+                totals["stampedes_avoided"] += int(
+                    engine.get("stampedes_avoided", 0))
+                totals["streams_open"] += len(streams)
+                for stream in streams:
+                    for counter, value in (stream.get("stats") or {}).items():
+                        if isinstance(value, bool) or not isinstance(value, int):
+                            continue
+                        totals["stream_counters"][counter] = (
+                            totals["stream_counters"].get(counter, 0) + value)
                 shard_entries.append(entry)
-                continue
-            engine = payload.get("engine", {}) or {}
-            streams = payload.get("streams", []) or []
-            entry["engine"] = engine
-            entry["streams"] = streams
-            cache = engine.get("cache", {}) or {}
-            for counter in ("hits", "misses", "evictions"):
-                totals["cache"][counter] += int(cache.get(counter, 0))
-            totals["cold_computes"] += int(engine.get("cold_computes", 0))
-            totals["stampedes_avoided"] += int(
-                engine.get("stampedes_avoided", 0))
-            totals["streams_open"] += len(streams)
-            for stream in streams:
-                for counter, value in (stream.get("stats") or {}).items():
-                    if isinstance(value, bool) or not isinstance(value, int):
-                        continue
-                    totals["stream_counters"][counter] = (
-                        totals["stream_counters"].get(counter, 0) + value)
-            shard_entries.append(entry)
         requests = totals["cache"]["hits"] + totals["cache"]["misses"]
         totals["cache"]["hit_rate"] = round(
             totals["cache"]["hits"] / requests, 4) if requests else 0.0
@@ -901,8 +977,8 @@ class FleetRouter(ShardBackend):
                       "shards_total": len(self._backends),
                       "replication": self.replication,
                       "down": down,
-                      "cities_open": len(self._cities)},
-            "cities": self.cities(),
+                      "cities_open": len(cities)},
+            "cities": cities,
             "shards": shard_entries,
             "totals": totals,
         }

@@ -16,6 +16,11 @@ The server exposes these JSON endpoints:
     Serving-wide performance counters: the compute-plan cache, each
     engine's result cache / cold computes / stampedes avoided, and each
     stream's incremental-rescoring counters.
+``GET /metrics``
+    The Prometheus text exposition of the service's metrics registry
+    (``text/plain; version=0.0.4``): per-endpoint request/error counters
+    and latency histograms (``repro_http_*``) plus every engine, stream
+    and fleet metric registered against the same registry.
 ``POST /score``
     Score a graph with a named model.  The request body is a JSON object::
 
@@ -72,6 +77,7 @@ import urllib.parse
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, Optional, Tuple, Union
 
+from ..obs import MetricsRegistry, default_registry
 from ..stream.scorer import StreamingScorer
 from .bundle import read_manifest
 from .engine import InferenceEngine
@@ -81,6 +87,27 @@ from .wire import delta_from_payload, graph_from_payload
 #: request bodies larger than this are rejected up front (64 MiB covers the
 #: biggest preset city with raw image features several times over)
 MAX_BODY_BYTES = 64 * 1024 * 1024
+
+#: content type of the Prometheus text exposition format
+METRICS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: fixed endpoint labels (GET method) — anything else is "other", and
+#: ``/models/<name>`` collapses to one label, so a scanner probing random
+#: paths cannot blow up the metric cardinality
+_GET_ENDPOINTS = frozenset(
+    ("/healthz", "/models", "/streams", "/stats", "/metrics"))
+_POST_ENDPOINTS = frozenset(("/score", "/update", "/evict"))
+
+
+def endpoint_label(path: str, method: str) -> str:
+    """The bounded-cardinality ``endpoint`` label for a request path."""
+    if method == "POST":
+        return path if path in _POST_ENDPOINTS else "other"
+    if path in _GET_ENDPOINTS:
+        return path
+    if path.startswith("/models/"):
+        return "/models/:name"
+    return "other"
 
 
 class ServiceError(Exception):
@@ -100,7 +127,8 @@ class ScoringService:
 
     def __init__(self, registry: Union[ModelRegistry, str],
                  cache_size: int = 32, batch_size: Optional[int] = 2048,
-                 max_workers: int = 4) -> None:
+                 max_workers: int = 4,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
         if not isinstance(registry, ModelRegistry):
             registry = ModelRegistry(registry)
         self.registry = registry
@@ -113,6 +141,37 @@ class ScoringService:
         #: open update streams: name -> (scorer, model, version)
         self._streams: Dict[str, Tuple[StreamingScorer, str, str]] = {}
         self._lock = threading.Lock()
+        #: the registry ``GET /metrics`` renders; engines created by this
+        #: service (and their streams) report into the same one, so a
+        #: single scrape covers the whole process
+        self.metrics = metrics if metrics is not None else default_registry()
+        self._m_http_requests = self.metrics.counter(
+            "repro_http_requests_total",
+            "HTTP requests handled, by endpoint, method and status code.",
+            labelnames=("endpoint", "method", "status"))
+        self._m_http_errors = self.metrics.counter(
+            "repro_http_errors_total",
+            "HTTP requests answered with a 4xx/5xx status.",
+            labelnames=("endpoint", "status"))
+        self._m_http_seconds = self.metrics.histogram(
+            "repro_http_request_seconds",
+            "Wall time from request receipt to response written.",
+            labelnames=("endpoint",))
+
+    def observe_http(self, endpoint: str, method: str, status: int,
+                     seconds: float) -> None:
+        """Record one handled HTTP request (called by the handler)."""
+        status_label = str(int(status))
+        self._m_http_requests.labels(endpoint=endpoint, method=method,
+                                     status=status_label).inc()
+        self._m_http_seconds.labels(endpoint=endpoint).observe(seconds)
+        if status >= 400:
+            self._m_http_errors.labels(endpoint=endpoint,
+                                       status=status_label).inc()
+
+    def metrics_text(self) -> str:
+        """The Prometheus text exposition of :attr:`metrics`."""
+        return self.metrics.render()
 
     # ------------------------------------------------------------------
     # engines
@@ -147,7 +206,8 @@ class ScoringService:
             # model may both load, setdefault keeps exactly one
             engine = InferenceEngine.from_bundle(
                 directory, cache_size=self.cache_size,
-                batch_size=self.batch_size, max_workers=self.max_workers)
+                batch_size=self.batch_size, max_workers=self.max_workers,
+                metrics=self.metrics)
             with self._lock:
                 engine = self._engines.setdefault(key, engine)
         return engine
@@ -156,13 +216,23 @@ class ScoringService:
     # endpoints
     # ------------------------------------------------------------------
     def healthz(self) -> Dict[str, object]:
+        """Liveness plus load context: a fleet health check learns not
+        just that the shard answers, but how loaded it is (uptime, total
+        requests, how many models/bundles it can serve)."""
+        uptime = round(time.time() - self.started_at, 3)
+        with self._lock:
+            engines_loaded = len(self._engines)
+            streams_open = len(self._streams)
         return {
             "status": "ok",
-            "uptime_s": round(time.time() - self.started_at, 3),
+            "uptime_s": uptime,
+            "uptime_seconds": uptime,
             "models_available": len(self.registry.models()),
-            "engines_loaded": len(self._engines),
-            "streams_open": len(self._streams),
+            "bundles_available": len(self.registry.entries()),
+            "engines_loaded": engines_loaded,
+            "streams_open": streams_open,
             "requests_served": self.requests_served,
+            "requests_total": self.requests_served,
         }
 
     def models(self) -> Dict[str, object]:
@@ -462,8 +532,16 @@ class _Handler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------
     def _send_json(self, status: int, payload: Dict[str, object]) -> None:
         body = json.dumps(payload).encode("utf-8")
+        self._send_body(status, "application/json", body)
+
+    def _send_body(self, status: int, content_type: str, body: bytes) -> None:
+        # observe BEFORE the body goes out: once the client has the
+        # response, a /metrics scrape it issues next must already include
+        # this request (observing in a finally-block after the write loses
+        # that happens-before edge)
+        self._observe_once(status)
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
@@ -472,53 +550,88 @@ class _Handler(BaseHTTPRequestHandler):
         self._send_json(status, {"error": message, "status": status})
 
     # ------------------------------------------------------------------
-    def do_GET(self) -> None:  # noqa: N802 - http.server naming convention
+    def _observe_once(self, status: int) -> None:
+        """Record the in-flight request (first response wins)."""
+        if getattr(self, "_observed", True):
+            return
+        self._observed = True
         try:
-            parsed = urllib.parse.urlsplit(self.path)
-            path = parsed.path
-            if path == "/healthz":
-                self._send_json(200, self.service.healthz())
-            elif path == "/models":
-                self._send_json(200, self.service.models())
-            elif path.startswith("/models/"):
-                name = urllib.parse.unquote(path[len("/models/"):])
-                query = urllib.parse.parse_qs(parsed.query)
-                version = (query.get("version") or [None])[0]
-                self._send_json(200, self.service.model_info(name, version))
-            elif path == "/streams":
-                self._send_json(200, self.service.streams())
-            elif path == "/stats":
-                self._send_json(200, self.service.stats())
-            else:
-                self._send_error_json(404, f"unknown endpoint {self.path!r}")
-        except ServiceError as error:
-            self._send_error_json(error.status, str(error))
-        except Exception as error:  # pragma: no cover - defensive
-            self._send_error_json(500, f"internal error: {error}")
+            self.service.observe_http(
+                self._request_endpoint, self._request_method, status,
+                time.perf_counter() - self._request_start)
+        except Exception:  # pragma: no cover - metrics must not 500
+            pass
+
+    def _handle(self, method: str, run) -> None:
+        """Run one endpoint handler with error mapping + instrumentation.
+
+        Every request — including 404s on unknown paths and defensive
+        500s — lands in the endpoint counters and latency histogram; the
+        endpoint label is normalised by :func:`endpoint_label` so the
+        metric cardinality stays bounded.
+        """
+        path = urllib.parse.urlsplit(self.path).path
+        self._request_endpoint = endpoint_label(path, method)
+        self._request_method = method
+        self._request_start = time.perf_counter()
+        self._observed = False
+        try:
+            try:
+                run()
+            except ServiceError as error:
+                self._send_error_json(error.status, str(error))
+            except Exception as error:  # pragma: no cover - defensive
+                self._send_error_json(500, f"internal error: {error}")
+        finally:
+            # a handler that crashed before sending anything still counts
+            self._observe_once(500)
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server naming convention
+        self._handle("GET", self._run_get)
+
+    def _run_get(self) -> None:
+        parsed = urllib.parse.urlsplit(self.path)
+        path = parsed.path
+        if path == "/healthz":
+            self._send_json(200, self.service.healthz())
+        elif path == "/models":
+            self._send_json(200, self.service.models())
+        elif path.startswith("/models/"):
+            name = urllib.parse.unquote(path[len("/models/"):])
+            query = urllib.parse.parse_qs(parsed.query)
+            version = (query.get("version") or [None])[0]
+            self._send_json(200, self.service.model_info(name, version))
+        elif path == "/streams":
+            self._send_json(200, self.service.streams())
+        elif path == "/stats":
+            self._send_json(200, self.service.stats())
+        elif path == "/metrics":
+            self._send_body(200, METRICS_CONTENT_TYPE,
+                            self.service.metrics_text().encode("utf-8"))
+        else:
+            self._send_error_json(404, f"unknown endpoint {self.path!r}")
 
     def do_POST(self) -> None:  # noqa: N802 - http.server naming convention
+        self._handle("POST", self._run_post)
+
+    def _run_post(self) -> None:
+        handlers = {"/score": self.service.score,
+                    "/update": self.service.update,
+                    "/evict": self.service.evict}
+        handler = handlers.get(self.path)
+        if handler is None:
+            raise ServiceError(404, f"unknown endpoint {self.path!r}")
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            raise ServiceError(400, "missing request body")
+        if length > MAX_BODY_BYTES:
+            raise ServiceError(413, "request body too large")
+        raw = self.rfile.read(length)
         try:
-            handlers = {"/score": self.service.score,
-                        "/update": self.service.update,
-                        "/evict": self.service.evict}
-            handler = handlers.get(self.path)
-            if handler is None:
-                raise ServiceError(404, f"unknown endpoint {self.path!r}")
-            length = int(self.headers.get("Content-Length") or 0)
-            if length <= 0:
-                raise ServiceError(400, "missing request body")
-            if length > MAX_BODY_BYTES:
-                raise ServiceError(413, "request body too large")
-            raw = self.rfile.read(length)
-            try:
-                request = json.loads(raw.decode("utf-8"))
-            except (UnicodeDecodeError, json.JSONDecodeError) as error:
-                raise ServiceError(400, f"invalid JSON body: {error}") from error
-            self._send_json(200, handler(request))
-        except ServiceError as error:
-            self._send_error_json(error.status, str(error))
-        except Exception as error:  # pragma: no cover - defensive
-            self._send_error_json(500, f"internal error: {error}")
+            request = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise ServiceError(400, f"invalid JSON body: {error}") from error
+        self._send_json(200, handler(request))
 
     def log_message(self, format: str, *args) -> None:  # noqa: A002
         if not self.quiet:
@@ -538,10 +651,12 @@ class ScoringServer:
     def __init__(self, registry: Union[ModelRegistry, str],
                  host: str = "127.0.0.1", port: int = 0,
                  cache_size: int = 32, batch_size: Optional[int] = 2048,
-                 max_workers: int = 4, quiet: bool = True) -> None:
+                 max_workers: int = 4, quiet: bool = True,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
         self.service = ScoringService(registry, cache_size=cache_size,
                                       batch_size=batch_size,
-                                      max_workers=max_workers)
+                                      max_workers=max_workers,
+                                      metrics=metrics)
         handler = type("Handler", (_Handler,), {"quiet": quiet})
         self._httpd = ThreadingHTTPServer((host, port), handler)
         self._httpd.daemon_threads = True

@@ -72,6 +72,7 @@ from typing import TYPE_CHECKING, Dict, Optional, Sequence
 import numpy as np
 
 from ..nn.graphops import EdgePlan, affected_regions
+from ..obs import FRACTION_BUCKETS
 from ..urg.graph import UrbanRegionGraph
 from .delta import GraphDelta
 
@@ -235,6 +236,18 @@ class StreamingScorer:
             engine.seed_plan(fingerprint, plan)
         self._state = _StreamState(graph=graph, fingerprint=fingerprint,
                                    plan=plan, version=0)
+        # streams report into their engine's registry, so one /metrics
+        # scrape covers the whole serving stack of that engine
+        self._m_update_seconds = engine.metrics.histogram(
+            "repro_stream_update_seconds",
+            "Latency of stream delta updates (apply + rescore), by rescore "
+            "mode: incremental, full, or none (rescore deferred).",
+            labelnames=("mode",))
+        self._m_affected_fraction = engine.metrics.histogram(
+            "repro_stream_affected_fraction",
+            "Fraction of the city recomputed by incremental rescores "
+            "(the delta's receptive field over the region count).",
+            buckets=FRACTION_BUCKETS)
         if warm:
             self._full_rescore_locked()
 
@@ -384,6 +397,10 @@ class StreamingScorer:
                                         fingerprint=new_state.fingerprint)
         elapsed_ms = (time.perf_counter() - start) * 1000.0
         num_regions = new_state.graph.num_nodes
+        self._m_update_seconds.labels(mode=mode).observe(elapsed_ms / 1000.0)
+        if mode == "incremental":
+            self._m_affected_fraction.observe(
+                affected.size / num_regions if num_regions else 0.0)
         return StreamUpdateResult(
             kind=delta.kind, version=new_state.version,
             fingerprint=new_state.fingerprint,

@@ -1,0 +1,294 @@
+"""The metrics core: rendering golden-file, parse round-trip, quantiles.
+
+These tests pin the Prometheus text exposition format produced by
+``MetricsRegistry.render()`` — the experiment runner and the CI smoke
+step both grep/parse this output, so the format is API.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_LATENCY_BUCKETS,
+    MetricsRegistry,
+    default_registry,
+    metrics_delta,
+    parse_prometheus_text,
+    quantile_from_buckets,
+    set_default_registry,
+)
+
+
+# ----------------------------------------------------------------------
+# rendering
+# ----------------------------------------------------------------------
+class TestRendering:
+    def test_golden_exposition(self):
+        """The exact text for one counter, one gauge, one histogram."""
+        registry = MetricsRegistry()
+        requests = registry.counter(
+            "repro_http_requests_total", "HTTP requests.",
+            labelnames=("endpoint", "status"))
+        requests.labels(endpoint="/score", status="200").inc()
+        requests.labels(endpoint="/score", status="200").inc(2)
+        requests.labels(endpoint="/healthz", status="200").inc()
+        registry.gauge("repro_streams_open", "Open streams.").set(3)
+        hist = registry.histogram(
+            "repro_request_seconds", "Request latency.",
+            buckets=(0.1, 1.0))
+        hist.observe(0.05)
+        hist.observe(0.5)
+        hist.observe(5.0)
+
+        assert registry.render() == (
+            "# HELP repro_http_requests_total HTTP requests.\n"
+            "# TYPE repro_http_requests_total counter\n"
+            'repro_http_requests_total{endpoint="/healthz",status="200"} 1\n'
+            'repro_http_requests_total{endpoint="/score",status="200"} 3\n'
+            "# HELP repro_request_seconds Request latency.\n"
+            "# TYPE repro_request_seconds histogram\n"
+            'repro_request_seconds_bucket{le="0.1"} 1\n'
+            'repro_request_seconds_bucket{le="1"} 2\n'
+            'repro_request_seconds_bucket{le="+Inf"} 3\n'
+            "repro_request_seconds_sum 5.55\n"
+            "repro_request_seconds_count 3\n"
+            "# HELP repro_streams_open Open streams.\n"
+            "# TYPE repro_streams_open gauge\n"
+            "repro_streams_open 3\n"
+        )
+
+    def test_label_value_escaping(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("tricky_total", "Escaping.",
+                                   labelnames=("path",))
+        counter.labels(path='a\\b"c\nd').inc()
+        line = [l for l in registry.render().splitlines()
+                if l.startswith("tricky_total{")][0]
+        assert line == 'tricky_total{path="a\\\\b\\"c\\nd"} 1'
+
+    def test_help_escaping_and_empty_families_skipped(self):
+        registry = MetricsRegistry()
+        registry.counter("used_total", "line one\nline two").inc()
+        registry.counter("unused_total", "never incremented",
+                         labelnames=("x",))
+        text = registry.render()
+        assert "# HELP used_total line one\\nline two\n" in text
+        assert "unused_total" not in text
+
+    def test_empty_registry_renders_empty(self):
+        assert MetricsRegistry().render() == ""
+
+    def test_invalid_names_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.counter("bad-name", "h")
+        with pytest.raises(ValueError):
+            registry.counter("ok_total", "h", labelnames=("le",))
+        with pytest.raises(ValueError):
+            registry.counter("ok_total", "h", labelnames=("__x",))
+        with pytest.raises(ValueError):
+            registry.histogram("h_seconds", "h", buckets=(1.0, 0.5))
+        with pytest.raises(ValueError):
+            registry.histogram("h2_seconds", "h", buckets=())
+
+
+# ----------------------------------------------------------------------
+# registry semantics
+# ----------------------------------------------------------------------
+class TestRegistry:
+    def test_get_or_create_idempotent(self):
+        registry = MetricsRegistry()
+        a = registry.counter("x_total", "h", labelnames=("k",))
+        b = registry.counter("x_total", "different help ok", labelnames=("k",))
+        assert a is b
+
+    def test_reregistration_mismatch_fails(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total", "h")
+        with pytest.raises(ValueError):
+            registry.gauge("x_total", "h")
+        with pytest.raises(ValueError):
+            registry.counter("x_total", "h", labelnames=("k",))
+        registry.histogram("h_seconds", "h", buckets=(1.0, 2.0))
+        with pytest.raises(ValueError):
+            registry.histogram("h_seconds", "h", buckets=(1.0, 3.0))
+
+    def test_label_mismatch_on_use(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("x_total", "h", labelnames=("k",))
+        with pytest.raises(ValueError):
+            counter.labels(wrong="v")
+        with pytest.raises(ValueError):
+            counter.inc()  # labelled family has no default child
+
+    def test_counter_monotonic(self):
+        counter = MetricsRegistry().counter("x_total", "h")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_default_registry_swap(self):
+        fresh = MetricsRegistry()
+        previous = set_default_registry(fresh)
+        try:
+            assert default_registry() is fresh
+        finally:
+            set_default_registry(previous)
+        assert default_registry() is previous
+
+    def test_concurrent_increments_exact(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c_total", "h", labelnames=("t",))
+        hist = registry.histogram("h_seconds", "h", buckets=(0.5,))
+
+        def work(tag):
+            child = counter.labels(t=tag)
+            for _ in range(2000):
+                child.inc()
+                hist.observe(0.1)
+
+        threads = [threading.Thread(target=work, args=(str(i % 2),))
+                   for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.labels(t="0").value == 4000
+        assert counter.labels(t="1").value == 4000
+        assert hist.count == 8000
+
+
+# ----------------------------------------------------------------------
+# quantiles
+# ----------------------------------------------------------------------
+class TestQuantiles:
+    def test_interpolation_within_bucket(self):
+        # 10 observations in (0, 0.1], 10 in (0.1, 0.2]
+        buckets = [(0.1, 10.0), (0.2, 20.0), (math.inf, 20.0)]
+        assert quantile_from_buckets(buckets, 0.5) == pytest.approx(0.1)
+        assert quantile_from_buckets(buckets, 0.25) == pytest.approx(0.05)
+        assert quantile_from_buckets(buckets, 0.75) == pytest.approx(0.15)
+
+    def test_lowest_bucket_interpolates_from_zero(self):
+        buckets = [(0.2, 4.0), (math.inf, 4.0)]
+        assert quantile_from_buckets(buckets, 0.5) == pytest.approx(0.1)
+
+    def test_inf_bucket_clamps_to_highest_finite_bound(self):
+        buckets = [(0.1, 0.0), (math.inf, 5.0)]
+        assert quantile_from_buckets(buckets, 0.99) == 0.1
+
+    def test_empty_histogram_is_none(self):
+        assert quantile_from_buckets([], 0.5) is None
+        assert quantile_from_buckets([(0.1, 0.0), (math.inf, 0.0)], 0.5) is None
+
+    def test_histogram_child_quantile(self):
+        hist = MetricsRegistry().histogram("h_seconds", "h",
+                                           buckets=(0.01, 0.1, 1.0))
+        for _ in range(100):
+            hist.observe(0.05)
+        q = hist.quantile(0.5)
+        assert 0.01 < q <= 0.1
+
+    def test_invalid_quantile(self):
+        with pytest.raises(ValueError):
+            quantile_from_buckets([(1.0, 1.0)], 1.5)
+
+
+# ----------------------------------------------------------------------
+# parse-back round trip (the experiment runner's consumer path)
+# ----------------------------------------------------------------------
+class TestParseRoundTrip:
+    def _populated(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("rt_requests_total", "h",
+                                   labelnames=("endpoint", "status"))
+        counter.labels(endpoint="/score", status="200").inc(7)
+        counter.labels(endpoint='/we"ird\npath', status="500").inc(2)
+        registry.gauge("rt_healthy", "h", labelnames=("shard",)) \
+            .labels(shard="s0").set(1)
+        hist = registry.histogram("rt_seconds", "h",
+                                  labelnames=("op",), buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 0.5, 3.0):
+            hist.labels(op="score").observe(value)
+        return registry
+
+    def test_round_trip_recovers_every_sample(self):
+        registry = self._populated()
+        parsed = parse_prometheus_text(registry.render())
+        assert parsed.types["rt_requests_total"] == "counter"
+        assert parsed.types["rt_healthy"] == "gauge"
+        assert parsed.types["rt_seconds"] == "histogram"
+        assert parsed.value("rt_requests_total",
+                            endpoint="/score", status="200") == 7
+        assert parsed.value("rt_requests_total",
+                            endpoint='/we"ird\npath', status="500") == 2
+        assert parsed.total("rt_requests_total") == 9
+        assert parsed.value("rt_healthy", shard="s0") == 1
+        assert parsed.value("rt_seconds_count", op="score") == 4
+        assert parsed.value("rt_seconds_sum",
+                            op="score") == pytest.approx(4.05)
+        assert parsed.buckets("rt_seconds", op="score") == [
+            (0.1, 1.0), (1.0, 3.0), (math.inf, 4.0)]
+
+    def test_quantile_from_parsed_buckets(self):
+        parsed = parse_prometheus_text(self._populated().render())
+        p50 = parsed.quantile("rt_seconds", 0.5, op="score")
+        assert 0.1 < p50 <= 1.0
+        assert parsed.quantile("rt_seconds", 0.5, op="missing") is None
+
+    def test_buckets_aggregate_across_labels(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("agg_seconds", "h",
+                                  labelnames=("op",), buckets=(1.0,))
+        hist.labels(op="a").observe(0.5)
+        hist.labels(op="b").observe(2.0)
+        parsed = parse_prometheus_text(registry.render())
+        assert parsed.buckets("agg_seconds") == [(1.0, 1.0), (math.inf, 2.0)]
+        assert parsed.labels_of("agg_seconds_count", "op") == ["a", "b"]
+
+    def test_malformed_line_raises(self):
+        with pytest.raises(ValueError):
+            parse_prometheus_text("ok_total 1\nbroken{x= 2\n")
+        with pytest.raises(ValueError):
+            parse_prometheus_text("no_value_total\n")
+
+    def test_default_buckets_are_usable_latency_range(self):
+        assert DEFAULT_LATENCY_BUCKETS[0] <= 0.001
+        assert DEFAULT_LATENCY_BUCKETS[-1] >= 5.0
+        assert list(DEFAULT_LATENCY_BUCKETS) == sorted(DEFAULT_LATENCY_BUCKETS)
+
+
+# ----------------------------------------------------------------------
+# snapshot deltas
+# ----------------------------------------------------------------------
+class TestMetricsDelta:
+    def test_counters_subtract_gauges_keep_after(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("d_total", "h")
+        gauge = registry.gauge("d_open", "h")
+        hist = registry.histogram("d_seconds", "h", buckets=(1.0,))
+        counter.inc(5)
+        gauge.set(10)
+        hist.observe(0.5)
+        before = parse_prometheus_text(registry.render())
+        counter.inc(3)
+        gauge.set(2)
+        hist.observe(0.5)
+        hist.observe(2.0)
+        after = parse_prometheus_text(registry.render())
+
+        delta = metrics_delta(before, after)
+        assert delta.value("d_total") == 3
+        assert delta.value("d_open") == 2  # gauge: state, not accumulation
+        assert delta.value("d_seconds_count") == 2
+        assert delta.buckets("d_seconds") == [(1.0, 1.0), (math.inf, 2.0)]
+
+    def test_counter_reset_clamps_to_zero(self):
+        before = parse_prometheus_text(
+            "# TYPE x_total counter\nx_total 100\n")
+        after = parse_prometheus_text(
+            "# TYPE x_total counter\nx_total 4\n")
+        assert metrics_delta(before, after).value("x_total") == 0.0

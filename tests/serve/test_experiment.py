@@ -1,0 +1,163 @@
+"""The config-sweep experiment runner: schema pinned, deterministic.
+
+``EXPERIMENT.json`` is a published artifact (CI uploads it per run), so
+its shape is a contract: the schema-pinning tests here fail loudly when
+a key is renamed or dropped, and the determinism test asserts that two
+sweeps over the same trace agree on everything except wall-clock
+measurements.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench import (EXPERIMENT_SCHEMA_VERSION, ExperimentConfig,
+                         format_experiment_table, run_experiment, save_trace,
+                         summarize_metrics)
+from repro.cli.main import main
+from repro.obs import parse_prometheus_text
+
+SWEEP = ExperimentConfig(fleet_sizes=(1, 2), replications=(2,),
+                         cache_size=4)
+
+REPORT_KEYS = {"schema_version", "experiment", "model", "grid", "traces",
+               "cells"}
+CELL_KEYS = {"cell", "trace", "fleet_size", "replication", "replay",
+             "metrics", "bit_identical_to_baseline", "max_score_diff"}
+METRICS_KEYS = {"http", "fleet", "cache", "streams"}
+LATENCY_KEYS = {"count", "mean_ms", "p50_ms", "p95_ms", "p99_ms"}
+
+# wall-clock measurements: present in every report, equal in none
+_TIMING_KEYS = frozenset({"elapsed_s", "ops_per_second", "mean_ms",
+                          "p50_ms", "p95_ms", "p99_ms"})
+
+
+def scrub_timings(value):
+    """Drop the wall-clock fields so two runs can be compared exactly."""
+    if isinstance(value, dict):
+        return {key: scrub_timings(child) for key, child in value.items()
+                if key not in _TIMING_KEYS}
+    if isinstance(value, list):
+        return [scrub_timings(child) for child in value]
+    return value
+
+
+@pytest.fixture(scope="module")
+def report(model_registry, fleet_trace):
+    return run_experiment(model_registry.resolve("tiny"), [fleet_trace],
+                          SWEEP, model="tiny")
+
+
+class TestReportSchema:
+    def test_top_level_schema_is_pinned(self, report, fleet_trace):
+        assert set(report) == REPORT_KEYS
+        assert report["schema_version"] == EXPERIMENT_SCHEMA_VERSION == 1
+        assert report["experiment"] == "fleet_config_sweep"
+        assert report["model"] == "tiny"
+        assert report["grid"]["fleet_sizes"] == [1, 2]
+        assert report["grid"]["replications"] == [2]
+        assert report["grid"]["traces"] == [fleet_trace.name]
+        assert set(report["traces"]) == {fleet_trace.name}
+        json.dumps(report)  # the whole report is JSON-serialisable
+
+    def test_cell_schema_is_pinned(self, report, fleet_trace):
+        # replication clamps to the fleet size, so the grid yields
+        # exactly f1r1 and f2r2
+        assert [cell["cell"] for cell in report["cells"]] == [
+            f"{fleet_trace.name}/f1r1", f"{fleet_trace.name}/f2r2"]
+        for cell in report["cells"]:
+            assert set(cell) == CELL_KEYS
+            assert set(cell["metrics"]) == METRICS_KEYS
+            assert set(cell["metrics"]["fleet"]["latency"]) == LATENCY_KEYS
+            assert set(cell["replay"]) == {"trace", "ops", "cities",
+                                           "elapsed_s", "ops_per_second"}
+
+    def test_cells_measure_real_traffic(self, report, fleet_trace):
+        ops = fleet_trace.summary()
+        for cell in report["cells"]:
+            metrics = cell["metrics"]
+            # an in-process fleet never sees HTTP traffic
+            assert metrics["http"]["requests"] == 0
+            assert metrics["fleet"]["requests"]["open"] == ops["cities"]
+            assert metrics["fleet"]["requests"]["score"] == ops["score"]
+            assert metrics["fleet"]["requests"]["update"] == ops["update"]
+            assert metrics["fleet"]["failovers"] == 0
+            assert metrics["fleet"]["shards_healthy"] == cell["fleet_size"]
+            latency = metrics["fleet"]["latency"]
+            assert latency["count"] == sum(metrics["fleet"]["requests"]
+                                           .values())
+            # percentiles come from real buckets and are ordered
+            assert 0 < latency["p50_ms"] <= latency["p95_ms"] \
+                <= latency["p99_ms"]
+            cache = metrics["cache"]
+            assert cache["hits"] + cache["misses"] > 0
+            assert cache["hit_rate"] == pytest.approx(
+                cache["hits"] / (cache["hits"] + cache["misses"]), abs=1e-4)
+            assert metrics["streams"]["updates"] == ops["update"]
+            assert (sum(metrics["streams"]["updates_by_mode"].values())
+                    == ops["update"])
+
+    def test_cells_are_bit_identical_to_baseline(self, report):
+        for cell in report["cells"]:
+            assert cell["bit_identical_to_baseline"] is True
+            assert cell["max_score_diff"] == 0.0
+
+    def test_two_sweeps_agree_outside_wall_clock(self, report,
+                                                 model_registry,
+                                                 fleet_trace):
+        again = run_experiment(model_registry.resolve("tiny"),
+                               [fleet_trace], SWEEP, model="tiny")
+        assert scrub_timings(again) == scrub_timings(report)
+
+    def test_degenerate_grids_deduplicate_after_clamping(self,
+                                                         model_registry,
+                                                         fleet_trace):
+        config = ExperimentConfig(fleet_sizes=(1,), replications=(1, 2, 3),
+                                  cache_size=4, verify_identical=False)
+        report = run_experiment(model_registry.resolve("tiny"),
+                                [fleet_trace], config)
+        assert len(report["cells"]) == 1
+        cell = report["cells"][0]
+        assert cell["replication"] == 1
+        assert "bit_identical_to_baseline" not in cell
+
+    def test_table_renders_every_cell(self, report):
+        table = format_experiment_table(report)
+        for cell in report["cells"]:
+            assert cell["cell"] in table
+        assert "p95 ms" in table and "hit rate" in table
+
+
+class TestSummarizeMetrics:
+    def test_empty_scrape_summarises_gracefully(self):
+        summary = summarize_metrics(parse_prometheus_text(""))
+        assert summary["http"]["requests"] == 0
+        assert summary["fleet"]["requests"] == {}
+        assert summary["fleet"]["latency"]["count"] == 0
+        assert summary["fleet"]["latency"]["p95_ms"] is None
+        assert summary["cache"]["hit_rate"] is None
+        assert summary["streams"]["updates_by_mode"] == {}
+
+
+class TestExperimentCli:
+    def test_experiment_subcommand_writes_report(self, model_registry,
+                                                 fleet_trace, tmp_path,
+                                                 capsys):
+        trace_path = save_trace(fleet_trace, tmp_path / "trace.npz")
+        out = tmp_path / "EXPERIMENT.json"
+        exit_code = main([
+            "experiment", "--registry", str(model_registry.root),
+            "--model", "tiny", "--trace", str(trace_path),
+            "--fleet-sizes", "1,2", "--replications", "2",
+            "--cache-size", "4", "--output", str(out)])
+        assert exit_code == 0
+        captured = capsys.readouterr().out
+        assert "fleet config sweep" in captured
+        report = json.loads(out.read_text())
+        assert report["schema_version"] == EXPERIMENT_SCHEMA_VERSION
+        assert {cell["cell"] for cell in report["cells"]} == {
+            f"{fleet_trace.name}/f1r1", f"{fleet_trace.name}/f2r2"}
+        assert all(cell["bit_identical_to_baseline"]
+                   for cell in report["cells"])

@@ -139,3 +139,100 @@ class TestFleetSoak:
             len(deltas) for _, deltas in chains.values())
         assert (fleet["score_requests"] + fleet["evict_requests"]
                 == READERS * READER_OPS)
+
+    def test_stats_snapshots_stay_consistent_under_load(
+            self, shard_factory, soak_setup):
+        """``stats()`` is one point in time, not a mutating-while-reading
+        aggregation: every snapshot taken while writers/readers/openers
+        run must be internally consistent.
+
+        Regression test for the pre-lock implementation, where the fleet
+        counters, the city table and the per-shard counters were each
+        read at a different instant — ``cities_open`` could disagree
+        with the ``cities`` dict, and counters could appear to move
+        backwards between the pieces of one report.
+        """
+        chains, _ = soak_setup
+        names = sorted(chains)
+        router = FleetRouter(
+            [shard_factory(f"snap{i}", cache_size=2) for i in range(3)],
+            replication=2)
+        # one city pre-opened so scores/updates have a target from the start
+        first = names[0]
+        router.open_stream(first, chains[first][0], fingerprints="content")
+
+        errors = []
+        snapshots = []
+        done = threading.Event()
+        start = threading.Barrier(4)
+
+        def opener():
+            start.wait()
+            try:
+                # re-opens reset a stream's counters, so the written city
+                # is left alone — its shard-side `updates` must only grow
+                for _ in range(3):
+                    for name in names[1:]:
+                        router.open_stream(name, chains[name][0],
+                                           fingerprints="content")
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(f"opener: {error!r}")
+
+        def writer():
+            start.wait()
+            try:
+                for delta in chains[first][1]:
+                    router.update_stream(first, delta)
+                    router.score_stream(first)
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(f"writer: {error!r}")
+
+        def poller():
+            start.wait()
+            try:
+                while not done.is_set():
+                    snapshots.append(router.stats())
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(f"poller: {error!r}")
+
+        threads = [threading.Thread(target=opener),
+                   threading.Thread(target=writer),
+                   threading.Thread(target=poller)]
+        for thread in threads:
+            thread.start()
+        start.wait()
+        for thread in threads[:2]:
+            thread.join(timeout=120)
+        done.set()
+        threads[2].join(timeout=120)
+        snapshots.append(router.stats())  # a final quiescent one
+        assert not errors, errors
+        assert snapshots
+
+        previous_fleet = None
+        for stats in snapshots:
+            fleet = stats["fleet"]
+            # the city table and its count come from the same instant
+            assert fleet["cities_open"] == len(stats["cities"])
+            # per-shard health flags agree with the down list
+            for entry in stats["shards"]:
+                assert entry["healthy"] == (entry["shard"]
+                                            not in fleet["down"])
+                assert "error" not in entry
+            # a shard commits an update before the fleet counter advances,
+            # so at any consistent instant the shard-side sum can only be
+            # ahead of (or equal to) the fleet-side counter — never behind
+            shard_updates = sum(
+                stream["stats"]["updates"]
+                for entry in stats["shards"] for stream in entry["streams"])
+            assert shard_updates >= fleet["update_requests"]
+            # fleet counters never move backwards between snapshots
+            if previous_fleet is not None:
+                for counter in ("opens", "score_requests", "update_requests",
+                                "evict_requests", "requests"):
+                    assert fleet[counter] >= previous_fleet[counter]
+            previous_fleet = fleet
+
+        final = snapshots[-1]["fleet"]
+        assert final["opens"] == 1 + 3 * (len(names) - 1)
+        assert final["update_requests"] == len(chains[first][1])

@@ -1,0 +1,150 @@
+"""``GET /metrics`` end-to-end over HTTP.
+
+One :class:`~repro.obs.MetricsRegistry` is injected into both the
+:class:`ScoringServer` and an in-process :class:`FleetRouter` fronting it
+as a :class:`RemoteShard`, so a single scrape exposes all four metric
+families the acceptance criteria name: per-endpoint HTTP histograms,
+engine cache counters, per-stream update-mode latencies, and per-shard
+fleet counters.
+"""
+
+from __future__ import annotations
+
+import urllib.request
+
+import pytest
+
+from repro.obs import MetricsRegistry, metrics_delta, parse_prometheus_text
+from repro.serve import FleetRouter, RemoteShard, ScoringClient, ScoringServer
+from repro.serve.server import METRICS_CONTENT_TYPE, endpoint_label
+from repro.synth import EvolutionConfig, generate_evolution
+
+
+@pytest.fixture(scope="module")
+def obs_registry():
+    """A fresh registry so assertions see only this module's traffic."""
+    return MetricsRegistry()
+
+
+@pytest.fixture(scope="module")
+def server(model_registry, obs_registry):
+    with ScoringServer(model_registry, quiet=True,
+                       metrics=obs_registry) as running:
+        yield running
+
+
+@pytest.fixture(scope="module")
+def client(server):
+    client = ScoringClient(server.url)
+    client.wait_until_ready()
+    return client
+
+
+def scrape(client) -> "object":
+    return parse_prometheus_text(client.metrics_text())
+
+
+class TestMetricsEndpoint:
+    def test_serves_prometheus_content_type(self, server, client):
+        with urllib.request.urlopen(server.url + "/metrics",
+                                    timeout=10) as response:
+            assert response.headers["Content-Type"] == METRICS_CONTENT_TYPE
+            text = response.read().decode("utf-8")
+        parsed = parse_prometheus_text(text)  # valid exposition format
+        assert parsed.types  # at least the HTTP families are declared
+
+    def test_all_four_metric_families_advance_end_to_end(
+            self, client, obs_registry, tiny_graph_small_image):
+        graph = tiny_graph_small_image
+        before = scrape(client)
+
+        # HTTP + engine traffic: a cold score then a cached repeat
+        first = client.score(graph, "tiny")
+        second = client.score(graph, "tiny")
+        assert second["cache_hit"] and second["fingerprint"] == first["fingerprint"]
+
+        # stream + fleet traffic: open a city through a fleet router whose
+        # only shard is this server, then push a delta
+        router = FleetRouter([RemoteShard(client.base_url, model="tiny")],
+                             replication=1, name="metrics-e2e",
+                             metrics=obs_registry)
+        delta = generate_evolution(graph, EvolutionConfig(steps=1, seed=3))[0]
+        router.open_stream("metrics-city", graph)
+        update = router.update_stream("metrics-city", delta)
+        assert update["mode"] in ("incremental", "full")
+
+        after = scrape(client)
+        moved = metrics_delta(before, after)
+
+        # 1. per-endpoint HTTP histograms advance after /score and /update
+        assert moved.value("repro_http_requests_total", endpoint="/score",
+                           method="POST", status="200") >= 2
+        assert moved.value("repro_http_request_seconds_count",
+                           endpoint="/score") >= 2
+        assert moved.value("repro_http_request_seconds_count",
+                           endpoint="/update") >= 2  # open + delta
+        assert moved.value("repro_http_request_seconds_sum",
+                           endpoint="/score") > 0
+        # bucket counts advanced too, not just _count
+        assert sum(count for _, count
+                   in moved.buckets("repro_http_request_seconds",
+                                    endpoint="/score")) > 0
+
+        # 2. engine cache counters, labelled by model
+        assert moved.total("repro_engine_cache_hits_total", model="tiny") >= 1
+        assert moved.total("repro_engine_cache_misses_total",
+                           model="tiny") >= 1
+        assert moved.total("repro_engine_cold_compute_seconds_count",
+                           model="tiny") >= 1
+
+        # 3. per-stream update latency, labelled by rescore mode
+        assert after.types["repro_stream_update_seconds"] == "histogram"
+        assert moved.total("repro_stream_update_seconds_count") >= 1
+        modes = set(after.labels_of("repro_stream_update_seconds_count",
+                                    "mode"))
+        assert modes & {"incremental", "full"}
+
+        # 4. per-shard fleet counters and health gauges
+        assert moved.total("repro_fleet_requests_total",
+                           fleet="metrics-e2e", op="open") == 1
+        assert moved.total("repro_fleet_requests_total",
+                           fleet="metrics-e2e", op="update") == 1
+        shard_id = router.shards[0]
+        assert after.value("repro_fleet_shard_healthy",
+                           fleet="metrics-e2e", shard=shard_id) == 1
+        assert moved.value("repro_fleet_request_seconds_count",
+                           fleet="metrics-e2e", op="update") == 1
+
+    def test_unknown_paths_collapse_to_bounded_labels(self, client):
+        before = scrape(client)
+        client.model_info("tiny")  # GET /models/tiny
+        with pytest.raises(Exception):
+            urllib.request.urlopen(client.base_url + "/no-such-endpoint",
+                                   timeout=10)
+        after = scrape(client)
+        moved = metrics_delta(before, after)
+        assert moved.value("repro_http_requests_total",
+                           endpoint="/models/:name", method="GET",
+                           status="200") == 1
+        assert moved.value("repro_http_requests_total", endpoint="other",
+                           method="GET", status="404") == 1
+        assert moved.value("repro_http_errors_total", endpoint="other",
+                           status="404") == 1
+
+    def test_endpoint_label_normalisation(self):
+        assert endpoint_label("/healthz", "GET") == "/healthz"
+        assert endpoint_label("/metrics", "GET") == "/metrics"
+        assert endpoint_label("/models/a%20b", "GET") == "/models/:name"
+        assert endpoint_label("/score", "POST") == "/score"
+        assert endpoint_label("/score", "GET") == "other"
+        assert endpoint_label("/../../etc/passwd", "GET") == "other"
+        assert endpoint_label("/anything", "POST") == "other"
+
+    def test_healthz_reports_load_context(self, client):
+        payload = client.healthz()
+        assert payload["status"] == "ok"
+        assert payload["uptime_seconds"] >= 0
+        assert payload["uptime_seconds"] == payload["uptime_s"]
+        assert payload["requests_total"] == payload["requests_served"]
+        assert payload["models_available"] >= 1
+        assert payload["bundles_available"] >= payload["models_available"]
