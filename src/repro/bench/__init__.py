@@ -25,6 +25,7 @@ from .experiment import (EXPERIMENT_SCHEMA_VERSION, ExperimentConfig,
 from .workload import (ReplayResult, WorkloadConfig, WorkloadOp,
                        WorkloadTrace, derive_cities, generate_workload,
                        load_trace, replay_trace, replays_identical,
+                       resume_point, resumed_tail_identical,
                        save_trace, trace_from_bytes, trace_from_payload,
                        trace_to_bytes, trace_to_payload)
 
@@ -42,6 +43,8 @@ __all__ = [
     "load_trace",
     "replay_trace",
     "replays_identical",
+    "resume_point",
+    "resumed_tail_identical",
     "ReplayResult",
     "ExperimentConfig",
     "EXPERIMENT_SCHEMA_VERSION",

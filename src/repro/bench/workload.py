@@ -54,6 +54,7 @@ __all__ = [
     "trace_to_payload", "trace_from_payload",
     "save_trace", "load_trace",
     "replay_trace", "replays_identical", "ReplayResult",
+    "resume_point", "resumed_tail_identical",
 ]
 
 #: archive/payload schema marker, checked on decode
@@ -432,7 +433,9 @@ class ReplayResult:
 def replay_trace(trace: WorkloadTrace, backend,
                  rescore_updates: bool = True,
                  open_options: Optional[Dict[str, object]] = None,
-                 collect_stats: bool = True) -> ReplayResult:
+                 collect_stats: bool = True,
+                 start_at: int = 0,
+                 open_cities: bool = True) -> ReplayResult:
     """Drive ``trace`` against ``backend`` and collect the score trajectory.
 
     ``backend`` is anything speaking the
@@ -442,16 +445,27 @@ def replay_trace(trace: WorkloadTrace, backend,
     :class:`~repro.serve.fleet.FleetRouter`.  Every city is opened first
     (with an eager rescore, so the opening scores are comparable too),
     then the ops run strictly in trace order.
+
+    ``start_at`` / ``open_cities=False`` support *resuming* a trace on a
+    restored backend (e.g. after ``FleetRouter.restore()``): the first
+    ``start_at`` ops are skipped and the cities are assumed already open
+    at the state those ops produced — use :func:`resume_point` to derive
+    the index from the restored per-city versions.  The returned
+    ``opening_scores`` are empty when ``open_cities`` is False.
     """
+    if not 0 <= start_at <= len(trace.ops):
+        raise ValueError(f"start_at must be in [0, {len(trace.ops)}], "
+                         f"got {start_at}")
     start = time.perf_counter()
     opening: "OrderedDict[str, np.ndarray]" = OrderedDict()
-    for name, graph in trace.cities.items():
-        payload = backend.open_stream(name, graph, rescore=True,
-                                      **(open_options or {}))
-        opening[name] = np.asarray(payload["score"]["probabilities"],
-                                   dtype=np.float64)
+    if open_cities:
+        for name, graph in trace.cities.items():
+            payload = backend.open_stream(name, graph, rescore=True,
+                                          **(open_options or {}))
+            opening[name] = np.asarray(payload["score"]["probabilities"],
+                                       dtype=np.float64)
     scores: List[Optional[np.ndarray]] = []
-    for op in trace.ops:
+    for op in trace.ops[start_at:]:
         if op.op == "score":
             payload = backend.score_stream(op.city)
             scores.append(np.asarray(payload["probabilities"],
@@ -475,8 +489,78 @@ def replay_trace(trace: WorkloadTrace, backend,
         except Exception:
             stats = None
     return ReplayResult(trace_name=trace.name, opening_scores=opening,
-                        scores=scores, op_kinds=[op.op for op in trace.ops],
+                        scores=scores,
+                        op_kinds=[op.op for op in trace.ops[start_at:]],
                         elapsed_s=elapsed, stats=stats)
+
+
+def resume_point(trace: WorkloadTrace,
+                 versions: Mapping[str, int]) -> int:
+    """The op index a restored backend should resume ``trace`` at.
+
+    ``versions`` maps city name → restored stream version (the number of
+    *updates* the durable history contains — e.g. from
+    ``FleetRouter.restore()`` or ``FleetRouter.cities()``).  Returns the
+    smallest index ``i`` such that the update ops among ``trace.ops[:i]``
+    reproduce exactly those per-city counts; score/evict ops at the
+    boundary are replayed (re-running a read is harmless and keeps the
+    resumed trajectory aligned with the full one).  Raises ``ValueError``
+    when no prefix matches — the trace and the durable history disagree.
+    """
+    counts = {name: 0 for name in trace.cities}
+    target = {name: int(versions.get(name, 0)) for name in trace.cities}
+    index = 0
+    while counts != target:
+        if index >= len(trace.ops):
+            raise ValueError(
+                f"trace {trace.name!r} has no prefix with update counts "
+                f"{target} (reached {counts}) — restored state does not "
+                "come from this trace")
+        op = trace.ops[index]
+        if op.op == "update":
+            if counts.get(op.city, 0) >= target.get(op.city, 0):
+                raise ValueError(
+                    f"trace {trace.name!r} update #{index} for city "
+                    f"{op.city!r} overshoots restored version "
+                    f"{target.get(op.city, 0)} — restored state does not "
+                    "come from this trace")
+            counts[op.city] += 1
+        index += 1
+    return index
+
+
+def resumed_tail_identical(full: ReplayResult, resumed: ReplayResult,
+                           start_at: int) -> Tuple[bool, float]:
+    """Compare a resumed replay against the tail of an uninterrupted one.
+
+    ``full`` is a complete replay of the trace (the oracle), ``resumed``
+    a replay with ``start_at=start_at, open_cities=False`` on a restored
+    backend.  Returns ``(bit_identical, max_abs_difference)`` over the
+    overlapping ops, with the same misalignment errors as
+    :func:`replays_identical`.
+    """
+    if not 0 <= start_at <= len(full.scores):
+        raise ValueError(f"start_at {start_at} outside the full replay's "
+                         f"{len(full.scores)} ops")
+    if full.op_kinds[start_at:] != resumed.op_kinds:
+        raise ValueError("resumed replay ran different ops than the "
+                         "oracle's tail — wrong start_at?")
+    identical = True
+    max_diff = 0.0
+    for i, (left, right) in enumerate(zip(full.scores[start_at:],
+                                          resumed.scores)):
+        if (left is None) != (right is None):
+            raise ValueError(f"tail op {i}: one replay scored, the other "
+                             "did not")
+        if left is None:
+            continue
+        if left.shape != right.shape:
+            raise ValueError(f"tail op {i}: score shapes differ "
+                             f"({left.shape} vs {right.shape})")
+        if not np.array_equal(left, right):
+            identical = False
+            max_diff = max(max_diff, float(np.max(np.abs(left - right))))
+    return identical, max_diff
 
 
 def replays_identical(a: ReplayResult, b: ReplayResult) -> Tuple[bool, float]:

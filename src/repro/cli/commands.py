@@ -27,8 +27,10 @@ from ..experiments import (run_fig5a, run_fig5b, run_fig6a, run_fig6b, run_fig6c
 from ..analysis import score_drift_report
 from ..bench import (ExperimentConfig, WorkloadConfig, derive_cities,
                      format_experiment_table, generate_workload, load_trace,
-                     replay_trace, replays_identical, run_experiment,
+                     replay_trace, replays_identical, resume_point,
+                     resumed_tail_identical, run_experiment,
                      save_trace, summarize_metrics)
+from ..durable import DurabilityLog
 from ..obs import MetricsRegistry, parse_prometheus_text
 from ..nn.graphops import plan_cache_info
 from ..serve import (ChaosShard, EngineShard, FleetRouter, InferenceEngine,
@@ -226,12 +228,16 @@ def cmd_serve(args: argparse.Namespace) -> int:
             registry, host=args.host, port=args.port,
             cache_size=args.cache_size,
             batch_size=args.batch_size if args.batch_size > 0 else None,
-            max_workers=args.workers, quiet=not args.verbose)
+            max_workers=args.workers, quiet=not args.verbose,
+            wal_dir=args.wal_dir)
     except OSError as error:
         raise ValueError(
             f"cannot bind {args.host}:{args.port}: {error}") from error
     print(f"serving {len(registry.models())} model(s) from {args.registry} "
           f"at {server.url}")
+    if args.wal_dir:
+        print(f"durability: write-ahead log at {args.wal_dir} "
+              "(background checkpointer running)")
     print("endpoints: GET /healthz /models /models/<name> /streams /stats "
           "/metrics  POST /score /update /evict  (Ctrl-C to stop)")
     try:
@@ -297,6 +303,11 @@ def cmd_stream(args: argparse.Namespace) -> int:
     topology = [delta.touches_topology for delta in deltas]
     plan_info = None
     if args.url:
+        if args.wal_dir:
+            raise ValueError(
+                "--wal-dir only applies to in-process streams; the server "
+                "owns durability when --url is used — start it with "
+                "'repro-uv serve --wal-dir' instead")
         client = ScoringClient(args.url)
         stream = args.stream or f"{graph.name.lower()}-evolution"
         opened = client.open_stream(stream, graph, args.model,
@@ -320,10 +331,16 @@ def cmd_stream(args: argparse.Namespace) -> int:
         registry = ModelRegistry(args.registry)
         engine = InferenceEngine.from_bundle(registry.resolve(args.model,
                                                               args.version))
+        wal = None
+        if args.wal_dir:
+            name = args.stream or f"{graph.name.lower()}-evolution"
+            wal = DurabilityLog(args.wal_dir, fsync=args.fsync).stream(name)
+            print(f"durability: appending deltas to {args.wal_dir} "
+                  f"(stream '{name}', fsync={args.fsync})")
         # warm=True scores the initial version while also priming the
         # incremental activation cache, so the first delta is already fast
         scorer = StreamingScorer(engine, graph, warm=True,
-                                 incremental=args.incremental)
+                                 incremental=args.incremental, wal=wal)
         trajectories.append(scorer.predict_proba())
         for delta in deltas:
             update = scorer.update(delta)
@@ -380,7 +397,8 @@ def cmd_workload(args: argparse.Namespace) -> int:
 
 
 def _build_fleet(args: argparse.Namespace, registry: ModelRegistry,
-                 metrics: Optional[MetricsRegistry] = None) -> FleetRouter:
+                 metrics: Optional[MetricsRegistry] = None,
+                 wal: Optional[DurabilityLog] = None) -> FleetRouter:
     urls = [url.strip() for url in (args.urls or "").split(",")
             if url.strip()]
     shards = []
@@ -396,7 +414,8 @@ def _build_fleet(args: argparse.Namespace, registry: ModelRegistry,
         if args.kill_shard is not None and args.kill_shard == i:
             shard = ChaosShard(shard, fail_after=args.kill_after)
         shards.append(shard)
-    return FleetRouter(shards, replication=args.replication, metrics=metrics)
+    return FleetRouter(shards, replication=args.replication, metrics=metrics,
+                       wal=wal)
 
 
 def cmd_fleet(args: argparse.Namespace) -> int:
@@ -409,6 +428,15 @@ def cmd_fleet(args: argparse.Namespace) -> int:
         if not 0 <= args.kill_shard < args.shards:
             raise ValueError(f"--kill-shard {args.kill_shard} is out of "
                              f"range for {args.shards} shard(s)")
+    if args.restore:
+        if not args.wal_dir:
+            raise ValueError("--restore needs --wal-dir: recovery replays "
+                             "the write-ahead log recorded by a previous "
+                             "'repro-uv fleet --wal-dir' run")
+        if not args.trace:
+            raise ValueError("--restore needs --trace: the original trace "
+                             "file locates the resume point and supplies "
+                             "the remaining ops")
     registry = ModelRegistry(args.registry)
     if args.trace:
         trace = load_trace(args.trace)
@@ -427,16 +455,40 @@ def cmd_fleet(args: argparse.Namespace) -> int:
     # a fresh registry so the scrape below shows this replay's traffic
     # only, not whatever else the process has served
     obs = MetricsRegistry()
-    fleet = _build_fleet(args, registry, metrics=obs)
+    wal = None
+    if args.wal_dir:
+        wal = DurabilityLog(args.wal_dir, fsync=args.fsync, metrics=obs)
+        print(f"durability: write-ahead log at {args.wal_dir} "
+              f"(fsync={args.fsync})")
+    fleet = _build_fleet(args, registry, metrics=obs, wal=wal)
     # per-open option rather than a shard default, so the incremental
     # policy reaches remote shards (server-side streams) as well as
     # in-process ones — and the oracle replays under the same policy
     open_options = {"incremental": args.incremental}
-    # fleet.stats() runs below anyway — don't aggregate (and, with remote
-    # shards, round-trip /stats) twice
-    result = replay_trace(trace, fleet, open_options=open_options,
-                          collect_stats=False)
-    print(f"completed {result.completed_ops}/{len(trace)} ops in "
+    start = 0
+    if args.restore:
+        report = fleet.restore()
+        for name, entry in sorted(report.items()):
+            line = (f"  restored '{name}' on {entry['shard']}: "
+                    f"version {entry['version']} (snapshot seq "
+                    f"{entry['snapshot_seq']}, replayed "
+                    f"{entry['records_replayed']} record(s), "
+                    f"{entry['recovery_seconds'] * 1000:.1f} ms)")
+            if entry["truncated_tail"]:
+                line += " [torn tail truncated]"
+            print(line)
+        versions = {name: entry["version"] for name, entry in report.items()}
+        start = resume_point(trace, versions)
+        print(f"resuming trace '{trace.name}' at op {start}/{len(trace)}")
+        result = replay_trace(trace, fleet, open_options=open_options,
+                              collect_stats=False, start_at=start,
+                              open_cities=False)
+    else:
+        # fleet.stats() runs below anyway — don't aggregate (and, with
+        # remote shards, round-trip /stats) twice
+        result = replay_trace(trace, fleet, open_options=open_options,
+                              collect_stats=False)
+    print(f"completed {result.completed_ops}/{len(trace) - start} ops in "
           f"{result.elapsed_s:.2f}s ({result.ops_per_second:.1f} ops/s)")
     metrics_summary = summarize_metrics(parse_prometheus_text(obs.render()))
     latency = metrics_summary["fleet"]["latency"]
@@ -468,7 +520,23 @@ def cmd_fleet(args: argparse.Namespace) -> int:
               f"{cache.get('hits', 0)} hits / {cache.get('misses', 0)} misses")
 
     exit_code = 0
-    if args.verify_single:
+    if args.restore:
+        # replay the whole trace uninterrupted on a single engine and
+        # compare the resumed tail against its tail — recovery must be
+        # invisible in the float64 score trajectory
+        oracle = EngineShard(
+            InferenceEngine.from_bundle(
+                registry.resolve(args.model, args.version)),
+            shard_id="oracle")
+        oracle_result = replay_trace(trace, oracle, collect_stats=False,
+                                     open_options=open_options)
+        identical, max_diff = resumed_tail_identical(oracle_result, result,
+                                                     start)
+        print(f"resumed tail vs uninterrupted single-engine oracle: "
+              f"bit_identical={identical} max_diff={max_diff:.3e}")
+        if not identical:
+            exit_code = 1
+    elif args.verify_single:
         oracle = EngineShard(
             InferenceEngine.from_bundle(
                 registry.resolve(args.model, args.version)),

@@ -6,6 +6,7 @@ import argparse
 import sys
 from typing import List, Optional, Sequence
 
+from ..durable import FSYNC_POLICIES, DurabilityError
 from ..serve.client import ScoringServiceError
 from ..serve.fleet import FleetError
 from . import commands
@@ -174,6 +175,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="thread-pool width for concurrent scoring")
     serve.add_argument("--verbose", action="store_true",
                        help="log every HTTP request")
+    serve.add_argument("--wal-dir", default=None,
+                       help="durability root: write-ahead-log every stream "
+                            "delta and checkpoint snapshots in the "
+                            "background")
     serve.set_defaults(handler=commands.cmd_serve)
 
     # ------------------------------------------------------------------
@@ -218,6 +223,14 @@ def build_parser() -> argparse.ArgumentParser:
                              "rescoring counters after the run")
     stream.add_argument("--json", default=None,
                         help="write the drift report to this JSON path")
+    stream.add_argument("--wal-dir", default=None,
+                        help="durability root: write-ahead-log every delta "
+                             "of the in-process stream (incompatible with "
+                             "--url — the server owns durability there)")
+    stream.add_argument("--fsync", default="interval",
+                        choices=FSYNC_POLICIES,
+                        help="when the write-ahead log calls fsync: on every "
+                             "append, on a timer, or never (OS flush only)")
     stream.set_defaults(handler=commands.cmd_stream)
 
     # ------------------------------------------------------------------
@@ -299,6 +312,20 @@ def build_parser() -> argparse.ArgumentParser:
                             "(exit 1 on mismatch)")
     fleet.add_argument("--json", default=None,
                        help="write the replay report to this JSON path")
+    fleet.add_argument("--wal-dir", default=None,
+                       help="durability root: write-ahead-log every "
+                            "accepted delta so a killed replay can be "
+                            "resumed with --restore")
+    fleet.add_argument("--restore", action="store_true",
+                       help="recover every stream from --wal-dir, resume "
+                            "the --trace at the recovered versions, and "
+                            "verify the resumed tail is bit-identical to "
+                            "an uninterrupted single-engine oracle "
+                            "(exit 1 on mismatch)")
+    fleet.add_argument("--fsync", default="interval",
+                       choices=FSYNC_POLICIES,
+                       help="when the write-ahead log calls fsync: on every "
+                            "append, on a timer, or never (OS flush only)")
     fleet.set_defaults(handler=commands.cmd_fleet)
 
     # ------------------------------------------------------------------
@@ -391,7 +418,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                    else error)
         print(f"error: {message}", file=sys.stderr)
         return 2
-    except (ScoringServiceError, FleetError) as error:
+    except (ScoringServiceError, FleetError, DurabilityError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 3
 

@@ -1,0 +1,47 @@
+"""``repro.durable`` — crash-safe streams: write-ahead log + snapshots.
+
+The streaming stack (``repro.stream``, ``repro.serve``) keeps every
+city's graph, version fingerprint and score cache in memory only; this
+subpackage makes that state survive a crash *bit-identically*:
+
+* :mod:`repro.durable.wal` — :class:`DurabilityLog` /
+  :class:`StreamLog`: an append-only, checksummed delta log (length +
+  sha256 framing around the ``serve.wire`` delta payloads) with
+  ``always`` / ``interval`` / ``never`` fsync policies, and a recovery
+  path that truncates a torn tail record, rejects corrupt records, and
+  re-verifies the chained version fingerprints while replaying;
+* :mod:`repro.durable.snapshot` — compacted snapshots: lossless graph
+  bytes + the stream's :class:`~repro.core.incremental.ScoreCache`, so
+  a restore skips replay *and* rescoring entirely when the log tail is
+  empty;
+* :mod:`repro.durable.checkpoint` — :class:`Checkpointer`, the
+  background thread that compacts logs past their size/record
+  thresholds and reports status to a JSON file.
+
+``StreamingScorer(wal=...)`` appends each accepted delta before its
+version swap; ``FleetRouter(wal=...)`` adds ``snapshot()`` /
+``restore()`` so a restarted router replays every stream back to the
+exact pre-crash fingerprint and float64 scores.
+"""
+
+from .checkpoint import Checkpointer
+from .snapshot import (SnapshotState, cache_from_arrays, cache_to_arrays,
+                       snapshot_from_bytes, snapshot_to_bytes)
+from .wal import (FSYNC_POLICIES, DurabilityError, DurabilityLog,
+                  RecoveredStream, StreamLog, chain_fingerprint, frame_record)
+
+__all__ = [
+    "Checkpointer",
+    "DurabilityError",
+    "DurabilityLog",
+    "StreamLog",
+    "RecoveredStream",
+    "SnapshotState",
+    "FSYNC_POLICIES",
+    "chain_fingerprint",
+    "frame_record",
+    "snapshot_to_bytes",
+    "snapshot_from_bytes",
+    "cache_to_arrays",
+    "cache_from_arrays",
+]

@@ -1,0 +1,122 @@
+"""Background log compaction: a small periodic-worker thread.
+
+The checkpointer is deliberately generic — it owns *when* to run, not
+*what*: callers hand it a ``run_once`` callable (``StreamingScorer.
+checkpoint`` or ``FleetRouter.checkpoint``) that compacts whatever logs
+have crossed their thresholds and returns a summary.  Progress is
+observable two ways: the return value of :meth:`run_now`, and an
+optional JSON status file rewritten after every cycle so operators (and
+the CI smoke job) can watch a serving process checkpoint without
+attaching to it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+from typing import Callable, Dict, Optional
+
+__all__ = ["Checkpointer"]
+
+
+class Checkpointer:
+    """Run ``run_once`` every ``interval_s`` seconds on a daemon thread.
+
+    Exceptions from ``run_once`` are caught and recorded (in
+    :attr:`last_error` and the status file) — a failing checkpoint must
+    never take the serving path down with it.
+    """
+
+    def __init__(self, run_once: Callable[[], object], *,
+                 interval_s: float = 30.0,
+                 status_path=None) -> None:
+        if interval_s <= 0:
+            raise ValueError("interval_s must be positive")
+        self._run_once = run_once
+        self.interval_s = float(interval_s)
+        self.status_path = None if status_path is None else Path(status_path)
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._lock = threading.Lock()
+        self.runs = 0
+        self.last_result: object = None
+        self.last_error: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> "Checkpointer":
+        with self._lock:
+            if self._thread is not None:
+                return self
+            self._stop.clear()
+            self._thread = threading.Thread(
+                target=self._loop, name="repro-checkpointer", daemon=True)
+            self._thread.start()
+        return self
+
+    def stop(self, timeout: float = 5.0) -> None:
+        with self._lock:
+            thread = self._thread
+            self._thread = None
+        if thread is None:
+            return
+        self._stop.set()
+        thread.join(timeout=timeout)
+
+    def __enter__(self) -> "Checkpointer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    def run_now(self) -> object:
+        """One synchronous cycle (also what the thread calls)."""
+        try:
+            result = self._run_once()
+            error = None
+        except Exception as exc:  # noqa: BLE001 — must not kill the thread
+            result, error = None, f"{type(exc).__name__}: {exc}"
+        with self._lock:
+            self.runs += 1
+            self.last_result = result
+            self.last_error = error
+            status = self._status_locked()
+        self._write_status(status)
+        return result
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            self.run_now()
+
+    # ------------------------------------------------------------------
+    def status(self) -> Dict[str, object]:
+        with self._lock:
+            return self._status_locked()
+
+    def _status_locked(self) -> Dict[str, object]:
+        return {
+            "updated_at": time.time(),
+            "interval_s": self.interval_s,
+            "running": self.running,
+            "runs": self.runs,
+            "last_result": self.last_result,
+            "last_error": self.last_error,
+        }
+
+    def _write_status(self, status: Dict[str, object]) -> None:
+        if self.status_path is None:
+            return
+        try:
+            tmp = self.status_path.with_suffix(
+                self.status_path.suffix + ".tmp")
+            tmp.write_text(json.dumps(status, default=str, indent=2))
+            os.replace(tmp, self.status_path)
+        except OSError:
+            pass  # status is best-effort observability, never load-bearing

@@ -1,0 +1,764 @@
+"""Append-only, checksummed write-ahead delta logs.
+
+Layout on disk, one directory per stream under a shared root::
+
+    <root>/<quoted-stream-name>/
+        snap-00000000.snap      framed snapshot at seq 0 (stream opened)
+        snap-00000040.snap      framed snapshot at seq 40 (checkpoint)
+        wal-00000041.seg        deltas 41.. (one segment per rotation)
+
+Every record — delta or snapshot — is framed identically::
+
+    4-byte big-endian payload length | 32-byte sha256(payload) | payload
+
+A delta payload is UTF-8 JSON carrying the stream sequence number, the
+post-apply version fingerprint and the :func:`repro.serve.wire.delta_to_payload`
+wire form of the delta; a snapshot payload is the
+:func:`repro.durable.snapshot.snapshot_to_bytes` archive.
+
+Recovery rules (the contract the chaos tests pin down):
+
+* an *incomplete* frame at the end of the **final** segment is a torn
+  tail — the write was interrupted mid-record.  The file is truncated
+  back to the last complete record and recovery continues; the delta
+  was never acknowledged, so nothing is lost.
+* a *complete* frame whose payload fails its checksum is corruption,
+  not a crash artefact: :class:`DurabilityError`, anywhere.
+* an incomplete frame in a **non-final** segment likewise cannot be
+  explained by a crash (later segments exist): :class:`DurabilityError`.
+* replayed records must be contiguous from the snapshot's sequence
+  number; records at or below it (left over from a crash *during*
+  compaction) are skipped.
+* in ``chained`` fingerprint mode the recorded fingerprints must
+  reproduce the sha256 chain exactly; in ``content`` mode the replayed
+  graph's content fingerprint must match the last record's.
+
+Fsync policy decides the durability window: ``always`` fsyncs every
+append (no acknowledged delta is ever lost), ``interval`` fsyncs at
+most every ``fsync_interval_s`` seconds (bounded loss on power failure,
+no loss on process crash), ``never`` only flushes to the OS.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import struct
+import threading
+import time
+import urllib.parse
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from ..stream.delta import GraphDelta
+from ..urg.graph import UrbanRegionGraph
+from .snapshot import SnapshotState, snapshot_from_bytes, snapshot_to_bytes
+
+__all__ = [
+    "DurabilityError", "DurabilityLog", "StreamLog", "RecoveredStream",
+    "chain_fingerprint", "frame_record", "FSYNC_POLICIES",
+]
+
+#: delta-record schema marker, checked on recovery
+RECORD_FORMAT_VERSION = 1
+
+FSYNC_POLICIES = ("always", "interval", "never")
+
+_LEN = struct.Struct(">I")
+_DIGEST_BYTES = hashlib.sha256().digest_size  # 32
+_HEADER_BYTES = _LEN.size + _DIGEST_BYTES
+
+_SEGMENT_PREFIX, _SEGMENT_SUFFIX = "wal-", ".seg"
+_SNAP_PREFIX, _SNAP_SUFFIX = "snap-", ".snap"
+
+
+class DurabilityError(RuntimeError):
+    """A write-ahead log could not be written, read or replayed.
+
+    Always carries a human-readable reason and, when one exists, the
+    offending path — callers (CLI, HTTP handlers) surface ``str(error)``
+    directly instead of a raw ``OSError``/``KeyError`` repr.
+    """
+
+    def __init__(self, message: str, path=None) -> None:
+        if path is not None:
+            message = f"{message} [{path}]"
+        super().__init__(message)
+        self.path = None if path is None else str(path)
+
+
+def chain_fingerprint(previous: str, delta: GraphDelta) -> str:
+    """The chained version fingerprint after applying ``delta``.
+
+    Mirrors ``StreamingScorer``'s ``fingerprints="chained"`` mode:
+    ``sha256(previous ++ delta.digest())`` over the ASCII hex digests.
+    """
+    return hashlib.sha256(previous.encode("ascii")
+                          + delta.digest().encode("ascii")).hexdigest()
+
+
+def frame_record(payload: bytes) -> bytes:
+    """Wrap a payload in the length + sha256 frame used on disk."""
+    return _LEN.pack(len(payload)) + hashlib.sha256(payload).digest() + payload
+
+
+def _parse_frames(data: bytes, path) -> Tuple[List[bytes], int, bool]:
+    """Split a segment into payloads.
+
+    Returns ``(payloads, clean_end, torn)`` where ``clean_end`` is the
+    byte offset of the last complete record's end and ``torn`` flags an
+    incomplete frame after it.  A *complete* frame with a bad checksum
+    raises :class:`DurabilityError` — that is corruption, not a crash.
+    """
+    payloads: List[bytes] = []
+    offset, size = 0, len(data)
+    while offset < size:
+        if offset + _HEADER_BYTES > size:
+            return payloads, offset, True
+        (length,) = _LEN.unpack_from(data, offset)
+        start = offset + _HEADER_BYTES
+        end = start + length
+        if end > size:
+            return payloads, offset, True
+        payload = bytes(data[start:end])
+        if hashlib.sha256(payload).digest() != bytes(data[offset + _LEN.size:start]):
+            raise DurabilityError(
+                f"checksum mismatch in record at byte {offset}", path)
+        payloads.append(payload)
+        offset = end
+    return payloads, offset, False
+
+
+def _decode_delta_record(payload: bytes, path) -> dict:
+    try:
+        record = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise DurabilityError(f"undecodable log record: {error}", path)
+    if not isinstance(record, dict):
+        raise DurabilityError("log record is not a JSON object", path)
+    if record.get("record_version") != RECORD_FORMAT_VERSION:
+        raise DurabilityError(
+            "unsupported log record version %r (expected %d)"
+            % (record.get("record_version"), RECORD_FORMAT_VERSION), path)
+    return record
+
+
+def _seq_of(path: Path, prefix: str, suffix: str) -> Optional[int]:
+    name = path.name
+    if not (name.startswith(prefix) and name.endswith(suffix)):
+        return None
+    body = name[len(prefix):-len(suffix)]
+    return int(body) if body.isdigit() else None
+
+
+@dataclass
+class RecoveredStream:
+    """Everything needed to rebuild a scorer at its pre-crash version."""
+
+    name: str
+    graph: UrbanRegionGraph
+    #: the exact version fingerprint at `version` (chain verified)
+    fingerprint: str
+    version: int
+    #: open options recorded at snapshot time (incremental / fingerprints / ...)
+    options: Dict[str, object] = field(default_factory=dict)
+    warm: bool = True
+    #: snapshot ScoreCache — only non-None when *zero* tail records were
+    #: replayed (a replayed delta invalidates the cached activations)
+    cache: Optional[object] = None
+    snapshot_seq: int = 0
+    records_replayed: int = 0
+    #: 1 when a torn tail record was truncated during this recovery
+    truncated_tail: int = 0
+    recovery_seconds: float = 0.0
+
+
+class _WalMetrics:
+    """Per-stream labelled children of the shared WAL metric families."""
+
+    def __init__(self, registry, stream: str) -> None:
+        label = {"stream": stream}
+        self.appends = registry.counter(
+            "repro_wal_appends_total",
+            "Delta records appended to the write-ahead log.",
+            labelnames=("stream",)).labels(**label)
+        self.fsyncs = registry.counter(
+            "repro_wal_fsyncs_total",
+            "fsync() calls issued by the write-ahead log.",
+            labelnames=("stream",)).labels(**label)
+        self.bytes_written = registry.counter(
+            "repro_wal_bytes_written_total",
+            "Bytes written to write-ahead log segments and snapshots.",
+            labelnames=("stream",)).labels(**label)
+        self.compactions = registry.counter(
+            "repro_wal_compactions_total",
+            "Snapshot compactions of the write-ahead log.",
+            labelnames=("stream",)).labels(**label)
+        self.truncated_tails = registry.counter(
+            "repro_wal_truncated_tails_total",
+            "Torn tail records truncated during recovery.",
+            labelnames=("stream",)).labels(**label)
+        self.recovery_seconds = registry.histogram(
+            "repro_wal_recovery_seconds",
+            "Wall-clock time to recover a stream from snapshot + log.")
+
+
+class StreamLog:
+    """The write-ahead log of one stream: segments + snapshots.
+
+    Not opened implicitly: call :meth:`reset` (fresh stream) or
+    :meth:`recover` (existing directory) before appending, so a typo'd
+    path can never silently fork a stream's history.
+    """
+
+    def __init__(self, directory, name: str, *,
+                 fsync: str = "interval", fsync_interval_s: float = 1.0,
+                 segment_records: int = 256,
+                 compact_records: int = 64,
+                 compact_bytes: int = 4 << 20,
+                 keep_snapshots: int = 2,
+                 metrics=None) -> None:
+        if fsync not in FSYNC_POLICIES:
+            raise ValueError(f"fsync policy must be one of {FSYNC_POLICIES}, "
+                             f"got {fsync!r}")
+        if segment_records < 1:
+            raise ValueError("segment_records must be >= 1")
+        self.directory = Path(directory)
+        self.name = name
+        self.fsync = fsync
+        self.fsync_interval_s = float(fsync_interval_s)
+        self.segment_records = int(segment_records)
+        self.compact_records = int(compact_records)
+        self.compact_bytes = int(compact_bytes)
+        self.keep_snapshots = max(1, int(keep_snapshots))
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+        except OSError as error:
+            raise DurabilityError(f"cannot create stream log directory: "
+                                  f"{error}", directory)
+        if metrics is None:
+            from ..obs import default_registry
+            metrics = default_registry()
+        self._metrics = _WalMetrics(metrics, name)
+        self._lock = threading.RLock()
+        self._handle = None
+        self._append_path: Optional[Path] = None
+        self._records_in_segment = 0
+        #: next expected sequence number; None until reset()/recover()
+        self._next_seq: Optional[int] = None
+        self._records_since_snapshot = 0
+        self._bytes_since_snapshot = 0
+        self._last_fsync = 0.0
+
+    # ------------------------------------------------------------------
+    # file inventory
+    def _segments(self) -> List[Tuple[int, Path]]:
+        out = []
+        for path in self.directory.iterdir():
+            seq = _seq_of(path, _SEGMENT_PREFIX, _SEGMENT_SUFFIX)
+            if seq is not None:
+                out.append((seq, path))
+        return sorted(out)
+
+    def _snapshots(self) -> List[Tuple[int, Path]]:
+        out = []
+        for path in self.directory.iterdir():
+            seq = _seq_of(path, _SNAP_PREFIX, _SNAP_SUFFIX)
+            if seq is not None:
+                out.append((seq, path))
+        return sorted(out)
+
+    def log_bytes(self) -> int:
+        """Total on-disk footprint (segments + snapshots)."""
+        total = 0
+        try:
+            for path in self.directory.iterdir():
+                if path.is_file():
+                    total += path.stat().st_size
+        except OSError:
+            pass
+        return total
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    def reset(self) -> None:
+        """Wipe the directory and start a fresh history at seq 1."""
+        with self._lock:
+            self._close_handle()
+            try:
+                for path in list(self.directory.iterdir()):
+                    if path.is_file():
+                        path.unlink()
+            except OSError as error:
+                raise DurabilityError(f"cannot reset stream log: {error}",
+                                      self.directory)
+            self._next_seq = 1
+            self._append_path = None
+            self._records_in_segment = 0
+            self._records_since_snapshot = 0
+            self._bytes_since_snapshot = 0
+
+    def close(self) -> None:
+        with self._lock:
+            self._close_handle()
+
+    def _close_handle(self) -> None:
+        if self._handle is not None:
+            try:
+                self._handle.flush()
+                self._handle.close()
+            except OSError:
+                pass
+            self._handle = None
+
+    def __enter__(self) -> "StreamLog":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # appending
+    def _require_open(self) -> int:
+        if self._next_seq is None:
+            raise DurabilityError(
+                "stream log has no established history — call reset() for a "
+                "fresh stream or recover() to resume an existing one",
+                self.directory)
+        return self._next_seq
+
+    def _handle_for_append(self, seq: int):
+        if (self._handle is not None
+                and self._records_in_segment >= self.segment_records):
+            self._close_handle()
+            self._append_path = None
+        if self._handle is None:
+            if (self._append_path is None
+                    or self._records_in_segment >= self.segment_records):
+                self._append_path = self.directory / (
+                    f"{_SEGMENT_PREFIX}{seq:08d}{_SEGMENT_SUFFIX}")
+                self._records_in_segment = 0
+            try:
+                self._handle = open(self._append_path, "ab")
+            except OSError as error:
+                raise DurabilityError(f"cannot open log segment: {error}",
+                                      self._append_path)
+        return self._handle
+
+    def _maybe_fsync(self, handle, force: bool = False) -> None:
+        handle.flush()
+        if not force:
+            if self.fsync == "never":
+                return
+            if (self.fsync == "interval"
+                    and time.monotonic() - self._last_fsync
+                    < self.fsync_interval_s):
+                return
+        os.fsync(handle.fileno())
+        self._last_fsync = time.monotonic()
+        self._metrics.fsyncs.inc()
+
+    def append_delta(self, delta: GraphDelta, version: int,
+                     fingerprint: str) -> None:
+        """Durably record one accepted delta.
+
+        ``version`` is the stream version *after* this delta (== its
+        sequence number) and ``fingerprint`` the post-apply version
+        fingerprint.  Appends must be contiguous; any gap means the
+        caller lost track of history and is refused.  On any failure the
+        exception propagates before the caller swaps state in, so an
+        unlogged delta is never acknowledged.
+        """
+        from ..serve.wire import delta_to_payload  # circular-import guard
+        with self._lock:
+            expected = self._require_open()
+            if version != expected:
+                raise DurabilityError(
+                    f"non-contiguous append: expected seq {expected}, "
+                    f"got {version}", self.directory)
+            record = {
+                "record_version": RECORD_FORMAT_VERSION,
+                "seq": int(version),
+                "kind": delta.kind,
+                "fingerprint": str(fingerprint),
+                "delta": delta_to_payload(delta),
+            }
+            frame = frame_record(json.dumps(record).encode("utf-8"))
+            handle = self._handle_for_append(version)
+            try:
+                handle.write(frame)
+                self._maybe_fsync(handle)
+            except OSError as error:
+                raise DurabilityError(f"log append failed: {error}",
+                                      self._append_path)
+            self._next_seq = version + 1
+            self._records_in_segment += 1
+            self._records_since_snapshot += 1
+            self._bytes_since_snapshot += len(frame)
+            self._metrics.appends.inc()
+            self._metrics.bytes_written.inc(len(frame))
+
+    # ------------------------------------------------------------------
+    # snapshots / compaction
+    def needs_compaction(self) -> bool:
+        with self._lock:
+            return (self._records_since_snapshot >= self.compact_records
+                    or self._bytes_since_snapshot >= self.compact_bytes)
+
+    def write_snapshot(self, state: SnapshotState) -> Path:
+        """Atomically persist a compacted snapshot and prune behind it.
+
+        Write order is crash-safe: tmp file + fsync, ``os.replace`` into
+        place, directory fsync, *then* delete fully-covered segments and
+        snapshots beyond ``keep_snapshots``.  A crash at any point
+        leaves either the old or the new snapshot readable.
+        """
+        with self._lock:
+            if self._next_seq is None:
+                self._next_seq = int(state.seq) + 1
+            elif state.seq >= self._next_seq:
+                raise DurabilityError(
+                    f"snapshot seq {state.seq} is ahead of the log "
+                    f"(next seq {self._next_seq})", self.directory)
+            frame = frame_record(snapshot_to_bytes(state))
+            path = self.directory / (
+                f"{_SNAP_PREFIX}{state.seq:08d}{_SNAP_SUFFIX}")
+            tmp = path.with_suffix(path.suffix + ".tmp")
+            try:
+                with open(tmp, "wb") as handle:
+                    handle.write(frame)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                os.replace(tmp, path)
+                self._fsync_directory()
+            except OSError as error:
+                raise DurabilityError(f"cannot write snapshot: {error}", tmp)
+            self._metrics.bytes_written.inc(len(frame))
+            self._metrics.compactions.inc()
+            # prune: segments fully covered by this snapshot, old snapshots
+            self._close_handle()
+            self._append_path = None
+            self._records_in_segment = 0
+            self._prune(int(state.seq))
+            self._records_since_snapshot = 0
+            self._bytes_since_snapshot = 0
+            return path
+
+    def _fsync_directory(self) -> None:
+        try:
+            fd = os.open(self.directory, os.O_RDONLY)
+        except OSError:
+            return  # platform without directory fds
+        try:
+            os.fsync(fd)
+        except OSError:
+            pass
+        finally:
+            os.close(fd)
+
+    def _prune(self, snapshot_seq: int) -> None:
+        segments = self._segments()
+        next_seq = self._next_seq if self._next_seq is not None \
+            else snapshot_seq + 1
+        for index, (first_seq, path) in enumerate(segments):
+            last_seq = (segments[index + 1][0] - 1
+                        if index + 1 < len(segments) else next_seq - 1)
+            if last_seq <= snapshot_seq:
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+        snapshots = self._snapshots()
+        for _, path in snapshots[:-self.keep_snapshots]:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
+    # ------------------------------------------------------------------
+    # recovery
+    def recover(self) -> RecoveredStream:
+        """Rebuild the latest durable state: newest readable snapshot,
+        plus the logged tail replayed and chain-verified on top."""
+        from ..serve.wire import delta_from_payload  # circular-import guard
+        started = time.perf_counter()
+        with self._lock:
+            self._close_handle()
+            base = self._load_base_snapshot()
+            records, truncated, tail_info = self._load_tail_records()
+            graph, fingerprint = base.graph, base.fingerprint
+            version, replayed = int(base.seq), 0
+            mode = str(base.options.get("fingerprints", "chained"))
+            for record in records:
+                seq = int(record.get("seq", -1))
+                if seq <= base.seq:
+                    continue  # left over from a crash during compaction
+                if seq != version + 1:
+                    raise DurabilityError(
+                        f"gap in delta log: expected seq {version + 1}, "
+                        f"found {seq}", self.directory)
+                try:
+                    delta = delta_from_payload(record["delta"])
+                except (KeyError, ValueError, TypeError) as error:
+                    raise DurabilityError(
+                        f"bad delta in log record seq {seq}: {error}",
+                        self.directory)
+                recorded = str(record.get("fingerprint", ""))
+                if mode == "chained":
+                    expected = chain_fingerprint(fingerprint, delta)
+                    if recorded != expected:
+                        raise DurabilityError(
+                            f"fingerprint chain broken at seq {seq}: log "
+                            f"says {recorded[:12]}…, replay computes "
+                            f"{expected[:12]}…", self.directory)
+                try:
+                    graph = delta.apply(graph, validate=False)
+                except ValueError as error:
+                    raise DurabilityError(
+                        f"logged delta at seq {seq} no longer applies: "
+                        f"{error}", self.directory)
+                fingerprint = recorded or fingerprint
+                version, replayed = seq, replayed + 1
+            if mode == "content" and replayed:
+                actual = graph.fingerprint()
+                if fingerprint and actual != fingerprint:
+                    raise DurabilityError(
+                        f"content fingerprint mismatch after replay: log "
+                        f"says {fingerprint[:12]}…, graph is "
+                        f"{actual[:12]}…", self.directory)
+                fingerprint = actual
+            # position the log for further appends
+            self._next_seq = version + 1
+            self._append_path, self._records_in_segment = tail_info
+            self._records_since_snapshot = replayed
+            self._bytes_since_snapshot = sum(
+                path.stat().st_size for _, path in self._segments()
+                if path.exists())
+            elapsed = time.perf_counter() - started
+            self._metrics.recovery_seconds.observe(elapsed)
+            if truncated:
+                self._metrics.truncated_tails.inc()
+            return RecoveredStream(
+                name=self.name, graph=graph, fingerprint=fingerprint,
+                version=version, options=dict(base.options),
+                warm=bool(base.warm),
+                cache=base.cache if replayed == 0 else None,
+                snapshot_seq=int(base.seq), records_replayed=replayed,
+                truncated_tail=int(truncated),
+                recovery_seconds=elapsed)
+
+    def _load_base_snapshot(self) -> SnapshotState:
+        candidates = self._snapshots()
+        if not candidates:
+            raise DurabilityError(
+                "no snapshot found — the stream was never opened durably, "
+                "or its snapshot files were deleted", self.directory)
+        problems = []
+        for seq, path in reversed(candidates):
+            try:
+                data = path.read_bytes()
+            except OSError as error:
+                problems.append(f"{path.name}: {error}")
+                continue
+            try:
+                payloads, clean_end, torn = _parse_frames(data, path)
+            except DurabilityError:
+                # a corrupt snapshot is not fatal while older ones exist
+                problems.append(f"{path.name}: checksum mismatch")
+                continue
+            if torn or len(payloads) != 1 or clean_end != len(data):
+                problems.append(f"{path.name}: malformed snapshot frame")
+                continue
+            try:
+                state = snapshot_from_bytes(payloads[0])
+            except ValueError as error:
+                problems.append(f"{path.name}: {error}")
+                continue
+            if int(state.seq) != seq:
+                problems.append(f"{path.name}: names seq {seq} but "
+                                f"contains seq {state.seq}")
+                continue
+            return state
+        raise DurabilityError("no readable snapshot: "
+                              + "; ".join(problems), self.directory)
+
+    def _load_tail_records(self):
+        """All decodable delta records in seq order, truncating a torn
+        tail in the final segment.  Returns ``(records, truncated,
+        (append_path, records_in_final_segment))``."""
+        records: List[dict] = []
+        truncated = False
+        segments = self._segments()
+        append_path: Optional[Path] = None
+        in_final = 0
+        for index, (first_seq, path) in enumerate(segments):
+            final = index == len(segments) - 1
+            try:
+                data = path.read_bytes()
+            except OSError as error:
+                raise DurabilityError(f"cannot read log segment: {error}",
+                                      path)
+            payloads, clean_end, torn = _parse_frames(data, path)
+            if torn:
+                if not final:
+                    raise DurabilityError(
+                        f"incomplete record mid-log at byte {clean_end} "
+                        "(not the final segment, so this is corruption, "
+                        "not a torn tail)", path)
+                try:
+                    os.truncate(path, clean_end)
+                except OSError as error:
+                    raise DurabilityError(
+                        f"cannot truncate torn tail: {error}", path)
+                truncated = True
+            for payload in payloads:
+                records.append(_decode_delta_record(payload, path))
+            if final:
+                append_path, in_final = path, len(payloads)
+        return records, truncated, (append_path, in_final)
+
+    # ------------------------------------------------------------------
+    def status(self) -> Dict[str, object]:
+        with self._lock:
+            snapshots = self._snapshots()
+            return {
+                "stream": self.name,
+                "directory": str(self.directory),
+                "next_seq": self._next_seq,
+                "log_bytes": self.log_bytes(),
+                "segments": len(self._segments()),
+                "snapshots": len(snapshots),
+                "last_snapshot_seq": snapshots[-1][0] if snapshots else None,
+                "records_since_snapshot": self._records_since_snapshot,
+                "fsync": self.fsync,
+            }
+
+
+class DurabilityLog:
+    """A directory of per-stream write-ahead logs.
+
+    Stream names are percent-encoded into directory names so any name
+    the router accepts (slashes, spaces, unicode) maps to exactly one
+    directory and back.
+    """
+
+    def __init__(self, root, *,
+                 fsync: str = "interval", fsync_interval_s: float = 1.0,
+                 segment_records: int = 256,
+                 compact_records: int = 64,
+                 compact_bytes: int = 4 << 20,
+                 keep_snapshots: int = 2,
+                 metrics=None) -> None:
+        if fsync not in FSYNC_POLICIES:
+            raise ValueError(f"fsync policy must be one of {FSYNC_POLICIES}, "
+                             f"got {fsync!r}")
+        self.root = Path(root)
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+        except OSError as error:
+            raise DurabilityError(f"cannot create durability root: {error}",
+                                  root)
+        if metrics is None:
+            from ..obs import default_registry
+            metrics = default_registry()
+        self.metrics = metrics
+        self.fsync = fsync
+        self.fsync_interval_s = float(fsync_interval_s)
+        self.segment_records = int(segment_records)
+        self.compact_records = int(compact_records)
+        self.compact_bytes = int(compact_bytes)
+        self.keep_snapshots = int(keep_snapshots)
+        self._streams: Dict[str, StreamLog] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def stream(self, name: str, fresh: bool = False) -> StreamLog:
+        """The :class:`StreamLog` for ``name`` (created on first use).
+
+        ``fresh=True`` wipes any existing history — for opening a brand
+        new stream; restores use :meth:`recover` instead.
+        """
+        with self._lock:
+            log = self._streams.get(name)
+            if log is None:
+                directory = self.root / urllib.parse.quote(name, safe="")
+                log = StreamLog(
+                    directory, name,
+                    fsync=self.fsync,
+                    fsync_interval_s=self.fsync_interval_s,
+                    segment_records=self.segment_records,
+                    compact_records=self.compact_records,
+                    compact_bytes=self.compact_bytes,
+                    keep_snapshots=self.keep_snapshots,
+                    metrics=self.metrics)
+                self._streams[name] = log
+        if fresh:
+            log.reset()
+        return log
+
+    def stream_names(self) -> List[str]:
+        """Streams with on-disk history under the root."""
+        names = []
+        try:
+            for path in sorted(self.root.iterdir()):
+                if path.is_dir():
+                    names.append(urllib.parse.unquote(path.name))
+        except OSError as error:
+            raise DurabilityError(f"cannot list durability root: {error}",
+                                  self.root)
+        return names
+
+    def recover(self, name: str) -> RecoveredStream:
+        return self.stream(name).recover()
+
+    def recover_all(self) -> Dict[str, RecoveredStream]:
+        return {name: self.recover(name) for name in self.stream_names()}
+
+    # ------------------------------------------------------------------
+    def status(self) -> Dict[str, object]:
+        """Operator-facing durability status, robust to restarts: ages
+        and sizes come from the files, not in-memory state."""
+        log_bytes = 0
+        segments = snapshots = 0
+        newest_snapshot: Optional[float] = None
+        try:
+            for directory in self.root.iterdir():
+                if not directory.is_dir():
+                    continue
+                for path in directory.iterdir():
+                    if not path.is_file():
+                        continue
+                    try:
+                        stat = path.stat()
+                    except OSError:
+                        continue
+                    log_bytes += stat.st_size
+                    if _seq_of(path, _SEGMENT_PREFIX, _SEGMENT_SUFFIX) is not None:
+                        segments += 1
+                    elif _seq_of(path, _SNAP_PREFIX, _SNAP_SUFFIX) is not None:
+                        snapshots += 1
+                        if (newest_snapshot is None
+                                or stat.st_mtime > newest_snapshot):
+                            newest_snapshot = stat.st_mtime
+        except OSError as error:
+            raise DurabilityError(f"cannot inspect durability root: {error}",
+                                  self.root)
+        age = (None if newest_snapshot is None
+               else max(0.0, time.time() - newest_snapshot))
+        return {
+            "wal_enabled": True,
+            "root": str(self.root),
+            "fsync": self.fsync,
+            "streams": len(self.stream_names()),
+            "segments": segments,
+            "snapshots": snapshots,
+            "log_bytes": log_bytes,
+            "last_checkpoint_age_seconds": age,
+        }
+
+    def close(self) -> None:
+        with self._lock:
+            for log in self._streams.values():
+                log.close()

@@ -52,6 +52,9 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from ..durable.snapshot import SnapshotState
+from ..durable.wal import (DurabilityError, DurabilityLog, RecoveredStream,
+                           chain_fingerprint)
 from ..obs import MetricsRegistry, default_registry
 from ..stream.delta import GraphDelta
 from ..stream.scorer import StreamingScorer
@@ -209,6 +212,20 @@ class ShardBackend:
     def evict_stream(self, name: str) -> Dict[str, object]:
         raise NotImplementedError
 
+    def restore_stream(self, name: str,
+                       recovered: RecoveredStream) -> Dict[str, object]:
+        """Re-establish a WAL-recovered stream on this shard.
+
+        The default simply re-opens from the recovered graph — scores
+        stay bit-identical (scoring is deterministic in the graph), but
+        the stream starts a *new* version/fingerprint chain.  Backends
+        that can resume the exact recovered chain (:class:`EngineShard`)
+        override this.
+        """
+        return self.open_stream(name, recovered.graph,
+                                rescore=bool(recovered.warm),
+                                **recovered.options)
+
     def healthz(self) -> Dict[str, object]:
         raise NotImplementedError
 
@@ -227,12 +244,21 @@ class EngineShard(ShardBackend):
     ``stream_defaults`` (e.g. ``incremental="always"``,
     ``fingerprints="content"``) apply to every stream opened on this
     shard; per-open options override them.
+
+    With ``wal`` set, every stream opened on this shard is durable:
+    opens write a base snapshot, accepted deltas append to the stream's
+    write-ahead log, and :meth:`restore_stream` resumes the exact
+    recovered version chain via :meth:`StreamingScorer.from_snapshot`.
+    (A fleet usually logs at the *router* instead — one authoritative
+    history per city rather than one per replica.)
     """
 
     def __init__(self, engine: InferenceEngine, shard_id: Optional[str] = None,
+                 wal: Optional[DurabilityLog] = None,
                  **stream_defaults) -> None:
         self.engine = engine
         self.shard_id = shard_id or f"engine-shard-{next(_SHARD_COUNTER)}"
+        self._wal = wal
         self._stream_defaults = dict(stream_defaults)
         self._streams: Dict[str, StreamingScorer] = {}
         self._lock = threading.Lock()
@@ -249,6 +275,8 @@ class EngineShard(ShardBackend):
     def open_stream(self, name: str, graph: UrbanRegionGraph,
                     rescore: bool = True, **options) -> Dict[str, object]:
         merged = {**self._stream_defaults, **options}
+        if self._wal is not None and "wal" not in merged:
+            merged["wal"] = self._wal.stream(name)
         scorer = StreamingScorer(self.engine, graph, warm=bool(rescore),
                                  **merged)
         with self._lock:
@@ -257,6 +285,21 @@ class EngineShard(ShardBackend):
                                       "shard": self.shard_id}
         payload.update(scorer.describe())
         if rescore:
+            payload["score"] = scorer.score().to_dict()
+        return payload
+
+    def restore_stream(self, name: str,
+                       recovered: RecoveredStream) -> Dict[str, object]:
+        wal = self._wal.stream(name) if self._wal is not None else None
+        scorer = StreamingScorer.from_snapshot(self.engine, recovered,
+                                               wal=wal,
+                                               **self._stream_defaults)
+        with self._lock:
+            self._streams[name] = scorer
+        payload: Dict[str, object] = {"stream": name, "restored": True,
+                                      "shard": self.shard_id}
+        payload.update(scorer.describe())
+        if recovered.warm:
             payload["score"] = scorer.score().to_dict()
         return payload
 
@@ -504,6 +547,10 @@ class ChaosShard(ShardBackend):
         self._gate()
         return self.inner.evict_stream(name)
 
+    def restore_stream(self, name, recovered):
+        self._gate()
+        return self.inner.restore_stream(name, recovered)
+
     def healthz(self):
         self._gate()
         return self.inner.healthz()
@@ -566,6 +613,9 @@ class _CityState:
     warm: bool
     options: Dict[str, object]
     version: int = 0
+    #: authoritative version fingerprint — the router chains it itself,
+    #: so it survives failovers (a replica restart re-keys *its* chain)
+    fingerprint: str = ""
     lock: threading.Lock = field(default_factory=threading.Lock)
 
 
@@ -587,6 +637,15 @@ class FleetRouter(ShardBackend):
         per-op request latency histogram and the per-shard health gauges
         are exported to (labelled ``fleet=<name>``).  ``None`` uses the
         process-global registry.
+    wal:
+        Optional :class:`~repro.durable.wal.DurabilityLog`.  When set,
+        the router keeps one durable history per city: ``open_stream``
+        writes a base snapshot, every accepted delta is appended (with
+        the router's own chained fingerprint) before the authoritative
+        copy advances, :meth:`snapshot` / :meth:`checkpoint` compact the
+        logs, and :meth:`restore` rebuilds every stream after a full
+        restart — back to the exact pre-crash version, fingerprint and
+        float64 scores.
 
     The router holds the authoritative current graph of every open city
     (updated only after a shard accepted the delta), which is what makes
@@ -599,7 +658,8 @@ class FleetRouter(ShardBackend):
     def __init__(self, backends: Sequence[ShardBackend],
                  replication: int = 2, vnodes: int = 64,
                  name: str = "fleet",
-                 metrics: Optional[MetricsRegistry] = None) -> None:
+                 metrics: Optional[MetricsRegistry] = None,
+                 wal: Optional[DurabilityLog] = None) -> None:
         backends = list(backends)
         if not backends:
             raise ValueError("a fleet needs at least one shard backend")
@@ -615,6 +675,7 @@ class FleetRouter(ShardBackend):
         self._ring = ConsistentHashRing(list(self._backends), vnodes=vnodes)
         self._down: set = set()
         self._cities: Dict[str, _CityState] = {}
+        self._wal = wal
         self._lock = threading.Lock()
         self.fleet_stats = FleetStats()
         self.metrics = metrics if metrics is not None else default_registry()
@@ -677,6 +738,7 @@ class FleetRouter(ShardBackend):
                        "replicas": list(state.replicas),
                        "active": state.active,
                        "version": state.version,
+                       "fingerprint": state.fingerprint,
                        "regions": state.graph.num_nodes}
                 for name, state in sorted(states.items())}
 
@@ -727,7 +789,8 @@ class FleetRouter(ShardBackend):
                 "shards_total": len(self._backends),
                 "shards_healthy": healthy,
                 "down": down,
-                "cities_open": cities_open}
+                "cities_open": cities_open,
+                "durability": self.durability_status()}
 
     # ------------------------------------------------------------------
     # stream protocol
@@ -740,7 +803,8 @@ class FleetRouter(ShardBackend):
         replicas = self.route(key)
         state = _CityState(name=name, key=key, replicas=replicas,
                            active=replicas[0], graph=graph,
-                           warm=bool(rescore), options=dict(options))
+                           warm=bool(rescore), options=dict(options),
+                           fingerprint=graph.fingerprint())
         last_error: Optional[BaseException] = None
         for shard_id in replicas:
             with self._lock:
@@ -756,6 +820,14 @@ class FleetRouter(ShardBackend):
                 self._note_failure(shard_id)
                 continue
             state.active = shard_id
+            if self._wal is not None:
+                # base snapshot first: a crash between "opened on shard"
+                # and "snapshot on disk" simply means the open was never
+                # durable — re-opening is the caller's normal path anyway
+                self._wal.stream(name, fresh=True).write_snapshot(
+                    SnapshotState(graph=graph, fingerprint=state.fingerprint,
+                                  seq=0, options=dict(options),
+                                  warm=state.warm, cache=None))
             with self._lock:
                 self._cities[name] = state
                 self.fleet_stats.opens += 1
@@ -879,15 +951,44 @@ class FleetRouter(ShardBackend):
         with state.lock:
             payload = self._dispatch(state, call)
             served = state.active
+            fingerprint = self._next_city_fingerprint(state, delta, payload)
+            if self._wal is not None:
+                # durability point: the delta was accepted by a shard and
+                # is now logged before the authoritative copy advances.
+                # An append failure surfaces as DurabilityError and does
+                # NOT advance the router (the delta was never durably
+                # acknowledged); the serving shard may be one version
+                # ahead until the city is re-opened or restored.
+                self._wal.stream(name).append_delta(
+                    delta, state.version + 1, fingerprint)
             # advance the authoritative copy only after a shard accepted
             # the delta; the shard validated this exact transition against
             # an identical graph, so re-validation here would be pure cost
             state.graph = delta.apply(state.graph, validate=False)
             state.version += 1
+            state.fingerprint = fingerprint
         with self._lock:
             self.fleet_stats.update_requests += 1
         self._observe_request("update", served, start)
         return payload
+
+    def _next_city_fingerprint(self, state: _CityState, delta: GraphDelta,
+                               payload: Dict[str, object]) -> str:
+        """The authoritative post-delta fingerprint of a city.
+
+        In ``chained`` mode (the default) the router computes the chain
+        itself — the serving shard's reported fingerprint restarts its
+        chain whenever a failover re-materialises the stream, while the
+        router's chain spans the city's whole logged history (and equals
+        a single uninterrupted scorer's chain by construction).  In
+        ``content`` mode the shard's reported fingerprint is pure graph
+        content and is taken as-is.
+        """
+        if str(state.options.get("fingerprints", "chained")) == "content":
+            reported = str(payload.get("fingerprint", "") or "")
+            return reported or state.fingerprint
+        base = state.fingerprint or state.graph.fingerprint()
+        return chain_fingerprint(base, delta)
 
     def evict_stream(self, name: str) -> Dict[str, object]:
         start = time.perf_counter()
@@ -903,6 +1004,117 @@ class FleetRouter(ShardBackend):
             self.fleet_stats.evict_requests += 1
         self._observe_request("evict", served, start)
         return payload
+
+    # ------------------------------------------------------------------
+    # durability
+    # ------------------------------------------------------------------
+    @property
+    def durable(self) -> bool:
+        return self._wal is not None
+
+    def _require_wal(self) -> DurabilityLog:
+        if self._wal is None:
+            raise FleetError("fleet has no durability log — construct the "
+                             "router with wal=DurabilityLog(...) to enable "
+                             "snapshot/restore")
+        return self._wal
+
+    def snapshot(self, force: bool = True) -> Dict[str, object]:
+        """Compact each open city's WAL into a snapshot of its current
+        authoritative version.  With ``force=False`` only cities whose
+        logs crossed their compaction thresholds are compacted."""
+        wal = self._require_wal()
+        with self._lock:
+            states = dict(self._cities)
+        report: Dict[str, object] = {}
+        for name, state in sorted(states.items()):
+            log = wal.stream(name)
+            with state.lock:
+                if not force and not log.needs_compaction():
+                    continue
+                path = log.write_snapshot(SnapshotState(
+                    graph=state.graph, fingerprint=state.fingerprint,
+                    seq=state.version, options=dict(state.options),
+                    warm=state.warm, cache=None))
+                report[name] = {"seq": state.version, "snapshot": str(path)}
+        return report
+
+    def checkpoint(self, force: bool = False) -> Optional[Dict[str, object]]:
+        """The :class:`~repro.durable.checkpoint.Checkpointer` hook:
+        compact over-threshold logs, or None when not durable."""
+        if self._wal is None:
+            return None
+        return self.snapshot(force=force)
+
+    def restore(self) -> Dict[str, object]:
+        """Rebuild every durable city stream after a restart.
+
+        Each stream under the durability root is recovered (newest
+        readable snapshot + chain-verified log tail, torn tail
+        truncated), re-routed on the current ring, and re-established on
+        the first healthy replica via ``restore_stream`` — an
+        :class:`EngineShard` resumes the exact recovered version chain,
+        so the restored fleet is indistinguishable from one that never
+        crashed: same versions, same fingerprints, bit-identical float64
+        scores.
+        """
+        wal = self._require_wal()
+        report: Dict[str, object] = {}
+        for name in wal.stream_names():
+            recovered = wal.recover(name)
+            key = recovered.graph.structural_fingerprint()
+            replicas = self.route(key)
+            state = _CityState(name=name, key=key, replicas=replicas,
+                               active=replicas[0], graph=recovered.graph,
+                               warm=bool(recovered.warm),
+                               options=dict(recovered.options),
+                               version=int(recovered.version),
+                               fingerprint=recovered.fingerprint)
+            last_error: Optional[BaseException] = None
+            restored = False
+            for shard_id in replicas:
+                with self._lock:
+                    if shard_id in self._down:
+                        continue
+                try:
+                    self._backends[shard_id].restore_stream(name, recovered)
+                except Exception as error:
+                    if not is_shard_failure(error):
+                        raise
+                    last_error = error
+                    self._note_failure(shard_id)
+                    continue
+                state.active = shard_id
+                with self._lock:
+                    self._cities[name] = state
+                    self.fleet_stats.opens += 1
+                report[name] = {
+                    "shard": shard_id,
+                    "version": int(recovered.version),
+                    "fingerprint": recovered.fingerprint,
+                    "snapshot_seq": int(recovered.snapshot_seq),
+                    "records_replayed": int(recovered.records_replayed),
+                    "truncated_tail": int(recovered.truncated_tail),
+                    "recovery_seconds": round(recovered.recovery_seconds, 6),
+                }
+                restored = True
+                break
+            if not restored:
+                with self._lock:
+                    self.fleet_stats.no_replica_errors += 1
+                raise FleetError(f"no healthy replica could restore city "
+                                 f"{name!r} (replicas {replicas}): "
+                                 f"{last_error}")
+        return report
+
+    def durability_status(self) -> Dict[str, object]:
+        """The ``/healthz`` / ``/stats`` durability block."""
+        if self._wal is None:
+            return {"wal_enabled": False}
+        try:
+            return self._wal.status()
+        except DurabilityError as error:
+            return {"wal_enabled": True, "error": str(error)}
 
     # ------------------------------------------------------------------
     # aggregation
@@ -939,6 +1151,7 @@ class FleetRouter(ShardBackend):
                              "replicas": list(state.replicas),
                              "active": state.active,
                              "version": state.version,
+                             "fingerprint": state.fingerprint,
                              "regions": state.graph.num_nodes}
                       for name, state in sorted(self._cities.items())}
             for shard_id, backend in self._backends.items():
@@ -981,6 +1194,8 @@ class FleetRouter(ShardBackend):
             "cities": cities,
             "shards": shard_entries,
             "totals": totals,
+            # assembled outside the router lock: pure filesystem reads
+            "durability": self.durability_status(),
         }
 
     def close(self) -> None:

@@ -77,6 +77,7 @@ import urllib.parse
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, Optional, Tuple, Union
 
+from ..durable import Checkpointer, DurabilityError, DurabilityLog
 from ..obs import MetricsRegistry, default_registry
 from ..stream.scorer import StreamingScorer
 from .bundle import read_manifest
@@ -128,7 +129,9 @@ class ScoringService:
     def __init__(self, registry: Union[ModelRegistry, str],
                  cache_size: int = 32, batch_size: Optional[int] = 2048,
                  max_workers: int = 4,
-                 metrics: Optional[MetricsRegistry] = None) -> None:
+                 metrics: Optional[MetricsRegistry] = None,
+                 wal_dir=None, fsync: str = "interval",
+                 checkpoint_interval_s: float = 30.0) -> None:
         if not isinstance(registry, ModelRegistry):
             registry = ModelRegistry(registry)
         self.registry = registry
@@ -157,6 +160,50 @@ class ScoringService:
             "repro_http_request_seconds",
             "Wall time from request receipt to response written.",
             labelnames=("endpoint",))
+        # durability: streams opened on this service append to per-stream
+        # WALs; the checkpointer compacts over-threshold logs in the
+        # background and reports to <wal_dir>/checkpointer.json
+        self._wal: Optional[DurabilityLog] = None
+        self._checkpointer: Optional[Checkpointer] = None
+        if wal_dir is not None:
+            self._wal = DurabilityLog(wal_dir, fsync=fsync,
+                                      metrics=self.metrics)
+            self._checkpointer = Checkpointer(
+                self.checkpoint, interval_s=checkpoint_interval_s,
+                status_path=self._wal.root / "checkpointer.json").start()
+
+    # ------------------------------------------------------------------
+    # durability
+    # ------------------------------------------------------------------
+    def checkpoint(self, force: bool = False) -> Dict[str, object]:
+        """Compact every open durable stream's WAL past its thresholds."""
+        with self._lock:
+            open_streams = dict(self._streams)
+        report: Dict[str, object] = {}
+        for name in sorted(open_streams):
+            scorer = open_streams[name][0]
+            result = scorer.checkpoint(force=force)
+            if result is not None:
+                report[name] = result
+        return report
+
+    def durability_status(self) -> Dict[str, object]:
+        if self._wal is None:
+            return {"wal_enabled": False}
+        try:
+            status = self._wal.status()
+        except DurabilityError as error:
+            return {"wal_enabled": True, "error": str(error)}
+        if self._checkpointer is not None:
+            status["checkpointer"] = self._checkpointer.status()
+        return status
+
+    def close(self) -> None:
+        """Stop the background checkpointer and close WAL handles."""
+        if self._checkpointer is not None:
+            self._checkpointer.stop()
+        if self._wal is not None:
+            self._wal.close()
 
     def observe_http(self, endpoint: str, method: str, status: int,
                      seconds: float) -> None:
@@ -233,6 +280,7 @@ class ScoringService:
             "streams_open": streams_open,
             "requests_served": self.requests_served,
             "requests_total": self.requests_served,
+            "durability": self.durability_status(),
         }
 
     def models(self) -> Dict[str, object]:
@@ -407,6 +455,7 @@ class ScoringService:
             "engines": engine_entries,
             "streams": stream_entries,
             "requests_served": self.requests_served,
+            "durability": self.durability_status(),
         }
 
     # ------------------------------------------------------------------
@@ -467,6 +516,8 @@ class ScoringService:
             except ValueError as error:
                 raise ServiceError(400, f"bad graph payload: {error}") from error
             engine = self.engine_for(model, version)
+            if self._wal is not None:
+                options["wal"] = self._wal.stream(stream)
             try:
                 # warming under rescore both serves the opening score from
                 # the cache and primes the incremental activation cache, so
@@ -652,11 +703,12 @@ class ScoringServer:
                  host: str = "127.0.0.1", port: int = 0,
                  cache_size: int = 32, batch_size: Optional[int] = 2048,
                  max_workers: int = 4, quiet: bool = True,
-                 metrics: Optional[MetricsRegistry] = None) -> None:
+                 metrics: Optional[MetricsRegistry] = None,
+                 wal_dir=None) -> None:
         self.service = ScoringService(registry, cache_size=cache_size,
                                       batch_size=batch_size,
                                       max_workers=max_workers,
-                                      metrics=metrics)
+                                      metrics=metrics, wal_dir=wal_dir)
         handler = type("Handler", (_Handler,), {"quiet": quiet})
         self._httpd = ThreadingHTTPServer((host, port), handler)
         self._httpd.daemon_threads = True
@@ -694,6 +746,7 @@ class ScoringServer:
         """Shut the server down and release the socket."""
         self._httpd.shutdown()
         self._httpd.server_close()
+        self.service.close()
         if self._thread is not None:
             self._thread.join(timeout=5)
             self._thread = None

@@ -78,6 +78,7 @@ from .delta import GraphDelta
 
 if TYPE_CHECKING:  # imported lazily to avoid cycles with repro.serve/core
     from ..core.incremental import DeltaSeeds, ScoreCache
+    from ..durable.wal import RecoveredStream, StreamLog
     from ..serve.engine import InferenceEngine, ScoreResult
 
 __all__ = ["StreamingScorer", "StreamStats", "StreamUpdateResult"]
@@ -204,12 +205,20 @@ class StreamingScorer:
         ``"chained"`` (default) derives each version's cache key from the
         previous key and the delta digest in O(delta); ``"content"``
         re-hashes the full graph per version.
+    wal:
+        Optional :class:`~repro.durable.wal.StreamLog`.  When set, the
+        stream is *durable*: opening writes a base snapshot (wiping any
+        prior history at that path — restores go through
+        :meth:`from_snapshot` instead), and every accepted delta is
+        appended to the log **before** the version swap, so a crash can
+        lose at most deltas the caller never saw acknowledged.
     """
 
     def __init__(self, engine: InferenceEngine, graph: UrbanRegionGraph,
                  warm: bool = False, incremental: str = "auto",
                  incremental_cutoff: float = 0.75,
-                 fingerprints: str = "chained") -> None:
+                 fingerprints: str = "chained",
+                 wal: Optional[StreamLog] = None) -> None:
         if incremental not in INCREMENTAL_MODES:
             raise ValueError("incremental must be one of %s, got %r"
                              % ("/".join(INCREMENTAL_MODES), incremental))
@@ -250,6 +259,99 @@ class StreamingScorer:
             buckets=FRACTION_BUCKETS)
         if warm:
             self._full_rescore_locked()
+        self._wal = wal
+        self._warm_opened = bool(warm)
+        if wal is not None:
+            self._write_opening_snapshot()
+
+    # ------------------------------------------------------------------
+    # durability
+    # ------------------------------------------------------------------
+    def _wal_options(self) -> Dict[str, object]:
+        """The open options a restore must reproduce exactly."""
+        return {"incremental": self.incremental,
+                "incremental_cutoff": self.incremental_cutoff,
+                "fingerprints": self.fingerprint_mode}
+
+    def _write_opening_snapshot(self) -> None:
+        from ..durable.snapshot import SnapshotState
+        self._wal.reset()
+        with self._lock:
+            state = self._state
+            self._wal.write_snapshot(SnapshotState(
+                graph=state.graph, fingerprint=state.fingerprint,
+                seq=state.version, options=self._wal_options(),
+                warm=self._warm_opened, cache=state.cache))
+
+    def checkpoint(self, force: bool = False) -> Optional[Dict[str, object]]:
+        """Compact the WAL into a snapshot of the current version.
+
+        Returns None when the stream is not durable or the log is still
+        under its compaction thresholds (pass ``force=True`` to compact
+        regardless).  Called periodically by a
+        :class:`~repro.durable.checkpoint.Checkpointer`.
+        """
+        if self._wal is None:
+            return None
+        from ..durable.snapshot import SnapshotState
+        with self._lock:
+            if not force and not self._wal.needs_compaction():
+                return None
+            state = self._state
+            path = self._wal.write_snapshot(SnapshotState(
+                graph=state.graph, fingerprint=state.fingerprint,
+                seq=state.version, options=self._wal_options(),
+                warm=self._warm_opened, cache=state.cache))
+            return {"stream": self._wal.name, "seq": state.version,
+                    "snapshot": str(path)}
+
+    @classmethod
+    def from_snapshot(cls, engine: InferenceEngine,
+                      recovered: RecoveredStream,
+                      wal: Optional[StreamLog] = None,
+                      **defaults) -> "StreamingScorer":
+        """Rebuild a scorer at its recovered pre-crash version.
+
+        The stream resumes under the *recovered* version fingerprint (so
+        chained histories survive the restart), with the snapshot's
+        activation cache when the log tail was empty, or a deterministic
+        full rescore when ``recovered.warm`` and the cache was
+        invalidated by replayed deltas — either way later scores are
+        bit-identical to the never-crashed stream.  Pass the (already
+        recovered) ``wal`` to keep appending to the same history.
+        ``defaults`` fill options the snapshot did not record (a shard's
+        ``stream_defaults``); the snapshot always wins where both speak.
+        """
+        options = dict(defaults)
+        options.update({key: recovered.options[key]
+                        for key in ("incremental", "incremental_cutoff",
+                                    "fingerprints")
+                        if key in recovered.options})
+        scorer = cls(engine, recovered.graph, warm=False, **options)
+        with scorer._lock:
+            state = scorer._state
+            # the constructor registered the plan under the content
+            # fingerprint of version 0; re-home it to the recovered
+            # version's fingerprint and drop the temporary key
+            if state.plan is not None:
+                engine.seed_plan(recovered.fingerprint, state.plan)
+            if state.fingerprint != recovered.fingerprint:
+                engine.evict(state.fingerprint)
+            cache = recovered.cache
+            scorer._state = _StreamState(
+                graph=state.graph, fingerprint=recovered.fingerprint,
+                plan=state.plan, version=int(recovered.version),
+                cache=cache)
+            if cache is not None and engine.caching_enabled:
+                engine.seed_scores(recovered.fingerprint, cache.scores)
+        if recovered.warm and cache is None:
+            if scorer.incremental_active:
+                scorer._full_rescore_locked()
+            else:
+                scorer.score()
+        scorer._wal = wal
+        scorer._warm_opened = bool(recovered.warm)
+        return scorer
 
     # ------------------------------------------------------------------
     # current version
@@ -287,6 +389,7 @@ class StreamingScorer:
             "edges": state.graph.num_edges,
             "incremental": self.incremental,
             "incremental_active": self.incremental_active,
+            "durable": self._wal is not None,
             "stats": self.stats.to_dict(),
         }
 
@@ -367,6 +470,13 @@ class StreamingScorer:
                 # ids, so they drop the cache instead (next rescore: full).
                 cache = state.cache
                 pending = seeds
+
+            if self._wal is not None:
+                # durability point: the delta hits the log (fsynced per
+                # policy) before any engine or stream state advances, so
+                # a failed append leaves the version exactly as it was —
+                # and a logged delta is exactly an acknowledged one
+                self._wal.append_delta(delta, state.version + 1, fingerprint)
 
             if plan is not None:
                 self._engine.seed_plan(fingerprint, plan)

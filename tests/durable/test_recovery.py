@@ -1,0 +1,170 @@
+"""Scorer-level durability: a crashed-and-recovered stream is
+indistinguishable — same versions, same fingerprints, bit-identical
+float64 scores — from one that never crashed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.durable import DurabilityLog, SnapshotState
+from repro.durable.snapshot import (cache_from_arrays, cache_to_arrays,
+                                    snapshot_from_bytes, snapshot_to_bytes)
+from repro.obs import MetricsRegistry
+from repro.serve import InferenceEngine
+from repro.stream import StreamingScorer
+from repro.synth import EvolutionConfig, generate_evolution
+
+
+@pytest.fixture(scope="module")
+def deltas(tiny_graph_small_image):
+    out = generate_evolution(tiny_graph_small_image,
+                             EvolutionConfig(steps=6, seed=13))
+    assert len(out) >= 4
+    return out
+
+
+def _durable_scorer(fitted_detector, graph, wal_root, **options):
+    engine = InferenceEngine(fitted_detector, cache_size=8)
+    wal = DurabilityLog(wal_root, metrics=MetricsRegistry())
+    scorer = StreamingScorer(engine, graph, warm=True,
+                             wal=wal.stream("city"), **options)
+    return scorer, wal
+
+
+class TestStreamRecovery:
+    def test_recovered_stream_is_bit_identical(
+            self, fitted_detector, tiny_graph_small_image, deltas, tmp_path):
+        scorer, _ = _durable_scorer(fitted_detector, tiny_graph_small_image,
+                                    tmp_path / "wal")
+        control = StreamingScorer(
+            InferenceEngine(fitted_detector, cache_size=8),
+            tiny_graph_small_image, warm=True)
+        for delta in deltas[:3]:
+            scorer.update(delta)
+            control.update(delta)
+        # "crash": drop the scorer, recover from disk with a cold engine
+        crashed_version = scorer.version
+        crashed_fingerprint = scorer.fingerprint
+        del scorer
+
+        wal = DurabilityLog(tmp_path / "wal", metrics=MetricsRegistry())
+        recovered = wal.recover("city")
+        assert recovered.version == crashed_version
+        assert recovered.fingerprint == crashed_fingerprint
+        assert recovered.records_replayed == 3
+        resumed = StreamingScorer.from_snapshot(
+            InferenceEngine(fitted_detector, cache_size=8), recovered,
+            wal=wal.stream("city"))
+        assert resumed.version == control.version
+        assert resumed.fingerprint == control.fingerprint
+        assert np.array_equal(resumed.predict_proba(),
+                              control.predict_proba())
+
+        # post-recovery updates keep tracking the uninterrupted stream
+        for delta in deltas[3:5]:
+            resumed_update = resumed.update(delta)
+            control_update = control.update(delta)
+            assert resumed.fingerprint == control.fingerprint
+            assert np.array_equal(resumed_update.probabilities,
+                                  control_update.probabilities)
+
+    def test_checkpoint_compacts_and_preserves_cache(
+            self, fitted_detector, tiny_graph_small_image, deltas, tmp_path):
+        scorer, wal = _durable_scorer(fitted_detector,
+                                      tiny_graph_small_image,
+                                      tmp_path / "wal")
+        for delta in deltas[:2]:
+            scorer.update(delta)
+        result = scorer.checkpoint(force=True)
+        assert result is not None and result["seq"] == 2
+        # compaction pruned the replay tail; the snapshot carries the
+        # activation cache so recovery needs no rescore at all
+        recovered = DurabilityLog(tmp_path / "wal",
+                                  metrics=MetricsRegistry()).recover("city")
+        assert recovered.records_replayed == 0
+        assert recovered.version == 2
+        assert recovered.cache is not None
+
+        resumed = StreamingScorer.from_snapshot(
+            InferenceEngine(fitted_detector, cache_size=8), recovered)
+        assert np.array_equal(resumed.predict_proba(),
+                              scorer.predict_proba())
+
+    def test_checkpoint_respects_thresholds(self, fitted_detector,
+                                            tiny_graph_small_image,
+                                            tmp_path):
+        scorer, _ = _durable_scorer(fitted_detector, tiny_graph_small_image,
+                                    tmp_path / "wal")
+        assert scorer.checkpoint() is None  # nothing to compact yet
+        assert scorer.checkpoint(force=True) is not None
+
+    def test_describe_reports_durable(self, fitted_detector,
+                                      tiny_graph_small_image, tmp_path):
+        scorer, _ = _durable_scorer(fitted_detector, tiny_graph_small_image,
+                                    tmp_path / "wal")
+        assert scorer.describe()["durable"] is True
+        plain = StreamingScorer(InferenceEngine(fitted_detector),
+                                tiny_graph_small_image)
+        assert plain.describe()["durable"] is False
+
+    def test_append_failure_leaves_stream_unchanged(
+            self, fitted_detector, tiny_graph_small_image, deltas, tmp_path):
+        """A delta that cannot be logged is never acknowledged."""
+        scorer, wal = _durable_scorer(fitted_detector,
+                                      tiny_graph_small_image,
+                                      tmp_path / "wal")
+        before_version = scorer.version
+        before_fingerprint = scorer.fingerprint
+        # desync the log so the next append is refused
+        wal.stream("city")._next_seq = 99
+        from repro.durable import DurabilityError
+        with pytest.raises(DurabilityError, match="non-contiguous"):
+            scorer.update(deltas[0])
+        assert scorer.version == before_version
+        assert scorer.fingerprint == before_fingerprint
+
+
+class TestSnapshotCodec:
+    def test_score_cache_roundtrip_is_bit_identical(
+            self, fitted_detector, tiny_graph_small_image, deltas):
+        scorer = StreamingScorer(InferenceEngine(fitted_detector,
+                                                 cache_size=8),
+                                 tiny_graph_small_image, warm=True)
+        scorer.update(deltas[0])
+        cache = scorer._state.cache
+        assert cache is not None
+        arrays = cache_to_arrays(cache)
+        rebuilt = cache_from_arrays(
+            {key: np.copy(value) for key, value in arrays.items()},
+            len(cache.levels))
+        assert rebuilt.scores.dtype == np.float64
+        assert np.array_equal(rebuilt.scores, cache.scores)
+        assert np.array_equal(rebuilt.local_repr, cache.local_repr)
+        for (poi, img), (other_poi, other_img) in zip(rebuilt.levels,
+                                                      cache.levels):
+            assert np.array_equal(poi, other_poi)
+            assert np.array_equal(img, other_img)
+
+    def test_snapshot_bytes_roundtrip(self, fitted_detector,
+                                      tiny_graph_small_image):
+        scorer = StreamingScorer(InferenceEngine(fitted_detector,
+                                                 cache_size=8),
+                                 tiny_graph_small_image, warm=True)
+        state = SnapshotState(graph=scorer.graph,
+                              fingerprint=scorer.fingerprint,
+                              seq=scorer.version,
+                              options={"incremental": "auto",
+                                       "fingerprints": "chained"},
+                              warm=True, cache=scorer._state.cache)
+        rebuilt = snapshot_from_bytes(snapshot_to_bytes(state))
+        assert rebuilt.fingerprint == state.fingerprint
+        assert rebuilt.seq == state.seq
+        assert rebuilt.options == state.options
+        assert rebuilt.graph.fingerprint() == state.graph.fingerprint()
+        assert np.array_equal(rebuilt.cache.scores, state.cache.scores)
+
+    def test_malformed_snapshot_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            snapshot_from_bytes(b"not an npz archive")

@@ -1,0 +1,402 @@
+"""Write-ahead-log mechanics: framing, rotation, fsync policies,
+snapshot compaction, and every fault-injection branch of recovery.
+
+These tests run against the log alone (no model, no scorer): deltas come
+from the seeded evolution generator and fingerprints from the same
+sha256 chain the streaming scorer uses, so recovery's chain verification
+is exercised for real without paying for inference.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.durable import (Checkpointer, DurabilityError, DurabilityLog,
+                           SnapshotState, chain_fingerprint, frame_record)
+from repro.durable.wal import _parse_frames
+from repro.obs import MetricsRegistry, parse_prometheus_text
+from repro.synth import EvolutionConfig, generate_evolution
+
+
+@pytest.fixture(scope="module")
+def deltas(tiny_graph_small_image):
+    out = generate_evolution(tiny_graph_small_image,
+                             EvolutionConfig(steps=6, seed=3))
+    assert len(out) >= 5
+    return out
+
+
+def _open_log(root, graph, name="city", metrics=None, **options):
+    """A DurabilityLog plus a freshly opened StreamLog at seq 0."""
+    wal = DurabilityLog(root, metrics=metrics or MetricsRegistry(), **options)
+    log = wal.stream(name, fresh=True)
+    log.write_snapshot(SnapshotState(
+        graph=graph, fingerprint=graph.fingerprint(), seq=0,
+        options={"fingerprints": "chained"}, warm=False, cache=None))
+    return wal, log
+
+
+def _append_chain(log, graph, deltas, fingerprint=None):
+    """Append deltas with the chained fingerprints recovery will verify.
+
+    Returns the final (graph, fingerprint, version).
+    """
+    fingerprint = fingerprint or graph.fingerprint()
+    version = log.status()["next_seq"] - 1
+    for delta in deltas:
+        fingerprint = chain_fingerprint(fingerprint, delta)
+        version += 1
+        log.append_delta(delta, version, fingerprint)
+        graph = delta.apply(graph, validate=False)
+    return graph, fingerprint, version
+
+
+class TestFraming:
+    def test_frame_roundtrip(self, tmp_path):
+        frames = b"".join(frame_record(p) for p in (b"one", b"two", b""))
+        payloads, clean_end, torn = _parse_frames(frames, tmp_path / "x")
+        assert payloads == [b"one", b"two", b""]
+        assert clean_end == len(frames) and not torn
+
+    def test_incomplete_tail_is_torn_not_corrupt(self, tmp_path):
+        frames = frame_record(b"whole") + frame_record(b"cut-off")[:-3]
+        payloads, clean_end, torn = _parse_frames(frames, tmp_path / "x")
+        assert payloads == [b"whole"] and torn
+        assert clean_end == len(frame_record(b"whole"))
+
+    def test_checksum_mismatch_raises_with_path(self, tmp_path):
+        data = bytearray(frame_record(b"payload"))
+        data[-1] ^= 0xFF  # flip a payload byte; the frame stays complete
+        with pytest.raises(DurabilityError) as excinfo:
+            _parse_frames(bytes(data), tmp_path / "seg")
+        assert "checksum mismatch" in str(excinfo.value)
+        assert str(tmp_path / "seg") in str(excinfo.value)
+
+
+class TestAppendRecover:
+    def test_roundtrip_replays_to_exact_chain(self, tmp_path, deltas,
+                                              tiny_graph_small_image):
+        graph = tiny_graph_small_image
+        _, log = _open_log(tmp_path, graph)
+        final_graph, final_fp, version = _append_chain(log, graph, deltas)
+        log.close()
+
+        recovered = DurabilityLog(tmp_path,
+                                  metrics=MetricsRegistry()).recover("city")
+        assert recovered.version == version == len(deltas)
+        assert recovered.fingerprint == final_fp
+        assert recovered.graph.fingerprint() == final_graph.fingerprint()
+        assert recovered.records_replayed == len(deltas)
+        assert recovered.truncated_tail == 0
+        assert recovered.cache is None  # replayed deltas invalidate it
+
+    def test_recovered_log_accepts_further_appends(self, tmp_path, deltas,
+                                                   tiny_graph_small_image):
+        graph = tiny_graph_small_image
+        _, log = _open_log(tmp_path, graph)
+        _append_chain(log, graph, deltas[:2])
+        log.close()
+
+        wal = DurabilityLog(tmp_path, metrics=MetricsRegistry())
+        recovered = wal.recover("city")
+        log = wal.stream("city")
+        graph, fp, version = recovered.graph, recovered.fingerprint, \
+            recovered.version
+        _append_chain(log, graph, deltas[2:4], fingerprint=fp)
+        again = DurabilityLog(tmp_path, metrics=MetricsRegistry()) \
+            .recover("city")
+        assert again.version == version + 2
+        assert again.records_replayed == 4
+
+    def test_non_contiguous_append_refused(self, tmp_path, deltas,
+                                           tiny_graph_small_image):
+        graph = tiny_graph_small_image
+        _, log = _open_log(tmp_path, graph)
+        fp = chain_fingerprint(graph.fingerprint(), deltas[0])
+        log.append_delta(deltas[0], 1, fp)
+        with pytest.raises(DurabilityError, match="non-contiguous"):
+            log.append_delta(deltas[1], 3, fp)
+
+    def test_append_requires_reset_or_recover(self, tmp_path, deltas,
+                                              tiny_graph_small_image):
+        wal = DurabilityLog(tmp_path, metrics=MetricsRegistry())
+        log = wal.stream("never-opened")
+        with pytest.raises(DurabilityError, match="no established history"):
+            log.append_delta(deltas[0], 1, "feedbeef")
+
+
+class TestRotation:
+    def test_segments_rotate_at_record_count_boundary(
+            self, tmp_path, deltas, tiny_graph_small_image):
+        graph = tiny_graph_small_image
+        _, log = _open_log(tmp_path, graph, segment_records=2)
+        _append_chain(log, graph, deltas[:5])
+        log.close()
+        names = sorted(p.name for p in (tmp_path / "city").iterdir()
+                       if p.suffix == ".seg")
+        # records 1-2, 3-4, 5 — each new segment named for its first seq
+        assert names == ["wal-00000001.seg", "wal-00000003.seg",
+                         "wal-00000005.seg"]
+        recovered = DurabilityLog(tmp_path, segment_records=2,
+                                  metrics=MetricsRegistry()).recover("city")
+        assert recovered.version == 5
+        assert recovered.records_replayed == 5
+
+
+class TestFsyncPolicies:
+    def _fsyncs(self, metrics):
+        parsed = parse_prometheus_text(metrics.render())
+        return sum(value for (name, _), value in parsed.samples.items()
+                   if name == "repro_wal_fsyncs_total")
+
+    def test_always_fsyncs_every_append(self, tmp_path, deltas,
+                                        tiny_graph_small_image):
+        metrics = MetricsRegistry()
+        graph = tiny_graph_small_image
+        _, log = _open_log(tmp_path, graph, metrics=metrics, fsync="always")
+        _append_chain(log, graph, deltas[:3])
+        assert self._fsyncs(metrics) >= 3
+
+    def test_never_only_flushes(self, tmp_path, deltas,
+                                tiny_graph_small_image):
+        metrics = MetricsRegistry()
+        graph = tiny_graph_small_image
+        _, log = _open_log(tmp_path, graph, metrics=metrics, fsync="never")
+        before = self._fsyncs(metrics)
+        _append_chain(log, graph, deltas[:3])
+        assert self._fsyncs(metrics) == before
+
+    def test_interval_coalesces_fsyncs(self, tmp_path, deltas,
+                                       tiny_graph_small_image):
+        metrics = MetricsRegistry()
+        graph = tiny_graph_small_image
+        _, log = _open_log(tmp_path, graph, metrics=metrics,
+                           fsync="interval", fsync_interval_s=3600.0)
+        before = self._fsyncs(metrics)
+        _append_chain(log, graph, deltas[:4])
+        # the first append syncs (the last sync is ancient), the rest
+        # ride inside the hour-long window
+        assert self._fsyncs(metrics) == before + 1
+
+
+class TestFaultInjection:
+    def test_torn_tail_truncated_and_replay_continues(
+            self, tmp_path, deltas, tiny_graph_small_image):
+        graph = tiny_graph_small_image
+        _, log = _open_log(tmp_path, graph)
+        _, _, version = _append_chain(log, graph, deltas[:3])
+        log.close()
+        segment = tmp_path / "city" / "wal-00000001.seg"
+        clean_size = segment.stat().st_size
+        with open(segment, "ab") as handle:
+            handle.write(b"\x00\x00\x09\x12partial")  # interrupted frame
+
+        recovered = DurabilityLog(tmp_path,
+                                  metrics=MetricsRegistry()).recover("city")
+        assert recovered.version == version
+        assert recovered.truncated_tail == 1
+        assert segment.stat().st_size == clean_size  # tail physically gone
+        again = DurabilityLog(tmp_path,
+                              metrics=MetricsRegistry()).recover("city")
+        assert again.truncated_tail == 0
+
+    def test_flipped_byte_in_record_is_corruption(self, tmp_path, deltas,
+                                                  tiny_graph_small_image):
+        graph = tiny_graph_small_image
+        _, log = _open_log(tmp_path, graph)
+        _append_chain(log, graph, deltas[:3])
+        log.close()
+        segment = tmp_path / "city" / "wal-00000001.seg"
+        data = bytearray(segment.read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        segment.write_bytes(bytes(data))
+        with pytest.raises(DurabilityError, match="checksum mismatch"):
+            DurabilityLog(tmp_path, metrics=MetricsRegistry()).recover("city")
+
+    def test_incomplete_record_mid_log_is_corruption(
+            self, tmp_path, deltas, tiny_graph_small_image):
+        graph = tiny_graph_small_image
+        _, log = _open_log(tmp_path, graph, segment_records=2)
+        _append_chain(log, graph, deltas[:4])  # two segments
+        log.close()
+        first = tmp_path / "city" / "wal-00000001.seg"
+        first.write_bytes(first.read_bytes()[:-5])
+        with pytest.raises(DurabilityError, match="not the final segment"):
+            DurabilityLog(tmp_path, segment_records=2,
+                          metrics=MetricsRegistry()).recover("city")
+
+    def test_missing_snapshot_is_a_clean_error(self, tmp_path, deltas,
+                                               tiny_graph_small_image):
+        graph = tiny_graph_small_image
+        _, log = _open_log(tmp_path, graph)
+        _append_chain(log, graph, deltas[:2])
+        log.close()
+        for path in (tmp_path / "city").glob("snap-*.snap"):
+            path.unlink()
+        with pytest.raises(DurabilityError) as excinfo:
+            DurabilityLog(tmp_path, metrics=MetricsRegistry()).recover("city")
+        message = str(excinfo.value)
+        assert "no snapshot found" in message
+        assert str(tmp_path / "city") in message
+        # the whole point of DurabilityError: no raw repr leaks through
+        assert "KeyError" not in message and "Errno" not in message
+
+    def test_crash_during_compaction_replays_only_the_tail(
+            self, tmp_path, deltas, tiny_graph_small_image):
+        """Snapshot written, prune never ran: stale records are skipped.
+
+        Simulated by restoring the pre-compaction segment after a
+        checkpoint, exactly the state a crash between ``os.replace`` and
+        the prune loop leaves behind.
+        """
+        graph = tiny_graph_small_image
+        _, log = _open_log(tmp_path, graph)
+        mid_graph, mid_fp, _ = _append_chain(log, graph, deltas[:2])
+        segment = tmp_path / "city" / "wal-00000001.seg"
+        pre_compaction = segment.read_bytes()
+        log.write_snapshot(SnapshotState(
+            graph=mid_graph, fingerprint=mid_fp, seq=2,
+            options={"fingerprints": "chained"}, warm=False, cache=None))
+        assert not segment.exists()  # pruned by the checkpoint
+        segment.write_bytes(pre_compaction)  # ... but the crash undid it
+        (tmp_path / "city" / "snap-00000009.snap.tmp").write_bytes(b"junk")
+
+        recovered = DurabilityLog(tmp_path,
+                                  metrics=MetricsRegistry()).recover("city")
+        assert recovered.snapshot_seq == 2
+        assert recovered.records_replayed == 0  # both records were <= seq 2
+        assert recovered.fingerprint == mid_fp
+
+    def test_corrupt_newest_snapshot_falls_back_to_older(
+            self, tmp_path, deltas, tiny_graph_small_image):
+        graph = tiny_graph_small_image
+        _, log = _open_log(tmp_path, graph)
+        mid_graph, mid_fp, _ = _append_chain(log, graph, deltas[:2])
+        segment = tmp_path / "city" / "wal-00000001.seg"
+        pre_compaction = segment.read_bytes()
+        log.write_snapshot(SnapshotState(
+            graph=mid_graph, fingerprint=mid_fp, seq=2,
+            options={"fingerprints": "chained"}, warm=False, cache=None))
+        segment.write_bytes(pre_compaction)  # crash-during-compaction again
+        log.close()
+        newest = tmp_path / "city" / "snap-00000002.snap"
+        data = bytearray(newest.read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        newest.write_bytes(bytes(data))
+
+        recovered = DurabilityLog(tmp_path,
+                                  metrics=MetricsRegistry()).recover("city")
+        assert recovered.snapshot_seq == 0  # fell back to the opening snap
+        assert recovered.records_replayed == 2
+        assert recovered.fingerprint == mid_fp
+
+    def test_gap_in_log_is_refused(self, tmp_path, deltas,
+                                   tiny_graph_small_image):
+        graph = tiny_graph_small_image
+        _, log = _open_log(tmp_path, graph, segment_records=1)
+        _append_chain(log, graph, deltas[:3])
+        log.close()
+        (tmp_path / "city" / "wal-00000002.seg").unlink()
+        with pytest.raises(DurabilityError, match="gap in delta log"):
+            DurabilityLog(tmp_path, segment_records=1,
+                          metrics=MetricsRegistry()).recover("city")
+
+
+class TestCompaction:
+    def test_checkpoint_prunes_covered_segments(self, tmp_path, deltas,
+                                                tiny_graph_small_image):
+        graph = tiny_graph_small_image
+        _, log = _open_log(tmp_path, graph)
+        final_graph, final_fp, version = _append_chain(log, graph,
+                                                       deltas[:4])
+        log.write_snapshot(SnapshotState(
+            graph=final_graph, fingerprint=final_fp, seq=version,
+            options={"fingerprints": "chained"}, warm=False, cache=None))
+        directory = tmp_path / "city"
+        assert not list(directory.glob("wal-*.seg"))
+        # keep_snapshots=2: the opening snapshot survives as the fallback
+        assert {p.name for p in directory.glob("snap-*.snap")} == {
+            "snap-00000000.snap", "snap-00000004.snap"}
+
+        recovered = DurabilityLog(tmp_path,
+                                  metrics=MetricsRegistry()).recover("city")
+        assert recovered.version == version
+        assert recovered.records_replayed == 0
+        assert recovered.fingerprint == final_fp
+
+    def test_needs_compaction_thresholds(self, tmp_path, deltas,
+                                         tiny_graph_small_image):
+        graph = tiny_graph_small_image
+        _, log = _open_log(tmp_path, graph, compact_records=2,
+                           compact_bytes=1 << 30)
+        assert not log.needs_compaction()
+        _append_chain(log, graph, deltas[:2])
+        assert log.needs_compaction()
+
+
+class TestDurabilityLogRoot:
+    def test_stream_names_roundtrip_quoting(self, tmp_path,
+                                            tiny_graph_small_image):
+        wal = DurabilityLog(tmp_path, metrics=MetricsRegistry())
+        awkward = "north side/phase 2"
+        _open_log(tmp_path, tiny_graph_small_image, name=awkward,
+                  metrics=wal.metrics)
+        assert awkward in wal.stream_names()
+        assert "/" not in [p.name for p in tmp_path.iterdir()
+                           if p.is_dir()][0]
+
+    def test_status_reports_files_and_checkpoint_age(
+            self, tmp_path, deltas, tiny_graph_small_image):
+        graph = tiny_graph_small_image
+        wal, log = _open_log(tmp_path, graph)
+        _append_chain(log, graph, deltas[:2])
+        status = wal.status()
+        assert status["wal_enabled"] is True
+        assert status["streams"] == 1
+        assert status["segments"] == 1 and status["snapshots"] == 1
+        assert status["log_bytes"] > 0
+        assert status["last_checkpoint_age_seconds"] >= 0.0
+
+    def test_bad_fsync_policy_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="fsync policy"):
+            DurabilityLog(tmp_path, fsync="sometimes",
+                          metrics=MetricsRegistry())
+
+
+class TestCheckpointer:
+    def test_background_runs_and_status_file(self, tmp_path):
+        ran = threading.Event()
+        calls = []
+
+        def run_once():
+            calls.append(1)
+            ran.set()
+            return {"compacted": len(calls)}
+
+        status_path = tmp_path / "checkpointer.json"
+        with Checkpointer(run_once, interval_s=0.02,
+                          status_path=status_path) as checkpointer:
+            assert ran.wait(timeout=5.0)
+            status = checkpointer.status()
+        assert status["runs"] >= 1
+        assert status["last_error"] is None
+        assert status_path.exists()
+
+    def test_errors_are_captured_not_raised(self, tmp_path):
+        def run_once():
+            raise RuntimeError("disk gremlins")
+
+        checkpointer = Checkpointer(run_once, interval_s=3600.0)
+        checkpointer.run_now()
+        assert "disk gremlins" in checkpointer.status()["last_error"]
+
+    def test_stop_is_prompt(self):
+        checkpointer = Checkpointer(lambda: None, interval_s=3600.0)
+        checkpointer.start()
+        started = time.monotonic()
+        checkpointer.stop()
+        assert time.monotonic() - started < 5.0
+        assert not checkpointer.status()["running"]

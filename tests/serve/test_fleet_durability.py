@@ -1,0 +1,187 @@
+"""Crash-recovery chaos tests at the fleet layer.
+
+The contract: kill a durable fleet anywhere mid-trace (drop the object,
+or SIGKILL the whole process), build a brand-new fleet over the same WAL
+root, ``restore()``, resume the trace at the recovered versions — and
+the resumed float64 score tail is bit-identical to an uninterrupted
+single-shard oracle replaying the whole trace.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from dataclasses import replace
+from pathlib import Path
+
+import pytest
+
+from repro.bench import (replay_trace, resume_point,
+                         resumed_tail_identical, save_trace)
+from repro.durable import DurabilityError, DurabilityLog
+from repro.obs import MetricsRegistry
+from repro.serve import FleetError, FleetRouter
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _durable_fleet(shard_factory, wal_root, shard_ids=("s0", "s1")):
+    wal = DurabilityLog(wal_root, metrics=MetricsRegistry())
+    shards = [shard_factory(shard_id) for shard_id in shard_ids]
+    return FleetRouter(shards, replication=2, wal=wal)
+
+
+class TestKillAndRestore:
+    @pytest.mark.parametrize("kill_at", [3, 11, 20],
+                             ids=["early", "mid", "completed"])
+    def test_restored_fleet_resumes_bit_identically(
+            self, shard_factory, fleet_trace, tmp_path, kill_at):
+        wal_root = tmp_path / "wal"
+        fleet = _durable_fleet(shard_factory, wal_root)
+        prefix = replace(fleet_trace, ops=fleet_trace.ops[:kill_at])
+        replay_trace(prefix, fleet, collect_stats=False)
+        del fleet  # the "crash": nothing survives but the WAL directory
+
+        restored = _durable_fleet(shard_factory, wal_root)
+        report = restored.restore()
+        # the replayer opens every city before the first op, so all of
+        # them have durable history even when the kill came early
+        assert set(report) == set(fleet_trace.cities)
+        versions = {name: entry["version"]
+                    for name, entry in report.items()}
+        start = resume_point(fleet_trace, versions)
+        # the earliest consistent resume point: every update before the
+        # kill is behind it, and only idempotent score/evict ops may be
+        # harmlessly re-run between start and the kill point
+        assert start <= kill_at
+        assert all(op.op != "update"
+                   for op in fleet_trace.ops[start:kill_at])
+        resumed = replay_trace(fleet_trace, restored, collect_stats=False,
+                               start_at=start, open_cities=False)
+
+        oracle = replay_trace(fleet_trace, shard_factory("oracle"),
+                              collect_stats=False)
+        identical, max_diff = resumed_tail_identical(oracle, resumed, start)
+        assert identical and max_diff == 0.0
+
+    def test_restore_matches_uninterrupted_durable_fleet(
+            self, shard_factory, fleet_trace, tmp_path):
+        """The recovered fingerprint chain equals the never-crashed one."""
+        crashed_root, control_root = tmp_path / "crashed", tmp_path / "ctrl"
+        fleet = _durable_fleet(shard_factory, crashed_root)
+        replay_trace(replace(fleet_trace, ops=fleet_trace.ops[:9]), fleet,
+                     collect_stats=False)
+        del fleet
+        restored = _durable_fleet(shard_factory, crashed_root)
+        report = restored.restore()
+        start = resume_point(fleet_trace,
+                             {name: entry["version"]
+                              for name, entry in report.items()})
+        replay_trace(fleet_trace, restored, collect_stats=False,
+                     start_at=start, open_cities=False)
+
+        control = _durable_fleet(shard_factory, control_root, ("c0",))
+        replay_trace(fleet_trace, control, collect_stats=False)
+
+        restored_cities = restored.cities()
+        for name, entry in control.cities().items():
+            twin = restored_cities[name]
+            assert twin["version"] == entry["version"]
+            assert twin["fingerprint"] == entry["fingerprint"]
+
+    def test_restore_with_empty_wal_root(self, shard_factory, tmp_path):
+        fleet = _durable_fleet(shard_factory, tmp_path / "wal")
+        assert fleet.restore() == {}
+
+    def test_restore_requires_wal(self, shard_factory):
+        fleet = FleetRouter([shard_factory("s0")], replication=1)
+        assert not fleet.durable
+        with pytest.raises(FleetError, match="no durability log"):
+            fleet.restore()
+
+    def test_snapshot_compacts_every_city(self, shard_factory, fleet_trace,
+                                          tmp_path):
+        fleet = _durable_fleet(shard_factory, tmp_path / "wal")
+        replay_trace(fleet_trace, fleet, collect_stats=False)
+        report = fleet.snapshot()
+        assert set(report) == set(fleet_trace.cities)
+        # compaction replaced the replay tail: recovery is snapshot-only
+        wal = DurabilityLog(tmp_path / "wal", metrics=MetricsRegistry())
+        for name, recovered in wal.recover_all().items():
+            assert recovered.records_replayed == 0
+            assert recovered.version == report[name]["seq"]
+
+
+class TestSigkillSubprocess:
+    def test_sigkill_mid_replay_then_restore(self, model_registry,
+                                             shard_factory, fleet_trace,
+                                             tmp_path):
+        """Kill -9 the whole CLI process mid-replay; recover in-process."""
+        trace_path = tmp_path / "trace.npz"
+        save_trace(fleet_trace, trace_path)
+        wal_root = tmp_path / "wal"
+        env = dict(os.environ, PYTHONPATH=str(REPO_ROOT / "src"))
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli.main", "fleet",
+             "--registry", str(model_registry.root), "--model", "tiny",
+             "--trace", str(trace_path), "--wal-dir", str(wal_root),
+             "--fsync", "always"],
+            cwd=REPO_ROOT, env=env,
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+        try:
+            deadline = time.monotonic() + 120.0
+            while time.monotonic() < deadline:
+                if any(wal_root.glob("*/wal-*.seg")) \
+                        or process.poll() is not None:
+                    break
+                time.sleep(0.05)
+            if process.poll() is None:
+                os.kill(process.pid, signal.SIGKILL)
+            process.wait(timeout=30)
+        finally:
+            if process.poll() is None:  # pragma: no cover - belt and braces
+                process.kill()
+
+        restored = _durable_fleet(shard_factory, wal_root)
+        report = restored.restore()
+        assert report, "the subprocess never opened a durable stream"
+        start = resume_point(fleet_trace,
+                             {name: entry["version"]
+                              for name, entry in report.items()})
+        resumed = replay_trace(fleet_trace, restored, collect_stats=False,
+                               start_at=start, open_cities=False)
+        oracle = replay_trace(fleet_trace, shard_factory("oracle"),
+                              collect_stats=False)
+        identical, max_diff = resumed_tail_identical(oracle, resumed, start)
+        assert identical and max_diff == 0.0
+
+
+class TestDurabilityStatus:
+    def test_healthz_and_stats_report_durability(self, shard_factory,
+                                                 fleet_trace, tmp_path):
+        fleet = _durable_fleet(shard_factory, tmp_path / "wal")
+        replay_trace(fleet_trace, fleet, collect_stats=False)
+        for payload in (fleet.healthz(), fleet.stats()):
+            durability = payload["durability"]
+            assert durability["wal_enabled"] is True
+            assert durability["log_bytes"] > 0
+            assert durability["last_checkpoint_age_seconds"] >= 0.0
+        status = fleet.checkpoint(force=True)
+        assert set(status) == set(fleet_trace.cities)
+
+    def test_plain_fleet_reports_wal_disabled(self, shard_factory):
+        fleet = FleetRouter([shard_factory("s0")], replication=1)
+        assert fleet.healthz()["durability"] == {"wal_enabled": False}
+        assert fleet.stats()["durability"] == {"wal_enabled": False}
+
+    def test_durability_error_is_a_clean_message(self, tmp_path):
+        target = tmp_path / "not-a-dir"
+        target.write_text("file in the way")
+        with pytest.raises(DurabilityError) as excinfo:
+            DurabilityLog(target / "wal", metrics=MetricsRegistry())
+        message = str(excinfo.value)
+        assert "cannot create durability root" in message
+        assert "Traceback" not in message

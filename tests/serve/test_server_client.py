@@ -345,3 +345,55 @@ class TestStreamScoreAndEvict:
         with pytest.raises(ServiceError) as excinfo:
             service.evict({})
         assert excinfo.value.status == 400
+
+
+class TestServiceDurability:
+    """The serve-layer durability satellite: WAL-backed streams plus
+    operator-visible status in /healthz and /stats."""
+
+    def test_wal_backed_service_logs_and_reports(self, model_registry,
+                                                 tiny_graph_small_image,
+                                                 tmp_path):
+        from repro.durable import DurabilityLog
+        from repro.obs import MetricsRegistry
+        from repro.serve.wire import delta_to_payload
+        from repro.synth import EvolutionConfig, generate_evolution
+
+        service = ScoringService(model_registry, wal_dir=tmp_path / "wal",
+                                 checkpoint_interval_s=3600.0)
+        try:
+            for payload in (service.healthz(), service.stats()):
+                durability = payload["durability"]
+                assert durability["wal_enabled"] is True
+                assert durability["checkpointer"]["running"] is True
+                assert durability["last_checkpoint_age_seconds"] is None
+
+            delta = generate_evolution(tiny_graph_small_image,
+                                       EvolutionConfig(steps=1, seed=2))[0]
+            service.update({"stream": "durable-city", "model": "tiny",
+                            "graph": graph_to_payload(
+                                tiny_graph_small_image)})
+            service.update({"stream": "durable-city",
+                            "delta": delta_to_payload(delta)})
+            status = service.durability_status()
+            assert status["streams"] == 1
+            assert status["log_bytes"] > 0
+            # the opening snapshot counts as a checkpoint
+            assert status["last_checkpoint_age_seconds"] >= 0.0
+
+            report = service.checkpoint(force=True)
+            assert report["durable-city"]["seq"] == 1
+            recovered = DurabilityLog(
+                tmp_path / "wal",
+                metrics=MetricsRegistry()).recover("durable-city")
+            assert recovered.version == 1
+            assert recovered.records_replayed == 0
+        finally:
+            service.close()
+        assert service.durability_status()["checkpointer"]["running"] is False
+
+    def test_service_without_wal_reports_disabled(self, model_registry):
+        service = ScoringService(model_registry)
+        assert service.healthz()["durability"] == {"wal_enabled": False}
+        assert service.stats()["durability"] == {"wal_enabled": False}
+        assert service.checkpoint(force=True) == {}
