@@ -16,18 +16,25 @@ answers compared bit-for-bit.  This subpackage provides that traffic:
   same traces across a fleet-size × replication grid, measuring each
   cell through a fresh :mod:`repro.obs` metrics registry (latency
   percentiles from histogram buckets, cache hit rates, failovers) and
-  emitting a schema-pinned ``EXPERIMENT.json`` report.
+  emitting a schema-pinned ``EXPERIMENT.json`` report;
+* :mod:`repro.bench.load` — an open-loop concurrent load driver
+  (Locust-style): N worker threads spread across the trace's cities at a
+  configurable arrival rate, warm-up exclusion, p50/p95/p99 latency and
+  saturation throughput per fleet size, digest-verified against the
+  serial 1-shard oracle and emitted as schema-pinned ``BENCH_load.json``.
 """
 
 from .experiment import (EXPERIMENT_SCHEMA_VERSION, ExperimentConfig,
                          format_experiment_table, run_experiment,
                          summarize_metrics)
+from .load import (LOAD_SCHEMA_VERSION, LoadConfig, LoadResult, OpRecord,
+                   format_load_report, load_matches_serial_oracle, run_load)
 from .workload import (ReplayResult, WorkloadConfig, WorkloadOp,
                        WorkloadTrace, derive_cities, generate_workload,
                        load_trace, replay_trace, replays_identical,
                        resume_point, resumed_tail_identical,
-                       save_trace, trace_from_bytes, trace_from_payload,
-                       trace_to_bytes, trace_to_payload)
+                       save_trace, score_digest, trace_from_bytes,
+                       trace_from_payload, trace_to_bytes, trace_to_payload)
 
 __all__ = [
     "WorkloadOp",
@@ -45,7 +52,15 @@ __all__ = [
     "replays_identical",
     "resume_point",
     "resumed_tail_identical",
+    "score_digest",
     "ReplayResult",
+    "LOAD_SCHEMA_VERSION",
+    "LoadConfig",
+    "LoadResult",
+    "OpRecord",
+    "run_load",
+    "load_matches_serial_oracle",
+    "format_load_report",
     "ExperimentConfig",
     "EXPERIMENT_SCHEMA_VERSION",
     "run_experiment",

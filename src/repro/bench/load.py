@@ -1,0 +1,473 @@
+"""Open-loop concurrent load generation for the fleet serving stack.
+
+:func:`replay_trace` is deliberately *sequential* — deterministic op
+order is its whole point — which means it can only ever measure routing
+overhead, never the parallelism a :class:`~repro.serve.fleet.FleetRouter`
+exists for.  This module drives the same deterministic
+:class:`~repro.bench.workload.WorkloadTrace` traffic the way a
+production scoring service is actually loaded (the Locust model):
+
+* **N worker threads** act as independent clients.  The trace's cities
+  are partitioned across the workers, and each worker issues *its*
+  cities' ops in trace order — so every per-city request sequence is
+  identical to the serial replay's, per-city score trajectories stay
+  comparable to a 1-shard oracle (via sha256 digests,
+  :func:`~repro.bench.workload.score_digest`), and concurrent clients
+  still never race each other on one stream's update chain.
+* **Open-loop arrival rate**: with ``arrival_rate`` set, each worker
+  fires its ops on a fixed schedule (aggregate rate split evenly across
+  workers) regardless of how fast responses come back.  Latency is
+  measured from the *scheduled* arrival, not from the moment the worker
+  got around to sending — so queueing delay under saturation is charged
+  to the service, not silently forgiven (no coordinated omission).
+  ``arrival_rate=None`` is closed-loop saturation mode: every worker
+  issues back-to-back, measuring the service's ceiling.
+* **Warm-up exclusion**: the stream opens plus each worker's first
+  ``warmup_ops`` ops prime caches and plans; they are issued and
+  digest-verified but excluded from the latency/throughput statistics.
+* **Observability**: every op lands in a :mod:`repro.obs` histogram
+  (``repro_load_op_seconds{op=...}``) and counter
+  (``repro_load_ops_total{op=...,status=...}``) against the registry you
+  pass in, so load runs expose the same Prometheus surface as the
+  serving stack they exercise.
+
+The headline report — p50/p95/p99 latency plus throughput, overall and
+for score ops alone — feeds the schema-pinned ``BENCH_load.json``
+(``LOAD_SCHEMA_VERSION``) written by ``benchmarks/test_load_throughput.py``
+and the ``repro-uv load`` CLI, both of which gate on score-throughput
+scaling across fleet sizes.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..obs import MetricsRegistry
+from .workload import ReplayResult, WorkloadTrace, score_digest
+
+__all__ = [
+    "LOAD_SCHEMA_VERSION",
+    "LoadConfig",
+    "OpRecord",
+    "LoadResult",
+    "run_load",
+    "load_matches_serial_oracle",
+    "format_load_report",
+]
+
+#: schema marker of the ``BENCH_load.json`` report payloads
+LOAD_SCHEMA_VERSION = 1
+
+#: the latency percentiles every report carries
+_PERCENTILES = (50.0, 95.0, 99.0)
+
+
+@dataclass(frozen=True)
+class LoadConfig:
+    """Knobs of one open-loop load run."""
+
+    #: concurrent client threads; clamped to the trace's city count so
+    #: every worker owns at least one city (cities are never shared —
+    #: per-city op order must stay serial for bit-identity)
+    workers: int = 4
+    #: aggregate target arrival rate in ops/s, split evenly across the
+    #: workers; ``None`` (or 0) = closed-loop saturation
+    arrival_rate: Optional[float] = None
+    #: leading ops per worker excluded from the latency/throughput stats
+    warmup_ops: int = 0
+    #: forward to ``update_stream`` — ``False`` applies deltas without
+    #: scoring (no digest for those ops, same as the serial replayer)
+    rescore_updates: bool = True
+    #: per-stream options forwarded to every ``open_stream``
+    open_options: Optional[Mapping[str, object]] = None
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.arrival_rate is not None and self.arrival_rate < 0:
+            raise ValueError("arrival_rate must be >= 0 (or None for "
+                             "saturation mode)")
+        if self.warmup_ops < 0:
+            raise ValueError("warmup_ops must be >= 0")
+
+    @property
+    def saturation(self) -> bool:
+        return not self.arrival_rate
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"workers": self.workers,
+                "arrival_rate": self.arrival_rate,
+                "mode": "saturation" if self.saturation else "open-loop",
+                "warmup_ops": self.warmup_ops,
+                "rescore_updates": self.rescore_updates}
+
+
+@dataclass
+class OpRecord:
+    """One issued request, as observed by its worker."""
+
+    index: int            # position in the trace's global op order
+    city: str
+    kind: str             # score | update | evict
+    worker: int
+    #: seconds from run start the op was *scheduled* to fire (equals
+    #: ``started_s`` in saturation mode)
+    scheduled_s: float
+    started_s: float
+    ended_s: float
+    warmup: bool
+    digest: Optional[str] = None
+    error: Optional[str] = None
+
+    @property
+    def latency_s(self) -> float:
+        """Client-observed latency from the scheduled arrival.
+
+        Under open-loop load a response that arrives late delays the ops
+        queued behind it; measuring from the schedule charges that
+        queueing delay to the service (coordinated-omission aware).
+        """
+        return self.ended_s - self.scheduled_s
+
+    @property
+    def service_s(self) -> float:
+        """Wall time of the backend call alone."""
+        return self.ended_s - self.started_s
+
+
+def _percentile_summary(latencies_s: Sequence[float]) -> Dict[str, object]:
+    if not latencies_s:
+        return {"count": 0, "p50_ms": None, "p95_ms": None, "p99_ms": None,
+                "mean_ms": None, "max_ms": None}
+    values = np.asarray(latencies_s, dtype=np.float64) * 1000.0
+    p50, p95, p99 = (float(np.percentile(values, q)) for q in _PERCENTILES)
+    return {"count": int(values.size),
+            "p50_ms": round(p50, 3), "p95_ms": round(p95, 3),
+            "p99_ms": round(p99, 3),
+            "mean_ms": round(float(values.mean()), 3),
+            "max_ms": round(float(values.max()), 3)}
+
+
+@dataclass
+class LoadResult:
+    """Everything one load run produced."""
+
+    trace_name: str
+    config: LoadConfig
+    #: actual worker count after clamping to the city count
+    workers: int
+    #: worker index -> the cities it owned
+    assignment: Dict[int, List[str]]
+    records: List[OpRecord]
+    #: sha256 of each city's opening score (the streams are opened —
+    #: and therefore warmed — before the clock starts)
+    opening_digests: "OrderedDict[str, str]"
+    open_elapsed_s: float
+    #: run start (all workers released) to last op completed
+    elapsed_s: float
+    errors: List[str] = field(default_factory=list)
+    #: backend stats snapshot taken right after the run
+    stats: Optional[Dict[str, object]] = None
+
+    # ------------------------------------------------------------------
+    def measured(self, kind: Optional[str] = None) -> List[OpRecord]:
+        """Successful post-warm-up records (optionally one op kind)."""
+        return [r for r in self.records
+                if not r.warmup and r.error is None
+                and (kind is None or r.kind == kind)]
+
+    def latency_summary(self, kind: Optional[str] = None) -> Dict[str, object]:
+        return _percentile_summary(
+            [r.latency_s for r in self.measured(kind)])
+
+    def throughput(self, kind: Optional[str] = None) -> float:
+        """Measured completions per second over the measurement window.
+
+        The window spans the first measured op's start to the last
+        measured op's completion, so warm-up time never inflates (or
+        deflates) the rate.
+        """
+        records = self.measured(kind)
+        if not records:
+            return 0.0
+        window = (max(r.ended_s for r in records)
+                  - min(r.started_s for r in records))
+        return len(records) / window if window > 0 else 0.0
+
+    def per_city_digests(self) -> Dict[str, List[Optional[str]]]:
+        """Each city's score-digest sequence in trace order.
+
+        Workers own disjoint city sets and issue their ops in trace
+        order, so sorting a city's records by trace index reconstructs
+        exactly the sequence a serial replay would have produced — the
+        hook :func:`load_matches_serial_oracle` compares against.
+        """
+        per_city: Dict[str, List[Optional[str]]] = {}
+        for record in sorted(self.records, key=lambda r: r.index):
+            per_city.setdefault(record.city, []).append(record.digest)
+        return per_city
+
+    def summary(self) -> Dict[str, object]:
+        """The JSON-shaped report block for one fleet size."""
+        measured = self.measured()
+        warmup = sum(1 for r in self.records if r.warmup)
+        return {
+            "trace": self.trace_name,
+            "workers": self.workers,
+            "config": self.config.to_dict(),
+            "ops_issued": len(self.records),
+            "ops_measured": len(measured),
+            "warmup_ops_excluded": warmup,
+            "errors": len(self.errors),
+            "open_elapsed_s": round(self.open_elapsed_s, 4),
+            "elapsed_s": round(self.elapsed_s, 4),
+            "throughput": {
+                "overall_ops_per_s": round(self.throughput(), 2),
+                "score_ops_per_s": round(self.throughput("score"), 2),
+            },
+            "latency": {
+                "overall": self.latency_summary(),
+                "score": self.latency_summary("score"),
+                "update": self.latency_summary("update"),
+                "evict": self.latency_summary("evict"),
+            },
+        }
+
+
+def _partition_cities(names: Sequence[str],
+                      workers: int) -> Dict[int, List[str]]:
+    """Round-robin the trace's cities across the workers (disjoint)."""
+    assignment: Dict[int, List[str]] = {w: [] for w in range(workers)}
+    for i, name in enumerate(names):
+        assignment[i % workers].append(name)
+    return assignment
+
+
+def _issue(backend, op, rescore_updates: bool) -> Optional[str]:
+    """Fire one trace op at the backend; return the score digest."""
+    if op.op == "score":
+        payload = backend.score_stream(op.city)
+        return score_digest(payload["probabilities"])
+    if op.op == "update":
+        payload = backend.update_stream(op.city, op.delta,
+                                        rescore=rescore_updates)
+        if rescore_updates:
+            return score_digest(payload["score"]["probabilities"])
+        return None
+    backend.evict_stream(op.city)
+    return None
+
+
+def run_load(trace: WorkloadTrace, backend,
+             config: Optional[LoadConfig] = None,
+             metrics: Optional[MetricsRegistry] = None,
+             collect_stats: bool = True) -> LoadResult:
+    """Drive ``trace`` at ``backend`` with concurrent open-loop clients.
+
+    ``backend`` is anything speaking the
+    :class:`~repro.serve.fleet.ShardBackend` protocol — usually a
+    :class:`~repro.serve.fleet.FleetRouter`, which is the whole point:
+    concurrent clients hitting different cities exercise the router's
+    per-city locking and the shards' per-stream scorers in parallel.
+
+    Every stream is opened (and warmed) before the clock starts; worker
+    errors abort that worker's remaining ops (a failed update would
+    invalidate every later delta of its cities) but never the other
+    workers.
+    """
+    config = config or LoadConfig()
+    names = list(trace.cities)
+    if not names:
+        raise ValueError("trace has no cities to load")
+    workers = max(1, min(config.workers, len(names)))
+    assignment = _partition_cities(names, workers)
+    owned_by = {name: worker for worker, cities in assignment.items()
+                for name in cities}
+
+    hist = ops_total = None
+    if metrics is not None:
+        hist = metrics.histogram(
+            "repro_load_op_seconds",
+            "Client-observed latency of load-driver ops, measured from "
+            "the scheduled arrival time (includes open-loop queueing).",
+            labelnames=("op",))
+        ops_total = metrics.counter(
+            "repro_load_ops_total",
+            "Ops issued by the load driver, by kind and outcome.",
+            labelnames=("op", "status"))
+
+    # warm-up part 1: open every stream (serially — opens are rare,
+    # expensive, and their cold cost must not pollute the measurement)
+    open_start = time.perf_counter()
+    opening: "OrderedDict[str, str]" = OrderedDict()
+    for name, graph in trace.cities.items():
+        payload = backend.open_stream(name, graph, rescore=True,
+                                      **dict(config.open_options or {}))
+        opening[name] = score_digest(payload["score"]["probabilities"])
+    open_elapsed = time.perf_counter() - open_start
+
+    per_worker_ops: Dict[int, List[Tuple[int, object]]] = {
+        w: [] for w in range(workers)}
+    for index, op in enumerate(trace.ops):
+        per_worker_ops[owned_by[op.city]].append((index, op))
+
+    # each worker fires at rate/workers, so the aggregate arrival rate
+    # across the fleet is the configured one
+    interval = (workers / config.arrival_rate
+                if not config.saturation else None)
+
+    records: List[OpRecord] = []
+    errors: List[str] = []
+    sink_lock = threading.Lock()
+    barrier = threading.Barrier(workers + 1)
+    run_start: List[float] = [0.0]
+
+    def worker(wid: int) -> None:
+        mine = per_worker_ops[wid]
+        local: List[OpRecord] = []
+        try:
+            barrier.wait()
+        except threading.BrokenBarrierError:  # pragma: no cover
+            return
+        t0 = run_start[0]
+        for position, (index, op) in enumerate(mine):
+            if interval is not None:
+                scheduled = position * interval
+                wait = t0 + scheduled - time.perf_counter()
+                if wait > 0:
+                    time.sleep(wait)
+                started = time.perf_counter() - t0
+            else:
+                started = time.perf_counter() - t0
+                scheduled = started
+            warmup = position < config.warmup_ops
+            digest = None
+            error = None
+            try:
+                digest = _issue(backend, op, config.rescore_updates)
+            except Exception as exc:
+                error = f"{type(exc).__name__}: {exc}"
+            ended = time.perf_counter() - t0
+            record = OpRecord(index=index, city=op.city, kind=op.op,
+                              worker=wid, scheduled_s=scheduled,
+                              started_s=started, ended_s=ended,
+                              warmup=warmup, digest=digest, error=error)
+            local.append(record)
+            if hist is not None:
+                hist.labels(op=op.op).observe(record.latency_s)
+            if ops_total is not None:
+                ops_total.labels(
+                    op=op.op, status="error" if error else "ok").inc()
+            if error is not None:
+                # later deltas of this worker's cities assume this op
+                # succeeded; continuing would cascade spurious failures
+                with sink_lock:
+                    errors.append(f"worker {wid} op {index} "
+                                  f"({op.op} {op.city}): {error}")
+                break
+        with sink_lock:
+            records.extend(local)
+
+    threads = [threading.Thread(target=worker, args=(wid,),
+                                name=f"load-worker-{wid}", daemon=True)
+               for wid in range(workers)]
+    for thread in threads:
+        thread.start()
+    run_start[0] = time.perf_counter()
+    barrier.wait()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - run_start[0]
+
+    stats = None
+    if collect_stats:
+        try:
+            stats = backend.stats()
+        except Exception:
+            stats = None
+    records.sort(key=lambda r: r.index)
+    return LoadResult(trace_name=trace.name, config=config, workers=workers,
+                      assignment=assignment, records=records,
+                      opening_digests=opening, open_elapsed_s=open_elapsed,
+                      elapsed_s=elapsed, errors=errors, stats=stats)
+
+
+def load_matches_serial_oracle(trace: WorkloadTrace, result: LoadResult,
+                               oracle: ReplayResult,
+                               ) -> Tuple[bool, List[str]]:
+    """Verify a concurrent load run against a serial oracle replay.
+
+    ``oracle`` is a full :func:`~repro.bench.workload.replay_trace` of
+    the same trace (``keep_scores=False`` recommended — digests are all
+    this check needs).  Per-city digest sequences must match exactly:
+    concurrency may interleave *different* cities any way the scheduler
+    likes, but each individual city's trajectory is bit-determined.
+
+    Returns ``(identical, mismatches)`` with one human-readable line per
+    divergence (including load-run errors, which make the comparison
+    fail by construction).
+    """
+    mismatches: List[str] = [f"load error: {line}" for line in result.errors]
+    oracle_openings = oracle.opening_digests or {
+        name: score_digest(vector)
+        for name, vector in oracle.opening_scores.items()}
+    for name in trace.cities:
+        expected = oracle_openings.get(name)
+        got = result.opening_digests.get(name)
+        if expected != got:
+            mismatches.append(f"opening[{name}]: {got} != {expected}")
+
+    expected_by_city: Dict[str, List[Optional[str]]] = {}
+    for index, op in enumerate(trace.ops):
+        digest = (oracle.score_digests[index]
+                  if index < len(oracle.score_digests) else
+                  (score_digest(oracle.scores[index])
+                   if oracle.scores[index] is not None else None))
+        expected_by_city.setdefault(op.city, []).append(digest)
+    got_by_city = result.per_city_digests()
+    for city, expected in expected_by_city.items():
+        got = got_by_city.get(city, [])
+        if len(got) != len(expected):
+            mismatches.append(f"{city}: {len(got)} ops issued, oracle ran "
+                              f"{len(expected)}")
+            continue
+        for position, (left, right) in enumerate(zip(got, expected)):
+            if left != right:
+                mismatches.append(f"{city} op #{position}: "
+                                  f"{left} != {right}")
+    return not mismatches, mismatches
+
+
+def format_load_report(summary: Mapping[str, object]) -> str:
+    """Render one load run's summary as the CLI/benchmark text block.
+
+    The ``latency:``/``throughput:`` lines are grep targets of the CI
+    smoke job — keep their shape stable.
+    """
+    throughput = summary["throughput"]
+    latency = summary["latency"]["overall"]
+    score_latency = summary["latency"]["score"]
+    lines = [
+        "load: %(ops_measured)d measured ops (+%(warmup_ops_excluded)d "
+        "warm-up) from %(workers)d workers in %(elapsed_s).2fs, "
+        "%(errors)d error(s)" % summary,
+        f"throughput: overall={throughput['overall_ops_per_s']:.1f} ops/s, "
+        f"score={throughput['score_ops_per_s']:.1f} ops/s",
+    ]
+    if latency["count"]:
+        lines.append("latency: " + ", ".join(
+            f"{key.replace('_ms', '')}={latency[key]:.2f}ms"
+            for key in ("p50_ms", "p95_ms", "p99_ms")
+            if latency[key] is not None))
+    if score_latency["count"]:
+        lines.append("score latency: " + ", ".join(
+            f"{key.replace('_ms', '')}={score_latency[key]:.2f}ms"
+            for key in ("p50_ms", "p95_ms", "p99_ms")
+            if score_latency[key] is not None))
+    return "\n".join(lines)

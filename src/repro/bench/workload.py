@@ -33,6 +33,7 @@ concurrency soak tests drive the router directly instead).
 
 from __future__ import annotations
 
+import hashlib
 import io
 import json
 import time
@@ -55,6 +56,7 @@ __all__ = [
     "save_trace", "load_trace",
     "replay_trace", "replays_identical", "ReplayResult",
     "resume_point", "resumed_tail_identical",
+    "score_digest",
 ]
 
 #: archive/payload schema marker, checked on decode
@@ -400,20 +402,42 @@ def load_trace(path) -> WorkloadTrace:
 # ----------------------------------------------------------------------
 # replay
 # ----------------------------------------------------------------------
+def score_digest(probabilities) -> str:
+    """Canonical sha256 of a float64 score vector.
+
+    Bit-exact: two score vectors digest equal iff their float64 bytes are
+    identical, which is exactly the fleet's bit-identity invariant.  Used
+    by the digest replay mode (``keep_scores=False``) and the concurrent
+    load driver to verify trajectories without retaining O(ops x N)
+    arrays.
+    """
+    array = np.ascontiguousarray(probabilities, dtype=np.float64)
+    return hashlib.sha256(array.tobytes()).hexdigest()
+
+
 @dataclass
 class ReplayResult:
     """The score trajectory one backend produced for one trace."""
 
     trace_name: str
     #: initial score vector per city (float64), from the opening rescore
+    #: — empty when replayed with ``keep_scores=False`` (digest mode)
     opening_scores: "OrderedDict[str, np.ndarray]"
     #: one entry per op: the float64 score vector for score/update ops,
-    #: None for evict ops (and updates replayed with rescore=False)
+    #: None for evict ops (and updates replayed with rescore=False) —
+    #: all None when replayed with ``keep_scores=False``
     scores: List[Optional[np.ndarray]]
     op_kinds: List[str]
     elapsed_s: float
     #: backend stats snapshot taken right after the last op
     stats: Optional[Dict[str, object]] = None
+    #: sha256 per opening score vector — always populated (digests cost
+    #: one hash per op, not O(N) retained memory)
+    opening_digests: "OrderedDict[str, str]" = field(
+        default_factory=OrderedDict)
+    #: one entry per op: sha256 of the score vector where one was
+    #: produced, None otherwise — aligned with ``scores``
+    score_digests: List[Optional[str]] = field(default_factory=list)
 
     @property
     def completed_ops(self) -> int:
@@ -425,7 +449,7 @@ class ReplayResult:
 
     def summary(self) -> Dict[str, object]:
         return {"trace": self.trace_name, "ops": self.completed_ops,
-                "cities": len(self.opening_scores),
+                "cities": len(self.opening_digests or self.opening_scores),
                 "elapsed_s": round(self.elapsed_s, 3),
                 "ops_per_second": round(self.ops_per_second, 2)}
 
@@ -435,7 +459,8 @@ def replay_trace(trace: WorkloadTrace, backend,
                  open_options: Optional[Dict[str, object]] = None,
                  collect_stats: bool = True,
                  start_at: int = 0,
-                 open_cities: bool = True) -> ReplayResult:
+                 open_cities: bool = True,
+                 keep_scores: bool = True) -> ReplayResult:
     """Drive ``trace`` against ``backend`` and collect the score trajectory.
 
     ``backend`` is anything speaking the
@@ -452,35 +477,52 @@ def replay_trace(trace: WorkloadTrace, backend,
     at the state those ops produced — use :func:`resume_point` to derive
     the index from the restored per-city versions.  The returned
     ``opening_scores`` are empty when ``open_cities`` is False.
+
+    ``keep_scores=False`` switches to *digest mode*: the float64 arrays
+    are hashed (:func:`score_digest`) and dropped instead of retained,
+    so a long trace replays in O(1) score memory instead of O(ops x N).
+    :func:`replays_identical` compares digests whenever either side lacks
+    the arrays, so digest replays verify bit-identity all the same.
     """
     if not 0 <= start_at <= len(trace.ops):
         raise ValueError(f"start_at must be in [0, {len(trace.ops)}], "
                          f"got {start_at}")
     start = time.perf_counter()
     opening: "OrderedDict[str, np.ndarray]" = OrderedDict()
+    opening_digests: "OrderedDict[str, str]" = OrderedDict()
     if open_cities:
         for name, graph in trace.cities.items():
             payload = backend.open_stream(name, graph, rescore=True,
                                           **(open_options or {}))
-            opening[name] = np.asarray(payload["score"]["probabilities"],
-                                       dtype=np.float64)
+            vector = np.asarray(payload["score"]["probabilities"],
+                                dtype=np.float64)
+            opening_digests[name] = score_digest(vector)
+            if keep_scores:
+                opening[name] = vector
     scores: List[Optional[np.ndarray]] = []
+    digests: List[Optional[str]] = []
+
+    def record(probabilities) -> None:
+        if probabilities is None:
+            scores.append(None)
+            digests.append(None)
+            return
+        vector = np.asarray(probabilities, dtype=np.float64)
+        digests.append(score_digest(vector))
+        scores.append(vector if keep_scores else None)
+
     for op in trace.ops[start_at:]:
         if op.op == "score":
             payload = backend.score_stream(op.city)
-            scores.append(np.asarray(payload["probabilities"],
-                                     dtype=np.float64))
+            record(payload["probabilities"])
         elif op.op == "update":
             payload = backend.update_stream(op.city, op.delta,
                                             rescore=rescore_updates)
-            if rescore_updates:
-                scores.append(np.asarray(payload["score"]["probabilities"],
-                                         dtype=np.float64))
-            else:
-                scores.append(None)
+            record(payload["score"]["probabilities"]
+                   if rescore_updates else None)
         else:  # evict — WorkloadOp validated the kind already
             backend.evict_stream(op.city)
-            scores.append(None)
+            record(None)
     elapsed = time.perf_counter() - start
     stats = None
     if collect_stats:
@@ -491,7 +533,9 @@ def replay_trace(trace: WorkloadTrace, backend,
     return ReplayResult(trace_name=trace.name, opening_scores=opening,
                         scores=scores,
                         op_kinds=[op.op for op in trace.ops[start_at:]],
-                        elapsed_s=elapsed, stats=stats)
+                        elapsed_s=elapsed, stats=stats,
+                        opening_digests=opening_digests,
+                        score_digests=digests)
 
 
 def resume_point(trace: WorkloadTrace,
@@ -529,6 +573,60 @@ def resume_point(trace: WorkloadTrace,
     return index
 
 
+class _ScoreComparer:
+    """Pairwise score comparison that degrades from arrays to digests.
+
+    When both sides retained the float64 arrays the comparison reports
+    ``max_abs_difference`` exactly; when either side is a digest replay
+    (``keep_scores=False``) the digests decide bit-identity and a
+    mismatch reports ``max_diff = nan`` (the magnitude is unknowable
+    from hashes alone).
+    """
+
+    def __init__(self) -> None:
+        self.identical = True
+        self.max_diff = 0.0
+        self._digest_mismatch = False
+
+    def compare(self, left, right, left_digest, right_digest,
+                label: str) -> None:
+        if left is not None and right is not None:
+            if left.shape != right.shape:
+                raise ValueError(f"{label}: score shapes differ "
+                                 f"({left.shape} vs {right.shape})")
+            if not np.array_equal(left, right):
+                self.identical = False
+                self.max_diff = max(self.max_diff,
+                                    float(np.max(np.abs(left - right))))
+            return
+        if left_digest is not None and right_digest is not None:
+            if left_digest != right_digest:
+                self.identical = False
+                self._digest_mismatch = True
+            return
+        raise ValueError(f"{label}: neither arrays nor digests available "
+                         "on both sides — replays not comparable")
+
+    def result(self) -> Tuple[bool, float]:
+        if self._digest_mismatch and self.max_diff == 0.0:
+            return self.identical, float("nan")
+        return self.identical, self.max_diff
+
+
+def _op_scored(result: ReplayResult, index: int) -> bool:
+    """Whether op ``index`` produced a score (array or digest)."""
+    if index < len(result.score_digests) and \
+            result.score_digests[index] is not None:
+        return True
+    return result.scores[index] is not None
+
+
+def _digest_at(result: ReplayResult, index: int) -> Optional[str]:
+    if index < len(result.score_digests):
+        return result.score_digests[index]
+    return None
+
+
 def resumed_tail_identical(full: ReplayResult, resumed: ReplayResult,
                            start_at: int) -> Tuple[bool, float]:
     """Compare a resumed replay against the tail of an uninterrupted one.
@@ -537,7 +635,7 @@ def resumed_tail_identical(full: ReplayResult, resumed: ReplayResult,
     a replay with ``start_at=start_at, open_cities=False`` on a restored
     backend.  Returns ``(bit_identical, max_abs_difference)`` over the
     overlapping ops, with the same misalignment errors as
-    :func:`replays_identical`.
+    :func:`replays_identical`.  Digest replays compare by hash.
     """
     if not 0 <= start_at <= len(full.scores):
         raise ValueError(f"start_at {start_at} outside the full replay's "
@@ -545,22 +643,17 @@ def resumed_tail_identical(full: ReplayResult, resumed: ReplayResult,
     if full.op_kinds[start_at:] != resumed.op_kinds:
         raise ValueError("resumed replay ran different ops than the "
                          "oracle's tail — wrong start_at?")
-    identical = True
-    max_diff = 0.0
-    for i, (left, right) in enumerate(zip(full.scores[start_at:],
-                                          resumed.scores)):
-        if (left is None) != (right is None):
+    comparer = _ScoreComparer()
+    for i in range(len(resumed.scores)):
+        if _op_scored(full, start_at + i) != _op_scored(resumed, i):
             raise ValueError(f"tail op {i}: one replay scored, the other "
                              "did not")
-        if left is None:
+        if not _op_scored(resumed, i):
             continue
-        if left.shape != right.shape:
-            raise ValueError(f"tail op {i}: score shapes differ "
-                             f"({left.shape} vs {right.shape})")
-        if not np.array_equal(left, right):
-            identical = False
-            max_diff = max(max_diff, float(np.max(np.abs(left - right))))
-    return identical, max_diff
+        comparer.compare(full.scores[start_at + i], resumed.scores[i],
+                         _digest_at(full, start_at + i),
+                         _digest_at(resumed, i), f"tail op {i}")
+    return comparer.result()
 
 
 def replays_identical(a: ReplayResult, b: ReplayResult) -> Tuple[bool, float]:
@@ -570,31 +663,29 @@ def replays_identical(a: ReplayResult, b: ReplayResult) -> Tuple[bool, float]:
     scores and every per-op score vector.  Misaligned replays (different
     op counts, different cities, a score where the other has None) raise
     ``ValueError`` — that is a harness bug, not a numeric difference.
+
+    Works across replay modes: when either side replayed with
+    ``keep_scores=False`` the sha256 digests decide bit-identity (and a
+    mismatch reports ``max_diff = nan``, since hashes carry no magnitude).
     """
-    if list(a.opening_scores) != list(b.opening_scores):
+    a_cities = list(a.opening_digests) or list(a.opening_scores)
+    b_cities = list(b.opening_digests) or list(b.opening_scores)
+    if a_cities != b_cities:
         raise ValueError("replays opened different city sets: "
-                         f"{list(a.opening_scores)} vs {list(b.opening_scores)}")
+                         f"{a_cities} vs {b_cities}")
     if a.op_kinds != b.op_kinds or len(a.scores) != len(b.scores):
         raise ValueError("replays ran different op sequences — are they "
                          "from the same trace?")
-    identical = True
-    max_diff = 0.0
-
-    def compare(left: np.ndarray, right: np.ndarray, label: str) -> None:
-        nonlocal identical, max_diff
-        if left.shape != right.shape:
-            raise ValueError(f"{label}: score shapes differ "
-                             f"({left.shape} vs {right.shape})")
-        if not np.array_equal(left, right):
-            identical = False
-            max_diff = max(max_diff, float(np.max(np.abs(left - right))))
-
-    for name in a.opening_scores:
-        compare(a.opening_scores[name], b.opening_scores[name],
-                f"opening[{name}]")
-    for i, (left, right) in enumerate(zip(a.scores, b.scores)):
-        if (left is None) != (right is None):
+    comparer = _ScoreComparer()
+    for name in a_cities:
+        comparer.compare(a.opening_scores.get(name),
+                         b.opening_scores.get(name),
+                         a.opening_digests.get(name),
+                         b.opening_digests.get(name), f"opening[{name}]")
+    for i in range(len(a.scores)):
+        if _op_scored(a, i) != _op_scored(b, i):
             raise ValueError(f"op {i}: one replay scored, the other did not")
-        if left is not None:
-            compare(left, right, f"op[{i}]")
-    return identical, max_diff
+        if _op_scored(a, i):
+            comparer.compare(a.scores[i], b.scores[i], _digest_at(a, i),
+                             _digest_at(b, i), f"op[{i}]")
+    return comparer.result()

@@ -25,10 +25,12 @@ from ..eval.reporting import TABLE2_HEADERS, format_table, table2_rows
 from ..experiments import (run_fig5a, run_fig5b, run_fig6a, run_fig6b, run_fig6c,
                            run_fig7, run_table1, run_table2, run_table3)
 from ..analysis import score_drift_report
-from ..bench import (ExperimentConfig, WorkloadConfig, derive_cities,
-                     format_experiment_table, generate_workload, load_trace,
+from ..bench import (LOAD_SCHEMA_VERSION, ExperimentConfig, LoadConfig,
+                     WorkloadConfig, derive_cities, format_experiment_table,
+                     format_load_report, generate_workload,
+                     load_matches_serial_oracle, load_trace,
                      replay_trace, replays_identical, resume_point,
-                     resumed_tail_identical, run_experiment,
+                     resumed_tail_identical, run_experiment, run_load,
                      save_trace, summarize_metrics)
 from ..durable import DurabilityLog
 from ..obs import MetricsRegistry, parse_prometheus_text
@@ -398,24 +400,32 @@ def cmd_workload(args: argparse.Namespace) -> int:
 
 def _build_fleet(args: argparse.Namespace, registry: ModelRegistry,
                  metrics: Optional[MetricsRegistry] = None,
-                 wal: Optional[DurabilityLog] = None) -> FleetRouter:
-    urls = [url.strip() for url in (args.urls or "").split(",")
+                 wal: Optional[DurabilityLog] = None,
+                 shards_override: Optional[int] = None,
+                 replication_override: Optional[int] = None) -> FleetRouter:
+    urls = [url.strip() for url in (getattr(args, "urls", None) or "").split(",")
             if url.strip()]
+    timeout = getattr(args, "timeout", None)
+    num_shards = shards_override if shards_override is not None else args.shards
+    replication = (replication_override if replication_override is not None
+                   else args.replication)
     shards = []
-    for i in range(args.shards):
+    for i in range(num_shards):
         if urls:
             shard = RemoteShard(urls[i % len(urls)], args.model,
-                                version=args.version, shard_id=f"shard-{i}")
+                                version=args.version, shard_id=f"shard-{i}",
+                                timeout=timeout if timeout else 30.0)
         else:
             engine = InferenceEngine.from_bundle(
                 registry.resolve(args.model, args.version),
                 cache_size=args.cache_size, metrics=metrics)
             shard = EngineShard(engine, shard_id=f"shard-{i}")
-        if args.kill_shard is not None and args.kill_shard == i:
+        if getattr(args, "kill_shard", None) is not None \
+                and args.kill_shard == i:
             shard = ChaosShard(shard, fail_after=args.kill_after)
         shards.append(shard)
-    return FleetRouter(shards, replication=args.replication, metrics=metrics,
-                       wal=wal)
+    return FleetRouter(shards, replication=replication, metrics=metrics,
+                       wal=wal, request_timeout=timeout)
 
 
 def cmd_fleet(args: argparse.Namespace) -> int:
@@ -554,6 +564,103 @@ def cmd_fleet(args: argparse.Namespace) -> int:
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2, default=str)
         print(f"wrote fleet report to {args.json}")
+    return exit_code
+
+
+def cmd_load(args: argparse.Namespace) -> int:
+    """Open-loop concurrent load runs across fleet sizes, with scaling."""
+    registry = ModelRegistry(args.registry)
+    if args.trace:
+        trace = load_trace(args.trace)
+    else:
+        graph = _load_or_build_graph(args)
+        cities = derive_cities(graph, args.cities, seed=args.workload_seed)
+        trace = generate_workload(cities, WorkloadConfig(
+            ops=args.ops, seed=args.workload_seed,
+            score_weight=args.score_weight,
+            update_weight=args.update_weight,
+            evict_weight=args.evict_weight))
+    sizes = [int(size) for size in args.shards.split(",") if size.strip()]
+    if not sizes:
+        raise ValueError("--shards needs at least one fleet size")
+    summary = trace.summary()
+    mode = (f"open-loop {args.arrival_rate:g} ops/s" if args.arrival_rate
+            else "closed-loop saturation")
+    print(f"loading trace '{trace.name}': %(cities)d cities, %(ops)d ops "
+          "(score %(score)d / update %(update)d / evict %(evict)d) " % summary
+          + f"with {args.workers} workers, {mode}, "
+          f"warm-up {args.warmup} op(s)/worker")
+
+    config = LoadConfig(workers=args.workers,
+                        arrival_rate=args.arrival_rate or None,
+                        warmup_ops=args.warmup,
+                        open_options={"incremental": args.incremental})
+    oracle = None
+    if args.verify_single:
+        oracle_shard = EngineShard(
+            InferenceEngine.from_bundle(
+                registry.resolve(args.model, args.version)),
+            shard_id="oracle")
+        # digest mode: bit-identity without retaining O(ops x N) arrays
+        oracle = replay_trace(trace, oracle_shard, collect_stats=False,
+                              keep_scores=False,
+                              open_options=dict(config.open_options))
+        oracle_shard.close()
+
+    exit_code = 0
+    runs = []
+    for size in sizes:
+        replication = max(1, min(args.replication, size))
+        obs = MetricsRegistry()
+        fleet = _build_fleet(args, registry, metrics=obs,
+                             shards_override=size,
+                             replication_override=replication)
+        result = run_load(trace, fleet, config, metrics=obs)
+        fleet.close()
+        run_summary = result.summary()
+        run_summary["shards"] = size
+        run_summary["replication"] = replication
+        print()
+        print(f"--- {size} shard(s), replication {replication} ---")
+        print(format_load_report(run_summary))
+        if oracle is not None:
+            identical, mismatches = load_matches_serial_oracle(
+                trace, result, oracle)
+            run_summary["bit_identical_to_oracle"] = identical
+            print(f"digests bit-identical to serial 1-shard oracle: "
+                  f"{'yes' if identical else 'NO'}")
+            if not identical:
+                for line in mismatches[:5]:
+                    print(f"  {line}")
+                exit_code = 1
+        runs.append(run_summary)
+
+    scaling = None
+    if len(runs) > 1:
+        base, top = runs[0], runs[-1]
+        base_tp = base["throughput"]["score_ops_per_s"]
+        top_tp = top["throughput"]["score_ops_per_s"]
+        ratio = round(top_tp / base_tp, 3) if base_tp else None
+        scaling = {"baseline_shards": base["shards"],
+                   "top_shards": top["shards"],
+                   "score_throughput_ratio": ratio}
+        print()
+        if ratio is not None:
+            # grep target of the CI smoke job — keep the shape stable
+            print(f"scaling: score throughput x{ratio:.2f} at "
+                  f"{top['shards']} shard(s) vs {base['shards']}")
+        if args.min_scaling is not None:
+            if ratio is None or ratio < args.min_scaling:
+                print(f"FAILED scaling gate: x{ratio} < "
+                      f"required x{args.min_scaling}")
+                exit_code = 1
+    if args.json:
+        payload = {"schema_version": LOAD_SCHEMA_VERSION,
+                   "trace": summary, "runs": runs, "scaling": scaling}
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote load report to {args.json}")
     return exit_code
 
 

@@ -326,7 +326,82 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=FSYNC_POLICIES,
                        help="when the write-ahead log calls fsync: on every "
                             "append, on a timer, or never (OS flush only)")
+    fleet.add_argument("--timeout", type=float, default=None,
+                       help="per-request timeout in seconds for remote "
+                            "shards: a hung shard fails over within this "
+                            "bound (default: the transport's 30s)")
     fleet.set_defaults(handler=commands.cmd_fleet)
+
+    # ------------------------------------------------------------------
+    # load
+    # ------------------------------------------------------------------
+    load = subparsers.add_parser(
+        "load", help="open-loop concurrent load generation against fleets "
+                     "of increasing size, reporting latency percentiles "
+                     "and score-throughput scaling")
+    load.add_argument("--registry", required=True,
+                      help="model-registry root with published bundles")
+    load.add_argument("--model", required=True, help="published model name")
+    load.add_argument("--version", default=None, help="model version (latest)")
+    load.add_argument("--shards", default="1,2",
+                      help="comma-separated fleet sizes to load in turn "
+                           "(scaling is reported last vs first)")
+    load.add_argument("--replication", type=int, default=2,
+                      help="replica-set size per city, clamped to each "
+                           "fleet size")
+    load.add_argument("--cache-size", type=int, default=8,
+                      help="LRU capacity of each shard engine's result cache")
+    load.add_argument("--incremental", default="auto",
+                      choices=("auto", "always", "never"),
+                      help="delta-localised rescoring policy of the "
+                           "per-shard streams")
+    load.add_argument("--urls", default=None,
+                      help="comma-separated scoring-service URLs: load "
+                           "remote shards instead of in-process engines")
+    load_trace_source = load.add_mutually_exclusive_group(required=True)
+    load_trace_source.add_argument("--trace",
+                                   help="load this recorded trace "
+                                        "(see 'repro-uv workload')")
+    load_trace_source.add_argument("--preset",
+                                   help="generate an ad-hoc workload from "
+                                        "this preset")
+    load_trace_source.add_argument("--graph",
+                                   help="generate an ad-hoc workload from "
+                                        "this graph (.npz)")
+    load.add_argument("--seed", type=int, default=None,
+                      help="override the preset seed")
+    load.add_argument("--cities", type=int, default=6,
+                      help="city variants of the ad-hoc workload (no --trace)")
+    load.add_argument("--ops", type=int, default=96,
+                      help="ops of the ad-hoc workload (no --trace)")
+    load.add_argument("--workload-seed", type=int, default=0,
+                      help="seed of the ad-hoc workload (no --trace)")
+    load.add_argument("--score-weight", type=float, default=0.8)
+    load.add_argument("--update-weight", type=float, default=0.15)
+    load.add_argument("--evict-weight", type=float, default=0.05)
+    load.add_argument("--workers", type=int, default=4,
+                      help="concurrent client threads (clamped to the "
+                           "trace's city count)")
+    load.add_argument("--arrival-rate", type=float, default=None,
+                      help="aggregate open-loop arrival rate in ops/s "
+                           "(default: closed-loop saturation)")
+    load.add_argument("--warmup", type=int, default=2,
+                      help="leading ops per worker excluded from the stats")
+    load.add_argument("--timeout", type=float, default=5.0,
+                      help="per-request timeout for remote shards — "
+                           "deliberately lower than 'fleet' so hung shards "
+                           "fail over fast under load")
+    load.add_argument("--verify-single", action="store_true",
+                      help="digest-verify every run against a serial "
+                           "1-shard oracle replay (exit 1 on mismatch)")
+    load.add_argument("--min-scaling", type=float, default=None,
+                      help="fail (exit 1) unless score throughput at the "
+                           "largest fleet is at least this multiple of the "
+                           "smallest fleet's")
+    load.add_argument("--json", default=None,
+                      help="write the schema-pinned BENCH_load.json report "
+                           "to this path")
+    load.set_defaults(handler=commands.cmd_load)
 
     # ------------------------------------------------------------------
     # experiment

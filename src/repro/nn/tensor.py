@@ -18,17 +18,39 @@ pass is undone during the backward pass by :func:`_unbroadcast`.
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 ArrayLike = Union[np.ndarray, float, int, Sequence]
 
-_grad_enabled = True
-_default_dtype = np.dtype(np.float64)
-
 #: dtypes the substrate supports as a compute precision
 _SUPPORTED_DTYPES = (np.dtype(np.float32), np.dtype(np.float64))
+
+
+class _ThreadState(threading.local):
+    """Per-thread autograd/dtype flags.
+
+    These used to be module globals, which made ``no_grad`` and
+    ``dtype_scope`` racy under concurrency: two serving threads
+    interleaving their enter/exit could restore each *other's* saved
+    value and leave grad construction disabled (or the wrong dtype
+    active) for the whole process — silently breaking any training run
+    that followed.  Thread-locality keeps single-threaded behaviour
+    bit-identical while making every scope private to its thread.  Note
+    new threads always start with the defaults below; they do not
+    inherit the spawning thread's scopes (entry points wrap themselves
+    in ``dtype_scope(config.dtype)``, so this is the behaviour the
+    stack already assumes).
+    """
+
+    def __init__(self) -> None:
+        self.grad_enabled = True
+        self.default_dtype = np.dtype(np.float64)
+
+
+_state = _ThreadState()
 
 
 def set_default_dtype(dtype) -> np.dtype:
@@ -39,21 +61,21 @@ def set_default_dtype(dtype) -> np.dtype:
     path is switched on: under float32 the whole forward/backward pass —
     activations, gradients, optimiser state — stays in single precision.
     The default is float64, under which results are bit-identical to the
-    historical behaviour.
+    historical behaviour.  The setting is per-thread (see
+    :class:`_ThreadState`).
     """
-    global _default_dtype
     dtype = np.dtype(dtype)
     if dtype not in _SUPPORTED_DTYPES:
         raise ValueError("default dtype must be float32 or float64, got %r"
                          % (dtype,))
-    previous = _default_dtype
-    _default_dtype = dtype
+    previous = _state.default_dtype
+    _state.default_dtype = dtype
     return previous
 
 
 def get_default_dtype() -> np.dtype:
-    """The floating dtype new tensors are created with."""
-    return _default_dtype
+    """The floating dtype new tensors are created with (per-thread)."""
+    return _state.default_dtype
 
 
 class dtype_scope:
@@ -87,24 +109,22 @@ class no_grad:
     """
 
     def __enter__(self) -> "no_grad":
-        global _grad_enabled
-        self._previous = _grad_enabled
-        _grad_enabled = False
+        self._previous = _state.grad_enabled
+        _state.grad_enabled = False
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
-        global _grad_enabled
-        _grad_enabled = self._previous
+        _state.grad_enabled = self._previous
 
 
 def is_grad_enabled() -> bool:
-    """Return whether autograd graph construction is currently enabled."""
-    return _grad_enabled
+    """Whether autograd graph construction is enabled in this thread."""
+    return _state.grad_enabled
 
 
 def _as_array(value: ArrayLike, dtype=None) -> np.ndarray:
     if dtype is None:
-        dtype = _default_dtype
+        dtype = _state.default_dtype
     if isinstance(value, np.ndarray):
         if value.dtype != dtype:
             return value.astype(dtype)

@@ -1,4 +1,4 @@
-"""HTTP client for the scoring service (stdlib ``urllib`` only).
+"""HTTP client for the scoring service (stdlib ``http.client`` only).
 
 :class:`ScoringClient` mirrors the three server endpoints, handles the
 graph wire encoding and converts JSON error responses back into Python
@@ -7,16 +7,26 @@ exceptions, so calling code reads like a local engine call::
     client = ScoringClient(server.url)
     result = client.score(graph, model="shenzhen")
     result["probabilities"]          # same values as detector.predict_proba
+
+The transport pools keep-alive connections: each request borrows an idle
+HTTP/1.1 connection (or dials a new one when none is idle), and returns
+it to the pool after the response body is fully read.  Under concurrent
+open-loop load this replaces the previous one-TCP-handshake-per-request
+``urllib.request.urlopen`` churn — N worker threads settle on N pooled
+sockets instead of thousands of throwaway ones.  A connection the server
+closed while idle surfaces as an immediate send/parse failure and is
+retried once on a fresh connection (safe: the request never reached the
+application layer), so keep-alive races are invisible to callers.
 """
 
 from __future__ import annotations
 
+import http.client
 import json
+import threading
 import time
-import urllib.error
 import urllib.parse
-import urllib.request
-from typing import Dict, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -33,36 +43,157 @@ class ScoringServiceError(RuntimeError):
         self.status = status
 
 
+#: send/parse failures on a *reused* connection that mean the server
+#: closed it while idle — retried once on a fresh socket
+_STALE_CONNECTION_ERRORS = (http.client.RemoteDisconnected,
+                            http.client.BadStatusLine,
+                            http.client.CannotSendRequest,
+                            BrokenPipeError, ConnectionResetError,
+                            ConnectionAbortedError)
+
+
 class ScoringClient:
     """Talk to a :class:`~repro.serve.server.ScoringServer`."""
 
     def __init__(self, base_url: str, timeout: float = 60.0) -> None:
         self.base_url = base_url.rstrip("/")
-        self.timeout = timeout
+        parts = urllib.parse.urlsplit(self.base_url)
+        if parts.scheme not in ("http", "https"):
+            raise ValueError(f"unsupported scheme in base url: {base_url!r}")
+        self._conn_class = (http.client.HTTPSConnection
+                            if parts.scheme == "https"
+                            else http.client.HTTPConnection)
+        self._netloc = parts.netloc
+        self._path_prefix = parts.path.rstrip("/")
+        self._timeout = float(timeout)
+        self._pool_lock = threading.Lock()
+        self._pool: List[http.client.HTTPConnection] = []
+        self._closed = False
+        self._connections_created = 0
+        self._requests_sent = 0
+        self._requests_reused = 0
 
     # ------------------------------------------------------------------
     # transport
     # ------------------------------------------------------------------
+    @property
+    def timeout(self) -> float:
+        """Per-request timeout in seconds (connect + response)."""
+        return self._timeout
+
+    @timeout.setter
+    def timeout(self, value: float) -> None:
+        self.set_timeout(value)
+
+    def set_timeout(self, timeout: float) -> None:
+        """Change the per-request timeout.
+
+        Pooled sockets carry the timeout they were dialled with, so the
+        idle pool is dropped; the next requests dial fresh connections
+        with the new bound.
+        """
+        if timeout <= 0:
+            raise ValueError("timeout must be positive")
+        self._timeout = float(timeout)
+        self._drain_pool()
+
+    def transport_stats(self) -> Dict[str, int]:
+        """Connection-pool counters (for tests and load reports)."""
+        with self._pool_lock:
+            return {"connections_created": self._connections_created,
+                    "requests_sent": self._requests_sent,
+                    "requests_reused": self._requests_reused,
+                    "pool_idle": len(self._pool)}
+
+    def close(self) -> None:
+        """Close every pooled keep-alive connection.
+
+        The client stays usable — a later request simply dials a new
+        connection — so this is safe to call from cleanup paths.
+        """
+        self._drain_pool()
+
+    def _drain_pool(self) -> None:
+        with self._pool_lock:
+            idle, self._pool = self._pool, []
+        for conn in idle:
+            try:
+                conn.close()
+            except Exception:
+                pass
+
+    def _acquire(self) -> Tuple[http.client.HTTPConnection, bool]:
+        """An idle pooled connection (reused=True) or a fresh one."""
+        with self._pool_lock:
+            if self._pool:
+                return self._pool.pop(), True
+            self._connections_created += 1
+        conn = self._conn_class(self._netloc, timeout=self._timeout)
+        return conn, False
+
+    def _release(self, conn: http.client.HTTPConnection) -> None:
+        with self._pool_lock:
+            self._pool.append(conn)
+
+    def _raw_request(self, path: str, body: Optional[bytes],
+                     accept: str) -> Tuple[int, str, bytes]:
+        """One request over a pooled connection → (status, reason, body).
+
+        A stale reused connection (server closed it while we were idle)
+        is retried once on a fresh dial; errors on a fresh connection
+        propagate — the server is actually unreachable or hung.
+        """
+        url = self._path_prefix + path
+        headers = {"Accept": accept, "Connection": "keep-alive"}
+        method = "GET"
+        if body is not None:
+            method = "POST"
+            headers["Content-Type"] = "application/json"
+        for _ in range(2):
+            conn, reused = self._acquire()
+            try:
+                conn.request(method, url, body=body, headers=headers)
+                response = conn.getresponse()
+                payload = response.read()  # drain fully: keep-alive safe
+            except _STALE_CONNECTION_ERRORS:
+                conn.close()
+                if reused:
+                    continue  # retry once on a fresh connection
+                raise
+            except Exception:
+                conn.close()
+                raise
+            with self._pool_lock:
+                self._requests_sent += 1
+                if reused:
+                    self._requests_reused += 1
+            if response.will_close:
+                conn.close()
+            else:
+                self._release(conn)
+            return response.status, str(response.reason or ""), payload
+        raise ScoringServiceError(  # pragma: no cover — loop always returns
+            0, f"cannot reach {self.base_url + path}")
+
     def _request(self, path: str, body: Optional[Dict[str, object]] = None) -> Dict[str, object]:
         url = self.base_url + path
-        data = None
-        headers = {"Accept": "application/json"}
-        if body is not None:
-            data = json.dumps(body).encode("utf-8")
-            headers["Content-Type"] = "application/json"
-        request = urllib.request.Request(url, data=data, headers=headers)
+        data = json.dumps(body).encode("utf-8") if body is not None else None
         try:
-            with urllib.request.urlopen(request, timeout=self.timeout) as response:
-                payload = json.loads(response.read().decode("utf-8"))
-        except urllib.error.HTTPError as error:
+            status, reason, raw = self._raw_request(
+                path, data, accept="application/json")
+        except ScoringServiceError:
+            raise
+        except (TimeoutError, ConnectionError, OSError,
+                http.client.HTTPException) as error:
+            raise ScoringServiceError(
+                0, f"cannot reach {url}: {error!r}") from error
+        if status >= 400:
             try:
-                detail = json.loads(error.read().decode("utf-8")).get("error", "")
+                detail = json.loads(raw.decode("utf-8")).get("error", "")
             except Exception:
-                detail = error.reason
-            raise ScoringServiceError(error.code, str(detail)) from error
-        except urllib.error.URLError as error:
-            raise ScoringServiceError(0, f"cannot reach {url}: {error.reason}") from error
-        return payload
+                detail = reason
+            raise ScoringServiceError(status, str(detail or reason))
+        return json.loads(raw.decode("utf-8"))
 
     # ------------------------------------------------------------------
     # endpoints
@@ -102,16 +233,18 @@ class ScoringClient:
         :func:`repro.obs.parse_prometheus_text` for structured access.
         """
         url = self.base_url + "/metrics"
-        request = urllib.request.Request(url, headers={"Accept": "text/plain"})
         try:
-            with urllib.request.urlopen(request,
-                                        timeout=self.timeout) as response:
-                return response.read().decode("utf-8")
-        except urllib.error.HTTPError as error:
-            raise ScoringServiceError(error.code, str(error.reason)) from error
-        except urllib.error.URLError as error:
+            status, reason, raw = self._raw_request(
+                "/metrics", None, accept="text/plain")
+        except ScoringServiceError:
+            raise
+        except (TimeoutError, ConnectionError, OSError,
+                http.client.HTTPException) as error:
             raise ScoringServiceError(
-                0, f"cannot reach {url}: {error.reason}") from error
+                0, f"cannot reach {url}: {error!r}") from error
+        if status >= 400:
+            raise ScoringServiceError(status, reason)
+        return raw.decode("utf-8")
 
     def score(self, graph: UrbanRegionGraph, model: str,
               version: Optional[str] = None,

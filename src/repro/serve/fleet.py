@@ -245,6 +245,16 @@ class EngineShard(ShardBackend):
     ``fingerprints="content"``) apply to every stream opened on this
     shard; per-open options override them.
 
+    Locking is *per stream*, never shard-wide: each stream's lifecycle
+    (open/restore, which run a warm rescore — the expensive part) holds
+    only that stream's own lock, and score/update/evict delegate
+    straight to the stream's :class:`~repro.stream.scorer.StreamingScorer`
+    (itself internally synchronised per stream).  The shard-level
+    ``_registry_lock`` guards nothing but the name→scorer dict itself,
+    held only for dict reads/writes — so concurrent requests to
+    different streams on one shard never contend here, which is what an
+    open-loop load driver firing many cities at one shard requires.
+
     With ``wal`` set, every stream opened on this shard is durable:
     opens write a base snapshot, accepted deltas append to the stream's
     write-ahead log, and :meth:`restore_stream` resumes the exact
@@ -261,11 +271,22 @@ class EngineShard(ShardBackend):
         self._wal = wal
         self._stream_defaults = dict(stream_defaults)
         self._streams: Dict[str, StreamingScorer] = {}
-        self._lock = threading.Lock()
+        #: guards the two dicts below only — never held across scorer work
+        self._registry_lock = threading.Lock()
+        #: one lifecycle lock per stream name: two clients opening the
+        #: *same* stream serialise; different streams open in parallel
+        self._stream_locks: Dict[str, threading.Lock] = {}
 
     # ------------------------------------------------------------------
+    def _stream_lock(self, name: str) -> threading.Lock:
+        with self._registry_lock:
+            lock = self._stream_locks.get(name)
+            if lock is None:
+                lock = self._stream_locks[name] = threading.Lock()
+        return lock
+
     def _scorer(self, name: str) -> StreamingScorer:
-        with self._lock:
+        with self._registry_lock:
             scorer = self._streams.get(name)
         if scorer is None:
             raise KeyError(f"shard {self.shard_id!r} has no open stream "
@@ -277,30 +298,32 @@ class EngineShard(ShardBackend):
         merged = {**self._stream_defaults, **options}
         if self._wal is not None and "wal" not in merged:
             merged["wal"] = self._wal.stream(name)
-        scorer = StreamingScorer(self.engine, graph, warm=bool(rescore),
-                                 **merged)
-        with self._lock:
-            self._streams[name] = scorer
-        payload: Dict[str, object] = {"stream": name, "opened": True,
-                                      "shard": self.shard_id}
-        payload.update(scorer.describe())
-        if rescore:
-            payload["score"] = scorer.score().to_dict()
+        with self._stream_lock(name):
+            scorer = StreamingScorer(self.engine, graph, warm=bool(rescore),
+                                     **merged)
+            with self._registry_lock:
+                self._streams[name] = scorer
+            payload: Dict[str, object] = {"stream": name, "opened": True,
+                                          "shard": self.shard_id}
+            payload.update(scorer.describe())
+            if rescore:
+                payload["score"] = scorer.score().to_dict()
         return payload
 
     def restore_stream(self, name: str,
                        recovered: RecoveredStream) -> Dict[str, object]:
         wal = self._wal.stream(name) if self._wal is not None else None
-        scorer = StreamingScorer.from_snapshot(self.engine, recovered,
-                                               wal=wal,
-                                               **self._stream_defaults)
-        with self._lock:
-            self._streams[name] = scorer
-        payload: Dict[str, object] = {"stream": name, "restored": True,
-                                      "shard": self.shard_id}
-        payload.update(scorer.describe())
-        if recovered.warm:
-            payload["score"] = scorer.score().to_dict()
+        with self._stream_lock(name):
+            scorer = StreamingScorer.from_snapshot(self.engine, recovered,
+                                                   wal=wal,
+                                                   **self._stream_defaults)
+            with self._registry_lock:
+                self._streams[name] = scorer
+            payload: Dict[str, object] = {"stream": name, "restored": True,
+                                          "shard": self.shard_id}
+            payload.update(scorer.describe())
+            if recovered.warm:
+                payload["score"] = scorer.score().to_dict()
         return payload
 
     def score_stream(self, name: str, regions=None,
@@ -328,11 +351,12 @@ class EngineShard(ShardBackend):
                 "shard": self.shard_id}
 
     def close_stream(self, name: str) -> None:
-        with self._lock:
+        with self._registry_lock:
             self._streams.pop(name, None)
+            self._stream_locks.pop(name, None)
 
     def healthz(self) -> Dict[str, object]:
-        with self._lock:
+        with self._registry_lock:
             streams_open = len(self._streams)
         return {"status": "ok", "shard": self.shard_id,
                 "streams_open": streams_open,
@@ -340,7 +364,7 @@ class EngineShard(ShardBackend):
                 "version": self.engine.model_version}
 
     def stats(self) -> Dict[str, object]:
-        with self._lock:
+        with self._registry_lock:
             streams = dict(self._streams)
         return {
             "shard": self.shard_id,
@@ -350,8 +374,9 @@ class EngineShard(ShardBackend):
         }
 
     def close(self) -> None:
-        with self._lock:
+        with self._registry_lock:
             self._streams.clear()
+            self._stream_locks.clear()
 
 
 #: stream options a RemoteShard can forward to the server's /update open
@@ -367,6 +392,14 @@ class RemoteShard(ShardBackend):
     stream the server does not know are translated to :class:`KeyError` —
     the same signal an :class:`EngineShard` gives the router when a
     restarted worker lost its streams.
+
+    ``timeout`` bounds every request: a hung server surfaces as a
+    transport :class:`ScoringServiceError` (status 0) after at most that
+    long, which :func:`is_shard_failure` treats as shard-fatal — so the
+    router fails over within the configured bound instead of stalling a
+    client for the old flat 30 s.  Lower it for latency-sensitive load
+    runs (``FleetRouter(request_timeout=...)`` or ``repro-uv fleet/load
+    --timeout``); :meth:`set_timeout` applies to subsequent requests.
     """
 
     def __init__(self, url_or_client, model: str,
@@ -384,6 +417,14 @@ class RemoteShard(ShardBackend):
                               else f"{self.shard_id}/")
 
     # ------------------------------------------------------------------
+    @property
+    def timeout(self) -> float:
+        return self.client.timeout
+
+    def set_timeout(self, timeout: float) -> None:
+        """Apply a new per-request timeout to subsequent requests."""
+        self.client.set_timeout(timeout)
+
     def _name(self, name: str) -> str:
         return self.stream_prefix + name
 
@@ -479,6 +520,10 @@ class RemoteShard(ShardBackend):
         ]
         return {"shard": self.shard_id, "engine": engine_entry,
                 "streams": streams}
+
+    def close(self) -> None:
+        """Release the client's pooled keep-alive connections."""
+        self.client.close()
 
 
 class ChaosShard(ShardBackend):
@@ -646,6 +691,12 @@ class FleetRouter(ShardBackend):
         logs, and :meth:`restore` rebuilds every stream after a full
         restart — back to the exact pre-crash version, fingerprint and
         float64 scores.
+    request_timeout:
+        When set, applied (via ``set_timeout``) to every backend that
+        supports a per-request timeout — i.e. :class:`RemoteShard`s —
+        so a hung shard fails over within this bound instead of each
+        transport's own default.  In-process shards have no transport
+        and ignore it.
 
     The router holds the authoritative current graph of every open city
     (updated only after a shard accepted the delta), which is what makes
@@ -653,13 +704,24 @@ class FleetRouter(ShardBackend):
     that copy and the in-flight request retried there.  Scoring is
     deterministic, so the replica's answers are bit-identical to the ones
     the dead shard would have produced.
+
+    Locking is fine-grained so concurrent requests to *different* cities
+    never contend: each city has its own lock (held for updates/evicts
+    and failover, not for fast-path scores), the down-shard set is a
+    copy-on-write ``frozenset`` read without any lock, the city table is
+    only locked for mutation (``_structure_lock``), and the fleet-wide
+    request counters sit behind their own tiny ``_stats_lock`` whose
+    critical sections are single integer increments.  No lock is ever
+    held across a shard call except the per-city lock, whose scope is
+    exactly the city the request is for.
     """
 
     def __init__(self, backends: Sequence[ShardBackend],
                  replication: int = 2, vnodes: int = 64,
                  name: str = "fleet",
                  metrics: Optional[MetricsRegistry] = None,
-                 wal: Optional[DurabilityLog] = None) -> None:
+                 wal: Optional[DurabilityLog] = None,
+                 request_timeout: Optional[float] = None) -> None:
         backends = list(backends)
         if not backends:
             raise ValueError("a fleet needs at least one shard backend")
@@ -668,15 +730,29 @@ class FleetRouter(ShardBackend):
             raise ValueError(f"shard ids must be unique, got {ids}")
         if replication < 1:
             raise ValueError("replication must be >= 1")
+        if request_timeout is not None and request_timeout <= 0:
+            raise ValueError("request_timeout must be positive (or None "
+                             "for each backend's own default)")
         self.name = name
         self.replication = int(replication)
         self._backends: "OrderedDict[str, ShardBackend]" = OrderedDict(
             (backend.shard_id, backend) for backend in backends)
         self._ring = ConsistentHashRing(list(self._backends), vnodes=vnodes)
-        self._down: set = set()
+        #: copy-on-write: replaced (never mutated) under _structure_lock,
+        #: read lock-free on every request's hot path
+        self._down: frozenset = frozenset()
         self._cities: Dict[str, _CityState] = {}
         self._wal = wal
-        self._lock = threading.Lock()
+        #: guards _cities / _down *mutation* (reads are lock-free)
+        self._structure_lock = threading.Lock()
+        #: guards the fleet_stats counters, single-increment sections only
+        self._stats_lock = threading.Lock()
+        self.request_timeout = request_timeout
+        if request_timeout is not None:
+            for backend in self._backends.values():
+                set_timeout = getattr(backend, "set_timeout", None)
+                if callable(set_timeout):
+                    set_timeout(request_timeout)
         self.fleet_stats = FleetStats()
         self.metrics = metrics if metrics is not None else default_registry()
         self._m_requests = self.metrics.counter(
@@ -724,16 +800,14 @@ class FleetRouter(ShardBackend):
         return self._backends[shard_id]
 
     def down_shards(self) -> List[str]:
-        with self._lock:
-            return sorted(self._down)
+        return sorted(self._down)  # copy-on-write frozenset: lock-free read
 
     def route(self, key: str) -> List[str]:
         """Replica set (ring order) for a routing key."""
         return self._ring.assign(key, self.replication)
 
     def cities(self) -> Dict[str, Dict[str, object]]:
-        with self._lock:
-            states = dict(self._cities)
+        states = dict(self._cities)  # GIL-atomic copy; mutation is rare
         return {name: {"routing_key": state.key,
                        "replicas": list(state.replicas),
                        "active": state.active,
@@ -746,11 +820,16 @@ class FleetRouter(ShardBackend):
     # health
     # ------------------------------------------------------------------
     def _note_failure(self, shard_id: str) -> None:
-        with self._lock:
+        with self._structure_lock:
+            self._down = self._down | {shard_id}
+        with self._stats_lock:
             self.fleet_stats.shard_failures += 1
-            self._down.add(shard_id)
         self._m_shard_failures.labels(fleet=self.name, shard=shard_id).inc()
         self._m_shard_healthy.labels(fleet=self.name, shard=shard_id).set(0)
+
+    def _mark_up(self, shard_id: str) -> None:
+        with self._structure_lock:
+            self._down = self._down - {shard_id}
 
     def health(self) -> Dict[str, object]:
         """Probe every shard; mark failures down, revive recoveries."""
@@ -759,30 +838,27 @@ class FleetRouter(ShardBackend):
             try:
                 payload = backend.healthz()
             except Exception as error:  # any probe failure marks it down
-                with self._lock:
-                    self._down.add(shard_id)
+                with self._structure_lock:
+                    self._down = self._down | {shard_id}
                 self._m_shard_healthy.labels(fleet=self.name,
                                              shard=shard_id).set(0)
                 report[shard_id] = {"healthy": False, "error": str(error)}
                 continue
-            with self._lock:
-                self._down.discard(shard_id)
+            self._mark_up(shard_id)
             self._m_shard_healthy.labels(fleet=self.name,
                                          shard=shard_id).set(1)
             entry = {"healthy": True}
             if isinstance(payload, dict):
                 entry.update(payload)
             report[shard_id] = entry
-        with self._lock:
-            down = sorted(self._down)
+        down = sorted(self._down)
         return {"shards": report,
                 "healthy": [sid for sid in self._backends if sid not in down],
                 "down": down}
 
     def healthz(self) -> Dict[str, object]:
-        with self._lock:
-            down = sorted(self._down)
-            cities_open = len(self._cities)
+        down = sorted(self._down)
+        cities_open = len(self._cities)
         healthy = len(self._backends) - len(down)
         return {"status": "ok" if healthy else "down",
                 "shard": self.name,
@@ -807,9 +883,8 @@ class FleetRouter(ShardBackend):
                            fingerprint=graph.fingerprint())
         last_error: Optional[BaseException] = None
         for shard_id in replicas:
-            with self._lock:
-                if shard_id in self._down:
-                    continue
+            if shard_id in self._down:
+                continue
             try:
                 payload = self._backends[shard_id].open_stream(
                     name, graph, rescore=rescore, **options)
@@ -828,8 +903,9 @@ class FleetRouter(ShardBackend):
                     SnapshotState(graph=graph, fingerprint=state.fingerprint,
                                   seq=0, options=dict(options),
                                   warm=state.warm, cache=None))
-            with self._lock:
+            with self._structure_lock:
                 self._cities[name] = state
+            with self._stats_lock:
                 self.fleet_stats.opens += 1
             self._observe_request("open", shard_id, start)
             payload = dict(payload)
@@ -837,14 +913,13 @@ class FleetRouter(ShardBackend):
             payload["routing_key"] = key
             payload["replicas"] = list(replicas)
             return payload
-        with self._lock:
+        with self._stats_lock:
             self.fleet_stats.no_replica_errors += 1
         raise FleetError(f"no healthy replica could open city {name!r} "
                          f"(replicas {replicas}): {last_error}")
 
     def _city(self, name: str) -> _CityState:
-        with self._lock:
-            state = self._cities.get(name)
+        state = self._cities.get(name)
         if state is None:
             raise KeyError(f"fleet has no open city {name!r}; open it first "
                            "with open_stream")
@@ -854,7 +929,7 @@ class FleetRouter(ShardBackend):
         """Open the stream on ``backend`` from the authoritative copy."""
         backend.open_stream(state.name, state.graph, rescore=state.warm,
                             **state.options)
-        with self._lock:
+        with self._stats_lock:
             self.fleet_stats.reopened_streams += 1
 
     def _dispatch(self, state: _CityState, call) -> Dict[str, object]:
@@ -870,9 +945,8 @@ class FleetRouter(ShardBackend):
                                   if sid != state.active]
         last_error: Optional[BaseException] = None
         for shard_id in order:
-            with self._lock:
-                if shard_id in self._down:
-                    continue
+            if shard_id in self._down:
+                continue
             backend = self._backends[shard_id]
             try:
                 if shard_id != state.active:
@@ -891,13 +965,13 @@ class FleetRouter(ShardBackend):
                 continue
             if shard_id != state.active:
                 state.active = shard_id
-                with self._lock:
+                with self._stats_lock:
                     self.fleet_stats.failovers += 1
                 self._m_failovers.inc()
             return payload
-        with self._lock:
+        with self._stats_lock:
             self.fleet_stats.no_replica_errors += 1
-            down = sorted(self._down)
+        down = sorted(self._down)
         raise FleetError(f"no healthy replica for city {state.name!r} "
                          f"(replicas {state.replicas}, down {down}): "
                          f"{last_error}")
@@ -915,12 +989,10 @@ class FleetRouter(ShardBackend):
         # scores of one city proceed in parallel (the scorer itself is
         # thread-safe); any failure retries under the city lock
         active = state.active
-        with self._lock:
-            active_down = active in self._down
-        if not active_down:
+        if active not in self._down:
             try:
                 payload = call(self._backends[active])
-                with self._lock:
+                with self._stats_lock:
                     self.fleet_stats.score_requests += 1
                 self._observe_request("score", active, start)
                 return payload
@@ -933,7 +1005,7 @@ class FleetRouter(ShardBackend):
         with state.lock:
             payload = self._dispatch(state, call)
             served = state.active
-        with self._lock:
+        with self._stats_lock:
             self.fleet_stats.score_requests += 1
         self._observe_request("score", served, start)
         return payload
@@ -967,7 +1039,7 @@ class FleetRouter(ShardBackend):
             state.graph = delta.apply(state.graph, validate=False)
             state.version += 1
             state.fingerprint = fingerprint
-        with self._lock:
+        with self._stats_lock:
             self.fleet_stats.update_requests += 1
         self._observe_request("update", served, start)
         return payload
@@ -1000,7 +1072,7 @@ class FleetRouter(ShardBackend):
         with state.lock:
             payload = self._dispatch(state, call)
             served = state.active
-        with self._lock:
+        with self._stats_lock:
             self.fleet_stats.evict_requests += 1
         self._observe_request("evict", served, start)
         return payload
@@ -1024,8 +1096,7 @@ class FleetRouter(ShardBackend):
         authoritative version.  With ``force=False`` only cities whose
         logs crossed their compaction thresholds are compacted."""
         wal = self._require_wal()
-        with self._lock:
-            states = dict(self._cities)
+        states = dict(self._cities)
         report: Dict[str, object] = {}
         for name, state in sorted(states.items()):
             log = wal.stream(name)
@@ -1073,9 +1144,8 @@ class FleetRouter(ShardBackend):
             last_error: Optional[BaseException] = None
             restored = False
             for shard_id in replicas:
-                with self._lock:
-                    if shard_id in self._down:
-                        continue
+                if shard_id in self._down:
+                    continue
                 try:
                     self._backends[shard_id].restore_stream(name, recovered)
                 except Exception as error:
@@ -1085,8 +1155,9 @@ class FleetRouter(ShardBackend):
                     self._note_failure(shard_id)
                     continue
                 state.active = shard_id
-                with self._lock:
+                with self._structure_lock:
                     self._cities[name] = state
+                with self._stats_lock:
                     self.fleet_stats.opens += 1
                 report[name] = {
                     "shard": shard_id,
@@ -1100,7 +1171,7 @@ class FleetRouter(ShardBackend):
                 restored = True
                 break
             if not restored:
-                with self._lock:
+                with self._stats_lock:
                     self.fleet_stats.no_replica_errors += 1
                 raise FleetError(f"no healthy replica could restore city "
                                  f"{name!r} (replicas {replicas}): "
@@ -1123,16 +1194,16 @@ class FleetRouter(ShardBackend):
         """Fleet-wide ``/stats``: routing counters, per-shard entries and
         counter totals summed across every shard.
 
-        The whole report is assembled under the router lock, so it is one
-        consistent point in time: the fleet counters, the down set, the
-        city table and every shard's counters all describe the same
-        instant, with no request commits interleaved between them
-        (previously each piece was snapshotted separately, so e.g.
-        ``cities_open`` could disagree with the per-shard stream lists).
-        Requests block for the duration; shard ``stats()`` calls are
-        cheap counter reads (in-process) or one small HTTP GET (remote),
-        and the lock ordering router → shard has no reverse path, so
-        this cannot deadlock.
+        Assembled without ever blocking requests, in an order that keeps
+        the report self-consistent under concurrent load: the fleet
+        counters are read first (one atomic ``_stats_lock`` section),
+        then one ``down`` snapshot drives every shard's ``healthy`` flag,
+        then the city table, then the shard-side counters.  Fleet
+        counters only advance *after* the serving shard committed the
+        op, so reading them before the shard stats guarantees the
+        shard-side sums are at least the fleet counts — the invariant
+        callers reconcile against; ``cities_open`` is derived from the
+        same city snapshot it is reported beside.
         """
         totals: Dict[str, object] = {
             "cache": {"hits": 0, "misses": 0, "evictions": 0},
@@ -1142,45 +1213,44 @@ class FleetRouter(ShardBackend):
             "stream_counters": {},
         }
         shard_entries: List[Dict[str, object]] = []
-        with self._lock:
-            down = sorted(self._down)
+        with self._stats_lock:
             fleet = self.fleet_stats.to_dict()
-            # self.cities() would re-take the (non-reentrant) lock, so the
-            # city snapshot is inlined here
-            cities = {name: {"routing_key": state.key,
-                             "replicas": list(state.replicas),
-                             "active": state.active,
-                             "version": state.version,
-                             "fingerprint": state.fingerprint,
-                             "regions": state.graph.num_nodes}
-                      for name, state in sorted(self._cities.items())}
-            for shard_id, backend in self._backends.items():
-                entry: Dict[str, object] = {"shard": shard_id,
-                                            "healthy": shard_id not in down}
-                try:
-                    payload = backend.stats()
-                except Exception as error:
-                    entry["error"] = str(error)
-                    shard_entries.append(entry)
-                    continue
-                engine = payload.get("engine", {}) or {}
-                streams = payload.get("streams", []) or []
-                entry["engine"] = engine
-                entry["streams"] = streams
-                cache = engine.get("cache", {}) or {}
-                for counter in ("hits", "misses", "evictions"):
-                    totals["cache"][counter] += int(cache.get(counter, 0))
-                totals["cold_computes"] += int(engine.get("cold_computes", 0))
-                totals["stampedes_avoided"] += int(
-                    engine.get("stampedes_avoided", 0))
-                totals["streams_open"] += len(streams)
-                for stream in streams:
-                    for counter, value in (stream.get("stats") or {}).items():
-                        if isinstance(value, bool) or not isinstance(value, int):
-                            continue
-                        totals["stream_counters"][counter] = (
-                            totals["stream_counters"].get(counter, 0) + value)
+        down = sorted(self._down)
+        states = dict(self._cities)
+        cities = {name: {"routing_key": state.key,
+                         "replicas": list(state.replicas),
+                         "active": state.active,
+                         "version": state.version,
+                         "fingerprint": state.fingerprint,
+                         "regions": state.graph.num_nodes}
+                  for name, state in sorted(states.items())}
+        for shard_id, backend in self._backends.items():
+            entry: Dict[str, object] = {"shard": shard_id,
+                                        "healthy": shard_id not in down}
+            try:
+                payload = backend.stats()
+            except Exception as error:
+                entry["error"] = str(error)
                 shard_entries.append(entry)
+                continue
+            engine = payload.get("engine", {}) or {}
+            streams = payload.get("streams", []) or []
+            entry["engine"] = engine
+            entry["streams"] = streams
+            cache = engine.get("cache", {}) or {}
+            for counter in ("hits", "misses", "evictions"):
+                totals["cache"][counter] += int(cache.get(counter, 0))
+            totals["cold_computes"] += int(engine.get("cold_computes", 0))
+            totals["stampedes_avoided"] += int(
+                engine.get("stampedes_avoided", 0))
+            totals["streams_open"] += len(streams)
+            for stream in streams:
+                for counter, value in (stream.get("stats") or {}).items():
+                    if isinstance(value, bool) or not isinstance(value, int):
+                        continue
+                    totals["stream_counters"][counter] = (
+                        totals["stream_counters"].get(counter, 0) + value)
+            shard_entries.append(entry)
         requests = totals["cache"]["hits"] + totals["cache"]["misses"]
         totals["cache"]["hit_rate"] = round(
             totals["cache"]["hits"] / requests, 4) if requests else 0.0
@@ -1204,5 +1274,5 @@ class FleetRouter(ShardBackend):
                 backend.close()
             except Exception:
                 pass
-        with self._lock:
+        with self._structure_lock:
             self._cities.clear()

@@ -573,6 +573,11 @@ class _Handler(BaseHTTPRequestHandler):
     """Maps HTTP requests onto the :class:`ScoringService` endpoints."""
 
     server_version = "repro-serve/1"
+    #: HTTP/1.1 so keep-alive is the default and the pooled
+    #: :class:`~repro.serve.client.ScoringClient` transport can reuse
+    #: connections; every response carries an explicit Content-Length
+    #: (see ``_send_body``), which HTTP/1.1 persistent connections require
+    protocol_version = "HTTP/1.1"
     #: set by ScoringServer when quiet (the default for tests / in-process use)
     quiet = True
 

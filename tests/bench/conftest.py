@@ -1,0 +1,44 @@
+"""Fixtures for the load-driver tests.
+
+Mirrors the serving suite's bundle-backed shard factory (tests/ is not a
+package, so fixtures cannot be imported across sibling conftests): every
+shard loads its *own* detector instance from the published bundle —
+identical float64 parameters, no shared mutable module state to race on
+under the driver's concurrent clients.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import WorkloadConfig, derive_cities, generate_workload
+from repro.serve import EngineShard, InferenceEngine, ModelRegistry
+
+
+@pytest.fixture(scope="session")
+def load_model_registry(tmp_path_factory, fitted_detector,
+                        tiny_graph_small_image):
+    registry = ModelRegistry(tmp_path_factory.mktemp("load-models"))
+    registry.publish(fitted_detector, tiny_graph_small_image, "tiny")
+    return registry
+
+
+@pytest.fixture(scope="session")
+def load_shard_factory(load_model_registry):
+    def make(shard_id, cache_size=8, **stream_defaults):
+        engine = InferenceEngine.from_bundle(
+            load_model_registry.resolve("tiny"), cache_size=cache_size)
+        return EngineShard(engine, shard_id=shard_id, **stream_defaults)
+    return make
+
+
+@pytest.fixture(scope="session")
+def load_cities(tiny_graph_small_image):
+    """Four structurally distinct city variants (≥ workers in the tests)."""
+    return derive_cities(tiny_graph_small_image, 4, seed=11)
+
+
+@pytest.fixture(scope="session")
+def load_trace_40(load_cities):
+    """A deterministic mixed trace long enough for per-worker warm-up."""
+    return generate_workload(load_cities, WorkloadConfig(ops=40, seed=5))

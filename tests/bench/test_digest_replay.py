@@ -1,0 +1,115 @@
+"""Digest-mode replay (``replay_trace(keep_scores=False)``).
+
+Long traces used to cost O(ops x N) float64 memory because every score
+vector was retained for the eventual bit-identity check.  Digest mode
+hashes each vector (sha256 over the float64 bytes) and drops the array;
+these tests pin that the mode really retains nothing, that bit-identity
+verdicts are unchanged across modes, and that a genuine divergence is
+still detected (with ``max_diff = nan`` — hashes carry no magnitude).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench import (replay_trace, replays_identical,
+                         resumed_tail_identical, score_digest)
+
+
+def test_score_digest_is_bitwise(rng):
+    vector = rng.random(32)
+    assert score_digest(vector) == score_digest(vector.copy())
+    bumped = vector.copy()
+    bumped[0] = np.nextafter(bumped[0], 2.0)  # one ULP: still a new hash
+    assert score_digest(vector) != score_digest(bumped)
+
+
+def test_digest_mode_retains_no_arrays(load_trace_40, load_shard_factory):
+    result = replay_trace(load_trace_40, load_shard_factory("digest-a"),
+                          collect_stats=False, keep_scores=False)
+    assert not result.opening_scores
+    assert all(score is None for score in result.scores)
+    assert result.opening_digests.keys() == load_trace_40.cities.keys()
+    scored = [d for d in result.score_digests if d is not None]
+    assert scored, "trace has score ops, digests must be captured"
+    assert len(result.score_digests) == len(load_trace_40.ops)
+    # the summary still knows its city count without the arrays
+    assert result.summary()["cities"] == len(load_trace_40.cities)
+
+
+def test_digest_replay_comparable_to_array_replay(load_trace_40,
+                                                  load_shard_factory):
+    arrays = replay_trace(load_trace_40, load_shard_factory("digest-b"),
+                          collect_stats=False)
+    digests = replay_trace(load_trace_40, load_shard_factory("digest-c"),
+                           collect_stats=False, keep_scores=False)
+    identical, max_diff = replays_identical(arrays, digests)
+    assert identical
+    assert max_diff == 0.0
+    # symmetric: digest side first
+    identical, _ = replays_identical(digests, arrays)
+    assert identical
+
+
+def test_digest_mismatch_reports_nan_magnitude(load_trace_40,
+                                               load_shard_factory):
+    a = replay_trace(load_trace_40, load_shard_factory("digest-d"),
+                     collect_stats=False, keep_scores=False)
+    b = replay_trace(load_trace_40, load_shard_factory("digest-e"),
+                     collect_stats=False, keep_scores=False)
+    # corrupt one op digest: a genuine divergence between digest replays
+    index = next(i for i, d in enumerate(b.score_digests) if d is not None)
+    b.score_digests[index] = "0" * 64
+    identical, max_diff = replays_identical(a, b)
+    assert not identical
+    assert np.isnan(max_diff)
+
+
+def test_resumed_tail_digest_identity(load_trace_40, load_shard_factory):
+    from repro.bench.workload import WorkloadTrace
+
+    full = replay_trace(load_trace_40, load_shard_factory("digest-h"),
+                        collect_stats=False, keep_scores=False)
+    # a resumable backend: replay a truncated prefix, leave the streams
+    # open, then continue with the tail on the same shard
+    backend = load_shard_factory("digest-i")
+    start = len(load_trace_40.ops) // 2
+    prefix = WorkloadTrace(name=load_trace_40.name,
+                           cities=load_trace_40.cities,
+                           ops=list(load_trace_40.ops[:start]),
+                           seed=load_trace_40.seed,
+                           meta=load_trace_40.meta)
+    replay_trace(prefix, backend, collect_stats=False, keep_scores=False)
+    tail = replay_trace(load_trace_40, backend, collect_stats=False,
+                        keep_scores=False, start_at=start,
+                        open_cities=False)
+    identical, max_diff = resumed_tail_identical(full, tail, start)
+    assert identical, "resumed digest tail must match the oracle's tail"
+    assert max_diff == 0.0
+
+
+def test_mixed_mode_mismatch_still_detected(load_trace_40,
+                                            load_shard_factory):
+    arrays = replay_trace(load_trace_40, load_shard_factory("digest-j"),
+                          collect_stats=False)
+    digests = replay_trace(load_trace_40, load_shard_factory("digest-k"),
+                           collect_stats=False, keep_scores=False)
+    index = next(i for i, d in enumerate(digests.score_digests)
+                 if d is not None)
+    digests.score_digests[index] = "f" * 64
+    identical, max_diff = replays_identical(arrays, digests)
+    assert not identical
+    assert np.isnan(max_diff)
+
+
+def test_incomparable_replays_raise(load_trace_40, load_shard_factory):
+    digest = replay_trace(load_trace_40, load_shard_factory("digest-l"),
+                          collect_stats=False, keep_scores=False)
+    broken = replay_trace(load_trace_40, load_shard_factory("digest-m"),
+                          collect_stats=False, keep_scores=False)
+    index = next(i for i, d in enumerate(broken.score_digests)
+                 if d is not None)
+    broken.score_digests[index] = None
+    with pytest.raises(ValueError):
+        replays_identical(digest, broken)

@@ -1,0 +1,187 @@
+"""The open-loop concurrent load driver (:mod:`repro.bench.load`).
+
+The driver's contract has three legs:
+
+* **determinism** — workers own disjoint city partitions and issue each
+  city's ops in trace order, so every per-city digest sequence matches a
+  serial single-shard replay bit-for-bit;
+* **open-loop semantics** — with an arrival rate set, latency is charged
+  from the *scheduled* send time (coordinated-omission aware) and
+  warm-up ops never reach the statistics;
+* **containment** — one worker's failure aborts only that worker's
+  remaining ops and surfaces in the result, never in an exception.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import (LoadConfig, format_load_report,
+                         load_matches_serial_oracle, replay_trace, run_load)
+from repro.obs import MetricsRegistry, parse_prometheus_text
+
+
+class TestLoadConfig:
+    def test_rejects_bad_knobs(self):
+        with pytest.raises(ValueError):
+            LoadConfig(workers=0)
+        with pytest.raises(ValueError):
+            LoadConfig(arrival_rate=-1.0)
+        with pytest.raises(ValueError):
+            LoadConfig(warmup_ops=-1)
+
+    def test_saturation_mode_is_the_default(self):
+        assert LoadConfig().saturation
+        assert LoadConfig(arrival_rate=0).saturation
+        assert not LoadConfig(arrival_rate=50.0).saturation
+        assert LoadConfig(arrival_rate=50.0).to_dict()["mode"] == "open-loop"
+
+
+class TestDeterminism:
+    def test_saturation_run_matches_serial_oracle(self, load_trace_40,
+                                                  load_shard_factory):
+        shard = load_shard_factory("load-sat")
+        result = run_load(load_trace_40, shard,
+                          LoadConfig(workers=3))
+        assert not result.errors
+        assert len(result.records) == len(load_trace_40.ops)
+
+        oracle = replay_trace(load_trace_40, load_shard_factory("oracle"),
+                              collect_stats=False, keep_scores=False)
+        identical, mismatches = load_matches_serial_oracle(
+            load_trace_40, result, oracle)
+        assert identical, mismatches
+
+    def test_city_partitions_are_disjoint_and_cover(self, load_trace_40,
+                                                    load_shard_factory):
+        result = run_load(load_trace_40, load_shard_factory("load-part"),
+                          LoadConfig(workers=3))
+        owned = [city for cities in result.assignment.values()
+                 for city in cities]
+        assert sorted(owned) == sorted(load_trace_40.cities)
+        assert len(set(owned)) == len(owned)
+
+    def test_workers_clamped_to_city_count(self, load_trace_40,
+                                           load_shard_factory):
+        result = run_load(load_trace_40, load_shard_factory("load-clamp"),
+                          LoadConfig(workers=64))
+        assert result.workers == len(load_trace_40.cities)
+        assert all(cities for cities in result.assignment.values())
+
+
+class TestOpenLoop:
+    def test_schedule_spacing_and_warmup_exclusion(self, load_trace_40,
+                                                   load_shard_factory):
+        config = LoadConfig(workers=2, arrival_rate=200.0, warmup_ops=2)
+        result = run_load(load_trace_40, load_shard_factory("load-ol"),
+                          config)
+        assert not result.errors
+        measured = result.measured()
+        warm = [r for r in result.records if r.warmup]
+        # each of the 2 workers holds back its first 2 ops
+        assert len(warm) == 4
+        assert len(measured) == len(result.records) - 4
+        interval = config.workers / config.arrival_rate
+        per_worker = {}
+        for record in result.records:
+            per_worker.setdefault(record.worker, []).append(record)
+        for records in per_worker.values():
+            schedules = [r.scheduled_s for r in records]
+            assert schedules == sorted(schedules)
+            for position, record in enumerate(records):
+                assert record.scheduled_s == pytest.approx(
+                    position * interval)
+                # charged from the schedule: never negative even when the
+                # worker fell behind and fired late
+                assert record.latency_s >= 0.0
+                assert record.ended_s >= record.started_s
+
+    def test_saturation_charges_from_send_time(self, load_trace_40,
+                                               load_shard_factory):
+        result = run_load(load_trace_40, load_shard_factory("load-sat2"),
+                          LoadConfig(workers=2))
+        for record in result.records:
+            assert record.scheduled_s == record.started_s
+            assert record.latency_s == record.service_s
+
+
+class TestObservability:
+    def test_metrics_registry_sees_every_op(self, load_trace_40,
+                                            load_shard_factory):
+        obs = MetricsRegistry()
+        result = run_load(load_trace_40, load_shard_factory("load-obs"),
+                          LoadConfig(workers=2), metrics=obs)
+        parsed = parse_prometheus_text(obs.render())
+        assert parsed.base_type("repro_load_op_seconds_count") == "histogram"
+        observed = parsed.total("repro_load_op_seconds_count")
+        assert observed == len(result.records)
+        ok_total = parsed.total("repro_load_ops_total", status="ok")
+        assert ok_total == len(result.records)
+
+    def test_report_lines_are_grep_stable(self, load_trace_40,
+                                          load_shard_factory):
+        result = run_load(load_trace_40, load_shard_factory("load-rep"),
+                          LoadConfig(workers=2, warmup_ops=1))
+        report = format_load_report(result.summary())
+        assert "throughput: overall=" in report
+        assert "score=" in report
+        assert "latency: p50=" in report
+        assert "p95=" in report and "p99=" in report
+
+    def test_stats_snapshot_collected(self, load_trace_40,
+                                      load_shard_factory):
+        result = run_load(load_trace_40, load_shard_factory("load-stats"),
+                          LoadConfig(workers=2))
+        assert result.stats is not None
+        assert result.stats["shard"] == "load-stats"
+
+
+class _FailingBackend:
+    """Delegates to a real shard, but one city's scores start failing."""
+
+    def __init__(self, inner, poison_city, fail_after=1):
+        self._inner = inner
+        self._poison = poison_city
+        self._remaining = fail_after
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+    def score_stream(self, name, **kwargs):
+        if name == self._poison:
+            if self._remaining <= 0:
+                raise ConnectionError("injected shard loss")
+            self._remaining -= 1
+        return self._inner.score_stream(name, **kwargs)
+
+
+class TestErrorContainment:
+    def test_failure_aborts_one_worker_only(self, load_trace_40,
+                                            load_shard_factory):
+        poison = next(city for city in load_trace_40.cities
+                      if any(op.op == "score" and op.city == city
+                             for op in load_trace_40.ops))
+        backend = _FailingBackend(load_shard_factory("load-fail"), poison)
+        # workers == cities: the poisoned city is alone on its worker, so
+        # every other city must still complete its full op sequence
+        result = run_load(load_trace_40, backend,
+                          LoadConfig(workers=len(load_trace_40.cities)))
+        assert result.errors and "injected shard loss" in result.errors[0]
+        failed = [r for r in result.records if r.error is not None]
+        assert len(failed) == 1 and failed[0].city == poison
+        per_city = {}
+        for op in load_trace_40.ops:
+            per_city[op.city] = per_city.get(op.city, 0) + 1
+        issued = {}
+        for record in result.records:
+            issued[record.city] = issued.get(record.city, 0) + 1
+        for city, expected in per_city.items():
+            if city != poison:
+                assert issued.get(city, 0) == expected
+        # and the oracle comparison reports the divergence, not a crash
+        oracle = replay_trace(load_trace_40, load_shard_factory("oracle-f"),
+                              collect_stats=False, keep_scores=False)
+        identical, mismatches = load_matches_serial_oracle(
+            load_trace_40, result, oracle)
+        assert not identical
+        assert any("injected shard loss" in line for line in mismatches)

@@ -27,7 +27,7 @@ class TestParser:
         assert set(subparsers.choices) == {"generate-city", "build-graph", "show-city",
                                            "train", "evaluate", "reproduce", "registry",
                                            "package", "serve", "score", "stream",
-                                           "workload", "fleet", "experiment"}
+                                           "workload", "fleet", "experiment", "load"}
 
 
 class TestGenerateAndBuild:

@@ -207,3 +207,92 @@ class TestAutogradMechanics:
         mask = x > 1.5
         assert isinstance(mask, np.ndarray)
         assert mask.tolist() == [False, True, True]
+
+
+class TestThreadLocalScopes:
+    """``no_grad``/``dtype_scope`` must be private to their thread.
+
+    Regression for a serving-concurrency bug: the flags were module
+    globals, so two threads interleaving enter/exit could restore each
+    other's saved state and leave autograd disabled process-wide — any
+    training run afterwards silently skipped backprop.
+    """
+
+    def test_crossed_no_grad_interleaving_cannot_stick(self):
+        import threading
+
+        from repro.nn.tensor import is_grad_enabled
+
+        steps = [threading.Event() for _ in range(4)]
+        states = {}
+
+        def first():
+            scope = no_grad()
+            scope.__enter__()          # A enters (saves True)
+            steps[0].set()
+            steps[1].wait(5)           # ... B enters meanwhile
+            scope.__exit__(None, None, None)
+            steps[2].set()
+            states["first"] = is_grad_enabled()
+
+        def second():
+            steps[0].wait(5)
+            scope = no_grad()
+            scope.__enter__()          # with a global flag this saved False
+            steps[1].set()
+            steps[2].wait(5)
+            scope.__exit__(None, None, None)
+            states["second"] = is_grad_enabled()
+
+        threads = [threading.Thread(target=first),
+                   threading.Thread(target=second)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(10)
+        assert states == {"first": True, "second": True}
+        assert is_grad_enabled()
+
+    def test_no_grad_in_worker_does_not_leak_to_main(self):
+        import threading
+
+        from repro.nn.tensor import is_grad_enabled
+
+        inside = threading.Event()
+        release = threading.Event()
+
+        def worker():
+            with no_grad():
+                inside.set()
+                release.wait(5)
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        assert inside.wait(5)
+        assert is_grad_enabled()       # the worker's scope is its own
+        release.set()
+        thread.join(10)
+
+    def test_dtype_scope_is_per_thread(self):
+        import threading
+
+        from repro.nn.tensor import dtype_scope, get_default_dtype
+
+        inside = threading.Event()
+        release = threading.Event()
+        seen = {}
+
+        def worker():
+            with dtype_scope(np.float32):
+                seen["worker"] = get_default_dtype()
+                inside.set()
+                release.wait(5)
+            seen["worker_after"] = get_default_dtype()
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        assert inside.wait(5)
+        assert get_default_dtype() == np.float64
+        release.set()
+        thread.join(10)
+        assert seen == {"worker": np.float32, "worker_after": np.float64}

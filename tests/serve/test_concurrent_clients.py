@@ -1,0 +1,76 @@
+"""Concurrent clients against a sharded fleet (satellite of the load PR).
+
+M worker threads fire mixed score/update/evict traffic at a 3-shard
+:class:`~repro.serve.fleet.FleetRouter` through the open-loop driver.
+Two invariants must hold simultaneously:
+
+* every per-city score trajectory is bit-identical (sha256 digests) to a
+  serial single-shard oracle — concurrency and sharding are invisible in
+  the numbers;
+* ``FleetRouter.stats()`` reconciles with the issued op counts — the
+  fine-grained per-city locking may reorder commits across cities, but
+  it must never lose or double-count a request.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import (LoadConfig, load_matches_serial_oracle,
+                         replay_trace, run_load)
+from repro.serve import FleetRouter
+
+
+@pytest.fixture(scope="module")
+def concurrent_run(shard_factory, fleet_trace):
+    fleet = FleetRouter([shard_factory(f"cc-shard-{i}") for i in range(3)],
+                        replication=2)
+    result = run_load(fleet_trace, fleet, LoadConfig(workers=3))
+    stats = fleet.stats()
+    fleet.close()
+    return result, stats
+
+
+def test_no_worker_errors(concurrent_run):
+    result, _ = concurrent_run
+    assert not result.errors
+    assert len(result.records) == len(result.measured())  # no warm-up set
+
+
+def test_bit_identical_to_serial_single_shard_oracle(concurrent_run,
+                                                     shard_factory,
+                                                     fleet_trace):
+    result, _ = concurrent_run
+    oracle = replay_trace(fleet_trace, shard_factory("cc-oracle"),
+                          collect_stats=False, keep_scores=False)
+    identical, mismatches = load_matches_serial_oracle(
+        fleet_trace, result, oracle)
+    assert identical, "\n".join(mismatches)
+
+
+def test_fleet_counters_reconcile_with_issued_ops(concurrent_run,
+                                                  fleet_trace):
+    result, stats = concurrent_run
+    fleet = stats["fleet"]
+    counts = fleet_trace.op_counts()
+    assert fleet["opens"] == len(fleet_trace.cities)
+    assert fleet["score_requests"] == counts["score"]
+    assert fleet["update_requests"] == counts["update"]
+    assert fleet["evict_requests"] == counts["evict"]
+    assert fleet["requests"] == len(fleet_trace.ops) + len(fleet_trace.cities)
+    assert fleet["no_replica_errors"] == 0
+    # healthy fleet: nothing went down, nothing failed over
+    assert fleet["shard_failures"] == 0
+    assert fleet["down"] == []
+
+
+def test_every_op_produced_a_record(concurrent_run, fleet_trace):
+    result, _ = concurrent_run
+    assert sorted(r.index for r in result.records) == \
+        list(range(len(fleet_trace.ops)))
+    by_kind = {}
+    for record in result.records:
+        by_kind[record.kind] = by_kind.get(record.kind, 0) + 1
+    assert by_kind == {kind: count
+                       for kind, count in fleet_trace.op_counts().items()
+                       if count}
