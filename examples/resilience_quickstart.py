@@ -1,0 +1,151 @@
+"""Quickstart for overload protection: shed, degrade, break, revive.
+
+A fleet that queues without bound turns a brief overload into minutes of
+multi-second latencies for everyone.  This example tours the resilience
+layer (:mod:`repro.serve.resilience`) on an in-process fleet:
+
+1. train a (reduced) CMSF detector and publish it to a local registry;
+2. build a 3-shard fleet with admission control, degraded mode, and a
+   circuit breaker per shard;
+3. saturate the single admission slot and watch overflow *shed*
+   immediately (``ShedError`` with a retry-after hint) while a warm
+   stream answers *degraded* from the stale-score cache instead;
+4. propagate an end-to-end deadline and watch expired work shed with
+   ``DeadlineExceeded`` before wasting a slot;
+5. inject gray failure (a shard answering correctly but 50 ms slow)
+   with :class:`ChaosShard`, watch the latency breaker trip and routing
+   fail over, then clear the fault and watch the background prober
+   auto-revive the shard — no health-check call anywhere.
+
+Run with::
+
+    python examples/resilience_quickstart.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+
+from repro.bench import WorkloadConfig, derive_cities, generate_workload
+from repro.core import CMSFConfig, CMSFDetector
+from repro.serve import (AdmissionConfig, BreakerConfig, ChaosShard,
+                         Deadline, DeadlineExceeded, EngineShard, FleetRouter,
+                         InferenceEngine, ModelRegistry, ResilienceConfig,
+                         ShedError, deadline_scope)
+from repro.synth import generate_city, tiny_city
+from repro.urg import UrgBuildConfig, build_urg
+from repro.urg.image_features import ImageFeatureConfig
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. train once, publish once
+    # ------------------------------------------------------------------
+    city = generate_city(tiny_city(seed=7))
+    graph = build_urg(city, UrgBuildConfig(
+        image=ImageFeatureConfig(reduce_dim=32)))
+    config = CMSFConfig(hidden_dim=32, image_reduce_dim=32, num_clusters=8,
+                        master_epochs=60, slave_epochs=15)
+    print(f"training CMSF on '{graph.name}' ({graph.num_nodes} regions) ...")
+    detector = CMSFDetector(config).fit(graph, graph.labeled_indices())
+    registry = ModelRegistry(tempfile.mkdtemp(prefix="repro-models-"))
+    registry.publish(detector, graph, "tiny")
+
+    # ------------------------------------------------------------------
+    # 2. a resilient 3-shard fleet — shard-0 wrapped for fault injection
+    # ------------------------------------------------------------------
+    def make_shard(i):
+        engine = InferenceEngine.from_bundle(registry.resolve("tiny"),
+                                             cache_size=8)
+        return EngineShard(engine, shard_id=f"shard-{i}")
+
+    chaos = ChaosShard(make_shard(0), seed=3)
+    resilience = ResilienceConfig(
+        # one slot, no queue: a single held slot is saturation, so the
+        # shed/degrade behaviour below is deterministic
+        admission=AdmissionConfig(max_concurrency=1, max_queue=0,
+                                  queue_timeout_s=0.05, retry_after_s=0.1),
+        degraded=True,
+        # explicit latency threshold: 50 ms injected delay trips it fast
+        breaker=BreakerConfig(latency_threshold_s=0.02, latency_violations=3,
+                              backoff_initial_s=0.1, backoff_max_s=0.5),
+        probe_interval_s=0.05)
+    fleet = FleetRouter([chaos, make_shard(1), make_shard(2)],
+                        replication=2, resilience=resilience)
+
+    cities = derive_cities(graph, 3, seed=11)   # name -> graph
+    trace = generate_workload(cities, WorkloadConfig(ops=24, seed=5))
+    for name, variant in cities.items():
+        fleet.open_stream(name, variant)
+    first, second = list(cities)[:2]
+    fresh = fleet.score_stream(first)
+    print(f"\nopened {len(cities)} streams; fresh score of "
+          f"'{first}' has {len(fresh['probabilities'])} regions")
+
+    # ------------------------------------------------------------------
+    # 3. saturate the admission slot: cold streams shed, warm degrade
+    # ------------------------------------------------------------------
+    # 'first' was scored above so its answer sits in the stale cache;
+    # 'second' was opened but never scored, so it has no stale fallback
+    with fleet._admission.admit():            # hold the only admission slot
+        try:
+            fleet.score_stream(second)        # cold cache: a real shed
+        except ShedError as err:
+            print(f"saturated cold score shed: {err} "
+                  f"(retry after {err.retry_after_s:g}s)")
+        degraded = fleet.score_stream(first)
+    print(f"saturated score answered degraded={degraded['degraded']} "
+          f"(staleness {degraded['staleness']} versions) — identical "
+          f"probabilities, served from the stale cache")
+
+    # ------------------------------------------------------------------
+    # 4. deadlines: expired work sheds before wasting a slot
+    # ------------------------------------------------------------------
+    with deadline_scope(Deadline.after_ms(0.001)):
+        time.sleep(0.01)
+        try:
+            fleet.score_stream(first)
+        except DeadlineExceeded as err:
+            print(f"expired deadline shed: {err}")
+    with deadline_scope(Deadline.after_ms(60_000)):
+        fleet.score_stream(first)            # generous deadline: invisible
+    print("generous deadline: request served normally")
+
+    # ------------------------------------------------------------------
+    # 5. gray failure -> breaker trip -> failover -> auto-revival
+    # ------------------------------------------------------------------
+    chaos.set_latency(0.05)                  # correct answers, 50 ms late
+    for op in trace.ops:
+        if op.op == "score":
+            fleet.score_stream(op.city)
+    print(f"\ninjected 50ms latency on shard-0: slow_calls="
+          f"{chaos.slow_calls}, breaker transitions so far: "
+          f"{fleet.breaker_transitions('shard-0')}")
+    print(f"down shards while tripped: {fleet.down_shards()}")
+
+    chaos.clear_chaos()                      # fault gone; say nothing
+    deadline = time.monotonic() + 10.0
+    while time.monotonic() < deadline and fleet.down_shards():
+        time.sleep(0.02)                     # background prober at work
+    print(f"after clear_chaos, with NO health call: down="
+          f"{fleet.down_shards()}, transitions: "
+          f"{fleet.breaker_transitions('shard-0')}")
+
+    # ------------------------------------------------------------------
+    # the whole story in one status block (also on /healthz and /stats)
+    # ------------------------------------------------------------------
+    status = fleet.resilience_status()
+    breaker = status["breakers"]["shard-0"]
+    print(f"\nresilience status: shard-0 {breaker['state']} after "
+          f"{breaker['trips']} trip(s); retry budget "
+          f"{status['retry_budget']['balance']:.1f}/"
+          f"{status['retry_budget']['capacity']:.0f}; admission "
+          f"{status['admission']['shed_total']} shed / "
+          f"{status['admission']['attempts']} attempts; degraded served="
+          f"{status['stale_cache']['served']}")
+    fleet.close()
+
+
+if __name__ == "__main__":
+    main()

@@ -40,6 +40,7 @@ scaling across fleet sizes.
 
 from __future__ import annotations
 
+import contextlib
 import threading
 import time
 from collections import OrderedDict
@@ -49,6 +50,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 import numpy as np
 
 from ..obs import MetricsRegistry
+from ..serve.resilience import Deadline, ShedError, deadline_scope
 from .workload import ReplayResult, WorkloadTrace, score_digest
 
 __all__ = [
@@ -61,8 +63,10 @@ __all__ = [
     "format_load_report",
 ]
 
-#: schema marker of the ``BENCH_load.json`` report payloads
-LOAD_SCHEMA_VERSION = 1
+#: schema marker of the ``BENCH_load.json`` report payloads (2: shed /
+#: degraded aware — per-op ``status``, goodput + shed counts in the
+#: summary, deadline support)
+LOAD_SCHEMA_VERSION = 2
 
 #: the latency percentiles every report carries
 _PERCENTILES = (50.0, 95.0, 99.0)
@@ -86,6 +90,11 @@ class LoadConfig:
     rescore_updates: bool = True
     #: per-stream options forwarded to every ``open_stream``
     open_options: Optional[Mapping[str, object]] = None
+    #: per-op deadline budget (milliseconds): each op runs under a fresh
+    #: :func:`~repro.serve.resilience.deadline_scope`, so the budget
+    #: propagates through the router (and over the wire) and work past
+    #: its deadline is shed before compute.  ``None`` = no deadlines
+    deadline_ms: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -95,6 +104,8 @@ class LoadConfig:
                              "saturation mode)")
         if self.warmup_ops < 0:
             raise ValueError("warmup_ops must be >= 0")
+        if self.deadline_ms is not None and self.deadline_ms <= 0:
+            raise ValueError("deadline_ms must be positive (or None)")
 
     @property
     def saturation(self) -> bool:
@@ -105,7 +116,8 @@ class LoadConfig:
                 "arrival_rate": self.arrival_rate,
                 "mode": "saturation" if self.saturation else "open-loop",
                 "warmup_ops": self.warmup_ops,
-                "rescore_updates": self.rescore_updates}
+                "rescore_updates": self.rescore_updates,
+                "deadline_ms": self.deadline_ms}
 
 
 @dataclass
@@ -124,6 +136,15 @@ class OpRecord:
     warmup: bool
     digest: Optional[str] = None
     error: Optional[str] = None
+    #: how the op resolved: ``ok`` (served fresh), ``shed`` (503/504 —
+    #: the service protected itself), ``degraded`` (answered from the
+    #: stale cache, flagged ``degraded: true``), or ``error``
+    status: str = "ok"
+
+    @property
+    def accepted(self) -> bool:
+        """Whether the client got an answer (fresh or degraded)."""
+        return self.status in ("ok", "degraded")
 
     @property
     def latency_s(self) -> float:
@@ -177,14 +198,36 @@ class LoadResult:
 
     # ------------------------------------------------------------------
     def measured(self, kind: Optional[str] = None) -> List[OpRecord]:
-        """Successful post-warm-up records (optionally one op kind)."""
+        """Fresh ``ok`` post-warm-up records (optionally one op kind).
+
+        Shed and degraded ops are excluded: latency/throughput of the
+        *fresh* path is what the scaling gates compare, and only fresh
+        answers are digest-comparable to the serial oracle.
+        """
         return [r for r in self.records
-                if not r.warmup and r.error is None
+                if not r.warmup and r.status == "ok"
                 and (kind is None or r.kind == kind)]
+
+    def accepted(self, kind: Optional[str] = None) -> List[OpRecord]:
+        """Post-warm-up records the client got *an* answer for (fresh or
+        degraded) — the population whose latency must stay bounded under
+        overload."""
+        return [r for r in self.records
+                if not r.warmup and r.accepted
+                and (kind is None or r.kind == kind)]
+
+    def count(self, status: str) -> int:
+        return sum(1 for r in self.records
+                   if not r.warmup and r.status == status)
 
     def latency_summary(self, kind: Optional[str] = None) -> Dict[str, object]:
         return _percentile_summary(
             [r.latency_s for r in self.measured(kind)])
+
+    def accepted_latency_summary(
+            self, kind: Optional[str] = None) -> Dict[str, object]:
+        return _percentile_summary(
+            [r.latency_s for r in self.accepted(kind)])
 
     def throughput(self, kind: Optional[str] = None) -> float:
         """Measured completions per second over the measurement window.
@@ -199,6 +242,13 @@ class LoadResult:
         window = (max(r.ended_s for r in records)
                   - min(r.started_s for r in records))
         return len(records) / window if window > 0 else 0.0
+
+    def goodput(self, kind: str = "score") -> float:
+        """Fresh successful completions per second — shed and degraded
+        answers do not count.  The overload gate's headline number: under
+        2x saturation the service keeps doing useful work instead of
+        collapsing into queueing or retry storms."""
+        return self.throughput(kind)
 
     def per_city_digests(self) -> Dict[str, List[Optional[str]]]:
         """Each city's score-digest sequence in trace order.
@@ -225,17 +275,21 @@ class LoadResult:
             "ops_measured": len(measured),
             "warmup_ops_excluded": warmup,
             "errors": len(self.errors),
+            "sheds": self.count("shed"),
+            "degraded": self.count("degraded"),
             "open_elapsed_s": round(self.open_elapsed_s, 4),
             "elapsed_s": round(self.elapsed_s, 4),
             "throughput": {
                 "overall_ops_per_s": round(self.throughput(), 2),
                 "score_ops_per_s": round(self.throughput("score"), 2),
+                "score_goodput_per_s": round(self.goodput("score"), 2),
             },
             "latency": {
                 "overall": self.latency_summary(),
                 "score": self.latency_summary("score"),
                 "update": self.latency_summary("update"),
                 "evict": self.latency_summary("evict"),
+                "accepted_score": self.accepted_latency_summary("score"),
             },
         }
 
@@ -249,19 +303,35 @@ def _partition_cities(names: Sequence[str],
     return assignment
 
 
-def _issue(backend, op, rescore_updates: bool) -> Optional[str]:
-    """Fire one trace op at the backend; return the score digest."""
+def _is_shed_response(error: BaseException) -> bool:
+    """Shed responses, in-process (:class:`ShedError`) or remote
+    (a 503/504 ``status`` attribute on the client error)."""
+    if isinstance(error, ShedError):
+        return True
+    status = getattr(error, "status", None)
+    return isinstance(status, int) and status in (503, 504)
+
+
+def _issue(backend, op, rescore_updates: bool) -> Tuple[Optional[str], str]:
+    """Fire one trace op at the backend → (score digest, status).
+
+    A degraded answer (``degraded: true`` in the payload — the service
+    served a stale cached score instead of shedding) carries no digest:
+    it is by definition not the oracle's fresh answer for this op.
+    """
     if op.op == "score":
         payload = backend.score_stream(op.city)
-        return score_digest(payload["probabilities"])
+        if payload.get("degraded"):
+            return None, "degraded"
+        return score_digest(payload["probabilities"]), "ok"
     if op.op == "update":
         payload = backend.update_stream(op.city, op.delta,
                                         rescore=rescore_updates)
         if rescore_updates:
-            return score_digest(payload["score"]["probabilities"])
-        return None
+            return score_digest(payload["score"]["probabilities"]), "ok"
+        return None, "ok"
     backend.evict_stream(op.city)
-    return None
+    return None, "ok"
 
 
 def run_load(trace: WorkloadTrace, backend,
@@ -349,27 +419,45 @@ def run_load(trace: WorkloadTrace, backend,
             warmup = position < config.warmup_ops
             digest = None
             error = None
+            status = "ok"
+            scope = (deadline_scope(Deadline.after_ms(config.deadline_ms))
+                     if config.deadline_ms is not None
+                     else contextlib.nullcontext())
             try:
-                digest = _issue(backend, op, config.rescore_updates)
+                with scope:
+                    digest, status = _issue(backend, op,
+                                            config.rescore_updates)
             except Exception as exc:
-                error = f"{type(exc).__name__}: {exc}"
+                if _is_shed_response(exc):
+                    # the service protected itself — by design, not a
+                    # failure.  The op keeps its latency (the client
+                    # waited that long for the 503) but no digest
+                    status = "shed"
+                else:
+                    status = "error"
+                    error = f"{type(exc).__name__}: {exc}"
             ended = time.perf_counter() - t0
             record = OpRecord(index=index, city=op.city, kind=op.op,
                               worker=wid, scheduled_s=scheduled,
                               started_s=started, ended_s=ended,
-                              warmup=warmup, digest=digest, error=error)
+                              warmup=warmup, digest=digest, error=error,
+                              status=status)
             local.append(record)
             if hist is not None:
                 hist.labels(op=op.op).observe(record.latency_s)
             if ops_total is not None:
-                ops_total.labels(
-                    op=op.op, status="error" if error else "ok").inc()
+                ops_total.labels(op=op.op, status=status).inc()
             if error is not None:
                 # later deltas of this worker's cities assume this op
                 # succeeded; continuing would cascade spurious failures
                 with sink_lock:
                     errors.append(f"worker {wid} op {index} "
                                   f"({op.op} {op.city}): {error}")
+                break
+            if status == "shed" and op.op == "update":
+                # a shed update was never applied: every later delta of
+                # this worker's cities builds on it, so the worker must
+                # stop (shed scores/evicts are harmless — carry on)
                 break
         with sink_lock:
             records.extend(local)
@@ -409,6 +497,12 @@ def load_matches_serial_oracle(trace: WorkloadTrace, result: LoadResult,
     concurrency may interleave *different* cities any way the scheduler
     likes, but each individual city's trajectory is bit-determined.
 
+    Shed and degraded ops are skipped: a 503 carries no answer to
+    compare, and a degraded answer is *defined* to be stale.  Every op
+    the service answered fresh (``status == "ok"``) must match the
+    oracle's digest for that exact trace position — under overload the
+    service may answer fewer requests, but never different ones.
+
     Returns ``(identical, mismatches)`` with one human-readable line per
     divergence (including load-run errors, which make the comparison
     fail by construction).
@@ -423,24 +517,21 @@ def load_matches_serial_oracle(trace: WorkloadTrace, result: LoadResult,
         if expected != got:
             mismatches.append(f"opening[{name}]: {got} != {expected}")
 
-    expected_by_city: Dict[str, List[Optional[str]]] = {}
+    expected_digests: List[Optional[str]] = []
     for index, op in enumerate(trace.ops):
-        digest = (oracle.score_digests[index]
-                  if index < len(oracle.score_digests) else
-                  (score_digest(oracle.scores[index])
-                   if oracle.scores[index] is not None else None))
-        expected_by_city.setdefault(op.city, []).append(digest)
-    got_by_city = result.per_city_digests()
-    for city, expected in expected_by_city.items():
-        got = got_by_city.get(city, [])
-        if len(got) != len(expected):
-            mismatches.append(f"{city}: {len(got)} ops issued, oracle ran "
-                              f"{len(expected)}")
-            continue
-        for position, (left, right) in enumerate(zip(got, expected)):
-            if left != right:
-                mismatches.append(f"{city} op #{position}: "
-                                  f"{left} != {right}")
+        expected_digests.append(
+            oracle.score_digests[index]
+            if index < len(oracle.score_digests) else
+            (score_digest(oracle.scores[index])
+             if oracle.scores[index] is not None else None))
+    for record in result.records:
+        if record.status != "ok":
+            continue  # no fresh answer to compare
+        expected = expected_digests[record.index]
+        if record.digest != expected:
+            mismatches.append(f"{record.city} op #{record.index} "
+                              f"({record.kind}): {record.digest} != "
+                              f"{expected}")
     return not mismatches, mismatches
 
 
@@ -460,6 +551,12 @@ def format_load_report(summary: Mapping[str, object]) -> str:
         f"throughput: overall={throughput['overall_ops_per_s']:.1f} ops/s, "
         f"score={throughput['score_ops_per_s']:.1f} ops/s",
     ]
+    sheds = int(summary.get("sheds", 0) or 0)
+    degraded = int(summary.get("degraded", 0) or 0)
+    if sheds or degraded:
+        lines.append(f"resilience: shed={sheds}, degraded={degraded}, "
+                     f"goodput={throughput.get('score_goodput_per_s', 0.0):.1f} "
+                     "score ops/s")
     if latency["count"]:
         lines.append("latency: " + ", ".join(
             f"{key.replace('_ms', '')}={latency[key]:.2f}ms"

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import time
 from dataclasses import replace
 from typing import Optional
 
@@ -35,9 +36,10 @@ from ..bench import (LOAD_SCHEMA_VERSION, ExperimentConfig, LoadConfig,
 from ..durable import DurabilityLog
 from ..obs import MetricsRegistry, parse_prometheus_text
 from ..nn.graphops import plan_cache_info
-from ..serve import (ChaosShard, EngineShard, FleetRouter, InferenceEngine,
-                     ModelRegistry, RemoteShard, ScoringClient, ScoringServer,
-                     read_manifest, save_bundle)
+from ..serve import (AdmissionConfig, BreakerConfig, ChaosShard, EngineShard,
+                     FleetRouter, InferenceEngine, ModelRegistry,
+                     RemoteShard, ResilienceConfig, ScoringClient,
+                     ScoringServer, read_manifest, save_bundle)
 from ..stream import StreamingScorer
 from ..synth import (EvolutionConfig, generate_city, generate_evolution,
                      get_preset)
@@ -225,13 +227,22 @@ def cmd_serve(args: argparse.Namespace) -> int:
     if not registry.models():
         raise ValueError(f"model registry at {args.registry} is empty; "
                          "publish a bundle first with 'repro-uv package'")
+    admission = None
+    if getattr(args, "max_concurrent", None) is not None:
+        admission = AdmissionConfig(
+            max_concurrency=args.max_concurrent,
+            max_queue=getattr(args, "max_queue", 16),
+            queue_timeout_s=getattr(args, "queue_timeout", 1.0))
+    degraded = bool(getattr(args, "degraded", False))
     try:
         server = ScoringServer(
             registry, host=args.host, port=args.port,
             cache_size=args.cache_size,
             batch_size=args.batch_size if args.batch_size > 0 else None,
             max_workers=args.workers, quiet=not args.verbose,
-            wal_dir=args.wal_dir)
+            wal_dir=args.wal_dir,
+            admission=admission, degraded=degraded,
+            degraded_max_version_lag=getattr(args, "max_staleness", 8))
     except OSError as error:
         raise ValueError(
             f"cannot bind {args.host}:{args.port}: {error}") from error
@@ -240,6 +251,16 @@ def cmd_serve(args: argparse.Namespace) -> int:
     if args.wal_dir:
         print(f"durability: write-ahead log at {args.wal_dir} "
               "(background checkpointer running)")
+    if admission is not None or degraded:
+        bits = []
+        if admission is not None:
+            bits.append(f"admission {admission.max_concurrency} concurrent"
+                        f" + {admission.max_queue} queued per endpoint"
+                        " (overflow sheds 503 + Retry-After)")
+        if degraded:
+            bits.append("degraded mode on (stale cached scores, "
+                        f"max staleness {getattr(args, 'max_staleness', 8)})")
+        print("overload protection: " + ", ".join(bits))
     print("endpoints: GET /healthz /models /models/<name> /streams /stats "
           "/metrics  POST /score /update /evict  (Ctrl-C to stop)")
     try:
@@ -398,6 +419,58 @@ def cmd_workload(args: argparse.Namespace) -> int:
     return 0
 
 
+def _format_resilience_line(status: dict) -> str:
+    """One greppable line summarising a fleet's resilience state."""
+    parts = [f"{shard_id}:{entry['state']}(trips={entry['trips']})"
+             for shard_id, entry in sorted(status["breakers"].items())]
+    budget = status["retry_budget"]
+    line = ("resilience: breakers [" + ", ".join(parts) + "], "
+            f"retry budget {budget['balance']:.1f}/"
+            f"{budget['capacity']:.0f} (denied={budget['retries_denied']})")
+    if "admission" in status:
+        admission = status["admission"]
+        line += (f", admission shed={admission['shed_total']}"
+                 f"/{admission['attempts']} attempts")
+    if "stale_cache" in status:
+        cache = status["stale_cache"]
+        line += f", degraded served={cache['served']}"
+    return line
+
+
+def _resilience_from_args(
+        args: argparse.Namespace) -> Optional[ResilienceConfig]:
+    """Build a :class:`ResilienceConfig` from CLI flags, or None.
+
+    Returns None when no resilience-related flag was given, keeping the
+    router on its defaults (breakers + retry budget only).  A
+    ``--chaos slow-shard`` run tunes the breaker's explicit latency
+    threshold to half the injected delay so the gray failure reliably
+    trips it.
+    """
+    max_concurrent = getattr(args, "max_concurrent", None)
+    degraded = bool(getattr(args, "degraded", False))
+    chaos = getattr(args, "chaos", None)
+    if max_concurrent is None and not degraded and chaos is None:
+        return None
+    admission = None
+    if max_concurrent is not None:
+        admission = AdmissionConfig(
+            max_concurrency=max_concurrent,
+            max_queue=getattr(args, "max_queue", 16),
+            queue_timeout_s=getattr(args, "queue_timeout", 1.0))
+    breaker = BreakerConfig()
+    if chaos == "slow-shard":
+        threshold = max(0.001,
+                        getattr(args, "chaos_latency_ms", 80.0) / 2000.0)
+        breaker = BreakerConfig(latency_threshold_s=threshold,
+                                latency_violations=3,
+                                backoff_initial_s=0.1, backoff_max_s=2.0)
+    elif chaos is not None:
+        breaker = BreakerConfig(backoff_initial_s=0.1, backoff_max_s=2.0)
+    return ResilienceConfig(breaker=breaker, admission=admission,
+                            degraded=degraded, probe_interval_s=0.1)
+
+
 def _build_fleet(args: argparse.Namespace, registry: ModelRegistry,
                  metrics: Optional[MetricsRegistry] = None,
                  wal: Optional[DurabilityLog] = None,
@@ -409,6 +482,9 @@ def _build_fleet(args: argparse.Namespace, registry: ModelRegistry,
     num_shards = shards_override if shards_override is not None else args.shards
     replication = (replication_override if replication_override is not None
                    else args.replication)
+    chaos_mode = getattr(args, "chaos", None)
+    chaos_index = (getattr(args, "chaos_shard", 0) % num_shards
+                   if chaos_mode is not None else None)
     shards = []
     for i in range(num_shards):
         if urls:
@@ -423,9 +499,20 @@ def _build_fleet(args: argparse.Namespace, registry: ModelRegistry,
         if getattr(args, "kill_shard", None) is not None \
                 and args.kill_shard == i:
             shard = ChaosShard(shard, fail_after=args.kill_after)
+        elif chaos_index == i:
+            chaos = ChaosShard(shard, seed=getattr(args, "workload_seed", 0))
+            if chaos_mode == "slow-shard":
+                chaos.set_latency(getattr(args, "chaos_latency_ms", 80.0)
+                                  / 1000.0)
+            elif chaos_mode == "flaky":
+                chaos.set_flaky(getattr(args, "chaos_flaky_rate", 0.2))
+            elif chaos_mode == "kill":
+                chaos.fail_after = getattr(args, "kill_after", 5)
+            shard = chaos
         shards.append(shard)
     return FleetRouter(shards, replication=replication, metrics=metrics,
-                       wal=wal, request_timeout=timeout)
+                       wal=wal, request_timeout=timeout,
+                       resilience=_resilience_from_args(args))
 
 
 def cmd_fleet(args: argparse.Namespace) -> int:
@@ -514,6 +601,7 @@ def cmd_fleet(args: argparse.Namespace) -> int:
         f"{key}={fleet_counters[key]}"
         for key in ("requests", "failovers", "shard_failures",
                     "reopened_streams", "no_replica_errors")))
+    print(_format_resilience_line(fleet.resilience_status()))
     print("totals: cache hits=%(hits)d misses=%(misses)d "
           "(hit rate %(hit_rate).2f)" % totals["cache"]
           + f", cold_computes={totals['cold_computes']}"
@@ -586,6 +674,10 @@ def cmd_load(args: argparse.Namespace) -> int:
     summary = trace.summary()
     mode = (f"open-loop {args.arrival_rate:g} ops/s" if args.arrival_rate
             else "closed-loop saturation")
+    if getattr(args, "deadline_ms", None):
+        mode += f", {args.deadline_ms:g}ms deadline/op"
+    if getattr(args, "chaos", None):
+        mode += f", chaos={args.chaos} on shard {args.chaos_shard}"
     print(f"loading trace '{trace.name}': %(cities)d cities, %(ops)d ops "
           "(score %(score)d / update %(update)d / evict %(evict)d) " % summary
           + f"with {args.workers} workers, {mode}, "
@@ -594,6 +686,7 @@ def cmd_load(args: argparse.Namespace) -> int:
     config = LoadConfig(workers=args.workers,
                         arrival_rate=args.arrival_rate or None,
                         warmup_ops=args.warmup,
+                        deadline_ms=getattr(args, "deadline_ms", None),
                         open_options={"incremental": args.incremental})
     oracle = None
     if args.verify_single:
@@ -616,13 +709,34 @@ def cmd_load(args: argparse.Namespace) -> int:
                              shards_override=size,
                              replication_override=replication)
         result = run_load(trace, fleet, config, metrics=obs)
-        fleet.close()
         run_summary = result.summary()
         run_summary["shards"] = size
         run_summary["replication"] = replication
         print()
         print(f"--- {size} shard(s), replication {replication} ---")
         print(format_load_report(run_summary))
+        if getattr(args, "chaos", None) is not None:
+            victim = f"shard-{args.chaos_shard % size}"
+            chaos = fleet.backend(victim)
+            transitions = fleet.breaker_transitions(victim)
+            print(f"chaos[{args.chaos}] on {victim}: "
+                  f"slow_calls={chaos.slow_calls} "
+                  f"failed_calls={chaos.failed_calls} "
+                  f"breaker_transitions={transitions}")
+            # end-of-run recovery: clear the fault and give the
+            # background prober a bounded window to close the breaker
+            chaos.clear_chaos()
+            give_up = time.monotonic() + 5.0
+            while time.monotonic() < give_up and fleet.down_shards():
+                time.sleep(0.05)
+            down = fleet.down_shards()
+            print("chaos cleared: "
+                  + ("all breakers closed (auto-revived)" if not down
+                     else f"breakers still open: {down}"))
+        status = fleet.resilience_status()
+        print(_format_resilience_line(status))
+        run_summary["resilience"] = status
+        fleet.close()
         if oracle is not None:
             identical, mismatches = load_matches_serial_oracle(
                 trace, result, oracle)

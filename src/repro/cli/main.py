@@ -179,6 +179,23 @@ def build_parser() -> argparse.ArgumentParser:
                        help="durability root: write-ahead-log every stream "
                             "delta and checkpoint snapshots in the "
                             "background")
+    serve.add_argument("--max-concurrent", type=int, default=None,
+                       help="admission control: per-endpoint concurrency "
+                            "bound; overflow queues then sheds 503 + "
+                            "Retry-After (default: unbounded)")
+    serve.add_argument("--max-queue", type=int, default=16,
+                       help="admission queue depth beyond the concurrency "
+                            "bound before requests shed immediately")
+    serve.add_argument("--queue-timeout", type=float, default=1.0,
+                       help="seconds a request may wait in the admission "
+                            "queue before shedding with 503")
+    serve.add_argument("--degraded", action="store_true",
+                       help="serve stale cached scores (flagged "
+                            "degraded=true) instead of shedding warm "
+                            "streams under overload")
+    serve.add_argument("--max-staleness", type=int, default=8,
+                       help="degraded mode: max stream-version lag a stale "
+                            "cached score may have before shedding anyway")
     serve.set_defaults(handler=commands.cmd_serve)
 
     # ------------------------------------------------------------------
@@ -401,6 +418,40 @@ def build_parser() -> argparse.ArgumentParser:
     load.add_argument("--json", default=None,
                       help="write the schema-pinned BENCH_load.json report "
                            "to this path")
+    load.add_argument("--deadline-ms", type=float, default=None,
+                      help="attach this per-op deadline so slow requests "
+                           "are shed server-side with 504 instead of "
+                           "queueing forever")
+    load.add_argument("--max-concurrent", type=int, default=None,
+                      help="admission control on the fleet router: "
+                           "per-endpoint concurrency bound, overflow "
+                           "queues then sheds (default: unbounded)")
+    load.add_argument("--max-queue", type=int, default=16,
+                      help="admission queue depth beyond the concurrency "
+                           "bound before requests shed immediately")
+    load.add_argument("--queue-timeout", type=float, default=1.0,
+                      help="seconds a request may wait in the admission "
+                           "queue before shedding")
+    load.add_argument("--degraded", action="store_true",
+                      help="serve stale cached scores (flagged degraded) "
+                           "instead of shedding warm streams under "
+                           "overload")
+    load.add_argument("--chaos", default=None,
+                      choices=("slow-shard", "flaky", "kill"),
+                      help="inject a fault into one shard of every fleet: "
+                           "fixed latency (gray failure), seeded random "
+                           "errors, or a hard kill — breakers and failover "
+                           "must absorb it; chaos is cleared at the end of "
+                           "each run and auto-revival is reported")
+    load.add_argument("--chaos-shard", type=int, default=0,
+                      help="shard index the chaos wraps (mod fleet size)")
+    load.add_argument("--chaos-latency-ms", type=float, default=80.0,
+                      help="injected per-call latency of --chaos slow-shard")
+    load.add_argument("--chaos-flaky-rate", type=float, default=0.2,
+                      help="per-call failure probability of --chaos flaky")
+    load.add_argument("--kill-after", type=int, default=5,
+                      help="delegated calls before --chaos kill fails the "
+                           "shard")
     load.set_defaults(handler=commands.cmd_load)
 
     # ------------------------------------------------------------------

@@ -26,7 +26,14 @@ fitted detector, then score many cities fast:
   :class:`FleetRouter` spreading cities across N shard workers
   (:class:`EngineShard` in-process, :class:`RemoteShard` over HTTP) with
   replication, health checks and lossless failover, paired with the
-  deterministic workload traces in :mod:`repro.bench.workload`.
+  deterministic workload traces in :mod:`repro.bench.workload`;
+* :mod:`repro.serve.resilience` — overload protection and graceful
+  degradation: per-endpoint :class:`AdmissionController`\\ s (bounded
+  concurrency + queue, shed with ``503 + Retry-After``), per-shard
+  :class:`CircuitBreaker`\\ s with gray-failure detection and
+  self-reviving half-open probes, a fleet-wide :class:`RetryBudget`,
+  propagated request deadlines (:func:`deadline_scope`), and an opt-in
+  degraded mode answering shed scores from bounded-staleness cache.
 
 Every layer reports into a :mod:`repro.obs` metrics registry (the
 process-global one by default, injectable via each component's
@@ -43,6 +50,11 @@ from .fleet import (ChaosShard, ConsistentHashRing, EngineShard, FleetError,
                     FleetRouter, FleetStats, RemoteShard, ShardBackend,
                     ShardFailure)
 from .registry import ModelRegistry
+from .resilience import (DEADLINE_HEADER, AdmissionConfig,
+                         AdmissionController, BreakerConfig, CircuitBreaker,
+                         Deadline, DeadlineExceeded, ResilienceConfig,
+                         RetryBudget, ShedError, StaleScoreCache,
+                         current_deadline, deadline_scope)
 from .server import ScoringServer
 
 __all__ = [
@@ -66,4 +78,17 @@ __all__ = [
     "FleetStats",
     "FleetError",
     "ShardFailure",
+    "DEADLINE_HEADER",
+    "AdmissionConfig",
+    "AdmissionController",
+    "BreakerConfig",
+    "CircuitBreaker",
+    "Deadline",
+    "DeadlineExceeded",
+    "ResilienceConfig",
+    "RetryBudget",
+    "ShedError",
+    "StaleScoreCache",
+    "current_deadline",
+    "deadline_scope",
 ]

@@ -32,15 +32,29 @@ import numpy as np
 
 from ..stream.delta import GraphDelta
 from ..urg.graph import UrbanRegionGraph
+from .resilience import DEADLINE_HEADER, remaining_ms_header
 from .wire import delta_to_payload, graph_to_payload
 
 
 class ScoringServiceError(RuntimeError):
-    """Raised when the service answers with an error status."""
+    """Raised when the service answers with an error status.
 
-    def __init__(self, status: int, message: str) -> None:
+    Shed responses (503 overload / 504 deadline) carry the server's
+    ``Retry-After`` backoff hint as :attr:`retry_after_s`; the fleet
+    layer treats them as *healthy-but-overloaded*, never as shard
+    failures.
+    """
+
+    def __init__(self, status: int, message: str,
+                 retry_after_s: Optional[float] = None) -> None:
         super().__init__(f"scoring service returned {status}: {message}")
         self.status = status
+        self.retry_after_s = retry_after_s
+
+    @property
+    def shed(self) -> bool:
+        """Whether this is a load-shed response, not a failure."""
+        return self.status in (503, 504)
 
 
 #: send/parse failures on a *reused* connection that mean the server
@@ -136,15 +150,24 @@ class ScoringClient:
             self._pool.append(conn)
 
     def _raw_request(self, path: str, body: Optional[bytes],
-                     accept: str) -> Tuple[int, str, bytes]:
-        """One request over a pooled connection → (status, reason, body).
+                     accept: str) -> Tuple[int, str, bytes, Optional[str]]:
+        """One request over a pooled connection →
+        (status, reason, body, retry_after).
 
         A stale reused connection (server closed it while we were idle)
         is retried once on a fresh dial; errors on a fresh connection
         propagate — the server is actually unreachable or hung.
+
+        When the calling thread has an active deadline
+        (:func:`~repro.serve.resilience.deadline_scope`), the remaining
+        budget travels as the ``X-Repro-Deadline-Ms`` header so the
+        server can shed work nobody is waiting for anymore.
         """
         url = self._path_prefix + path
         headers = {"Accept": accept, "Connection": "keep-alive"}
+        budget_ms = remaining_ms_header()
+        if budget_ms is not None:
+            headers[DEADLINE_HEADER] = budget_ms
         method = "GET"
         if body is not None:
             method = "POST"
@@ -171,7 +194,8 @@ class ScoringClient:
                 conn.close()
             else:
                 self._release(conn)
-            return response.status, str(response.reason or ""), payload
+            return (response.status, str(response.reason or ""), payload,
+                    response.getheader("Retry-After"))
         raise ScoringServiceError(  # pragma: no cover — loop always returns
             0, f"cannot reach {self.base_url + path}")
 
@@ -179,7 +203,7 @@ class ScoringClient:
         url = self.base_url + path
         data = json.dumps(body).encode("utf-8") if body is not None else None
         try:
-            status, reason, raw = self._raw_request(
+            status, reason, raw, retry_after = self._raw_request(
                 path, data, accept="application/json")
         except ScoringServiceError:
             raise
@@ -192,7 +216,14 @@ class ScoringClient:
                 detail = json.loads(raw.decode("utf-8")).get("error", "")
             except Exception:
                 detail = reason
-            raise ScoringServiceError(status, str(detail or reason))
+            retry_after_s = None
+            if retry_after is not None:
+                try:
+                    retry_after_s = float(retry_after)
+                except ValueError:
+                    pass
+            raise ScoringServiceError(status, str(detail or reason),
+                                      retry_after_s=retry_after_s)
         return json.loads(raw.decode("utf-8"))
 
     # ------------------------------------------------------------------
@@ -234,7 +265,7 @@ class ScoringClient:
         """
         url = self.base_url + "/metrics"
         try:
-            status, reason, raw = self._raw_request(
+            status, reason, raw, _ = self._raw_request(
                 "/metrics", None, accept="text/plain")
         except ScoringServiceError:
             raise

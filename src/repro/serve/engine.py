@@ -51,6 +51,7 @@ from ..nn.tensor import dtype_scope, no_grad
 from ..obs import MetricsRegistry, default_registry
 from ..urg.graph import UrbanRegionGraph
 from .bundle import ModelBundle, load_bundle
+from .resilience import check_deadline
 
 
 @dataclass
@@ -432,6 +433,10 @@ class InferenceEngine:
         passes the one it already paid for); leave it ``None`` otherwise.
         """
         start = time.perf_counter()
+        # a request whose propagated deadline already passed is shed
+        # before the forward pass — finishing work nobody is waiting for
+        # only steals capacity from requests that can still make it
+        check_deadline("engine score")
         # validate the request before paying the forward pass, so malformed
         # input fails fast and cheap
         region_index, top_percent = self.validate_request(graph, regions,

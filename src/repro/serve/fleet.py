@@ -34,11 +34,23 @@ score trajectories bit-identical.
 Failure semantics: a backend call that raises :class:`ShardFailure`,
 ``TimeoutError`` / ``ConnectionError`` / ``OSError``, or a
 :class:`~repro.serve.client.ScoringServiceError` with status 0 (transport)
-or >= 500 marks the shard down and triggers failover.  Client errors
-(``ValueError``, 400/404 responses) propagate to the caller unchanged —
-a malformed delta must not poison a healthy shard's standing.  Down
-shards are revived by :meth:`FleetRouter.health` once they answer their
-health check again.
+or >= 500 (except 503/504 — those are *shed* responses from a healthy,
+overloaded shard) trips the shard's circuit breaker and triggers
+failover.  Client errors (``ValueError``, 400/404 responses) propagate
+to the caller unchanged — a malformed delta must not poison a healthy
+shard's standing.
+
+Shard health is a per-shard :class:`~repro.serve.resilience.CircuitBreaker`
+(closed / open / half-open), not a binary down-set: breakers also trip
+on *gray failure* (a shard answering far above its own p99), and an
+open breaker revives itself — after a jittered exponential backoff the
+router's background prober (plus the request path, for active shards)
+sends a single half-open probe, and one success closes the breaker.  No
+explicit :meth:`FleetRouter.health` call is needed, though one still
+forces an immediate verdict.  Failover retries draw from a fleet-wide
+:class:`~repro.serve.resilience.RetryBudget` so a failure storm cannot
+amplify overload, and requests whose propagated deadline already passed
+are shed before any shard does work.
 """
 
 from __future__ import annotations
@@ -46,11 +58,12 @@ from __future__ import annotations
 import bisect
 import hashlib
 import itertools
+import random
 import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..durable.snapshot import SnapshotState
 from ..durable.wal import (DurabilityError, DurabilityLog, RecoveredStream,
@@ -61,6 +74,9 @@ from ..stream.scorer import StreamingScorer
 from ..urg.graph import UrbanRegionGraph
 from .client import ScoringClient, ScoringServiceError
 from .engine import InferenceEngine
+from .resilience import (AdmissionController, CircuitBreaker,
+                         DeadlineExceeded, ResilienceConfig, ShedError,
+                         StaleScoreCache, check_deadline, deadline_scope)
 
 __all__ = [
     "ConsistentHashRing",
@@ -88,16 +104,24 @@ def is_shard_failure(error: BaseException) -> bool:
     """Whether ``error`` means the *shard* is broken (vs. the request).
 
     Shard-fatal: :class:`ShardFailure`, timeouts, connection/OS errors and
-    transport-level or 5xx :class:`ScoringServiceError`.  Everything else
-    (``ValueError`` on a malformed delta, a 400/404 response) is a request
-    problem and must propagate to the caller without failover.
+    transport-level or 5xx :class:`ScoringServiceError` — except 503 and
+    504, which are overload-control responses from a shard that is
+    *healthy* and protecting itself (failing those over would amplify
+    exactly the overload being shed).  Local :class:`ShedError` /
+    :class:`DeadlineExceeded` likewise say nothing about shard health.
+    Everything else (``ValueError`` on a malformed delta, a 400/404
+    response) is a request problem and must propagate to the caller
+    without failover.
     """
+    if isinstance(error, ShedError):
+        return False
     if isinstance(error, ShardFailure):
         return True
     if isinstance(error, (TimeoutError, ConnectionError, OSError)):
         return True
     if isinstance(error, ScoringServiceError):
-        return error.status == 0 or error.status >= 500
+        return (error.status == 0
+                or (error.status >= 500 and error.status not in (503, 504)))
     return False
 
 
@@ -328,8 +352,9 @@ class EngineShard(ShardBackend):
 
     def score_stream(self, name: str, regions=None,
                      top_percent=None) -> Dict[str, object]:
-        result = self._scorer(name).score(regions=regions,
-                                          top_percent=top_percent)
+        scorer = self._scorer(name)
+        check_deadline("shard score")  # shed before compute, not after
+        result = scorer.score(regions=regions, top_percent=top_percent)
         payload = result.to_dict()
         payload["stream"] = name
         payload["shard"] = self.shard_id
@@ -337,9 +362,15 @@ class EngineShard(ShardBackend):
 
     def update_stream(self, name: str, delta: GraphDelta, rescore: bool = True,
                       regions=None, top_percent=None) -> Dict[str, object]:
-        update = self._scorer(name).update(delta, rescore=rescore,
-                                           regions=regions,
-                                           top_percent=top_percent)
+        scorer = self._scorer(name)
+        check_deadline("shard update")
+        # mask the deadline past this point: aborting a half-applied
+        # delta for a missed deadline would cost exactly-once semantics
+        # far more than the late answer costs capacity
+        with deadline_scope(None):
+            update = scorer.update(delta, rescore=rescore,
+                                   regions=regions,
+                                   top_percent=top_percent)
         payload = update.to_dict()
         payload["stream"] = name
         payload["shard"] = self.shard_id
@@ -529,20 +560,41 @@ class RemoteShard(ShardBackend):
 class ChaosShard(ShardBackend):
     """Fault-injection wrapper: delegate to ``inner`` until told to fail.
 
-    Used by the chaos tests and ``repro-uv fleet --kill-shard``.  After
-    :meth:`fail` (or once ``fail_after`` delegated calls have happened)
-    every call — including the health check — raises
-    :class:`ShardFailure` until :meth:`recover`.
+    Used by the chaos tests and ``repro-uv fleet --kill-shard`` /
+    ``repro-uv load --chaos``.  Beyond the original hard kill, it
+    injects the *gray* failure modes the circuit breakers exist for —
+    all seeded, so breaker-tripping tests are deterministic:
+
+    * **hard failure** — after :meth:`fail` (or once ``fail_after``
+      delegated calls happened) every call, including the health check,
+      raises :class:`ShardFailure` until :meth:`recover`;
+    * **latency** — :meth:`set_latency` sleeps a fixed (optionally
+      jittered) delay before every delegated call: the shard still
+      answers correctly, just uselessly late;
+    * **slow ramp** — :meth:`set_ramp` adds ``step_s`` *per call*, the
+      classic slowly-degrading-replica pattern (leak, full disk);
+    * **flaky errors** — :meth:`set_flaky` makes each call fail with
+      probability ``rate`` from a seeded RNG: intermittent, not dead.
     """
 
     def __init__(self, inner: ShardBackend, fail_after: Optional[int] = None,
-                 error_factory=None) -> None:
+                 error_factory=None, latency_s: float = 0.0,
+                 latency_jitter_s: float = 0.0, ramp_step_s: float = 0.0,
+                 flaky_rate: float = 0.0, seed: int = 0) -> None:
         self.inner = inner
         self.shard_id = inner.shard_id
         self.fail_after = fail_after
         self.calls = 0
         self.failed_calls = 0
+        self.slow_calls = 0
+        self.flaky_failures = 0
         self._failing = False
+        self._latency_s = float(latency_s)
+        self._latency_jitter_s = float(latency_jitter_s)
+        self._ramp_step_s = float(ramp_step_s)
+        self._ramp_base_call = 0
+        self._flaky_rate = float(flaky_rate)
+        self._rng = random.Random(seed)
         self._error_factory = error_factory or (
             lambda: ShardFailure(f"injected failure on shard "
                                  f"{self.shard_id!r}"))
@@ -556,6 +608,39 @@ class ChaosShard(ShardBackend):
         with self._lock:
             self._failing = False
             self.fail_after = None
+
+    def set_latency(self, latency_s: float, jitter_s: float = 0.0) -> None:
+        """Delay every delegated call by ``latency_s`` (+ uniform jitter)."""
+        if latency_s < 0 or jitter_s < 0:
+            raise ValueError("latency and jitter must be >= 0")
+        with self._lock:
+            self._latency_s = float(latency_s)
+            self._latency_jitter_s = float(jitter_s)
+
+    def set_ramp(self, step_s: float) -> None:
+        """Grow the injected delay by ``step_s`` per call from now on."""
+        if step_s < 0:
+            raise ValueError("ramp step must be >= 0")
+        with self._lock:
+            self._ramp_step_s = float(step_s)
+            self._ramp_base_call = self.calls
+
+    def set_flaky(self, rate: float) -> None:
+        """Fail each call with probability ``rate`` (seeded RNG)."""
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError("flaky rate must be in [0, 1]")
+        with self._lock:
+            self._flaky_rate = float(rate)
+
+    def clear_chaos(self) -> None:
+        """Back to a fully healthy pass-through (latency/flaky/failing off)."""
+        with self._lock:
+            self._failing = False
+            self.fail_after = None
+            self._latency_s = 0.0
+            self._latency_jitter_s = 0.0
+            self._ramp_step_s = 0.0
+            self._flaky_rate = 0.0
 
     @property
     def failing(self) -> bool:
@@ -571,6 +656,22 @@ class ChaosShard(ShardBackend):
             if self._failing:
                 self.failed_calls += 1
                 raise self._error_factory()
+            if self._flaky_rate and self._rng.random() < self._flaky_rate:
+                self.failed_calls += 1
+                self.flaky_failures += 1
+                raise self._error_factory()
+            delay = self._latency_s
+            if self._ramp_step_s:
+                delay += self._ramp_step_s * max(
+                    0, self.calls - self._ramp_base_call)
+            if self._latency_jitter_s:
+                delay += self._rng.uniform(0.0, self._latency_jitter_s)
+            if delay > 0:
+                self.slow_calls += 1
+        if delay > 0:
+            # sleep outside the lock: a slow shard must not serialise the
+            # healthy calls of tests poking counters concurrently
+            time.sleep(delay)
 
     def open_stream(self, name, graph, rescore=True, **options):
         self._gate()
@@ -628,6 +729,12 @@ class FleetStats:
     reopened_streams: int = 0
     #: requests that found no healthy replica at all
     no_replica_errors: int = 0
+    #: requests shed by overload control (admission or deadline)
+    sheds: int = 0
+    #: shed scores answered from the stale cache (degraded mode)
+    degraded_served: int = 0
+    #: failover retries refused by the retry budget
+    retries_denied: int = 0
 
     @property
     def requests(self) -> int:
@@ -643,7 +750,10 @@ class FleetStats:
                 "failovers": self.failovers,
                 "shard_failures": self.shard_failures,
                 "reopened_streams": self.reopened_streams,
-                "no_replica_errors": self.no_replica_errors}
+                "no_replica_errors": self.no_replica_errors,
+                "sheds": self.sheds,
+                "degraded_served": self.degraded_served,
+                "retries_denied": self.retries_denied}
 
 
 @dataclass
@@ -697,6 +807,14 @@ class FleetRouter(ShardBackend):
         so a hung shard fails over within this bound instead of each
         transport's own default.  In-process shards have no transport
         and ignore it.
+    resilience:
+        A :class:`~repro.serve.resilience.ResilienceConfig` tuning the
+        per-shard circuit breakers, the fleet-wide retry budget, the
+        background half-open prober and the optional score-path
+        admission control / degraded mode.  The default keeps failover
+        behaviour compatible with the old binary down-set (one
+        shard-fatal failure excludes a shard) while adding automatic
+        revival; admission and degraded mode stay off until configured.
 
     The router holds the authoritative current graph of every open city
     (updated only after a shard accepted the delta), which is what makes
@@ -707,13 +825,14 @@ class FleetRouter(ShardBackend):
 
     Locking is fine-grained so concurrent requests to *different* cities
     never contend: each city has its own lock (held for updates/evicts
-    and failover, not for fast-path scores), the down-shard set is a
-    copy-on-write ``frozenset`` read without any lock, the city table is
-    only locked for mutation (``_structure_lock``), and the fleet-wide
-    request counters sit behind their own tiny ``_stats_lock`` whose
-    critical sections are single integer increments.  No lock is ever
-    held across a shard call except the per-city lock, whose scope is
-    exactly the city the request is for.
+    and failover, not for fast-path scores), shard health is one
+    internally-locked breaker per shard (checked lock-free relative to
+    the router), the city table is only locked for mutation
+    (``_structure_lock``), and the fleet-wide request counters sit
+    behind their own tiny ``_stats_lock`` whose critical sections are
+    single integer increments.  No lock is ever held across a shard
+    call except the per-city lock, whose scope is exactly the city the
+    request is for.
     """
 
     def __init__(self, backends: Sequence[ShardBackend],
@@ -721,7 +840,8 @@ class FleetRouter(ShardBackend):
                  name: str = "fleet",
                  metrics: Optional[MetricsRegistry] = None,
                  wal: Optional[DurabilityLog] = None,
-                 request_timeout: Optional[float] = None) -> None:
+                 request_timeout: Optional[float] = None,
+                 resilience: Optional[ResilienceConfig] = None) -> None:
         backends = list(backends)
         if not backends:
             raise ValueError("a fleet needs at least one shard backend")
@@ -738,12 +858,9 @@ class FleetRouter(ShardBackend):
         self._backends: "OrderedDict[str, ShardBackend]" = OrderedDict(
             (backend.shard_id, backend) for backend in backends)
         self._ring = ConsistentHashRing(list(self._backends), vnodes=vnodes)
-        #: copy-on-write: replaced (never mutated) under _structure_lock,
-        #: read lock-free on every request's hot path
-        self._down: frozenset = frozenset()
         self._cities: Dict[str, _CityState] = {}
         self._wal = wal
-        #: guards _cities / _down *mutation* (reads are lock-free)
+        #: guards _cities *mutation* (reads are lock-free)
         self._structure_lock = threading.Lock()
         #: guards the fleet_stats counters, single-increment sections only
         self._stats_lock = threading.Lock()
@@ -776,8 +893,59 @@ class FleetRouter(ShardBackend):
             "repro_fleet_shard_healthy",
             "Whether the router considers a shard healthy (1) or down (0).",
             labelnames=("fleet", "shard"))
+        # --- resilience layer ------------------------------------------
+        self.resilience = resilience or ResilienceConfig()
+        self._m_breaker_state = self.metrics.gauge(
+            "repro_resilience_breaker_state",
+            "Per-shard circuit breaker state: 0=closed, 1=half_open, "
+            "2=open.",
+            labelnames=("fleet", "shard"))
+        self._m_breaker_transitions = self.metrics.counter(
+            "repro_resilience_breaker_transitions_total",
+            "Circuit breaker state transitions, by shard and edge.",
+            labelnames=("fleet", "shard", "from_state", "to_state"))
+        self._m_probes = self.metrics.counter(
+            "repro_resilience_probes_total",
+            "Background half-open health probes, by shard and outcome.",
+            labelnames=("fleet", "shard", "outcome"))
+        self._m_retry_budget = self.metrics.gauge(
+            "repro_resilience_retry_budget_balance",
+            "Tokens left in the fleet's failover retry budget.",
+            labelnames=("fleet",)).labels(fleet=name)
+        self._m_retries = self.metrics.counter(
+            "repro_resilience_retries_total",
+            "Failover retries drawn against the retry budget, by outcome.",
+            labelnames=("fleet", "outcome"))
+        self._m_degraded = self.metrics.counter(
+            "repro_resilience_degraded_total",
+            "Shed scores answered from the stale cache (degraded mode).",
+            labelnames=("component",)).labels(component=name)
+        self._m_deadline_sheds = self.metrics.counter(
+            "repro_resilience_deadline_shed_total",
+            "Requests shed because their propagated deadline had passed.",
+            labelnames=("component",)).labels(component=name)
+        self._breakers: Dict[str, CircuitBreaker] = {
+            shard_id: CircuitBreaker(shard_id, self.resilience.breaker,
+                                     on_transition=self._on_breaker_transition)
+            for shard_id in self._backends}
+        self._retry_budget = self.resilience.build_retry_budget()
+        self._m_retry_budget.set(self._retry_budget.balance())
+        self._admission = None
+        if self.resilience.admission is not None:
+            self._admission = AdmissionController(
+                "score", self.resilience.admission).bind_metrics(
+                    self.metrics, component=name)
+        self._stale: Optional[StaleScoreCache] = None
+        if self.resilience.degraded:
+            self._stale = StaleScoreCache(
+                max_version_lag=self.resilience.degraded_max_version_lag)
+        self._prober: Optional[threading.Thread] = None
+        self._prober_stop = threading.Event()
+        self._prober_lock = threading.Lock()
+        self._closed = False
         for shard_id in self._backends:
             self._m_shard_healthy.labels(fleet=name, shard=shard_id).set(1)
+            self._m_breaker_state.labels(fleet=name, shard=shard_id).set(0)
 
     def _observe_request(self, op: str, shard_id: str, start: float) -> None:
         """Record one routed request (serving shard + end-to-end latency)."""
@@ -800,7 +968,15 @@ class FleetRouter(ShardBackend):
         return self._backends[shard_id]
 
     def down_shards(self) -> List[str]:
-        return sorted(self._down)  # copy-on-write frozenset: lock-free read
+        """Shards the router currently routes around (breaker not closed)."""
+        return sorted(shard_id for shard_id, breaker in self._breakers.items()
+                      if breaker.state != "closed")
+
+    def breaker_transitions(self, shard_id: str) -> List[Tuple[str, str]]:
+        """One shard's breaker transition log, oldest first — the tests
+        and the overload benchmark assert full trip→probe→close cycles
+        against this."""
+        return list(self._breakers[shard_id].transitions)
 
     def route(self, key: str) -> List[str]:
         """Replica set (ring order) for a routing key."""
@@ -819,45 +995,120 @@ class FleetRouter(ShardBackend):
     # ------------------------------------------------------------------
     # health
     # ------------------------------------------------------------------
+    def _on_breaker_transition(self, shard_id: str, old: str,
+                               new: str) -> None:
+        """Breaker state-change hook: metrics + lazy prober start.
+
+        Called with the breaker's internal lock held, so it must never
+        call back into the breaker — the new state arrives as an
+        argument and the gauge value is derived from it directly.
+        """
+        value = {"closed": 0, "half_open": 1, "open": 2}[new]
+        self._m_breaker_state.labels(fleet=self.name, shard=shard_id).set(
+            value)
+        self._m_breaker_transitions.labels(
+            fleet=self.name, shard=shard_id,
+            from_state=old, to_state=new).inc()
+        self._m_shard_healthy.labels(fleet=self.name, shard=shard_id).set(
+            1 if new == "closed" else 0)
+        if new == "open":
+            self._ensure_prober()
+
+    def _ensure_prober(self) -> None:
+        """Start the background half-open prober on the first trip.
+
+        Request-path probing alone cannot revive a shard nobody routes
+        to anymore (failover moved every city's ``active`` away from
+        it), so a daemon thread periodically health-checks every
+        non-closed breaker's backend and reports the outcome — that is
+        what makes kill→recover→auto-revival work with no explicit
+        ``health()`` call.
+        """
+        if self.resilience.probe_interval_s is None or self._closed:
+            return
+        with self._prober_lock:
+            if self._prober is not None and self._prober.is_alive():
+                return
+            self._prober_stop.clear()
+            self._prober = threading.Thread(
+                target=self._probe_loop, name=f"{self.name}-prober",
+                daemon=True)
+            self._prober.start()
+
+    def _probe_loop(self) -> None:
+        interval = float(self.resilience.probe_interval_s or 0.25)
+        while not self._prober_stop.wait(interval):
+            for shard_id, breaker in self._breakers.items():
+                if breaker.state == "closed":
+                    continue
+                if not breaker.allow():  # backoff not elapsed yet
+                    continue
+                start = time.perf_counter()
+                try:
+                    self._backends[shard_id].healthz()
+                except Exception:
+                    breaker.record_failure()
+                    self._m_probes.labels(fleet=self.name, shard=shard_id,
+                                          outcome="failure").inc()
+                else:
+                    breaker.record_success(time.perf_counter() - start)
+                    self._m_probes.labels(fleet=self.name, shard=shard_id,
+                                          outcome="success").inc()
+
     def _note_failure(self, shard_id: str) -> None:
-        with self._structure_lock:
-            self._down = self._down | {shard_id}
+        self._breakers[shard_id].record_failure()
         with self._stats_lock:
             self.fleet_stats.shard_failures += 1
         self._m_shard_failures.labels(fleet=self.name, shard=shard_id).inc()
-        self._m_shard_healthy.labels(fleet=self.name, shard=shard_id).set(0)
 
-    def _mark_up(self, shard_id: str) -> None:
-        with self._structure_lock:
-            self._down = self._down - {shard_id}
+    def _note_success(self, shard_id: str,
+                      latency_s: Optional[float] = None) -> None:
+        """A backend call completed (even if the request logically
+        failed): the shard is alive.  ``latency_s`` feeds gray-failure
+        detection; pass None for calls whose duration is not a fair
+        latency sample (errors, materialisations)."""
+        self._breakers[shard_id].record_success(latency_s)
 
     def health(self) -> Dict[str, object]:
-        """Probe every shard; mark failures down, revive recoveries."""
+        """Probe every shard; trip breakers on failure, close on success.
+
+        Kept for compatibility and for operators who want an immediate
+        answer — the background prober makes calling this optional.
+        """
         report: Dict[str, object] = {}
         for shard_id, backend in self._backends.items():
+            breaker = self._breakers[shard_id]
             try:
                 payload = backend.healthz()
-            except Exception as error:  # any probe failure marks it down
-                with self._structure_lock:
-                    self._down = self._down | {shard_id}
-                self._m_shard_healthy.labels(fleet=self.name,
-                                             shard=shard_id).set(0)
+            except Exception as error:  # any probe failure trips it
+                breaker.force_open()
                 report[shard_id] = {"healthy": False, "error": str(error)}
                 continue
-            self._mark_up(shard_id)
-            self._m_shard_healthy.labels(fleet=self.name,
-                                         shard=shard_id).set(1)
+            breaker.force_close()
             entry = {"healthy": True}
             if isinstance(payload, dict):
                 entry.update(payload)
             report[shard_id] = entry
-        down = sorted(self._down)
+        down = self.down_shards()
         return {"shards": report,
                 "healthy": [sid for sid in self._backends if sid not in down],
                 "down": down}
 
+    def resilience_status(self) -> Dict[str, object]:
+        """The ``/healthz`` / ``/stats`` resilience block."""
+        status: Dict[str, object] = {
+            "breakers": {shard_id: breaker.describe()
+                         for shard_id, breaker in self._breakers.items()},
+            "retry_budget": self._retry_budget.describe(),
+        }
+        if self._admission is not None:
+            status["admission"] = self._admission.describe()
+        if self._stale is not None:
+            status["stale_cache"] = self._stale.describe()
+        return status
+
     def healthz(self) -> Dict[str, object]:
-        down = sorted(self._down)
+        down = self.down_shards()
         cities_open = len(self._cities)
         healthy = len(self._backends) - len(down)
         return {"status": "ok" if healthy else "down",
@@ -866,7 +1117,8 @@ class FleetRouter(ShardBackend):
                 "shards_healthy": healthy,
                 "down": down,
                 "cities_open": cities_open,
-                "durability": self.durability_status()}
+                "durability": self.durability_status(),
+                "resilience": self.resilience_status()}
 
     # ------------------------------------------------------------------
     # stream protocol
@@ -883,17 +1135,19 @@ class FleetRouter(ShardBackend):
                            fingerprint=graph.fingerprint())
         last_error: Optional[BaseException] = None
         for shard_id in replicas:
-            if shard_id in self._down:
+            if not self._breakers[shard_id].allow():
                 continue
             try:
                 payload = self._backends[shard_id].open_stream(
                     name, graph, rescore=rescore, **options)
             except Exception as error:
                 if not is_shard_failure(error):
+                    self._note_success(shard_id)
                     raise
                 last_error = error
                 self._note_failure(shard_id)
                 continue
+            self._note_success(shard_id)
             state.active = shard_id
             if self._wal is not None:
                 # base snapshot first: a crash between "opened on shard"
@@ -932,22 +1186,48 @@ class FleetRouter(ShardBackend):
         with self._stats_lock:
             self.fleet_stats.reopened_streams += 1
 
-    def _dispatch(self, state: _CityState, call) -> Dict[str, object]:
+    def _dispatch(self, state: _CityState, call,
+                  failed_once: bool = False) -> Dict[str, object]:
         """Run ``call(backend)`` with failover.  Caller holds ``state.lock``.
 
         Candidates are the active shard first, then the remaining replicas
         in ring order.  A replica that never saw the stream (or a shard
         that restarted and lost it — surfacing as ``KeyError``) is
         re-materialised from the router's authoritative graph before the
-        call is retried there.
+        call is retried there.  ``failed_once=True`` marks a request that
+        already burned a shard attempt before reaching here (the score
+        fast path): every shard tried now is a retry and must be funded
+        by the budget even when the first candidate's breaker already
+        tripped.
         """
         order = [state.active] + [sid for sid in state.replicas
                                   if sid != state.active]
         last_error: Optional[BaseException] = None
         for shard_id in order:
-            if shard_id in self._down:
-                continue
+            if failed_once:
+                # a replica already failed *this request*: further
+                # attempts are retries and must be funded by the budget,
+                # or a failure storm amplifies the overload that caused
+                # it.  Funded *before* the breaker check: allow() may
+                # hand out the one half-open probe slot, and a budget
+                # denial after that would leave the probe unsettled
+                if not self._retry_budget.try_spend():
+                    with self._stats_lock:
+                        self.fleet_stats.retries_denied += 1
+                        self.fleet_stats.no_replica_errors += 1
+                    self._m_retries.labels(fleet=self.name,
+                                           outcome="denied").inc()
+                    self._m_retry_budget.set(self._retry_budget.balance())
+                    raise FleetError(
+                        f"retry budget exhausted for city {state.name!r} "
+                        f"after shard failure: {last_error}")
+                self._m_retries.labels(fleet=self.name,
+                                       outcome="allowed").inc()
+                self._m_retry_budget.set(self._retry_budget.balance())
+            if not self._breakers[shard_id].allow():
+                continue  # open breaker: skip without touching the shard
             backend = self._backends[shard_id]
+            started = time.perf_counter()
             try:
                 if shard_id != state.active:
                     self._materialise(backend, state)
@@ -955,14 +1235,20 @@ class FleetRouter(ShardBackend):
                     payload = call(backend)
                 except KeyError:
                     # alive but lost the stream: re-establish once, retry
+                    self._note_success(shard_id)
                     self._materialise(backend, state)
                     payload = call(backend)
             except Exception as error:
                 if not is_shard_failure(error):
+                    # the shard answered (client error / shed): alive,
+                    # but the duration is not a fair latency sample
+                    self._note_success(shard_id)
                     raise
                 last_error = error
+                failed_once = True
                 self._note_failure(shard_id)
                 continue
+            self._note_success(shard_id, time.perf_counter() - started)
             if shard_id != state.active:
                 state.active = shard_id
                 with self._stats_lock:
@@ -971,40 +1257,97 @@ class FleetRouter(ShardBackend):
             return payload
         with self._stats_lock:
             self.fleet_stats.no_replica_errors += 1
-        down = sorted(self._down)
+        down = self.down_shards()
         raise FleetError(f"no healthy replica for city {state.name!r} "
                          f"(replicas {state.replicas}, down {down}): "
                          f"{last_error}")
 
+    @staticmethod
+    def _is_shed(error: BaseException) -> bool:
+        """Shed responses, local (:class:`ShedError`) or remote (503/504)."""
+        if isinstance(error, ShedError):
+            return True
+        status = getattr(error, "status", None)
+        return isinstance(status, int) and status in (503, 504)
+
+    @staticmethod
+    def _is_deadline_shed(error: BaseException) -> bool:
+        if isinstance(error, DeadlineExceeded):
+            return True
+        return getattr(error, "status", None) == 504
+
     def score_stream(self, name: str, regions=None,
                      top_percent=None) -> Dict[str, object]:
         start = time.perf_counter()
+        try:
+            check_deadline("score")
+        except DeadlineExceeded:
+            with self._stats_lock:
+                self.fleet_stats.sheds += 1
+            self._m_deadline_sheds.inc()
+            raise
         state = self._city(name)
+        self._retry_budget.note_request()
+        self._m_retry_budget.set(self._retry_budget.balance())
 
         def call(backend: ShardBackend) -> Dict[str, object]:
             return backend.score_stream(name, regions=regions,
                                         top_percent=top_percent)
 
-        # fast path: no lock, straight to the active shard — concurrent
-        # scores of one city proceed in parallel (the scorer itself is
-        # thread-safe); any failure retries under the city lock
-        active = state.active
-        if active not in self._down:
-            try:
-                payload = call(self._backends[active])
-                with self._stats_lock:
-                    self.fleet_stats.score_requests += 1
-                self._observe_request("score", active, start)
-                return payload
-            except KeyError:
-                pass  # stream missing on the shard — slow path re-opens
-            except Exception as error:
-                if not is_shard_failure(error):
-                    raise
-                self._note_failure(active)
-        with state.lock:
-            payload = self._dispatch(state, call)
-            served = state.active
+        def attempt() -> Tuple[Dict[str, object], str]:
+            # fast path: no lock, straight to the active shard —
+            # concurrent scores of one city proceed in parallel (the
+            # scorer itself is thread-safe); failures retry under the
+            # city lock
+            active = state.active
+            fast_failed = False
+            if self._breakers[active].allow():
+                try:
+                    payload = call(self._backends[active])
+                except KeyError:
+                    # stream missing on the shard — slow path re-opens
+                    self._note_success(active)
+                except Exception as error:
+                    if not is_shard_failure(error):
+                        self._note_success(active)
+                        raise
+                    self._note_failure(active)
+                    fast_failed = True
+                else:
+                    self._note_success(active,
+                                       time.perf_counter() - start)
+                    return payload, active
+            with state.lock:
+                payload = self._dispatch(state, call,
+                                         failed_once=fast_failed)
+                return payload, state.active
+
+        try:
+            if self._admission is not None:
+                with self._admission.admit():
+                    payload, served = attempt()
+            else:
+                payload, served = attempt()
+        except Exception as error:
+            if not self._is_shed(error):
+                raise
+            with self._stats_lock:
+                self.fleet_stats.sheds += 1
+            if self._is_deadline_shed(error):
+                self._m_deadline_sheds.inc()
+                raise  # nobody is waiting — a stale answer helps no one
+            if self._stale is not None:
+                stale = self._stale.get(name, state.version)
+                if stale is not None:
+                    with self._stats_lock:
+                        self.fleet_stats.degraded_served += 1
+                        self.fleet_stats.score_requests += 1
+                    self._m_degraded.inc()
+                    self._observe_request("score", "stale-cache", start)
+                    return stale
+            raise
+        if self._stale is not None:
+            self._stale.put(name, state.version, payload)
         with self._stats_lock:
             self.fleet_stats.score_requests += 1
         self._observe_request("score", served, start)
@@ -1013,7 +1356,16 @@ class FleetRouter(ShardBackend):
     def update_stream(self, name: str, delta: GraphDelta, rescore: bool = True,
                       regions=None, top_percent=None) -> Dict[str, object]:
         start = time.perf_counter()
+        try:
+            check_deadline("update")
+        except DeadlineExceeded:
+            with self._stats_lock:
+                self.fleet_stats.sheds += 1
+            self._m_deadline_sheds.inc()
+            raise
         state = self._city(name)
+        self._retry_budget.note_request()
+        self._m_retry_budget.set(self._retry_budget.balance())
 
         def call(backend: ShardBackend) -> Dict[str, object]:
             return backend.update_stream(name, delta, rescore=rescore,
@@ -1021,6 +1373,16 @@ class FleetRouter(ShardBackend):
                                          top_percent=top_percent)
 
         with state.lock:
+            # last shed point: once a shard starts applying the delta,
+            # exactly-once beats the deadline — the backend masks the
+            # deadline around the apply itself
+            try:
+                check_deadline("update dispatch")
+            except DeadlineExceeded:
+                with self._stats_lock:
+                    self.fleet_stats.sheds += 1
+                self._m_deadline_sheds.inc()
+                raise
             payload = self._dispatch(state, call)
             served = state.active
             fingerprint = self._next_city_fingerprint(state, delta, payload)
@@ -1064,7 +1426,16 @@ class FleetRouter(ShardBackend):
 
     def evict_stream(self, name: str) -> Dict[str, object]:
         start = time.perf_counter()
+        try:
+            check_deadline("evict")
+        except DeadlineExceeded:
+            with self._stats_lock:
+                self.fleet_stats.sheds += 1
+            self._m_deadline_sheds.inc()
+            raise
         state = self._city(name)
+        self._retry_budget.note_request()
+        self._m_retry_budget.set(self._retry_budget.balance())
 
         def call(backend: ShardBackend) -> Dict[str, object]:
             return backend.evict_stream(name)
@@ -1144,16 +1515,18 @@ class FleetRouter(ShardBackend):
             last_error: Optional[BaseException] = None
             restored = False
             for shard_id in replicas:
-                if shard_id in self._down:
+                if not self._breakers[shard_id].allow():
                     continue
                 try:
                     self._backends[shard_id].restore_stream(name, recovered)
                 except Exception as error:
                     if not is_shard_failure(error):
+                        self._note_success(shard_id)
                         raise
                     last_error = error
                     self._note_failure(shard_id)
                     continue
+                self._note_success(shard_id)
                 state.active = shard_id
                 with self._structure_lock:
                     self._cities[name] = state
@@ -1215,7 +1588,7 @@ class FleetRouter(ShardBackend):
         shard_entries: List[Dict[str, object]] = []
         with self._stats_lock:
             fleet = self.fleet_stats.to_dict()
-        down = sorted(self._down)
+        down = self.down_shards()
         states = dict(self._cities)
         cities = {name: {"routing_key": state.key,
                          "replicas": list(state.replicas),
@@ -1266,9 +1639,15 @@ class FleetRouter(ShardBackend):
             "totals": totals,
             # assembled outside the router lock: pure filesystem reads
             "durability": self.durability_status(),
+            "resilience": self.resilience_status(),
         }
 
     def close(self) -> None:
+        self._closed = True
+        self._prober_stop.set()
+        prober = self._prober
+        if prober is not None and prober.is_alive():
+            prober.join(timeout=2.0)
         for backend in self._backends.values():
             try:
                 backend.close()

@@ -1,0 +1,798 @@
+"""Overload protection and graceful degradation for the serving stack.
+
+PR 8's open-loop driver can push a fleet *past* saturation; this module
+is what makes that regime survivable.  Four cooperating primitives:
+
+* :class:`AdmissionController` — bounded concurrency plus a bounded,
+  deadline-aware wait queue per endpoint.  Excess work is **shed**
+  immediately (:class:`ShedError` → HTTP ``503 + Retry-After``) instead
+  of queueing without bound: the server can never hang a client and can
+  never OOM on buffered requests.  Every admit/shed lands in
+  ``repro_resilience_*`` counters that reconcile exactly
+  (``attempts == admitted + shed``).
+* :class:`CircuitBreaker` — the per-shard closed/open/half-open state
+  machine the :class:`~repro.serve.fleet.FleetRouter` keys failover on,
+  replacing the old binary down-set.  It trips on consecutive
+  shard-fatal failures *and* on latency (gray-failure detection: a shard
+  that still answers, but above a p99-derived threshold, is as good as
+  dead); it un-trips by itself — after a jittered exponential backoff
+  the breaker admits a single half-open probe, and one success closes
+  it.  No explicit ``health()`` call required.
+* :class:`RetryBudget` — a token bucket capping failover retries to a
+  configurable fraction of fresh requests, so a failure storm cannot
+  amplify the very overload that caused it.
+* :class:`Deadline` / :func:`deadline_scope` — request deadlines that
+  propagate across layers (and across the wire as the
+  ``X-Repro-Deadline-Ms`` header, re-armed per hop from the remaining
+  time).  Work whose deadline already passed is shed *before* compute.
+
+:class:`StaleScoreCache` backs the opt-in **degraded mode**: instead of
+shedding a ``/score``, answer from the last known-good score vector,
+flagged ``degraded: true`` with its version lag, bounded by
+``max_version_lag`` — bounded staleness beats an error page when the
+caller only needs a ranking hint.
+
+Everything here is stdlib-only, thread-safe, and deterministic under an
+injected ``clock`` / seeded jitter so the chaos tests can drive the
+state machines without wall-clock sleeps.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..obs import MetricsRegistry
+
+__all__ = [
+    "DEADLINE_HEADER",
+    "AdmissionConfig",
+    "AdmissionController",
+    "BreakerConfig",
+    "BreakerOpen",
+    "CircuitBreaker",
+    "Deadline",
+    "DeadlineExceeded",
+    "ResilienceConfig",
+    "RetryBudget",
+    "ShedError",
+    "StaleScoreCache",
+    "current_deadline",
+    "deadline_scope",
+    "remaining_ms_header",
+]
+
+#: the wire header carrying a request's remaining deadline budget, in
+#: milliseconds.  Each hop re-arms a local monotonic deadline from the
+#: received value, so elapsed time at every layer decrements the budget.
+DEADLINE_HEADER = "X-Repro-Deadline-Ms"
+
+
+# ----------------------------------------------------------------------
+# shedding errors
+# ----------------------------------------------------------------------
+class ShedError(RuntimeError):
+    """The request was refused to protect the service (HTTP 503).
+
+    Not a shard failure: a shard that sheds is *healthy* and saying so —
+    failing it over would amplify the very overload it is shedding.
+    ``retry_after_s`` is the client's backoff hint (the ``Retry-After``
+    header on the wire).
+    """
+
+    def __init__(self, message: str, retry_after_s: float = 0.05,
+                 reason: str = "overload") -> None:
+        super().__init__(message)
+        self.retry_after_s = float(retry_after_s)
+        self.reason = reason
+
+
+class DeadlineExceeded(ShedError):
+    """The request's deadline passed before the work ran (HTTP 504).
+
+    Shed *before* compute: finishing work nobody is waiting for anymore
+    only steals capacity from requests that can still make their
+    deadlines.  Deliberately not a ``TimeoutError`` subclass — timeouts
+    are shard-fatal to :func:`~repro.serve.fleet.is_shard_failure`,
+    while an expired deadline says nothing about the shard's health.
+    """
+
+    def __init__(self, message: str, overdue_s: float = 0.0) -> None:
+        super().__init__(message, retry_after_s=0.0, reason="deadline")
+        self.overdue_s = float(overdue_s)
+
+
+class BreakerOpen(RuntimeError):
+    """A call was refused because the target's circuit breaker is open."""
+
+
+# ----------------------------------------------------------------------
+# deadlines
+# ----------------------------------------------------------------------
+class Deadline:
+    """A monotonic-clock deadline for one request.
+
+    Created from a millisecond budget (``Deadline.after_ms(250)``); every
+    layer asks :meth:`remaining_s` / :attr:`expired` against the same
+    monotonic clock, so the budget decrements naturally as hops spend
+    time.  ``clock`` is injectable for deterministic tests.
+    """
+
+    __slots__ = ("expires_at", "_clock")
+
+    def __init__(self, expires_at: float,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.expires_at = float(expires_at)
+        self._clock = clock
+
+    @classmethod
+    def after_ms(cls, budget_ms: float,
+                 clock: Callable[[], float] = time.monotonic) -> "Deadline":
+        budget_ms = float(budget_ms)
+        if not math.isfinite(budget_ms):
+            raise ValueError("deadline budget must be finite")
+        return cls(clock() + budget_ms / 1000.0, clock=clock)
+
+    def remaining_s(self) -> float:
+        return self.expires_at - self._clock()
+
+    def remaining_ms(self) -> float:
+        return self.remaining_s() * 1000.0
+
+    @property
+    def expired(self) -> bool:
+        return self.remaining_s() <= 0.0
+
+    def raise_if_expired(self, where: str = "request") -> None:
+        overdue = -self.remaining_s()
+        if overdue >= 0.0:
+            raise DeadlineExceeded(
+                f"deadline exceeded {overdue * 1000.0:.1f}ms before "
+                f"{where}", overdue_s=overdue)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Deadline(remaining={self.remaining_ms():.1f}ms)"
+
+
+_DEADLINE_STATE = threading.local()
+
+
+def current_deadline() -> Optional[Deadline]:
+    """The calling thread's active deadline, if any.
+
+    Requests run on one thread end to end in this stack (threaded HTTP
+    server, synchronous router), so thread-local scope is exactly
+    request scope.
+    """
+    return getattr(_DEADLINE_STATE, "deadline", None)
+
+
+@contextmanager
+def deadline_scope(deadline: Optional[Deadline]):
+    """Install ``deadline`` as the thread's active deadline.
+
+    ``deadline_scope(None)`` *masks* any outer deadline — the router
+    uses this around delta application, where aborting half-applied
+    work for a missed deadline would cost exactly-once semantics far
+    more than the late answer costs capacity.
+    """
+    previous = current_deadline()
+    _DEADLINE_STATE.deadline = deadline
+    try:
+        yield deadline
+    finally:
+        _DEADLINE_STATE.deadline = previous
+
+
+def remaining_ms_header() -> Optional[str]:
+    """The ``X-Repro-Deadline-Ms`` value for an outbound hop, or None.
+
+    Floors at 0 rather than omitting the header: the next hop must know
+    the budget is spent so it can shed instead of working.
+    """
+    deadline = current_deadline()
+    if deadline is None:
+        return None
+    return str(max(0, int(deadline.remaining_ms())))
+
+
+def check_deadline(where: str = "request") -> None:
+    """Shed the calling thread's work if its deadline already passed."""
+    deadline = current_deadline()
+    if deadline is not None:
+        deadline.raise_if_expired(where)
+
+
+# ----------------------------------------------------------------------
+# admission control
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class AdmissionConfig:
+    """Bounds of one endpoint's admission controller."""
+
+    #: requests allowed to run concurrently
+    max_concurrency: int = 8
+    #: requests allowed to *wait* for a slot; anything beyond is shed
+    #: immediately (bounded memory, bounded queueing delay)
+    max_queue: int = 16
+    #: longest a queued request may wait before it is shed (seconds);
+    #: an active deadline tightens this further
+    queue_timeout_s: float = 1.0
+    #: the Retry-After hint handed to shed clients (seconds)
+    retry_after_s: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.max_concurrency < 1:
+            raise ValueError("max_concurrency must be >= 1")
+        if self.max_queue < 0:
+            raise ValueError("max_queue must be >= 0")
+        if self.queue_timeout_s <= 0:
+            raise ValueError("queue_timeout_s must be positive")
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"max_concurrency": self.max_concurrency,
+                "max_queue": self.max_queue,
+                "queue_timeout_s": self.queue_timeout_s,
+                "retry_after_s": self.retry_after_s}
+
+
+class AdmissionController:
+    """Bounded concurrency + bounded wait queue for one endpoint.
+
+    ``with controller.admit():`` either yields within
+    ``queue_timeout_s`` (or the caller's deadline, whichever is sooner)
+    or raises :class:`ShedError` — it can never hang, and it can never
+    buffer more than ``max_queue`` waiters.  The counters satisfy
+    ``attempts == admitted + shed`` exactly, which the threaded soak
+    test reconciles against issued ops.
+    """
+
+    def __init__(self, endpoint: str, config: Optional[AdmissionConfig] = None,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.endpoint = endpoint
+        self.config = config or AdmissionConfig()
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._slots_free = threading.Condition(self._lock)
+        self._active = 0
+        self._waiting = 0
+        self.attempts = 0
+        self.admitted = 0
+        #: sheds by reason: queue_full | queue_timeout | deadline
+        self.sheds: Dict[str, int] = {"queue_full": 0, "queue_timeout": 0,
+                                      "deadline": 0}
+        self._on_admit: Optional[Callable[[str], None]] = None
+        self._on_shed: Optional[Callable[[str, str], None]] = None
+
+    def bind_metrics(self, metrics: MetricsRegistry,
+                     component: str) -> "AdmissionController":
+        admitted = metrics.counter(
+            "repro_resilience_admitted_total",
+            "Requests admitted past the admission controller.",
+            labelnames=("component", "endpoint"))
+        shed = metrics.counter(
+            "repro_resilience_shed_total",
+            "Requests shed by the admission controller, by reason.",
+            labelnames=("component", "endpoint", "reason"))
+        endpoint = self.endpoint
+        self._on_admit = lambda ep: admitted.labels(
+            component=component, endpoint=endpoint).inc()
+        self._on_shed = lambda ep, reason: shed.labels(
+            component=component, endpoint=endpoint, reason=reason).inc()
+        return self
+
+    # ------------------------------------------------------------------
+    def _shed(self, reason: str, message: str,
+              deadline: Optional[Deadline]) -> ShedError:
+        self.sheds[reason] = self.sheds.get(reason, 0) + 1
+        if self._on_shed is not None:
+            self._on_shed(self.endpoint, reason)
+        if reason == "deadline":
+            return DeadlineExceeded(message)
+        return ShedError(message, retry_after_s=self.config.retry_after_s,
+                         reason=reason)
+
+    @contextmanager
+    def admit(self, deadline: Optional[Deadline] = None):
+        """Acquire a concurrency slot or shed; always bounded in time."""
+        if deadline is None:
+            deadline = current_deadline()
+        config = self.config
+        with self._lock:
+            self.attempts += 1
+            if deadline is not None and deadline.expired:
+                raise self._shed("deadline",
+                                 f"{self.endpoint}: deadline passed before "
+                                 "admission", deadline)
+            if self._active >= config.max_concurrency:
+                if self._waiting >= config.max_queue:
+                    raise self._shed(
+                        "queue_full",
+                        f"{self.endpoint}: {self._active} active, "
+                        f"{self._waiting} queued — shedding",
+                        deadline)
+                give_up = self._clock() + config.queue_timeout_s
+                if deadline is not None:
+                    give_up = min(give_up, deadline.expires_at)
+                self._waiting += 1
+                try:
+                    while self._active >= config.max_concurrency:
+                        remaining = give_up - self._clock()
+                        if remaining <= 0:
+                            reason = ("deadline"
+                                      if deadline is not None
+                                      and deadline.expired
+                                      else "queue_timeout")
+                            raise self._shed(
+                                reason,
+                                f"{self.endpoint}: no slot within "
+                                f"{config.queue_timeout_s:.3f}s", deadline)
+                        self._slots_free.wait(timeout=remaining)
+                finally:
+                    self._waiting -= 1
+            self._active += 1
+            self.admitted += 1
+            if self._on_admit is not None:
+                self._on_admit(self.endpoint)
+        try:
+            yield self
+        finally:
+            with self._lock:
+                self._active -= 1
+                self._slots_free.notify()
+
+    # ------------------------------------------------------------------
+    @property
+    def active(self) -> int:
+        with self._lock:
+            return self._active
+
+    @property
+    def queued(self) -> int:
+        with self._lock:
+            return self._waiting
+
+    @property
+    def shed_total(self) -> int:
+        with self._lock:
+            return sum(self.sheds.values())
+
+    def describe(self) -> Dict[str, object]:
+        with self._lock:
+            return {"endpoint": self.endpoint,
+                    "config": self.config.to_dict(),
+                    "active": self._active,
+                    "queued": self._waiting,
+                    "attempts": self.attempts,
+                    "admitted": self.admitted,
+                    "shed": dict(self.sheds),
+                    "shed_total": sum(self.sheds.values())}
+
+
+# ----------------------------------------------------------------------
+# circuit breaker
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class BreakerConfig:
+    """Tuning of one :class:`CircuitBreaker`."""
+
+    #: consecutive shard-fatal failures that trip the breaker.  The
+    #: default matches the router's pre-breaker behaviour — one
+    #: shard-fatal failure excludes the shard — which is cheap because
+    #: the probe machinery revives it automatically; raise it for flaky
+    #: transports where isolated failures are routine
+    failure_threshold: int = 1
+    #: explicit slow-call bound (seconds); ``None`` derives one from the
+    #: observed latency window
+    latency_threshold_s: Optional[float] = None
+    #: derived threshold = ``latency_factor`` x the window's p99
+    latency_factor: float = 4.0
+    #: recent successful-call latencies kept for the derived threshold
+    latency_window: int = 64
+    #: samples required before a derived threshold is trusted at all
+    min_latency_samples: int = 16
+    #: consecutive over-threshold calls that trip the breaker (the
+    #: gray-failure path: the shard answers, but uselessly late)
+    latency_violations: int = 5
+    #: half-open probe backoff: initial, multiplier per re-open, cap
+    backoff_initial_s: float = 0.25
+    backoff_multiplier: float = 2.0
+    backoff_max_s: float = 30.0
+    #: +/- fraction of jitter applied to every backoff interval
+    jitter: float = 0.2
+    #: jitter seed (deterministic per breaker name when combined)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if self.latency_threshold_s is not None \
+                and self.latency_threshold_s <= 0:
+            raise ValueError("latency_threshold_s must be positive")
+        if self.latency_violations < 1:
+            raise ValueError("latency_violations must be >= 1")
+        if self.backoff_initial_s <= 0 or self.backoff_max_s <= 0:
+            raise ValueError("backoff bounds must be positive")
+        if self.backoff_multiplier < 1.0:
+            raise ValueError("backoff_multiplier must be >= 1")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+
+
+#: the only legal breaker transitions; the hypothesis suite asserts no
+#: sequence of events ever produces an edge outside this set
+VALID_BREAKER_TRANSITIONS = frozenset([
+    ("closed", "open"),
+    ("open", "half_open"),
+    ("half_open", "closed"),
+    ("half_open", "open"),
+])
+
+_BREAKER_STATE_VALUES = {"closed": 0, "half_open": 1, "open": 2}
+
+
+class CircuitBreaker:
+    """Closed / open / half-open breaker with gray-failure detection.
+
+    *Closed* (healthy): calls flow; consecutive shard-fatal failures or
+    consecutive over-threshold-slow successes trip it open.  The slow
+    bound is either explicit (``latency_threshold_s``) or derived as
+    ``latency_factor`` x the p99 of the breaker's own recent latency
+    window — a shard is judged against what *it* normally delivers.
+
+    *Open*: calls are refused without touching the shard.  After a
+    jittered exponential backoff :meth:`allow` admits exactly one
+    half-open probe.
+
+    *Half-open*: one probe in flight; success closes the breaker (full
+    reset), failure re-opens it with a doubled backoff.
+
+    ``clock`` and the seeded jitter make the machine fully deterministic
+    under test.  All methods are thread-safe; ``on_transition(name,
+    old, new)`` fires outside no lock-ordering hazards (same lock) and
+    feeds the fleet's transition metrics.
+    """
+
+    def __init__(self, name: str, config: Optional[BreakerConfig] = None,
+                 clock: Callable[[], float] = time.monotonic,
+                 on_transition: Optional[
+                     Callable[[str, str, str], None]] = None) -> None:
+        self.name = name
+        self.config = config or BreakerConfig()
+        self._clock = clock
+        self._on_transition = on_transition
+        self._lock = threading.Lock()
+        self._state = "closed"
+        self._consecutive_failures = 0
+        self._consecutive_slow = 0
+        self._latencies: deque = deque(maxlen=self.config.latency_window)
+        self._backoff_s = self.config.backoff_initial_s
+        self._probe_at = 0.0
+        self._probe_inflight = False
+        self._rng = random.Random(
+            hash((name, self.config.seed)) & 0xFFFFFFFF)
+        self.transitions: List[Tuple[str, str]] = []
+        self.trips = 0
+        self.probes = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    @property
+    def state_value(self) -> int:
+        """Numeric state for gauges: closed=0, half_open=1, open=2."""
+        return _BREAKER_STATE_VALUES[self.state]
+
+    def _transition(self, new_state: str) -> None:
+        """Move to ``new_state``.  Caller holds the lock."""
+        old = self._state
+        if old == new_state:
+            return
+        assert (old, new_state) in VALID_BREAKER_TRANSITIONS, \
+            f"illegal breaker transition {old} -> {new_state}"
+        self._state = new_state
+        self.transitions.append((old, new_state))
+        if self._on_transition is not None:
+            self._on_transition(self.name, old, new_state)
+
+    def _jittered(self, backoff: float) -> float:
+        spread = self.config.jitter
+        if not spread:
+            return backoff
+        return backoff * (1.0 + self._rng.uniform(-spread, spread))
+
+    def _trip(self) -> None:
+        """Open the breaker and schedule the next probe.  Lock held."""
+        self.trips += 1
+        self._probe_inflight = False
+        self._probe_at = self._clock() + self._jittered(self._backoff_s)
+        # the *next* re-open (a failed probe) waits longer
+        self._backoff_s = min(self.config.backoff_max_s,
+                              self._backoff_s * self.config.backoff_multiplier)
+        self._transition("open")
+
+    def _reset(self) -> None:
+        """Return to closed with all failure accounting cleared. Lock held."""
+        self._consecutive_failures = 0
+        self._consecutive_slow = 0
+        self._backoff_s = self.config.backoff_initial_s
+        self._probe_inflight = False
+        self._transition("closed")
+
+    # ------------------------------------------------------------------
+    def allow(self) -> bool:
+        """Whether a call may proceed now.
+
+        In the open state this is also the probe scheduler: once the
+        backoff elapsed the breaker half-opens and admits exactly one
+        trial call; further calls are refused until that probe reports.
+        """
+        with self._lock:
+            if self._state == "closed":
+                return True
+            if self._state == "open":
+                if self._clock() < self._probe_at:
+                    return False
+                self._transition("half_open")
+                self._probe_inflight = True
+                self.probes += 1
+                return True
+            # half-open: a single probe owns the slot
+            if self._probe_inflight:
+                return False
+            self._probe_inflight = True
+            self.probes += 1
+            return True
+
+    def slow_threshold_s(self) -> Optional[float]:
+        """The current over-latency bound, explicit or p99-derived."""
+        config = self.config
+        if config.latency_threshold_s is not None:
+            return config.latency_threshold_s
+        with self._lock:
+            if len(self._latencies) < config.min_latency_samples:
+                return None
+            ordered = sorted(self._latencies)
+        rank = max(0, math.ceil(0.99 * len(ordered)) - 1)
+        return ordered[rank] * config.latency_factor
+
+    def record_success(self, latency_s: Optional[float] = None) -> None:
+        """A call completed; ``latency_s`` feeds gray-failure detection."""
+        threshold = (self.slow_threshold_s()
+                     if latency_s is not None else None)
+        with self._lock:
+            self._consecutive_failures = 0
+            if self._state == "half_open":
+                self._reset()
+                return
+            if self._state == "open":
+                # a call raced the trip (started closed, finished open):
+                # its success says nothing about recovery — wait for the
+                # scheduled probe
+                return
+            if latency_s is None:
+                return
+            if threshold is not None and latency_s > threshold:
+                self._consecutive_slow += 1
+                if self._consecutive_slow >= self.config.latency_violations:
+                    self._trip()
+                return
+            self._consecutive_slow = 0
+            self._latencies.append(float(latency_s))
+
+    def record_failure(self) -> None:
+        """A shard-fatal call failure."""
+        with self._lock:
+            if self._state == "half_open":
+                # the probe failed: back to open, longer backoff
+                self._trip()
+                return
+            if self._state == "open":
+                return
+            self._consecutive_failures += 1
+            self._consecutive_slow = 0
+            if self._consecutive_failures >= self.config.failure_threshold:
+                self._trip()
+
+    def force_close(self) -> None:
+        """Close immediately (an explicit health check vouched for the
+        target).  From open the legal path runs through half_open, so
+        the machine takes it in one step."""
+        with self._lock:
+            if self._state == "open":
+                self._transition("half_open")
+            if self._state == "half_open":
+                self._reset()
+            else:
+                self._consecutive_failures = 0
+                self._consecutive_slow = 0
+
+    def force_open(self) -> None:
+        """Trip immediately (an explicit health check failed)."""
+        with self._lock:
+            if self._state == "half_open":
+                self._trip()
+            elif self._state == "closed":
+                self._trip()
+
+    def describe(self) -> Dict[str, object]:
+        with self._lock:
+            probe_in = max(0.0, self._probe_at - self._clock()) \
+                if self._state == "open" else 0.0
+            return {"state": self._state,
+                    "consecutive_failures": self._consecutive_failures,
+                    "consecutive_slow": self._consecutive_slow,
+                    "trips": self.trips,
+                    "probes": self.probes,
+                    "next_probe_in_s": round(probe_in, 4),
+                    "latency_samples": len(self._latencies)}
+
+
+# ----------------------------------------------------------------------
+# retry budget
+# ----------------------------------------------------------------------
+class RetryBudget:
+    """Token bucket capping retries to a fraction of fresh requests.
+
+    Every fresh request deposits ``ratio`` tokens (capped at
+    ``capacity``); every retry withdraws one.  When the bucket is dry
+    the retry is denied — the caller fails the request instead of
+    hammering the remaining replicas.  The balance can never go
+    negative (property-tested), and ``initial`` pre-funds the bucket so
+    isolated early failures still get their failover.
+    """
+
+    def __init__(self, ratio: float = 0.1, capacity: float = 16.0,
+                 initial: Optional[float] = None) -> None:
+        if not 0.0 <= ratio <= 1.0:
+            raise ValueError("ratio must be in [0, 1]")
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.ratio = float(ratio)
+        self.capacity = float(capacity)
+        self._lock = threading.Lock()
+        self._balance = float(capacity if initial is None
+                              else min(initial, capacity))
+        if self._balance < 0:
+            raise ValueError("initial balance must be >= 0")
+        self.requests = 0
+        self.retries_allowed = 0
+        self.retries_denied = 0
+
+    def note_request(self) -> None:
+        """A fresh (non-retry) request funds the bucket."""
+        with self._lock:
+            self.requests += 1
+            self._balance = min(self.capacity, self._balance + self.ratio)
+
+    def try_spend(self, cost: float = 1.0) -> bool:
+        """Withdraw ``cost`` for a retry; False when the bucket is dry."""
+        if cost < 0:
+            raise ValueError("cost must be >= 0")
+        with self._lock:
+            if self._balance >= cost:
+                self._balance -= cost
+                self.retries_allowed += 1
+                return True
+            self.retries_denied += 1
+            return False
+
+    def balance(self) -> float:
+        with self._lock:
+            return self._balance
+
+    def describe(self) -> Dict[str, object]:
+        with self._lock:
+            return {"ratio": self.ratio,
+                    "capacity": self.capacity,
+                    "balance": round(self._balance, 4),
+                    "requests": self.requests,
+                    "retries_allowed": self.retries_allowed,
+                    "retries_denied": self.retries_denied}
+
+
+# ----------------------------------------------------------------------
+# degraded mode
+# ----------------------------------------------------------------------
+class StaleScoreCache:
+    """Last known-good score payloads, for degraded-mode answers.
+
+    :meth:`put` records a successful score at a stream version;
+    :meth:`get` returns a *copy* flagged ``degraded: true`` as long as
+    the staleness (current version minus cached version) stays within
+    ``max_version_lag`` — bounded staleness is the degraded-mode
+    guarantee the README documents.
+    """
+
+    def __init__(self, max_version_lag: int = 8,
+                 max_entries: int = 1024) -> None:
+        if max_version_lag < 0:
+            raise ValueError("max_version_lag must be >= 0")
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_version_lag = int(max_version_lag)
+        self.max_entries = int(max_entries)
+        self._lock = threading.Lock()
+        self._entries: "Dict[str, Tuple[int, Dict[str, object]]]" = {}
+        self.served = 0
+        self.too_stale = 0
+
+    def put(self, stream: str, version: int,
+            payload: Dict[str, object]) -> None:
+        snapshot = dict(payload)
+        snapshot.pop("cache", None)
+        with self._lock:
+            if (stream not in self._entries
+                    and len(self._entries) >= self.max_entries):
+                # drop an arbitrary entry: bounded memory beats recency
+                # here, degraded answers are best-effort by definition
+                self._entries.pop(next(iter(self._entries)))
+            self._entries[stream] = (int(version), snapshot)
+
+    def get(self, stream: str,
+            current_version: int) -> Optional[Dict[str, object]]:
+        with self._lock:
+            entry = self._entries.get(stream)
+            if entry is None:
+                return None
+            cached_version, payload = entry
+            staleness = max(0, int(current_version) - cached_version)
+            if staleness > self.max_version_lag:
+                self.too_stale += 1
+                return None
+            self.served += 1
+        degraded = dict(payload)
+        degraded["degraded"] = True
+        degraded["staleness"] = staleness
+        degraded["cached_version"] = cached_version
+        return degraded
+
+    def describe(self) -> Dict[str, object]:
+        with self._lock:
+            return {"entries": len(self._entries),
+                    "max_version_lag": self.max_version_lag,
+                    "served": self.served,
+                    "too_stale": self.too_stale}
+
+
+# ----------------------------------------------------------------------
+# fleet-level configuration bundle
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Everything a :class:`~repro.serve.fleet.FleetRouter` needs.
+
+    The defaults keep behaviour close to the pre-breaker router for
+    healthy fleets (breakers trip only on real failure runs, the retry
+    budget starts full) while adding automatic recovery; admission and
+    degraded mode are opt-in.
+    """
+
+    breaker: BreakerConfig = BreakerConfig()
+    retry_budget_ratio: float = 0.1
+    retry_budget_capacity: float = 16.0
+    #: background half-open probe cadence; ``None`` disables the prober
+    #: thread (request-path probing still happens for active shards)
+    probe_interval_s: Optional[float] = 0.25
+    #: score-path admission bounds; ``None`` = no admission control
+    admission: Optional[AdmissionConfig] = None
+    #: answer shed scores from the stale cache instead of erroring
+    degraded: bool = False
+    degraded_max_version_lag: int = 8
+
+    def __post_init__(self) -> None:
+        if self.probe_interval_s is not None and self.probe_interval_s <= 0:
+            raise ValueError("probe_interval_s must be positive (or None)")
+
+    def build_retry_budget(self) -> RetryBudget:
+        return RetryBudget(ratio=self.retry_budget_ratio,
+                           capacity=self.retry_budget_capacity)

@@ -70,6 +70,7 @@ rest of the reproduction.
 
 from __future__ import annotations
 
+import contextlib
 import json
 import threading
 import time
@@ -83,6 +84,10 @@ from ..stream.scorer import StreamingScorer
 from .bundle import read_manifest
 from .engine import InferenceEngine
 from .registry import ModelRegistry
+from .resilience import (DEADLINE_HEADER, AdmissionConfig,
+                         AdmissionController, Deadline, DeadlineExceeded,
+                         ShedError, StaleScoreCache, check_deadline,
+                         deadline_scope)
 from .wire import delta_from_payload, graph_from_payload
 
 #: request bodies larger than this are rejected up front (64 MiB covers the
@@ -131,7 +136,10 @@ class ScoringService:
                  max_workers: int = 4,
                  metrics: Optional[MetricsRegistry] = None,
                  wal_dir=None, fsync: str = "interval",
-                 checkpoint_interval_s: float = 30.0) -> None:
+                 checkpoint_interval_s: float = 30.0,
+                 admission: Optional[AdmissionConfig] = None,
+                 degraded: bool = False,
+                 degraded_max_version_lag: int = 8) -> None:
         if not isinstance(registry, ModelRegistry):
             registry = ModelRegistry(registry)
         self.registry = registry
@@ -160,6 +168,22 @@ class ScoringService:
             "repro_http_request_seconds",
             "Wall time from request receipt to response written.",
             labelnames=("endpoint",))
+        # overload protection: per-endpoint admission controllers bound
+        # the concurrency and queueing of every POST endpoint; excess
+        # work is shed with 503 + Retry-After instead of queueing
+        # without bound.  Degraded mode (opt-in) answers shed stream
+        # scores from the last known-good payload, flagged
+        # ``degraded: true`` with bounded version-lag staleness
+        self._admission: Dict[str, AdmissionController] = {}
+        if admission is not None:
+            for endpoint in sorted(_POST_ENDPOINTS):
+                self._admission[endpoint] = AdmissionController(
+                    endpoint, admission).bind_metrics(
+                        self.metrics, component="server")
+        self._stale: Optional[StaleScoreCache] = None
+        if degraded:
+            self._stale = StaleScoreCache(
+                max_version_lag=degraded_max_version_lag)
         # durability: streams opened on this service append to per-stream
         # WALs; the checkpointer compacts over-threshold logs in the
         # background and reports to <wal_dir>/checkpointer.json
@@ -219,6 +243,26 @@ class ScoringService:
     def metrics_text(self) -> str:
         """The Prometheus text exposition of :attr:`metrics`."""
         return self.metrics.render()
+
+    # ------------------------------------------------------------------
+    # overload protection
+    # ------------------------------------------------------------------
+    def _admit(self, endpoint: str):
+        """The endpoint's admission gate, or a no-op when unbounded."""
+        controller = self._admission.get(endpoint)
+        if controller is None:
+            return contextlib.nullcontext()
+        return controller.admit()
+
+    def resilience_status(self) -> Dict[str, object]:
+        status: Dict[str, object] = {
+            "admission": {endpoint: controller.describe()
+                          for endpoint, controller
+                          in sorted(self._admission.items())},
+        }
+        if self._stale is not None:
+            status["stale_cache"] = self._stale.describe()
+        return status
 
     # ------------------------------------------------------------------
     # engines
@@ -281,6 +325,7 @@ class ScoringService:
             "requests_served": self.requests_served,
             "requests_total": self.requests_served,
             "durability": self.durability_status(),
+            "resilience": self.resilience_status(),
         }
 
     def models(self) -> Dict[str, object]:
@@ -337,24 +382,53 @@ class ScoringService:
             raise ServiceError(400, "'model'/'version' cannot be combined "
                                     "with 'stream' — the stream already "
                                     "determines the model")
-        if stream is not None:
-            payload, engine, graph = self._score_stream(stream, request)
-        else:
-            payload, engine, graph = self._score_graph(request)
+        try:
+            with self._admit("/score"):
+                check_deadline("score")
+                if stream is not None:
+                    payload, engine, graph = self._score_stream(stream,
+                                                                request)
+                else:
+                    payload, engine, graph = self._score_graph(request)
 
-        threshold = request.get("threshold")
-        if threshold is not None:
-            try:
-                threshold = float(threshold)
-            except (ValueError, TypeError) as error:
-                raise ServiceError(400, f"bad threshold: {error}") from error
-            payload["predictions"] = [
-                int(p >= threshold) for p in payload["probabilities"]]
-        payload["graph_name"] = graph.name
-        payload["num_regions"] = graph.num_nodes
-        payload["cache"] = engine.cache_stats.to_dict()
-        self.requests_served += 1
-        return payload
+                threshold = request.get("threshold")
+                if threshold is not None:
+                    try:
+                        threshold = float(threshold)
+                    except (ValueError, TypeError) as error:
+                        raise ServiceError(
+                            400, f"bad threshold: {error}") from error
+                    payload["predictions"] = [
+                        int(p >= threshold)
+                        for p in payload["probabilities"]]
+                payload["graph_name"] = graph.name
+                payload["num_regions"] = graph.num_nodes
+                payload["cache"] = engine.cache_stats.to_dict()
+                if self._stale is not None and stream is not None:
+                    self._stale.put(stream.strip(),
+                                    int(payload.get("stream_version", 0)),
+                                    payload)
+                self.requests_served += 1
+                return payload
+        except DeadlineExceeded:
+            raise  # nobody is waiting — a stale answer helps no one
+        except ShedError:
+            stale = self._stale_answer(stream)
+            if stale is not None:
+                self.requests_served += 1
+                return stale
+            raise
+
+    def _stale_answer(self, stream) -> Optional[Dict[str, object]]:
+        """A degraded-mode answer for a shed stream score, if possible."""
+        if self._stale is None or not isinstance(stream, str) \
+                or not stream.strip():
+            return None
+        with self._lock:
+            entry = self._streams.get(stream.strip())
+        if entry is None:
+            return None
+        return self._stale.get(stream.strip(), entry[0].version)
 
     def _score_graph(self, request: Dict[str, object]):
         """The classic ``/score`` body: a full graph payload + model."""
@@ -416,12 +490,14 @@ class ScoringService:
         """
         if not isinstance(request, dict):
             raise ServiceError(400, "request body must be a JSON object")
-        scorer, model, version = self._stream_entry(request.get("stream"))
-        fingerprint = scorer.evict()
-        self.requests_served += 1
-        return {"stream": str(request.get("stream")).strip(),
-                "evicted": fingerprint, "model": model,
-                "model_version": version}
+        with self._admit("/evict"):
+            check_deadline("evict")
+            scorer, model, version = self._stream_entry(request.get("stream"))
+            fingerprint = scorer.evict()
+            self.requests_served += 1
+            return {"stream": str(request.get("stream")).strip(),
+                    "evicted": fingerprint, "model": model,
+                    "model_version": version}
 
     def stats(self) -> Dict[str, object]:
         """Serving-wide performance counters.
@@ -490,6 +566,14 @@ class ScoringService:
         if not isinstance(rescore, bool):
             raise ServiceError(400, "'rescore' must be a boolean")
 
+        with self._admit("/update"):
+            check_deadline("update")
+            return self._update_admitted(request, stream, graph_payload,
+                                         delta_payload, rescore)
+
+    def _update_admitted(self, request: Dict[str, object], stream: str,
+                         graph_payload, delta_payload,
+                         rescore: bool) -> Dict[str, object]:
         if graph_payload is not None:
             model = request.get("model")
             if not model or not isinstance(model, str):
@@ -555,9 +639,13 @@ class ScoringService:
         except ValueError as error:
             raise ServiceError(400, f"bad delta payload: {error}") from error
         try:
-            update = scorer.update(delta, rescore=rescore,
-                                   regions=request.get("regions"),
-                                   top_percent=request.get("top_percent"))
+            # mask the deadline past this point: aborting a half-applied
+            # delta for a missed deadline would cost exactly-once
+            # semantics far more than the late answer costs capacity
+            with deadline_scope(None):
+                update = scorer.update(delta, rescore=rescore,
+                                       regions=request.get("regions"),
+                                       top_percent=request.get("top_percent"))
         except (ValueError, TypeError) as error:
             raise ServiceError(400, str(error)) from error
         payload = {"stream": stream, "opened": False, "model": model,
@@ -586,11 +674,14 @@ class _Handler(BaseHTTPRequestHandler):
         return self.server.service  # type: ignore[attr-defined]
 
     # ------------------------------------------------------------------
-    def _send_json(self, status: int, payload: Dict[str, object]) -> None:
+    def _send_json(self, status: int, payload: Dict[str, object],
+                   extra_headers: Optional[Dict[str, str]] = None) -> None:
         body = json.dumps(payload).encode("utf-8")
-        self._send_body(status, "application/json", body)
+        self._send_body(status, "application/json", body,
+                        extra_headers=extra_headers)
 
-    def _send_body(self, status: int, content_type: str, body: bytes) -> None:
+    def _send_body(self, status: int, content_type: str, body: bytes,
+                   extra_headers: Optional[Dict[str, str]] = None) -> None:
         # observe BEFORE the body goes out: once the client has the
         # response, a /metrics scrape it issues next must already include
         # this request (observing in a finally-block after the write loses
@@ -599,11 +690,24 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        for header, value in (extra_headers or {}).items():
+            self.send_header(header, value)
         self.end_headers()
         self.wfile.write(body)
 
     def _send_error_json(self, status: int, message: str) -> None:
         self._send_json(status, {"error": message, "status": status})
+
+    def _send_shed(self, error: ShedError) -> None:
+        """A shed request: 503 (overload, with Retry-After) or 504
+        (deadline already passed — retrying immediately cannot help)."""
+        status = 504 if isinstance(error, DeadlineExceeded) else 503
+        headers = None
+        if status == 503:
+            headers = {"Retry-After": f"{max(0.0, error.retry_after_s):.3f}"}
+        self._send_json(status, {"error": str(error), "status": status,
+                                 "shed": True, "reason": error.reason},
+                        extra_headers=headers)
 
     # ------------------------------------------------------------------
     def _observe_once(self, status: int) -> None:
@@ -631,11 +735,24 @@ class _Handler(BaseHTTPRequestHandler):
         self._request_method = method
         self._request_start = time.perf_counter()
         self._observed = False
+        # deadline propagation: a client-sent budget header becomes this
+        # request thread's active deadline, so admission and the compute
+        # layers below can shed work nobody is waiting for anymore
+        deadline = None
+        budget_ms = self.headers.get(DEADLINE_HEADER)
+        if budget_ms is not None:
+            try:
+                deadline = Deadline.after_ms(float(budget_ms))
+            except (TypeError, ValueError):
+                deadline = None  # malformed header: serve without one
         try:
             try:
-                run()
+                with deadline_scope(deadline):
+                    run()
             except ServiceError as error:
                 self._send_error_json(error.status, str(error))
+            except ShedError as error:
+                self._send_shed(error)
             except Exception as error:  # pragma: no cover - defensive
                 self._send_error_json(500, f"internal error: {error}")
         finally:
@@ -709,11 +826,15 @@ class ScoringServer:
                  cache_size: int = 32, batch_size: Optional[int] = 2048,
                  max_workers: int = 4, quiet: bool = True,
                  metrics: Optional[MetricsRegistry] = None,
-                 wal_dir=None) -> None:
-        self.service = ScoringService(registry, cache_size=cache_size,
-                                      batch_size=batch_size,
-                                      max_workers=max_workers,
-                                      metrics=metrics, wal_dir=wal_dir)
+                 wal_dir=None,
+                 admission: Optional[AdmissionConfig] = None,
+                 degraded: bool = False,
+                 degraded_max_version_lag: int = 8) -> None:
+        self.service = ScoringService(
+            registry, cache_size=cache_size, batch_size=batch_size,
+            max_workers=max_workers, metrics=metrics, wal_dir=wal_dir,
+            admission=admission, degraded=degraded,
+            degraded_max_version_lag=degraded_max_version_lag)
         handler = type("Handler", (_Handler,), {"quiet": quiet})
         self._httpd = ThreadingHTTPServer((host, port), handler)
         self._httpd.daemon_threads = True

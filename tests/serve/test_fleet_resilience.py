@@ -1,0 +1,410 @@
+"""Fleet-level resilience: breakers, probes, degraded mode, budgets.
+
+The regression this file exists for (PR 9 satellite): a shard that died
+and then recovered used to stay excluded until someone called
+``health()`` explicitly — the binary ``_down`` set had no path back.
+With per-shard circuit breakers and the background half-open prober,
+kill → recover → automatic revival must happen with *no* health call.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.serve import (AdmissionConfig, BreakerConfig, ChaosShard, Deadline,
+                         DeadlineExceeded, FleetError, FleetRouter,
+                         ResilienceConfig, ShedError, deadline_scope)
+from repro.serve.client import ScoringServiceError
+from repro.serve.fleet import ShardFailure, is_shard_failure
+
+SHARD_IDS = ["s0", "s1", "s2"]
+
+#: fast breaker + prober so revival happens in test time
+FAST_RECOVERY = BreakerConfig(backoff_initial_s=0.05, backoff_max_s=0.5,
+                              jitter=0.0)
+
+
+def _build_fleet(shard_factory, victim, resilience, **chaos_kwargs):
+    """A 3-shard fleet with ``victim`` wrapped in a ChaosShard."""
+    shards, chaos = [], None
+    for shard_id in SHARD_IDS:
+        shard = shard_factory(shard_id)
+        if shard_id == victim:
+            chaos = ChaosShard(shard, **chaos_kwargs)
+            shard = chaos
+        shards.append(shard)
+    return FleetRouter(shards, replication=2, resilience=resilience), chaos
+
+
+def _open_city_on_victim(router, fleet_cities):
+    """Open every city; return one whose active shard we can victimise."""
+    actives = {}
+    for name, graph in fleet_cities.items():
+        payload = router.open_stream(name, graph)
+        actives[name] = payload["shard"]
+    return actives
+
+
+def _wait_until(predicate, timeout_s=10.0, poll_s=0.02):
+    give_up = time.monotonic() + timeout_s
+    while time.monotonic() < give_up:
+        if predicate():
+            return True
+        time.sleep(poll_s)
+    return predicate()
+
+
+# ----------------------------------------------------------------------
+# chaos injection modes
+# ----------------------------------------------------------------------
+class TestChaosModes:
+    def test_fixed_latency_slows_every_call(self, shard_factory):
+        chaos = ChaosShard(shard_factory("lat"))
+        chaos.set_latency(0.01)
+        started = time.perf_counter()
+        chaos.healthz()
+        assert time.perf_counter() - started >= 0.01
+        assert chaos.slow_calls == 1
+        chaos.clear_chaos()
+        chaos.healthz()
+        assert chaos.slow_calls == 1  # cleared: no longer slow
+
+    def test_ramp_grows_the_delay_per_call(self, shard_factory):
+        chaos = ChaosShard(shard_factory("ramp"))
+        chaos.healthz()  # pre-ramp call: never slow
+        chaos.set_ramp(0.002)
+        for _ in range(3):
+            chaos.healthz()
+        assert chaos.slow_calls == 3
+        started = time.perf_counter()
+        chaos.healthz()  # 4th ramped call: >= 4 * step
+        assert time.perf_counter() - started >= 0.008
+
+    def test_flaky_failures_are_seeded_and_deterministic(self, shard_factory):
+        def failure_pattern(seed):
+            chaos = ChaosShard(shard_factory(f"flaky-{seed}"), seed=seed)
+            chaos.set_flaky(0.5)
+            pattern = []
+            for _ in range(20):
+                try:
+                    chaos.healthz()
+                    pattern.append(False)
+                except ShardFailure:
+                    pattern.append(True)
+            return pattern, chaos.flaky_failures
+
+        first, fails_a = failure_pattern(7)
+        second, fails_b = failure_pattern(7)
+        assert first == second
+        assert fails_a == fails_b == sum(first)
+        assert 0 < fails_a < 20  # actually intermittent, not dead/healthy
+
+    def test_clear_chaos_restores_passthrough(self, shard_factory):
+        chaos = ChaosShard(shard_factory("clear"))
+        chaos.fail()
+        with pytest.raises(ShardFailure):
+            chaos.healthz()
+        chaos.set_flaky(1.0)
+        chaos.clear_chaos()
+        assert chaos.healthz()["status"] == "ok"
+        assert not chaos.failing
+
+
+# ----------------------------------------------------------------------
+# shed-vs-shard-failure classification
+# ----------------------------------------------------------------------
+class TestFailureClassification:
+    @pytest.mark.parametrize("error,fatal", [
+        (ShardFailure("dead"), True),
+        (TimeoutError("hung"), True),
+        (ConnectionError("refused"), True),
+        (ScoringServiceError(0, "transport"), True),
+        (ScoringServiceError(500, "boom"), True),
+        # overload-control answers come from a *healthy* shard protecting
+        # itself; failing them over would amplify the overload
+        (ScoringServiceError(503, "shed", retry_after_s=0.05), False),
+        (ScoringServiceError(504, "deadline"), False),
+        (ShedError("local shed"), False),
+        (DeadlineExceeded("late"), False),
+        # request problems must propagate, never fail over
+        (ScoringServiceError(400, "bad delta"), False),
+        (ScoringServiceError(404, "no stream"), False),
+        (ValueError("malformed"), False),
+    ], ids=lambda x: repr(x) if isinstance(x, bool) else type(x).__name__ +
+        str(getattr(x, "status", "")))
+    def test_classification(self, error, fatal):
+        assert is_shard_failure(error) is fatal
+
+    def test_remote_shed_errors_know_they_are_sheds(self):
+        assert ScoringServiceError(503, "x").shed
+        assert ScoringServiceError(504, "x").shed
+        assert not ScoringServiceError(500, "x").shed
+
+
+# ----------------------------------------------------------------------
+# the satellite regression: kill -> recover -> automatic revival
+# ----------------------------------------------------------------------
+class TestAutoRevival:
+    def test_recovered_shard_rejoins_without_a_health_call(
+            self, shard_factory, fleet_cities):
+        resilience = ResilienceConfig(breaker=FAST_RECOVERY,
+                                      probe_interval_s=0.05)
+        # victimise whichever shard ends up active for the first city
+        probe_router, _ = _build_fleet(shard_factory, "none", resilience=None)
+        actives = _open_city_on_victim(probe_router, fleet_cities)
+        probe_router.close()
+        name = next(iter(fleet_cities))
+        victim = actives[name]
+
+        router, chaos = _build_fleet(shard_factory, victim, resilience)
+        try:
+            _open_city_on_victim(router, fleet_cities)
+            chaos.fail()
+            payload = router.score_stream(name)  # fails over, not out
+            assert payload["shard"] != victim
+            assert victim in router.down_shards()
+
+            chaos.recover()
+            # the regression: NO router.health() here — the background
+            # half-open prober must revive the shard on its own
+            assert _wait_until(lambda: not router.down_shards()), \
+                f"{victim} never auto-revived: {router.resilience_status()}"
+
+            breaker = router.resilience_status()["breakers"][victim]
+            assert breaker["state"] == "closed"
+            assert breaker["trips"] >= 1
+            assert breaker["probes"] >= 1
+            # the full cycle shows in the transition log
+            transitions = router.breaker_transitions(victim)
+            assert ("closed", "open") in transitions
+            assert ("open", "half_open") in transitions
+            assert ("half_open", "closed") in transitions
+            # and the revived shard serves again once it is active
+            assert router.score_stream(name)["stream"] == name
+        finally:
+            router.close()
+
+    def test_shard_that_stays_dead_stays_excluded(self, shard_factory,
+                                                  fleet_cities):
+        resilience = ResilienceConfig(breaker=FAST_RECOVERY,
+                                      probe_interval_s=0.05)
+        router, chaos = _build_fleet(shard_factory, SHARD_IDS[0], resilience)
+        try:
+            _open_city_on_victim(router, fleet_cities)
+            chaos.fail()
+            router.health()
+            assert SHARD_IDS[0] in router.down_shards()
+            time.sleep(0.3)  # several probe cycles, all failing
+            assert SHARD_IDS[0] in router.down_shards()
+            status = router.resilience_status()["breakers"][SHARD_IDS[0]]
+            assert status["state"] == "open"
+        finally:
+            router.close()
+
+
+# ----------------------------------------------------------------------
+# gray failure: the shard answers, but uselessly late
+# ----------------------------------------------------------------------
+class TestGrayFailure:
+    def test_slow_shard_trips_on_latency_and_recovers(self, shard_factory,
+                                                      fleet_cities):
+        resilience = ResilienceConfig(
+            breaker=BreakerConfig(latency_threshold_s=0.01,
+                                  latency_violations=2,
+                                  backoff_initial_s=0.05,
+                                  backoff_max_s=0.5, jitter=0.0),
+            probe_interval_s=0.05)
+        probe_router, _ = _build_fleet(shard_factory, "none", resilience=None)
+        actives = _open_city_on_victim(probe_router, fleet_cities)
+        probe_router.close()
+        name = next(iter(fleet_cities))
+        victim = actives[name]
+
+        router, chaos = _build_fleet(shard_factory, victim, resilience)
+        try:
+            _open_city_on_victim(router, fleet_cities)
+            chaos.set_latency(0.05)
+            # the shard still answers *correctly* — only late
+            for _ in range(2):
+                assert router.score_stream(name)["stream"] == name
+            assert chaos.failed_calls == 0
+            assert chaos.slow_calls >= 2
+            assert victim in router.down_shards(), \
+                "latency alone should have tripped the breaker"
+            # next score routes around the slow shard
+            payload = router.score_stream(name)
+            assert payload["shard"] != victim
+            assert router.fleet_stats.failovers >= 1
+
+            chaos.clear_chaos()
+            assert _wait_until(lambda: not router.down_shards()), \
+                "recovered slow shard never auto-revived"
+        finally:
+            router.close()
+
+
+# ----------------------------------------------------------------------
+# degraded mode: stale answers beat no answers
+# ----------------------------------------------------------------------
+class TestDegradedMode:
+    @pytest.fixture()
+    def degraded_router(self, shard_factory, fleet_cities):
+        resilience = ResilienceConfig(
+            admission=AdmissionConfig(max_concurrency=1, max_queue=0,
+                                      queue_timeout_s=0.05),
+            degraded=True, degraded_max_version_lag=8,
+            probe_interval_s=None)
+        router = FleetRouter([shard_factory(sid) for sid in SHARD_IDS],
+                             replication=2, resilience=resilience)
+        for name, graph in fleet_cities.items():
+            router.open_stream(name, graph)
+        yield router
+        router.close()
+
+    def test_shed_score_serves_bounded_stale_answer(self, degraded_router,
+                                                    fleet_cities):
+        name = next(iter(fleet_cities))
+        fresh = degraded_router.score_stream(name)  # fills the stale cache
+        # occupy the only admission slot, then score: shed -> degraded
+        with degraded_router._admission.admit():
+            payload = degraded_router.score_stream(name)
+        assert payload["degraded"] is True
+        assert payload["staleness"] == 0
+        assert payload["probabilities"] == fresh["probabilities"]
+        assert degraded_router.fleet_stats.sheds == 1
+        assert degraded_router.fleet_stats.degraded_served == 1
+        cache = degraded_router.resilience_status()["stale_cache"]
+        assert cache["served"] == 1
+
+    def test_shed_without_cached_answer_still_sheds(self, degraded_router,
+                                                    fleet_cities):
+        name = next(iter(fleet_cities))  # never scored: cache is cold
+        with degraded_router._admission.admit():
+            with pytest.raises(ShedError) as err:
+                degraded_router.score_stream(name)
+        assert err.value.reason == "queue_full"
+        assert err.value.retry_after_s > 0
+
+    def test_deadline_shed_never_gets_a_stale_answer(self, degraded_router,
+                                                     fleet_cities):
+        name = next(iter(fleet_cities))
+        degraded_router.score_stream(name)  # cache is warm
+        expired = Deadline(expires_at=time.monotonic() - 1.0)
+        with deadline_scope(expired):
+            with pytest.raises(DeadlineExceeded):
+                degraded_router.score_stream(name)
+
+
+# ----------------------------------------------------------------------
+# retry budget: failovers are funded, storms are not
+# ----------------------------------------------------------------------
+class TestRetryBudget:
+    def test_dry_budget_denies_the_failover_retry(self, shard_factory,
+                                                  fleet_cities):
+        # a bucket that can never afford one retry
+        resilience = ResilienceConfig(breaker=FAST_RECOVERY,
+                                      retry_budget_capacity=0.5,
+                                      probe_interval_s=None)
+        probe_router, _ = _build_fleet(shard_factory, "none", resilience=None)
+        actives = _open_city_on_victim(probe_router, fleet_cities)
+        probe_router.close()
+        name = next(iter(fleet_cities))
+        victim = actives[name]
+
+        router, chaos = _build_fleet(shard_factory, victim, resilience)
+        try:
+            _open_city_on_victim(router, fleet_cities)
+            chaos.fail()
+            with pytest.raises(FleetError, match="retry budget exhausted"):
+                router.score_stream(name)
+            assert router.fleet_stats.retries_denied == 1
+            budget = router.resilience_status()["retry_budget"]
+            assert budget["retries_denied"] == 1
+            assert budget["balance"] >= 0.0
+        finally:
+            router.close()
+
+    def test_funded_budget_allows_the_failover(self, shard_factory,
+                                               fleet_cities):
+        resilience = ResilienceConfig(breaker=FAST_RECOVERY,
+                                      probe_interval_s=None)
+        probe_router, _ = _build_fleet(shard_factory, "none", resilience=None)
+        actives = _open_city_on_victim(probe_router, fleet_cities)
+        probe_router.close()
+        name = next(iter(fleet_cities))
+        victim = actives[name]
+
+        router, chaos = _build_fleet(shard_factory, victim, resilience)
+        try:
+            _open_city_on_victim(router, fleet_cities)
+            chaos.fail()
+            payload = router.score_stream(name)
+            assert payload["shard"] != victim
+            assert router.resilience_status()["retry_budget"][
+                "retries_allowed"] >= 1
+        finally:
+            router.close()
+
+
+# ----------------------------------------------------------------------
+# deadline propagation through the router
+# ----------------------------------------------------------------------
+class TestFleetDeadlines:
+    @pytest.fixture()
+    def plain_router(self, shard_factory, fleet_cities):
+        router = FleetRouter(
+            [shard_factory(sid) for sid in SHARD_IDS], replication=2,
+            resilience=ResilienceConfig(probe_interval_s=None))
+        for name, graph in fleet_cities.items():
+            router.open_stream(name, graph)
+        yield router
+        router.close()
+
+    def test_expired_deadline_sheds_before_compute(self, plain_router,
+                                                   fleet_cities, fleet_trace):
+        name = next(iter(fleet_cities))
+        delta = next(op.delta for op in fleet_trace.ops
+                     if op.op == "update" and op.city == name)
+        expired = Deadline(expires_at=time.monotonic() - 1.0)
+        before = plain_router.fleet_stats.score_requests
+        with deadline_scope(expired):
+            with pytest.raises(DeadlineExceeded):
+                plain_router.score_stream(name)
+            with pytest.raises(DeadlineExceeded):
+                plain_router.update_stream(name, delta)
+            with pytest.raises(DeadlineExceeded):
+                plain_router.evict_stream(name)
+        assert plain_router.fleet_stats.sheds == 3
+        assert plain_router.fleet_stats.score_requests == before
+        # the shed update was never applied: version chain intact
+        assert plain_router.cities()[name]["version"] == 0
+
+    def test_generous_deadline_is_invisible(self, plain_router, fleet_cities):
+        name = next(iter(fleet_cities))
+        with deadline_scope(Deadline.after_ms(60_000)):
+            payload = plain_router.score_stream(name)
+        assert payload["stream"] == name
+        assert plain_router.fleet_stats.sheds == 0
+
+
+# ----------------------------------------------------------------------
+# observability surfaces
+# ----------------------------------------------------------------------
+class TestResilienceReporting:
+    def test_healthz_and_stats_carry_the_resilience_block(self, shard_factory,
+                                                          fleet_cities):
+        router = FleetRouter(
+            [shard_factory(sid) for sid in SHARD_IDS], replication=2,
+            resilience=ResilienceConfig(probe_interval_s=None))
+        try:
+            health = router.healthz()
+            assert set(health["resilience"]["breakers"]) == set(SHARD_IDS)
+            for state in health["resilience"]["breakers"].values():
+                assert state["state"] == "closed"
+            assert health["resilience"]["retry_budget"]["balance"] == 16.0
+            report = router.stats()
+            assert report["resilience"]["retry_budget"]["requests"] == 0
+        finally:
+            router.close()

@@ -1,0 +1,521 @@
+"""Unit + property tests for the resilience primitives.
+
+Covers the deterministic state machines in :mod:`repro.serve.resilience`
+with injected clocks, the hypothesis properties the module docstrings
+promise (no invalid breaker transition, open always eventually
+half-opens, the retry-budget balance never goes negative), and a
+threaded admission soak reconciling shed-vs-accepted counters exactly.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serve.resilience import (VALID_BREAKER_TRANSITIONS,
+                                    AdmissionConfig, AdmissionController,
+                                    BreakerConfig, CircuitBreaker, Deadline,
+                                    DeadlineExceeded, ResilienceConfig,
+                                    RetryBudget, ShedError, StaleScoreCache,
+                                    check_deadline, current_deadline,
+                                    deadline_scope, remaining_ms_header)
+
+
+class FakeClock:
+    """A manually-advanced monotonic clock."""
+
+    def __init__(self, now: float = 100.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+def make_breaker(clock, **overrides) -> CircuitBreaker:
+    """A jitter-free breaker on an injected clock."""
+    defaults = dict(jitter=0.0, backoff_initial_s=1.0)
+    defaults.update(overrides)
+    return CircuitBreaker("shard-0", BreakerConfig(**defaults), clock=clock)
+
+
+# ----------------------------------------------------------------------
+# deadlines
+# ----------------------------------------------------------------------
+class TestDeadline:
+    def test_budget_decrements_with_the_clock(self):
+        clock = FakeClock()
+        deadline = Deadline.after_ms(250.0, clock=clock)
+        assert deadline.remaining_ms() == pytest.approx(250.0)
+        clock.advance(0.2)
+        assert deadline.remaining_ms() == pytest.approx(50.0)
+        assert not deadline.expired
+        clock.advance(0.1)
+        assert deadline.expired
+        with pytest.raises(DeadlineExceeded) as err:
+            deadline.raise_if_expired("unit test")
+        assert err.value.overdue_s == pytest.approx(0.05)
+        assert err.value.reason == "deadline"
+
+    def test_non_finite_budget_is_rejected(self):
+        for bad in (float("inf"), float("nan")):
+            with pytest.raises(ValueError):
+                Deadline.after_ms(bad)
+
+    def test_scope_installs_masks_and_restores(self):
+        clock = FakeClock()
+        outer = Deadline.after_ms(1000.0, clock=clock)
+        assert current_deadline() is None
+        with deadline_scope(outer):
+            assert current_deadline() is outer
+            # deadline_scope(None) masks: delta application must never
+            # be aborted mid-way for a missed deadline
+            with deadline_scope(None):
+                assert current_deadline() is None
+                check_deadline("masked")  # no-op even if outer expired
+            assert current_deadline() is outer
+        assert current_deadline() is None
+
+    def test_check_deadline_sheds_expired_scope(self):
+        clock = FakeClock()
+        deadline = Deadline.after_ms(10.0, clock=clock)
+        clock.advance(1.0)
+        with deadline_scope(deadline):
+            with pytest.raises(DeadlineExceeded):
+                check_deadline("router")
+
+    def test_header_floors_at_zero(self):
+        clock = FakeClock()
+        assert remaining_ms_header() is None
+        deadline = Deadline.after_ms(120.0, clock=clock)
+        with deadline_scope(deadline):
+            assert remaining_ms_header() == "120"
+            clock.advance(1.0)
+            # spent budgets still send the header so the next hop sheds
+            assert remaining_ms_header() == "0"
+
+
+# ----------------------------------------------------------------------
+# admission control
+# ----------------------------------------------------------------------
+class TestAdmissionController:
+    def test_admits_within_concurrency_bound(self):
+        controller = AdmissionController(
+            "/score", AdmissionConfig(max_concurrency=2, max_queue=0))
+        with controller.admit():
+            with controller.admit():
+                assert controller.active == 2
+        assert controller.active == 0
+        assert controller.attempts == controller.admitted == 2
+        assert controller.shed_total == 0
+
+    def test_sheds_when_queue_is_full(self):
+        controller = AdmissionController(
+            "/score", AdmissionConfig(max_concurrency=1, max_queue=0,
+                                      retry_after_s=0.125))
+        with controller.admit():
+            with pytest.raises(ShedError) as err:
+                with controller.admit():
+                    pass  # pragma: no cover - never admitted
+        assert err.value.reason == "queue_full"
+        assert err.value.retry_after_s == pytest.approx(0.125)
+        assert controller.sheds["queue_full"] == 1
+        assert controller.attempts == controller.admitted + controller.shed_total
+
+    def test_queued_request_times_out(self):
+        controller = AdmissionController(
+            "/score", AdmissionConfig(max_concurrency=1, max_queue=4,
+                                      queue_timeout_s=0.05))
+        release = threading.Event()
+        started = threading.Event()
+
+        def hog():
+            with controller.admit():
+                started.set()
+                release.wait(timeout=5.0)
+
+        hogger = threading.Thread(target=hog)
+        hogger.start()
+        try:
+            assert started.wait(timeout=5.0)
+            with pytest.raises(ShedError) as err:
+                with controller.admit():
+                    pass  # pragma: no cover - never admitted
+            assert err.value.reason == "queue_timeout"
+        finally:
+            release.set()
+            hogger.join(timeout=5.0)
+        assert controller.sheds["queue_timeout"] == 1
+        assert controller.queued == 0
+
+    def test_expired_deadline_is_shed_before_queueing(self):
+        clock = FakeClock()
+        controller = AdmissionController("/score", AdmissionConfig())
+        deadline = Deadline.after_ms(10.0, clock=clock)
+        clock.advance(1.0)
+        with pytest.raises(DeadlineExceeded):
+            with controller.admit(deadline=deadline):
+                pass  # pragma: no cover - never admitted
+        assert controller.sheds["deadline"] == 1
+        assert controller.admitted == 0
+
+    def test_describe_reconciles(self):
+        controller = AdmissionController(
+            "/score", AdmissionConfig(max_concurrency=1, max_queue=0))
+        with controller.admit():
+            with pytest.raises(ShedError):
+                with controller.admit():
+                    pass  # pragma: no cover
+        report = controller.describe()
+        assert report["attempts"] == report["admitted"] + report["shed_total"]
+        assert report["active"] == 0
+
+    def test_threaded_soak_counters_reconcile_exactly(self):
+        """attempts == admitted + shed under real contention.
+
+        Every issued op lands in exactly one bucket; the totals must
+        reconcile to the op count with no drift — the invariant the
+        overload benchmark's accounting depends on.
+        """
+        controller = AdmissionController(
+            "/score", AdmissionConfig(max_concurrency=3, max_queue=2,
+                                      queue_timeout_s=0.005))
+        threads, per_thread = 8, 50
+        local = {"admitted": 0, "shed": 0}
+        tally = threading.Lock()
+
+        def worker():
+            admitted = shed = 0
+            for _ in range(per_thread):
+                try:
+                    with controller.admit():
+                        admitted += 1
+                except ShedError:
+                    shed += 1
+            with tally:
+                local["admitted"] += admitted
+                local["shed"] += shed
+
+        pool = [threading.Thread(target=worker) for _ in range(threads)]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join(timeout=30.0)
+        issued = threads * per_thread
+        assert controller.attempts == issued
+        assert controller.admitted == local["admitted"]
+        assert controller.shed_total == local["shed"]
+        assert controller.admitted + controller.shed_total == issued
+        assert controller.active == 0
+        assert controller.queued == 0
+
+
+# ----------------------------------------------------------------------
+# circuit breaker
+# ----------------------------------------------------------------------
+class TestCircuitBreaker:
+    def test_failure_threshold_trips(self):
+        clock = FakeClock()
+        breaker = make_breaker(clock, failure_threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert breaker.trips == 1
+        assert not breaker.allow()
+
+    def test_success_resets_the_failure_run(self):
+        clock = FakeClock()
+        breaker = make_breaker(clock, failure_threshold=2)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+
+    def test_open_half_opens_after_backoff_and_closes_on_probe_success(self):
+        clock = FakeClock()
+        breaker = make_breaker(clock, backoff_initial_s=1.0)
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()
+        clock.advance(1.01)
+        assert breaker.allow()  # the single half-open probe
+        assert breaker.state == "half_open"
+        assert not breaker.allow()  # slot already owned
+        breaker.record_success(0.01)
+        assert breaker.state == "closed"
+        assert breaker.allow()
+        assert breaker.transitions == [("closed", "open"),
+                                       ("open", "half_open"),
+                                       ("half_open", "closed")]
+
+    def test_failed_probe_reopens_with_doubled_backoff(self):
+        clock = FakeClock()
+        breaker = make_breaker(clock, backoff_initial_s=1.0,
+                               backoff_multiplier=2.0)
+        breaker.record_failure()
+        clock.advance(1.01)
+        assert breaker.allow()
+        breaker.record_failure()  # probe failed
+        assert breaker.state == "open"
+        clock.advance(1.01)
+        assert not breaker.allow()  # first retrip doubled the wait
+        clock.advance(1.0)
+        assert breaker.allow()
+        breaker.record_success(0.01)
+        # a full reset also resets the backoff ladder
+        breaker.record_failure()
+        clock.advance(1.01)
+        assert breaker.allow()
+
+    def test_explicit_latency_threshold_trips_on_gray_failure(self):
+        clock = FakeClock()
+        breaker = make_breaker(clock, latency_threshold_s=0.1,
+                               latency_violations=3)
+        for _ in range(2):
+            breaker.record_success(0.5)
+        assert breaker.state == "closed"
+        breaker.record_success(0.01)  # a fast call resets the slow run
+        breaker.record_success(0.5)
+        breaker.record_success(0.5)
+        assert breaker.state == "closed"
+        breaker.record_success(0.5)
+        assert breaker.state == "open"
+
+    def test_derived_threshold_uses_own_p99(self):
+        clock = FakeClock()
+        breaker = make_breaker(clock, min_latency_samples=16,
+                               latency_factor=4.0, latency_violations=2)
+        assert breaker.slow_threshold_s() is None  # not enough samples
+        for _ in range(16):
+            breaker.record_success(0.010)
+        threshold = breaker.slow_threshold_s()
+        assert threshold == pytest.approx(0.040)
+        breaker.record_success(0.010)  # under: harmless, keeps the window
+        assert breaker.slow_threshold_s() == pytest.approx(0.040)
+        breaker.record_success(0.100)
+        breaker.record_success(0.100)
+        assert breaker.state == "open"
+
+    def test_success_racing_a_trip_does_not_close(self):
+        clock = FakeClock()
+        breaker = make_breaker(clock)
+        breaker.record_failure()
+        assert breaker.state == "open"
+        # a call that started while closed finishes now: says nothing
+        breaker.record_success(0.01)
+        assert breaker.state == "open"
+
+    def test_force_close_takes_the_legal_path_from_open(self):
+        clock = FakeClock()
+        breaker = make_breaker(clock)
+        breaker.record_failure()
+        breaker.force_close()
+        assert breaker.state == "closed"
+        assert set(breaker.transitions) <= VALID_BREAKER_TRANSITIONS
+
+    def test_force_open_trips_from_closed_and_half_open(self):
+        clock = FakeClock()
+        breaker = make_breaker(clock)
+        breaker.force_open()
+        assert breaker.state == "open"
+        clock.advance(1.01)
+        assert breaker.allow()
+        assert breaker.state == "half_open"
+        breaker.force_open()
+        assert breaker.state == "open"
+        assert set(breaker.transitions) <= VALID_BREAKER_TRANSITIONS
+
+    def test_on_transition_callback_sees_every_edge(self):
+        clock = FakeClock()
+        seen = []
+        breaker = CircuitBreaker(
+            "s", BreakerConfig(jitter=0.0, backoff_initial_s=1.0),
+            clock=clock,
+            on_transition=lambda name, old, new: seen.append((old, new)))
+        breaker.record_failure()
+        clock.advance(1.01)
+        breaker.allow()
+        breaker.record_success()
+        assert seen == breaker.transitions
+
+    def test_jitter_is_deterministic_per_seed(self):
+        def trip_delay(seed):
+            clock = FakeClock()
+            breaker = CircuitBreaker(
+                "s", BreakerConfig(jitter=0.5, backoff_initial_s=1.0,
+                                   seed=seed), clock=clock)
+            breaker.record_failure()
+            return breaker.describe()["next_probe_in_s"]
+
+        assert trip_delay(1) == trip_delay(1)
+        assert 0.5 <= trip_delay(1) <= 1.5
+
+
+#: one breaker-facing event; clock advances interleave freely
+breaker_events = st.lists(
+    st.one_of(
+        st.just(("failure",)),
+        st.tuples(st.just("success"),
+                  st.floats(min_value=0.0, max_value=2.0,
+                            allow_nan=False, allow_infinity=False)),
+        st.just(("allow",)),
+        st.just(("force_open",)),
+        st.just(("force_close",)),
+        st.tuples(st.just("advance"),
+                  st.floats(min_value=0.0, max_value=10.0,
+                            allow_nan=False, allow_infinity=False)),
+    ),
+    min_size=0, max_size=60)
+
+
+class TestBreakerProperties:
+    @given(events=breaker_events, seed=st.integers(0, 2 ** 16))
+    @settings(max_examples=120, deadline=None)
+    def test_no_sequence_produces_an_invalid_transition(self, events, seed):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            "prop", BreakerConfig(failure_threshold=2,
+                                  latency_threshold_s=0.5,
+                                  latency_violations=2,
+                                  backoff_initial_s=0.5, seed=seed),
+            clock=clock)
+        for event in events:
+            if event[0] == "failure":
+                breaker.record_failure()
+            elif event[0] == "success":
+                breaker.record_success(event[1])
+            elif event[0] == "allow":
+                breaker.allow()
+            elif event[0] == "force_open":
+                breaker.force_open()
+            elif event[0] == "force_close":
+                breaker.force_close()
+            else:
+                clock.advance(event[1])
+            assert breaker.state in ("closed", "half_open", "open")
+        assert set(breaker.transitions) <= VALID_BREAKER_TRANSITIONS
+
+    @given(events=breaker_events, seed=st.integers(0, 2 ** 16))
+    @settings(max_examples=120, deadline=None)
+    def test_open_always_eventually_half_opens(self, events, seed):
+        """No event sequence can wedge the breaker: from open, enough
+        wall-clock time always buys a probe."""
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            "prop", BreakerConfig(failure_threshold=1,
+                                  latency_threshold_s=0.5,
+                                  latency_violations=2,
+                                  backoff_initial_s=0.5,
+                                  backoff_max_s=30.0, seed=seed),
+            clock=clock)
+        for event in events:
+            if event[0] == "failure":
+                breaker.record_failure()
+            elif event[0] == "success":
+                breaker.record_success(event[1])
+            elif event[0] == "allow":
+                breaker.allow()
+            elif event[0] == "force_open":
+                breaker.force_open()
+            elif event[0] == "force_close":
+                breaker.force_close()
+            else:
+                clock.advance(event[1])
+        breaker.record_failure()  # ensure we end at (or stay in) a bad state
+        if breaker.state == "open":
+            # backoff_max_s caps the wait; jitter adds < 100%
+            clock.advance(2 * 30.0 + 1.0)
+            assert breaker.allow()
+            assert breaker.state == "half_open"
+
+
+class TestRetryBudgetProperties:
+    @given(ops=st.lists(st.one_of(
+        st.just("fund"),
+        st.tuples(st.just("spend"),
+                  st.floats(min_value=0.0, max_value=4.0,
+                            allow_nan=False, allow_infinity=False))),
+        min_size=0, max_size=200),
+        ratio=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        capacity=st.floats(min_value=0.1, max_value=64.0, allow_nan=False),
+        initial=st.floats(min_value=0.0, max_value=64.0, allow_nan=False))
+    @settings(max_examples=150, deadline=None)
+    def test_balance_never_negative_and_never_above_capacity(
+            self, ops, ratio, capacity, initial):
+        budget = RetryBudget(ratio=ratio, capacity=capacity, initial=initial)
+        for op in ops:
+            if op == "fund":
+                budget.note_request()
+            else:
+                granted = budget.try_spend(op[1])
+                if granted:
+                    assert budget.balance() >= 0.0
+            assert 0.0 <= budget.balance() <= capacity
+
+    def test_spend_denied_when_dry(self):
+        budget = RetryBudget(ratio=0.1, capacity=2.0, initial=1.0)
+        assert budget.try_spend()
+        assert not budget.try_spend()
+        assert budget.retries_denied == 1
+        for _ in range(12):  # 12 x 0.1 clears 1.0 despite float rounding
+            budget.note_request()
+        assert budget.try_spend()
+        assert budget.balance() == pytest.approx(0.2, abs=1e-6)
+
+
+# ----------------------------------------------------------------------
+# stale-score cache
+# ----------------------------------------------------------------------
+class TestStaleScoreCache:
+    def test_serves_within_the_lag_bound_flagged_degraded(self):
+        cache = StaleScoreCache(max_version_lag=3)
+        cache.put("porto", 7, {"scores": [1.0], "cache": "miss"})
+        hit = cache.get("porto", 9)
+        assert hit is not None
+        assert hit["degraded"] is True
+        assert hit["staleness"] == 2
+        assert hit["cached_version"] == 7
+        assert "cache" not in hit  # engine-cache flag stripped
+        assert cache.get("porto", 11) is None  # lag 4 > 3
+        assert cache.served == 1 and cache.too_stale == 1
+
+    def test_get_returns_a_copy(self):
+        cache = StaleScoreCache()
+        cache.put("porto", 1, {"scores": [1.0]})
+        first = cache.get("porto", 1)
+        first["scores"] = "mutated"
+        second = cache.get("porto", 1)
+        assert second["scores"] == [1.0]
+        assert first["staleness"] == 0
+
+    def test_entry_count_is_bounded(self):
+        cache = StaleScoreCache(max_entries=2)
+        cache.put("a", 1, {})
+        cache.put("b", 1, {})
+        cache.put("c", 1, {})
+        assert cache.describe()["entries"] == 2
+
+    def test_missing_stream_is_a_miss(self):
+        assert StaleScoreCache().get("nowhere", 0) is None
+
+
+class TestResilienceConfig:
+    def test_budget_built_from_knobs(self):
+        config = ResilienceConfig(retry_budget_ratio=0.25,
+                                  retry_budget_capacity=4.0)
+        budget = config.build_retry_budget()
+        assert budget.ratio == 0.25
+        assert budget.capacity == 4.0
+        assert budget.balance() == 4.0
+
+    def test_probe_interval_validated(self):
+        with pytest.raises(ValueError):
+            ResilienceConfig(probe_interval_s=0.0)
+        ResilienceConfig(probe_interval_s=None)  # disabled is fine

@@ -1,0 +1,130 @@
+"""HTTP-level overload behaviour: 503/Retry-After, 504 deadlines,
+degraded answers.
+
+The server under test runs with a deliberately tiny admission controller
+(one slot, no queue) so a single held slot is saturation — sheds are
+deterministic, not load-dependent.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.serve import (AdmissionConfig, Deadline, ScoringClient,
+                         ScoringServer, deadline_scope)
+from repro.serve.client import ScoringServiceError
+from repro.serve.resilience import DEADLINE_HEADER
+
+
+@pytest.fixture(scope="module")
+def server(model_registry):
+    running = ScoringServer(
+        model_registry, quiet=True,
+        admission=AdmissionConfig(max_concurrency=1, max_queue=0,
+                                  queue_timeout_s=0.05, retry_after_s=0.125),
+        degraded=True)
+    with running:
+        yield running
+
+
+@pytest.fixture(scope="module")
+def client(server):
+    client = ScoringClient(server.url)
+    client.wait_until_ready()
+    yield client
+    client.close()
+
+
+def _hold_score_slot(server):
+    """Occupy /score's only admission slot (in-process, no socket)."""
+    return server.service._admission["/score"].admit()
+
+
+class TestServerShedding:
+    def test_saturated_score_returns_503_with_retry_after(
+            self, server, client, tiny_graph_small_image):
+        client.open_stream("shed-cold", tiny_graph_small_image, "tiny")
+        with _hold_score_slot(server):
+            # never scored -> no stale answer available -> a real shed
+            with pytest.raises(ScoringServiceError) as err:
+                client.score_stream("shed-cold")
+        assert err.value.status == 503
+        assert err.value.shed
+        assert err.value.retry_after_s == pytest.approx(0.125)
+        # the shed shows up in the service's own accounting
+        resilience = client.healthz()["resilience"]
+        score_admission = resilience["admission"]["/score"]
+        assert score_admission["shed"]["queue_full"] >= 1
+        assert score_admission["attempts"] == (
+            score_admission["admitted"] + score_admission["shed_total"])
+
+    def test_shed_score_serves_degraded_from_stale_cache(
+            self, server, client, tiny_graph_small_image):
+        client.open_stream("shed-warm", tiny_graph_small_image, "tiny")
+        fresh = client.score_stream("shed-warm")
+        assert "degraded" not in fresh
+        with _hold_score_slot(server):
+            degraded = client.score_stream("shed-warm")
+        assert degraded["degraded"] is True
+        assert degraded["staleness"] == 0
+        np.testing.assert_array_equal(
+            np.asarray(degraded["probabilities"], dtype=np.float64),
+            np.asarray(fresh["probabilities"], dtype=np.float64))
+
+    def test_saturated_update_sheds_without_degraded_answer(
+            self, server, client, tiny_graph_small_image, fleet_trace):
+        client.open_stream("shed-update", tiny_graph_small_image, "tiny")
+        delta = next(op.delta for op in fleet_trace.ops if op.op == "update")
+        with server.service._admission["/update"].admit():
+            with pytest.raises(ScoringServiceError) as err:
+                client.update_stream("shed-update", delta)
+        assert err.value.status == 503
+        # the shed update was never applied
+        assert client.score_stream("shed-update")["stream_version"] == 0
+
+
+class TestServerDeadlines:
+    def test_expired_deadline_propagates_as_504(self, client,
+                                                tiny_graph_small_image):
+        client.open_stream("deadline-city", tiny_graph_small_image, "tiny")
+        expired = Deadline(expires_at=time.monotonic() - 1.0)
+        with deadline_scope(expired):
+            # the client attaches X-Repro-Deadline-Ms: 0 automatically
+            with pytest.raises(ScoringServiceError) as err:
+                client.score_stream("deadline-city")
+        assert err.value.status == 504
+        assert err.value.shed
+
+    def test_generous_deadline_is_invisible(self, client,
+                                            tiny_graph_small_image):
+        with deadline_scope(Deadline.after_ms(60_000)):
+            payload = client.score_stream("deadline-city")
+        assert payload["stream"] == "deadline-city"
+
+    def test_malformed_deadline_header_is_ignored(self, server, client):
+        body = json.dumps({"stream": "deadline-city"}).encode()
+        request = urllib.request.Request(
+            server.url + "/score", data=body,
+            headers={"Content-Type": "application/json",
+                     DEADLINE_HEADER: "soon-ish"})
+        with urllib.request.urlopen(request, timeout=30) as response:
+            payload = json.loads(response.read())
+        assert response.status == 200
+        assert payload["stream"] == "deadline-city"
+
+
+class TestServerResilienceReporting:
+    def test_healthz_reports_all_post_endpoints(self, client):
+        resilience = client.healthz()["resilience"]
+        assert set(resilience["admission"]) == {"/score", "/update", "/evict"}
+        assert "stale_cache" in resilience
+
+    def test_shed_metrics_are_scrapeable(self, client):
+        text = client.metrics_text()
+        assert "repro_resilience_shed_total" in text
+        assert "repro_resilience_admitted_total" in text
