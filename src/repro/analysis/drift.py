@@ -119,11 +119,25 @@ class DriftReport:
 
 
 def _spearman(a: np.ndarray, b: np.ndarray) -> float:
+    """Spearman rank correlation with defined degenerate-input behaviour.
+
+    ``np.corrcoef`` is undefined (nan) when either rank vector is
+    constant, but rollout policies gate promote/rollback decisions on
+    this value and must never act on nan.  Degenerate inputs therefore
+    map to defined values: two constant vectors induce identical
+    (trivial) rankings — perfect agreement, 1.0 — while a constant
+    vector against a varying one carries no rank information, so the
+    correlation is reported as 0.0 (the conservative "no agreement
+    evidence" value).  Vectors shorter than two regions have no ranking
+    to compare at all and also count as perfect agreement.
+    """
     if a.size < 2:
-        return float("nan")
+        return 1.0
     ranks_a, ranks_b = rankdata(a), rankdata(b)
-    if ranks_a.std() == 0 or ranks_b.std() == 0:
-        return float("nan")
+    a_constant = ranks_a.std() == 0
+    b_constant = ranks_b.std() == 0
+    if a_constant or b_constant:
+        return 1.0 if (a_constant and b_constant) else 0.0
     return float(np.corrcoef(ranks_a, ranks_b)[0, 1])
 
 

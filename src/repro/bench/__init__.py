@@ -29,12 +29,14 @@ from .experiment import (EXPERIMENT_SCHEMA_VERSION, ExperimentConfig,
                          summarize_metrics)
 from .load import (LOAD_SCHEMA_VERSION, LoadConfig, LoadResult, OpRecord,
                    format_load_report, load_matches_serial_oracle, run_load)
-from .workload import (ReplayResult, WorkloadConfig, WorkloadOp,
-                       WorkloadTrace, derive_cities, generate_workload,
-                       load_trace, replay_trace, replays_identical,
-                       resume_point, resumed_tail_identical,
+from .workload import (ReplayResult, RolloutReplayResult, WorkloadConfig,
+                       WorkloadOp, WorkloadTrace, derive_cities,
+                       generate_workload, load_trace, replay_rollout_trace,
+                       replay_trace, replays_identical, resume_point,
+                       resumed_tail_identical, rollout_replays_identical,
                        save_trace, score_digest, trace_from_bytes,
-                       trace_from_payload, trace_to_bytes, trace_to_payload)
+                       trace_from_payload, trace_to_bytes, trace_to_payload,
+                       with_rollout)
 
 __all__ = [
     "WorkloadOp",
@@ -54,6 +56,10 @@ __all__ = [
     "resumed_tail_identical",
     "score_digest",
     "ReplayResult",
+    "with_rollout",
+    "replay_rollout_trace",
+    "RolloutReplayResult",
+    "rollout_replays_identical",
     "LOAD_SCHEMA_VERSION",
     "LoadConfig",
     "LoadResult",

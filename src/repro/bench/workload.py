@@ -2,8 +2,8 @@
 
 A :class:`WorkloadTrace` is a *frozen unit of traffic*: a set of named
 initial city graphs plus an ordered list of ``score`` / ``update`` /
-``evict`` ops, where every update carries the concrete
-:class:`~repro.stream.delta.GraphDelta` it applies.  Because the deltas
+``evict`` (and optionally ``rollout``) ops, where every update carries
+the concrete :class:`~repro.stream.delta.GraphDelta` it applies.  Because the deltas
 are materialised at generation time (not re-drawn at replay time), the
 same trace replayed against *any* backend topology — one in-process
 engine, a 3-shard fleet, a fleet with a shard dying mid-run — issues the
@@ -57,13 +57,23 @@ __all__ = [
     "replay_trace", "replays_identical", "ReplayResult",
     "resume_point", "resumed_tail_identical",
     "score_digest",
+    "with_rollout", "replay_rollout_trace", "RolloutReplayResult",
+    "rollout_replays_identical",
 ]
 
 #: archive/payload schema marker, checked on decode
 TRACE_FORMAT_VERSION = 1
 
-#: the op kinds a trace may contain
-OP_KINDS = ("score", "update", "evict")
+#: the op kinds a trace may contain.  ``rollout`` is a control op: at
+#: that point in the trace a staged canary rollout is started
+#: (:func:`replay_rollout_trace`); plain :func:`replay_trace` treats it
+#: as a no-op so rollout traces stay replayable on any backend.
+OP_KINDS = ("score", "update", "evict", "rollout")
+
+#: the op kinds the generator draws (weights map 1:1 onto these;
+#: ``rollout`` ops are inserted deliberately via :func:`with_rollout`,
+#: never drawn at random)
+_GENERATED_OPS = ("score", "update", "evict")
 
 
 @dataclass(frozen=True)
@@ -215,7 +225,8 @@ def generate_workload(graphs: Mapping[str, UrbanRegionGraph],
     ops: List[WorkloadOp] = []
     for _ in range(config.ops):
         city = names[int(rng.integers(len(names)))]
-        kind = OP_KINDS[int(rng.choice(len(OP_KINDS), p=weights))]
+        kind = _GENERATED_OPS[int(rng.choice(len(_GENERATED_OPS),
+                                             p=weights))]
         if kind == "update":
             delta = None
             for probe in range(len(config.scenarios)):
@@ -520,8 +531,11 @@ def replay_trace(trace: WorkloadTrace, backend,
                                             rescore=rescore_updates)
             record(payload["score"]["probabilities"]
                    if rescore_updates else None)
-        else:  # evict — WorkloadOp validated the kind already
+        elif op.op == "evict":
             backend.evict_stream(op.city)
+            record(None)
+        else:  # rollout — a control marker; plain replay skips it so
+            # rollout traces stay replayable on any backend
             record(None)
     elapsed = time.perf_counter() - start
     stats = None
@@ -689,3 +703,123 @@ def replays_identical(a: ReplayResult, b: ReplayResult) -> Tuple[bool, float]:
             comparer.compare(a.scores[i], b.scores[i], _digest_at(a, i),
                              _digest_at(b, i), f"op[{i}]")
     return comparer.result()
+
+
+# ----------------------------------------------------------------------
+# rollout replay
+# ----------------------------------------------------------------------
+def with_rollout(trace: WorkloadTrace, at: int) -> WorkloadTrace:
+    """A copy of ``trace`` with a ``rollout`` control op inserted at
+    op index ``at`` — the point where :func:`replay_rollout_trace`
+    starts the staged canary rollout."""
+    if not 0 <= at <= len(trace.ops):
+        raise ValueError(f"at must be in [0, {len(trace.ops)}], got {at}")
+    first_city = next(iter(trace.cities))
+    ops = list(trace.ops)
+    ops.insert(at, WorkloadOp("rollout", first_city))
+    return WorkloadTrace(cities=OrderedDict(trace.cities), ops=ops,
+                         seed=trace.seed, name=f"{trace.name}+rollout@{at}",
+                         meta={**trace.meta, "rollout_at": int(at)})
+
+
+@dataclass
+class RolloutReplayResult(ReplayResult):
+    """A :class:`ReplayResult` plus the rollout's decision record.
+
+    ``decisions`` is the controller's per-request canary log (stream,
+    canary flag, stage, state — in arrival order) and
+    ``rollout_status`` its final status snapshot; together with the
+    score trajectory they are what two replays of the same trace must
+    reproduce bit-for-bit."""
+
+    decisions: List[Dict[str, object]] = field(default_factory=list)
+    rollout_status: Optional[Dict[str, object]] = None
+
+
+def replay_rollout_trace(trace: WorkloadTrace, controller,
+                         rescore_updates: bool = True,
+                         open_options: Optional[Dict[str, object]] = None,
+                         collect_stats: bool = True,
+                         keep_scores: bool = True,
+                         open_cities: bool = True) -> RolloutReplayResult:
+    """Replay ``trace`` through a staged canary rollout.
+
+    ``controller`` is a :class:`~repro.serve.rollout.RolloutController`
+    whose backend speaks the stream protocol; score ops route through
+    :meth:`~repro.serve.rollout.RolloutController.score` (so canary
+    streams are hot-swapped and shadow-paired), update/evict ops hit the
+    backend directly, and a ``rollout`` op starts the rollout over the
+    trace's cities.  Everything that makes the rollout observable — the
+    per-request canary decisions and the float64 score trajectory — is
+    deterministic: replaying the same trace against an identically
+    configured controller twice produces bit-identical results
+    (:func:`rollout_replays_identical`).
+    """
+    backend = controller.backend
+    start = time.perf_counter()
+    opening: "OrderedDict[str, np.ndarray]" = OrderedDict()
+    opening_digests: "OrderedDict[str, str]" = OrderedDict()
+    if open_cities:
+        for name, graph in trace.cities.items():
+            payload = backend.open_stream(name, graph, rescore=True,
+                                          **(open_options or {}))
+            vector = np.asarray(payload["score"]["probabilities"],
+                                dtype=np.float64)
+            opening_digests[name] = score_digest(vector)
+            if keep_scores:
+                opening[name] = vector
+    scores: List[Optional[np.ndarray]] = []
+    digests: List[Optional[str]] = []
+
+    def record(probabilities) -> None:
+        if probabilities is None:
+            scores.append(None)
+            digests.append(None)
+            return
+        vector = np.asarray(probabilities, dtype=np.float64)
+        digests.append(score_digest(vector))
+        scores.append(vector if keep_scores else None)
+
+    for op in trace.ops:
+        if op.op == "score":
+            payload = controller.score(op.city)
+            record(payload["probabilities"])
+        elif op.op == "update":
+            payload = backend.update_stream(op.city, op.delta,
+                                            rescore=rescore_updates)
+            record(payload["score"]["probabilities"]
+                   if rescore_updates else None)
+        elif op.op == "evict":
+            backend.evict_stream(op.city)
+            record(None)
+        else:  # rollout — start the staged rollout here
+            controller.start(list(trace.cities))
+            record(None)
+    elapsed = time.perf_counter() - start
+    stats = None
+    if collect_stats:
+        try:
+            stats = backend.stats()
+        except Exception:
+            stats = None
+    return RolloutReplayResult(
+        trace_name=trace.name, opening_scores=opening, scores=scores,
+        op_kinds=[op.op for op in trace.ops], elapsed_s=elapsed,
+        stats=stats, opening_digests=opening_digests, score_digests=digests,
+        decisions=[dict(d) for d in controller.decisions],
+        rollout_status=controller.status())
+
+
+def rollout_replays_identical(a: RolloutReplayResult,
+                              b: RolloutReplayResult) -> Tuple[bool, float]:
+    """:func:`replays_identical` plus routing-decision equality.
+
+    Two rollout replays agree only when the score trajectories are
+    bit-identical *and* every per-request canary decision (stream,
+    canary flag, stage, state) matches exactly.
+    """
+    identical, max_diff = replays_identical(a, b)
+    if a.decisions != b.decisions:
+        return False, max_diff
+    return identical, max_diff
+

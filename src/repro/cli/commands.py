@@ -30,16 +30,18 @@ from ..bench import (LOAD_SCHEMA_VERSION, ExperimentConfig, LoadConfig,
                      WorkloadConfig, derive_cities, format_experiment_table,
                      format_load_report, generate_workload,
                      load_matches_serial_oracle, load_trace,
-                     replay_trace, replays_identical, resume_point,
-                     resumed_tail_identical, run_experiment, run_load,
-                     save_trace, summarize_metrics)
+                     replay_rollout_trace, replay_trace, replays_identical,
+                     resume_point, resumed_tail_identical,
+                     rollout_replays_identical, run_experiment, run_load,
+                     save_trace, summarize_metrics, with_rollout)
 from ..durable import DurabilityLog
 from ..obs import MetricsRegistry, parse_prometheus_text
 from ..nn.graphops import plan_cache_info
 from ..serve import (AdmissionConfig, BreakerConfig, ChaosShard, EngineShard,
                      FleetRouter, InferenceEngine, ModelRegistry,
-                     RemoteShard, ResilienceConfig, ScoringClient,
-                     ScoringServer, read_manifest, save_bundle)
+                     RemoteShard, ResilienceConfig, RolloutController,
+                     RolloutPolicy, ScoringClient, ScoringServer,
+                     read_manifest, save_bundle, stages_for_fraction)
 from ..stream import StreamingScorer
 from ..synth import (EvolutionConfig, generate_city, generate_evolution,
                      get_preset)
@@ -775,6 +777,144 @@ def cmd_load(args: argparse.Namespace) -> int:
             json.dump(payload, handle, indent=2, sort_keys=True)
             handle.write("\n")
         print(f"wrote load report to {args.json}")
+    return exit_code
+
+
+def cmd_rollout(args: argparse.Namespace) -> int:
+    """Staged canary rollout of a new bundle version over a live fleet."""
+    registry = ModelRegistry(args.registry)
+    # resolve both versions up front: a typo'd --new-version must fail
+    # before any stream opens, not halfway up the stage ladder
+    baseline_version = read_manifest(
+        registry.resolve(args.model, args.version)).version
+    registry.resolve(args.model, args.new_version)
+    if str(args.new_version) == str(baseline_version):
+        raise ValueError(f"--new-version {args.new_version} is already the "
+                         f"serving baseline — nothing to roll out")
+
+    if args.trace:
+        trace = load_trace(args.trace)
+    else:
+        graph = _load_or_build_graph(args)
+        cities = derive_cities(graph, args.cities, seed=args.workload_seed)
+        trace = generate_workload(cities, WorkloadConfig(
+            ops=args.ops, seed=args.workload_seed))
+    if not any(op.op == "rollout" for op in trace.ops):
+        trace = with_rollout(trace, args.rollout_at)
+
+    policy = RolloutPolicy(
+        max_mean_abs_change=args.max_mean_abs_change,
+        min_rank_correlation=args.min_rank_correlation,
+        max_crossing_fraction=args.max_crossing_fraction,
+        min_pairs=args.min_pairs)
+    stages = stages_for_fraction(args.canary_fraction)
+
+    def run_once(obs: MetricsRegistry):
+        fleet = _build_fleet(args, registry, metrics=obs)
+
+        def resolve(model, version):
+            return InferenceEngine.from_bundle(
+                registry.resolve(model, version),
+                cache_size=args.cache_size, metrics=obs)
+
+        controller = RolloutController(
+            fleet, args.model, str(args.new_version),
+            resolve_engine=resolve, policy=policy, stages=stages,
+            seed=args.rollout_seed, auto=args.auto_promote,
+            threshold=args.threshold, metrics=obs)
+        result = replay_rollout_trace(
+            trace, controller, collect_stats=False,
+            open_options={"incremental": args.incremental})
+        return fleet, controller, result
+
+    summary = trace.summary()
+    ladder = " -> ".join(f"{stage * 100:g}%" for stage in stages)
+    print(f"rolling out '{args.model}:{args.new_version}' over baseline "
+          f"'{args.model}:{baseline_version}': {args.shards} shard(s), "
+          f"replication {args.replication}, stages {ladder}, canary seed "
+          f"{args.rollout_seed}, "
+          f"{'auto' if args.auto_promote else 'manual'} promotion")
+    print(f"replaying trace '{trace.name}': %(cities)d cities, %(ops)d ops "
+          "(score %(score)d / update %(update)d / evict %(evict)d, rollout "
+          "at op %(rollout_at)d)"
+          % {**summary, "rollout_at": trace.meta.get("rollout_at", 0)})
+
+    obs = MetricsRegistry()
+    fleet, controller, result = run_once(obs)
+    if not args.auto_promote and controller.machine.state == "canary":
+        decision = controller.evaluate(act=True)
+        print(f"post-replay policy decision: {decision.action} "
+              f"({'; '.join(decision.reasons)})")
+    if args.abort and controller.machine.state == "canary":
+        report = controller.abort()
+        print(f"rollout aborted: restored "
+              f"{len(report['restored_streams'])} stream(s) to "
+              f"'{args.model}:{baseline_version}'")
+
+    canary_requests = sum(1 for d in result.decisions if d["canary"])
+    print(f"completed {result.completed_ops}/{len(trace)} ops in "
+          f"{result.elapsed_s:.2f}s — {len(result.decisions)} score "
+          f"request(s), {canary_requests} canary")
+    for frm, to, stage in controller.machine.transitions:
+        if to == "canary" and frm == "idle":
+            print(f"rollout started: stage {stage} "
+                  f"({stages[stage] * 100:g}% canary)")
+        elif to == "canary" and frm == "canary":
+            # grep target of the CI smoke job — keep the shape stable
+            print(f"promoted to stage {stage} "
+                  f"({stages[stage] * 100:g}% canary)")
+        elif to == "promoted":
+            print("promoted fleet-wide (100% canary held)")
+        elif to == "rolled_back":
+            print(f"rolled back: baseline '{args.model}:{baseline_version}' "
+                  f"restored fleet-wide")
+    status = controller.status()
+    for index, stage_stats in enumerate(status["stage_history"]):
+        print(f"  stage {index} drift: {stage_stats['pairs']} pair(s), "
+              f"mean|Δp|={stage_stats['mean_abs_change']:.5f}, "
+              f"worst rank-ρ={stage_stats['worst_rank_correlation']:.4f}, "
+              f"crossing fraction={stage_stats['crossing_fraction']:.4f}")
+    if status["last_decision"] is not None:
+        last = status["last_decision"]
+        print(f"last policy decision: {last['action']} "
+              f"({'; '.join(last['reasons'])})")
+    shadow_pairs = (sum(s["pairs"] for s in status["stage_history"])
+                    + status["shadow"]["pairs"])
+    # grep target of the CI smoke job — keep the shape stable
+    print(f"rollout result: state={status['state']} "
+          f"promoted={status['promoted']} "
+          f"rolled_back={status['rolled_back']} "
+          f"aborted={status['aborted']} "
+          f"shadow_pairs={shadow_pairs} "
+          f"swaps={len(status['swapped_streams'])} "
+          f"rollbacks={status['rollbacks']}")
+    fleet.close()
+
+    exit_code = 0
+    verify = None
+    if args.verify_replay:
+        obs2 = MetricsRegistry()
+        fleet2, _, result2 = run_once(obs2)
+        fleet2.close()
+        identical, max_diff = rollout_replays_identical(result, result2)
+        decisions_match = result.decisions == result2.decisions
+        print(f"replay determinism: bit_identical={identical} "
+              f"canary_decisions_identical={decisions_match} "
+              f"(max |diff| {max_diff:.3e})")
+        verify = {"bit_identical": identical,
+                  "canary_decisions_identical": decisions_match,
+                  "max_diff": max_diff}
+        if not identical:
+            exit_code = 1
+    if args.json:
+        payload = {"trace": summary, "stages": list(stages),
+                   "baseline_version": str(baseline_version),
+                   "new_version": str(args.new_version),
+                   "policy": policy.to_dict(), "status": status,
+                   "replay": result.summary(), "verify": verify}
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, default=str)
+        print(f"wrote rollout report to {args.json}")
     return exit_code
 
 

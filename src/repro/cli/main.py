@@ -455,6 +455,91 @@ def build_parser() -> argparse.ArgumentParser:
     load.set_defaults(handler=commands.cmd_load)
 
     # ------------------------------------------------------------------
+    # rollout
+    # ------------------------------------------------------------------
+    rollout = subparsers.add_parser(
+        "rollout", help="staged canary rollout of a new model version "
+                        "across a fleet, with shadow scoring, drift-gated "
+                        "promotion and automatic rollback")
+    rollout.add_argument("--registry", required=True,
+                         help="model-registry root with published bundles")
+    rollout.add_argument("--model", required=True, help="published model name")
+    rollout.add_argument("--version", default=None,
+                         help="baseline version serving before the rollout "
+                              "(latest)")
+    rollout.add_argument("--new-version", required=True,
+                         help="bundle version to roll out")
+    rollout.add_argument("--shards", type=int, default=2,
+                         help="number of in-process shard workers")
+    rollout.add_argument("--replication", type=int, default=2,
+                         help="replica-set size per city")
+    rollout.add_argument("--cache-size", type=int, default=32,
+                         help="LRU capacity of each shard engine's result "
+                              "cache")
+    rollout.add_argument("--incremental", default="auto",
+                         choices=("auto", "always", "never"),
+                         help="delta-localised rescoring policy of the "
+                              "per-shard streams")
+    rollout_trace = rollout.add_mutually_exclusive_group(required=True)
+    rollout_trace.add_argument("--trace",
+                               help="replay this recorded trace through the "
+                                    "rollout (see 'repro-uv workload')")
+    rollout_trace.add_argument("--preset",
+                               help="generate an ad-hoc workload from this "
+                                    "preset")
+    rollout_trace.add_argument("--graph",
+                               help="generate an ad-hoc workload from this "
+                                    "graph (.npz)")
+    rollout.add_argument("--seed", type=int, default=None,
+                         help="override the preset seed")
+    rollout.add_argument("--cities", type=int, default=3,
+                         help="city variants of the ad-hoc workload "
+                              "(no --trace)")
+    rollout.add_argument("--ops", type=int, default=32,
+                         help="ops of the ad-hoc workload (no --trace)")
+    rollout.add_argument("--workload-seed", type=int, default=0,
+                         help="seed of the ad-hoc workload (no --trace)")
+    rollout.add_argument("--rollout-at", type=int, default=0,
+                         help="op index where the rollout starts (ignored "
+                              "when the trace already has a rollout op)")
+    rollout.add_argument("--rollout-seed", type=int, default=0,
+                         help="canary-assignment seed (same seed => same "
+                              "canary decisions on replay)")
+    rollout.add_argument("--canary-fraction", type=float, default=0.05,
+                         help="first-stage canary fraction; the ladder "
+                              "continues through the defaults to 100%%")
+    rollout.add_argument("--auto-promote", action="store_true",
+                         help="let the drift policy promote/rollback "
+                              "automatically as shadow pairs accumulate "
+                              "(default: evaluate once after the replay)")
+    rollout.add_argument("--abort", action="store_true",
+                         help="abort at the end of the replay, restoring "
+                              "the baseline version fleet-wide")
+    rollout.add_argument("--max-mean-abs-change", type=float, default=0.05,
+                         help="policy: rollback when the shadow pairs' mean "
+                              "absolute probability change exceeds this")
+    rollout.add_argument("--min-rank-correlation", type=float, default=0.8,
+                         help="policy: rollback when the worst Spearman "
+                              "rank correlation falls below this")
+    rollout.add_argument("--max-crossing-fraction", type=float, default=0.02,
+                         help="policy: rollback when the fraction of "
+                              "regions crossing the operating threshold "
+                              "exceeds this")
+    rollout.add_argument("--min-pairs", type=int, default=3,
+                         help="policy: hold until at least this many shadow "
+                              "pairs exist per stage")
+    rollout.add_argument("--threshold", type=float, default=0.5,
+                         help="operating threshold for drift crossing "
+                              "counts")
+    rollout.add_argument("--verify-replay", action="store_true",
+                         help="replay the rollout twice on fresh fleets and "
+                              "verify canary decisions and float64 scores "
+                              "are bit-identical (exit 1 on mismatch)")
+    rollout.add_argument("--json", default=None,
+                         help="write the rollout report to this JSON path")
+    rollout.set_defaults(handler=commands.cmd_rollout)
+
+    # ------------------------------------------------------------------
     # experiment
     # ------------------------------------------------------------------
     experiment = subparsers.add_parser(

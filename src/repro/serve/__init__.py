@@ -33,7 +33,14 @@ fitted detector, then score many cities fast:
   :class:`CircuitBreaker`\\ s with gray-failure detection and
   self-reviving half-open probes, a fleet-wide :class:`RetryBudget`,
   propagated request deadlines (:func:`deadline_scope`), and an opt-in
-  degraded mode answering shed scores from bounded-staleness cache.
+  degraded mode answering shed scores from bounded-staleness cache;
+* :mod:`repro.serve.rollout` — online model lifecycle: a
+  :class:`RolloutController` driving staged canary rollouts of a new
+  bundle version (hot ``swap_stream`` on live streams, deterministic
+  hash-keyed canary routing, shadow scoring into
+  :func:`repro.analysis.drift.score_drift_report`, and a pluggable
+  :class:`RolloutPolicy` promoting 5% → 25% → 100% or rolling back
+  fleet-wide).
 
 Every layer reports into a :mod:`repro.obs` metrics registry (the
 process-global one by default, injectable via each component's
@@ -55,6 +62,10 @@ from .resilience import (DEADLINE_HEADER, AdmissionConfig,
                          Deadline, DeadlineExceeded, ResilienceConfig,
                          RetryBudget, ShedError, StaleScoreCache,
                          current_deadline, deadline_scope)
+from .rollout import (DEFAULT_STAGES, RolloutController, RolloutDecision,
+                      RolloutError, RolloutPolicy, RolloutStateMachine,
+                      ShadowStats, canary_assignment, is_canary,
+                      stages_for_fraction)
 from .server import ScoringServer
 
 __all__ = [
@@ -91,4 +102,14 @@ __all__ = [
     "StaleScoreCache",
     "current_deadline",
     "deadline_scope",
+    "DEFAULT_STAGES",
+    "RolloutController",
+    "RolloutDecision",
+    "RolloutError",
+    "RolloutPolicy",
+    "RolloutStateMachine",
+    "ShadowStats",
+    "canary_assignment",
+    "is_canary",
+    "stages_for_fraction",
 ]

@@ -331,6 +331,44 @@ class ScoringClient:
         """Drop a stream's current version from the server-side caches."""
         return self._request("/evict", {"stream": stream})
 
+    def swap_stream(self, stream: str, model: Optional[str] = None,
+                    version: Optional[str] = None) -> Dict[str, object]:
+        """Hot-swap an open stream onto another packaged bundle version.
+
+        The stream keeps its graph, version counter and WAL chain; only
+        the serving engine is rebound (``POST /swap``).  ``model``
+        defaults to the model the stream was opened with.
+        """
+        body: Dict[str, object] = {"stream": stream}
+        if model is not None:
+            body["model"] = str(model)
+        if version is not None:
+            body["version"] = str(version)
+        return self._request("/swap", body)
+
+    # ------------------------------------------------------------------
+    # rollout control plane
+    # ------------------------------------------------------------------
+    def rollout_status(self) -> Dict[str, object]:
+        """The server's staged-rollout status (``GET /rollout``)."""
+        return self._request("/rollout")
+
+    def rollout(self, action: str, **fields) -> Dict[str, object]:
+        """Drive the server-side rollout control plane (``POST /rollout``).
+
+        ``action`` is one of ``start`` / ``status`` / ``evaluate`` /
+        ``promote`` / ``rollback`` / ``abort``; keyword fields (``model``,
+        ``version``, ``canary_fraction``, ``seed``, ``auto``, ``policy``,
+        ...) pass through to the server verbatim.
+        """
+        return self._request("/rollout", {"action": str(action), **fields})
+
+    def start_rollout(self, model: str, version: str,
+                      **fields) -> Dict[str, object]:
+        """Start a staged canary rollout of ``model:version``."""
+        return self.rollout("start", model=model, version=str(version),
+                            **fields)
+
     # ------------------------------------------------------------------
     # streaming
     # ------------------------------------------------------------------

@@ -236,6 +236,22 @@ class ShardBackend:
     def evict_stream(self, name: str) -> Dict[str, object]:
         raise NotImplementedError
 
+    def swap_stream(self, name: str, version: Optional[str] = None,
+                    model: Optional[str] = None,
+                    engine=None) -> Dict[str, object]:
+        """Atomically rebind a live stream to a different model version.
+
+        The stream keeps its graph, version chain and WAL history — only
+        the model scoring it changes, and the previous engine stays warm
+        so swapping back (a rollback) is instant.  In-process backends
+        take the new engine directly (``engine`` — an
+        :class:`InferenceEngine` or a zero-arg factory, invoked at most
+        once per ``(model, version)`` per shard); remote backends ship
+        ``model``/``version`` and the server resolves the bundle from
+        its registry.
+        """
+        raise NotImplementedError
+
     def restore_stream(self, name: str,
                        recovered: RecoveredStream) -> Dict[str, object]:
         """Re-establish a WAL-recovered stream on this shard.
@@ -300,6 +316,11 @@ class EngineShard(ShardBackend):
         #: one lifecycle lock per stream name: two clients opening the
         #: *same* stream serialise; different streams open in parallel
         self._stream_locks: Dict[str, threading.Lock] = {}
+        #: warm engines by (model, version) — the base engine plus every
+        #: engine a swap brought in, so rolling back (or re-promoting)
+        #: reuses the already-loaded model instead of rebuilding it
+        self._swap_engines: Dict[Tuple[str, str], InferenceEngine] = {
+            self._engine_key(engine.model_name, engine.model_version): engine}
 
     # ------------------------------------------------------------------
     def _stream_lock(self, name: str) -> threading.Lock:
@@ -380,6 +401,64 @@ class EngineShard(ShardBackend):
         fingerprint = self._scorer(name).evict()
         return {"stream": name, "evicted": fingerprint,
                 "shard": self.shard_id}
+
+    # -- rollout support: the same accessors FleetRouter exposes, so a
+    # RolloutController can drive a single shard directly ---------------
+    def stream_graph(self, name: str) -> UrbanRegionGraph:
+        """The stream's current graph (shadow scoring runs against it)."""
+        return self._scorer(name).graph
+
+    def stream_fingerprint(self, name: str) -> str:
+        return self._scorer(name).fingerprint
+
+    def stream_key(self, name: str) -> str:
+        """A stable canary-assignment key for the stream.
+
+        A bare shard has no router-captured routing key, so the current
+        structural fingerprint stands in; callers cache it at first use,
+        keeping assignments stable across later graph updates.
+        """
+        return self._scorer(name).fingerprint
+
+    @staticmethod
+    def _engine_key(model: Optional[str], version) -> Tuple[str, str]:
+        return (str(model or "").lower(), str(version or ""))
+
+    def _resolve_swap_engine(self, version, model,
+                             engine) -> InferenceEngine:
+        """The warm engine for ``model:version``, building at most once.
+
+        A warm hit (including the shard's base engine — how rollbacks
+        find their way home) wins over a supplied ``engine``; a factory
+        is only invoked when the version was never seen on this shard.
+        """
+        key = self._engine_key(model if model is not None
+                               else self.engine.model_name, version)
+        with self._registry_lock:
+            resolved = self._swap_engines.get(key)
+        if resolved is not None:
+            return resolved
+        if engine is None:
+            raise ValueError(
+                f"shard {self.shard_id!r} has no warm engine for "
+                f"{key[0] or '<unnamed>'}:{key[1] or '<latest>'} — pass "
+                "engine= (an InferenceEngine or a zero-arg factory)")
+        resolved = engine if isinstance(engine, InferenceEngine) else engine()
+        with self._registry_lock:
+            # first build wins under a race; the loser's engine is dropped
+            resolved = self._swap_engines.setdefault(key, resolved)
+        return resolved
+
+    def swap_stream(self, name: str, version: Optional[str] = None,
+                    model: Optional[str] = None,
+                    engine=None) -> Dict[str, object]:
+        scorer = self._scorer(name)
+        resolved = self._resolve_swap_engine(version, model, engine)
+        payload = dict(scorer.swap_engine(resolved))
+        payload["stream"] = name
+        payload["shard"] = self.shard_id
+        payload["swapped"] = True
+        return payload
 
     def close_stream(self, name: str) -> None:
         with self._registry_lock:
@@ -507,6 +586,22 @@ class RemoteShard(ShardBackend):
     def evict_stream(self, name: str) -> Dict[str, object]:
         try:
             payload = self.client.evict_stream(self._name(name))
+        except ScoringServiceError as error:
+            self._missing_stream_to_keyerror(error)
+        payload["stream"] = name
+        payload["shard"] = self.shard_id
+        return payload
+
+    def swap_stream(self, name: str, version: Optional[str] = None,
+                    model: Optional[str] = None,
+                    engine=None) -> Dict[str, object]:
+        # the server resolves (model, version) against its own registry —
+        # a local engine cannot ship over the wire, so ``engine`` is
+        # ignored here (the router passes it to every replica uniformly)
+        try:
+            payload = self.client.swap_stream(self._name(name),
+                                              model=model or self.model,
+                                              version=version)
         except ScoringServiceError as error:
             self._missing_stream_to_keyerror(error)
         payload["stream"] = name
@@ -693,6 +788,11 @@ class ChaosShard(ShardBackend):
         self._gate()
         return self.inner.evict_stream(name)
 
+    def swap_stream(self, name, version=None, model=None, engine=None):
+        self._gate()
+        return self.inner.swap_stream(name, version, model=model,
+                                      engine=engine)
+
     def restore_stream(self, name, recovered):
         self._gate()
         return self.inner.restore_stream(name, recovered)
@@ -721,6 +821,9 @@ class FleetStats:
     score_requests: int = 0
     update_requests: int = 0
     evict_requests: int = 0
+    #: model hot-swaps applied (one per swap_stream call, however many
+    #: replicas it touched)
+    swap_requests: int = 0
     #: requests that succeeded on a replica after their shard failed
     failovers: int = 0
     #: individual backend calls that failed shard-fatally
@@ -746,6 +849,7 @@ class FleetStats:
                 "score_requests": self.score_requests,
                 "update_requests": self.update_requests,
                 "evict_requests": self.evict_requests,
+                "swap_requests": self.swap_requests,
                 "requests": self.requests,
                 "failovers": self.failovers,
                 "shard_failures": self.shard_failures,
@@ -771,6 +875,10 @@ class _CityState:
     #: authoritative version fingerprint — the router chains it itself,
     #: so it survives failovers (a replica restart re-keys *its* chain)
     fingerprint: str = ""
+    #: the model swap currently in force (``{"model", "version",
+    #: "engine"}``) — re-applied whenever a replica is re-materialised,
+    #: so failover can never silently revert a rollout's version
+    swap: Optional[Dict[str, object]] = None
     lock: threading.Lock = field(default_factory=threading.Lock)
 
 
@@ -1183,6 +1291,13 @@ class FleetRouter(ShardBackend):
         """Open the stream on ``backend`` from the authoritative copy."""
         backend.open_stream(state.name, state.graph, rescore=state.warm,
                             **state.options)
+        if state.swap is not None:
+            # the city is mid- or post-rollout: a freshly materialised
+            # replica must come up on the swapped model, or failover
+            # would silently revert the rollout's version
+            backend.swap_stream(state.name, state.swap["version"],
+                                model=state.swap["model"],
+                                engine=state.swap["engine"])
         with self._stats_lock:
             self.fleet_stats.reopened_streams += 1
 
@@ -1448,6 +1563,88 @@ class FleetRouter(ShardBackend):
         self._observe_request("evict", served, start)
         return payload
 
+    def swap_stream(self, name: str, version: Optional[str] = None,
+                    model: Optional[str] = None,
+                    engine=None) -> Dict[str, object]:
+        """Hot-swap one city's model version across its replica set.
+
+        The swap lands on the active shard first (with the usual
+        failover), is recorded in the city state (so any replica
+        materialised later comes up on the swapped version), and is then
+        pushed best-effort to the remaining replicas that already hold
+        the stream — a replica that is down or never saw the stream gets
+        the swap re-applied by :meth:`_materialise` when failover
+        reaches it.  With a router WAL the new model identity is written
+        in an atomic snapshot, so a crash mid-rollout recovers onto
+        exactly one version (no torn swap).
+        """
+        start = time.perf_counter()
+        state = self._city(name)
+
+        def call(backend: ShardBackend) -> Dict[str, object]:
+            return backend.swap_stream(name, version, model=model,
+                                       engine=engine)
+
+        with state.lock:
+            payload = self._dispatch(state, call)
+            served = state.active
+            state.swap = {"model": model, "version": version,
+                          "engine": engine}
+            if self._wal is not None:
+                # atomic durability point of the swap: the snapshot's
+                # options name exactly one model version
+                self._wal.stream(name).write_snapshot(SnapshotState(
+                    graph=state.graph, fingerprint=state.fingerprint,
+                    seq=state.version,
+                    options={**state.options,
+                             "model": payload.get("model"),
+                             "model_version": payload.get("model_version")},
+                    warm=state.warm, cache=None))
+            replicated = [served]
+            for shard_id in state.replicas:
+                if shard_id == served:
+                    continue
+                if not self._breakers[shard_id].allow():
+                    continue
+                try:
+                    self._backends[shard_id].swap_stream(
+                        name, version, model=model, engine=engine)
+                except KeyError:
+                    # replica never materialised the stream — the swap is
+                    # applied when (if) failover opens it there
+                    self._note_success(shard_id)
+                except Exception as error:
+                    if not is_shard_failure(error):
+                        self._note_success(shard_id)
+                        raise
+                    self._note_failure(shard_id)
+                else:
+                    self._note_success(shard_id)
+                    replicated.append(shard_id)
+        with self._stats_lock:
+            self.fleet_stats.swap_requests += 1
+        self._observe_request("swap", served, start)
+        payload = dict(payload)
+        payload["replicas_swapped"] = replicated
+        return payload
+
+    # ------------------------------------------------------------------
+    # rollout support
+    # ------------------------------------------------------------------
+    def stream_graph(self, name: str) -> UrbanRegionGraph:
+        """The authoritative current graph of an open city (what a
+        shadow scorer must score to pair with live traffic)."""
+        return self._city(name).graph
+
+    def stream_fingerprint(self, name: str) -> str:
+        """The authoritative current version fingerprint of a city."""
+        return self._city(name).fingerprint
+
+    def stream_key(self, name: str) -> str:
+        """The routing key of an open city (structural fingerprint at
+        open time) — the canary-assignment input."""
+        return self._city(name).key
+
     # ------------------------------------------------------------------
     # durability
     # ------------------------------------------------------------------
@@ -1506,10 +1703,15 @@ class FleetRouter(ShardBackend):
             recovered = wal.recover(name)
             key = recovered.graph.structural_fingerprint()
             replicas = self.route(key)
+            # a swap snapshot records the model the stream was bound to;
+            # those keys are recovery metadata, not stream-open options
+            options = dict(recovered.options)
+            swap_model = options.pop("model", None)
+            swap_version = options.pop("model_version", None)
             state = _CityState(name=name, key=key, replicas=replicas,
                                active=replicas[0], graph=recovered.graph,
                                warm=bool(recovered.warm),
-                               options=dict(recovered.options),
+                               options=options,
                                version=int(recovered.version),
                                fingerprint=recovered.fingerprint)
             last_error: Optional[BaseException] = None
@@ -1540,6 +1742,11 @@ class FleetRouter(ShardBackend):
                     "records_replayed": int(recovered.records_replayed),
                     "truncated_tail": int(recovered.truncated_tail),
                     "recovery_seconds": round(recovered.recovery_seconds, 6),
+                    # the model identity the atomic snapshot recorded —
+                    # a rollout controller reconciles streams recovered
+                    # mid-rollout back onto exactly this version
+                    "model": swap_model,
+                    "model_version": swap_version,
                 }
                 restored = True
                 break

@@ -1,0 +1,742 @@
+"""Online model lifecycle: staged canary rollout with shadow scoring.
+
+Everything below this module streams *data* (deltas through
+:mod:`repro.stream`), scales it out (:mod:`repro.serve.fleet`) and keeps
+it alive under overload (:mod:`repro.serve.resilience`) — but the model
+itself is frozen at deploy time.  :class:`RolloutController` closes that
+gap: it drives a staged rollout of ``model:new_version`` across a fleet
+(or a single shard, or a scoring service — anything speaking the
+stream-swap protocol) in three mechanisms:
+
+* **hot swap** — ``swap_stream`` atomically rebinds a live stream to the
+  new bundle version without dropping its graph, WAL chain or in-flight
+  requests (:meth:`~repro.stream.scorer.StreamingScorer.swap_engine`);
+  the old version stays warm on every shard, so rollback is instant;
+* **canary routing** — each city owns a deterministic position
+  ``u ∈ [0, 1)`` in canary space (:func:`canary_assignment`, a pure
+  SHA-256 hash of the rollout seed and the city's routing-key
+  fingerprint — the same hash family the consistent-hash ring uses).
+  A stage with fraction ``f`` swaps exactly the cities with ``u < f``:
+  replayed traces make identical canary decisions, stages are nested
+  (5% ⊂ 25% ⊂ 100%), and shard membership changes cannot move a city in
+  or out of the canary;
+* **shadow scoring** — every canary score is mirrored onto the previous
+  version, the paired float64 vectors feed
+  :func:`repro.analysis.drift.score_drift_report`, and a pluggable
+  :class:`RolloutPolicy` turns the aggregated drift statistics into
+  promote / hold / rollback decisions.  Promotion walks the stage
+  ladder (5% → 25% → 100% by default); a rollback swaps every canary
+  stream back to the prior version fleet-wide.
+
+The stage ladder itself is a tiny pure state machine
+(:class:`RolloutStateMachine`) whose transitions are guarded — a
+rolled-back rollout cannot promote without an explicit new
+:meth:`~RolloutStateMachine.start` — which is what makes the lifecycle
+property-testable independently of any fleet.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..analysis.drift import score_drift_report
+from ..obs import MetricsRegistry, default_registry
+from .engine import InferenceEngine
+from .fleet import _hash64
+
+__all__ = [
+    "DEFAULT_STAGES",
+    "RolloutError",
+    "RolloutDecision",
+    "RolloutPolicy",
+    "RolloutStateMachine",
+    "RolloutController",
+    "ShadowStats",
+    "canary_assignment",
+    "is_canary",
+    "stages_for_fraction",
+]
+
+#: default stage ladder: canary fractions, strictly increasing to 1.0
+DEFAULT_STAGES: Tuple[float, ...] = (0.05, 0.25, 1.0)
+
+#: rollout lifecycle states
+IDLE = "idle"
+CANARY = "canary"
+PROMOTED = "promoted"
+ROLLED_BACK = "rolled_back"
+ABORTED = "aborted"
+
+#: policy decisions
+HOLD = "hold"
+PROMOTE = "promote"
+ROLLBACK = "rollback"
+
+
+class RolloutError(RuntimeError):
+    """An invalid rollout lifecycle transition or configuration."""
+
+
+# ----------------------------------------------------------------------
+# canary assignment
+# ----------------------------------------------------------------------
+def canary_assignment(seed: int, fingerprint: str) -> float:
+    """A city's deterministic position in canary space: ``u ∈ [0, 1)``.
+
+    A pure function of ``(seed, fingerprint)`` built on the same SHA-256
+    hash the consistent-hash ring routes with — identical across
+    processes, platforms and replays, and independent of fleet
+    membership, so adding or removing shards never moves a city in or
+    out of the canary.  Because a stage with fraction ``f`` selects
+    ``u < f``, stages are nested: every 5% canary city is also a 25%
+    canary city.
+    """
+    return _hash64(f"canary:{int(seed)}:{fingerprint}") / float(2 ** 64)
+
+
+def is_canary(seed: int, fingerprint: str, fraction: float) -> bool:
+    """Whether a city is in the canary at ``fraction``."""
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"canary fraction must be in [0, 1], got {fraction}")
+    return canary_assignment(seed, fingerprint) < fraction
+
+
+def stages_for_fraction(fraction: float,
+                        stages: Sequence[float] = DEFAULT_STAGES
+                        ) -> Tuple[float, ...]:
+    """A stage ladder starting at ``fraction`` (the CLI/service knob).
+
+    The requested fraction becomes the first stage and the default
+    ladder's larger rungs follow, e.g. ``0.1 → (0.1, 0.25, 1.0)`` and
+    ``0.5 → (0.5, 1.0)``.
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise RolloutError(
+            f"canary fraction must be in (0, 1], got {fraction}")
+    ladder = (float(fraction),) + tuple(
+        float(s) for s in stages if s > fraction)
+    return ladder if ladder[-1] == 1.0 else ladder + (1.0,)
+
+
+# ----------------------------------------------------------------------
+# the stage state machine
+# ----------------------------------------------------------------------
+class RolloutStateMachine:
+    """The pure rollout lifecycle: guarded stage transitions, no I/O.
+
+    States: ``idle`` → (:meth:`start`) → ``canary`` at stage 0, then
+    :meth:`promote` walks the stage ladder and lands in ``promoted``
+    after the last stage; :meth:`rollback` / :meth:`abort` are terminal
+    for the current rollout.  Every transition out of a terminal state
+    except a fresh :meth:`start` raises :class:`RolloutError` — a
+    rolled-back rollout can never promote without a new rollout.
+    """
+
+    def __init__(self, stages: Sequence[float] = DEFAULT_STAGES) -> None:
+        stages = tuple(float(s) for s in stages)
+        if not stages:
+            raise RolloutError("a rollout needs at least one stage")
+        if any(not 0.0 < s <= 1.0 for s in stages):
+            raise RolloutError(f"stage fractions must be in (0, 1], got "
+                               f"{stages}")
+        if any(b <= a for a, b in zip(stages, stages[1:])):
+            raise RolloutError(f"stage fractions must be strictly "
+                               f"increasing, got {stages}")
+        if stages[-1] != 1.0:
+            raise RolloutError(f"the final stage must be 1.0 (full fleet), "
+                               f"got {stages}")
+        self.stages = stages
+        self.state = IDLE
+        #: index into ``stages`` while in the canary state, else -1
+        self.stage = -1
+        #: completed :meth:`start` calls (a rollout id of sorts)
+        self.rollouts = 0
+        #: transition log, oldest first: ``(from_state, to_state, stage)``
+        self.transitions: List[Tuple[str, str, int]] = []
+
+    @property
+    def fraction(self) -> float:
+        """The canary fraction currently in force."""
+        if self.state == CANARY:
+            return self.stages[self.stage]
+        return 1.0 if self.state == PROMOTED else 0.0
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in (PROMOTED, ROLLED_BACK, ABORTED)
+
+    def _move(self, new_state: str, stage: int) -> None:
+        self.transitions.append((self.state, new_state, stage))
+        self.state = new_state
+        self.stage = stage
+
+    def start(self) -> None:
+        """Begin a (new) rollout at the first stage."""
+        if self.state == CANARY:
+            raise RolloutError("a rollout is already in progress — abort or "
+                               "finish it before starting another")
+        self._move(CANARY, 0)
+        self.rollouts += 1
+
+    def promote(self) -> str:
+        """Advance one stage; the last stage promotes fleet-wide."""
+        if self.state != CANARY:
+            raise RolloutError(f"cannot promote from state {self.state!r} — "
+                               "start a new rollout first")
+        if self.stage + 1 < len(self.stages):
+            self._move(CANARY, self.stage + 1)
+        else:
+            self._move(PROMOTED, self.stage)
+        return self.state
+
+    def rollback(self) -> None:
+        """Abandon the rollout and restore the prior version."""
+        if self.state != CANARY:
+            raise RolloutError(f"cannot rollback from state {self.state!r} — "
+                               "only an in-progress rollout can roll back")
+        self._move(ROLLED_BACK, -1)
+
+    def abort(self) -> None:
+        """Operator abort: like rollback, but recorded as deliberate."""
+        if self.state != CANARY:
+            raise RolloutError(f"cannot abort from state {self.state!r} — "
+                               "no rollout is in progress")
+        self._move(ABORTED, -1)
+
+    def describe(self) -> Dict[str, object]:
+        return {"state": self.state, "stage": self.stage,
+                "stages": list(self.stages), "fraction": self.fraction,
+                "rollouts": self.rollouts}
+
+
+# ----------------------------------------------------------------------
+# shadow statistics and the policy
+# ----------------------------------------------------------------------
+@dataclass
+class ShadowStats:
+    """Aggregated drift over one stage's shadow pairs."""
+
+    pairs: int = 0
+    #: mean of the per-pair mean absolute probability change
+    mean_abs_change: float = 0.0
+    #: worst (minimum) per-pair Spearman rank correlation
+    worst_rank_correlation: float = 1.0
+    #: operating-threshold crossings summed over all pairs
+    crossings: int = 0
+    #: regions compared, summed over all pairs
+    regions: int = 0
+
+    @property
+    def crossing_fraction(self) -> float:
+        """Crossings per compared region (0 when nothing was compared)."""
+        return self.crossings / self.regions if self.regions else 0.0
+
+    def record(self, mean_abs_change: float, rank_correlation: float,
+               crossings: int, regions: int) -> None:
+        total = self.mean_abs_change * self.pairs + float(mean_abs_change)
+        self.pairs += 1
+        self.mean_abs_change = total / self.pairs
+        self.worst_rank_correlation = min(self.worst_rank_correlation,
+                                          float(rank_correlation))
+        self.crossings += int(crossings)
+        self.regions += int(regions)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"pairs": self.pairs,
+                "mean_abs_change": self.mean_abs_change,
+                "worst_rank_correlation": self.worst_rank_correlation,
+                "crossings": self.crossings,
+                "regions": self.regions,
+                "crossing_fraction": self.crossing_fraction}
+
+
+@dataclass(frozen=True)
+class RolloutDecision:
+    """One policy verdict plus the evidence behind it."""
+
+    action: str                       # "promote" | "hold" | "rollback"
+    reasons: Tuple[str, ...] = ()
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"action": self.action, "reasons": list(self.reasons)}
+
+
+@dataclass(frozen=True)
+class RolloutPolicy:
+    """Thresholds turning shadow drift into promote/hold/rollback.
+
+    The decision table (see README "Model rollout"):
+
+    * fewer than ``min_pairs`` shadow pairs → **hold** (not enough
+      evidence either way);
+    * any non-finite drift statistic → **hold** (a policy must never
+      promote or roll back on nan — defence in depth on top of the
+      defined-value guarantee of :func:`~repro.analysis.drift._spearman`);
+    * mean absolute change above ``max_mean_abs_change``, worst rank
+      correlation below ``min_rank_correlation``, or threshold-crossing
+      fraction above ``max_crossing_fraction`` → **rollback**;
+    * otherwise → **promote**.
+    """
+
+    max_mean_abs_change: float = 0.05
+    min_rank_correlation: float = 0.8
+    max_crossing_fraction: float = 0.02
+    min_pairs: int = 3
+
+    def __post_init__(self) -> None:
+        if self.max_mean_abs_change < 0:
+            raise RolloutError("max_mean_abs_change must be >= 0")
+        if not -1.0 <= self.min_rank_correlation <= 1.0:
+            raise RolloutError("min_rank_correlation must be in [-1, 1]")
+        if not 0.0 <= self.max_crossing_fraction <= 1.0:
+            raise RolloutError("max_crossing_fraction must be in [0, 1]")
+        if self.min_pairs < 1:
+            raise RolloutError("min_pairs must be >= 1")
+
+    def decide(self, stats: ShadowStats) -> RolloutDecision:
+        if stats.pairs < self.min_pairs:
+            return RolloutDecision(HOLD, (
+                f"{stats.pairs}/{self.min_pairs} shadow pairs",))
+        values = (stats.mean_abs_change, stats.worst_rank_correlation,
+                  stats.crossing_fraction)
+        if not all(np.isfinite(v) for v in values):
+            return RolloutDecision(HOLD, ("non-finite drift statistic — "
+                                          "refusing to act on nan",))
+        breaches = []
+        if stats.mean_abs_change > self.max_mean_abs_change:
+            breaches.append(f"mean|Δp| {stats.mean_abs_change:.5f} > "
+                            f"{self.max_mean_abs_change:g}")
+        if stats.worst_rank_correlation < self.min_rank_correlation:
+            breaches.append(f"rank-ρ {stats.worst_rank_correlation:.4f} < "
+                            f"{self.min_rank_correlation:g}")
+        if stats.crossing_fraction > self.max_crossing_fraction:
+            breaches.append(f"crossing fraction "
+                            f"{stats.crossing_fraction:.4f} > "
+                            f"{self.max_crossing_fraction:g}")
+        if breaches:
+            return RolloutDecision(ROLLBACK, tuple(breaches))
+        return RolloutDecision(PROMOTE, (
+            f"drift within thresholds over {stats.pairs} shadow pairs",))
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"max_mean_abs_change": self.max_mean_abs_change,
+                "min_rank_correlation": self.min_rank_correlation,
+                "max_crossing_fraction": self.max_crossing_fraction,
+                "min_pairs": self.min_pairs}
+
+
+# ----------------------------------------------------------------------
+# the controller
+# ----------------------------------------------------------------------
+class RolloutController:
+    """Drive a staged, shadow-scored rollout over a stream backend.
+
+    Parameters
+    ----------
+    backend:
+        Anything speaking the stream-swap protocol: ``swap_stream`` /
+        ``score_stream`` plus the ``stream_graph`` / ``stream_key``
+        accessors — a :class:`~repro.serve.fleet.FleetRouter`, a single
+        :class:`~repro.serve.fleet.EngineShard`, or a scoring-service
+        adapter.
+    model / new_version:
+        The bundle to roll out.  The previous version is whatever each
+        stream is bound to when it enters the canary (captured from the
+        swap payload), so mixed fleets roll back correctly.
+    resolve_engine:
+        ``callable(model, version) -> InferenceEngine`` building (or
+        fetching) an engine for a bundle version.  Pass a
+        :class:`~repro.serve.registry.ModelRegistry` adapter for local
+        fleets; ``None`` works for remote backends that resolve
+        versions server-side, but disables shadow scoring (and with it
+        policy-driven automation).
+    policy / stages / seed:
+        The promote/rollback thresholds, the stage ladder (strictly
+        increasing fractions ending at 1.0) and the canary-assignment
+        seed.  The same seed replays the same canary decisions.
+    auto:
+        When True (default), every shadow pair re-evaluates the policy
+        and an actionable verdict advances or rolls back immediately.
+        When False, call :meth:`evaluate` / :meth:`promote` /
+        :meth:`rollback` yourself.
+    threshold:
+        Operating threshold fed to the drift report (decision flips are
+        counted against it).
+    """
+
+    def __init__(self, backend, model: str, new_version: str, *,
+                 resolve_engine: Optional[Callable[..., InferenceEngine]] = None,
+                 policy: Optional[RolloutPolicy] = None,
+                 stages: Sequence[float] = DEFAULT_STAGES,
+                 seed: int = 0, auto: bool = True, threshold: float = 0.5,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
+        self.backend = backend
+        self.model = str(model)
+        self.new_version = str(new_version)
+        self.policy = policy or RolloutPolicy()
+        self.machine = RolloutStateMachine(stages)
+        self.seed = int(seed)
+        self.auto = bool(auto)
+        self.threshold = float(threshold)
+        self._resolve_engine = resolve_engine
+        self._engines: Dict[Tuple[str, str], InferenceEngine] = {}
+        #: canary-space position per stream, captured once per stream
+        self._keys: Dict[str, str] = {}
+        #: streams currently on the new version -> their prior binding
+        self._swapped: Dict[str, Dict[str, Optional[str]]] = {}
+        #: per-score canary decisions, in arrival order (replay-comparable)
+        self.decisions: List[Dict[str, object]] = []
+        self._stage_stats = ShadowStats()
+        self._stage_history: List[Dict[str, object]] = []
+        self.last_decision: Optional[RolloutDecision] = None
+        self.rollbacks = 0
+        self._lock = threading.RLock()
+        registry = metrics if metrics is not None else default_registry()
+        self.metrics = registry
+        label = self.model or "unnamed"
+        self._m_stage = registry.gauge(
+            "repro_rollout_stage",
+            "Current rollout stage index (-1 when no rollout is in the "
+            "canary state).",
+            labelnames=("model",)).labels(model=label)
+        self._m_fraction = registry.gauge(
+            "repro_rollout_canary_fraction",
+            "Canary fraction currently in force (0 outside a rollout, 1 "
+            "after fleet-wide promotion).",
+            labelnames=("model",)).labels(model=label)
+        self._m_requests = registry.counter(
+            "repro_rollout_requests_total",
+            "Score requests seen by the rollout controller, by canary "
+            "decision.",
+            labelnames=("model", "decision"))
+        self._m_pairs = registry.counter(
+            "repro_rollout_shadow_pairs_total",
+            "Shadow score pairs (canary request mirrored onto the prior "
+            "version).",
+            labelnames=("model",)).labels(model=label)
+        self._m_swaps = registry.counter(
+            "repro_rollout_swaps_total",
+            "Stream hot-swaps applied by the controller (both directions).",
+            labelnames=("model",)).labels(model=label)
+        self._m_promotions = registry.counter(
+            "repro_rollout_promotions_total",
+            "Stage promotions (the final one is the fleet-wide promote).",
+            labelnames=("model",)).labels(model=label)
+        self._m_rollbacks = registry.counter(
+            "repro_rollout_rollbacks_total",
+            "Automatic or manual rollbacks restoring the prior version.",
+            labelnames=("model",)).labels(model=label)
+        self._m_drift_mean = registry.gauge(
+            "repro_rollout_drift_mean_abs_change",
+            "Running mean absolute probability change over the current "
+            "stage's shadow pairs.",
+            labelnames=("model",)).labels(model=label)
+        self._m_drift_rank = registry.gauge(
+            "repro_rollout_drift_rank_correlation",
+            "Worst Spearman rank correlation over the current stage's "
+            "shadow pairs.",
+            labelnames=("model",)).labels(model=label)
+        self._m_crossings = registry.counter(
+            "repro_rollout_drift_crossings_total",
+            "Operating-threshold crossings observed in shadow pairs.",
+            labelnames=("model",)).labels(model=label)
+        self._export_stage()
+
+    # ------------------------------------------------------------------
+    # engines
+    # ------------------------------------------------------------------
+    def _engine(self, model: Optional[str],
+                version: Optional[str]) -> InferenceEngine:
+        if self._resolve_engine is None:
+            raise RolloutError(
+                "no resolve_engine was configured — shadow scoring and "
+                "local swaps need a callable(model, version) -> "
+                "InferenceEngine (e.g. built on a ModelRegistry)")
+        key = (str(model or self.model).lower(), str(version or ""))
+        engine = self._engines.get(key)
+        if engine is None:
+            engine = self._resolve_engine(model or self.model, version)
+            self._engines[key] = engine
+        return engine
+
+    def _engine_factory(self, model: Optional[str],
+                        version: Optional[str]):
+        """A zero-arg factory for shards that build their own engine.
+
+        Each shard invokes it at most once per (model, version) — every
+        shard then owns an independent engine instance (mirroring how
+        fleets are built), while the controller keeps its own for
+        shadow scoring.
+        """
+        if self._resolve_engine is None:
+            return None
+        return lambda: self._resolve_engine(model or self.model, version)
+
+    # ------------------------------------------------------------------
+    # canary assignment
+    # ------------------------------------------------------------------
+    def assignment(self, name: str) -> float:
+        """The stream's canary-space position (captured key, stable)."""
+        key = self._keys.get(name)
+        if key is None:
+            key = self.backend.stream_key(name)
+            self._keys[name] = key
+        return canary_assignment(self.seed, key)
+
+    def is_canary(self, name: str) -> bool:
+        """Whether ``name`` is in the canary at the current fraction."""
+        return self.assignment(name) < self.machine.fraction
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self, streams: Sequence[str] = ()) -> Dict[str, object]:
+        """Begin the rollout at the first stage.
+
+        ``streams`` pre-registers cities (so eager stage sync can swap
+        them); cities first seen later via :meth:`score` join the
+        canary lazily with identical assignment.
+        """
+        with self._lock:
+            self.machine.start()
+            for name in streams:
+                self.assignment(name)
+            self._sync_stage()
+            self._export_stage()
+            return self.status()
+
+    def _sync_stage(self) -> None:
+        """Eagerly swap every known stream under the current fraction."""
+        if self.machine.state not in (CANARY, PROMOTED):
+            return
+        fraction = self.machine.fraction
+        for name in sorted(self._keys):
+            if canary_assignment(self.seed, self._keys[name]) < fraction:
+                self._ensure_swapped(name)
+
+    def _ensure_swapped(self, name: str) -> None:
+        if name in self._swapped:
+            return
+        payload = self.backend.swap_stream(
+            name, self.new_version, model=self.model,
+            engine=self._engine_factory(self.model, self.new_version))
+        self._swapped[name] = {
+            "previous_model": payload.get("previous_model") or self.model,
+            "previous_version": payload.get("previous_model_version"),
+        }
+        self._m_swaps.inc()
+
+    def _swap_back(self, name: str) -> None:
+        info = self._swapped.pop(name)
+        self.backend.swap_stream(
+            name, info["previous_version"], model=info["previous_model"],
+            engine=self._engine_factory(info["previous_model"],
+                                        info["previous_version"]))
+        self._m_swaps.inc()
+
+    def promote(self) -> str:
+        """Advance one stage (the final stage promotes fleet-wide)."""
+        with self._lock:
+            state = self.machine.promote()
+            self._m_promotions.inc()
+            self._close_stage()
+            self._sync_stage()
+            self._export_stage()
+            return state
+
+    def rollback(self) -> Dict[str, object]:
+        """Swap every canary stream back to its prior version."""
+        with self._lock:
+            self.machine.rollback()
+            restored = sorted(self._swapped)
+            for name in restored:
+                self._swap_back(name)
+            self.rollbacks += 1
+            self._m_rollbacks.inc()
+            self._close_stage()
+            self._export_stage()
+            return {"rolled_back": True, "restored_streams": restored}
+
+    def abort(self) -> Dict[str, object]:
+        """Operator abort: restore the prior version, mark aborted."""
+        with self._lock:
+            self.machine.abort()
+            restored = sorted(self._swapped)
+            for name in restored:
+                self._swap_back(name)
+            self.rollbacks += 1
+            self._m_rollbacks.inc()
+            self._close_stage()
+            self._export_stage()
+            return {"aborted": True, "restored_streams": restored}
+
+    def _close_stage(self) -> None:
+        if self._stage_stats.pairs:
+            self._stage_history.append(self._stage_stats.to_dict())
+        self._stage_stats = ShadowStats()
+
+    def _export_stage(self) -> None:
+        self._m_stage.set(self.machine.stage)
+        self._m_fraction.set(self.machine.fraction)
+
+    # ------------------------------------------------------------------
+    # the data plane
+    # ------------------------------------------------------------------
+    def admit(self, name: str) -> bool:
+        """Pre-serve half of the canary hot path.
+
+        Makes (and logs) the deterministic canary decision for this
+        request and lazily swaps a canary stream to the new version, so
+        the score that follows is already served by it.  Returns whether
+        the request is a canary request.
+        """
+        with self._lock:
+            canary = False
+            if self.machine.state == CANARY:
+                canary = self.is_canary(name)
+                if canary:
+                    self._ensure_swapped(name)
+            self.decisions.append({"stream": name, "canary": canary,
+                                   "stage": self.machine.stage,
+                                   "state": self.machine.state})
+        self._m_requests.labels(
+            model=self.model or "unnamed",
+            decision="canary" if canary else "baseline").inc()
+        return canary
+
+    def observe(self, name: str, payload: Dict[str, object],
+                canary: bool, regions=None) -> None:
+        """Post-serve half: mirror a full-vector canary score onto the
+        prior version, and in auto mode re-evaluate the policy."""
+        if canary and regions is None:
+            self._record_shadow(name, payload)
+            if self.auto:
+                self.evaluate(act=True)
+
+    def score(self, name: str, regions=None,
+              top_percent=None) -> Dict[str, object]:
+        """Score a stream through the rollout's canary routing.
+
+        Canary streams are (lazily) swapped to the new version before
+        the request is served; full-vector canary scores are mirrored
+        onto the prior version and recorded as a shadow pair, and in
+        auto mode every pair re-evaluates the policy.
+        """
+        canary = self.admit(name)
+        payload = self.backend.score_stream(name, regions=regions,
+                                            top_percent=top_percent)
+        self.observe(name, payload, canary, regions=regions)
+        return payload
+
+    def _record_shadow(self, name: str, payload: Dict[str, object]) -> None:
+        """Mirror one canary score onto the prior version and aggregate."""
+        with self._lock:
+            info = self._swapped.get(name)
+            if info is None or self.machine.state != CANARY:
+                return  # raced with a rollback/promotion — nothing to pair
+            candidate = np.asarray(payload["probabilities"],
+                                   dtype=np.float64)
+            baseline_engine = self._engine(info["previous_model"],
+                                           info["previous_version"])
+            graph = self.backend.stream_graph(name)
+            baseline = np.asarray(
+                baseline_engine.score(graph).probabilities,
+                dtype=np.float64)
+            report = score_drift_report([baseline, candidate],
+                                        kinds=["model_swap"],
+                                        topology=[False],
+                                        threshold=self.threshold)
+            step = report.steps[0]
+            self._stage_stats.record(
+                step.mean_abs_change, step.rank_correlation,
+                step.crossed_up + step.crossed_down,
+                min(baseline.size, candidate.size))
+            self._m_pairs.inc()
+            self._m_drift_mean.set(self._stage_stats.mean_abs_change)
+            self._m_drift_rank.set(self._stage_stats.worst_rank_correlation)
+            if step.crossed_up or step.crossed_down:
+                self._m_crossings.inc(step.crossed_up + step.crossed_down)
+
+    def evaluate(self, act: bool = False) -> RolloutDecision:
+        """Run the policy over the current stage's shadow pairs.
+
+        With ``act=True`` an actionable verdict is executed immediately:
+        ``promote`` advances the stage ladder, ``rollback`` restores the
+        prior version fleet-wide.
+        """
+        with self._lock:
+            if self.machine.state != CANARY:
+                return RolloutDecision(HOLD, (
+                    f"no rollout in the canary state "
+                    f"(state={self.machine.state})",))
+            decision = self.policy.decide(self._stage_stats)
+            self.last_decision = decision
+            if act and decision.action == PROMOTE:
+                self.promote()
+            elif act and decision.action == ROLLBACK:
+                self.rollback()
+            return decision
+
+    # ------------------------------------------------------------------
+    # recovery
+    # ------------------------------------------------------------------
+    def reconcile_restore(self, report: Dict[str, object]) -> Dict[str, str]:
+        """Re-align restored streams with their recovered model version.
+
+        ``report`` is :meth:`FleetRouter.restore`'s return value: each
+        entry's ``model_version`` names the version the stream's last
+        atomic snapshot recorded.  Streams recovered on the new version
+        are re-swapped (restore always rebinds the shard's base engine)
+        and re-registered as canary members — so a crash mid-rollout
+        comes back on exactly the version durably recorded, never a
+        torn mix.
+        """
+        outcome: Dict[str, str] = {}
+        with self._lock:
+            for name, entry in sorted(report.items()):
+                version = entry.get("model_version")
+                if version is not None and str(version) == self.new_version:
+                    self._ensure_swapped(name)
+                    outcome[name] = self.new_version
+                else:
+                    outcome[name] = str(version) if version is not None \
+                        else "base"
+        return outcome
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def status(self) -> Dict[str, object]:
+        with self._lock:
+            streams = {
+                name: {
+                    "assignment": round(
+                        canary_assignment(self.seed, key), 6),
+                    "canary": canary_assignment(
+                        self.seed, key) < self.machine.fraction,
+                    "swapped": name in self._swapped,
+                }
+                for name, key in sorted(self._keys.items())}
+            return {
+                "model": self.model,
+                "new_version": self.new_version,
+                **self.machine.describe(),
+                "seed": self.seed,
+                "auto": self.auto,
+                "policy": self.policy.to_dict(),
+                "streams": streams,
+                "swapped_streams": sorted(self._swapped),
+                "shadow": self._stage_stats.to_dict(),
+                "stage_history": list(self._stage_history),
+                "last_decision": (None if self.last_decision is None
+                                  else self.last_decision.to_dict()),
+                "requests": len(self.decisions),
+                "rollbacks": self.rollbacks,
+                "promoted": self.machine.state == PROMOTED,
+                "rolled_back": self.machine.state == ROLLED_BACK,
+                "aborted": self.machine.state == ABORTED,
+            }

@@ -60,6 +60,24 @@ The server exposes these JSON endpoints:
     ``affected_fraction`` (the delta's receptive field) and
     ``elapsed_ms``.
 
+``POST /swap``
+    ``{"stream": "sz-live", "model": "shenzhen", "version": "2"}`` —
+    atomically rebind an open stream to another packaged bundle version
+    without dropping its graph, WAL chain or in-flight requests.  The
+    previous engine stays loaded (warm), so swapping back is instant.
+
+``GET /rollout`` / ``POST /rollout``
+    Status and control of a staged canary rollout across this service's
+    streams (see :mod:`repro.serve.rollout`).  Control actions::
+
+        {"action": "start", "model": "shenzhen", "version": "2",
+         "canary_fraction": 0.05,        # first stage (ladder continues
+                                         # through the defaults to 100%)
+         "seed": 0, "auto": true,        # deterministic canary keying
+         "policy": {"max_mean_abs_change": 0.05, ...}}
+        {"action": "promote" | "rollback" | "abort" | "evaluate"
+                 | "status"}
+
 Engines are created lazily per model/version on first use and kept for the
 lifetime of the server, so the bundle-load cost is paid once and the
 fingerprint cache accumulates across requests.  Built on
@@ -88,6 +106,8 @@ from .resilience import (DEADLINE_HEADER, AdmissionConfig,
                          AdmissionController, Deadline, DeadlineExceeded,
                          ShedError, StaleScoreCache, check_deadline,
                          deadline_scope)
+from .rollout import (DEFAULT_STAGES, RolloutController, RolloutError,
+                      RolloutPolicy, stages_for_fraction)
 from .wire import delta_from_payload, graph_from_payload
 
 #: request bodies larger than this are rejected up front (64 MiB covers the
@@ -101,8 +121,14 @@ METRICS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 #: ``/models/<name>`` collapses to one label, so a scanner probing random
 #: paths cannot blow up the metric cardinality
 _GET_ENDPOINTS = frozenset(
-    ("/healthz", "/models", "/streams", "/stats", "/metrics"))
-_POST_ENDPOINTS = frozenset(("/score", "/update", "/evict"))
+    ("/healthz", "/models", "/streams", "/stats", "/metrics", "/rollout"))
+_POST_ENDPOINTS = frozenset(("/score", "/update", "/evict", "/swap",
+                             "/rollout"))
+
+#: POST endpoints behind admission control.  The rollout control plane
+#: (/swap, /rollout) is deliberately NOT gated: a rollback issued during
+#: an overload is exactly the request that must not be shed.
+_ADMITTED_ENDPOINTS = ("/evict", "/score", "/update")
 
 
 def endpoint_label(path: str, method: str) -> str:
@@ -151,6 +177,8 @@ class ScoringService:
         self._engines: Dict[Tuple[str, str], InferenceEngine] = {}
         #: open update streams: name -> (scorer, model, version)
         self._streams: Dict[str, Tuple[StreamingScorer, str, str]] = {}
+        #: the active staged-rollout controller, if any (POST /rollout)
+        self._rollout: Optional[RolloutController] = None
         self._lock = threading.Lock()
         #: the registry ``GET /metrics`` renders; engines created by this
         #: service (and their streams) report into the same one, so a
@@ -176,7 +204,7 @@ class ScoringService:
         # ``degraded: true`` with bounded version-lag staleness
         self._admission: Dict[str, AdmissionController] = {}
         if admission is not None:
-            for endpoint in sorted(_POST_ENDPOINTS):
+            for endpoint in _ADMITTED_ENDPOINTS:
                 self._admission[endpoint] = AdmissionController(
                     endpoint, admission).bind_metrics(
                         self.metrics, component="server")
@@ -460,15 +488,27 @@ class ScoringService:
     def _score_stream(self, stream, request: Dict[str, object]):
         """``/score`` with ``stream``: score an open stream's current
         version without re-uploading the graph (the fleet-shard hot path)."""
-        scorer, _, _ = self._stream_entry(stream)
+        scorer, model, _ = self._stream_entry(stream)
+        name = stream.strip()
+        # canary routing: an active rollout for this stream's model makes
+        # its (deterministic) canary decision before the score runs, so a
+        # canary stream is already hot-swapped to the new version here
+        rollout = self._rollout
+        canary = False
+        if rollout is not None and model == rollout.model:
+            canary = rollout.admit(name)
         try:
             result = scorer.score(regions=request.get("regions"),
                                   top_percent=request.get("top_percent"))
         except (ValueError, TypeError) as error:
             raise ServiceError(400, str(error)) from error
         payload = result.to_dict()
-        payload["stream"] = stream.strip()
+        payload["stream"] = name
         payload["stream_version"] = scorer.version
+        if rollout is not None:
+            payload["canary"] = canary
+            rollout.observe(name, payload, canary,
+                            regions=request.get("regions"))
         return payload, scorer.engine, scorer.graph
 
     def _stream_entry(self, stream) -> Tuple[StreamingScorer, str, str]:
@@ -498,6 +538,128 @@ class ScoringService:
             return {"stream": str(request.get("stream")).strip(),
                     "evicted": fingerprint, "model": model,
                     "model_version": version}
+
+    def swap(self, request: Dict[str, object]) -> Dict[str, object]:
+        """Hot-swap an open stream onto another packaged bundle version.
+
+        The stream keeps its graph, version counter and WAL chain; the
+        scorer's engine is atomically rebound
+        (:meth:`~repro.stream.scorer.StreamingScorer.swap_engine`) and
+        the previous engine stays loaded for an instant swap back.
+        """
+        if not isinstance(request, dict):
+            raise ServiceError(400, "request body must be a JSON object")
+        scorer, model, _ = self._stream_entry(request.get("stream"))
+        stream = str(request.get("stream")).strip()
+        new_model = request.get("model") or model
+        if not isinstance(new_model, str):
+            raise ServiceError(400, "'model' must be a string")
+        version = request.get("version")
+        if version is not None:
+            version = str(version)
+        engine = self.engine_for(new_model, version)
+        try:
+            payload = dict(scorer.swap_engine(engine))
+        except ValueError as error:
+            # dimension mismatch etc. — the request asked for an
+            # incompatible bundle, the stream is untouched
+            raise ServiceError(400, str(error)) from error
+        with self._lock:
+            self._streams[stream] = (scorer, new_model,
+                                     engine.model_version or version or "")
+        payload["stream"] = stream
+        payload["swapped"] = True
+        self.requests_served += 1
+        return payload
+
+    # ------------------------------------------------------------------
+    # rollout control plane
+    # ------------------------------------------------------------------
+    def rollout_status(self) -> Dict[str, object]:
+        rollout = self._rollout
+        if rollout is None:
+            return {"active": False}
+        return {"active": True, **rollout.status()}
+
+    def rollout(self, request: Dict[str, object]) -> Dict[str, object]:
+        """Control the staged canary rollout over this service's streams."""
+        if not isinstance(request, dict):
+            raise ServiceError(400, "request body must be a JSON object")
+        action = request.get("action")
+        if not isinstance(action, str) or not action:
+            raise ServiceError(400, "missing required field 'action'")
+        try:
+            if action == "start":
+                return self._rollout_start(request)
+            rollout = self._rollout
+            if rollout is None:
+                if action == "status":
+                    return {"active": False}
+                raise ServiceError(409, "no rollout has been started")
+            if action == "status":
+                return self.rollout_status()
+            if action == "evaluate":
+                decision = rollout.evaluate(act=bool(request.get("act",
+                                                                 False)))
+                return {"decision": decision.to_dict(),
+                        **self.rollout_status()}
+            if action == "promote":
+                rollout.promote()
+            elif action == "rollback":
+                rollout.rollback()
+            elif action == "abort":
+                rollout.abort()
+            else:
+                raise ServiceError(
+                    400, f"unknown rollout action {action!r} (expected "
+                         "start/status/evaluate/promote/rollback/abort)")
+            self.requests_served += 1
+            return self.rollout_status()
+        except RolloutError as error:
+            # lifecycle violations (promote after rollback, double start)
+            # are conflicts with the rollout's current state, not client
+            # syntax errors
+            raise ServiceError(409, str(error)) from error
+
+    def _rollout_start(self, request: Dict[str, object]) -> Dict[str, object]:
+        model = request.get("model")
+        if not model or not isinstance(model, str):
+            raise ServiceError(400, "starting a rollout requires 'model'")
+        version = request.get("version")
+        if version is None:
+            raise ServiceError(400, "starting a rollout requires 'version'")
+        rollout = self._rollout
+        if rollout is not None and rollout.machine.state == "canary":
+            raise RolloutError("a rollout is already in progress — abort "
+                               "or finish it before starting another")
+        stages = request.get("stages")
+        if stages is None:
+            fraction = request.get("canary_fraction")
+            stages = (stages_for_fraction(float(fraction))
+                      if fraction is not None else DEFAULT_STAGES)
+        policy_fields = request.get("policy") or {}
+        if not isinstance(policy_fields, dict):
+            raise ServiceError(400, "'policy' must be an object")
+        try:
+            policy = RolloutPolicy(**policy_fields)
+        except TypeError as error:
+            raise ServiceError(400, f"bad policy: {error}") from error
+        # verify the target bundle exists (and load it) before committing
+        self.engine_for(model, str(version))
+        controller = RolloutController(
+            _ServiceRolloutBackend(self), model, str(version),
+            resolve_engine=self.engine_for, policy=policy, stages=stages,
+            seed=int(request.get("seed", 0)),
+            auto=bool(request.get("auto", True)),
+            threshold=float(request.get("threshold", 0.5)),
+            metrics=self.metrics)
+        with self._lock:
+            streams = sorted(name for name, entry in self._streams.items()
+                             if entry[1] == model)
+        self._rollout = controller
+        status = controller.start(streams)
+        self.requests_served += 1
+        return {"active": True, **status}
 
     def stats(self) -> Dict[str, object]:
         """Serving-wide performance counters.
@@ -657,6 +819,36 @@ class ScoringService:
         return payload
 
 
+class _ServiceRolloutBackend:
+    """Adapts a :class:`ScoringService`'s own streams to the stream-swap
+    protocol a :class:`~repro.serve.rollout.RolloutController` drives
+    (``swap_stream``/``score_stream`` + graph/key accessors)."""
+
+    def __init__(self, service: ScoringService) -> None:
+        self._service = service
+
+    def swap_stream(self, name, version=None, model=None,
+                    engine=None) -> Dict[str, object]:
+        # engine factories are ignored: the service resolves versions
+        # through its own registry-backed engine cache
+        return self._service.swap({"stream": name, "model": model,
+                                   "version": version})
+
+    def score_stream(self, name, regions=None,
+                     top_percent=None) -> Dict[str, object]:
+        return self._service.score({"stream": name, "regions": regions,
+                                    "top_percent": top_percent})
+
+    def stream_graph(self, name):
+        return self._service._stream_entry(name)[0].graph
+
+    def stream_fingerprint(self, name) -> str:
+        return self._service._stream_entry(name)[0].fingerprint
+
+    def stream_key(self, name) -> str:
+        return self._service._stream_entry(name)[0].fingerprint
+
+
 class _Handler(BaseHTTPRequestHandler):
     """Maps HTTP requests onto the :class:`ScoringService` endpoints."""
 
@@ -778,6 +970,8 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json(200, self.service.streams())
         elif path == "/stats":
             self._send_json(200, self.service.stats())
+        elif path == "/rollout":
+            self._send_json(200, self.service.rollout_status())
         elif path == "/metrics":
             self._send_body(200, METRICS_CONTENT_TYPE,
                             self.service.metrics_text().encode("utf-8"))
@@ -790,7 +984,9 @@ class _Handler(BaseHTTPRequestHandler):
     def _run_post(self) -> None:
         handlers = {"/score": self.service.score,
                     "/update": self.service.update,
-                    "/evict": self.service.evict}
+                    "/evict": self.service.evict,
+                    "/swap": self.service.swap,
+                    "/rollout": self.service.rollout}
         handler = handlers.get(self.path)
         if handler is None:
             raise ServiceError(404, f"unknown endpoint {self.path!r}")

@@ -268,10 +268,19 @@ class StreamingScorer:
     # durability
     # ------------------------------------------------------------------
     def _wal_options(self) -> Dict[str, object]:
-        """The open options a restore must reproduce exactly."""
+        """The open options a restore must reproduce exactly.
+
+        Beyond the scoring knobs, the options record which model the
+        stream is currently bound to: snapshots are written atomically,
+        so after a crash the recovered options name exactly one model
+        version — the durability anchor of the no-torn-swap guarantee
+        (:meth:`swap_engine`).
+        """
         return {"incremental": self.incremental,
                 "incremental_cutoff": self.incremental_cutoff,
-                "fingerprints": self.fingerprint_mode}
+                "fingerprints": self.fingerprint_mode,
+                "model": self._engine.model_name,
+                "model_version": self._engine.model_version}
 
     def _write_opening_snapshot(self) -> None:
         from ..durable.snapshot import SnapshotState
@@ -390,8 +399,75 @@ class StreamingScorer:
             "incremental": self.incremental,
             "incremental_active": self.incremental_active,
             "durable": self._wal is not None,
+            "model": self._engine.model_name,
+            "model_version": self._engine.model_version,
             "stats": self.stats.to_dict(),
         }
+
+    # ------------------------------------------------------------------
+    # hot swap
+    # ------------------------------------------------------------------
+    def swap_engine(self, engine: InferenceEngine) -> Dict[str, object]:
+        """Atomically rebind this stream to a different engine (model).
+
+        The stream keeps its graph version, chained fingerprint and WAL
+        history — only the model scoring it changes.  Under the update
+        lock the swap:
+
+        * validates the current graph against the new engine's expected
+          feature dimensions (a mismatched bundle is rejected before any
+          state moves);
+        * re-registers the current :class:`EdgePlan` with the new engine
+          (plans describe graph structure, not model parameters, so they
+          transfer verbatim — built fresh if the old engine did not keep
+          one);
+        * drops the activation :class:`ScoreCache` — cached encoder
+          activations belong to the *old* model, and splicing them into
+          the new model's incremental rescores would corrupt scores; the
+          next update rebuilds the cache on the new model;
+        * evicts the stream's entries from the old engine's caches (the
+          old engine itself stays loaded and warm, so swapping back for
+          a rollback is instant and recomputes deterministically);
+        * for durable streams, writes an atomic snapshot whose options
+          record the new model identity — a crash mid-rollout therefore
+          recovers onto exactly one version, never a torn swap.
+
+        Concurrent :meth:`score` calls observe either the old or the new
+        engine in full; in-flight requests already past the rebind keep
+        scoring on whichever engine they captured.
+        """
+        with self._lock:
+            state = self._state
+            engine._check_dimensions(state.graph)
+            previous = self._engine
+            if previous is not engine:
+                plan = state.plan
+                if engine.detector.config.use_edge_plan:
+                    if plan is None:
+                        plan = EdgePlan.for_graph(state.graph)
+                    engine.seed_plan(state.fingerprint, plan)
+                previous.evict(state.fingerprint)
+                self._engine = engine
+                # the new model must re-earn incremental trust in auto mode
+                self._pending_verify = self.incremental == "auto"
+                self._state = _StreamState(
+                    graph=state.graph, fingerprint=state.fingerprint,
+                    plan=plan, version=state.version, cache=None, pending=None)
+                if self._wal is not None:
+                    from ..durable.snapshot import SnapshotState
+                    self._wal.write_snapshot(SnapshotState(
+                        graph=state.graph, fingerprint=state.fingerprint,
+                        seq=state.version, options=self._wal_options(),
+                        warm=self._warm_opened, cache=None))
+            return {
+                "previous_model": previous.model_name,
+                "previous_model_version": previous.model_version,
+                "model": engine.model_name,
+                "model_version": engine.model_version,
+                "version": state.version,
+                "fingerprint": state.fingerprint,
+                "regions": state.graph.num_nodes,
+            }
 
     # ------------------------------------------------------------------
     # scoring

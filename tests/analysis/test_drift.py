@@ -63,10 +63,26 @@ class TestScoreDriftReport:
         with pytest.raises(ValueError, match="at least two"):
             score_drift_report([np.zeros(3)])
 
-    def test_constant_scores_have_nan_rank_corr(self):
+    def test_constant_scores_have_defined_rank_corr(self):
+        # regression: constant vectors used to yield nan, which a rollout
+        # policy could neither promote nor rollback on — two constant
+        # vectors now count as perfect rank agreement
         report = score_drift_report([np.full(5, 0.5), np.full(5, 0.7)])
-        assert np.isnan(report.steps[0].rank_correlation)
-        assert np.isnan(report.worst_rank_correlation)
+        assert report.steps[0].rank_correlation == 1.0
+        assert report.worst_rank_correlation == 1.0
+
+    def test_constant_vs_varying_scores_have_zero_rank_corr(self):
+        # a constant vector against a varying one carries no rank
+        # information: defined (0.0), never nan
+        report = score_drift_report([np.full(4, 0.5),
+                                     np.array([0.1, 0.9, 0.3, 0.6])])
+        assert report.steps[0].rank_correlation == 0.0
+        assert report.worst_rank_correlation == 0.0
+
+    def test_single_region_rank_corr_is_defined(self):
+        report = score_drift_report([np.array([0.2]), np.array([0.8])])
+        assert report.steps[0].rank_correlation == 1.0
+        assert np.isfinite(report.worst_rank_correlation)
 
     def test_to_dict_round_trips_through_json(self):
         import json

@@ -27,7 +27,8 @@ class TestParser:
         assert set(subparsers.choices) == {"generate-city", "build-graph", "show-city",
                                            "train", "evaluate", "reproduce", "registry",
                                            "package", "serve", "score", "stream",
-                                           "workload", "fleet", "experiment", "load"}
+                                           "workload", "fleet", "experiment", "load",
+                                           "rollout"}
 
 
 class TestGenerateAndBuild:

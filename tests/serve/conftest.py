@@ -37,6 +37,24 @@ def shard_factory(model_registry):
 
 
 @pytest.fixture(scope="session")
+def rollout_registry(tmp_path_factory, fitted_detector, fast_config,
+                     tiny_graph_small_image):
+    """A registry for the rollout suites: ``tiny:1`` (baseline),
+    ``tiny:2`` (identical twin — zero drift) and ``tiny:3`` (retrained
+    with another seed — real drift)."""
+    from repro.core import CMSFDetector
+
+    registry = ModelRegistry(tmp_path_factory.mktemp("rollout-models"))
+    graph = tiny_graph_small_image
+    registry.publish(fitted_detector, graph, "tiny", version="1")
+    registry.publish(fitted_detector, graph, "tiny", version="2")
+    drifted = CMSFDetector(fast_config.with_overrides(seed=3)).fit(
+        graph, graph.labeled_indices())
+    registry.publish(drifted, graph, "tiny", version="3")
+    return registry
+
+
+@pytest.fixture(scope="session")
 def fleet_cities(tiny_graph_small_image):
     """Three structurally distinct city variants sharing the bundle's dims."""
     return derive_cities(tiny_graph_small_image, 3, seed=11)

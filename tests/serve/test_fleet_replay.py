@@ -39,7 +39,8 @@ class TestGeneration:
         trace = generate_workload(fleet_cities, WorkloadConfig(
             ops=30, seed=3, score_weight=1.0, update_weight=0.0,
             evict_weight=0.0))
-        assert trace.op_counts() == {"score": 30, "update": 0, "evict": 0}
+        assert trace.op_counts() == {"score": 30, "update": 0, "evict": 0,
+                                     "rollout": 0}
 
     def test_config_validation(self):
         with pytest.raises(ValueError, match="weights"):

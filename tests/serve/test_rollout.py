@@ -1,0 +1,579 @@
+"""Staged canary rollout tests: state machine, policy, controller, HTTP.
+
+The contracts under test, layer by layer:
+
+* :class:`RolloutStateMachine` — guarded lifecycle transitions; a
+  rolled-back rollout can never promote without a fresh ``start``;
+* :class:`RolloutPolicy` — the promote/hold/rollback decision table,
+  including the refuse-to-act-on-nan rule;
+* :class:`RolloutController` over a real :class:`FleetRouter` — hot
+  swaps, deterministic canary routing, shadow scoring, staged
+  promotion, automatic rollback, and the two acceptance invariants:
+  replaying a recorded trace through a rollout twice is bit-identical
+  (scores *and* canary decisions), and after an automatic rollback the
+  score path is bit-identical to a never-rolled-out baseline oracle;
+* the HTTP control plane — ``POST /swap`` and ``GET/POST /rollout``
+  through :class:`ScoringServer` / :class:`ScoringClient`.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.bench import (replay_rollout_trace, replay_trace,
+                         rollout_replays_identical, with_rollout)
+from repro.obs import MetricsRegistry
+from repro.serve import (DEFAULT_STAGES, EngineShard, FleetRouter,
+                         InferenceEngine, RolloutController, RolloutError,
+                         RolloutPolicy, RolloutStateMachine, ScoringClient,
+                         ScoringServer, canary_assignment, is_canary,
+                         stages_for_fraction)
+from repro.serve.client import ScoringServiceError
+from repro.serve.rollout import ShadowStats
+
+STAGES = (0.5, 1.0)
+
+
+# the three-version registry (tiny:1 baseline, tiny:2 identical twin,
+# tiny:3 drifted retrain) lives in conftest.py as ``rollout_registry``
+def _resolver(registry, cache_size=8):
+    def resolve(model, version):
+        return InferenceEngine.from_bundle(registry.resolve(model, version),
+                                           cache_size=cache_size)
+    return resolve
+
+
+def _fleet(registry, shards=2, replication=2):
+    members = [EngineShard(InferenceEngine.from_bundle(
+        registry.resolve("tiny", "1"), cache_size=8), shard_id=f"s{i}")
+        for i in range(shards)]
+    return FleetRouter(members, replication=replication)
+
+
+def _controller(registry, fleet, version, **kwargs):
+    kwargs.setdefault("policy", RolloutPolicy(min_pairs=1))
+    kwargs.setdefault("stages", STAGES)
+    return RolloutController(fleet, "tiny", version,
+                             resolve_engine=_resolver(registry),
+                             metrics=MetricsRegistry(), **kwargs)
+
+
+def _split_seed(cities, fraction=0.5):
+    """A canary seed putting *some but not all* cities in the canary —
+    the interesting regime for routing tests (searched, not hardcoded,
+    so the fixture cities can change without breaking the suite)."""
+    keys = [graph.structural_fingerprint() for graph in cities.values()]
+    for seed in range(500):
+        flags = [canary_assignment(seed, key) < fraction for key in keys]
+        if any(flags) and not all(flags):
+            return seed
+    raise AssertionError("no seed splits the cities at this fraction")
+
+
+# ----------------------------------------------------------------------
+# the pure state machine
+# ----------------------------------------------------------------------
+class TestRolloutStateMachine:
+    def test_full_promotion_walk(self):
+        machine = RolloutStateMachine((0.05, 0.25, 1.0))
+        assert machine.state == "idle" and machine.fraction == 0.0
+        machine.start()
+        assert (machine.state, machine.stage) == ("canary", 0)
+        assert machine.fraction == 0.05
+        assert machine.promote() == "canary" and machine.fraction == 0.25
+        assert machine.promote() == "canary" and machine.fraction == 1.0
+        assert machine.promote() == "promoted"
+        assert machine.fraction == 1.0 and machine.terminal
+
+    def test_rollback_is_terminal_for_the_rollout(self):
+        machine = RolloutStateMachine()
+        machine.start()
+        machine.rollback()
+        assert machine.state == "rolled_back" and machine.fraction == 0.0
+        for action in ("promote", "rollback", "abort"):
+            with pytest.raises(RolloutError):
+                getattr(machine, action)()
+        # but a *new* rollout may start
+        machine.start()
+        assert (machine.state, machine.stage) == ("canary", 0)
+        assert machine.rollouts == 2
+
+    def test_promote_requires_canary(self):
+        machine = RolloutStateMachine()
+        with pytest.raises(RolloutError, match="cannot promote"):
+            machine.promote()
+        machine.start()
+        while machine.state == "canary":
+            machine.promote()
+        with pytest.raises(RolloutError, match="cannot promote"):
+            machine.promote()
+
+    def test_double_start_raises(self):
+        machine = RolloutStateMachine()
+        machine.start()
+        with pytest.raises(RolloutError, match="already in progress"):
+            machine.start()
+
+    def test_abort_recorded_separately(self):
+        machine = RolloutStateMachine()
+        machine.start()
+        machine.abort()
+        assert machine.state == "aborted"
+
+    @pytest.mark.parametrize("stages", [
+        (), (0.5, 0.25, 1.0), (0.5, 0.5, 1.0), (0.25, 0.5), (0.0, 1.0),
+        (0.5, 1.5),
+    ], ids=["empty", "decreasing", "flat", "not-full", "zero", "over-one"])
+    def test_invalid_stage_ladders_rejected(self, stages):
+        with pytest.raises(RolloutError):
+            RolloutStateMachine(stages)
+
+    def test_transitions_are_logged(self):
+        machine = RolloutStateMachine((0.5, 1.0))
+        machine.start()
+        machine.promote()
+        machine.promote()
+        assert machine.transitions == [("idle", "canary", 0),
+                                       ("canary", "canary", 1),
+                                       ("canary", "promoted", 1)]
+
+
+class TestStagesForFraction:
+    def test_fraction_heads_the_default_ladder(self):
+        assert stages_for_fraction(0.1) == (0.1, 0.25, 1.0)
+        assert stages_for_fraction(0.5) == (0.5, 1.0)
+        assert stages_for_fraction(1.0) == (1.0,)
+        assert stages_for_fraction(0.05) == DEFAULT_STAGES
+
+    @pytest.mark.parametrize("fraction", [0.0, -0.1, 1.5])
+    def test_invalid_fractions_rejected(self, fraction):
+        with pytest.raises(RolloutError):
+            stages_for_fraction(fraction)
+
+
+# ----------------------------------------------------------------------
+# canary assignment
+# ----------------------------------------------------------------------
+class TestCanaryAssignment:
+    def test_deterministic_and_in_unit_interval(self):
+        for seed in (0, 1, 42):
+            for key in ("a", "b", "fingerprint-1"):
+                u = canary_assignment(seed, key)
+                assert 0.0 <= u < 1.0
+                assert u == canary_assignment(seed, key)
+
+    def test_stages_are_nested(self):
+        # every 5% canary member is also a 25% and a 100% member
+        keys = [f"city-{i}" for i in range(200)]
+        for key in keys:
+            if is_canary(7, key, 0.05):
+                assert is_canary(7, key, 0.25)
+            if is_canary(7, key, 0.25):
+                assert is_canary(7, key, 1.0)
+
+    def test_fraction_roughly_honoured(self):
+        keys = [f"city-{i}" for i in range(2000)]
+        hits = sum(is_canary(3, key, 0.25) for key in keys)
+        assert 0.18 < hits / len(keys) < 0.32
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            is_canary(0, "x", 1.5)
+
+
+# ----------------------------------------------------------------------
+# the policy decision table
+# ----------------------------------------------------------------------
+class TestRolloutPolicy:
+    def test_holds_until_min_pairs(self):
+        policy = RolloutPolicy(min_pairs=3)
+        stats = ShadowStats()
+        stats.record(0.0, 1.0, 0, 10)
+        decision = policy.decide(stats)
+        assert decision.action == "hold"
+        assert "1/3" in decision.reasons[0]
+
+    def test_promotes_within_thresholds(self):
+        policy = RolloutPolicy(min_pairs=1)
+        stats = ShadowStats()
+        stats.record(0.01, 0.95, 0, 100)
+        assert policy.decide(stats).action == "promote"
+
+    @pytest.mark.parametrize("record,needle", [
+        ((0.2, 0.95, 0, 100), "mean|Δp|"),
+        ((0.01, 0.5, 0, 100), "rank-ρ"),
+        ((0.01, 0.95, 10, 100), "crossing fraction"),
+    ], ids=["mean-change", "rank-corr", "crossings"])
+    def test_each_breach_rolls_back(self, record, needle):
+        policy = RolloutPolicy(min_pairs=1)
+        stats = ShadowStats()
+        stats.record(*record)
+        decision = policy.decide(stats)
+        assert decision.action == "rollback"
+        assert any(needle in reason for reason in decision.reasons)
+
+    def test_never_acts_on_nan(self):
+        policy = RolloutPolicy(min_pairs=1)
+        stats = ShadowStats()
+        stats.record(math.nan, 0.9, 0, 100)
+        decision = policy.decide(stats)
+        assert decision.action == "hold"
+        assert "nan" in decision.reasons[0]
+
+    @pytest.mark.parametrize("kwargs", [
+        {"max_mean_abs_change": -0.1}, {"min_rank_correlation": 2.0},
+        {"max_crossing_fraction": 1.5}, {"min_pairs": 0},
+    ])
+    def test_invalid_thresholds_rejected(self, kwargs):
+        with pytest.raises(RolloutError):
+            RolloutPolicy(**kwargs)
+
+
+class TestShadowStats:
+    def test_running_aggregates(self):
+        stats = ShadowStats()
+        stats.record(0.1, 0.9, 1, 50)
+        stats.record(0.3, 0.8, 0, 50)
+        assert stats.pairs == 2
+        assert stats.mean_abs_change == pytest.approx(0.2)
+        assert stats.worst_rank_correlation == pytest.approx(0.8)
+        assert stats.crossing_fraction == pytest.approx(1 / 100)
+
+    def test_crossing_fraction_defined_when_empty(self):
+        assert ShadowStats().crossing_fraction == 0.0
+
+
+# ----------------------------------------------------------------------
+# the controller over a real fleet
+# ----------------------------------------------------------------------
+class TestControllerOnFleet:
+    def test_zero_drift_rollout_promotes_fleet_wide_invisibly(
+            self, rollout_registry, fleet_cities, fleet_trace):
+        """An identical-twin version walks the whole ladder and never
+        perturbs a single float64 score."""
+        seed = _split_seed(fleet_cities)
+        trace = with_rollout(fleet_trace, 0)
+        fleet = _fleet(rollout_registry)
+        controller = _controller(rollout_registry, fleet, "2", seed=seed)
+        result = replay_rollout_trace(trace, controller, collect_stats=False)
+        status = result.rollout_status
+
+        assert status["promoted"] and status["state"] == "promoted"
+        assert not status["rolled_back"] and status["rollbacks"] == 0
+        # fleet-wide: every stream ends up swapped onto tiny:2
+        assert sorted(status["swapped_streams"]) == sorted(trace.cities)
+        assert all(entry["swapped"] for entry in status["streams"].values())
+        assert any(d["canary"] for d in result.decisions)
+        # the promotion left no trace in the score path
+        oracle = replay_trace(trace, EngineShard(
+            InferenceEngine.from_bundle(rollout_registry.resolve("tiny", "1")),
+            shard_id="oracle"), collect_stats=False)
+        identical, max_diff = rollout_replays_identical(
+            result, replay_rollout_trace(
+                trace, _controller(rollout_registry, _fleet(rollout_registry),
+                                   "2", seed=seed), collect_stats=False))
+        assert identical and max_diff == 0.0
+        for i, op in enumerate(trace.ops):
+            if result.scores[i] is not None:
+                np.testing.assert_array_equal(result.scores[i],
+                                              oracle.scores[i])
+        fleet.close()
+
+    def test_drifted_rollout_auto_rolls_back_to_oracle_scores(
+            self, rollout_registry, fleet_cities, fleet_trace):
+        """The acceptance invariant: a drift-injected version rolls back
+        automatically and the post-rollback score path is bit-identical
+        to a never-rolled-out baseline oracle."""
+        seed = _split_seed(fleet_cities)
+        trace = with_rollout(fleet_trace, 0)
+        fleet = _fleet(rollout_registry)
+        # zero tolerance: the first shadow pair with any drift rolls back
+        controller = _controller(
+            rollout_registry, fleet, "3", seed=seed,
+            policy=RolloutPolicy(max_mean_abs_change=0.0, min_pairs=1))
+        result = replay_rollout_trace(trace, controller, collect_stats=False)
+        status = result.rollout_status
+
+        assert status["rolled_back"] and status["rollbacks"] == 1
+        assert status["swapped_streams"] == []
+        canary_flags = [d["canary"] for d in result.decisions]
+        assert canary_flags.count(True) == 1
+        last = status["last_decision"]
+        assert last["action"] == "rollback"
+
+        oracle = replay_trace(trace, EngineShard(
+            InferenceEngine.from_bundle(rollout_registry.resolve("tiny", "1")),
+            shard_id="oracle"), collect_stats=False)
+        score_ops = [i for i, op in enumerate(trace.ops) if op.op == "score"]
+        rollback_op = score_ops[canary_flags.index(True)]
+        # the lone canary score actually came from the drifted version …
+        assert not np.array_equal(result.scores[rollback_op],
+                                  oracle.scores[rollback_op])
+        # … and everything after the rollback is bit-identical to the
+        # never-rolled-out baseline
+        compared = 0
+        for i in range(rollback_op + 1, len(trace.ops)):
+            if result.scores[i] is not None:
+                np.testing.assert_array_equal(result.scores[i],
+                                              oracle.scores[i])
+                compared += 1
+        assert compared > 0, "trace too short to exercise post-rollback ops"
+        fleet.close()
+
+    def test_rollout_replay_is_bit_identical(self, rollout_registry,
+                                             fleet_cities, fleet_trace):
+        """Same trace + same controller config => identical canary
+        decisions and bit-identical float64 score trajectories."""
+        seed = _split_seed(fleet_cities)
+        trace = with_rollout(fleet_trace, 3)
+        runs = []
+        for _ in range(2):
+            fleet = _fleet(rollout_registry)
+            controller = _controller(rollout_registry, fleet, "3", seed=seed,
+                                     policy=RolloutPolicy(min_pairs=2))
+            runs.append(replay_rollout_trace(trace, controller,
+                                             collect_stats=False))
+            fleet.close()
+        identical, max_diff = rollout_replays_identical(*runs)
+        assert identical and max_diff == 0.0
+        assert runs[0].decisions == runs[1].decisions
+        assert runs[0].score_digests == runs[1].score_digests
+
+    def test_canary_decisions_survive_fleet_resize(self, rollout_registry,
+                                                   fleet_cities,
+                                                   fleet_trace):
+        """Adding shards cannot move a city in or out of the canary —
+        assignment hashes the city key, not the ring."""
+        seed = _split_seed(fleet_cities)
+        trace = with_rollout(fleet_trace, 0)
+        assignments = []
+        for shards in (2, 3):
+            fleet = _fleet(rollout_registry, shards=shards)
+            controller = _controller(rollout_registry, fleet, "2", seed=seed,
+                                     auto=False)
+            replay_rollout_trace(trace, controller, collect_stats=False)
+            assignments.append({
+                name: (entry["assignment"], entry["canary"])
+                for name, entry in controller.status()["streams"].items()})
+            fleet.close()
+        assert assignments[0] == assignments[1]
+
+    def test_manual_lifecycle_and_hold(self, rollout_registry, fleet_cities):
+        fleet = _fleet(rollout_registry)
+        for name, graph in fleet_cities.items():
+            fleet.open_stream(name, graph)
+        controller = _controller(
+            rollout_registry, fleet, "2", seed=_split_seed(fleet_cities),
+            auto=False, policy=RolloutPolicy(min_pairs=100))
+        # nothing runs before start: scores are all baseline
+        assert not controller.is_canary(next(iter(fleet_cities)))
+        status = controller.start(list(fleet_cities))
+        assert status["state"] == "canary" and status["stage"] == 0
+        canary = next(name for name, entry in status["streams"].items()
+                      if entry["canary"])
+        controller.score(canary)
+        decision = controller.evaluate()
+        assert decision.action == "hold"  # min_pairs unreachable
+        assert controller.machine.state == "canary"
+        assert controller.promote() == "canary"  # manual override
+        report = controller.rollback()
+        assert report["rolled_back"] and canary in report["restored_streams"]
+        # evaluate outside a live rollout is a hold, never an action
+        assert controller.evaluate(act=True).action == "hold"
+        fleet.close()
+
+    def test_abort_restores_every_swapped_stream(self, rollout_registry,
+                                                 fleet_cities):
+        fleet = _fleet(rollout_registry)
+        for name, graph in fleet_cities.items():
+            fleet.open_stream(name, graph)
+        controller = _controller(rollout_registry, fleet, "2",
+                                 seed=_split_seed(fleet_cities), auto=False)
+        controller.start(list(fleet_cities))
+        assert controller.status()["swapped_streams"]  # eager stage sync
+        report = controller.abort()
+        assert report["aborted"]
+        status = controller.status()
+        assert status["aborted"] and status["swapped_streams"] == []
+        # after the abort every stream scores exactly like the baseline
+        baseline = InferenceEngine.from_bundle(
+            rollout_registry.resolve("tiny", "1"))
+        for name, graph in fleet_cities.items():
+            np.testing.assert_array_equal(
+                np.asarray(fleet.score_stream(name)["probabilities"],
+                           dtype=np.float64),
+                np.asarray(baseline.score(graph).probabilities,
+                           dtype=np.float64))
+        fleet.close()
+
+    def test_rollout_metrics_exported(self, rollout_registry, fleet_cities,
+                                      fleet_trace):
+        metrics = MetricsRegistry()
+        fleet = _fleet(rollout_registry)
+        controller = RolloutController(
+            fleet, "tiny", "2", resolve_engine=_resolver(rollout_registry),
+            policy=RolloutPolicy(min_pairs=1), stages=STAGES,
+            seed=_split_seed(fleet_cities), metrics=metrics)
+        replay_rollout_trace(with_rollout(fleet_trace, 0), controller,
+                             collect_stats=False)
+        text = metrics.render()
+        for name in ("repro_rollout_stage", "repro_rollout_canary_fraction",
+                     "repro_rollout_requests_total",
+                     "repro_rollout_shadow_pairs_total",
+                     "repro_rollout_swaps_total",
+                     "repro_rollout_promotions_total",
+                     "repro_rollout_drift_mean_abs_change"):
+            assert name in text
+        fleet.close()
+
+
+# ----------------------------------------------------------------------
+# the rollout workload op
+# ----------------------------------------------------------------------
+class TestRolloutWorkloadOp:
+    def test_with_rollout_inserts_a_control_op(self, fleet_trace):
+        trace = with_rollout(fleet_trace, 2)
+        assert len(trace) == len(fleet_trace) + 1
+        assert trace.ops[2].op == "rollout"
+        assert trace.meta["rollout_at"] == 2
+        assert trace.name.endswith("+rollout@2")
+        # the source trace is untouched
+        assert all(op.op != "rollout" for op in fleet_trace.ops)
+
+    def test_with_rollout_validates_the_index(self, fleet_trace):
+        with pytest.raises(ValueError, match="at must be"):
+            with_rollout(fleet_trace, len(fleet_trace) + 1)
+        with pytest.raises(ValueError, match="at must be"):
+            with_rollout(fleet_trace, -1)
+
+    def test_rollout_traces_survive_the_codec(self, fleet_trace,
+                                              traces_equal):
+        from repro.bench import trace_from_bytes, trace_to_bytes
+        trace = with_rollout(fleet_trace, 2)
+        traces_equal(trace, trace_from_bytes(trace_to_bytes(trace)))
+
+    def test_plain_replay_treats_rollout_as_noop(self, rollout_registry,
+                                                 fleet_trace):
+        trace = with_rollout(fleet_trace, 2)
+        shard = EngineShard(InferenceEngine.from_bundle(
+            rollout_registry.resolve("tiny", "1")), shard_id="solo")
+        result = replay_trace(trace, shard, collect_stats=False)
+        assert result.completed_ops == len(trace)
+        assert result.scores[2] is None  # the control op scores nothing
+
+
+# ----------------------------------------------------------------------
+# the HTTP control plane
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def rollout_server(rollout_registry):
+    with ScoringServer(rollout_registry, quiet=True) as running:
+        yield running
+
+
+@pytest.fixture(scope="module")
+def rollout_client(rollout_server):
+    client = ScoringClient(rollout_server.url)
+    client.wait_until_ready()
+    yield client
+    client.close()
+
+
+class TestServiceRollout:
+    def test_swap_endpoint_rebinds_and_swaps_back(self, rollout_client,
+                                                  fleet_cities):
+        name, graph = next(iter(fleet_cities.items()))
+        stream = f"swap-{name}"
+        opened = rollout_client.open_stream(stream, graph, "tiny",
+                                            version="1")
+        before = np.asarray(opened["score"]["probabilities"],
+                            dtype=np.float64)
+        payload = rollout_client.swap_stream(stream, version="2")
+        assert payload["swapped"]
+        assert payload["previous_model_version"] == "1"
+        assert payload["model_version"] == "2"
+        # identical twin: the hot swap is invisible in the scores
+        after = np.asarray(
+            rollout_client.score_stream(stream)["probabilities"],
+            dtype=np.float64)
+        np.testing.assert_array_equal(before, after)
+        back = rollout_client.swap_stream(stream, version="1")
+        assert back["previous_model_version"] == "2"
+        assert back["model_version"] == "1"
+
+    def test_swap_unknown_stream_or_version_rejected(self, rollout_client):
+        with pytest.raises(ScoringServiceError):
+            rollout_client.swap_stream("never-opened", version="2")
+        with pytest.raises(ScoringServiceError):
+            rollout_client.swap_stream("never-opened", version="99")
+
+    def test_http_rollout_lifecycle(self, rollout_client, fleet_cities):
+        streams = {}
+        for name, graph in fleet_cities.items():
+            stream = f"ro-{name}"
+            rollout_client.open_stream(stream, graph, "tiny", version="1")
+            streams[stream] = graph
+        assert rollout_client.rollout_status() == {"active": False}
+
+        # search a seed that puts some (not all) streams in the canary;
+        # aborting between attempts exercises restartability over HTTP
+        for seed in range(100):
+            status = rollout_client.start_rollout(
+                "tiny", "2", seed=seed, stages=[0.5, 1.0],
+                policy={"min_pairs": 1})
+            flags = [entry["canary"]
+                     for entry in status["streams"].values()]
+            if any(flags) and not all(flags):
+                break
+            rollout_client.rollout("abort")
+        else:
+            raise AssertionError("no splitting seed found over HTTP")
+        assert status["active"] and status["state"] == "canary"
+
+        # double start while in flight conflicts (409), not a crash
+        with pytest.raises(ScoringServiceError) as info:
+            rollout_client.start_rollout("tiny", "2")
+        assert info.value.status == 409
+
+        # canary scores are flagged, shadow-paired, and (zero drift,
+        # min_pairs=1, auto) promote the rollout to completion
+        seen_canary = False
+        for _ in range(3):
+            for stream in streams:
+                payload = rollout_client.score_stream(stream)
+                seen_canary |= bool(payload.get("canary"))
+            if rollout_client.rollout_status()["state"] == "promoted":
+                break
+        assert seen_canary
+        status = rollout_client.rollout_status()
+        assert status["promoted"] and status["state"] == "promoted"
+        described = {entry["stream"]: entry
+                     for entry in rollout_client.streams()["streams"]}
+        for stream in streams:
+            assert described[stream]["model_version"] == "2"
+
+        # a fresh rollout from the promoted state: manual rollback
+        status = rollout_client.start_rollout("tiny", "3", seed=0,
+                                              auto=False,
+                                              canary_fraction=0.5)
+        assert status["state"] == "canary"
+        status = rollout_client.rollout("rollback")
+        assert status["rolled_back"]
+        with pytest.raises(ScoringServiceError) as info:
+            rollout_client.rollout("promote")
+        assert info.value.status == 409
+
+    def test_rollout_validation_errors(self, rollout_client):
+        with pytest.raises(ScoringServiceError) as info:
+            rollout_client.rollout("start")  # missing model/version
+        assert info.value.status == 400
+        with pytest.raises(ScoringServiceError) as info:
+            rollout_client.rollout("frobnicate")
+        assert info.value.status in (400, 409)
+        with pytest.raises(ScoringServiceError) as info:
+            rollout_client.start_rollout("tiny", "2",
+                                         policy={"bogus_knob": 1})
+        assert info.value.status == 400

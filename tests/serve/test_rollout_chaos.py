@@ -1,0 +1,190 @@
+"""Chaos tests for staged rollouts: shard death and crash-mid-swap.
+
+Two failure modes a rollout must survive:
+
+* the shard *serving the canary* dies mid-stage — failover must keep the
+  stream on the canary version (the replica re-applies the recorded
+  swap), preserve the rollout stage, and keep shadow pairing working;
+* the process crashes while a rollout is in flight — recovery from the
+  write-ahead log must bring every stream back on exactly the version
+  its last atomic snapshot durably recorded (never a torn mix), and
+  :meth:`RolloutController.reconcile_restore` re-aligns a fresh
+  controller with the recovered fleet.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.durable import DurabilityLog
+from repro.obs import MetricsRegistry
+from repro.serve import (ChaosShard, ConsistentHashRing, EngineShard,
+                         FleetRouter, InferenceEngine, RolloutController,
+                         RolloutPolicy, canary_assignment)
+
+SHARD_IDS = ("s0", "s1", "s2")
+STAGES = (0.5, 1.0)
+
+
+def _engine(registry, version):
+    return InferenceEngine.from_bundle(registry.resolve("tiny", version),
+                                       cache_size=8)
+
+
+def _resolver(registry):
+    return lambda model, version: _engine(registry, version)
+
+
+def _controller(registry, fleet, version="3", seed=0, **kwargs):
+    kwargs.setdefault("policy", RolloutPolicy(min_pairs=100))
+    kwargs.setdefault("auto", False)
+    return RolloutController(fleet, "tiny", version,
+                             resolve_engine=_resolver(registry),
+                             stages=STAGES, seed=seed,
+                             metrics=MetricsRegistry(), **kwargs)
+
+
+def _canary_split(cities, seed_range=500, fraction=STAGES[0]):
+    """(seed, canary city, its primary shard) with a proper split."""
+    ring = ConsistentHashRing(list(SHARD_IDS))
+    keys = {name: graph.structural_fingerprint()
+            for name, graph in cities.items()}
+    for seed in range(seed_range):
+        flags = {name: canary_assignment(seed, key) < fraction
+                 for name, key in keys.items()}
+        if any(flags.values()) and not all(flags.values()):
+            canary = next(name for name, flag in flags.items() if flag)
+            return seed, canary, ring.assign(keys[canary], 2)[0]
+    raise AssertionError("no splitting seed found")
+
+
+class TestCanaryShardDeath:
+    def test_killing_the_canary_shard_preserves_stage_and_pairing(
+            self, rollout_registry, fleet_cities):
+        seed, canary, primary = _canary_split(fleet_cities)
+        shards, chaos = [], None
+        for shard_id in SHARD_IDS:
+            shard = EngineShard(_engine(rollout_registry, "1"),
+                                shard_id=shard_id)
+            if shard_id == primary:
+                chaos = ChaosShard(shard)
+                shard = chaos
+            shards.append(shard)
+        fleet = FleetRouter(shards, replication=2)
+        for name, graph in fleet_cities.items():
+            fleet.open_stream(name, graph)
+        assert fleet.cities()[canary]["active"] == primary
+
+        controller = _controller(rollout_registry, fleet, seed=seed)
+        controller.start(list(fleet_cities))
+        assert controller.is_canary(canary)
+
+        oracle_v3 = _engine(rollout_registry, "3")
+        expected = np.asarray(
+            oracle_v3.score(fleet.stream_graph(canary)).probabilities,
+            dtype=np.float64)
+        before = np.asarray(controller.score(canary)["probabilities"],
+                            dtype=np.float64)
+        np.testing.assert_array_equal(before, expected)
+        pairs_before = controller.status()["shadow"]["pairs"]
+        assert pairs_before == 1
+
+        # kill the shard serving the canary, mid-stage
+        chaos.fail()
+        payload = controller.score(canary)
+        after = np.asarray(payload["probabilities"], dtype=np.float64)
+
+        # failover happened and the canary stayed on the canary version
+        assert fleet.cities()[canary]["active"] != primary
+        assert fleet.fleet_stats.failovers >= 1
+        np.testing.assert_array_equal(after, expected)
+        # the rollout never noticed: same stage, shadow pairing intact
+        status = controller.status()
+        assert status["state"] == "canary" and status["stage"] == 0
+        assert status["streams"][canary]["canary"]
+        assert status["shadow"]["pairs"] == pairs_before + 1
+        # and a rollback still restores the baseline on the survivor
+        controller.rollback()
+        baseline = np.asarray(
+            _engine(rollout_registry, "1").score(
+                fleet.stream_graph(canary)).probabilities,
+            dtype=np.float64)
+        np.testing.assert_array_equal(
+            np.asarray(fleet.score_stream(canary)["probabilities"],
+                       dtype=np.float64),
+            baseline)
+        fleet.close()
+
+
+class TestCrashMidRollout:
+    def _durable_fleet(self, registry, wal_root):
+        wal = DurabilityLog(wal_root, metrics=MetricsRegistry())
+        shards = [EngineShard(_engine(registry, "1"), shard_id=shard_id)
+                  for shard_id in ("s0", "s1")]
+        return FleetRouter(shards, replication=2, wal=wal)
+
+    def test_recovery_lands_on_exactly_one_version_per_stream(
+            self, rollout_registry, fleet_cities, tmp_path):
+        """Crash with a rollout mid-stage; restore() must bring every
+        stream back on the single version its last atomic snapshot
+        recorded — canary streams on the new version, the rest on the
+        baseline — and reconcile_restore re-arms a fresh controller."""
+        seed, canary, _ = _canary_split(fleet_cities)
+        fleet = self._durable_fleet(rollout_registry, tmp_path / "wal")
+        for name, graph in fleet_cities.items():
+            fleet.open_stream(name, graph)
+        controller = _controller(rollout_registry, fleet, seed=seed)
+        controller.start(list(fleet_cities))
+        swapped = set(controller.status()["swapped_streams"])
+        assert canary in swapped
+        # the "crash": nothing survives but the WAL directory
+        del fleet, controller
+
+        restored = self._durable_fleet(rollout_registry, tmp_path / "wal")
+        report = restored.restore()
+        assert set(report) == set(fleet_cities)
+        # no torn swaps: each stream recovered on exactly one recorded
+        # version — the new one iff its swap snapshot was durable
+        for name, entry in report.items():
+            version = entry.get("model_version")
+            if name in swapped:
+                assert version == "3", f"{name} lost its canary swap"
+            else:
+                assert version in (None, "1"), f"{name} tore onto {version}"
+
+        fresh = _controller(rollout_registry, restored, seed=seed)
+        fresh.start(list(fleet_cities))
+        outcome = fresh.reconcile_restore(report)
+        assert outcome[canary] == "3"
+        assert set(fresh.status()["swapped_streams"]) == swapped
+
+        # the recovered fleet scores exactly like the versions recorded
+        v1, v3 = _engine(rollout_registry, "1"), _engine(rollout_registry,
+                                                         "3")
+        for name in fleet_cities:
+            expected_engine = v3 if name in swapped else v1
+            np.testing.assert_array_equal(
+                np.asarray(restored.score_stream(name)["probabilities"],
+                           dtype=np.float64),
+                np.asarray(expected_engine.score(
+                    restored.stream_graph(name)).probabilities,
+                    dtype=np.float64))
+        restored.close()
+
+    def test_crash_before_any_swap_recovers_all_baseline(
+            self, rollout_registry, fleet_cities, tmp_path):
+        fleet = self._durable_fleet(rollout_registry, tmp_path / "wal")
+        for name, graph in fleet_cities.items():
+            fleet.open_stream(name, graph)
+        del fleet
+        restored = self._durable_fleet(rollout_registry, tmp_path / "wal")
+        report = restored.restore()
+        for entry in report.values():
+            assert entry.get("model_version") in (None, "1")
+        controller = _controller(rollout_registry, restored)
+        controller.start(list(fleet_cities))
+        outcome = controller.reconcile_restore(report)
+        assert all(version in ("1", "base")
+                   for version in outcome.values())
+        restored.close()

@@ -1,0 +1,162 @@
+"""Property tests for the rollout lifecycle and canary assignment.
+
+Two invariant families, fuzzed with hypothesis:
+
+* the :class:`RolloutStateMachine` never reaches an invalid transition —
+  any illegal action (promote after rollback, double start, rollback
+  outside a rollout, …) raises :class:`RolloutError` and leaves the
+  machine's observable state untouched;
+* :func:`canary_assignment` is a pure function of ``(seed, key)`` in
+  ``[0, 1)`` with nested stages, entirely independent of fleet
+  membership — resizing a consistent-hash ring can never move a city in
+  or out of the canary.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serve import (ConsistentHashRing, RolloutError, RolloutPolicy,
+                         RolloutStateMachine, canary_assignment, is_canary,
+                         stages_for_fraction)
+from repro.serve.rollout import ShadowStats
+
+VALID_STATES = {"idle", "canary", "promoted", "rolled_back", "aborted"}
+
+#: strictly increasing fractions ending at 1.0 — every valid ladder shape
+stage_ladders = st.lists(
+    st.floats(min_value=0.01, max_value=0.99, allow_nan=False),
+    min_size=0, max_size=4, unique=True,
+).map(lambda rungs: tuple(sorted(rungs)) + (1.0,))
+
+actions = st.lists(
+    st.sampled_from(["start", "promote", "rollback", "abort"]),
+    min_size=0, max_size=40)
+
+keys = st.text(max_size=32)
+seeds = st.integers(min_value=0, max_value=2 ** 63 - 1)
+
+
+class TestStateMachineProperties:
+    @given(stages=stage_ladders, script=actions)
+    @settings(max_examples=150, deadline=None)
+    def test_never_reaches_an_invalid_state(self, stages, script):
+        """Walk arbitrary action scripts; legality is decided by a tiny
+        reference model, and illegal actions must raise *and* be free of
+        side effects."""
+        machine = RolloutStateMachine(stages)
+        for action in script:
+            legal = (machine.state != "canary" if action == "start"
+                     else machine.state == "canary")
+            before = (machine.state, machine.stage, machine.rollouts,
+                      len(machine.transitions))
+            if legal:
+                getattr(machine, action)()
+            else:
+                with pytest.raises(RolloutError):
+                    getattr(machine, action)()
+                assert (machine.state, machine.stage, machine.rollouts,
+                        len(machine.transitions)) == before
+            # structural invariants, after every step
+            assert machine.state in VALID_STATES
+            if machine.state == "canary":
+                assert 0 <= machine.stage < len(stages)
+                assert machine.fraction == stages[machine.stage]
+            elif machine.state == "promoted":
+                assert machine.fraction == 1.0
+            else:
+                assert machine.fraction == 0.0
+            assert 0.0 <= machine.fraction <= 1.0
+
+    @given(stages=stage_ladders)
+    @settings(max_examples=60, deadline=None)
+    def test_rollback_then_promote_always_raises(self, stages):
+        machine = RolloutStateMachine(stages)
+        machine.start()
+        machine.rollback()
+        with pytest.raises(RolloutError):
+            machine.promote()
+
+    @given(stages=stage_ladders)
+    @settings(max_examples=60, deadline=None)
+    def test_promotion_walk_is_bounded_and_terminal(self, stages):
+        machine = RolloutStateMachine(stages)
+        machine.start()
+        for _ in range(len(stages)):
+            machine.promote()
+        assert machine.state == "promoted"
+
+    @given(fraction=st.floats(min_value=1e-6, max_value=1.0,
+                              allow_nan=False))
+    @settings(max_examples=80, deadline=None)
+    def test_stages_for_fraction_always_builds_a_valid_ladder(self,
+                                                              fraction):
+        ladder = stages_for_fraction(fraction)
+        assert ladder[0] == fraction and ladder[-1] == 1.0
+        assert all(b > a for a, b in zip(ladder, ladder[1:]))
+        RolloutStateMachine(ladder)  # accepted by the machine's validator
+
+
+class TestCanaryAssignmentProperties:
+    @given(seed=seeds, key=keys)
+    @settings(max_examples=150, deadline=None)
+    def test_pure_function_of_seed_and_key(self, seed, key):
+        u = canary_assignment(seed, key)
+        assert 0.0 <= u < 1.0
+        assert u == canary_assignment(seed, key)
+
+    @given(seed=seeds, key=keys,
+           low=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+           high=st.floats(min_value=0.0, max_value=1.0, allow_nan=False))
+    @settings(max_examples=150, deadline=None)
+    def test_stages_are_nested(self, seed, key, low, high):
+        low, high = min(low, high), max(low, high)
+        if is_canary(seed, key, low):
+            assert is_canary(seed, key, high)
+
+    @given(ids=st.lists(st.text(alphabet="abcdef012345", min_size=1,
+                                max_size=6), min_size=2, max_size=8,
+                        unique=True),
+           seed=seeds, key=keys,
+           fraction=st.floats(min_value=0.0, max_value=1.0,
+                              allow_nan=False),
+           data=st.data())
+    @settings(max_examples=80, deadline=None)
+    def test_ring_membership_changes_never_move_the_canary(
+            self, ids, seed, key, fraction, data):
+        """Canary membership hashes the city key, not the ring: adding
+        or removing shards leaves every decision unchanged."""
+        ring = ConsistentHashRing(ids)
+        before = is_canary(seed, key, fraction)
+        removed = data.draw(st.sampled_from(ids))
+        ring.remove(removed)
+        assert is_canary(seed, key, fraction) == before
+        ring.add("zz-new-shard")
+        assert is_canary(seed, key, fraction) == before
+
+
+class TestPolicyProperties:
+    @given(pairs=st.integers(min_value=0, max_value=50),
+           mean=st.one_of(st.floats(allow_nan=True, allow_infinity=True)),
+           corr=st.one_of(st.floats(min_value=-1.0, max_value=1.0),
+                          st.just(float("nan"))),
+           crossings=st.integers(min_value=0, max_value=100),
+           regions=st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=200, deadline=None)
+    def test_decide_is_total_and_never_acts_on_nan(self, pairs, mean, corr,
+                                                   crossings, regions):
+        stats = ShadowStats(pairs=pairs, mean_abs_change=mean,
+                            worst_rank_correlation=corr,
+                            crossings=crossings, regions=regions)
+        policy = RolloutPolicy(min_pairs=3)
+        decision = policy.decide(stats)
+        assert decision.action in {"hold", "promote", "rollback"}
+        assert decision.reasons
+        if pairs < policy.min_pairs:
+            assert decision.action == "hold"
+        elif any(value != value for value in (
+                stats.mean_abs_change, stats.worst_rank_correlation,
+                stats.crossing_fraction)):
+            assert decision.action == "hold"
